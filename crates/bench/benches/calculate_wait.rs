@@ -1,0 +1,46 @@
+//! Latency of the `CALCULATEWAIT` ε-scan (Pseudocode 2) at the paper's
+//! scale: deadline 1000 s, fan-out 50, two-level Facebook-style tree.
+//!
+//! The paper says the algorithm "completes within tens of milliseconds
+//! even without the parallelization" — this bench tracks our margin
+//! against that budget across scan resolutions.
+
+use cedar_core::profile::{tree_decision, ProfileConfig};
+use cedar_core::wait::calculate_wait;
+use cedar_distrib::{ContinuousDist, LogNormal};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scan(c: &mut Criterion) {
+    let x1 = LogNormal::new(6.5, 0.84).unwrap();
+    let x2 = LogNormal::new(4.0, 1.2).unwrap();
+    let deadline = 1000.0;
+    let mut group = c.benchmark_group("calculate_wait");
+    for &steps in &[100usize, 500, 1000, 5000] {
+        group.bench_with_input(BenchmarkId::new("steps", steps), &steps, |b, &steps| {
+            let eps = deadline / steps as f64;
+            b.iter(|| {
+                calculate_wait(
+                    black_box(deadline),
+                    &x1,
+                    50,
+                    |rem| if rem <= 0.0 { 0.0 } else { x2.cdf(rem) },
+                    eps,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_decision(c: &mut Criterion) {
+    // Full per-query Ideal computation: build the upper profile, then
+    // scan — the cost an oracle (or a cold-started Cedar) pays per query.
+    let tree = cedar_bench::bench_tree(50, 50);
+    c.bench_function("tree_decision/2level_profile_plus_scan", |b| {
+        b.iter(|| tree_decision(black_box(&tree), 1000.0, &ProfileConfig::default()));
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_tree_decision);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Distribution primitive costs: CDF, quantile and sampling per family.
+//! These sit on the hot path of every scan step and every simulated
+//! arrival.
+
+use cedar_distrib::{ContinuousDist, Empirical, Exponential, LogNormal, Normal, Pareto, Weibull};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn families() -> Vec<(&'static str, Box<dyn ContinuousDist>)> {
+    vec![
+        ("lognormal", Box::new(LogNormal::new(2.77, 0.84).unwrap())),
+        ("normal", Box::new(Normal::new(40.0, 10.0).unwrap())),
+        ("exponential", Box::new(Exponential::new(0.25).unwrap())),
+        ("pareto", Box::new(Pareto::new(1.0, 1.8).unwrap())),
+        ("weibull", Box::new(Weibull::new(1.4, 5.0).unwrap())),
+    ]
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdf_1k_evals");
+    for (name, d) in families() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 1..1000 {
+                    acc += d.cdf(black_box(i as f64 * 0.1));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_1k_evals");
+    for (name, d) in families() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 1..1000 {
+                    acc += d.quantile(black_box(i as f64 / 1000.0));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_1k");
+    for (name, d) in families() {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| d.sample_vec(&mut rng, 1000));
+        });
+    }
+    group.finish();
+}
+
+fn bench_empirical(c: &mut Criterion) {
+    let parent = LogNormal::new(2.77, 0.84).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let emp = Empirical::from_samples(parent.sample_vec(&mut rng, 10_000)).unwrap();
+    c.bench_function("empirical_cdf_1k_evals_n10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..1000 {
+                acc += emp.cdf(black_box(i as f64 * 0.2));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cdf,
+    bench_quantile,
+    bench_sampling,
+    bench_empirical
+);
+criterion_main!(benches);

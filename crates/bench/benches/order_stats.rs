@@ -1,0 +1,24 @@
+//! Expected-order-statistic table construction: exact quadrature vs
+//! Blom's approximation — the accuracy/cost ablation behind Cedar's
+//! estimator setup (tables are built once per fan-out and shared).
+
+use cedar_mathx::order_stats::{NormalOrderStats, OrderStatMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_stat_table");
+    for &k in &[50usize, 500] {
+        group.bench_with_input(BenchmarkId::new("blom", k), &k, |b, &k| {
+            b.iter(|| NormalOrderStats::new(black_box(k), OrderStatMethod::Blom));
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("exact_k50", |b| {
+        b.iter(|| NormalOrderStats::new(black_box(50), OrderStatMethod::Exact));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

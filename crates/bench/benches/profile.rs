@@ -1,0 +1,59 @@
+//! Cost of building the memoized quality profiles `q_m(D)` — paid once
+//! per (workload, deadline, policy) and amortized over all queries.
+
+use cedar_core::profile::{ProfileConfig, QualityProfile};
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::LogNormal;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn three_level_tree() -> TreeSpec {
+    TreeSpec::new(vec![
+        StageSpec::new(LogNormal::new(6.5, 0.84).unwrap(), 50),
+        StageSpec::new(LogNormal::new(4.0, 1.2).unwrap(), 10),
+        StageSpec::new(LogNormal::new(4.0, 1.2).unwrap(), 5),
+    ])
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let two = cedar_bench::bench_tree(50, 50);
+    let three = three_level_tree();
+    let cfg = ProfileConfig::default();
+    let mut group = c.benchmark_group("quality_profile_build");
+    group.bench_function("two_level_upper", |b| {
+        b.iter(|| QualityProfile::for_tree_above(black_box(&two), 1, 3000.0, &cfg));
+    });
+    group.bench_function("three_level_upper", |b| {
+        b.iter(|| QualityProfile::for_tree_above(black_box(&three), 1, 3000.0, &cfg));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("quality_profile_resolution");
+    for &points in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("points", points), &points, |b, &points| {
+            let cfg = ProfileConfig {
+                points,
+                scan_steps: 400,
+            };
+            b.iter(|| QualityProfile::for_tree_above(&two, 1, 3000.0, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let two = cedar_bench::bench_tree(50, 50);
+    let profile = QualityProfile::for_tree_above(&two, 1, 3000.0, &ProfileConfig::default());
+    c.bench_function("quality_profile_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += profile.eval(black_box(i as f64 * 3.0));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_profiles, bench_eval);
+criterion_main!(benches);

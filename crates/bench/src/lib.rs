@@ -1,0 +1,25 @@
+//! Criterion benchmarks for the Cedar reproduction.
+//!
+//! The paper's only explicit performance claim is that Cedar's
+//! `CALCULATEWAIT` "completes within tens of milliseconds even without
+//! the parallelization proposed in §4.3.3" — the `calculate_wait` bench
+//! verifies our implementation sits comfortably inside that budget.
+//! The other benches track the costs that gate experiment throughput:
+//! estimator updates, quality-profile construction, full simulated
+//! queries, and distribution primitives.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::LogNormal;
+
+/// The Facebook-style two-level tree used across benches.
+pub fn bench_tree(k1: usize, k2: usize) -> TreeSpec {
+    TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(6.5, 0.84).expect("valid"), k1),
+        StageSpec::new(LogNormal::new(4.0, 1.2).expect("valid"), k2),
+    )
+}

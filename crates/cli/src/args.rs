@@ -1,0 +1,90 @@
+//! Minimal flag parsing (`--name value` pairs plus a leading
+//! subcommand) — deliberately dependency-free.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand and `--flag value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses everything after the subcommand.
+    ///
+    /// Flags must come as `--name value` pairs; a trailing lone flag is
+    /// an error.
+    pub fn parse(rest: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let name = rest[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_owned(), value.clone());
+            i += 2;
+        }
+        Ok(Self { flags })
+    }
+
+    /// A required string flag.
+    pub fn req(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required parseable flag.
+    pub fn req_parse<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.req(name)?
+            .parse()
+            .map_err(|_| format!("--{name} has an invalid value"))
+    }
+
+    /// An optional parseable flag with a default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} has an invalid value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&sv(&["--tree", "t.json", "--deadline", "100"])).unwrap();
+        assert_eq!(a.req("tree").unwrap(), "t.json");
+        let d: f64 = a.req_parse("deadline").unwrap();
+        assert_eq!(d, 100.0);
+        assert!(a.opt("missing").is_none());
+        assert_eq!(a.opt_parse("trials", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&sv(&["tree"])).is_err());
+        assert!(Args::parse(&sv(&["--tree"])).is_err());
+        let a = Args::parse(&sv(&["--n", "abc"])).unwrap();
+        assert!(a.req_parse::<u64>("n").is_err());
+        assert!(a.req("other").is_err());
+    }
+}

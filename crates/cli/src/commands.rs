@@ -1,0 +1,300 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use cedar_core::policy::WaitPolicyKind;
+use cedar_core::profile::{deadline_for_quality, tree_decision, ProfileConfig};
+use cedar_core::TreeSpec;
+use cedar_sim::{mean_quality, run_trials, SimConfig};
+use cedar_workloads::treedef::TreeDef;
+
+/// Help text.
+pub const USAGE: &str = "\
+cedar-cli — aggregation queries under performance variations
+
+USAGE:
+  cedar-cli template
+      Print an example tree definition (JSON) to stdout.
+  cedar-cli optimize --tree FILE --deadline D
+      Optimal bottom-aggregator wait and expected quality q_n(D).
+  cedar-cli simulate --tree FILE --deadline D [--policy P] [--trials N] [--seed S]
+      Simulate queries; P in {cedar, ideal, prop, equal, subtract, offline, fixed:W}.
+  cedar-cli dual --tree FILE --quality Q [--horizon H]
+      Minimum deadline at which an optimally-run tree reaches quality Q.
+  cedar-cli fit --data FILE
+      Fit distribution families to newline-separated duration samples.
+  cedar-cli trace-gen --jobs N --out FILE [--seed S]
+      Generate a synthetic Facebook-shaped job trace (JSON lines).
+";
+
+/// Entry point: routes `argv` to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no subcommand given".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "template" => cmd_template(),
+        "optimize" => cmd_optimize(&args),
+        "simulate" => cmd_simulate(&args),
+        "dual" => cmd_dual(&args),
+        "fit" => cmd_fit(&args),
+        "trace-gen" => cmd_trace_gen(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_tree(args: &Args) -> Result<TreeSpec, String> {
+    let path = args.req("tree")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let def = TreeDef::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    def.build().map_err(|e| e.to_string())
+}
+
+fn parse_policy(s: &str) -> Result<WaitPolicyKind, String> {
+    Ok(match s {
+        "cedar" => WaitPolicyKind::Cedar,
+        "ideal" => WaitPolicyKind::Ideal,
+        "prop" | "proportional" => WaitPolicyKind::ProportionalSplit,
+        "equal" => WaitPolicyKind::EqualSplit,
+        "subtract" => WaitPolicyKind::SubtractUpper,
+        "offline" => WaitPolicyKind::CedarOffline,
+        other => {
+            if let Some(w) = other.strip_prefix("fixed:") {
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| format!("bad fixed wait in '{other}'"))?;
+                WaitPolicyKind::FixedWait(w)
+            } else {
+                return Err(format!(
+                    "unknown policy '{other}' (try cedar, ideal, prop, equal, subtract, offline, fixed:W)"
+                ));
+            }
+        }
+    })
+}
+
+fn cmd_template() -> Result<(), String> {
+    println!("{}", TreeDef::example().to_json());
+    Ok(())
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let tree = load_tree(args)?;
+    let deadline: f64 = args.req_parse("deadline")?;
+    if deadline.is_nan() || deadline <= 0.0 {
+        return Err("--deadline must be positive".into());
+    }
+    let dec = tree_decision(&tree, deadline, &ProfileConfig::default());
+    println!(
+        "tree: {} levels, {} processes",
+        tree.levels(),
+        tree.total_processes()
+    );
+    println!("deadline:          {deadline}");
+    println!("optimal wait:      {:.4}", dec.wait);
+    println!("expected quality:  {:.4}", dec.quality);
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let tree = load_tree(args)?;
+    let deadline: f64 = args.req_parse("deadline")?;
+    let trials: usize = args.opt_parse("trials", 20)?;
+    let seed: u64 = args.opt_parse("seed", 0xCEDA2)?;
+    let policy = parse_policy(args.opt("policy").unwrap_or("cedar"))?;
+    if trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    let cfg = SimConfig::new(tree, deadline).with_seed(seed);
+    let outcomes = run_trials(&cfg, policy, trials);
+    let mean = mean_quality(&outcomes);
+    let min = outcomes
+        .iter()
+        .map(|o| o.quality)
+        .fold(f64::INFINITY, f64::min);
+    let max = outcomes.iter().map(|o| o.quality).fold(0.0f64, f64::max);
+    println!("policy:        {}", policy.name());
+    println!("trials:        {trials}");
+    println!("mean quality:  {mean:.4}");
+    println!("min/max:       {min:.4} / {max:.4}");
+    println!(
+        "mean outputs:  {:.0} of {}",
+        outcomes.iter().map(|o| o.included_outputs).sum::<usize>() as f64 / trials as f64,
+        outcomes[0].total_processes
+    );
+    Ok(())
+}
+
+fn cmd_dual(args: &Args) -> Result<(), String> {
+    let tree = load_tree(args)?;
+    let quality: f64 = args.req_parse("quality")?;
+    if !(0.0..1.0).contains(&quality) {
+        return Err("--quality must be in [0, 1)".into());
+    }
+    // Default horizon: generous multiple of the stage scale.
+    let default_horizon = 100.0 * tree.total_mean().max(1.0);
+    let horizon: f64 = args.opt_parse("horizon", default_horizon)?;
+    match deadline_for_quality(&tree, quality, horizon, &ProfileConfig::default()) {
+        Some(d) => {
+            println!("target quality:    {quality}");
+            println!("minimum deadline:  {d:.4}");
+            Ok(())
+        }
+        None => Err(format!(
+            "quality {quality} is unreachable within horizon {horizon}"
+        )),
+    }
+}
+
+fn cmd_fit(args: &Args) -> Result<(), String> {
+    let path = args.req("data")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let samples: Vec<f64> = text
+        .split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|_| format!("bad number '{t}'")))
+        .collect::<Result<_, _>>()?;
+    if samples.len() < 10 {
+        return Err("need at least 10 samples to fit".into());
+    }
+    let emp = cedar_distrib::Empirical::from_samples(samples.clone()).map_err(|e| e.to_string())?;
+    let pts = cedar_distrib::fit::percentiles_of(&emp, &cedar_distrib::fit::STANDARD_LEVELS);
+    let report = cedar_distrib::fit::fit_best(&pts, &[]).map_err(|e| e.to_string())?;
+    println!("{} samples from {path}", samples.len());
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "family", "mean rel err", "max rel err", "KS p-value"
+    );
+    for fit in &report.fits {
+        use cedar_distrib::ContinuousDist;
+        let d = cedar_mathx::ks::ks_statistic(&samples, |x| fit.dist.cdf(x));
+        let p = cedar_mathx::ks::ks_pvalue(d, samples.len());
+        println!(
+            "{:<14} {:>13.2}% {:>13.2}% {:>12.4}",
+            fit.family.to_string(),
+            100.0 * fit.mean_rel_error,
+            100.0 * fit.max_rel_error,
+            p
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace_gen(args: &Args) -> Result<(), String> {
+    let jobs: usize = args.req_parse("jobs")?;
+    let out = args.req("out")?;
+    let seed: u64 = args.opt_parse("seed", 1)?;
+    let generator = cedar_workloads::TraceGenerator::facebook_shaped();
+    let trace = generator.generate(jobs, seed);
+    cedar_workloads::traceio::write_trace(out, &trace).map_err(|e| e.to_string())?;
+    println!("wrote {jobs} jobs to {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn tree_file() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cedar-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.json");
+        std::fs::write(&path, TreeDef::example().to_json()).unwrap();
+        path
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("cedar").unwrap(), WaitPolicyKind::Cedar);
+        assert_eq!(
+            parse_policy("prop").unwrap(),
+            WaitPolicyKind::ProportionalSplit
+        );
+        assert_eq!(
+            parse_policy("fixed:12.5").unwrap(),
+            WaitPolicyKind::FixedWait(12.5)
+        );
+        assert!(parse_policy("bogus").is_err());
+        assert!(parse_policy("fixed:abc").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_and_empty() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn template_and_optimize_run() {
+        assert!(dispatch(&sv(&["template"])).is_ok());
+        let path = tree_file();
+        let argv = sv(&[
+            "optimize",
+            "--tree",
+            path.to_str().unwrap(),
+            "--deadline",
+            "200",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn simulate_runs_small() {
+        let path = tree_file();
+        let argv = sv(&[
+            "simulate",
+            "--tree",
+            path.to_str().unwrap(),
+            "--deadline",
+            "100",
+            "--policy",
+            "prop",
+            "--trials",
+            "2",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn dual_runs_and_validates() {
+        let path = tree_file();
+        let ok = sv(&["dual", "--tree", path.to_str().unwrap(), "--quality", "0.5"]);
+        assert!(dispatch(&ok).is_ok());
+        let bad = sv(&["dual", "--tree", path.to_str().unwrap(), "--quality", "1.5"]);
+        assert!(dispatch(&bad).is_err());
+    }
+
+    #[test]
+    fn fit_runs_on_generated_data() {
+        use cedar_distrib::ContinuousDist;
+        use rand::SeedableRng;
+        let dir = std::env::temp_dir().join("cedar-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durations.txt");
+        let d = cedar_distrib::LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let samples = d.sample_vec(&mut rng, 500);
+        let text: String = samples.iter().map(|x| format!("{x}\n")).collect();
+        std::fs::write(&path, text).unwrap();
+        let argv = sv(&["fit", "--data", path.to_str().unwrap()]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn trace_gen_writes_file() {
+        let dir = std::env::temp_dir().join("cedar-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let argv = sv(&["trace-gen", "--jobs", "2", "--out", path.to_str().unwrap()]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! `cedar-cli` — drive the Cedar toolkit from the shell.
+//!
+//! ```console
+//! $ cedar-cli template > tree.json
+//! $ cedar-cli optimize --tree tree.json --deadline 1000
+//! $ cedar-cli simulate --tree tree.json --deadline 1000 --policy cedar --trials 50
+//! $ cedar-cli dual     --tree tree.json --quality 0.9
+//! $ cedar-cli fit      --data durations.txt
+//! $ cedar-cli trace-gen --jobs 20 --out trace.jsonl
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

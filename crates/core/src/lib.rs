@@ -1,0 +1,44 @@
+//! Cedar core: the quality model and wait-duration optimization of
+//! *"Hold 'em or Fold 'em? Aggregation Queries under Performance
+//! Variations"* (EuroSys 2016).
+//!
+//! An aggregation tree runs a query under an end-to-end deadline `D`.
+//! Each aggregator must decide how long to wait for its downstream
+//! outputs before shipping a partial result upstream: waiting longer
+//! collects more outputs (raising response *quality* — the fraction of
+//! process outputs included in the final response) but risks missing the
+//! deadline upstream, forfeiting everything it collected.
+//!
+//! Module map:
+//!
+//! - [`tree`] — stage and tree specifications ([`StageSpec`],
+//!   [`TreeSpec`]);
+//! - [`quality`] — the gain/loss quality calculus (Eqs. 1–4);
+//! - [`wait`] — `CALCULATEWAIT` (Pseudocode 2): the ε-grid scan that picks
+//!   the optimal wait duration;
+//! - [`profile`] — [`QualityProfile`]: the memoized recursion `q_n(D)`
+//!   that extends the two-level analysis to arbitrary depth (§4.3.2);
+//! - [`policy`] — every wait policy evaluated in the paper: **Cedar**,
+//!   the **Proportional-split** / **Equal-split** / **Subtract-upper**
+//!   straw-men, the **Ideal** oracle, and the ablations (empirical
+//!   estimates, no online learning);
+//! - [`aggregator`] — the aggregator state machine (Pseudocode 1), shared
+//!   by the discrete-event simulator and the tokio runtime.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregator;
+pub mod policy;
+pub mod profile;
+pub mod quality;
+pub mod setup;
+pub mod tree;
+pub mod wait;
+
+pub use aggregator::{AggregatorAction, AggregatorState};
+pub use policy::{PolicyContext, WaitPolicy, WaitPolicyKind};
+pub use profile::QualityProfile;
+pub use setup::PreparedContexts;
+pub use tree::{StageSpec, TreeSpec};
+pub use wait::{calculate_wait, WaitDecision};

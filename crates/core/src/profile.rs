@@ -1,0 +1,366 @@
+//! [`QualityProfile`]: the memoized recursion `q_n(D)` of §4.3.2.
+//!
+//! `q_n(D)` — the maximum expected quality of an `n`-level subtree under
+//! remaining budget `D` — equals the maximum probability that one process
+//! output reaches the root when every aggregator on the way picks its
+//! optimal wait. The base case is `q_1(D) = F_{X_n}(D)`; each additional
+//! lower level wraps the profile through one `CALCULATEWAIT` scan.
+//!
+//! Since the scan queries `q_{n-1}` at many remaining-budget values, each
+//! level is tabulated once on a uniform deadline grid and interpolated —
+//! an [`InterpTable`] per level, built top-down.
+
+use crate::tree::{StageSpec, TreeSpec};
+use crate::wait::{calculate_wait, WaitDecision};
+use cedar_distrib::ContinuousDist;
+use cedar_mathx::InterpTable;
+
+/// Resolution knobs for profile construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileConfig {
+    /// Grid points per tabulated level.
+    pub points: usize,
+    /// ε-scan steps per `CALCULATEWAIT` evaluation.
+    pub scan_steps: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self {
+            points: 256,
+            scan_steps: 400,
+        }
+    }
+}
+
+/// Tabulated `q_m(d)` for `d` in `[0, d_max]`.
+///
+/// Values are clamped to `[0, 1]`, forced monotone non-decreasing (the
+/// true `q_m` is — more budget never hurts), zero at and below `d = 0`,
+/// and clamped to the `d_max` value above the grid.
+#[derive(Debug, Clone)]
+pub struct QualityProfile {
+    table: InterpTable,
+    levels: usize,
+}
+
+impl QualityProfile {
+    /// Base case `q_1`: a single stage whose output reaches the root iff
+    /// its duration fits in the remaining budget — `q_1(d) = F(d)`.
+    pub fn single(dist: &dyn ContinuousDist, d_max: f64, points: usize) -> Self {
+        assert!(d_max > 0.0, "profile horizon must be positive");
+        let table =
+            InterpTable::tabulate(|d| dist.cdf(d).clamp(0.0, 1.0), 0.0, d_max, points.max(2));
+        Self { table, levels: 1 }
+    }
+
+    /// Wraps one more (lower) level around an existing profile:
+    /// `q_{m+1}(d) = CALCULATEWAIT(d, lower, upper).quality`.
+    pub fn stack(lower: &StageSpec, upper: &QualityProfile, cfg: &ProfileConfig) -> Self {
+        let d_max = upper.table.x_max();
+        let points = cfg.points.max(2);
+        let dx = d_max / (points - 1) as f64;
+        let mut values = Vec::with_capacity(points);
+        let mut running_max = 0.0f64;
+        for i in 0..points {
+            let d = i as f64 * dx;
+            let q = if d <= 0.0 {
+                0.0
+            } else {
+                let eps = d / cfg.scan_steps as f64;
+                calculate_wait(d, &lower.dist, lower.fanout, |rem| upper.eval(rem), eps).quality
+            };
+            // Enforce monotonicity against discretization jitter.
+            running_max = running_max.max(q.clamp(0.0, 1.0));
+            values.push(running_max);
+        }
+        Self {
+            table: InterpTable::new(0.0, dx, values),
+            levels: upper.levels + 1,
+        }
+    }
+
+    /// Builds the profile spanning stages `from..n` of `tree` (0-indexed,
+    /// bottom-up). `from = 1` gives the upper profile used by the
+    /// bottom-level aggregators; `from = n - 1` gives the base `q_1` of
+    /// the top stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= tree.levels()`.
+    pub fn for_tree_above(tree: &TreeSpec, from: usize, d_max: f64, cfg: &ProfileConfig) -> Self {
+        let n = tree.levels();
+        assert!(from < n, "profile must span at least one stage");
+        let mut profile = Self::single(&tree.stage(n - 1).dist, d_max, cfg.points);
+        for j in (from..n - 1).rev() {
+            profile = Self::stack(tree.stage(j), &profile, cfg);
+        }
+        profile
+    }
+
+    /// Evaluates `q_m(d)`; zero for `d <= 0`, clamped beyond the horizon.
+    pub fn eval(&self, d: f64) -> f64 {
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.table.eval(d).clamp(0.0, 1.0)
+    }
+
+    /// Number of stages this profile spans.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The tabulation horizon.
+    pub fn d_max(&self) -> f64 {
+        self.table.x_max()
+    }
+
+    /// The dual query (§6 of the paper): the smallest tabulated budget
+    /// achieving quality at least `target`, or `None` if the profile
+    /// never reaches it within its horizon.
+    ///
+    /// Monotonicity of the profile makes this a binary search; the answer
+    /// is accurate to one grid step.
+    pub fn inverse(&self, target: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&target) {
+            return None;
+        }
+        if self.eval(self.d_max()) < target {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0, self.d_max());
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.eval(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+/// The dual problem end-to-end (§6): the minimum deadline under which an
+/// optimally-operated `tree` delivers expected quality `target`.
+///
+/// Searches the whole-tree profile `q_n` over `[0, d_max]`; returns
+/// `None` when even `d_max` cannot reach the target.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe horizon check
+pub fn deadline_for_quality(
+    tree: &TreeSpec,
+    target: f64,
+    d_max: f64,
+    cfg: &ProfileConfig,
+) -> Option<f64> {
+    if !(d_max > 0.0) {
+        return None;
+    }
+    let profile = QualityProfile::for_tree_above(tree, 0, d_max, cfg);
+    profile.inverse(target)
+}
+
+/// Computes the optimal bottom-aggregator decision and the whole-tree
+/// quality `q_n(D)` for `tree` under `deadline` — the "Ideal" computation
+/// when `tree` carries the query's true distributions.
+///
+/// For a single-level tree the decision degenerates to "wait the full
+/// deadline" with quality `F_{X_1}(D)`.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_core::profile::{deadline_for_quality, tree_decision, ProfileConfig};
+/// use cedar_core::{StageSpec, TreeSpec};
+/// use cedar_distrib::LogNormal;
+///
+/// let tree = TreeSpec::two_level(
+///     StageSpec::new(LogNormal::new(2.77, 0.84).unwrap(), 50),
+///     StageSpec::new(LogNormal::new(2.94, 0.55).unwrap(), 50),
+/// );
+/// let cfg = ProfileConfig::default();
+/// let dec = tree_decision(&tree, 120.0, &cfg);
+/// assert!(dec.quality > 0.5);
+///
+/// // The dual direction (§6): how much budget does 0.9 quality need?
+/// let d = deadline_for_quality(&tree, 0.9, 1000.0, &cfg).unwrap();
+/// assert!((tree_decision(&tree, d, &cfg).quality - 0.9).abs() < 0.05);
+/// ```
+pub fn tree_decision(tree: &TreeSpec, deadline: f64, cfg: &ProfileConfig) -> WaitDecision {
+    if deadline <= 0.0 {
+        return WaitDecision {
+            wait: 0.0,
+            quality: 0.0,
+        };
+    }
+    if tree.levels() == 1 {
+        return WaitDecision {
+            wait: deadline,
+            quality: tree.stage(0).dist.cdf(deadline).clamp(0.0, 1.0),
+        };
+    }
+    let upper = QualityProfile::for_tree_above(tree, 1, deadline, cfg);
+    let eps = deadline / cfg.scan_steps as f64;
+    calculate_wait(
+        deadline,
+        &tree.stage(0).dist,
+        tree.stage(0).fanout,
+        |rem| upper.eval(rem),
+        eps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_distrib::{Exponential, LogNormal};
+
+    fn fb_tree() -> TreeSpec {
+        TreeSpec::two_level(
+            StageSpec::new(LogNormal::new(2.77, 0.84).unwrap(), 50),
+            StageSpec::new(LogNormal::new(2.94, 0.55).unwrap(), 50),
+        )
+    }
+
+    #[test]
+    fn single_profile_is_cdf() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let p = QualityProfile::single(&d, 50.0, 512);
+        for &x in &[0.5, 2.0, 5.0, 20.0] {
+            assert!((p.eval(x) - d.cdf(x)).abs() < 1e-3, "at {x}");
+        }
+        assert_eq!(p.eval(-1.0), 0.0);
+        assert_eq!(p.eval(0.0), 0.0);
+        assert_eq!(p.levels(), 1);
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        let tree = fb_tree();
+        let p = QualityProfile::for_tree_above(&tree, 0, 2000.0, &ProfileConfig::default());
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let d = i as f64 * 20.0;
+            let q = p.eval(d);
+            assert!(q >= prev - 1e-12, "dip at d={d}");
+            assert!((0.0..=1.0).contains(&q));
+            prev = q;
+        }
+        assert_eq!(p.levels(), 2);
+    }
+
+    #[test]
+    fn two_level_profile_below_single_level() {
+        // Adding a level can only lose quality at the same budget.
+        let tree = fb_tree();
+        let upper = QualityProfile::for_tree_above(&tree, 1, 1500.0, &ProfileConfig::default());
+        let both = QualityProfile::for_tree_above(&tree, 0, 1500.0, &ProfileConfig::default());
+        for &d in &[50.0, 200.0, 800.0, 1400.0] {
+            assert!(both.eval(d) <= upper.eval(d) + 1e-9, "at d={d}");
+        }
+    }
+
+    #[test]
+    fn tree_decision_matches_direct_scan() {
+        let tree = fb_tree();
+        let cfg = ProfileConfig::default();
+        let dec = tree_decision(&tree, 1000.0, &cfg);
+        // Direct two-level scan against the upper CDF (no tabulation).
+        let x2 = LogNormal::new(2.94, 0.55).unwrap();
+        let direct = calculate_wait(
+            1000.0,
+            &tree.stage(0).dist,
+            50,
+            |rem| {
+                if rem <= 0.0 {
+                    0.0
+                } else {
+                    cedar_distrib::ContinuousDist::cdf(&x2, rem)
+                }
+            },
+            2.0,
+        );
+        assert!(
+            (dec.quality - direct.quality).abs() < 0.01,
+            "profile {} vs direct {}",
+            dec.quality,
+            direct.quality
+        );
+        assert!((dec.wait - direct.wait).abs() < 20.0);
+    }
+
+    #[test]
+    fn three_level_profile_builds() {
+        let tree = TreeSpec::new(vec![
+            StageSpec::new(LogNormal::new(2.77, 0.84).unwrap(), 50),
+            StageSpec::new(LogNormal::new(2.94, 0.55).unwrap(), 10),
+            StageSpec::new(LogNormal::new(2.94, 0.55).unwrap(), 5),
+        ]);
+        let p = QualityProfile::for_tree_above(&tree, 0, 3000.0, &ProfileConfig::default());
+        assert_eq!(p.levels(), 3);
+        assert!(p.eval(3000.0) > 0.5);
+        // Three levels under the same budget cannot beat two.
+        let two = QualityProfile::for_tree_above(&tree, 1, 3000.0, &ProfileConfig::default());
+        for &d in &[300.0, 1000.0, 2500.0] {
+            assert!(p.eval(d) <= two.eval(d) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_level_tree_decision() {
+        let tree = TreeSpec::new(vec![StageSpec::new(
+            Exponential::from_mean(2.0).unwrap(),
+            8,
+        )]);
+        let dec = tree_decision(&tree, 4.0, &ProfileConfig::default());
+        assert_eq!(dec.wait, 4.0);
+        assert!((dec.quality - (1.0 - (-2.0f64).exp())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_deadline_decision_is_empty() {
+        let dec = tree_decision(&fb_tree(), 0.0, &ProfileConfig::default());
+        assert_eq!(dec.quality, 0.0);
+        assert_eq!(dec.wait, 0.0);
+    }
+
+    #[test]
+    fn generous_deadline_quality_near_one() {
+        let dec = tree_decision(&fb_tree(), 3000.0, &ProfileConfig::default());
+        assert!(dec.quality > 0.95, "quality {}", dec.quality);
+    }
+
+    #[test]
+    fn inverse_finds_the_quality_threshold() {
+        let tree = fb_tree();
+        let p = QualityProfile::for_tree_above(&tree, 0, 3000.0, &ProfileConfig::default());
+        for &target in &[0.3, 0.6, 0.9] {
+            let d = p.inverse(target).expect("reachable within horizon");
+            assert!((p.eval(d) - target).abs() < 0.02, "target {target} at {d}");
+            // Minimality: a noticeably smaller budget falls short.
+            assert!(p.eval(d * 0.9) < target + 0.02);
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_unreachable_targets() {
+        let tree = fb_tree();
+        let p = QualityProfile::for_tree_above(&tree, 0, 30.0, &ProfileConfig::default());
+        // 30 s is far below the stage scale; 0.99 quality is unreachable.
+        assert!(p.inverse(0.99).is_none());
+        assert!(p.inverse(-0.1).is_none());
+        assert!(p.inverse(1.5).is_none());
+    }
+
+    #[test]
+    fn deadline_for_quality_end_to_end() {
+        let tree = fb_tree();
+        let d =
+            deadline_for_quality(&tree, 0.8, 5000.0, &ProfileConfig::default()).expect("reachable");
+        // Verify against the forward direction.
+        let q = tree_decision(&tree, d, &ProfileConfig::default()).quality;
+        assert!((q - 0.8).abs() < 0.03, "q({d}) = {q}");
+        assert!(deadline_for_quality(&tree, 0.8, 0.0, &ProfileConfig::default()).is_none());
+    }
+}

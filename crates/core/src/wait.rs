@@ -1,0 +1,312 @@
+//! `CALCULATEWAIT` (Pseudocode 2): selecting the optimal wait duration.
+//!
+//! The expected quality as a function of the wait duration has no closed
+//! form, so the paper scans the interval `[0, D]` in increments of `ε`,
+//! accumulating the net quality change (gain − loss) and keeping the
+//! argmax. The accumulated value at the optimum *is* the maximum expected
+//! quality `q_n(D)`, which is what makes the recursion of §4.3.2 work.
+
+use crate::quality::{quality_gain, quality_loss};
+use cedar_distrib::ContinuousDist;
+use cedar_mathx::KahanSum;
+
+/// Result of a wait-duration optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitDecision {
+    /// The optimal wait duration (time from query start at this
+    /// aggregator to its departure timer).
+    pub wait: f64,
+    /// The expected quality achieved by that wait — `q_n(D)` for the
+    /// subtree rooted at this aggregator.
+    pub quality: f64,
+}
+
+/// Number of ε-steps used when the caller does not specify a resolution.
+pub const DEFAULT_STEPS: usize = 500;
+
+/// Scans wait durations in `[0, deadline]` with step `epsilon` and returns
+/// the quality-maximizing wait (Pseudocode 2).
+///
+/// * `deadline` — remaining end-to-end budget `D` at this aggregator;
+/// * `lower` — the stage duration distribution `X_1` of the nodes being
+///   waited for;
+/// * `fanout` — `k_1`, how many such nodes feed this aggregator;
+/// * `q_up` — the upstream quality function `q_{n-1}(d)`: the probability
+///   that an output shipped with `d` budget left still reaches the root
+///   (for a two-level tree this is `F_{X_2}(d)`);
+/// * `epsilon` — the scan step; smaller values reduce discretization
+///   error at linear cost.
+///
+/// Returns a zero decision when `deadline <= 0` (nothing can be
+/// delivered).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_core::wait::calculate_wait;
+/// use cedar_distrib::{ContinuousDist, LogNormal};
+///
+/// let processes = LogNormal::new(2.77, 0.84).unwrap(); // X1
+/// let aggregators = LogNormal::new(2.94, 0.55).unwrap(); // X2
+/// let dec = calculate_wait(
+///     100.0,
+///     &processes,
+///     50,
+///     |rem| if rem <= 0.0 { 0.0 } else { aggregators.cdf(rem) },
+///     0.2,
+/// );
+/// assert!(dec.wait > 0.0 && dec.wait < 100.0);
+/// assert!(dec.quality > 0.0 && dec.quality <= 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not strictly positive or `fanout == 0`.
+pub fn calculate_wait<Q>(
+    deadline: f64,
+    lower: &dyn ContinuousDist,
+    fanout: usize,
+    q_up: Q,
+    epsilon: f64,
+) -> WaitDecision
+where
+    Q: Fn(f64) -> f64,
+{
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(fanout >= 1, "fanout must be at least 1");
+    if deadline <= 0.0 {
+        return WaitDecision {
+            wait: 0.0,
+            quality: 0.0,
+        };
+    }
+
+    let steps = ((deadline / epsilon).ceil() as usize).max(1);
+    let mut running = KahanSum::new();
+    let mut best_q = 0.0f64;
+    let mut best_wait = 0.0f64;
+
+    let mut f_prev = lower.cdf(0.0);
+    let mut q_up_prev = q_up(deadline).clamp(0.0, 1.0);
+    for i in 0..steps {
+        let t = i as f64 * epsilon;
+        let t_next = (t + epsilon).min(deadline);
+        let f_next = lower.cdf(t_next);
+        let q_up_next = q_up(deadline - t_next).clamp(0.0, 1.0);
+
+        let gain = quality_gain(f_prev, f_next, q_up_next);
+        let loss = quality_loss(f_prev, fanout, q_up_prev, q_up_next);
+        running.add(gain - loss);
+
+        // Keep the *first* maximizer: on quality plateaus (gain and loss
+        // both ~0) a later departure buys nothing but risks model error,
+        // so the earliest wait achieving the maximum is the safe argmax.
+        let q = running.value();
+        if q > best_q {
+            best_q = q;
+            best_wait = t_next;
+        }
+
+        f_prev = f_next;
+        q_up_prev = q_up_next;
+    }
+
+    WaitDecision {
+        wait: best_wait,
+        quality: best_q.clamp(0.0, 1.0),
+    }
+}
+
+/// Convenience wrapper choosing `epsilon = deadline / DEFAULT_STEPS`.
+pub fn calculate_wait_default<Q>(
+    deadline: f64,
+    lower: &dyn ContinuousDist,
+    fanout: usize,
+    q_up: Q,
+) -> WaitDecision
+where
+    Q: Fn(f64) -> f64,
+{
+    if deadline <= 0.0 {
+        return WaitDecision {
+            wait: 0.0,
+            quality: 0.0,
+        };
+    }
+    calculate_wait(
+        deadline,
+        lower,
+        fanout,
+        q_up,
+        deadline / DEFAULT_STEPS as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::departure_quality;
+    use cedar_distrib::{Exponential, LogNormal, Normal};
+
+    /// Two-level helper: upstream quality is just the upper-stage CDF.
+    fn two_level_qup(upper: &(impl ContinuousDist + Clone)) -> impl Fn(f64) -> f64 + '_ {
+        move |d: f64| if d <= 0.0 { 0.0 } else { upper.cdf(d) }
+    }
+
+    use cedar_distrib::ContinuousDist;
+
+    #[test]
+    fn zero_deadline_waits_zero() {
+        let x1 = LogNormal::new(0.0, 1.0).unwrap();
+        let d = calculate_wait_default(0.0, &x1, 50, |_| 1.0);
+        assert_eq!(d.wait, 0.0);
+        assert_eq!(d.quality, 0.0);
+    }
+
+    #[test]
+    fn generous_deadline_reaches_high_quality() {
+        // Facebook-like stages with a deadline far above both stages'
+        // p99: nearly all outputs should be deliverable.
+        let x1 = LogNormal::new(2.77, 0.84).unwrap();
+        let x2 = LogNormal::new(2.94, 0.55).unwrap();
+        let d = calculate_wait_default(3000.0, &x1, 50, two_level_qup(&x2));
+        assert!(d.quality > 0.95, "quality {}", d.quality);
+        // The wait leaves room for the upper stage.
+        assert!(d.wait < 3000.0);
+        assert!(d.wait > x1.quantile(0.5));
+    }
+
+    #[test]
+    fn tight_deadline_waits_less_and_quality_drops() {
+        let x1 = LogNormal::new(2.77, 0.84).unwrap();
+        let x2 = LogNormal::new(2.94, 0.55).unwrap();
+        let tight = calculate_wait_default(60.0, &x1, 50, two_level_qup(&x2));
+        let loose = calculate_wait_default(1000.0, &x1, 50, two_level_qup(&x2));
+        assert!(tight.wait < loose.wait);
+        assert!(tight.quality < loose.quality);
+    }
+
+    #[test]
+    fn quality_matches_departure_quality_at_optimum() {
+        // The scan's accumulated quality must agree with the closed-form
+        // expected quality of departing at the chosen wait.
+        let x1 = LogNormal::new(1.0, 0.8).unwrap();
+        let x2 = Exponential::from_mean(5.0).unwrap();
+        let deadline = 30.0;
+        let dec = calculate_wait(deadline, &x1, 20, two_level_qup(&x2), 0.01);
+        let check = departure_quality(
+            |t| x1.cdf(t),
+            20,
+            dec.wait,
+            deadline,
+            |rem| if rem <= 0.0 { 0.0 } else { x2.cdf(rem) },
+            5000,
+        );
+        assert!(
+            (dec.quality - check).abs() < 0.02,
+            "scan {} vs closed form {}",
+            dec.quality,
+            check
+        );
+    }
+
+    #[test]
+    fn optimum_beats_grid_of_fixed_waits() {
+        // No fixed wait on a coarse grid may beat the scan's choice by
+        // more than the discretization slack.
+        let x1 = LogNormal::new(2.0, 1.0).unwrap();
+        let x2 = LogNormal::new(2.5, 0.5).unwrap();
+        let deadline = 100.0;
+        let dec = calculate_wait(deadline, &x1, 50, two_level_qup(&x2), 0.02);
+        for i in 0..100 {
+            let w = i as f64;
+            let q = departure_quality(
+                |t| x1.cdf(t),
+                50,
+                w,
+                deadline,
+                |rem| if rem <= 0.0 { 0.0 } else { x2.cdf(rem) },
+                2000,
+            );
+            assert!(
+                q <= dec.quality + 0.02,
+                "fixed wait {w} gives {q}, scan gave {}",
+                dec.quality
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_upper_stage_spends_full_budget() {
+        // If shipping upstream is instantaneous (q_up = 1 for any
+        // remaining budget > 0), waiting until just before D is optimal.
+        let x1 = LogNormal::new(2.0, 0.8).unwrap();
+        let d = calculate_wait(50.0, &x1, 50, |rem| f64::from(rem > 0.0), 0.05);
+        assert!(d.wait > 49.0, "wait {}", d.wait);
+    }
+
+    #[test]
+    fn gaussian_stages_work() {
+        let x1 = Normal::new(40.0, 80.0).unwrap();
+        let x2 = Normal::new(40.0, 10.0).unwrap();
+        let d = calculate_wait_default(200.0, &x1, 50, two_level_qup(&x2));
+        assert!(d.quality > 0.5);
+        assert!(d.wait > 0.0 && d.wait < 200.0);
+    }
+
+    #[test]
+    fn smaller_epsilon_refines_the_decision() {
+        let x1 = LogNormal::new(2.77, 0.84).unwrap();
+        let x2 = LogNormal::new(2.94, 0.55).unwrap();
+        let coarse = calculate_wait(1000.0, &x1, 50, two_level_qup(&x2), 20.0);
+        let fine = calculate_wait(1000.0, &x1, 50, two_level_qup(&x2), 0.5);
+        // Both should find similar quality; fine resolution never worse
+        // by more than the coarse discretization error.
+        assert!(fine.quality >= coarse.quality - 1e-9);
+        assert!((fine.wait - coarse.wait).abs() <= 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_non_positive_epsilon() {
+        let x1 = Exponential::new(1.0).unwrap();
+        calculate_wait(10.0, &x1, 5, |_| 1.0, 0.0);
+    }
+
+    #[test]
+    fn unit_fanout_still_optimizes() {
+        // k = 1: with a single input the "loss" term involves
+        // F - F^1 = 0 (nothing partial at risk), so waiting costs nothing
+        // until the upstream window closes; quality stays well-defined.
+        let x1 = LogNormal::new(1.0, 0.6).unwrap();
+        let x2 = LogNormal::new(1.0, 0.4).unwrap();
+        let dec = calculate_wait_default(30.0, &x1, 1, two_level_qup(&x2));
+        assert!((0.0..=1.0).contains(&dec.quality));
+        assert!(dec.wait > 0.0 && dec.wait <= 30.0);
+    }
+
+    #[test]
+    fn heavy_tailed_pareto_lower_stage() {
+        // Infinite-mean Pareto processes: the scan only consumes CDF
+        // values, so heavy tails must not destabilize the decision.
+        let x1 = cedar_distrib::Pareto::new(1.0, 0.8).unwrap();
+        let x2 = LogNormal::new(0.5, 0.4).unwrap();
+        let dec = calculate_wait(25.0, &x1, 20, two_level_qup(&x2), 0.05);
+        assert!(dec.quality > 0.0 && dec.quality <= 1.0);
+        assert!(dec.wait.is_finite());
+        // Most Pareto(1, 0.8) mass sits near the scale; some outputs are
+        // deliverable within the budget.
+        assert!(dec.quality > 0.2, "quality {}", dec.quality);
+    }
+
+    #[test]
+    fn deadline_smaller_than_epsilon_is_safe() {
+        // One scan step larger than the whole budget: the loop still
+        // terminates with a clamped, sane decision.
+        let x1 = Exponential::new(1.0).unwrap();
+        let x2 = Exponential::new(1.0).unwrap();
+        let dec = calculate_wait(0.5, &x1, 5, two_level_qup(&x2), 2.0);
+        assert!(dec.wait <= 0.5 + 1e-12);
+        assert!((0.0..=1.0).contains(&dec.quality));
+    }
+}

@@ -1,0 +1,150 @@
+//! The exponential distribution. The paper's estimation machinery (§4.2.2)
+//! names the exponential's rate `lambda` as an example of a parameter the
+//! online learner can recover; it is also a convenient memoryless baseline
+//! in the test suite.
+
+use crate::traits::{ContinuousDist, DistError};
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::{ContinuousDist, Exponential};
+///
+/// let d = Exponential::new(0.5).unwrap();
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "exponential rate must be finite and positive",
+            ));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Creates an exponential with the given mean.
+    pub fn from_mean(mean: f64) -> Result<Self, DistError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "exponential mean must be finite and positive",
+            ));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.lambda * x).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        -(-p).ln_1p() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn from_mean_matches() {
+        let d = Exponential::from_mean(4.0).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.lambda() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = Exponential::new(3.0).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memorylessness() {
+        // P[X > s + t | X > s] = P[X > t].
+        let d = Exponential::new(0.7).unwrap();
+        let (s, t) = (1.3, 2.1);
+        let cond = (1.0 - d.cdf(s + t)) / (1.0 - d.cdf(s));
+        assert!((cond - (1.0 - d.cdf(t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_quantiles_use_log1p_precision() {
+        // Near p = 0 the quantile should be ~p/lambda without cancellation.
+        let d = Exponential::new(1.0).unwrap();
+        let q = d.quantile(1e-14);
+        assert!((q / 1e-14 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let d = Exponential::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs = d.sample_vec(&mut rng, 100_000);
+        assert!((cedar_mathx::kahan::mean(&xs) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn support_edges() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(1.0), f64::INFINITY);
+    }
+}

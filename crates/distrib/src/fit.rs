@@ -1,0 +1,466 @@
+//! Distribution-type and parameter fitting.
+//!
+//! The paper fits "percentile values using \[the\] rriskDistributions package
+//! to find the best fit of distribution type" (§4.2.1), offline and
+//! periodically. This module is that step's substitute: every candidate
+//! family exposes a percentile-space least-squares fit (each family is
+//! linear in its parameters after a suitable transform), and
+//! [`fit_best`] ranks families by quantile error exactly the way the paper
+//! reports goodness (percent error at given percentiles).
+//!
+//! Complete-sample maximum-likelihood fits for the log-normal and normal
+//! families are also provided; Proportional-split uses them to learn the
+//! population distribution from finished queries.
+
+use crate::{ContinuousDist, DistError, Exponential, LogNormal, Normal, Pareto, Uniform, Weibull};
+use cedar_mathx::special::norm_quantile;
+
+/// A single percentile observation: `P[X <= value] = p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentile {
+    /// Probability level in `(0, 1)`.
+    pub p: f64,
+    /// Observed quantile at that level.
+    pub value: f64,
+}
+
+impl Percentile {
+    /// Convenience constructor.
+    pub fn new(p: f64, value: f64) -> Self {
+        Self { p, value }
+    }
+}
+
+/// The distribution families the fitter knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Log-normal (the best fit for every trace in the paper).
+    LogNormal,
+    /// Normal (Gaussian).
+    Normal,
+    /// Exponential.
+    Exponential,
+    /// Pareto type I.
+    Pareto,
+    /// Weibull.
+    Weibull,
+    /// Continuous uniform.
+    Uniform,
+}
+
+impl Family {
+    /// All supported families, in the order they are tried by
+    /// [`fit_best`].
+    pub const ALL: [Family; 6] = [
+        Family::LogNormal,
+        Family::Normal,
+        Family::Exponential,
+        Family::Pareto,
+        Family::Weibull,
+        Family::Uniform,
+    ];
+}
+
+impl core::fmt::Display for Family {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Family::LogNormal => "log-normal",
+            Family::Normal => "normal",
+            Family::Exponential => "exponential",
+            Family::Pareto => "pareto",
+            Family::Weibull => "weibull",
+            Family::Uniform => "uniform",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Result of fitting one family to a set of percentiles.
+#[derive(Debug)]
+pub struct FamilyFit {
+    /// Which family was fitted.
+    pub family: Family,
+    /// The fitted distribution.
+    pub dist: Box<dyn ContinuousDist>,
+    /// Mean absolute relative error across the input percentiles
+    /// (`|q_fit - q_obs| / q_obs`, guarded for near-zero observations).
+    pub mean_rel_error: f64,
+    /// Maximum absolute relative error across the input percentiles.
+    pub max_rel_error: f64,
+    /// Relative error per input percentile, in input order.
+    pub per_percentile_error: Vec<f64>,
+}
+
+/// Report from trying multiple families; see [`fit_best`].
+#[derive(Debug)]
+pub struct FitReport {
+    /// Fits ordered best-first by mean relative error. Families whose fit
+    /// failed (e.g. Pareto on data with non-positive values) are omitted.
+    pub fits: Vec<FamilyFit>,
+}
+
+impl FitReport {
+    /// The winning fit.
+    pub fn best(&self) -> &FamilyFit {
+        &self.fits[0]
+    }
+}
+
+/// Ordinary least squares `y = a + b x` over paired slices.
+///
+/// Returns `(intercept, slope)`.
+fn ols(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mx = cedar_mathx::kahan::mean(xs);
+    let my = cedar_mathx::kahan::mean(ys);
+    let mut sxy = cedar_mathx::KahanSum::new();
+    let mut sxx = cedar_mathx::KahanSum::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy.add((x - mx) * (y - my));
+        sxx.add((x - mx) * (x - mx));
+    }
+    let slope = sxy.value() / sxx.value();
+    (my - slope * mx, slope)
+}
+
+/// OLS through the origin: `y = b x`. Returns the slope.
+fn ols_origin(xs: &[f64], ys: &[f64]) -> f64 {
+    let mut sxy = cedar_mathx::KahanSum::new();
+    let mut sxx = cedar_mathx::KahanSum::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy.add(x * y);
+        sxx.add(x * x);
+    }
+    sxy.value() / sxx.value()
+}
+
+fn validate_percentiles(pts: &[Percentile]) -> Result<(), DistError> {
+    if pts.len() < 2 {
+        return Err(DistError::InvalidData("need at least two percentiles"));
+    }
+    for pt in pts {
+        if !(pt.p > 0.0 && pt.p < 1.0) {
+            return Err(DistError::InvalidData(
+                "percentile levels must be in (0, 1)",
+            ));
+        }
+        if !pt.value.is_finite() {
+            return Err(DistError::InvalidData("percentile values must be finite"));
+        }
+    }
+    Ok(())
+}
+
+/// Fits a single family to percentile observations.
+///
+/// Each family is linear in its parameters after a transform, so the fit is
+/// a closed-form least squares — robust and deterministic, like the
+/// percentile-matching mode of the `rriskDistributions` package.
+pub fn fit_family(family: Family, pts: &[Percentile]) -> Result<FamilyFit, DistError> {
+    validate_percentiles(pts)?;
+    let dist: Box<dyn ContinuousDist> = match family {
+        Family::LogNormal => {
+            if pts.iter().any(|pt| pt.value <= 0.0) {
+                return Err(DistError::InvalidData(
+                    "log-normal fit needs positive percentile values",
+                ));
+            }
+            let xs: Vec<f64> = pts.iter().map(|pt| norm_quantile(pt.p)).collect();
+            let ys: Vec<f64> = pts.iter().map(|pt| pt.value.ln()).collect();
+            let (mu, sigma) = ols(&xs, &ys);
+            if sigma <= 0.0 {
+                return Err(DistError::InvalidData(
+                    "log-normal fit produced non-positive sigma",
+                ));
+            }
+            Box::new(LogNormal::new(mu, sigma)?)
+        }
+        Family::Normal => {
+            let xs: Vec<f64> = pts.iter().map(|pt| norm_quantile(pt.p)).collect();
+            let ys: Vec<f64> = pts.iter().map(|pt| pt.value).collect();
+            let (mu, sigma) = ols(&xs, &ys);
+            if sigma <= 0.0 {
+                return Err(DistError::InvalidData(
+                    "normal fit produced non-positive sigma",
+                ));
+            }
+            Box::new(Normal::new(mu, sigma)?)
+        }
+        Family::Exponential => {
+            if pts.iter().any(|pt| pt.value <= 0.0) {
+                return Err(DistError::InvalidData(
+                    "exponential fit needs positive percentile values",
+                ));
+            }
+            let xs: Vec<f64> = pts.iter().map(|pt| -(-pt.p).ln_1p()).collect();
+            let ys: Vec<f64> = pts.iter().map(|pt| pt.value).collect();
+            let mean = ols_origin(&xs, &ys);
+            if mean <= 0.0 {
+                return Err(DistError::InvalidData(
+                    "exponential fit produced non-positive mean",
+                ));
+            }
+            Box::new(Exponential::from_mean(mean)?)
+        }
+        Family::Pareto => {
+            if pts.iter().any(|pt| pt.value <= 0.0) {
+                return Err(DistError::InvalidData(
+                    "pareto fit needs positive percentile values",
+                ));
+            }
+            // ln q = ln scale + (1/shape) * (-ln(1 - p)).
+            let xs: Vec<f64> = pts.iter().map(|pt| -(-pt.p).ln_1p()).collect();
+            let ys: Vec<f64> = pts.iter().map(|pt| pt.value.ln()).collect();
+            let (ln_scale, inv_shape) = ols(&xs, &ys);
+            if inv_shape <= 0.0 {
+                return Err(DistError::InvalidData(
+                    "pareto fit produced non-positive shape",
+                ));
+            }
+            Box::new(Pareto::new(ln_scale.exp(), 1.0 / inv_shape)?)
+        }
+        Family::Weibull => {
+            if pts.iter().any(|pt| pt.value <= 0.0) {
+                return Err(DistError::InvalidData(
+                    "weibull fit needs positive percentile values",
+                ));
+            }
+            // ln(-ln(1 - p)) = shape * ln q - shape * ln scale.
+            let xs: Vec<f64> = pts.iter().map(|pt| pt.value.ln()).collect();
+            let ys: Vec<f64> = pts.iter().map(|pt| (-(-pt.p).ln_1p()).ln()).collect();
+            let (intercept, shape) = ols(&xs, &ys);
+            if shape <= 0.0 {
+                return Err(DistError::InvalidData(
+                    "weibull fit produced non-positive shape",
+                ));
+            }
+            Box::new(Weibull::new(shape, (-intercept / shape).exp())?)
+        }
+        Family::Uniform => {
+            let xs: Vec<f64> = pts.iter().map(|pt| pt.p).collect();
+            let ys: Vec<f64> = pts.iter().map(|pt| pt.value).collect();
+            let (a, width) = ols(&xs, &ys);
+            if width <= 0.0 {
+                return Err(DistError::InvalidData(
+                    "uniform fit produced non-positive width",
+                ));
+            }
+            Box::new(Uniform::new(a, a + width)?)
+        }
+    };
+
+    let per_percentile_error: Vec<f64> = pts
+        .iter()
+        .map(|pt| {
+            let q = dist.quantile(pt.p);
+            let denom = pt.value.abs().max(1e-12);
+            (q - pt.value).abs() / denom
+        })
+        .collect();
+    let mean_rel_error = cedar_mathx::kahan::mean(&per_percentile_error);
+    let max_rel_error = per_percentile_error.iter().cloned().fold(0.0, f64::max);
+
+    Ok(FamilyFit {
+        family,
+        dist,
+        mean_rel_error,
+        max_rel_error,
+        per_percentile_error,
+    })
+}
+
+/// Fits every family in `candidates` (default: [`Family::ALL`] when empty)
+/// and returns the results ranked by mean relative quantile error.
+pub fn fit_best(pts: &[Percentile], candidates: &[Family]) -> Result<FitReport, DistError> {
+    validate_percentiles(pts)?;
+    let candidates: &[Family] = if candidates.is_empty() {
+        &Family::ALL
+    } else {
+        candidates
+    };
+    let mut fits: Vec<FamilyFit> = candidates
+        .iter()
+        .filter_map(|&fam| fit_family(fam, pts).ok())
+        .collect();
+    if fits.is_empty() {
+        return Err(DistError::InvalidData("no family produced a valid fit"));
+    }
+    fits.sort_by(|a, b| {
+        a.mean_rel_error
+            .partial_cmp(&b.mean_rel_error)
+            .expect("errors are finite")
+    });
+    Ok(FitReport { fits })
+}
+
+/// Maximum-likelihood log-normal fit from a complete (unbiased) sample.
+///
+/// This is what Proportional-split runs over finished queries: the MLE of
+/// `(mu, sigma)` are the mean and (population) standard deviation of the
+/// log durations.
+pub fn fit_lognormal_mle(samples: &[f64]) -> Result<LogNormal, DistError> {
+    if samples.len() < 2 {
+        return Err(DistError::InvalidData("MLE needs at least two samples"));
+    }
+    if samples.iter().any(|&x| !(x.is_finite() && x > 0.0)) {
+        return Err(DistError::InvalidData(
+            "log-normal MLE needs positive finite samples",
+        ));
+    }
+    let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+    let mu = cedar_mathx::kahan::mean(&logs);
+    let var: f64 = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / logs.len() as f64;
+    let sigma = var.sqrt();
+    if sigma <= 0.0 {
+        return Err(DistError::InvalidData("degenerate sample (zero variance)"));
+    }
+    LogNormal::new(mu, sigma)
+}
+
+/// Maximum-likelihood normal fit from a complete sample.
+pub fn fit_normal_mle(samples: &[f64]) -> Result<Normal, DistError> {
+    if samples.len() < 2 {
+        return Err(DistError::InvalidData("MLE needs at least two samples"));
+    }
+    if samples.iter().any(|&x| !x.is_finite()) {
+        return Err(DistError::InvalidData("normal MLE needs finite samples"));
+    }
+    let mu = cedar_mathx::kahan::mean(samples);
+    let var: f64 = samples.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / samples.len() as f64;
+    let sigma = var.sqrt();
+    if sigma <= 0.0 {
+        return Err(DistError::InvalidData("degenerate sample (zero variance)"));
+    }
+    Normal::new(mu, sigma)
+}
+
+/// Standard percentile levels used throughout the paper's fit-quality
+/// discussion (§4.2.1): median, mean-ish quartiles and the tail.
+pub const STANDARD_LEVELS: [f64; 9] = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995];
+
+/// Extracts [`Percentile`] observations from a distribution at the given
+/// levels; convenient for round-trip tests and for fitting a parametric
+/// model to an empirical trace.
+pub fn percentiles_of(dist: &dyn ContinuousDist, levels: &[f64]) -> Vec<Percentile> {
+    levels
+        .iter()
+        .map(|&p| Percentile::new(p, dist.quantile(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let truth = LogNormal::new(2.77, 0.84).unwrap();
+        let pts = percentiles_of(&truth, &STANDARD_LEVELS);
+        let fit = fit_family(Family::LogNormal, &pts).unwrap();
+        assert!(fit.max_rel_error < 1e-9, "max err {}", fit.max_rel_error);
+    }
+
+    #[test]
+    fn best_fit_identifies_lognormal_trace() {
+        // Percentiles of the Facebook-like log-normal should pick
+        // log-normal over every other family — the paper's §4.2.1 result.
+        let truth = LogNormal::new(2.77, 0.84).unwrap();
+        let pts = percentiles_of(&truth, &STANDARD_LEVELS);
+        let report = fit_best(&pts, &[]).unwrap();
+        assert_eq!(report.best().family, Family::LogNormal);
+        assert!(report.best().mean_rel_error < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_identifies_gaussian() {
+        let truth = Normal::new(40.0, 10.0).unwrap();
+        let pts = percentiles_of(&truth, &STANDARD_LEVELS);
+        let report = fit_best(&pts, &[]).unwrap();
+        assert_eq!(report.best().family, Family::Normal);
+    }
+
+    #[test]
+    fn best_fit_identifies_pareto() {
+        let truth = Pareto::new(3.0, 1.8).unwrap();
+        let pts = percentiles_of(&truth, &STANDARD_LEVELS);
+        let report = fit_best(&pts, &[]).unwrap();
+        assert_eq!(report.best().family, Family::Pareto);
+    }
+
+    #[test]
+    fn best_fit_identifies_weibull_and_exponential() {
+        let truth = Weibull::new(1.7, 3.0).unwrap();
+        let pts = percentiles_of(&truth, &STANDARD_LEVELS);
+        assert_eq!(fit_best(&pts, &[]).unwrap().best().family, Family::Weibull);
+
+        let truth = Exponential::new(0.3).unwrap();
+        let pts = percentiles_of(&truth, &STANDARD_LEVELS);
+        let best = fit_best(&pts, &[]).unwrap();
+        // Exponential is Weibull with shape 1, so either is acceptable as
+        // long as the error is negligible.
+        assert!(best.best().mean_rel_error < 1e-9);
+        assert!(matches!(
+            best.best().family,
+            Family::Exponential | Family::Weibull
+        ));
+    }
+
+    #[test]
+    fn fit_from_noisy_samples_is_close() {
+        let truth = LogNormal::new(5.9, 1.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples = truth.sample_vec(&mut rng, 100_000);
+        let emp = crate::Empirical::from_samples(samples).unwrap();
+        let pts = percentiles_of(&emp, &STANDARD_LEVELS);
+        let fit = fit_family(Family::LogNormal, &pts).unwrap();
+        // The paper reports 1-2% error for Bing; sampled data at n = 1e5
+        // should fit within a few percent everywhere.
+        assert!(fit.max_rel_error < 0.05, "max err {}", fit.max_rel_error);
+    }
+
+    #[test]
+    fn mle_lognormal_recovers_parameters() {
+        let truth = LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let samples = truth.sample_vec(&mut rng, 50_000);
+        let fit = fit_lognormal_mle(&samples).unwrap();
+        assert!((fit.mu() - 2.0).abs() < 0.02);
+        assert!((fit.sigma() - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn mle_normal_recovers_parameters() {
+        let truth = Normal::new(40.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(37);
+        let samples = truth.sample_vec(&mut rng, 50_000);
+        let fit = fit_normal_mle(&samples).unwrap();
+        assert!((fit.mu() - 40.0).abs() < 0.2);
+        assert!((fit.sigma() - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(fit_family(Family::LogNormal, &[]).is_err());
+        assert!(fit_family(
+            Family::LogNormal,
+            &[Percentile::new(0.5, -1.0), Percentile::new(0.9, 2.0)]
+        )
+        .is_err());
+        assert!(fit_family(
+            Family::Normal,
+            &[Percentile::new(0.0, 1.0), Percentile::new(0.9, 2.0)]
+        )
+        .is_err());
+        assert!(fit_lognormal_mle(&[1.0]).is_err());
+        assert!(fit_lognormal_mle(&[1.0, -2.0]).is_err());
+        assert!(fit_normal_mle(&[3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn lognormal_rejected_on_decreasing_percentiles() {
+        // Decreasing quantiles imply negative sigma; must error, not panic.
+        let pts = [Percentile::new(0.1, 10.0), Percentile::new(0.9, 1.0)];
+        assert!(fit_family(Family::LogNormal, &pts).is_err());
+    }
+}

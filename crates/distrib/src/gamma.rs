@@ -1,0 +1,207 @@
+//! The gamma distribution — a further candidate family for duration
+//! fitting (task durations are sums of phase durations, which the gamma
+//! models naturally). CDF via the regularized incomplete gamma function;
+//! quantile by monotone bisection refined with Newton.
+
+use crate::traits::{ContinuousDist, DistError};
+use cedar_mathx::special::{gamma_p, ln_gamma};
+use serde::{Deserialize, Serialize};
+
+/// Gamma distribution with shape `k > 0` and scale `theta > 0`
+/// (mean `k * theta`).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::{ContinuousDist, Gamma};
+///
+/// // Shape 1 degenerates to the exponential.
+/// let d = Gamma::new(1.0, 2.0).unwrap();
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with shape `k > 0`, scale
+    /// `theta > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "gamma shape must be finite and positive",
+            ));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "gamma scale must be finite and positive",
+            ));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Builds a gamma with the given mean and standard deviation (moment
+    /// matching: `shape = (mean/sd)^2`, `scale = sd^2/mean`).
+    pub fn from_mean_stddev(mean: f64, stddev: f64) -> Result<Self, DistError> {
+        if !(mean.is_finite() && mean > 0.0 && stddev.is_finite() && stddev > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "gamma moments must be finite and positive",
+            ));
+        }
+        let shape = (mean / stddev) * (mean / stddev);
+        let scale = stddev * stddev / mean;
+        Self::new(shape, scale)
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `theta`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return match self.shape.partial_cmp(&1.0) {
+                Some(core::cmp::Ordering::Greater) => 0.0,
+                Some(core::cmp::Ordering::Equal) => 1.0 / self.scale,
+                _ => f64::INFINITY,
+            };
+        }
+        let z = x / self.scale;
+        ((self.shape - 1.0) * z.ln() - z - ln_gamma(self.shape)).exp() / self.scale
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        // Bracket: Chebyshev-style bound then doubling; bisect + Newton
+        // refinement on the smooth CDF.
+        let mut hi = self.mean() + 10.0 * self.stddev();
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e300 {
+                return f64::INFINITY;
+            }
+        }
+        let mut x = cedar_mathx::roots::bisect(|t| self.cdf(t) - p, 0.0, hi, 1e-12 * hi)
+            .unwrap_or(0.5 * hi);
+        // Two Newton polish steps.
+        for _ in 0..2 {
+            let f = self.cdf(x) - p;
+            let d = self.pdf(x);
+            if d > 1e-300 {
+                x -= f / d;
+                x = x.max(0.0);
+            }
+        }
+        x
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::from_mean_stddev(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let g = Gamma::new(1.0, 3.0).unwrap();
+        let e = crate::Exponential::from_mean(3.0).unwrap();
+        for &x in &[0.1, 1.0, 5.0, 20.0] {
+            assert!((g.cdf(x) - e.cdf(x)).abs() < 1e-12, "at {x}");
+        }
+    }
+
+    #[test]
+    fn erlang_two_closed_form() {
+        // Gamma(2, theta): CDF = 1 - (1 + x/theta) exp(-x/theta).
+        let g = Gamma::new(2.0, 2.0).unwrap();
+        for &x in &[0.5f64, 2.0, 8.0] {
+            let z: f64 = x / 2.0;
+            let want = 1.0 - (1.0 + z) * (-z).exp();
+            assert!((g.cdf(x) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let g = Gamma::new(3.7, 1.4).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let q = g.quantile(p);
+            assert!((g.cdf(q) - p).abs() < 1e-8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn moment_matching_round_trips() {
+        let g = Gamma::from_mean_stddev(12.0, 4.0).unwrap();
+        assert!((g.mean() - 12.0).abs() < 1e-12);
+        assert!((g.stddev() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let g = Gamma::new(2.5, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs = g.sample_vec(&mut rng, 100_000);
+        assert!((cedar_mathx::kahan::mean(&xs) / g.mean() - 1.0).abs() < 0.02);
+        assert!((cedar_mathx::kahan::sample_stddev(&xs) / g.stddev() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn pdf_at_zero_depends_on_shape() {
+        assert_eq!(Gamma::new(2.0, 1.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(Gamma::new(1.0, 2.0).unwrap().pdf(0.0), 0.5);
+        assert_eq!(Gamma::new(0.5, 1.0).unwrap().pdf(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ks_test_accepts_own_samples() {
+        let g = Gamma::new(2.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let xs = g.sample_vec(&mut rng, 2000);
+        let d = cedar_mathx::ks::ks_statistic(&xs, |x| g.cdf(x));
+        assert!(cedar_mathx::ks::ks_pvalue(d, xs.len()) > 0.01, "D = {d}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Distribution library for the Cedar reproduction.
+//!
+//! Cedar models stage durations (process and aggregator completion times)
+//! as parametric distributions. The paper's traces all fit log-normals
+//! (§4.2.1), but the algorithm is distribution-agnostic, and the evaluation
+//! also uses Gaussians (Fig. 17). This crate provides:
+//!
+//! - [`ContinuousDist`] — the object-safe trait every family implements:
+//!   pdf/cdf/quantile/sampling and moments;
+//! - the families used anywhere in the paper or its workloads:
+//!   [`LogNormal`], [`Normal`], [`Exponential`], [`Pareto`] (heavy-tail
+//!   comparison, §4.2.1), [`Weibull`], [`Uniform`];
+//! - [`Empirical`] — interpolated ECDF over trace samples, for replaying
+//!   real task-duration logs;
+//! - [`Mixture`] — finite mixtures, used for failure-injection workloads;
+//! - [`transform`] — affine wrappers (unit scaling such as the paper's
+//!   "Facebook map distribution expressed in ms");
+//! - [`fit`] — distribution-type and parameter fitting from percentiles or
+//!   raw samples (the substitute for the `rriskDistributions` R package the
+//!   authors used offline);
+//! - [`spec`] — a serializable [`spec::DistSpec`] describing any supported
+//!   distribution, for experiment configs and trace files.
+//!
+//! All sampling is inverse-transform based, so a seeded RNG yields fully
+//! deterministic streams — a property the simulator's regression tests rely
+//! on.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod empirical;
+mod exponential;
+pub mod fit;
+mod gamma;
+mod lognormal;
+mod mixture;
+mod normal;
+mod pareto;
+pub mod spec;
+mod traits;
+pub mod transform;
+mod uniform;
+mod weibull;
+
+pub use empirical::Empirical;
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use lognormal::LogNormal;
+pub use mixture::Mixture;
+pub use normal::Normal;
+pub use pareto::Pareto;
+pub use traits::{ContinuousDist, DistError};
+pub use transform::{Rectified, Scaled, Shifted};
+pub use uniform::Uniform;
+pub use weibull::Weibull;

@@ -1,0 +1,144 @@
+//! The normal (Gaussian) distribution, used by the paper's
+//! distribution-robustness experiment (Fig. 17: mean 40 ms, bottom-stage
+//! sigma 80 ms, top-stage sigma 10 ms).
+//!
+//! Stage durations are non-negative; when a Gaussian with substantial mass
+//! below zero models a duration, the simulator clamps samples at zero (the
+//! paper's setup does the same implicitly). The distribution itself is the
+//! textbook Gaussian — clamping is the simulator's business, not the
+//! family's.
+
+use crate::traits::{ContinuousDist, DistError};
+use cedar_mathx::special::{norm_cdf, norm_pdf, norm_quantile};
+use serde::{Deserialize, Serialize};
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::{ContinuousDist, Normal};
+///
+/// let d = Normal::new(40.0, 10.0).unwrap();
+/// assert!((d.cdf(40.0) - 0.5).abs() < 1e-12);
+/// assert!((d.quantile(0.975) - (40.0 + 1.959963984540054 * 10.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `sigma` must be positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() {
+            return Err(DistError::InvalidParameter("normal mu must be finite"));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "normal sigma must be finite and positive",
+            ));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard-deviation parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        norm_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * norm_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn stddev(&self) -> f64 {
+        self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn standard_normal_properties() {
+        let d = Normal::standard();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.variance(), 1.0);
+        assert!((d.pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = Normal::new(40.0, 80.0).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let d = Normal::new(10.0, 3.0).unwrap();
+        for &dx in &[1.0, 2.5, 7.0] {
+            assert!((d.cdf(10.0 - dx) + d.cdf(10.0 + dx) - 1.0).abs() < 1e-12);
+            assert!((d.pdf(10.0 - dx) - d.pdf(10.0 + dx)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let d = Normal::new(40.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = d.sample_vec(&mut rng, 100_000);
+        assert!((cedar_mathx::kahan::mean(&xs) - 40.0).abs() < 0.15);
+        assert!((cedar_mathx::kahan::sample_stddev(&xs) - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(d.quantile(1.0), f64::INFINITY);
+    }
+}

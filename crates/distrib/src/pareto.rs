@@ -1,0 +1,157 @@
+//! The Pareto distribution. The paper notes (§4.2.1) that the extreme tail
+//! of process durations (beyond ~p99.5) is "generally better modeled by
+//! distributions like Pareto"; the workload library uses this family to
+//! build tail-faithful mixtures for robustness experiments.
+
+use crate::traits::{ContinuousDist, DistError};
+use serde::{Deserialize, Serialize};
+
+/// Pareto (type I) distribution with scale `x_m > 0` and shape `alpha > 0`.
+///
+/// Support is `[x_m, inf)`. The mean is infinite for `alpha <= 1` and the
+/// variance infinite for `alpha <= 2` — callers that feed Pareto stages
+/// into mean-based baselines (e.g. Proportional-split) must handle that.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::{ContinuousDist, Pareto};
+///
+/// let d = Pareto::new(1.0, 2.5).unwrap();
+/// assert_eq!(d.cdf(0.5), 0.0);             // below the scale
+/// assert!((d.mean() - 2.5 / 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto with scale (minimum) `x_m > 0` and shape
+    /// `alpha > 0`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, DistError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "pareto scale must be finite and positive",
+            ));
+        }
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "pareto shape must be finite and positive",
+            ));
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// Scale (minimum value) parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape (tail index) parameter.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl ContinuousDist for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            self.shape * self.scale.powf(self.shape) / x.powf(self.shape + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return self.scale;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        self.scale * (1.0 - p).powf(-1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.shape <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.shape;
+            self.scale * self.scale * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = Pareto::new(0.33, 1.8).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_moments() {
+        assert_eq!(Pareto::new(1.0, 0.9).unwrap().mean(), f64::INFINITY);
+        assert_eq!(Pareto::new(1.0, 1.5).unwrap().variance(), f64::INFINITY);
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        assert!((d.variance() - (4.0 * 3.0 / (4.0 * 1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_is_polynomial() {
+        // Survival at 10x the scale is exactly 10^-alpha.
+        let d = Pareto::new(1.0, 2.0).unwrap();
+        assert!((1.0 - d.cdf(10.0) - 1e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_mean_when_finite() {
+        let d = Pareto::new(1.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = d.sample_vec(&mut rng, 200_000);
+        assert!((cedar_mathx::kahan::mean(&xs) / d.mean() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn support_edges() {
+        let d = Pareto::new(5.0, 1.0).unwrap();
+        assert_eq!(d.pdf(4.9), 0.0);
+        assert_eq!(d.cdf(5.0), 0.0);
+        assert_eq!(d.quantile(0.0), 5.0);
+        assert_eq!(d.quantile(1.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,205 @@
+//! Serializable distribution specifications.
+//!
+//! Experiment configurations and trace files describe stage-duration
+//! distributions as data. [`DistSpec`] is the serde-friendly description;
+//! [`DistSpec::build`] turns it into a live [`ContinuousDist`].
+
+use crate::{
+    ContinuousDist, DistError, Exponential, LogNormal, Mixture, Normal, Pareto, Scaled, Shifted,
+    Uniform, Weibull,
+};
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of any distribution this crate supports.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::spec::DistSpec;
+/// use cedar_distrib::ContinuousDist;
+///
+/// let json = r#"{ "family": "log_normal", "mu": 2.77, "sigma": 0.84 }"#;
+/// let spec: DistSpec = serde_json::from_str(json).unwrap();
+/// let dist = spec.build().unwrap();
+/// assert!((dist.quantile(0.5) - 2.77f64.exp()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "family", rename_all = "snake_case")]
+pub enum DistSpec {
+    /// Log-normal with underlying-normal parameters.
+    LogNormal {
+        /// Location of the underlying normal.
+        mu: f64,
+        /// Scale of the underlying normal.
+        sigma: f64,
+    },
+    /// Normal (Gaussian).
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Exponential with rate `lambda`.
+    Exponential {
+        /// Rate parameter.
+        lambda: f64,
+    },
+    /// Gamma with shape `k` and scale `theta`.
+    Gamma {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Pareto type I.
+    Pareto {
+        /// Scale (minimum value).
+        scale: f64,
+        /// Shape (tail index).
+        shape: f64,
+    },
+    /// Weibull.
+    Weibull {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Continuous uniform on `[a, b]`.
+    Uniform {
+        /// Lower bound.
+        a: f64,
+        /// Upper bound.
+        b: f64,
+    },
+    /// A scaled inner distribution: `Y = factor * X`.
+    Scaled {
+        /// Multiplicative factor.
+        factor: f64,
+        /// The distribution being scaled.
+        inner: Box<DistSpec>,
+    },
+    /// A shifted inner distribution: `Y = X + offset`.
+    Shifted {
+        /// Additive offset.
+        offset: f64,
+        /// The distribution being shifted.
+        inner: Box<DistSpec>,
+    },
+    /// A finite mixture with positive weights (normalized on build).
+    Mixture {
+        /// `(weight, component)` pairs.
+        components: Vec<(f64, DistSpec)>,
+    },
+}
+
+impl DistSpec {
+    /// Instantiates the described distribution.
+    pub fn build(&self) -> Result<Box<dyn ContinuousDist>, DistError> {
+        Ok(match self {
+            DistSpec::LogNormal { mu, sigma } => Box::new(LogNormal::new(*mu, *sigma)?),
+            DistSpec::Normal { mu, sigma } => Box::new(Normal::new(*mu, *sigma)?),
+            DistSpec::Exponential { lambda } => Box::new(Exponential::new(*lambda)?),
+            DistSpec::Gamma { shape, scale } => Box::new(crate::Gamma::new(*shape, *scale)?),
+            DistSpec::Pareto { scale, shape } => Box::new(Pareto::new(*scale, *shape)?),
+            DistSpec::Weibull { shape, scale } => Box::new(Weibull::new(*shape, *scale)?),
+            DistSpec::Uniform { a, b } => Box::new(Uniform::new(*a, *b)?),
+            DistSpec::Scaled { factor, inner } => Box::new(Scaled::new(inner.build()?, *factor)?),
+            DistSpec::Shifted { offset, inner } => Box::new(Shifted::new(inner.build()?, *offset)?),
+            DistSpec::Mixture { components } => {
+                #[allow(clippy::type_complexity)]
+                let built: Result<Vec<(f64, Box<dyn ContinuousDist>)>, DistError> = components
+                    .iter()
+                    .map(|(w, c)| Ok((*w, c.build()?)))
+                    .collect();
+                Box::new(Mixture::new(built?)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_simple() {
+        let spec = DistSpec::LogNormal {
+            mu: 2.77,
+            sigma: 0.84,
+        };
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: DistSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn json_round_trip_nested() {
+        let spec = DistSpec::Mixture {
+            components: vec![
+                (
+                    0.9,
+                    DistSpec::LogNormal {
+                        mu: 2.77,
+                        sigma: 0.84,
+                    },
+                ),
+                (
+                    0.1,
+                    DistSpec::Scaled {
+                        factor: 0.001,
+                        inner: Box::new(DistSpec::Pareto {
+                            scale: 60.0,
+                            shape: 1.5,
+                        }),
+                    },
+                ),
+            ],
+        };
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: DistSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+        back.build().unwrap();
+    }
+
+    #[test]
+    fn build_matches_direct_construction() {
+        let spec = DistSpec::Normal {
+            mu: 40.0,
+            sigma: 10.0,
+        };
+        let built = spec.build().unwrap();
+        let direct = Normal::new(40.0, 10.0).unwrap();
+        for &x in &[20.0, 40.0, 55.0] {
+            assert!((built.cdf(x) - direct.cdf(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn build_propagates_parameter_errors() {
+        assert!(DistSpec::LogNormal {
+            mu: 0.0,
+            sigma: -1.0
+        }
+        .build()
+        .is_err());
+        assert!(DistSpec::Uniform { a: 2.0, b: 1.0 }.build().is_err());
+        assert!(DistSpec::Mixture { components: vec![] }.build().is_err());
+    }
+
+    #[test]
+    fn shifted_and_scaled_compose() {
+        let spec = DistSpec::Shifted {
+            offset: 5.0,
+            inner: Box::new(DistSpec::Scaled {
+                factor: 2.0,
+                inner: Box::new(DistSpec::Exponential { lambda: 1.0 }),
+            }),
+        };
+        let d = spec.build().unwrap();
+        // mean = 5 + 2 * 1 = 7.
+        assert!((d.mean() - 7.0).abs() < 1e-12);
+        assert_eq!(d.cdf(5.0), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The continuous uniform distribution — a candidate in distribution-type
+//! fitting and the base case for inverse-transform sampling tests.
+
+use crate::traits::{ContinuousDist, DistError};
+use serde::{Deserialize, Serialize};
+
+/// Uniform distribution on `[a, b]`.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::{ContinuousDist, Uniform};
+///
+/// let d = Uniform::new(2.0, 6.0).unwrap();
+/// assert!((d.mean() - 4.0).abs() < 1e-12);
+/// assert!((d.cdf(3.0) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[a, b]` with `a < b`.
+    pub fn new(a: f64, b: f64) -> Result<Self, DistError> {
+        if !(a.is_finite() && b.is_finite() && a < b) {
+            return Err(DistError::InvalidParameter(
+                "uniform bounds must be finite with a < b",
+            ));
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Lower bound.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.a || x > self.b {
+            0.0
+        } else {
+            1.0 / (self.b - self.a)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.a {
+            0.0
+        } else if x >= self.b {
+            1.0
+        } else {
+            (x - self.a) / (self.b - self.a)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return self.a;
+        }
+        if p >= 1.0 {
+            return self.b;
+        }
+        self.a + p * (self.b - self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = Uniform::new(-3.0, 7.0).unwrap();
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let d = Uniform::new(0.0, 12.0).unwrap();
+        assert_eq!(d.mean(), 6.0);
+        assert_eq!(d.variance(), 12.0);
+    }
+
+    #[test]
+    fn pdf_support() {
+        let d = Uniform::new(0.0, 2.0).unwrap();
+        assert_eq!(d.pdf(-0.1), 0.0);
+        assert_eq!(d.pdf(1.0), 0.5);
+        assert_eq!(d.pdf(2.1), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The Weibull distribution, one of the candidate families in the offline
+//! distribution-type fitting step (§4.2.1 fits "percentile values ... to
+//! find the best fit of distribution type" across several families).
+
+use crate::traits::{ContinuousDist, DistError};
+use cedar_mathx::special::ln_gamma;
+use serde::{Deserialize, Serialize};
+
+/// Weibull distribution with shape `k > 0` and scale `lambda > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_distrib::{ContinuousDist, Weibull};
+///
+/// // Shape 1 degenerates to the exponential with mean = scale.
+/// let d = Weibull::new(1.0, 2.0).unwrap();
+/// assert!((d.mean() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull with shape `k > 0` and scale `lambda > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "weibull shape must be finite and positive",
+            ));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "weibull scale must be finite and positive",
+            ));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `lambda`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // pdf(0) is 0 for k > 1, lambda^-1 for k = 1, +inf for k < 1.
+            return match self.shape.partial_cmp(&1.0) {
+                Some(core::cmp::Ordering::Greater) => 0.0,
+                Some(core::cmp::Ordering::Equal) => 1.0 / self.scale,
+                _ => f64::INFINITY,
+            };
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = crate::Exponential::from_mean(2.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = Weibull::new(1.7, 3.2).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rayleigh_moments() {
+        // Shape 2, scale s: mean = s*sqrt(pi)/2.
+        let d = Weibull::new(2.0, 3.0).unwrap();
+        let want = 3.0 * core::f64::consts::PI.sqrt() / 2.0;
+        assert!((d.mean() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let d = Weibull::new(1.5, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = d.sample_vec(&mut rng, 100_000);
+        assert!((cedar_mathx::kahan::mean(&xs) / d.mean() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pdf_at_zero_depends_on_shape() {
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(Weibull::new(1.0, 2.0).unwrap().pdf(0.0), 0.5);
+        assert_eq!(Weibull::new(0.5, 1.0).unwrap().pdf(0.0), f64::INFINITY);
+    }
+}

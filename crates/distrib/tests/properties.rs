@@ -1,0 +1,117 @@
+//! Property-based tests over the distribution library: every family must
+//! satisfy the `ContinuousDist` contract for any valid parameters.
+
+use cedar_distrib::{
+    ContinuousDist, Exponential, Gamma, LogNormal, Normal, Pareto, Rectified, Scaled, Shifted,
+    Uniform, Weibull,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks the core contract at a probe point and probability.
+fn check_contract(d: &dyn ContinuousDist, x: f64, p: f64) -> Result<(), TestCaseError> {
+    let c = d.cdf(x);
+    prop_assert!((0.0..=1.0).contains(&c), "cdf({x}) = {c}");
+    prop_assert!(d.pdf(x) >= 0.0);
+    // Quantile-CDF consistency where the quantile is finite.
+    let q = d.quantile(p);
+    if q.is_finite() {
+        prop_assert!(
+            (d.cdf(q) - p).abs() < 1e-6 || d.pdf(q) == f64::INFINITY || d.pdf(q) == 0.0,
+            "cdf(quantile({p})) = {} for q = {q}",
+            d.cdf(q)
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn lognormal_contract(mu in -4.0..6.0f64, sigma in 0.05..3.0f64, x in -5.0..500.0f64, p in 0.001..0.999f64) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        check_contract(&d, x, p)?;
+        prop_assert!(d.mean() > 0.0);
+    }
+
+    #[test]
+    fn normal_contract(mu in -50.0..50.0f64, sigma in 0.1..30.0f64, x in -200.0..200.0f64, p in 0.001..0.999f64) {
+        let d = Normal::new(mu, sigma).unwrap();
+        check_contract(&d, x, p)?;
+    }
+
+    #[test]
+    fn exponential_contract(lambda in 0.01..20.0f64, x in -1.0..100.0f64, p in 0.001..0.999f64) {
+        let d = Exponential::new(lambda).unwrap();
+        check_contract(&d, x, p)?;
+    }
+
+    #[test]
+    fn gamma_contract(shape in 0.2..15.0f64, scale in 0.1..10.0f64, x in -1.0..200.0f64, p in 0.01..0.99f64) {
+        let d = Gamma::new(shape, scale).unwrap();
+        check_contract(&d, x, p)?;
+        prop_assert!((d.mean() - shape * scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_contract(scale in 0.1..10.0f64, shape in 0.3..8.0f64, x in 0.0..100.0f64, p in 0.001..0.999f64) {
+        let d = Pareto::new(scale, shape).unwrap();
+        check_contract(&d, x, p)?;
+    }
+
+    #[test]
+    fn weibull_contract(shape in 0.3..6.0f64, scale in 0.1..20.0f64, x in -1.0..100.0f64, p in 0.001..0.999f64) {
+        let d = Weibull::new(shape, scale).unwrap();
+        check_contract(&d, x, p)?;
+    }
+
+    #[test]
+    fn uniform_contract(a in -20.0..20.0f64, w in 0.1..40.0f64, x in -30.0..70.0f64, p in 0.0..1.0f64) {
+        let d = Uniform::new(a, a + w).unwrap();
+        check_contract(&d, x, p)?;
+    }
+
+    #[test]
+    fn transforms_preserve_contract(mu in -1.0..3.0f64, sigma in 0.2..1.5f64, factor in 0.01..100.0f64, offset in -5.0..5.0f64, p in 0.01..0.99f64) {
+        let base = LogNormal::new(mu, sigma).unwrap();
+        let scaled = Scaled::new(base, factor).unwrap();
+        check_contract(&scaled, scaled.quantile(0.7), p)?;
+        let base = LogNormal::new(mu, sigma).unwrap();
+        let shifted = Shifted::new(base, offset).unwrap();
+        check_contract(&shifted, shifted.quantile(0.7), p)?;
+    }
+
+    #[test]
+    fn rectified_is_nonnegative(mu in -50.0..50.0f64, sigma in 1.0..100.0f64, p in 0.001..0.999f64, seed in 0u64..1000) {
+        let d = Rectified::new(Normal::new(mu, sigma).unwrap());
+        prop_assert!(d.quantile(p) >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for x in d.sample_vec(&mut rng, 50) {
+            prop_assert!(x >= 0.0);
+        }
+        prop_assert!(d.mean() >= 0.0);
+    }
+
+    #[test]
+    fn sample_respects_support(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pareto = Pareto::new(2.0, 1.5).unwrap();
+        for x in pareto.sample_vec(&mut rng, 20) {
+            prop_assert!(x >= 2.0);
+        }
+        let uni = Uniform::new(3.0, 7.0).unwrap();
+        for x in uni.sample_vec(&mut rng, 20) {
+            prop_assert!((3.0..=7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sampling_deterministic_across_families(seed in 0u64..500) {
+        let d = Gamma::new(2.0, 1.0).unwrap();
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(d.sample_vec(&mut r1, 8), d.sample_vec(&mut r2, 8));
+    }
+}

@@ -1,0 +1,308 @@
+//! Exact maximum-likelihood estimation from Type-II right-censored
+//! samples — the estimator the paper declines to run online
+//! ("it is computationally expensive to maximize the above likelihood
+//! expression in an online setting", §4.2.2) — provided here as an
+//! extension so the approximation's cost/accuracy trade-off can be
+//! measured instead of assumed.
+//!
+//! Observing the `r` smallest of `k` i.i.d. normal (or log-normal, after
+//! taking logs) durations, the log-likelihood is
+//!
+//! ```text
+//! LL(mu, sigma) = sum_i ln phi(z_i) - r ln sigma
+//!               + (k - r) ln(1 - Phi(z_r)),      z_i = (y_i - mu)/sigma
+//! ```
+//!
+//! (each observed point contributes its density; the `k - r` unseen
+//! points are known only to exceed the largest observation). The solver
+//! runs a damped Newton iteration in `(mu, ln sigma)` with the analytic
+//! gradient and a finite-difference Hessian, warm-started from the
+//! order-statistics regression estimate.
+
+use crate::{CedarEstimator, DurationEstimator, Model, ParamEstimate};
+use cedar_mathx::special::{norm_pdf, norm_sf};
+
+/// Exact censored-sample MLE estimator.
+///
+/// `estimate()` costs `O(r)` per Newton iteration (typically 4–8
+/// iterations), versus `O(1)` for [`CedarEstimator`]'s incremental
+/// regression — the trade the paper alludes to. Accuracy approaches the
+/// Cramér–Rao bound for censored samples; the benchmark suite compares
+/// both.
+#[derive(Debug, Clone)]
+pub struct CensoredMleEstimator {
+    k: usize,
+    model: Model,
+    /// Transformed (log-domain for log-normal) observations in arrival
+    /// order; non-positive raw durations are recorded as left-censored
+    /// placeholders and excluded from the likelihood.
+    ys: Vec<f64>,
+    /// Warm-start provider.
+    warm: CedarEstimator,
+}
+
+impl CensoredMleEstimator {
+    /// Creates an estimator for fan-out `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize, model: Model) -> Self {
+        Self {
+            k,
+            model,
+            ys: Vec::new(),
+            warm: CedarEstimator::new(k, model),
+        }
+    }
+
+    fn transform(&self, t: f64) -> Option<f64> {
+        if t <= 0.0 && self.model == Model::LogNormal {
+            return None;
+        }
+        Some(match self.model {
+            Model::LogNormal => t.ln(),
+            Model::Normal => t,
+        })
+    }
+
+    /// Negative log-likelihood gradient at `(mu, ln_sigma)`, scaled by
+    /// `sigma` (the common factor does not move the root).
+    fn gradient(&self, mu: f64, ln_sigma: f64) -> (f64, f64) {
+        let sigma = ln_sigma.exp();
+        let r = self.ys.len();
+        let censored = (self.k - r) as f64;
+        let mut g_mu = 0.0;
+        let mut g_ls = 0.0;
+        for &y in &self.ys {
+            let z = (y - mu) / sigma;
+            g_mu += z;
+            g_ls += z * z - 1.0;
+        }
+        // Hazard term from the censored tail at the largest observation.
+        let y_r = *self.ys.last().expect("non-empty by caller contract");
+        let z_r = (y_r - mu) / sigma;
+        let sf = norm_sf(z_r).max(1e-300);
+        let hazard = norm_pdf(z_r) / sf;
+        g_mu += censored * hazard;
+        g_ls += censored * z_r * hazard;
+        // Gradient of LL w.r.t. (mu, ln sigma) equals (g_mu, g_ls) up to
+        // the positive factor 1/sigma (for mu) and 1 (for ln sigma after
+        // the chain rule), so the root is unchanged.
+        (g_mu, g_ls)
+    }
+
+    /// Runs the damped Newton solve. Returns `None` when the data cannot
+    /// identify two parameters.
+    fn solve(&self) -> Option<(f64, f64)> {
+        if self.ys.len() < 2 {
+            return None;
+        }
+        // Warm start from the regression estimate (or crude moments).
+        let start = self.warm.estimate();
+        let (mut mu, mut ln_sigma) = match start {
+            Some(p) if p.sigma > 1e-8 => (p.mu, p.sigma.ln()),
+            _ => {
+                let mean = cedar_mathx::kahan::mean(&self.ys);
+                let sd = cedar_mathx::kahan::sample_stddev(&self.ys).max(1e-3);
+                (mean, sd.ln())
+            }
+        };
+
+        const H: f64 = 1e-5;
+        for _ in 0..60 {
+            let (g1, g2) = self.gradient(mu, ln_sigma);
+            if g1.abs() < 1e-10 && g2.abs() < 1e-10 {
+                break;
+            }
+            // Finite-difference Jacobian of the gradient.
+            let (a1, a2) = self.gradient(mu + H, ln_sigma);
+            let (b1, b2) = self.gradient(mu, ln_sigma + H);
+            let j11 = (a1 - g1) / H;
+            let j21 = (a2 - g2) / H;
+            let j12 = (b1 - g1) / H;
+            let j22 = (b2 - g2) / H;
+            let det = j11 * j22 - j12 * j21;
+            let (mut dmu, mut dls) = if det.abs() > 1e-12 {
+                (-(g1 * j22 - g2 * j12) / det, -(j11 * g2 - j21 * g1) / det)
+            } else {
+                // Singular curvature: fall back to a small ascent step.
+                (0.05 * g1.signum(), 0.05 * g2.signum())
+            };
+            // Damping: cap the step to keep the iteration stable.
+            let norm = dmu.hypot(dls);
+            if norm > 2.0 {
+                dmu *= 2.0 / norm;
+                dls *= 2.0 / norm;
+            }
+            mu += dmu;
+            ln_sigma += dls;
+            ln_sigma = ln_sigma.clamp(-20.0, 20.0);
+            if dmu.abs() < 1e-11 && dls.abs() < 1e-11 {
+                break;
+            }
+        }
+        let sigma = ln_sigma.exp();
+        if !(mu.is_finite() && sigma.is_finite() && sigma > 0.0) {
+            return None;
+        }
+        Some((mu, sigma))
+    }
+}
+
+impl DurationEstimator for CensoredMleEstimator {
+    fn observe(&mut self, duration: f64) {
+        if !duration.is_finite() || self.ys.len() >= self.k {
+            return;
+        }
+        self.warm.observe(duration);
+        if let Some(y) = self.transform(duration) {
+            self.ys.push(y);
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.warm.count()
+    }
+
+    fn estimate(&self) -> Option<ParamEstimate> {
+        let (mu, sigma) = self.solve()?;
+        Some(ParamEstimate {
+            model: self.model,
+            mu,
+            sigma: sigma.max(1e-9),
+        })
+    }
+
+    fn reset(&mut self) {
+        self.ys.clear();
+        self.warm.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_distrib::{ContinuousDist, LogNormal, Normal};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn earliest(parent: &dyn ContinuousDist, k: usize, r: usize, rng: &mut StdRng) -> Vec<f64> {
+        let mut xs = parent.sample_vec(rng, k);
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.truncate(r);
+        xs
+    }
+
+    #[test]
+    fn matches_uncensored_mle_when_complete() {
+        // With r = k the censored term vanishes; the solution is the
+        // plain normal MLE of the logs.
+        let parent = LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = earliest(&parent, 200, 200, &mut rng);
+        let mut est = CensoredMleEstimator::new(200, Model::LogNormal);
+        for &x in &xs {
+            est.observe(x);
+        }
+        let p = est.estimate().unwrap();
+        let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let mu_mle = cedar_mathx::kahan::mean(&logs);
+        let var: f64 = logs
+            .iter()
+            .map(|l| (l - mu_mle) * (l - mu_mle))
+            .sum::<f64>()
+            / logs.len() as f64;
+        assert!((p.mu - mu_mle).abs() < 1e-6, "mu {} vs {}", p.mu, mu_mle);
+        assert!((p.sigma - var.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn censored_estimates_are_nearly_unbiased() {
+        let parent = LogNormal::new(2.77, 0.84).unwrap();
+        let (k, r, trials) = (50, 15, 200);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bias = 0.0;
+        for _ in 0..trials {
+            let xs = earliest(&parent, k, r, &mut rng);
+            let mut est = CensoredMleEstimator::new(k, Model::LogNormal);
+            for &x in &xs {
+                est.observe(x);
+            }
+            bias += est.estimate().unwrap().mu - 2.77;
+        }
+        bias /= trials as f64;
+        assert!(bias.abs() < 0.08, "bias {bias}");
+    }
+
+    #[test]
+    fn at_least_as_accurate_as_regression() {
+        // Per-query absolute error of the exact MLE must not exceed the
+        // regression estimator's by any meaningful margin (it should in
+        // fact be lower).
+        let parent = LogNormal::new(2.77, 0.84).unwrap();
+        let (k, r, trials) = (50, 10, 150);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut err_mle = 0.0;
+        let mut err_reg = 0.0;
+        for _ in 0..trials {
+            let xs = earliest(&parent, k, r, &mut rng);
+            let mut mle = CensoredMleEstimator::new(k, Model::LogNormal);
+            let mut reg = CedarEstimator::new(k, Model::LogNormal);
+            for &x in &xs {
+                mle.observe(x);
+                reg.observe(x);
+            }
+            err_mle += (mle.estimate().unwrap().mu - 2.77).abs();
+            err_reg += (reg.estimate().unwrap().mu - 2.77).abs();
+        }
+        assert!(
+            err_mle <= err_reg * 1.05,
+            "MLE {err_mle} vs regression {err_reg}"
+        );
+    }
+
+    #[test]
+    fn normal_model_works() {
+        let parent = Normal::new(40.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = earliest(&parent, 50, 20, &mut rng);
+        let mut est = CensoredMleEstimator::new(50, Model::Normal);
+        for &x in &xs {
+            est.observe(x);
+        }
+        let p = est.estimate().unwrap();
+        assert!((p.mu - 40.0).abs() < 6.0, "mu {}", p.mu);
+        assert!(p.sigma > 3.0 && p.sigma < 25.0, "sigma {}", p.sigma);
+    }
+
+    #[test]
+    fn needs_two_usable_observations() {
+        let mut est = CensoredMleEstimator::new(10, Model::LogNormal);
+        assert!(est.estimate().is_none());
+        est.observe(1.0);
+        assert!(est.estimate().is_none());
+        est.observe(2.0);
+        assert!(est.estimate().is_some());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut est = CensoredMleEstimator::new(10, Model::LogNormal);
+        est.observe(1.0);
+        est.observe(2.0);
+        est.reset();
+        assert_eq!(est.count(), 0);
+        assert!(est.estimate().is_none());
+    }
+
+    #[test]
+    fn zero_durations_are_left_censored_for_lognormal() {
+        let mut est = CensoredMleEstimator::new(10, Model::LogNormal);
+        est.observe(0.0);
+        est.observe(1.0);
+        est.observe(2.0);
+        // The zero must not poison the likelihood with ln(0).
+        let p = est.estimate().unwrap();
+        assert!(p.mu.is_finite());
+    }
+}

@@ -1,0 +1,8 @@
+//! Prints the `ablation_epsilon` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::ablation_epsilon::run(&opts).render()
+    );
+}

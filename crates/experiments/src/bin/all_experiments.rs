@@ -1,0 +1,40 @@
+//! Runs every experiment in sequence and prints all tables — the full
+//! paper-reproduction sweep. Options: `--trials N --seed N --quick`.
+use cedar_experiments::experiments as ex;
+use cedar_experiments::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    #[allow(clippy::type_complexity)]
+    let runs: Vec<(&str, fn(&Opts) -> cedar_experiments::Table)> = vec![
+        ("fig04", ex::fig04_bing_cdf::run),
+        ("fit_quality", ex::fit_quality::run),
+        ("fig06", ex::fig06_potential_gains::run),
+        ("fig07b", ex::fig07b_simulation::run),
+        ("fig08", ex::fig08_improvement_cdf::run),
+        ("fig09", ex::fig09_estimation_error::run),
+        ("fig12", ex::fig12_fanout::run),
+        ("fig13", ex::fig13_multilevel::run),
+        ("fig14", ex::fig14_interactive::run),
+        ("fig15", ex::fig15_cosmos::run),
+        ("fig16", ex::fig16_sigma_sweep::run),
+        ("fig17", ex::fig17_gaussian::run),
+        ("trace_replay", ex::trace_replay::run),
+        ("dual", ex::dual_response_time::run),
+        ("ablation_estimator", ex::ablation_estimator::run),
+        ("ablation_cadence", ex::ablation_cadence::run),
+        ("ablation_epsilon", ex::ablation_epsilon::run),
+        ("speculation", ex::speculation_interplay::run),
+        ("weighted", ex::weighted_quality::run),
+        ("fig07a", ex::fig07a_deployment::run),
+        ("fig10", ex::fig10_empirical_ablation::run),
+        ("fig11", ex::fig11_load_shift::run),
+    ];
+    for (name, f) in runs {
+        eprintln!(">>> running {name} ...");
+        let start = std::time::Instant::now();
+        let table = f(&opts);
+        eprintln!(">>> {name} done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", table.render());
+    }
+}

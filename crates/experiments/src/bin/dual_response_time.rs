@@ -1,0 +1,8 @@
+//! Prints the `dual_response_time` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::dual_response_time::run(&opts).render()
+    );
+}

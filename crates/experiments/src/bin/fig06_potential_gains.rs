@@ -1,0 +1,8 @@
+//! Prints the `fig06_potential_gains` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig06_potential_gains::run(&opts).render()
+    );
+}

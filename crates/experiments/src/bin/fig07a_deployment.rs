@@ -1,0 +1,8 @@
+//! Prints the `fig07a_deployment` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig07a_deployment::run(&opts).render()
+    );
+}

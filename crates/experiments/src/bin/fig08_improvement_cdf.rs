@@ -1,0 +1,8 @@
+//! Prints the `fig08_improvement_cdf` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig08_improvement_cdf::run(&opts).render()
+    );
+}

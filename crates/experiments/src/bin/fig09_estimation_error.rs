@@ -1,0 +1,8 @@
+//! Prints the `fig09_estimation_error` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig09_estimation_error::run(&opts).render()
+    );
+}

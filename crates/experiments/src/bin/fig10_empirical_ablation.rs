@@ -1,0 +1,8 @@
+//! Prints the `fig10_empirical_ablation` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig10_empirical_ablation::run(&opts).render()
+    );
+}

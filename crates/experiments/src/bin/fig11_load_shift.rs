@@ -1,0 +1,8 @@
+//! Prints the `fig11_load_shift` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig11_load_shift::run(&opts).render()
+    );
+}

@@ -1,0 +1,8 @@
+//! Prints the `fig12_fanout` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig12_fanout::run(&opts).render()
+    );
+}

@@ -1,0 +1,8 @@
+//! Prints the `fig14_interactive` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig14_interactive::run(&opts).render()
+    );
+}

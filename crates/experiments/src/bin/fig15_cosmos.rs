@@ -1,0 +1,8 @@
+//! Prints the `fig15_cosmos` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig15_cosmos::run(&opts).render()
+    );
+}

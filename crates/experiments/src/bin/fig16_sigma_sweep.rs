@@ -1,0 +1,8 @@
+//! Prints the `fig16_sigma_sweep` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::fig16_sigma_sweep::run(&opts).render()
+    );
+}

@@ -1,0 +1,8 @@
+//! Prints the `speculation_interplay` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::speculation_interplay::run(&opts).render()
+    );
+}

@@ -1,0 +1,8 @@
+//! Prints the `trace_replay` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::trace_replay::run(&opts).render()
+    );
+}

@@ -1,0 +1,8 @@
+//! Prints the `weighted_quality` experiment table. Options: `--trials N --seed N --quick`.
+fn main() {
+    let opts = cedar_experiments::Opts::from_args();
+    print!(
+        "{}",
+        cedar_experiments::experiments::weighted_quality::run(&opts).render()
+    );
+}

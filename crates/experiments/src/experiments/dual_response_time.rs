@@ -1,0 +1,145 @@
+//! §6's dual system model: instead of fixing the deadline and maximizing
+//! quality, fix a quality threshold and ask how small a deadline each
+//! policy needs — "Cedar can provide the same quality threshold at a
+//! lower deadline value, thereby improving \[the\] query's response time."
+//!
+//! For each target quality the experiment bisects over deadlines,
+//! measuring each policy's mean quality on the FacebookMR workload, and
+//! reports the response-time reduction Cedar buys. The analytic dual
+//! (`deadline_for_quality` on the `q_n` profile) is shown alongside as
+//! the per-query optimum a perfectly-known tree would allow.
+
+use crate::harness::{fq, par_map, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_core::profile::{deadline_for_quality, ProfileConfig};
+use cedar_sim::{mean_quality, run_workload, SimConfig};
+use cedar_workloads::production::facebook_mr;
+use cedar_workloads::Workload;
+
+/// Quality targets reported by the experiment.
+pub const TARGETS: [f64; 3] = [0.4, 0.6, 0.8];
+
+/// Search horizon (model seconds).
+pub const D_MAX: f64 = 6000.0;
+
+/// One measured target.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Target mean quality.
+    pub target: f64,
+    /// Deadline Proportional-split needs (`None` if unreachable by
+    /// `D_MAX`).
+    pub prop_deadline: Option<f64>,
+    /// Deadline Cedar needs.
+    pub cedar_deadline: Option<f64>,
+    /// Analytic optimum for the *population* tree.
+    pub analytic_deadline: Option<f64>,
+}
+
+fn min_deadline_for(
+    w: &Workload,
+    kind: WaitPolicyKind,
+    target: f64,
+    trials: usize,
+    seed: u64,
+) -> Option<f64> {
+    let quality_at = |d: f64| {
+        let cfg = SimConfig::new(w.priors.clone(), d)
+            .with_seed(seed)
+            .with_scan_steps(150);
+        mean_quality(&run_workload(w, &cfg, kind, trials))
+    };
+    if quality_at(D_MAX) < target {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, D_MAX);
+    // Mean quality is monotone in the deadline up to sampling noise; a
+    // dozen bisection steps give ~0.1% resolution.
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if quality_at(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Runs the experiment's measurements.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    let w = facebook_mr(50, 50);
+    let trials = opts.trials_capped(6).min(60);
+    par_map(TARGETS.to_vec(), |&target| {
+        let analytic = deadline_for_quality(&w.priors, target, D_MAX, &ProfileConfig::default());
+        Row {
+            target,
+            prop_deadline: min_deadline_for(
+                &w,
+                WaitPolicyKind::ProportionalSplit,
+                target,
+                trials,
+                opts.seed,
+            ),
+            cedar_deadline: min_deadline_for(&w, WaitPolicyKind::Cedar, target, trials, opts.seed),
+            analytic_deadline: analytic,
+        }
+    })
+}
+
+fn fmt_d(d: Option<f64>) -> String {
+    d.map_or("> horizon".into(), |d| format!("{d:.0}s"))
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Sec 6 (dual): deadline needed to reach a target quality, FacebookMR 50x50",
+        &[
+            "target quality",
+            "prop-split needs",
+            "cedar needs",
+            "response-time cut",
+            "analytic q_n inverse",
+        ],
+    );
+    for r in &rows {
+        let cut = match (r.prop_deadline, r.cedar_deadline) {
+            (Some(p), Some(c)) if p > 0.0 => format!("{:.0}%", 100.0 * (p - c) / p),
+            _ => "-".into(),
+        };
+        t.row(vec![
+            fq(r.target),
+            fmt_d(r.prop_deadline),
+            fmt_d(r.cedar_deadline),
+            cut,
+            fmt_d(r.analytic_deadline),
+        ]);
+    }
+    t.note("paper (Sec 6): solving the dual, Cedar reaches the same quality at a lower deadline");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_needs_no_more_deadline_than_proportional() {
+        let rows = measure(&Opts {
+            trials: 6,
+            seed: 21,
+            quick: true,
+        });
+        for r in &rows {
+            if let (Some(p), Some(c)) = (r.prop_deadline, r.cedar_deadline) {
+                assert!(c <= p * 1.1, "target {}: cedar {c} vs prop {p}", r.target);
+            }
+        }
+        // At least one target is reachable by both.
+        assert!(rows
+            .iter()
+            .any(|r| r.prop_deadline.is_some() && r.cedar_deadline.is_some()));
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 7a — deployment: Proportional-split vs Cedar on the tokio
+//! partition-aggregate runtime (the repository's stand-in for the paper's
+//! 80-machine Spark prototype), Facebook MapReduce workload, 320
+//! processes (k1 = 20, k2 = 16), deadlines 500–3000 s at scaled wall
+//! clock.
+//!
+//! Paper: deployment improvements between 10% and 197% across the sweep.
+
+use crate::experiments::rtharness::{default_scale, mean_quality, run_workload_runtime};
+use crate::harness::{fpct, fq, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_estimate::Model;
+use cedar_workloads::production::facebook_mr;
+
+/// Deadlines for the deployment sweep (model seconds).
+pub const DEADLINES: [f64; 4] = [500.0, 1000.0, 2000.0, 3000.0];
+
+/// Measured qualities at one deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Deadline (s).
+    pub deadline: f64,
+    /// Proportional-split mean quality.
+    pub baseline: f64,
+    /// Cedar mean quality.
+    pub cedar: f64,
+}
+
+/// Runs the deployment sweep.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    // The paper's deployment: 320 slots = 20 processes per aggregator x
+    // 16 aggregators.
+    let w = facebook_mr(20, 16);
+    let trials = opts.trials_capped(4).min(40);
+    let concurrency = std::thread::available_parallelism()
+        .map(|n| n.get() * 2)
+        .unwrap_or(8);
+    DEADLINES
+        .iter()
+        .map(|&d| {
+            let base = run_workload_runtime(
+                &w,
+                d,
+                default_scale(),
+                WaitPolicyKind::ProportionalSplit,
+                Model::LogNormal,
+                trials,
+                opts.seed,
+                concurrency,
+            );
+            let cedar = run_workload_runtime(
+                &w,
+                d,
+                default_scale(),
+                WaitPolicyKind::Cedar,
+                Model::LogNormal,
+                trials,
+                opts.seed,
+                concurrency,
+            );
+            Row {
+                deadline: d,
+                baseline: mean_quality(&base),
+                cedar: mean_quality(&cedar),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Fig 7a: Deployment (tokio runtime) — Prop-split vs Cedar, FacebookMR, 320 processes",
+        &["deadline (s)", "prop-split", "cedar", "improvement"],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.deadline),
+            fq(r.baseline),
+            fq(r.cedar),
+            fpct(100.0 * (r.cedar - r.baseline) / r.baseline.max(1e-9)),
+        ]);
+    }
+    t.note("runs real wall-clock timers at 0.5 ms per model second; results are noisier than simulation, as in the paper's deployment");
+    t.note("paper: deployment improvements 10-197% across the sweep");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_sweep_runs_and_cedar_competitive() {
+        let rows = measure(&Opts {
+            trials: 3,
+            seed: 5,
+            quick: true,
+        });
+        assert_eq!(rows.len(), DEADLINES.len());
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.baseline));
+            assert!((0.0..=1.0).contains(&r.cedar));
+        }
+        // Aggregate over the sweep: Cedar should not lose on average.
+        let c: f64 = rows.iter().map(|r| r.cedar).sum();
+        let b: f64 = rows.iter().map(|r| r.baseline).sum();
+        assert!(c >= b - 0.15, "cedar sum {c} vs baseline sum {b}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 7b — simulation: Proportional-split vs Cedar vs Ideal on the
+//! Facebook MapReduce workload, fan-out 50x50, deadlines 500–3000 s.
+//!
+//! Paper: Cedar improves quality by 11–100% over Proportional-split
+//! across the sweep and closely tracks the Ideal oracle.
+
+use crate::experiments::fig06_potential_gains::DEADLINES;
+use crate::harness::{fpct, fq, par_map, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_sim::{mean_quality, run_workload, SimConfig};
+use cedar_workloads::production::facebook_mr;
+
+/// Measured qualities at one deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Deadline (s).
+    pub deadline: f64,
+    /// Proportional-split mean quality.
+    pub baseline: f64,
+    /// Cedar mean quality.
+    pub cedar: f64,
+    /// Ideal mean quality.
+    pub ideal: f64,
+}
+
+/// Runs the sweep and returns raw rows.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    let w = facebook_mr(50, 50);
+    let trials = opts.trials_capped(8);
+    par_map(DEADLINES.to_vec(), |&d| {
+        let cfg = SimConfig::new(w.priors.clone(), d)
+            .with_seed(opts.seed)
+            .with_scan_steps(200);
+        Row {
+            deadline: d,
+            baseline: mean_quality(&run_workload(
+                &w,
+                &cfg,
+                WaitPolicyKind::ProportionalSplit,
+                trials,
+            )),
+            cedar: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Cedar, trials)),
+            ideal: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Ideal, trials)),
+        }
+    })
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Fig 7b: Simulation — Prop-split vs Cedar vs Ideal, FacebookMR, k=50x50",
+        &[
+            "deadline (s)",
+            "prop-split",
+            "cedar",
+            "ideal",
+            "cedar impr",
+            "cedar/ideal gap",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.deadline),
+            fq(r.baseline),
+            fq(r.cedar),
+            fq(r.ideal),
+            fpct(100.0 * (r.cedar - r.baseline) / r.baseline),
+            fpct(100.0 * (r.ideal - r.cedar) / r.ideal.max(1e-9)),
+        ]);
+    }
+    t.note("paper: Cedar improvements 11-100% over the sweep, near-ideal throughout");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_between_baseline_and_ideal() {
+        let rows = measure(&Opts {
+            trials: 10,
+            seed: 2,
+            quick: true,
+        });
+        for r in &rows {
+            assert!(
+                r.cedar >= r.baseline - 0.03,
+                "D={}: cedar {} below baseline {}",
+                r.deadline,
+                r.cedar,
+                r.baseline
+            );
+            assert!(
+                r.cedar <= r.ideal + 0.03,
+                "D={}: cedar {} above ideal {}",
+                r.deadline,
+                r.cedar,
+                r.ideal
+            );
+            // Near-ideal: within 10% relative.
+            assert!(
+                r.ideal - r.cedar < 0.1 * r.ideal.max(0.1),
+                "D={}: gap too large ({} vs {})",
+                r.deadline,
+                r.cedar,
+                r.ideal
+            );
+        }
+        // Meaningful improvement at the tightest deadline.
+        let impr = (rows[0].cedar - rows[0].baseline) / rows[0].baseline;
+        assert!(impr > 0.15, "improvement at 500s only {impr}");
+    }
+}

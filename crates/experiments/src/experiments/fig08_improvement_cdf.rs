@@ -1,0 +1,82 @@
+//! Fig. 8 — CDF of per-query percentage improvement at D = 1000 s.
+//!
+//! Paper: 40% of queries improve by over 50%; the bottom one-fifth see
+//! little gain (their process-duration tails leave no room for any wait
+//! policy). Queries with baseline quality below 5% are excluded, as in
+//! the paper.
+
+use crate::harness::{fpct, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_sim::metrics::percentile;
+use cedar_sim::{compare_on_workload, PolicyComparison, SimConfig};
+use cedar_workloads::production::facebook_mr;
+
+/// Deadline used by the figure (seconds).
+pub const DEADLINE: f64 = 1000.0;
+
+/// Runs the comparison and returns the full per-query improvement list.
+pub fn measure(opts: &Opts) -> PolicyComparison {
+    let w = facebook_mr(50, 50);
+    let cfg = SimConfig::new(w.priors.clone(), DEADLINE)
+        .with_seed(opts.seed)
+        .with_scan_steps(200);
+    compare_on_workload(
+        &w,
+        &cfg,
+        WaitPolicyKind::Cedar,
+        WaitPolicyKind::ProportionalSplit,
+        opts.trials_capped(15),
+    )
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let cmp = measure(opts);
+    let mut t = Table::new(
+        "Fig 8: CDF of per-query % improvement (Cedar vs Prop-split, D=1000s)",
+        &["CDF point", "improvement"],
+    );
+    for &p in &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95] {
+        t.row(vec![
+            format!("p{:.0}", p * 100.0),
+            fpct(percentile(&cmp.per_query_improvement_pct, p)),
+        ]);
+    }
+    t.row(vec![
+        "frac > 50%".into(),
+        format!("{:.0}%", 100.0 * cmp.fraction_above(50.0)),
+    ]);
+    t.row(vec![
+        "frac < 5%".into(),
+        format!("{:.0}%", 100.0 * (1.0 - cmp.fraction_above(5.0))),
+    ]);
+    t.note(&format!(
+        "{} of {} queries pass the >5%-baseline-quality filter",
+        cmp.per_query_improvement_pct.len(),
+        opts.trials_capped(15)
+    ));
+    t.note("paper: ~40% of queries improve by >50%; bottom fifth sees little gain");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_distribution_has_spread() {
+        let cmp = measure(&Opts {
+            trials: 30,
+            seed: 3,
+            quick: false,
+        });
+        assert!(!cmp.per_query_improvement_pct.is_empty());
+        // A meaningful fraction of queries improves substantially...
+        assert!(cmp.fraction_above(20.0) > 0.2, "too few big winners");
+        // ...while some see little gain (the paper's bottom fifth).
+        assert!(
+            cmp.fraction_above(5.0) < 1.0,
+            "every query improved by >5%, no low-gain tail"
+        );
+    }
+}

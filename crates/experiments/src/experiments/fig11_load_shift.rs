@@ -1,0 +1,148 @@
+//! Fig. 11 — the value of online learning under load shift, on the
+//! deployment runtime.
+//!
+//! Setup per the paper: the system first operates at low load (the
+//! offline-learned prior has a lower `mu` than the live distribution);
+//! then load rises and true process durations follow the Facebook map
+//! distribution. A wait computed from the stale prior ("Cedar without
+//! online learning") departs too early; Cedar's per-query learning keeps
+//! quality high.
+
+use crate::experiments::rtharness::{default_scale, mean_quality, run_workload_runtime};
+use crate::harness::{fpct, fq, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_estimate::Model;
+use cedar_workloads::production::{
+    BottomVariation, Workload, FACEBOOK_MAP_REPLAY, FACEBOOK_REDUCE, FB_SIGMA_JITTER,
+};
+use cedar_workloads::PopulationModel;
+
+/// How much the load shift raises the bottom-stage `mu` above the prior
+/// (a factor of ~7.4x in median duration).
+pub const LOAD_SHIFT: f64 = 2.0;
+
+/// Deadlines for the sweep (model seconds).
+pub const DEADLINES: [f64; 3] = [500.0, 1000.0, 2000.0];
+
+/// Measured qualities at one deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Deadline (s).
+    pub deadline: f64,
+    /// Cedar without online learning (stale prior wait).
+    pub offline: f64,
+    /// Full Cedar.
+    pub cedar: f64,
+}
+
+/// The load-shifted workload: priors learned at low load, live queries
+/// at high load.
+pub fn shifted_workload() -> Workload {
+    // Offline the system saw low load: prior mu is LOAD_SHIFT below the
+    // live value (sigma as in the Facebook distribution).
+    let prior_pop = PopulationModel::new(
+        FACEBOOK_MAP_REPLAY.0 - LOAD_SHIFT,
+        FACEBOOK_MAP_REPLAY.1,
+        0.3,
+        FB_SIGMA_JITTER,
+    )
+    .expect("constants are valid");
+    // Live queries run at the Facebook distribution's load.
+    let live_pop = PopulationModel::new(
+        FACEBOOK_MAP_REPLAY.0,
+        FACEBOOK_MAP_REPLAY.1,
+        0.3,
+        FB_SIGMA_JITTER,
+    )
+    .expect("constants are valid");
+    let priors = TreeSpec::two_level(
+        StageSpec::new(prior_pop.marginal(), 20),
+        StageSpec::new(
+            cedar_distrib::LogNormal::new(FACEBOOK_REDUCE.0, FACEBOOK_REDUCE.1)
+                .expect("constants are valid"),
+            16,
+        ),
+    );
+    Workload {
+        name: "FacebookMR (load-shifted)".to_owned(),
+        priors,
+        bottom: BottomVariation::LogNormalPop(live_pop),
+    }
+}
+
+/// Runs the sweep.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    let w = shifted_workload();
+    let trials = opts.trials_capped(4).min(40);
+    let concurrency = std::thread::available_parallelism()
+        .map(|n| n.get() * 2)
+        .unwrap_or(8);
+    let run = |d: f64, kind: WaitPolicyKind| {
+        mean_quality(&run_workload_runtime(
+            &w,
+            d,
+            default_scale(),
+            kind,
+            Model::LogNormal,
+            trials,
+            opts.seed,
+            concurrency,
+        ))
+    };
+    DEADLINES
+        .iter()
+        .map(|&d| Row {
+            deadline: d,
+            offline: run(d, WaitPolicyKind::CedarOffline),
+            cedar: run(d, WaitPolicyKind::Cedar),
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Fig 11: online learning under load shift (deployment runtime)",
+        &[
+            "deadline (s)",
+            "cedar w/o online learning",
+            "cedar",
+            "online gain",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.deadline),
+            fq(r.offline),
+            fq(r.cedar),
+            fpct(100.0 * (r.cedar - r.offline) / r.offline.max(1e-9)),
+        ]);
+    }
+    t.note(&format!(
+        "prior learned at low load (mu lower by {LOAD_SHIFT}); live queries at Facebook-map load"
+    ));
+    t.note("paper: the previously-ideal wait degrades after the load increase; online learning restores quality");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_learning_helps_under_shift() {
+        let rows = measure(&Opts {
+            trials: 4,
+            seed: 7,
+            quick: true,
+        });
+        let on: f64 = rows.iter().map(|r| r.cedar).sum();
+        let off: f64 = rows.iter().map(|r| r.offline).sum();
+        assert!(
+            on >= off - 0.05,
+            "online {on} should not lose to stale-prior {off}"
+        );
+    }
+}

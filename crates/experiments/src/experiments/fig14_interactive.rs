@@ -1,0 +1,99 @@
+//! Fig. 14 — the interactive (web-search-like) workload: Facebook map
+//! shape expressed in milliseconds at the bottom, Google's search
+//! distribution above, deadlines 140–170 ms (production search deadline
+//! quotes), fan-out 50x50.
+//!
+//! Paper: improvements of roughly 36–72%, with Cedar close to Ideal.
+
+use crate::harness::{fpct, fq, par_map, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_sim::{mean_quality, run_workload, SimConfig};
+use cedar_workloads::production::interactive;
+
+/// The paper's deadline sweep (milliseconds).
+pub const DEADLINES: [f64; 4] = [140.0, 150.0, 160.0, 170.0];
+
+/// Measured qualities at one deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Deadline (ms).
+    pub deadline: f64,
+    /// Proportional-split quality.
+    pub baseline: f64,
+    /// Cedar quality.
+    pub cedar: f64,
+    /// Ideal quality.
+    pub ideal: f64,
+}
+
+/// Runs the sweep.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    let w = interactive(50, 50);
+    let trials = opts.trials_capped(8);
+    par_map(DEADLINES.to_vec(), |&d| {
+        let cfg = SimConfig::new(w.priors.clone(), d)
+            .with_seed(opts.seed)
+            .with_scan_steps(200);
+        Row {
+            deadline: d,
+            baseline: mean_quality(&run_workload(
+                &w,
+                &cfg,
+                WaitPolicyKind::ProportionalSplit,
+                trials,
+            )),
+            cedar: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Cedar, trials)),
+            ideal: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Ideal, trials)),
+        }
+    })
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Fig 14: Interactive workload (FB-map ms / Google), k=50x50, D=140-170ms",
+        &[
+            "deadline (ms)",
+            "prop-split",
+            "cedar",
+            "ideal",
+            "improvement",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.deadline),
+            fq(r.baseline),
+            fq(r.cedar),
+            fq(r.ideal),
+            fpct(100.0 * (r.cedar - r.baseline) / r.baseline.max(1e-9)),
+        ]);
+    }
+    t.note("paper: improvements ~36-72%, Cedar nearly matches Ideal");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_improves_and_tracks_ideal() {
+        let rows = measure(&Opts {
+            trials: 10,
+            seed: 10,
+            quick: true,
+        });
+        for r in &rows {
+            assert!(r.cedar >= r.baseline - 0.03, "D={}", r.deadline);
+            assert!(r.ideal + 0.03 >= r.cedar, "D={}", r.deadline);
+        }
+        // A substantial improvement somewhere in the band.
+        let best = rows
+            .iter()
+            .map(|r| 100.0 * (r.cedar - r.baseline) / r.baseline.max(1e-9))
+            .fold(f64::MIN, f64::max);
+        assert!(best > 10.0, "best improvement only {best}%");
+    }
+}

@@ -1,0 +1,165 @@
+//! Fig. 16 — same distribution family at both stages, sweeping the
+//! bottom stage's variability (σ of X1): (a) Bing–Bing over σ ∈
+//! 2.10–2.40, (b) Google–Google over 1.40–1.70, (c) Facebook–Facebook
+//! over 2.00–2.25.
+//!
+//! Paper: Cedar's percentage improvement over Proportional-split grows
+//! with the variability and matches the Ideal scheme throughout.
+
+use crate::harness::{fpct, fq, par_map, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_sim::{mean_quality, run_workload, SimConfig};
+use cedar_workloads::production::{
+    same_distribution, BING_RTT, FACEBOOK_MAP_REPLAY, FACEBOOK_REDUCE, GOOGLE_SEARCH,
+};
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Bottom-stage sigma.
+    pub sigma1: f64,
+    /// Proportional-split quality.
+    pub baseline: f64,
+    /// Cedar quality.
+    pub cedar: f64,
+    /// Ideal quality.
+    pub ideal: f64,
+}
+
+impl Row {
+    /// Cedar's percentage improvement over the baseline.
+    pub fn cedar_improvement(&self) -> f64 {
+        100.0 * (self.cedar - self.baseline) / self.baseline.max(1e-9)
+    }
+
+    /// Ideal's percentage improvement over the baseline.
+    pub fn ideal_improvement(&self) -> f64 {
+        100.0 * (self.ideal - self.baseline) / self.baseline.max(1e-9)
+    }
+}
+
+/// The three panels: name, base fit, upper fit, sigma sweep, deadline.
+///
+/// Deadlines are set so the baseline lands mid-quality (the regime the
+/// paper plots); units follow each trace (µs, ms, s).
+#[allow(clippy::type_complexity)]
+pub fn panels() -> Vec<(&'static str, (f64, f64), (f64, f64), Vec<f64>, f64)> {
+    vec![
+        (
+            "a: Bing-Bing",
+            BING_RTT,
+            BING_RTT,
+            vec![2.10, 2.15, 2.20, 2.25, 2.30, 2.35, 2.40],
+            6_000.0,
+        ),
+        (
+            "b: Google-Google",
+            GOOGLE_SEARCH,
+            GOOGLE_SEARCH,
+            vec![1.40, 1.45, 1.50, 1.55, 1.60, 1.65, 1.70],
+            120.0,
+        ),
+        (
+            "c: Facebook-Facebook",
+            FACEBOOK_MAP_REPLAY,
+            FACEBOOK_REDUCE,
+            vec![2.00, 2.05, 2.10, 2.15, 2.20, 2.25],
+            12_000.0,
+        ),
+    ]
+}
+
+/// Runs one panel.
+pub fn measure_panel(
+    opts: &Opts,
+    base: (f64, f64),
+    upper: (f64, f64),
+    sigmas: &[f64],
+    deadline: f64,
+) -> Vec<Row> {
+    let trials = opts.trials_capped(6);
+    par_map(sigmas.to_vec(), |&s1| {
+        let w = same_distribution("sweep", base, upper, s1, 50, 50);
+        let cfg = SimConfig::new(w.priors.clone(), deadline)
+            .with_seed(opts.seed)
+            .with_scan_steps(200);
+        Row {
+            sigma1: s1,
+            baseline: mean_quality(&run_workload(
+                &w,
+                &cfg,
+                WaitPolicyKind::ProportionalSplit,
+                trials,
+            )),
+            cedar: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Cedar, trials)),
+            ideal: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Ideal, trials)),
+        }
+    })
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let mut t = Table::new(
+        "Fig 16: improvement vs sigma of X1, same family both stages (k=50x50)",
+        &[
+            "panel",
+            "sigma1",
+            "prop-split",
+            "cedar",
+            "ideal",
+            "cedar impr",
+            "ideal impr",
+        ],
+    );
+    for (name, base, upper, sigmas, deadline) in panels() {
+        let sigmas = if opts.quick {
+            vec![sigmas[0], *sigmas.last().expect("non-empty sweep")]
+        } else {
+            sigmas
+        };
+        for r in measure_panel(opts, base, upper, &sigmas, deadline) {
+            t.row(vec![
+                name.into(),
+                format!("{:.2}", r.sigma1),
+                fq(r.baseline),
+                fq(r.cedar),
+                fq(r.ideal),
+                fpct(r.cedar_improvement()),
+                fpct(r.ideal_improvement()),
+            ]);
+        }
+    }
+    t.note("paper: improvements grow with sigma1; Cedar tracks Ideal in every panel");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bing_panel_improves_and_tracks_ideal() {
+        let rows = measure_panel(
+            &Opts {
+                trials: 8,
+                seed: 12,
+                quick: true,
+            },
+            BING_RTT,
+            BING_RTT,
+            &[2.10, 2.40],
+            6_000.0,
+        );
+        for r in &rows {
+            assert!(r.cedar >= r.baseline - 0.03, "sigma={}", r.sigma1);
+            // Cedar within 15% of Ideal relative.
+            assert!(
+                r.ideal - r.cedar <= 0.15 * r.ideal.max(0.1),
+                "sigma={}: cedar {} vs ideal {}",
+                r.sigma1,
+                r.cedar,
+                r.ideal
+            );
+        }
+    }
+}

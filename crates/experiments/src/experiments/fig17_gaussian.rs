@@ -1,0 +1,87 @@
+//! Fig. 17 — distribution-type robustness: Gaussian stage durations
+//! (mean 40 ms at both levels; σ 80 ms at the bottom, 10 ms at the top,
+//! rectified at zero), fan-out 50x50, Cedar's estimator in Normal mode.
+//!
+//! Paper: improvements are smaller than in the log-normal cases
+//! (~11.8–13.7%) because Gaussians are not heavy-tailed, but absolute
+//! quality is high.
+
+use crate::harness::{fpct, fq, par_map, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_estimate::Model;
+use cedar_sim::{mean_quality, run_workload, SimConfig};
+use cedar_workloads::production::gaussian;
+
+/// Deadline sweep (milliseconds).
+pub const DEADLINES: [f64; 6] = [120.0, 160.0, 200.0, 240.0, 280.0, 320.0];
+
+/// Measured qualities at one deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Deadline (ms).
+    pub deadline: f64,
+    /// Proportional-split quality.
+    pub baseline: f64,
+    /// Cedar quality (Normal estimator).
+    pub cedar: f64,
+}
+
+/// Runs the sweep.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    let w = gaussian(50, 50);
+    let trials = opts.trials_capped(8);
+    par_map(DEADLINES.to_vec(), |&d| {
+        let cfg = SimConfig::new(w.priors.clone(), d)
+            .with_seed(opts.seed)
+            .with_scan_steps(200)
+            .with_model(Model::Normal);
+        Row {
+            deadline: d,
+            baseline: mean_quality(&run_workload(
+                &w,
+                &cfg,
+                WaitPolicyKind::ProportionalSplit,
+                trials,
+            )),
+            cedar: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Cedar, trials)),
+        }
+    })
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Fig 17: Gaussian stages (N(40ms); sigma 80ms bottom / 10ms top), k=50x50",
+        &["deadline (ms)", "prop-split", "cedar", "improvement"],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.deadline),
+            fq(r.baseline),
+            fq(r.cedar),
+            fpct(100.0 * (r.cedar - r.baseline) / r.baseline.max(1e-9)),
+        ]);
+    }
+    t.note("paper: ~11.8-13.7% improvements — smaller than log-normal cases (no heavy tail), high absolute quality");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_improvements_modest_but_nonnegative() {
+        let rows = measure(&Opts {
+            trials: 10,
+            seed: 13,
+            quick: true,
+        });
+        let c: f64 = rows.iter().map(|r| r.cedar).sum();
+        let b: f64 = rows.iter().map(|r| r.baseline).sum();
+        assert!(c >= b - 0.05, "cedar {c} vs baseline {b}");
+        // Quality reaches high absolute values at generous deadlines.
+        assert!(rows.last().unwrap().cedar > 0.7);
+    }
+}

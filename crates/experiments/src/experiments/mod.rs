@@ -1,0 +1,27 @@
+//! One module per paper figure/table, plus the design-choice ablations
+//! and the §6 dual-problem study. Each exposes `run(&Opts) -> Table`
+//! (some also expose extra entry points used by the integration tests).
+
+pub mod ablation_cadence;
+pub mod ablation_epsilon;
+pub mod ablation_estimator;
+pub mod dual_response_time;
+pub mod fig04_bing_cdf;
+pub mod fig06_potential_gains;
+pub mod fig07a_deployment;
+pub mod fig07b_simulation;
+pub mod fig08_improvement_cdf;
+pub mod fig09_estimation_error;
+pub mod fig10_empirical_ablation;
+pub mod fig11_load_shift;
+pub mod fig12_fanout;
+pub mod fig13_multilevel;
+pub mod fig14_interactive;
+pub mod fig15_cosmos;
+pub mod fig16_sigma_sweep;
+pub mod fig17_gaussian;
+pub mod fit_quality;
+pub mod rtharness;
+pub mod speculation_interplay;
+pub mod trace_replay;
+pub mod weighted_quality;

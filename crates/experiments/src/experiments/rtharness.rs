@@ -1,0 +1,71 @@
+//! Shared plumbing for the deployment (tokio-runtime) experiments:
+//! batch execution of many queries with bounded concurrency.
+
+use cedar_core::policy::WaitPolicyKind;
+use cedar_runtime::{run_query, RuntimeConfig, RuntimeOutcome, TimeScale};
+use cedar_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The deployment experiments' model-to-wall scale: 0.5 ms of wall clock
+/// per model unit.
+///
+/// The Facebook workloads are in model *seconds*; half a millisecond per
+/// second replays a 3000 s query in 1.5 s of wall clock — long enough
+/// that tokio's ~1 ms timer granularity stays ≲ 0.2% of any deadline.
+pub fn default_scale() -> TimeScale {
+    TimeScale::new(Duration::from_micros(500))
+}
+
+/// Runs `trials` queries of `workload` under `kind` on a tokio runtime,
+/// `concurrency` queries in flight at a time. Per-trial seeds are
+/// `seed..seed+trials`, so different policies replay identical queries.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_runtime(
+    workload: &Workload,
+    deadline: f64,
+    scale: TimeScale,
+    kind: WaitPolicyKind,
+    model: cedar_estimate::Model,
+    trials: usize,
+    seed: u64,
+    concurrency: usize,
+) -> Vec<RuntimeOutcome> {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_time()
+        .build()
+        .expect("tokio runtime builds");
+    let sem = Arc::new(tokio::sync::Semaphore::new(concurrency.max(1)));
+    rt.block_on(async {
+        let mut handles = Vec::with_capacity(trials);
+        for i in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let tree = workload.query_tree(&mut rng);
+            let cfg = RuntimeConfig::new(tree, deadline)
+                .with_priors(workload.priors.clone())
+                .with_scale(scale)
+                .with_model(model)
+                .with_seed(seed.wrapping_add(i as u64));
+            let sem = sem.clone();
+            handles.push(tokio::spawn(async move {
+                let _permit = sem.acquire().await.expect("semaphore open");
+                run_query(&cfg, kind).await
+            }));
+        }
+        let mut out = Vec::with_capacity(trials);
+        for h in handles {
+            out.push(h.await.expect("query task completes"));
+        }
+        out
+    })
+}
+
+/// Mean quality over runtime outcomes.
+pub fn mean_quality(outcomes: &[RuntimeOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return f64::NAN;
+    }
+    outcomes.iter().map(|o| o.quality).sum::<f64>() / outcomes.len() as f64
+}

@@ -1,0 +1,132 @@
+//! Straggler-mitigation interplay (§2.2 / §7): the paper's traces come
+//! from clusters that *already* run speculation, yet wait-duration
+//! optimization still pays — "Cedar can complement these mitigation
+//! techniques, since stragglers still occur despite them."
+//!
+//! The experiment runs the FacebookMR workload with and without a
+//! LATE-style speculation model (copies launched at the per-query p75)
+//! and reports Cedar's improvement over Proportional-split in both
+//! worlds.
+
+use crate::harness::{fpct, fq, par_map, Opts, Table};
+use cedar_core::policy::WaitPolicyKind;
+use cedar_sim::runner::SpeculationConfig;
+use cedar_sim::{mean_quality, run_workload, SimConfig};
+use cedar_workloads::production::facebook_mr;
+
+/// Deadlines for the comparison (seconds).
+pub const DEADLINES: [f64; 3] = [500.0, 1000.0, 2000.0];
+
+/// Speculation launch quantile (LATE-style: watch the slowest quartile).
+pub const LAUNCH_QUANTILE: f64 = 0.75;
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Deadline (s).
+    pub deadline: f64,
+    /// Whether speculation was enabled.
+    pub speculation: bool,
+    /// Proportional-split quality.
+    pub baseline: f64,
+    /// Cedar quality.
+    pub cedar: f64,
+}
+
+impl Row {
+    /// Cedar's percentage improvement.
+    pub fn improvement(&self) -> f64 {
+        100.0 * (self.cedar - self.baseline) / self.baseline.max(1e-9)
+    }
+}
+
+/// Runs the comparison.
+pub fn measure(opts: &Opts) -> Vec<Row> {
+    let w = facebook_mr(50, 50);
+    let trials = opts.trials_capped(6);
+    let points: Vec<(f64, bool)> = DEADLINES
+        .iter()
+        .flat_map(|&d| [(d, false), (d, true)])
+        .collect();
+    par_map(points, |&(d, speculation)| {
+        let mut cfg = SimConfig::new(w.priors.clone(), d)
+            .with_seed(opts.seed)
+            .with_scan_steps(200);
+        if speculation {
+            cfg = cfg.with_speculation(SpeculationConfig::new(LAUNCH_QUANTILE));
+        }
+        Row {
+            deadline: d,
+            speculation,
+            baseline: mean_quality(&run_workload(
+                &w,
+                &cfg,
+                WaitPolicyKind::ProportionalSplit,
+                trials,
+            )),
+            cedar: mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Cedar, trials)),
+        }
+    })
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Opts) -> Table {
+    let rows = measure(opts);
+    let mut t = Table::new(
+        "Interplay: Cedar under LATE-style speculation (launch at p75), FacebookMR",
+        &[
+            "deadline (s)",
+            "speculation",
+            "prop-split",
+            "cedar",
+            "cedar impr",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.deadline),
+            if r.speculation { "on" } else { "off" }.into(),
+            fq(r.baseline),
+            fq(r.cedar),
+            fpct(r.improvement()),
+        ]);
+    }
+    t.note("speculation lifts everyone's absolute quality; Cedar's relative gains persist because per-query distribution shifts remain (the paper's complementarity claim)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculation_lifts_quality_and_gains_persist() {
+        let rows = measure(&Opts {
+            trials: 8,
+            seed: 61,
+            quick: true,
+        });
+        for pair in rows.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert_eq!(off.deadline, on.deadline);
+            // Speculation helps everyone.
+            assert!(
+                on.baseline >= off.baseline - 0.02,
+                "D={}: speculation hurt the baseline",
+                off.deadline
+            );
+            // Cedar still ahead with speculation on.
+            assert!(
+                on.cedar >= on.baseline - 0.02,
+                "D={}: cedar lost under speculation",
+                on.deadline
+            );
+        }
+        // At least one deadline shows a meaningful Cedar gain with
+        // speculation enabled.
+        assert!(rows
+            .iter()
+            .filter(|r| r.speculation)
+            .any(|r| r.improvement() > 5.0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Shared experiment plumbing: options, tables, and parallel sweeps.
+
+use std::fmt::Write as _;
+
+/// Experiment options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Queries per configuration point.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Quick mode: shrink trials for smoke tests.
+    pub quick: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            trials: 200,
+            seed: 0xCEDA2,
+            quick: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Builds options from command-line arguments (`--trials N`,
+    /// `--seed N`, `--quick`) and the `CEDAR_QUICK` environment variable.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trials" if i + 1 < args.len() => {
+                    opts.trials = args[i + 1].parse().unwrap_or(opts.trials);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+                "--quick" => opts.quick = true,
+                other => eprintln!("warning: ignoring unknown argument '{other}'"),
+            }
+            i += 1;
+        }
+        if std::env::var("CEDAR_QUICK").is_ok_and(|v| v == "1") {
+            opts.quick = true;
+        }
+        if opts.quick {
+            opts.trials = opts.trials.min(20);
+        }
+        opts
+    }
+
+    /// Effective trial count, shrunk further in quick mode for expensive
+    /// experiments.
+    pub fn trials_capped(&self, cap_quick: usize) -> usize {
+        if self.quick {
+            self.trials.min(cap_quick)
+        } else {
+            self.trials
+        }
+    }
+
+    /// Quick variant for tests.
+    pub fn quick() -> Self {
+        Self {
+            trials: 10,
+            seed: 0xCEDA2,
+            quick: true,
+        }
+    }
+}
+
+/// A printable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure/table id plus description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper-vs-measured
+    /// commentary, calibration caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: &str) {
+        self.notes.push(s.to_owned());
+    }
+
+    /// Renders as CSV (header row first; notes become trailing `#`
+    /// comment lines), for piping into plotting tools.
+    pub fn render_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+}
+
+/// Formats a quality as `0.xxx`.
+pub fn fq(q: f64) -> String {
+    format!("{q:.3}")
+}
+
+/// Formats a percentage improvement.
+pub fn fpct(p: f64) -> String {
+    if p.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{p:.1}%")
+    }
+}
+
+/// Runs `f` over `inputs` on a scoped thread pool (one thread per input,
+/// capped at the available parallelism), preserving input order.
+pub fn par_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<O>> = Vec::new();
+    results.resize_with(inputs.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..max.min(inputs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                results_mx.lock().expect("no panics while holding lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig X: demo", &["D", "quality"]);
+        t.row(vec!["500".into(), "0.250".into()]);
+        t.row(vec!["1000".into(), "0.500".into()]);
+        t.note("calibrated");
+        let s = t.render();
+        assert!(s.contains("Fig X: demo"));
+        assert!(s.contains("0.250"));
+        assert!(s.contains("note: calibrated"));
+    }
+
+    #[test]
+    fn table_renders_csv_with_escaping() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["with, comma".into(), "say \"hi\"".into()]);
+        t.note("a note");
+        let csv = t.render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("name,value"));
+        assert_eq!(lines.next(), Some("plain,1"));
+        assert_eq!(lines.next(), Some("\"with, comma\",\"say \"\"hi\"\"\""));
+        assert_eq!(lines.next(), Some("# a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = par_map(inputs, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u64> = par_map(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fq(0.12345), "0.123");
+        assert_eq!(fpct(42.123), "42.1%");
+        assert_eq!(fpct(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the Cedar
+//! paper's evaluation (§3 and §5).
+//!
+//! Each `experiments::figXX` module exposes `run(&Opts) -> Table`; the
+//! matching binary in `src/bin/` is a thin `main` that prints the table.
+//! `EXPERIMENTS.md` at the repository root records paper-vs-measured for
+//! every experiment.
+//!
+//! All experiments accept an [`Opts`] controlling trial counts and seeds;
+//! `--quick` (or `CEDAR_QUICK=1`) shrinks them for smoke testing.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Opts, Table};

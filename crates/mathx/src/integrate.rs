@@ -1,0 +1,206 @@
+//! Numerical quadrature: composite Simpson, adaptive Simpson, and
+//! fixed-order Gauss–Legendre rules.
+//!
+//! These are used to compute expected order statistics (integrals of the
+//! form `Int x f_(i:k)(x) dx` over the real line) and to validate the
+//! closed-form means/variances of the distribution library.
+
+use crate::kahan::KahanSum;
+
+/// Composite Simpson's rule with `n` subintervals (`n` is rounded up to the
+/// next even number). Error is `O(h^4)` for smooth integrands.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if `a > b`.
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "simpson requires at least one subinterval");
+    assert!(a <= b, "simpson requires an ordered interval");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = KahanSum::new();
+    acc.add(f(a));
+    acc.add(f(b));
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc.add(w * f(x));
+    }
+    acc.value() * h / 3.0
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+///
+/// Recursively bisects until the local Richardson error estimate is below
+/// the allotted tolerance, to a maximum depth of 50.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a <= b, "adaptive_simpson requires an ordered interval");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    adaptive_step(&f, a, b, fa, fb, fm, whole, tol, 50)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_step<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fm: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation term improves the estimate one order.
+        left + right + delta / 15.0
+    } else {
+        adaptive_step(f, a, m, fa, fm, flm, left, 0.5 * tol, depth - 1)
+            + adaptive_step(f, m, b, fm, fb, frm, right, 0.5 * tol, depth - 1)
+    }
+}
+
+/// Nodes and weights of the 20-point Gauss–Legendre rule on `[-1, 1]`.
+///
+/// Exact for polynomials of degree up to 39; used as a building block for
+/// the panel rule in [`gauss_legendre`].
+const GL20_NODES: [f64; 10] = [
+    0.076_526_521_133_497_33,
+    0.227_785_851_141_645_07,
+    0.373_706_088_715_419_56,
+    0.510_867_001_950_827_1,
+    0.636_053_680_726_515_1,
+    0.746_331_906_460_150_8,
+    0.839_116_971_822_218_8,
+    0.912_234_428_251_326,
+    0.963_971_927_277_913_8,
+    0.993_128_599_185_094_9,
+];
+const GL20_WEIGHTS: [f64; 10] = [
+    0.152_753_387_130_725_85,
+    0.149_172_986_472_603_75,
+    0.142_096_109_318_382_05,
+    0.131_688_638_449_176_63,
+    0.118_194_531_961_518_42,
+    0.101_930_119_817_240_44,
+    0.083_276_741_576_704_75,
+    0.062_672_048_334_109_06,
+    0.040_601_429_800_386_94,
+    0.017_614_007_139_152_118,
+];
+
+/// Gauss–Legendre quadrature over `[a, b]` using `panels` panels of the
+/// 20-point rule each. Error decreases geometrically with panel count for
+/// analytic integrands.
+///
+/// # Panics
+///
+/// Panics if `panels == 0` or `a > b`.
+pub fn gauss_legendre<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, panels: usize) -> f64 {
+    assert!(panels > 0, "gauss_legendre requires at least one panel");
+    assert!(a <= b, "gauss_legendre requires an ordered interval");
+    if a == b {
+        return 0.0;
+    }
+    let width = (b - a) / panels as f64;
+    let mut acc = KahanSum::new();
+    for p in 0..panels {
+        let lo = a + p as f64 * width;
+        let mid = lo + 0.5 * width;
+        let half = 0.5 * width;
+        for i in 0..10 {
+            let dx = half * GL20_NODES[i];
+            acc.add(GL20_WEIGHTS[i] * (f(mid + dx) + f(mid - dx)));
+        }
+    }
+    acc.value() * 0.5 * width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact for cubics.
+        let got = simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 2);
+        let want = 4.0 - 4.0 + 2.0;
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_handles_odd_subinterval_count() {
+        let got = simpson(|x| x * x, 0.0, 3.0, 3);
+        assert!((got - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_sine() {
+        let got = simpson(f64::sin, 0.0, PI, 1000);
+        assert!((got - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_simpson_gaussian_mass() {
+        // Integral of the standard normal pdf over [-8, 8] is ~1.
+        let got = adaptive_simpson(crate::special::norm_pdf, -8.0, 8.0, 1e-12);
+        assert!((got - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_simpson_peaked_integrand() {
+        // Narrow Gaussian centered off-middle tests the adaptivity.
+        let f = |x: f64| (-(x - 0.7) * (x - 0.7) / 2e-4).exp();
+        let got = adaptive_simpson(f, 0.0, 1.0, 1e-12);
+        let want = (PI * 2e-4).sqrt(); // full mass fits well inside [0,1]
+        assert!((got / want - 1.0).abs() < 1e-8, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn gauss_legendre_exponential() {
+        let got = gauss_legendre(f64::exp, 0.0, 1.0, 1);
+        let want = core::f64::consts::E - 1.0;
+        assert!((got - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss_legendre_multi_panel_matches_single() {
+        let single = gauss_legendre(|x| (3.0 * x).cos(), -2.0, 5.0, 1);
+        let multi = gauss_legendre(|x| (3.0 * x).cos(), -2.0, 5.0, 8);
+        let want = ((3.0f64 * 5.0).sin() - (3.0f64 * -2.0).sin()) / 3.0;
+        assert!((multi - want).abs() < 1e-13);
+        assert!((single - want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(simpson(|x| x, 1.0, 1.0, 4), 0.0);
+        assert_eq!(adaptive_simpson(|x| x, 2.0, 2.0, 1e-9), 0.0);
+        assert_eq!(gauss_legendre(|x| x, -1.0, -1.0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered interval")]
+    fn simpson_rejects_reversed_interval() {
+        simpson(|x| x, 1.0, 0.0, 4);
+    }
+}

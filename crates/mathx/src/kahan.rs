@@ -1,0 +1,149 @@
+//! Compensated (Kahan–Neumaier) summation.
+//!
+//! The quality recursion and the quadrature routines accumulate many small
+//! increments; compensated summation keeps the rounding error independent
+//! of the number of terms.
+
+/// A running sum with Neumaier compensation.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_mathx::KahanSum;
+///
+/// let mut s = KahanSum::new();
+/// for _ in 0..10 {
+///     s.add(0.1);
+/// }
+/// assert!((s.value() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sum initialized to `value`.
+    pub fn with_value(value: f64) -> Self {
+        Self {
+            sum: value,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds a term to the running sum.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        // Neumaier's variant: compensate whichever operand lost bits.
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Returns the compensated value of the sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl core::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+/// Sums a slice with compensation; convenience wrapper over [`KahanSum`].
+pub fn sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().value()
+}
+
+/// Compensated mean of a slice. Returns `NaN` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    sum(values) / values.len() as f64
+}
+
+/// Sample variance (unbiased, `n - 1` denominator) using a two-pass
+/// compensated algorithm. Returns `NaN` for slices with fewer than two
+/// elements.
+pub fn sample_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    let ss = values
+        .iter()
+        .map(|&x| (x - m) * (x - m))
+        .collect::<KahanSum>();
+    ss.value() / (values.len() - 1) as f64
+}
+
+/// Sample standard deviation; square root of [`sample_variance`].
+pub fn sample_stddev(values: &[f64]) -> f64 {
+    sample_variance(values).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_pathological_sequence_exactly() {
+        // Naive summation of [1e100, 1.0, -1e100] gives 0; Neumaier gives 1.
+        let mut s = KahanSum::new();
+        s.add(1e100);
+        s.add(1.0);
+        s.add(-1e100);
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let mut s = KahanSum::new();
+        let n = 1_000_000;
+        for _ in 0..n {
+            s.add(1e-6);
+        }
+        assert!((s.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_matches_manual() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let s: KahanSum = xs.iter().copied().collect();
+        assert!((s.value() - 1.0).abs() < 1e-15);
+        assert!((sum(&xs) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        // Population variance of this classic example is 4; sample variance
+        // is 32/7.
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((sample_stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mean(&[]).is_nan());
+        assert!(sample_variance(&[1.0]).is_nan());
+        assert_eq!(KahanSum::with_value(3.0).value(), 3.0);
+    }
+}

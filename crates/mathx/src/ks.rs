@@ -1,0 +1,122 @@
+//! Kolmogorov–Smirnov goodness-of-fit machinery.
+//!
+//! Used by the distribution-fitting validation (§4.2.1 reproduces the
+//! paper's claim that the log-normal fits every trace): the KS statistic
+//! quantifies the worst-case CDF discrepancy between a sample and a
+//! candidate model, and the asymptotic Kolmogorov distribution turns it
+//! into a p-value.
+
+/// One-sample Kolmogorov–Smirnov statistic: the supremum distance between
+/// the empirical CDF of `samples` and the model CDF `cdf`.
+///
+/// Returns `NaN` for an empty sample. `samples` need not be sorted.
+pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = xs.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        // ECDF jumps from i/n to (i+1)/n at x: both sides bound the sup.
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Asymptotic Kolmogorov distribution survival function:
+/// `P[sqrt(n) D_n > x]` for large `n`, via the alternating series
+/// `2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 x^2)`.
+///
+/// Accurate to ~1e-10 for `x > 0.2`; returns 1 for `x <= 0`.
+pub fn kolmogorov_sf(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    for j in 1..=100u32 {
+        let term = (-2.0 * (j as f64) * (j as f64) * x * x).exp();
+        if term < 1e-16 {
+            break;
+        }
+        if j % 2 == 1 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test p-value using the asymptotic distribution with the
+/// standard small-sample correction
+/// `x = D (sqrt(n) + 0.12 + 0.11 / sqrt(n))`.
+pub fn ks_pvalue(d: f64, n: usize) -> f64 {
+    if n == 0 || !d.is_finite() {
+        return f64::NAN;
+    }
+    let sn = (n as f64).sqrt();
+    kolmogorov_sf(d * (sn + 0.12 + 0.11 / sn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::norm_cdf;
+
+    #[test]
+    fn perfect_fit_has_small_statistic() {
+        // Quantile-spaced points of the model itself: ECDF hugs the CDF.
+        let n = 1000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let p = (i as f64 + 0.5) / n as f64;
+                crate::special::norm_quantile(p)
+            })
+            .collect();
+        let d = ks_statistic(&xs, norm_cdf);
+        assert!(d < 0.51 / n as f64 * 2.0, "D = {d}");
+    }
+
+    #[test]
+    fn wrong_model_has_large_statistic() {
+        // Standard-normal quantile points against a shifted model.
+        let xs: Vec<f64> = (0..500)
+            .map(|i| crate::special::norm_quantile((i as f64 + 0.5) / 500.0))
+            .collect();
+        let d = ks_statistic(&xs, |x| norm_cdf(x - 1.0));
+        // Shift by 1 sigma: sup distance ~ Phi(0.5) - Phi(-0.5) ~ 0.38.
+        assert!(d > 0.3, "D = {d}");
+        assert!(ks_pvalue(d, 500) < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // K(x) survival at standard points (Smirnov's table).
+        assert!((kolmogorov_sf(1.36) - 0.049).abs() < 0.002); // ~5% point
+        assert!((kolmogorov_sf(1.63) - 0.010).abs() < 0.001); // ~1% point
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn pvalue_uniform_under_null() {
+        // For data truly from the model, p-values should not be tiny.
+        let xs: Vec<f64> = (0..200)
+            .map(|i| crate::special::norm_quantile((i as f64 + 0.5) / 200.0))
+            .collect();
+        let d = ks_statistic(&xs, norm_cdf);
+        assert!(ks_pvalue(d, 200) > 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ks_statistic(&[], norm_cdf).is_nan());
+        assert!(ks_pvalue(f64::NAN, 10).is_nan());
+        assert!(ks_pvalue(0.1, 0).is_nan());
+    }
+}

@@ -1,0 +1,179 @@
+//! Bracketed root finding: bisection and Brent's method.
+//!
+//! Used to invert CDFs with no closed-form quantile (e.g. the Pareto-tailed
+//! mixtures in the workload library) and in distribution fitting.
+
+/// Error returned when a root cannot be bracketed or refined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign, so `[a, b]` brackets no root.
+    NotBracketed,
+    /// The iteration limit was reached before the tolerance was met.
+    MaxIterations,
+}
+
+impl core::fmt::Display for RootError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RootError::NotBracketed => write!(f, "interval does not bracket a root"),
+            RootError::MaxIterations => write!(f, "root finder hit its iteration limit"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Converges linearly; guaranteed to succeed on any continuous bracketing
+/// interval. `tol` is the absolute width of the final interval.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Finds a root of `f` in `[a, b]` by Brent's method (inverse quadratic
+/// interpolation with bisection fallback).
+///
+/// Converges superlinearly on smooth functions while retaining bisection's
+/// bracketing guarantee. `tol` is the absolute tolerance on the root.
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, RootError> {
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    if fa.abs() < fb.abs() {
+        core::mem::swap(&mut a, &mut b);
+        core::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..200 {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((lo.min(b)..=lo.max(b)).contains(&s));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            core::mem::swap(&mut a, &mut b);
+            core::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2() {
+        let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // x = cos(x) has a unique fixed point near 0.739.
+        let root = brent(|x| x - x.cos(), 0.0, 1.0, 1e-14).unwrap();
+        assert!((root - 0.7390851332151607).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_roots_returned_directly() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unbracketed_interval_is_rejected() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(RootError::NotBracketed)
+        );
+        assert_eq!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(RootError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn brent_steep_function() {
+        // Very steep near the root; Brent should still converge.
+        let root = brent(|x| (20.0 * (x - 0.3)).tanh(), -1.0, 1.0, 1e-13).unwrap();
+        assert!((root - 0.3).abs() < 1e-10);
+    }
+}

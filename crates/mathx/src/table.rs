@@ -1,0 +1,149 @@
+//! Piecewise-linear interpolation tables over a uniform grid.
+//!
+//! Cedar's recursive quality profile `q_n(D)` has no closed form; it is
+//! evaluated on a uniform deadline grid once per level and then queried many
+//! times during the wait-duration scan. [`InterpTable`] is that memo: O(1)
+//! lookup, linear interpolation between grid points, and clamped
+//! extrapolation at the ends (quality profiles are constant outside their
+//! support).
+
+/// A function tabulated on a uniform grid `x0, x0 + dx, ..., x0 + (n-1) dx`
+/// with linear interpolation between points and clamping outside the range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpTable {
+    x0: f64,
+    dx: f64,
+    values: Vec<f64>,
+}
+
+impl InterpTable {
+    /// Builds a table from explicit grid parameters and samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has fewer than two entries, `dx` is not strictly
+    /// positive, or any value is non-finite.
+    pub fn new(x0: f64, dx: f64, values: Vec<f64>) -> Self {
+        assert!(values.len() >= 2, "InterpTable needs at least two samples");
+        assert!(dx > 0.0, "InterpTable grid step must be positive");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "InterpTable values must be finite"
+        );
+        Self { x0, dx, values }
+    }
+
+    /// Tabulates `f` at `n` evenly spaced points spanning `[a, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `a >= b`.
+    pub fn tabulate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Self {
+        assert!(n >= 2, "tabulate needs at least two points");
+        assert!(a < b, "tabulate needs a non-empty interval");
+        let dx = (b - a) / (n - 1) as f64;
+        let values = (0..n).map(|i| f(a + i as f64 * dx)).collect();
+        Self::new(a, dx, values)
+    }
+
+    /// Evaluates the table at `x`, clamping outside `[x_min, x_max]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let t = (x - self.x0) / self.dx;
+        if t <= 0.0 {
+            return self.values[0];
+        }
+        let last = self.values.len() - 1;
+        if t >= last as f64 {
+            return self.values[last];
+        }
+        let i = t as usize;
+        let frac = t - i as f64;
+        self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+
+    /// Smallest tabulated abscissa.
+    pub fn x_min(&self) -> f64 {
+        self.x0
+    }
+
+    /// Largest tabulated abscissa.
+    pub fn x_max(&self) -> f64 {
+        self.x0 + self.dx * (self.values.len() - 1) as f64
+    }
+
+    /// Grid step.
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table has no points (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw tabulated values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_linear_function_exactly() {
+        let t = InterpTable::tabulate(|x| 3.0 * x - 1.0, 0.0, 10.0, 11);
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            assert!((t.eval(x) - (3.0 * x - 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = InterpTable::tabulate(|x| x, 0.0, 1.0, 5);
+        assert_eq!(t.eval(-10.0), 0.0);
+        assert_eq!(t.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn hits_grid_points_exactly() {
+        let t = InterpTable::new(2.0, 0.5, vec![1.0, 4.0, 9.0, 16.0]);
+        assert_eq!(t.eval(2.0), 1.0);
+        assert_eq!(t.eval(2.5), 4.0);
+        assert_eq!(t.eval(3.5), 16.0);
+        assert_eq!(t.x_min(), 2.0);
+        assert_eq!(t.x_max(), 3.5);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn quadratic_error_shrinks_with_grid() {
+        let coarse = InterpTable::tabulate(|x| x * x, 0.0, 1.0, 11);
+        let fine = InterpTable::tabulate(|x| x * x, 0.0, 1.0, 101);
+        let x = 0.123;
+        let err_c = (coarse.eval(x) - x * x).abs();
+        let err_f = (fine.eval(x) - x * x).abs();
+        assert!(err_f < err_c);
+        assert!(err_f < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_single_sample() {
+        InterpTable::new(0.0, 1.0, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_values() {
+        InterpTable::new(0.0, 1.0, vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests over the numerics substrate.
+
+use cedar_mathx::order_stats::{blom_order_stat_mean, order_stat_cdf};
+use cedar_mathx::special::{
+    beta_inc, erf, erfc, gamma_p, gamma_q, norm_cdf, norm_quantile, norm_sf,
+};
+use cedar_mathx::{InterpTable, KahanSum};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -20.0..20.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_cdf_monotone(a in -8.0..8.0f64, b in -8.0..8.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-15);
+        prop_assert!((norm_cdf(a) + norm_sf(a) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn norm_quantile_inverts_cdf(p in 0.0005..0.9995f64) {
+        prop_assert!((norm_cdf(norm_quantile(p)) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_inc_monotone_in_x(a in 0.2..20.0f64, b in 0.2..20.0f64, x in 0.0..1.0f64, y in 0.0..1.0f64) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(beta_inc(a, b, lo) <= beta_inc(a, b, hi) + 1e-12);
+        // Symmetry identity.
+        prop_assert!((beta_inc(a, b, x) - (1.0 - beta_inc(b, a, 1.0 - x))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_pq_complement(a in 0.1..50.0f64, x in 0.0..100.0f64) {
+        prop_assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&gamma_p(a, x)));
+    }
+
+    #[test]
+    fn blom_means_monotone_in_rank(k in 2usize..200, frac in 0.0..1.0f64) {
+        let i = 1 + ((k - 1) as f64 * frac) as usize;
+        if i < k {
+            prop_assert!(blom_order_stat_mean(i, k) < blom_order_stat_mean(i + 1, k));
+        }
+        // Antisymmetry.
+        let j = k + 1 - i;
+        prop_assert!((blom_order_stat_mean(i, k) + blom_order_stat_mean(j, k)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn order_stat_cdf_bracketed_by_extremes(p in 0.01..0.99f64, k in 2usize..60, frac in 0.0..1.0f64) {
+        let i = 1 + ((k - 1) as f64 * frac) as usize;
+        let c = order_stat_cdf(p, i, k);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // The minimum stochastically dominates every other order stat.
+        prop_assert!(order_stat_cdf(p, 1, k) >= c - 1e-12);
+        prop_assert!(order_stat_cdf(p, k, k) <= c + 1e-12);
+    }
+
+    #[test]
+    fn kahan_matches_naive_on_benign_data(xs in prop::collection::vec(-1e3..1e3f64, 1..200)) {
+        let kahan: KahanSum = xs.iter().copied().collect();
+        let naive: f64 = xs.iter().sum();
+        prop_assert!((kahan.value() - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interp_table_stays_in_sample_hull(
+        vals in prop::collection::vec(-100.0..100.0f64, 2..50),
+        x in -10.0..60.0f64,
+    ) {
+        let t = InterpTable::new(0.0, 1.0, vals.clone());
+        let y = t.eval(x);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+    }
+}

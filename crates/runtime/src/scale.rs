@@ -1,0 +1,86 @@
+//! Mapping between model time (workload units) and wall-clock time.
+
+use std::time::Duration;
+
+/// A linear time scale: one unit of model time corresponds to
+/// `wall_per_unit` of wall clock.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_runtime::TimeScale;
+/// use std::time::Duration;
+///
+/// // Facebook trace seconds replayed at 10,000x speed.
+/// let s = TimeScale::new(Duration::from_micros(100));
+/// assert_eq!(s.to_wall(1000.0), Duration::from_millis(100));
+/// assert!((s.to_model(Duration::from_millis(50)) - 500.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeScale {
+    wall_per_unit: Duration,
+}
+
+impl TimeScale {
+    /// Creates a scale where one model unit lasts `wall_per_unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_per_unit` is zero.
+    pub fn new(wall_per_unit: Duration) -> Self {
+        assert!(
+            !wall_per_unit.is_zero(),
+            "time scale must map model units to a positive wall duration"
+        );
+        Self { wall_per_unit }
+    }
+
+    /// One model unit = one wall millisecond (good default for
+    /// millisecond-scale workloads run in real time at 1x).
+    pub fn millis() -> Self {
+        Self::new(Duration::from_millis(1))
+    }
+
+    /// Converts model time to wall time; negative model times clamp to
+    /// zero.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe: NaN clamps to zero
+    pub fn to_wall(&self, model: f64) -> Duration {
+        if !(model > 0.0) {
+            return Duration::ZERO;
+        }
+        self.wall_per_unit.mul_f64(model)
+    }
+
+    /// Converts wall time back to model time.
+    pub fn to_model(&self, wall: Duration) -> f64 {
+        wall.as_secs_f64() / self.wall_per_unit.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let s = TimeScale::new(Duration::from_micros(250));
+        for &m in &[0.5, 1.0, 42.0, 1234.5] {
+            let back = s.to_model(s.to_wall(m));
+            assert!((back - m).abs() < 1e-6, "{m} -> {back}");
+        }
+    }
+
+    #[test]
+    fn negative_and_zero_clamp() {
+        let s = TimeScale::millis();
+        assert_eq!(s.to_wall(-5.0), Duration::ZERO);
+        assert_eq!(s.to_wall(0.0), Duration::ZERO);
+        assert_eq!(s.to_wall(f64::NAN), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive wall duration")]
+    fn rejects_zero_scale() {
+        TimeScale::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,506 @@
+//! Per-query execution: samples every duration, builds per-level policy
+//! contexts, and drives the Pseudocode-1 state machines through the event
+//! queue.
+//!
+//! ## Levels
+//!
+//! For an `n`-stage tree there are `n - 1` aggregator levels. The level-ℓ
+//! aggregator (1-based) collects stage-ℓ outputs; its own
+//! aggregate-and-ship duration is drawn from stage ℓ+1's distribution
+//! (`X_{ℓ+1}`), matching Figure 5 of the paper. The root is not an
+//! aggregator: it includes whatever arrives by the deadline.
+//!
+//! ## What policies know
+//!
+//! Policies see the *prior* (population) tree: upper-level quality
+//! profiles and initial waits are computed from it. The per-query *true*
+//! tree drives the sampling; only [`WaitPolicyKind::Ideal`] is shown the
+//! true bottom-stage distribution (`true_lower`), reproducing §3's oracle.
+//! Upper stages vary little across queries (§4.1), so prior and true
+//! upper profiles coincide in the paper's workloads.
+
+use crate::events::{EventKind, EventQueue};
+use crate::metrics::QueryOutcome;
+use crate::runner::SimConfig;
+use cedar_core::policy::{PolicyContext, WaitPolicyKind};
+use cedar_core::{AggregatorAction, AggregatorState};
+use cedar_distrib::ContinuousDist;
+use rand::rngs::StdRng;
+
+/// One aggregator level's runtime state.
+struct Level {
+    states: Vec<AggregatorState>,
+    /// Process outputs accumulated behind each aggregator (payload of the
+    /// result it will ship): `(count, total weight)`.
+    payloads: Vec<(usize, f64)>,
+    /// Last armed timer per aggregator, to avoid flooding the queue with
+    /// duplicate timer events.
+    armed: Vec<f64>,
+    /// Own (aggregate-and-ship) durations, pre-sampled for determinism.
+    own_durations: Vec<f64>,
+    /// Departure times (`NaN` until departed) for diagnostics.
+    departures: Vec<f64>,
+}
+
+/// Policy contexts built from the prior tree, reusable across every query
+/// of a workload (the expensive part — quality-profile tabulation — only
+/// depends on the priors, deadline, and policy). Thin wrapper over
+/// [`cedar_core::setup::PreparedContexts`].
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    inner: cedar_core::setup::PreparedContexts,
+}
+
+impl Prepared {
+    /// Builds the per-level policy contexts from `cfg.priors`.
+    pub fn new(cfg: &SimConfig, kind: WaitPolicyKind) -> Self {
+        Self {
+            inner: cedar_core::setup::PreparedContexts::new(
+                &cfg.priors,
+                cfg.deadline,
+                kind,
+                cfg.model,
+                cfg.scan_steps,
+                &cfg.profile,
+            ),
+        }
+    }
+
+    /// Contexts for one query, with the true distributions filled in.
+    fn for_query(&self, cfg: &SimConfig) -> Vec<PolicyContext> {
+        self.inner.for_query(&cfg.tree)
+    }
+}
+
+/// Executes one query and returns its outcome; builds the prior contexts
+/// fresh (use [`execute_prepared`] to amortize them over many queries).
+pub fn execute(cfg: &SimConfig, kind: WaitPolicyKind, rng: &mut StdRng) -> QueryOutcome {
+    let prepared = Prepared::new(cfg, kind);
+    execute_prepared(cfg, kind, rng, &prepared)
+}
+
+/// Executes one query using pre-built prior contexts.
+///
+/// Sampling order is fixed (processes bottom-up, then per-level own
+/// durations), so a given `rng` state always produces the same query.
+pub fn execute_prepared(
+    cfg: &SimConfig,
+    kind: WaitPolicyKind,
+    rng: &mut StdRng,
+    prepared: &Prepared,
+) -> QueryOutcome {
+    let n = cfg.tree.levels();
+    let total_processes = cfg.tree.total_processes();
+
+    // Pre-sample every duration from the *true* tree.
+    let mut process_durations = cfg.tree.stage(0).dist.sample_vec(rng, total_processes);
+
+    // Straggler mitigation (§7 interplay): processes slower than the
+    // launch quantile race a speculative copy started at that instant;
+    // the earlier finisher wins and the loser is killed.
+    if let Some(spec) = cfg.speculation {
+        let launch_at = cfg.tree.stage(0).dist.quantile(spec.launch_quantile);
+        if launch_at.is_finite() {
+            for d in process_durations.iter_mut() {
+                if *d > launch_at {
+                    let copy = launch_at + cfg.tree.stage(0).dist.sample(rng);
+                    *d = d.min(copy);
+                }
+            }
+        }
+    }
+
+    // Appendix-A weighting: every process output carries a weight.
+    let weights: Option<&[f64]> = cfg.weights.as_deref().map(|w| {
+        assert_eq!(
+            w.len(),
+            total_processes,
+            "one weight per leaf process required"
+        );
+        w.as_slice()
+    });
+    let weight_of = |pi: usize| weights.map_or(1.0, |w| w[pi]);
+    let total_weight: f64 = match weights {
+        Some(w) => w.iter().sum(),
+        None => total_processes as f64,
+    };
+
+    if n == 1 {
+        // Degenerate single-level tree: processes report straight to the
+        // root.
+        let mut included = 0usize;
+        let mut included_weight = 0.0f64;
+        for (pi, &t) in process_durations.iter().enumerate() {
+            if t <= cfg.deadline {
+                included += 1;
+                included_weight += weight_of(pi);
+            }
+        }
+        return QueryOutcome {
+            quality: included as f64 / total_processes.max(1) as f64,
+            included_outputs: included,
+            total_processes,
+            root_arrivals: included,
+            included_weight,
+            total_weight,
+            level1_departures: Vec::new(),
+        };
+    }
+
+    let agg_levels = n - 1;
+    let contexts = prepared.for_query(cfg);
+
+    let mut levels: Vec<Level> = (1..=agg_levels)
+        .map(|level| {
+            let count = cfg.tree.nodes_at(level);
+            let own_durations = cfg.tree.stage(level).dist.sample_vec(rng, count);
+            let states = (0..count)
+                .map(|_| {
+                    AggregatorState::new(
+                        kind.instantiate(contexts[level - 1].fanout, cfg.model),
+                        contexts[level - 1].clone(),
+                    )
+                })
+                .collect();
+            Level {
+                states,
+                payloads: vec![(0, 0.0); count],
+                armed: vec![f64::NAN; count],
+                own_durations,
+                departures: vec![f64::NAN; count],
+            }
+        })
+        .collect();
+
+    let mut queue = EventQueue::new();
+
+    // Initial timers.
+    for (li, level) in levels.iter_mut().enumerate() {
+        for (ai, st) in level.states.iter_mut().enumerate() {
+            let w = st.start();
+            level.armed[ai] = w;
+            queue.push(
+                w,
+                EventKind::Timer {
+                    level: li + 1,
+                    agg: ai,
+                },
+            );
+        }
+    }
+
+    // Process outputs.
+    let k1 = cfg.tree.stage(0).fanout;
+    for (pi, &d) in process_durations.iter().enumerate() {
+        if d <= cfg.deadline {
+            queue.push(
+                d,
+                EventKind::ProcessOutput {
+                    agg: pi / k1,
+                    weight: weight_of(pi),
+                },
+            );
+        }
+    }
+
+    let mut root_payload = 0usize;
+    let mut root_weight = 0.0f64;
+    let mut root_arrivals = 0usize;
+
+    while let Some(ev) = queue.pop() {
+        if ev.time > cfg.deadline {
+            // Nothing after the deadline can affect the response.
+            break;
+        }
+        match ev.kind {
+            EventKind::ProcessOutput { agg, weight } => {
+                handle_arrival(&mut levels, &mut queue, cfg, 1, agg, 1, weight, ev.time);
+            }
+            EventKind::AggregatorResult {
+                level,
+                agg,
+                payload,
+                weight,
+            } => {
+                if level > agg_levels {
+                    // Root: level-L aggregator results arriving by D.
+                    root_payload += payload;
+                    root_weight += weight;
+                    root_arrivals += 1;
+                } else {
+                    handle_arrival(
+                        &mut levels,
+                        &mut queue,
+                        cfg,
+                        level,
+                        agg,
+                        payload,
+                        weight,
+                        ev.time,
+                    );
+                }
+            }
+            EventKind::Timer { level, agg } => {
+                let lv = &mut levels[level - 1];
+                if lv.states[agg].on_timer(ev.time) {
+                    depart(&mut levels, &mut queue, cfg, level, agg, ev.time);
+                }
+            }
+        }
+    }
+
+    let level1_departures = levels[0].departures.clone();
+    QueryOutcome {
+        quality: root_payload as f64 / total_processes.max(1) as f64,
+        included_outputs: root_payload,
+        total_processes,
+        root_arrivals,
+        included_weight: root_weight,
+        total_weight,
+        level1_departures,
+    }
+}
+
+/// Feeds one input arrival (a process output or a child aggregator's
+/// result) to the receiving aggregator.
+#[allow(clippy::too_many_arguments)]
+fn handle_arrival(
+    levels: &mut [Level],
+    queue: &mut EventQueue,
+    cfg: &SimConfig,
+    level: usize,
+    agg: usize,
+    payload: usize,
+    weight: f64,
+    now: f64,
+) {
+    let (depart_now, new_timer) = {
+        let lv = &mut levels[level - 1];
+        if lv.states[agg].departed() {
+            // Shipped already; the late input is lost upstream.
+            return;
+        }
+        lv.payloads[agg].0 += payload;
+        lv.payloads[agg].1 += weight;
+        match lv.states[agg].on_output(now) {
+            AggregatorAction::Depart => (true, None),
+            AggregatorAction::SetTimer(w) => (false, Some(w)),
+        }
+    };
+    if depart_now {
+        depart(levels, queue, cfg, level, agg, now);
+    } else if let Some(w) = new_timer {
+        let lv = &mut levels[level - 1];
+        if (w - lv.armed[agg]).abs() > 1e-12 {
+            lv.armed[agg] = w;
+            queue.push(w, EventKind::Timer { level, agg });
+        }
+    }
+}
+
+/// Ships aggregator (`level`, `agg`)'s collected payload upstream at time
+/// `now`. The result is enqueued as an [`EventKind::AggregatorResult`]
+/// addressed to `level + 1`; the event loop routes `level > agg_levels`
+/// to the root.
+fn depart(
+    levels: &mut [Level],
+    queue: &mut EventQueue,
+    cfg: &SimConfig,
+    level: usize,
+    agg: usize,
+    now: f64,
+) {
+    let agg_levels = levels.len();
+    let (arrive, (payload, weight)) = {
+        let lv = &mut levels[level - 1];
+        lv.departures[agg] = now;
+        (now + lv.own_durations[agg], lv.payloads[agg])
+    };
+    if payload == 0 {
+        // An empty result adds nothing to quality; skip the upstream hop
+        // (production systems still send headers, but they carry no
+        // process outputs).
+        return;
+    }
+    if arrive > cfg.deadline {
+        // The shipment cannot influence the response; prune it.
+        return;
+    }
+    let receiver = if level == agg_levels {
+        0
+    } else {
+        agg / cfg.tree.stage(level).fanout
+    };
+    queue.push(
+        arrive,
+        EventKind::AggregatorResult {
+            level: level + 1,
+            agg: receiver,
+            payload,
+            weight,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::{StageSpec, TreeSpec};
+    use cedar_distrib::{LogNormal, Uniform};
+    use rand::SeedableRng;
+
+    fn small_tree() -> TreeSpec {
+        TreeSpec::two_level(
+            StageSpec::new(LogNormal::new(1.0, 0.6).unwrap(), 10),
+            StageSpec::new(LogNormal::new(1.2, 0.4).unwrap(), 5),
+        )
+    }
+
+    #[test]
+    fn quality_is_a_fraction() {
+        let cfg = SimConfig::new(small_tree(), 30.0).with_seed(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = execute(&cfg, WaitPolicyKind::ProportionalSplit, &mut rng);
+        assert!((0.0..=1.0).contains(&out.quality));
+        assert_eq!(out.total_processes, 50);
+        assert!(out.included_outputs <= 50);
+        assert!(out.root_arrivals <= 5);
+    }
+
+    #[test]
+    fn generous_deadline_perfect_quality() {
+        // Uniform durations bounded well inside the deadline: every output
+        // must make it with any sensible policy.
+        let tree = TreeSpec::two_level(
+            StageSpec::new(Uniform::new(0.1, 1.0).unwrap(), 8),
+            StageSpec::new(Uniform::new(0.1, 1.0).unwrap(), 4),
+        );
+        let cfg = SimConfig::new(tree, 1000.0).with_seed(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        assert!((out.quality - 1.0).abs() < 1e-12, "quality {}", out.quality);
+        assert_eq!(out.root_arrivals, 4);
+    }
+
+    #[test]
+    fn zero_deadline_zero_quality() {
+        let cfg = SimConfig::new(small_tree(), 0.0).with_seed(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        assert_eq!(out.quality, 0.0);
+    }
+
+    #[test]
+    fn single_level_tree_counts_direct_arrivals() {
+        let tree = TreeSpec::new(vec![StageSpec::new(Uniform::new(0.0, 2.0).unwrap(), 100)]);
+        let cfg = SimConfig::new(tree, 1.0).with_seed(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        // Uniform(0,2) below 1.0 with probability 1/2.
+        assert!((out.quality - 0.5).abs() < 0.15, "quality {}", out.quality);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SimConfig::new(small_tree(), 20.0).with_seed(9);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = execute(&cfg, WaitPolicyKind::Cedar, &mut r1);
+        let b = execute(&cfg, WaitPolicyKind::Cedar, &mut r2);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.included_outputs, b.included_outputs);
+        assert_eq!(a.level1_departures, b.level1_departures);
+    }
+
+    #[test]
+    fn three_level_tree_runs() {
+        let tree = TreeSpec::new(vec![
+            StageSpec::new(LogNormal::new(1.0, 0.6).unwrap(), 6),
+            StageSpec::new(LogNormal::new(1.2, 0.4).unwrap(), 4),
+            StageSpec::new(LogNormal::new(1.2, 0.4).unwrap(), 3),
+        ]);
+        let cfg = SimConfig::new(tree, 60.0).with_seed(11);
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        assert_eq!(out.total_processes, 72);
+        assert!((0.0..=1.0).contains(&out.quality));
+        assert!(out.quality > 0.3, "quality {}", out.quality);
+    }
+
+    #[test]
+    fn uniform_weights_match_counts() {
+        let cfg = SimConfig::new(small_tree(), 25.0).with_seed(21);
+        let mut rng = StdRng::seed_from_u64(21);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        assert!((out.included_weight - out.included_outputs as f64).abs() < 1e-9);
+        assert!((out.total_weight - out.total_processes as f64).abs() < 1e-9);
+        assert!((out.weighted_quality() - out.quality).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_quality_reflects_weights() {
+        // All the weight on the first aggregator's processes: weighted
+        // quality is driven entirely by that subtree.
+        let tree = TreeSpec::two_level(
+            StageSpec::new(Uniform::new(0.1, 1.0).unwrap(), 5),
+            StageSpec::new(Uniform::new(0.1, 1.0).unwrap(), 2),
+        );
+        let mut weights = vec![0.0; 10];
+        for w in weights.iter_mut().take(5) {
+            *w = 2.0;
+        }
+        let cfg = SimConfig::new(tree, 100.0)
+            .with_seed(22)
+            .with_weights(std::sync::Arc::new(weights));
+        let mut rng = StdRng::seed_from_u64(22);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        // Generous deadline: everything arrives, weighted quality 1.
+        assert!((out.weighted_quality() - 1.0).abs() < 1e-12);
+        assert!((out.total_weight - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_improves_straggler_heavy_queries() {
+        use crate::runner::SpeculationConfig;
+        // Heavy-tailed processes under a tight deadline: speculative
+        // copies cut the tail, so quality must not decrease (and
+        // typically improves).
+        let tree = TreeSpec::two_level(
+            StageSpec::new(LogNormal::new(1.0, 1.4).unwrap(), 20),
+            StageSpec::new(LogNormal::new(0.5, 0.3).unwrap(), 5),
+        );
+        let base_cfg = SimConfig::new(tree.clone(), 15.0).with_seed(23);
+        let spec_cfg = SimConfig::new(tree, 15.0)
+            .with_seed(23)
+            .with_speculation(SpeculationConfig::new(0.75));
+        let mut q_base = 0.0;
+        let mut q_spec = 0.0;
+        for s in 0..20 {
+            let mut r1 = StdRng::seed_from_u64(1000 + s);
+            let mut r2 = StdRng::seed_from_u64(1000 + s);
+            q_base += execute(&base_cfg, WaitPolicyKind::Ideal, &mut r1).quality;
+            q_spec += execute(&spec_cfg, WaitPolicyKind::Ideal, &mut r2).quality;
+        }
+        assert!(q_spec >= q_base, "speculation hurt: {q_spec} vs {q_base}");
+        assert!(q_spec > q_base + 0.3, "speculation had no effect");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per leaf")]
+    fn wrong_weight_count_panics() {
+        let cfg =
+            SimConfig::new(small_tree(), 25.0).with_weights(std::sync::Arc::new(vec![1.0; 3]));
+        let mut rng = StdRng::seed_from_u64(24);
+        execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+    }
+
+    #[test]
+    fn level1_departures_bounded_by_deadline() {
+        let cfg = SimConfig::new(small_tree(), 25.0).with_seed(13);
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = execute(&cfg, WaitPolicyKind::Cedar, &mut rng);
+        for &d in out.level1_departures.iter().filter(|d| !d.is_nan()) {
+            assert!(d <= 25.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Query outcomes and cross-policy comparisons.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of simulating one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Response quality: fraction of process outputs included in the
+    /// final response (the paper's figure of merit).
+    pub quality: f64,
+    /// Absolute number of process outputs included.
+    pub included_outputs: usize,
+    /// Total leaf processes spawned by the query.
+    pub total_processes: usize,
+    /// Number of top-level aggregator results that made the deadline.
+    pub root_arrivals: usize,
+    /// Total weight of the included outputs (equals `included_outputs`
+    /// when weights are uniform) — Appendix A's weighted-quality model.
+    pub included_weight: f64,
+    /// Total weight of all process outputs.
+    pub total_weight: f64,
+    /// Departure time of each level-1 aggregator (`NaN` if it never
+    /// departed within the horizon) — diagnostics for wait-duration
+    /// analyses.
+    pub level1_departures: Vec<f64>,
+}
+
+impl QueryOutcome {
+    /// Weighted response quality: included weight over total weight.
+    pub fn weighted_quality(&self) -> f64 {
+        if self.total_weight > 0.0 {
+            self.included_weight / self.total_weight
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Mean quality across outcomes; `NaN` for an empty slice.
+pub fn mean_quality(outcomes: &[QueryOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return f64::NAN;
+    }
+    outcomes.iter().map(|o| o.quality).sum::<f64>() / outcomes.len() as f64
+}
+
+/// The paper's improvement metric:
+/// `100 * (quality_candidate - quality_baseline) / quality_baseline`.
+///
+/// Returns `INFINITY` when the baseline quality is zero but the candidate
+/// is positive, and 0 when both are zero.
+pub fn improvement_pct(candidate: f64, baseline: f64) -> f64 {
+    if baseline > 0.0 {
+        100.0 * (candidate - baseline) / baseline
+    } else if candidate > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// Side-by-side policy results over the same query set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// Display name of the candidate policy.
+    pub candidate_name: String,
+    /// Display name of the baseline policy.
+    pub baseline_name: String,
+    /// Mean quality of the candidate.
+    pub candidate_quality: f64,
+    /// Mean quality of the baseline.
+    pub baseline_quality: f64,
+    /// Improvement of mean qualities, in percent.
+    pub improvement_pct: f64,
+    /// Per-query improvements (same order as the trials), for CDF plots
+    /// like the paper's Fig. 8. Queries with baseline quality below the
+    /// threshold passed to [`PolicyComparison::new`] are skipped.
+    pub per_query_improvement_pct: Vec<f64>,
+}
+
+impl PolicyComparison {
+    /// Builds a comparison from matched outcome vectors.
+    ///
+    /// `min_baseline_quality` filters the per-query improvement list the
+    /// way the paper's Fig. 8 does ("we only look at queries having > 5%
+    /// quality in the baseline approach to prevent improvements from
+    /// being unreasonably high").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome vectors have different lengths.
+    pub fn new(
+        candidate_name: &str,
+        baseline_name: &str,
+        candidate: &[QueryOutcome],
+        baseline: &[QueryOutcome],
+        min_baseline_quality: f64,
+    ) -> Self {
+        assert_eq!(
+            candidate.len(),
+            baseline.len(),
+            "comparison needs matched trial counts"
+        );
+        let cq = mean_quality(candidate);
+        let bq = mean_quality(baseline);
+        let per_query = candidate
+            .iter()
+            .zip(baseline)
+            .filter(|(_, b)| b.quality > min_baseline_quality)
+            .map(|(c, b)| improvement_pct(c.quality, b.quality))
+            .collect();
+        Self {
+            candidate_name: candidate_name.to_owned(),
+            baseline_name: baseline_name.to_owned(),
+            candidate_quality: cq,
+            baseline_quality: bq,
+            improvement_pct: improvement_pct(cq, bq),
+            per_query_improvement_pct: per_query,
+        }
+    }
+
+    /// Fraction of (filtered) queries whose improvement exceeds `pct`.
+    pub fn fraction_above(&self, pct: f64) -> f64 {
+        if self.per_query_improvement_pct.is_empty() {
+            return 0.0;
+        }
+        self.per_query_improvement_pct
+            .iter()
+            .filter(|&&x| x > pct)
+            .count() as f64
+            / self.per_query_improvement_pct.len() as f64
+    }
+}
+
+/// Quantile (inclusive, nearest-rank interpolated) of a value slice —
+/// used for improvement-CDF reporting.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let t = p.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let i = t.floor() as usize;
+    let frac = t - i as f64;
+    if i + 1 < v.len() {
+        v[i] * (1.0 - frac) + v[i + 1] * frac
+    } else {
+        v[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(q: f64) -> QueryOutcome {
+        QueryOutcome {
+            quality: q,
+            included_outputs: (q * 100.0) as usize,
+            total_processes: 100,
+            root_arrivals: 1,
+            included_weight: q * 100.0,
+            total_weight: 100.0,
+            level1_departures: vec![],
+        }
+    }
+
+    #[test]
+    fn weighted_quality_matches_unweighted_for_uniform_weights() {
+        let o = outcome(0.4);
+        assert!((o.weighted_quality() - 0.4).abs() < 1e-12);
+        let empty = QueryOutcome {
+            total_weight: 0.0,
+            ..outcome(0.0)
+        };
+        assert_eq!(empty.weighted_quality(), 0.0);
+    }
+
+    #[test]
+    fn mean_quality_basic() {
+        let o = vec![outcome(0.2), outcome(0.4), outcome(0.9)];
+        assert!((mean_quality(&o) - 0.5).abs() < 1e-12);
+        assert!(mean_quality(&[]).is_nan());
+    }
+
+    #[test]
+    fn improvement_formula() {
+        assert!((improvement_pct(0.9, 0.45) - 100.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(0.5, 0.0), f64::INFINITY);
+        assert_eq!(improvement_pct(0.0, 0.0), 0.0);
+        assert!(improvement_pct(0.4, 0.5) < 0.0);
+    }
+
+    #[test]
+    fn comparison_filters_low_baseline_queries() {
+        let cand = vec![outcome(0.9), outcome(0.5), outcome(0.8)];
+        let base = vec![outcome(0.45), outcome(0.01), outcome(0.4)];
+        let cmp = PolicyComparison::new("Cedar", "Prop", &cand, &base, 0.05);
+        // Middle query filtered (baseline 1%).
+        assert_eq!(cmp.per_query_improvement_pct.len(), 2);
+        assert!((cmp.per_query_improvement_pct[0] - 100.0).abs() < 1e-9);
+        assert!(cmp.improvement_pct > 0.0);
+        assert!((cmp.fraction_above(50.0) - 1.0).abs() < 1e-12);
+        assert_eq!(cmp.fraction_above(150.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert!((percentile(&v, 0.5) - 3.0).abs() < 1e-12);
+        assert!((percentile(&v, 0.25) - 2.0).abs() < 1e-12);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "matched trial counts")]
+    fn comparison_rejects_mismatched_lengths() {
+        PolicyComparison::new("a", "b", &[outcome(0.5)], &[], 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Production workload models and synthetic trace generation.
+//!
+//! The paper evaluates Cedar on four production data sets (§2.2, §5.1):
+//! Facebook Hadoop task durations, Bing search-cluster RTTs, Google
+//! search-cluster process durations, and Microsoft Cosmos analytics task
+//! statistics. Those raw traces are proprietary; what the paper publishes
+//! is (a) the best-fit distribution family — log-normal for every trace —
+//! and (b) fit parameters for several of them. This crate rebuilds the
+//! workloads from that published information:
+//!
+//! - [`production`] — the published log-normal fits (Facebook map
+//!   `LN(2.77, 0.84)` s, Bing `LN(5.9, 1.25)` µs, Google `LN(2.94, 0.55)`
+//!   ms) plus documented stand-ins where the paper gives no parameters;
+//! - [`variation`] — per-query parameter variation: the paper's central
+//!   premise is that *per-query* distributions differ substantially from
+//!   the population fit, which is exactly what Cedar's online learning
+//!   exploits. [`variation::PopulationModel`] draws per-query `(mu,
+//!   sigma)` around the published population values and knows its own
+//!   marginal (what Proportional-split fits offline);
+//! - [`tracegen`] — synthetic per-job trace generation mirroring the
+//!   paper's Facebook replay (jobs with > 2500 map and > 50 reduce
+//!   durations), with jobs convertible to simulator tree specs;
+//! - [`traceio`] — JSON-lines trace serialization;
+//! - [`stats`] — summary statistics used by the workload-validation
+//!   experiments (Fig. 4).
+//!
+//! Every substitution is documented in `DESIGN.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod production;
+pub mod stats;
+pub mod tracegen;
+pub mod traceio;
+pub mod treedef;
+pub mod variation;
+
+pub use production::Workload;
+pub use tracegen::{Job, TraceGenerator};
+pub use variation::PopulationModel;

@@ -1,0 +1,353 @@
+//! The paper's named workloads.
+//!
+//! ## Published fits (used verbatim)
+//!
+//! | Trace | Fit | Unit | Source |
+//! |---|---|---|---|
+//! | Facebook map tasks | `LN(2.77, 0.84)` | seconds | Fig. 9 caption |
+//! | Bing RTTs | `LN(5.9, 1.25)` | microseconds | §5.6 |
+//! | Google search | `LN(2.94, 0.55)` | milliseconds | §5.6 |
+//!
+//! ## Documented stand-ins (the paper gives no parameters)
+//!
+//! | Trace | Stand-in | Rationale |
+//! |---|---|---|
+//! | Facebook reduce tasks | `LN(4.0, 1.2)` s | an order of magnitude shorter than the big replayed jobs' maps, with a heavy tail; keeps Fig. 6/7's 500–3000 s deadline range meaningful |
+//! | Cosmos extract | `LN(3.8, 1.2)` s | "task durations vary considerably more (factor of 1600x)" — a heavier-tailed bottom stage |
+//! | Cosmos full-aggregate | `LN(2.5, 0.9)` s | aggregation phases are shorter and steadier than extract |
+//!
+//! ## Per-query variation
+//!
+//! The Facebook-style workloads attach a [`PopulationModel`] to the
+//! bottom stage: per-job `mu` jitter of 1.5 reproduces the trace's
+//! several-orders-of-magnitude duration spread and gives the offline
+//! baselines the same handicap they have against the real trace. Upper
+//! stages stay fixed across queries, matching the paper's observation
+//! (§4.1) that aggregator durations vary little.
+
+use crate::variation::{GaussianPopulation, PopulationModel};
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::{ContinuousDist, LogNormal};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Facebook map-task fit: `LN(2.77, 0.84)` seconds (paper, Fig. 9).
+///
+/// This is the fit over the *whole* trace, used by the estimation
+/// experiments (Fig. 9–11). The replay experiments use
+/// [`FACEBOOK_MAP_REPLAY`] instead — see its docs.
+pub const FACEBOOK_MAP: (f64, f64) = (2.77, 0.84);
+/// Facebook map-task scale for the replayed jobs: `LN(6.5, 0.84)`
+/// seconds.
+///
+/// The paper's replay prunes the trace to jobs with more than 2500 map
+/// tasks — the *largest* jobs, whose map durations sit on the same scale
+/// as the 500–3000 s deadline sweep of Figs. 6–8 (the whole-trace fit's
+/// ~16 s median would make every deadline trivially satisfiable and all
+/// policies indistinguishable). The location is calibrated so that the
+/// deadline sweep spans the same baseline-quality range (~0.2 → ~0.7) as
+/// the paper's figures; the shape parameter is the published 0.84.
+pub const FACEBOOK_MAP_REPLAY: (f64, f64) = (6.5, 0.84);
+/// Facebook reduce-task stand-in for the replayed jobs: `LN(4.0, 1.2)`
+/// seconds (see module docs; reduces are an order of magnitude shorter
+/// than the big jobs' maps, with a heavy tail).
+pub const FACEBOOK_REDUCE: (f64, f64) = (4.0, 1.2);
+/// Bing RTT fit: `LN(5.9, 1.25)` microseconds (paper, §5.6).
+pub const BING_RTT: (f64, f64) = (5.9, 1.25);
+/// Google search fit: `LN(2.94, 0.55)` milliseconds (paper, §5.6).
+pub const GOOGLE_SEARCH: (f64, f64) = (2.94, 0.55);
+/// Cosmos extract-phase stand-in: `LN(3.8, 1.2)` seconds (calibrated so
+/// the Fig. 15 deadline sweep spans the paper's ~9-79% improvement band).
+pub const COSMOS_EXTRACT: (f64, f64) = (3.8, 1.2);
+/// Cosmos full-aggregate stand-in: `LN(2.5, 0.9)` seconds.
+pub const COSMOS_FULL_AGGREGATE: (f64, f64) = (2.5, 0.9);
+
+/// Default per-job `mu` jitter for Facebook-style workloads.
+pub const FB_MU_JITTER: f64 = 1.5;
+/// Default per-job `sigma` jitter for Facebook-style workloads.
+pub const FB_SIGMA_JITTER: f64 = 0.15;
+
+/// How the bottom stage varies from query to query.
+#[derive(Debug, Clone)]
+pub enum BottomVariation {
+    /// Every query sees the same bottom distribution.
+    None,
+    /// Per-query log-normal parameters (Facebook-style traces).
+    LogNormalPop(PopulationModel),
+    /// Per-query rectified-Gaussian means (Fig. 17 robustness workload).
+    GaussianPop(GaussianPopulation),
+}
+
+/// A named evaluation workload: the population tree the policies learn
+/// offline plus the per-query generator for the bottom stage.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// Population-level tree; the bottom stage holds the *marginal*
+    /// distribution (what Proportional-split fits from history).
+    pub priors: TreeSpec,
+    /// Per-query bottom-stage generator.
+    pub bottom: BottomVariation,
+}
+
+impl Workload {
+    /// A workload with no per-query variation.
+    pub fn fixed(name: &str, tree: TreeSpec) -> Self {
+        Self {
+            name: name.to_owned(),
+            priors: tree,
+            bottom: BottomVariation::None,
+        }
+    }
+
+    /// Draws the true tree for one query.
+    pub fn query_tree(&self, rng: &mut dyn RngCore) -> TreeSpec {
+        match &self.bottom {
+            BottomVariation::None => self.priors.clone(),
+            BottomVariation::LogNormalPop(m) => self
+                .priors
+                .with_bottom_dist(Arc::new(m.sample_query(rng)) as Arc<dyn ContinuousDist>),
+            BottomVariation::GaussianPop(m) => self
+                .priors
+                .with_bottom_dist(Arc::new(m.sample_query(rng)) as Arc<dyn ContinuousDist>),
+        }
+    }
+}
+
+fn ln(params: (f64, f64)) -> LogNormal {
+    LogNormal::new(params.0, params.1).expect("published parameters are valid")
+}
+
+/// The primary workload (§5.1–5.3, Figs. 6–8): Facebook map durations at
+/// the bottom, Facebook reduce durations above, per-job variation on the
+/// maps. Times in seconds.
+pub fn facebook_mr(k1: usize, k2: usize) -> Workload {
+    let pop = PopulationModel::new(
+        FACEBOOK_MAP_REPLAY.0,
+        FACEBOOK_MAP_REPLAY.1,
+        FB_MU_JITTER,
+        FB_SIGMA_JITTER,
+    )
+    .expect("constants are valid");
+    let priors = TreeSpec::two_level(
+        StageSpec::new(pop.marginal(), k1),
+        StageSpec::new(ln(FACEBOOK_REDUCE), k2),
+    );
+    Workload {
+        name: "FacebookMR".to_owned(),
+        priors,
+        bottom: BottomVariation::LogNormalPop(pop),
+    }
+}
+
+/// Three-level variant of the primary workload (Fig. 13): Facebook map at
+/// the bottom, Facebook reduce at both upper levels.
+pub fn facebook_mr_three_level(k1: usize, k2: usize, k3: usize) -> Workload {
+    let pop = PopulationModel::new(
+        FACEBOOK_MAP_REPLAY.0,
+        FACEBOOK_MAP_REPLAY.1,
+        FB_MU_JITTER,
+        FB_SIGMA_JITTER,
+    )
+    .expect("constants are valid");
+    let priors = TreeSpec::new(vec![
+        StageSpec::new(pop.marginal(), k1),
+        StageSpec::new(ln(FACEBOOK_REDUCE), k2),
+        StageSpec::new(ln(FACEBOOK_REDUCE), k3),
+    ]);
+    Workload {
+        name: "FacebookMR-3level".to_owned(),
+        priors,
+        bottom: BottomVariation::LogNormalPop(pop),
+    }
+}
+
+/// The interactive workload (Fig. 14): Facebook map shape expressed in
+/// milliseconds at the bottom, Google search distribution above. Deadlines
+/// of 140–170 ms apply.
+///
+/// The bottom stage keeps the Facebook shape (`sigma = 0.84`) with its
+/// location raised to `mu = 4.0` (median ~55 ms) so that the 140–170 ms
+/// deadline window sits in the contended regime the paper plots (the
+/// whole-trace `mu = 2.77` would make the deadlines trivially
+/// satisfiable).
+pub fn interactive(k1: usize, k2: usize) -> Workload {
+    let pop = PopulationModel::new(4.0, FACEBOOK_MAP.1, 1.0, FB_SIGMA_JITTER)
+        .expect("constants are valid");
+    let priors = TreeSpec::two_level(
+        StageSpec::new(pop.marginal(), k1),
+        StageSpec::new(ln(GOOGLE_SEARCH), k2),
+    );
+    Workload {
+        name: "Interactive (FB-map ms / Google)".to_owned(),
+        priors,
+        bottom: BottomVariation::LogNormalPop(pop),
+    }
+}
+
+/// The Cosmos workload (Fig. 15): extract phase at the bottom,
+/// full-aggregate above. The paper had only per-phase statistics (no
+/// per-job durations), so per-query variation is modest and the Cedar
+/// variant evaluated on it is the offline one.
+pub fn cosmos(k1: usize, k2: usize) -> Workload {
+    let pop = PopulationModel::new(COSMOS_EXTRACT.0, COSMOS_EXTRACT.1, 1.0, 0.1)
+        .expect("constants are valid");
+    let priors = TreeSpec::two_level(
+        StageSpec::new(pop.marginal(), k1),
+        StageSpec::new(ln(COSMOS_FULL_AGGREGATE), k2),
+    );
+    Workload {
+        name: "Cosmos".to_owned(),
+        priors,
+        bottom: BottomVariation::LogNormalPop(pop),
+    }
+}
+
+/// Same-distribution-at-both-stages workloads (Fig. 16): both stages from
+/// one trace's fit, with the bottom stage's population `sigma` overridden
+/// (the x-axis of the figure).
+///
+/// `base` picks the trace: [`BING_RTT`], [`GOOGLE_SEARCH`] or
+/// [`FACEBOOK_MAP`] (with [`FACEBOOK_REDUCE`] on top for the Facebook
+/// variant, per §5.6).
+pub fn same_distribution(
+    name: &str,
+    base: (f64, f64),
+    upper: (f64, f64),
+    sigma1: f64,
+    k1: usize,
+    k2: usize,
+) -> Workload {
+    let pop = PopulationModel::new(base.0, sigma1, 0.5, 0.1).expect("parameters are valid");
+    let priors = TreeSpec::two_level(
+        StageSpec::new(pop.marginal(), k1),
+        StageSpec::new(ln(upper), k2),
+    );
+    Workload {
+        name: name.to_owned(),
+        priors,
+        bottom: BottomVariation::LogNormalPop(pop),
+    }
+}
+
+/// The Gaussian robustness workload (Fig. 17): both stages
+/// `Normal(40 ms)`, bottom sigma 80 ms, top sigma 10 ms, rectified at
+/// zero. Use `Model::Normal` for Cedar's estimator on this workload.
+pub fn gaussian(k1: usize, k2: usize) -> Workload {
+    let pop = GaussianPopulation::new(40.0, 15.0, 80.0).expect("constants are valid");
+    let top = cedar_distrib::Rectified::new(
+        cedar_distrib::Normal::new(40.0, 10.0).expect("constants are valid"),
+    );
+    let priors = TreeSpec::two_level(StageSpec::new(pop.marginal(), k1), StageSpec::new(top, k2));
+    Workload {
+        name: "Gaussian".to_owned(),
+        priors,
+        bottom: BottomVariation::GaussianPop(pop),
+    }
+}
+
+/// The Bing RTT distribution alone (Fig. 4's CDF) — handy for workload
+/// validation.
+pub fn bing_rtt_dist() -> LogNormal {
+    ln(BING_RTT)
+}
+
+/// The Google search distribution alone.
+pub fn google_search_dist() -> LogNormal {
+    ln(GOOGLE_SEARCH)
+}
+
+/// The Facebook map distribution alone.
+pub fn facebook_map_dist() -> LogNormal {
+    ln(FACEBOOK_MAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn facebook_workload_shape() {
+        let w = facebook_mr(50, 50);
+        assert_eq!(w.priors.levels(), 2);
+        assert_eq!(w.priors.total_processes(), 2500);
+        // The marginal is wider than the base fit.
+        assert!(w.priors.stage(0).dist.stddev() > facebook_map_dist().stddev());
+    }
+
+    #[test]
+    fn query_trees_vary_per_query() {
+        let w = facebook_mr(50, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = w.query_tree(&mut rng);
+        let b = w.query_tree(&mut rng);
+        assert_ne!(a.stage(0).dist.mean(), b.stage(0).dist.mean());
+        // Upper stage fixed.
+        assert_eq!(a.stage(1).dist.mean(), b.stage(1).dist.mean());
+    }
+
+    #[test]
+    fn fixed_workload_does_not_vary() {
+        let w = Workload::fixed(
+            "test",
+            TreeSpec::two_level(
+                StageSpec::new(ln(GOOGLE_SEARCH), 10),
+                StageSpec::new(ln(GOOGLE_SEARCH), 10),
+            ),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = w.query_tree(&mut rng);
+        let b = w.query_tree(&mut rng);
+        assert_eq!(a.stage(0).dist.mean(), b.stage(0).dist.mean());
+    }
+
+    #[test]
+    fn bing_fit_matches_paper_percentiles() {
+        // Fig. 4: median 330 us, p90 1.1 ms, p99 14 ms. The published fit
+        // LN(5.9, 1.25) reproduces the median within ~11% and p90 within
+        // a factor ~1.7 (the paper itself reports 1-2% error against the
+        // *raw* trace, whose exact percentiles we don't have; what we
+        // check here is the right order of magnitude and tail shape).
+        let d = bing_rtt_dist();
+        let median = d.quantile(0.5);
+        assert!((250.0..500.0).contains(&median), "median {median}");
+        let p99 = d.quantile(0.99);
+        assert!(p99 / median > 15.0, "p99/p50 = {}", p99 / median);
+    }
+
+    #[test]
+    fn google_fit_matches_paper_percentiles() {
+        // §2.2: Google median 19 ms, p99 over 65 ms.
+        let d = google_search_dist();
+        assert!((d.quantile(0.5) - 19.0).abs() < 1.0);
+        assert!(d.quantile(0.99) > 65.0);
+    }
+
+    #[test]
+    fn gaussian_workload_is_nonnegative() {
+        let w = gaussian(50, 50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = w.query_tree(&mut rng);
+        let xs = t.stage(0).dist.sample_vec(&mut rng, 1000);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn same_distribution_overrides_sigma() {
+        let w = same_distribution("Bing-Bing", BING_RTT, BING_RTT, 2.2, 50, 50);
+        // Marginal sigma must exceed the override (jitter adds variance).
+        match &w.bottom {
+            BottomVariation::LogNormalPop(m) => assert_eq!(m.sigma0, 2.2),
+            _ => panic!("expected log-normal population"),
+        }
+    }
+
+    #[test]
+    fn three_level_workload() {
+        let w = facebook_mr_three_level(20, 10, 5);
+        assert_eq!(w.priors.levels(), 3);
+        assert_eq!(w.priors.total_processes(), 1000);
+    }
+}

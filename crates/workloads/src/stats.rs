@@ -1,0 +1,122 @@
+//! Summary statistics for duration samples — the numbers the paper quotes
+//! when characterizing its traces (§2.2: medians, p90/p99, max/min
+//! spread).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a duration sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary; returns `None` for empty or non-finite
+    /// input.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| {
+            let t = p * (v.len() - 1) as f64;
+            let i = t.floor() as usize;
+            let frac = t - i as f64;
+            if i + 1 < v.len() {
+                v[i] * (1.0 - frac) + v[i + 1] * frac
+            } else {
+                v[i]
+            }
+        };
+        Some(Self {
+            count: v.len(),
+            mean: cedar_mathx::kahan::mean(&v),
+            stddev: if v.len() >= 2 {
+                cedar_mathx::kahan::sample_stddev(&v)
+            } else {
+                0.0
+            },
+            min: v[0],
+            p50: q(0.5),
+            p90: q(0.9),
+            p99: q(0.99),
+            max: *v.last().expect("non-empty"),
+        })
+    }
+
+    /// The paper's favourite spread measure: `max / min` (it quotes a
+    /// 1600x factor for the analytics clusters). Returns `INFINITY` when
+    /// the minimum is zero.
+    pub fn spread_factor(&self) -> f64 {
+        if self.min > 0.0 {
+            self.max / self.min
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Tail heaviness: `p99 / p50`.
+    pub fn tail_ratio(&self) -> f64 {
+        if self.p50 > 0.0 {
+            self.p99 / self.p50
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_distrib::ContinuousDist;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.p50 - 3.0).abs() < 1e-12);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.spread_factor() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn bing_summary_matches_fit() {
+        let d = crate::production::bing_rtt_dist();
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = Summary::of(&d.sample_vec(&mut rng, 100_000)).unwrap();
+        // Long-tailed: p99 well above 10x median (paper: 330 us -> 14 ms).
+        assert!(s.tail_ratio() > 10.0);
+        assert!((s.p50 / d.quantile(0.5) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_min_gives_infinite_spread() {
+        let s = Summary::of(&[0.0, 1.0]).unwrap();
+        assert_eq!(s.spread_factor(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,184 @@
+//! Synthetic per-job trace generation.
+//!
+//! The paper's primary evaluation replays the Facebook Hadoop trace job by
+//! job: "for a particular job, process durations are given by the map
+//! tasks and aggregator durations are given by the reduce tasks", pruned
+//! to jobs with more than 2500 map and 50 reduce tasks (§5.2, footnote).
+//! That trace is proprietary; the generator below produces a synthetic
+//! trace with the same structure — per-job log-normal parameters drawn
+//! from a [`PopulationModel`], exact task durations materialized per job —
+//! which the simulator can replay through [`Job::to_tree`] either as raw
+//! empirical distributions or as per-job log-normal fits.
+
+use crate::variation::PopulationModel;
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::{ContinuousDist, Empirical, LogNormal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One job of a trace: exact map (process) and reduce (aggregator)
+/// durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job identifier within the trace.
+    pub id: u64,
+    /// Map-task durations (process stage).
+    pub map_durations: Vec<f64>,
+    /// Reduce-task durations (aggregator stage).
+    pub reduce_durations: Vec<f64>,
+}
+
+impl Job {
+    /// Builds a two-level tree spec replaying this job's durations as
+    /// empirical distributions, with the given fan-outs.
+    ///
+    /// Returns `None` if either duration set is too small to form an
+    /// empirical distribution.
+    pub fn to_tree(&self, k1: usize, k2: usize) -> Option<TreeSpec> {
+        let maps = Empirical::from_samples(self.map_durations.clone()).ok()?;
+        let reduces = Empirical::from_samples(self.reduce_durations.clone()).ok()?;
+        Some(TreeSpec::two_level(
+            StageSpec::new(maps, k1),
+            StageSpec::new(reduces, k2),
+        ))
+    }
+
+    /// Builds the tree with per-stage log-normal MLE fits instead of raw
+    /// empirical replay — what Cedar's model-based machinery consumes.
+    pub fn to_fitted_tree(&self, k1: usize, k2: usize) -> Option<TreeSpec> {
+        let maps = cedar_distrib::fit::fit_lognormal_mle(&self.map_durations).ok()?;
+        let reduces = cedar_distrib::fit::fit_lognormal_mle(&self.reduce_durations).ok()?;
+        Some(TreeSpec::two_level(
+            StageSpec::new(maps, k1),
+            StageSpec::new(reduces, k2),
+        ))
+    }
+
+    /// Whether the job meets the paper's replay criteria (> `min_maps`
+    /// maps, > `min_reduces` reduces).
+    pub fn is_replayable(&self, min_maps: usize, min_reduces: usize) -> bool {
+        self.map_durations.len() > min_maps && self.reduce_durations.len() > min_reduces
+    }
+}
+
+/// Generates synthetic traces with per-job parameter variation.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    /// Per-job map-duration population.
+    pub maps: PopulationModel,
+    /// Reduce durations (fixed across jobs, per §4.1).
+    pub reduces: LogNormal,
+    /// Map tasks per job.
+    pub maps_per_job: usize,
+    /// Reduce tasks per job.
+    pub reduces_per_job: usize,
+}
+
+impl TraceGenerator {
+    /// The default Facebook-shaped generator: 2500+ maps and 50+ reduces
+    /// per job so every job passes the paper's replay filter.
+    pub fn facebook_shaped() -> Self {
+        Self {
+            maps: PopulationModel::new(
+                crate::production::FACEBOOK_MAP_REPLAY.0,
+                crate::production::FACEBOOK_MAP_REPLAY.1,
+                crate::production::FB_MU_JITTER,
+                crate::production::FB_SIGMA_JITTER,
+            )
+            .expect("constants are valid"),
+            reduces: LogNormal::new(
+                crate::production::FACEBOOK_REDUCE.0,
+                crate::production::FACEBOOK_REDUCE.1,
+            )
+            .expect("constants are valid"),
+            maps_per_job: 2600,
+            reduces_per_job: 60,
+        }
+    }
+
+    /// Generates `jobs` jobs deterministically from `seed`.
+    pub fn generate(&self, jobs: usize, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..jobs as u64)
+            .map(|id| {
+                let job_dist = self.maps.sample_query(&mut rng);
+                Job {
+                    id,
+                    map_durations: job_dist.sample_vec(&mut rng, self.maps_per_job),
+                    reduce_durations: self.reduces.sample_vec(&mut rng, self.reduces_per_job),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_replayable_jobs() {
+        let gen = TraceGenerator::facebook_shaped();
+        let jobs = gen.generate(5, 1);
+        assert_eq!(jobs.len(), 5);
+        for j in &jobs {
+            assert!(j.is_replayable(2500, 50));
+            assert!(j.map_durations.iter().all(|&d| d > 0.0));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = TraceGenerator::facebook_shaped();
+        assert_eq!(gen.generate(3, 7), gen.generate(3, 7));
+        assert_ne!(gen.generate(3, 7), gen.generate(3, 8));
+    }
+
+    #[test]
+    fn jobs_differ_from_each_other() {
+        let gen = TraceGenerator::facebook_shaped();
+        let jobs = gen.generate(2, 3);
+        let m0 = cedar_mathx::kahan::mean(&jobs[0].map_durations);
+        let m1 = cedar_mathx::kahan::mean(&jobs[1].map_durations);
+        assert_ne!(m0, m1);
+    }
+
+    #[test]
+    fn job_to_tree_replays_durations() {
+        let gen = TraceGenerator::facebook_shaped();
+        let job = &gen.generate(1, 5)[0];
+        let tree = job.to_tree(50, 50).unwrap();
+        assert_eq!(tree.levels(), 2);
+        // The empirical stage mean matches the job's raw mean.
+        let want = cedar_mathx::kahan::mean(&job.map_durations);
+        assert!((tree.stage(0).dist.mean() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_to_fitted_tree_recovers_parameters() {
+        let gen = TraceGenerator::facebook_shaped();
+        let job = &gen.generate(1, 9)[0];
+        let tree = job.to_fitted_tree(50, 50).unwrap();
+        // Fitted log-normal median close to the empirical median.
+        let mut sorted = job.map_durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let emp_median = sorted[sorted.len() / 2];
+        let fit_median = tree.stage(0).dist.quantile(0.5);
+        assert!(
+            (fit_median / emp_median - 1.0).abs() < 0.1,
+            "fit {fit_median} vs emp {emp_median}"
+        );
+    }
+
+    #[test]
+    fn tiny_job_is_not_replayable() {
+        let job = Job {
+            id: 0,
+            map_durations: vec![1.0],
+            reduce_durations: vec![],
+        };
+        assert!(!job.is_replayable(2500, 50));
+        assert!(job.to_tree(50, 50).is_none());
+    }
+}

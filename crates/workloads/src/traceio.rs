@@ -1,0 +1,124 @@
+//! Trace serialization: JSON-lines, one [`Job`] per line.
+//!
+//! The format is deliberately plain so that real trace files (e.g. an
+//! actual Hadoop job log reduced to duration vectors) can be dropped in
+//! without code changes.
+
+use crate::tracegen::Job;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse; carries the 1-based line number.
+    Parse(usize, serde_json::Error),
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse(line, e) => write!(f, "trace parse error on line {line}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes jobs as JSON lines to `path` (overwrites).
+pub fn write_trace<P: AsRef<Path>>(path: P, jobs: &[Job]) -> Result<(), TraceError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for job in jobs {
+        serde_json::to_writer(&mut w, job).map_err(|e| TraceError::Parse(0, e))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a JSON-lines trace from `path`, skipping blank lines.
+pub fn read_trace<P: AsRef<Path>>(path: P) -> Result<Vec<Job>, TraceError> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut jobs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let job = serde_json::from_str(&line).map_err(|e| TraceError::Parse(i + 1, e))?;
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::TraceGenerator;
+
+    #[test]
+    fn round_trip() {
+        let mut gen = TraceGenerator::facebook_shaped();
+        gen.maps_per_job = 20;
+        gen.reduces_per_job = 5;
+        let jobs = gen.generate(4, 1);
+        let dir = std::env::temp_dir().join("cedar-traceio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        write_trace(&path, &jobs).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(jobs, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = read_trace("/nonexistent/cedar-trace.jsonl").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let dir = std::env::temp_dir().join("cedar-traceio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"id\":0,\"map_durations\":[1.0,2.0],\"reduce_durations\":[1.0]}\nnot-json\n",
+        )
+        .unwrap();
+        let err = read_trace(&path).unwrap_err();
+        match err {
+            TraceError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("cedar-traceio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blank.jsonl");
+        std::fs::write(
+            &path,
+            "\n{\"id\":7,\"map_durations\":[1.0],\"reduce_durations\":[]}\n\n",
+        )
+        .unwrap();
+        let jobs = read_trace(&path).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, 7);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! Serializable aggregation-tree definitions — the JSON format consumed
+//! by `cedar-cli` and usable for experiment configs.
+//!
+//! ```json
+//! {
+//!   "stages": [
+//!     { "dist": { "family": "log_normal", "mu": 2.77, "sigma": 0.84 }, "fanout": 50 },
+//!     { "dist": { "family": "log_normal", "mu": 2.94, "sigma": 0.55 }, "fanout": 50 }
+//!   ]
+//! }
+//! ```
+
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::spec::DistSpec;
+use cedar_distrib::DistError;
+use serde::{Deserialize, Serialize};
+
+/// One stage: a distribution description plus its fan-out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDef {
+    /// Stage duration distribution.
+    pub dist: DistSpec,
+    /// Fan-out into the stage above.
+    pub fanout: usize,
+}
+
+/// A whole tree, bottom-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeDef {
+    /// Stages, index 0 = processes.
+    pub stages: Vec<StageDef>,
+}
+
+/// Errors when materializing a [`TreeDef`].
+#[derive(Debug)]
+pub enum TreeDefError {
+    /// A stage's distribution was invalid.
+    Dist(DistError),
+    /// Structural problem (no stages, zero fan-out).
+    Structure(&'static str),
+}
+
+impl core::fmt::Display for TreeDefError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TreeDefError::Dist(e) => write!(f, "invalid stage distribution: {e}"),
+            TreeDefError::Structure(msg) => write!(f, "invalid tree structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeDefError {}
+
+impl From<DistError> for TreeDefError {
+    fn from(e: DistError) -> Self {
+        TreeDefError::Dist(e)
+    }
+}
+
+impl TreeDef {
+    /// Materializes the live [`TreeSpec`].
+    pub fn build(&self) -> Result<TreeSpec, TreeDefError> {
+        if self.stages.is_empty() {
+            return Err(TreeDefError::Structure("a tree needs at least one stage"));
+        }
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for s in &self.stages {
+            if s.fanout == 0 {
+                return Err(TreeDefError::Structure("stage fan-out must be positive"));
+            }
+            stages.push(StageSpec::from_arc(s.dist.build()?.into(), s.fanout));
+        }
+        Ok(TreeSpec::new(stages))
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("TreeDef serializes")
+    }
+
+    /// The paper's canonical Facebook-style two-level example (useful as
+    /// a starting template: `cedar-cli template`).
+    pub fn example() -> Self {
+        Self {
+            stages: vec![
+                StageDef {
+                    dist: DistSpec::LogNormal {
+                        mu: 2.77,
+                        sigma: 0.84,
+                    },
+                    fanout: 50,
+                },
+                StageDef {
+                    dist: DistSpec::LogNormal {
+                        mu: 2.94,
+                        sigma: 0.55,
+                    },
+                    fanout: 50,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_round_trips_and_builds() {
+        let def = TreeDef::example();
+        let json = def.to_json();
+        let back = TreeDef::from_json(&json).unwrap();
+        assert_eq!(def, back);
+        let tree = back.build().unwrap();
+        assert_eq!(tree.levels(), 2);
+        assert_eq!(tree.total_processes(), 2500);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_fanout() {
+        assert!(TreeDef { stages: vec![] }.build().is_err());
+        let def = TreeDef {
+            stages: vec![StageDef {
+                dist: DistSpec::Exponential { lambda: 1.0 },
+                fanout: 0,
+            }],
+        };
+        assert!(def.build().is_err());
+    }
+
+    #[test]
+    fn propagates_distribution_errors() {
+        let def = TreeDef {
+            stages: vec![StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 0.0,
+                    sigma: -1.0,
+                },
+                fanout: 5,
+            }],
+        };
+        assert!(matches!(def.build(), Err(TreeDefError::Dist(_))));
+    }
+
+    #[test]
+    fn parses_handwritten_json() {
+        let json = r#"{ "stages": [
+            { "dist": { "family": "gamma", "shape": 2.0, "scale": 3.0 }, "fanout": 10 },
+            { "dist": { "family": "exponential", "lambda": 0.5 }, "fanout": 4 }
+        ]}"#;
+        let tree = TreeDef::from_json(json).unwrap().build().unwrap();
+        assert_eq!(tree.total_processes(), 40);
+        assert!((tree.stage(0).dist.mean() - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-query parameter variation.
+//!
+//! §3.2 pins the baselines' failure on using "a single distribution (from
+//! the recent set of queries), thus missing query-specific variations". A
+//! [`PopulationModel`] captures that structure: each query `j` draws its
+//! own log-normal parameters
+//!
+//! ```text
+//! mu_j    ~ Normal(mu0, mu_sd^2)
+//! sigma_j ~ Normal(sigma0, sigma_sd^2)   (clamped to a positive floor)
+//! ```
+//!
+//! and its process durations are `LN(mu_j, sigma_j)`. The *marginal* over
+//! all queries — what an offline learner like Proportional-split fits —
+//! has a closed form when `sigma_sd = 0`: mixing `mu_j ~ N(mu0, tau^2)`
+//! into `LN(mu_j, sigma)` gives exactly `LN(mu0, sqrt(sigma^2 + tau^2))`.
+//! With `sigma` jitter the same expression (using the mean `sigma0`) is an
+//! excellent approximation, which the tests verify against sampling.
+
+use cedar_distrib::{DistError, LogNormal};
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Smallest per-query sigma the generator will produce.
+const SIGMA_FLOOR: f64 = 0.05;
+
+/// A population of log-normal queries with per-query parameter jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationModel {
+    /// Population location (the published trace fit's `mu`).
+    pub mu0: f64,
+    /// Population scale (the published trace fit's `sigma`).
+    pub sigma0: f64,
+    /// Standard deviation of per-query `mu` jitter.
+    pub mu_sd: f64,
+    /// Standard deviation of per-query `sigma` jitter.
+    pub sigma_sd: f64,
+}
+
+impl PopulationModel {
+    /// Creates a model; jitters must be non-negative and finite.
+    pub fn new(mu0: f64, sigma0: f64, mu_sd: f64, sigma_sd: f64) -> Result<Self, DistError> {
+        if !(mu0.is_finite() && sigma0.is_finite() && sigma0 > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "population base parameters must be finite with positive sigma",
+            ));
+        }
+        if !(mu_sd.is_finite() && mu_sd >= 0.0 && sigma_sd.is_finite() && sigma_sd >= 0.0) {
+            return Err(DistError::InvalidParameter(
+                "jitter standard deviations must be finite and non-negative",
+            ));
+        }
+        Ok(Self {
+            mu0,
+            sigma0,
+            mu_sd,
+            sigma_sd,
+        })
+    }
+
+    /// A degenerate population: every query identical to the base fit.
+    pub fn fixed(mu0: f64, sigma0: f64) -> Result<Self, DistError> {
+        Self::new(mu0, sigma0, 0.0, 0.0)
+    }
+
+    /// Draws one query's distribution.
+    pub fn sample_query(&self, rng: &mut dyn RngCore) -> LogNormal {
+        let mu = self.mu0 + self.mu_sd * standard_normal(rng);
+        let sigma = (self.sigma0 + self.sigma_sd * standard_normal(rng)).max(SIGMA_FLOOR);
+        LogNormal::new(mu, sigma).expect("jittered parameters are valid")
+    }
+
+    /// The marginal distribution across queries — the best single
+    /// log-normal an offline learner can fit to the whole population.
+    ///
+    /// Exact for `sigma_sd = 0`; an `O(sigma_sd^2)` approximation
+    /// otherwise.
+    pub fn marginal(&self) -> LogNormal {
+        let sigma =
+            (self.sigma0 * self.sigma0 + self.mu_sd * self.mu_sd + self.sigma_sd * self.sigma_sd)
+                .sqrt();
+        LogNormal::new(self.mu0, sigma).expect("marginal parameters are valid")
+    }
+}
+
+/// A population of (rectified) Gaussian queries with per-query mean
+/// jitter — the Fig. 17 robustness workload, where stage durations are
+/// `Normal(40ms, ...)` clamped at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianPopulation {
+    /// Population mean duration.
+    pub mean0: f64,
+    /// Per-query jitter of the mean.
+    pub mean_sd: f64,
+    /// Within-query standard deviation (fixed across queries).
+    pub sigma: f64,
+}
+
+impl GaussianPopulation {
+    /// Creates a Gaussian population model.
+    pub fn new(mean0: f64, mean_sd: f64, sigma: f64) -> Result<Self, DistError> {
+        if !(mean0.is_finite() && sigma.is_finite() && sigma > 0.0) {
+            return Err(DistError::InvalidParameter(
+                "gaussian population needs finite mean and positive sigma",
+            ));
+        }
+        if !(mean_sd.is_finite() && mean_sd >= 0.0) {
+            return Err(DistError::InvalidParameter(
+                "mean jitter must be finite and non-negative",
+            ));
+        }
+        Ok(Self {
+            mean0,
+            mean_sd,
+            sigma,
+        })
+    }
+
+    /// Draws one query's (rectified) duration distribution.
+    pub fn sample_query(
+        &self,
+        rng: &mut dyn RngCore,
+    ) -> cedar_distrib::Rectified<cedar_distrib::Normal> {
+        let mean = self.mean0 + self.mean_sd * standard_normal(rng);
+        cedar_distrib::Rectified::new(
+            cedar_distrib::Normal::new(mean, self.sigma).expect("sigma is positive"),
+        )
+    }
+
+    /// The marginal across queries: `Normal(mean0, sqrt(sigma^2 +
+    /// mean_sd^2))`, rectified.
+    pub fn marginal(&self) -> cedar_distrib::Rectified<cedar_distrib::Normal> {
+        let sigma = (self.sigma * self.sigma + self.mean_sd * self.mean_sd).sqrt();
+        cedar_distrib::Rectified::new(
+            cedar_distrib::Normal::new(self.mean0, sigma).expect("sigma is positive"),
+        )
+    }
+}
+
+/// One standard-normal variate via the inverse transform, sharing the
+/// distribution library's determinism guarantees.
+fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let mut u: f64 = rng.gen();
+    if u == 0.0 {
+        u = f64::MIN_POSITIVE;
+    }
+    cedar_mathx::special::norm_quantile(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_distrib::ContinuousDist;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PopulationModel::new(f64::NAN, 1.0, 0.0, 0.0).is_err());
+        assert!(PopulationModel::new(0.0, 0.0, 0.0, 0.0).is_err());
+        assert!(PopulationModel::new(0.0, 1.0, -0.1, 0.0).is_err());
+        assert!(PopulationModel::new(0.0, 1.0, 0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn fixed_population_has_no_jitter() {
+        let m = PopulationModel::fixed(2.77, 0.84).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let q = m.sample_query(&mut rng);
+            assert_eq!(q.mu(), 2.77);
+            assert_eq!(q.sigma(), 0.84);
+        }
+        let marg = m.marginal();
+        assert!((marg.sigma() - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_vary_when_jittered() {
+        let m = PopulationModel::new(2.77, 0.84, 1.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = m.sample_query(&mut rng);
+        let b = m.sample_query(&mut rng);
+        assert_ne!(a.mu(), b.mu());
+        assert!(a.sigma() >= SIGMA_FLOOR && b.sigma() >= SIGMA_FLOOR);
+    }
+
+    #[test]
+    fn marginal_matches_pooled_samples() {
+        // Pool many queries' samples; the log-domain standard deviation
+        // must match sqrt(sigma0^2 + mu_sd^2).
+        let m = PopulationModel::new(2.0, 0.6, 0.9, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut logs = Vec::new();
+        for _ in 0..400 {
+            let q = m.sample_query(&mut rng);
+            for x in q.sample_vec(&mut rng, 50) {
+                logs.push(x.ln());
+            }
+        }
+        let mean = cedar_mathx::kahan::mean(&logs);
+        let sd = cedar_mathx::kahan::sample_stddev(&logs);
+        let marg = m.marginal();
+        assert!((mean - marg.mu()).abs() < 0.05, "mean {mean}");
+        assert!(
+            (sd - marg.sigma()).abs() < 0.05,
+            "sd {sd} vs {}",
+            marg.sigma()
+        );
+    }
+
+    #[test]
+    fn marginal_with_sigma_jitter_is_close() {
+        let m = PopulationModel::new(2.0, 0.6, 0.5, 0.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut logs = Vec::new();
+        for _ in 0..400 {
+            let q = m.sample_query(&mut rng);
+            for x in q.sample_vec(&mut rng, 50) {
+                logs.push(x.ln());
+            }
+        }
+        let sd = cedar_mathx::kahan::sample_stddev(&logs);
+        assert!((sd - m.marginal().sigma()).abs() < 0.06, "sd {sd}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = PopulationModel::new(2.77, 0.84, 1.0, 0.15).unwrap();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = m.sample_query(&mut r1);
+        let b = m.sample_query(&mut r2);
+        assert_eq!(a.mu(), b.mu());
+        assert_eq!(a.sigma(), b.sigma());
+    }
+}

@@ -1,0 +1,61 @@
+//! A long-running aggregation *service*: the full deployment loop.
+//!
+//! The service starts with priors learned at yesterday's (light) load;
+//! today's queries run ~5x slower. Watch query quality recover as the
+//! service's periodic offline refits pull the priors toward the live
+//! distribution — with Cedar's per-query learning covering the gap in
+//! the meantime.
+//!
+//! Run with: `cargo run --release --example aggregation_service`
+
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::distrib::LogNormal;
+use cedar::runtime::{AggregationService, ServiceConfig, TimeScale};
+use cedar::workloads::PopulationModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn tree_with_bottom(bottom: LogNormal) -> TreeSpec {
+    TreeSpec::two_level(
+        StageSpec::new(bottom, 20),
+        StageSpec::new(LogNormal::new(2.5, 0.5).expect("valid"), 10),
+    )
+}
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    // Yesterday's priors: light load (median ~7 ms per shard).
+    let stale = tree_with_bottom(LogNormal::new(2.0, 0.8).expect("valid"));
+    // Today's live population: ~5x slower, with per-query variation.
+    let live = PopulationModel::new(3.6, 0.8, 0.4, 0.1).expect("valid");
+
+    let mut cfg = ServiceConfig::new(stale, 120.0);
+    cfg.refit_interval = 10;
+    cfg.scale = TimeScale::new(Duration::from_micros(200)); // 5000x replay speed
+    let mut svc = AggregationService::new(cfg);
+
+    println!("serving 30 queries at shifted load (priors start ~5x too fast)\n");
+    println!("{:>6} {:>9} {:>8} {:>22}", "query", "quality", "refits", "prior bottom median");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut window = Vec::new();
+    for q in 1..=30u32 {
+        let true_tree = tree_with_bottom(live.sample_query(&mut rng));
+        let out = svc.submit(true_tree).await;
+        window.push(out.quality);
+        if q % 5 == 0 {
+            use cedar::distrib::ContinuousDist;
+            let median = svc.priors().stage(0).dist.quantile(0.5);
+            let avg: f64 = window.iter().sum::<f64>() / window.len() as f64;
+            println!(
+                "{:>3}-{:<2} {avg:>9.3} {:>8} {median:>19.1}ms",
+                q - 4,
+                q,
+                svc.refits(),
+            );
+            window.clear();
+        }
+    }
+    println!("\nthe offline refit (every 10 queries) pulls the prior median from ~7ms");
+    println!("toward the live ~37ms; quality stabilizes once the priors catch up.");
+}

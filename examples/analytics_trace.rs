@@ -1,0 +1,81 @@
+//! Approximate-analytics scenario: generate a synthetic Facebook-shaped
+//! job trace, persist it, then replay every job through the simulator the
+//! way the paper replays its Hadoop trace (per-job map durations as the
+//! process stage, reduce durations as the aggregator stage).
+//!
+//! Run with: `cargo run --release --example analytics_trace`
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::sim::SimConfig;
+use cedar::workloads::traceio::{read_trace, write_trace};
+use cedar::workloads::{PopulationModel, TraceGenerator};
+
+fn main() {
+    // 1. Generate a synthetic trace: 40 jobs, each with > 2500 map tasks
+    //    and > 50 reduce tasks (the paper's replay filter).
+    let generator = TraceGenerator::facebook_shaped();
+    let jobs = generator.generate(40, 1);
+    let path = std::env::temp_dir().join("cedar-example-trace.jsonl");
+    write_trace(&path, &jobs).expect("trace written");
+    println!("wrote {} jobs to {}", jobs.len(), path.display());
+
+    // 2. Read it back (as one would a real trace file) and replay each
+    //    job: fit a log-normal to its task durations, run the query under
+    //    each policy, measure quality.
+    let jobs = read_trace(&path).expect("trace read");
+    let deadline = 1000.0;
+    let mut rows = Vec::new();
+    for job in &jobs {
+        let Some(tree) = job.to_fitted_tree(50, 50) else {
+            continue;
+        };
+        // The priors are the population marginal; the per-job truth is
+        // this job's own fit.
+        let pop = PopulationModel::new(
+            cedar::workloads::production::FACEBOOK_MAP_REPLAY.0,
+            cedar::workloads::production::FACEBOOK_MAP_REPLAY.1,
+            cedar::workloads::production::FB_MU_JITTER,
+            cedar::workloads::production::FB_SIGMA_JITTER,
+        )
+        .expect("constants valid");
+        let priors = TreeSpec::two_level(
+            StageSpec::new(pop.marginal(), 50),
+            StageSpec::from_arc(tree.stage(1).dist.clone(), 50),
+        );
+        let cfg = SimConfig::new(tree.clone(), deadline)
+            .with_priors(priors)
+            .with_seed(100 + job.id);
+        let prop = cedar::sim::simulate_query(&cfg, WaitPolicyKind::ProportionalSplit);
+        let cedar_q = cedar::sim::simulate_query(&cfg, WaitPolicyKind::Cedar);
+        rows.push((job.id, prop.quality, cedar_q.quality));
+    }
+
+    // 3. Summarize.
+    println!("\nreplayed {} jobs at deadline {deadline}s", rows.len());
+    println!(
+        "{:>6} {:>12} {:>8} {:>12}",
+        "job", "prop-split", "cedar", "improvement"
+    );
+    let mut improved = 0;
+    for &(id, p, c) in rows.iter().take(12) {
+        println!(
+            "{id:>6} {p:>12.3} {c:>8.3} {:>11.1}%",
+            100.0 * (c - p) / p.max(1e-9)
+        );
+    }
+    for &(_, p, c) in &rows {
+        if c > p {
+            improved += 1;
+        }
+    }
+    let mp: f64 = rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64;
+    let mc: f64 = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
+    println!("... ({} more jobs)", rows.len().saturating_sub(12));
+    println!(
+        "\nmean quality: prop-split {mp:.3}, cedar {mc:.3} ({:+.1}%); cedar better on {improved}/{} jobs",
+        100.0 * (mc - mp) / mp,
+        rows.len()
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,83 @@
+//! Watch Cedar learn: feed one query's process completions to the online
+//! estimator arrival by arrival and print how the parameter estimates and
+//! the chosen wait duration evolve — Pseudocode 1 in slow motion.
+//!
+//! The query is drawn from a *slower* distribution than the offline
+//! prior, mimicking the paper's load-increase scenario (Fig. 11): watch
+//! the wait stretch as evidence accumulates.
+//!
+//! Run with: `cargo run --release --example online_learning`
+
+use cedar::core::policy::{CedarPolicy, EstimatorKind, PolicyContext, WaitPolicy};
+use cedar::core::QualityProfile;
+use cedar::distrib::{ContinuousDist, LogNormal};
+use cedar::estimate::{CedarEstimator, DurationEstimator, Model};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let k = 50;
+    let deadline = 150.0;
+    // What the system learned offline (low load)...
+    let prior = LogNormal::new(3.0, 0.84).expect("valid params");
+    // ...and what this query actually looks like (load spiked).
+    let truth = LogNormal::new(4.2, 0.84).expect("valid params");
+    let upper = LogNormal::new(2.94, 0.55).expect("valid params");
+
+    let ctx = PolicyContext {
+        deadline,
+        fanout: k,
+        upper: Arc::new(QualityProfile::single(&upper, deadline, 512)),
+        prior_lower: Arc::new(prior),
+        true_lower: Some(Arc::new(truth)),
+        mean_below: prior.mean(),
+        mean_total: prior.mean() + upper.mean(),
+        level: 1,
+        levels_total: 2,
+        scan_steps: 400,
+    };
+
+    let mut policy = CedarPolicy::new(k, Model::LogNormal, EstimatorKind::OrderStats);
+    let mut estimator = CedarEstimator::new(k, Model::LogNormal);
+
+    let mut arrivals = {
+        let mut rng = StdRng::seed_from_u64(2024);
+        truth.sample_vec(&mut rng, k)
+    };
+    arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let w0 = policy.initial_wait(&ctx);
+    println!("prior:  LN(mu=3.00, sigma=0.84)  -> initial wait {w0:>6.1}s");
+    println!("truth:  LN(mu=4.20, sigma=0.84)      (query is ~3.3x slower)\n");
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>10}",
+        "arrival", "time (s)", "mu-hat", "sig-hat", "wait (s)"
+    );
+
+    let mut wait = w0;
+    for (i, &t) in arrivals.iter().enumerate() {
+        if t > wait {
+            println!("\ntimer fires at {wait:.1}s with {i}/{k} outputs collected — folding");
+            break;
+        }
+        estimator.observe(t);
+        if let Some(w) = policy.on_arrival(&ctx, t) {
+            wait = w;
+        }
+        if i < 12 || (i + 1) % 10 == 0 {
+            let est = estimator.estimate();
+            println!(
+                "{:>8} {:>10.2} {:>8} {:>8} {:>10.1}",
+                i + 1,
+                t,
+                est.map_or("-".into(), |e| format!("{:.2}", e.mu)),
+                est.map_or("-".into(), |e| format!("{:.2}", e.sigma)),
+                wait,
+            );
+        }
+    }
+    println!("\nthe estimate converges toward the true mu=4.2 within ~10 arrivals,");
+    println!("and the wait stretches to cover the slower query — that is Cedar's");
+    println!("\"hold 'em\" decision made from evidence, not from stale priors.");
+}

@@ -1,0 +1,81 @@
+//! Web-search scenario on the real (tokio) runtime: a partition-aggregate
+//! query over 2500 index shards with a 150 ms deadline, like the paper's
+//! Figure 2.
+//!
+//! Each worker scores its shard for the query (here: a synthetic
+//! relevance value); aggregators rank and combine partial results,
+//! holding or folding per their wait policy; the root answers with
+//! whatever arrived by the deadline. The example reports both the
+//! response quality and the *answer error* — how far the approximate
+//! aggregate is from the exact one — showing why quality is the right
+//! proxy.
+//!
+//! Run with: `cargo run --release --example web_search`
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::distrib::LogNormal;
+use cedar::runtime::{run_query_with_values, RuntimeConfig, TimeScale};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    // Stage models from the paper's interactive workload (Fig. 14):
+    // Facebook-map shaped shard lookups (ms), Google-shaped aggregator
+    // hops (ms). The *population* of queries looks like `priors` (the
+    // offline fit across all queries, heavy-tailed); the query we are
+    // serving is a hard one ("Britney Spears Grammy Toxic" in the paper's
+    // example) — slower than the typical query, but lighter-tailed than
+    // the whole population.
+    let priors = cedar::workloads::production::interactive(50, 50).priors;
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(4.4, 0.84).expect("valid params"), 50),
+        StageSpec::new(LogNormal::new(2.94, 0.55).expect("valid params"), 50),
+    );
+    let deadline_ms = 150.0;
+
+    // Synthetic per-shard relevance scores; the exact answer is their sum.
+    let scores: Vec<f64> = (0..tree.total_processes())
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+        .collect();
+    let exact: f64 = scores.iter().sum();
+    let scores = Arc::new(scores);
+
+    let queries = 5;
+    println!(
+        "web search: 2500 shards, 50 aggregators, deadline {deadline_ms} ms (real time), {queries} queries per policy\n"
+    );
+    println!(
+        "{:<22} {:>8} {:>12} {:>12}",
+        "policy", "quality", "approx sum", "answer err"
+    );
+    for kind in [
+        WaitPolicyKind::ProportionalSplit,
+        WaitPolicyKind::Cedar,
+        WaitPolicyKind::Ideal,
+    ] {
+        let mut quality = 0.0;
+        let mut sum = 0.0;
+        for q in 0..queries {
+            let cfg = RuntimeConfig::new(tree.clone(), deadline_ms)
+                .with_priors(priors.clone())
+                // 1 model ms = 1 wall ms: each query really takes 150 ms.
+                .with_scale(TimeScale::new(Duration::from_millis(1)))
+                .with_seed(42 + q);
+            let out = run_query_with_values(&cfg, kind, scores.clone()).await;
+            quality += out.quality;
+            sum += out.value_sum;
+        }
+        let (quality, sum) = (quality / queries as f64, sum / queries as f64);
+        println!(
+            "{:<22} {:>8.3} {:>12.1} {:>11.1}%",
+            kind.name(),
+            quality,
+            sum,
+            100.0 * (exact - sum).abs() / exact,
+        );
+    }
+    println!("\nexact sum over all shards: {exact:.1}");
+    println!("higher quality -> more shards in the response -> smaller answer error");
+}

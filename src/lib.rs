@@ -1,0 +1,50 @@
+//! Cedar: adaptive wait-duration selection for deadline-bound aggregation
+//! queries.
+//!
+//! This is the facade crate of the Cedar workspace, a full reproduction of
+//! *"Hold 'em or Fold 'em? Aggregation Queries under Performance
+//! Variations"* (EuroSys 2016). It re-exports the public API of every
+//! member crate so that downstream users can depend on a single crate:
+//!
+//! - [`mathx`] — special functions, quadrature, normal order statistics;
+//! - [`distrib`] — distribution library (log-normal, normal, Pareto, ...)
+//!   with fitting;
+//! - [`estimate`] — online, order-statistics de-biased parameter
+//!   estimation from the earliest `r` of `k` arrivals;
+//! - [`core`] — the quality model `q_n(D)`, the optimal wait-duration
+//!   search, the aggregator state machine and all wait policies;
+//! - [`sim`] — deterministic discrete-event simulator for aggregation
+//!   trees;
+//! - [`workloads`] — production workload models (Facebook, Bing, Google,
+//!   Cosmos) and synthetic trace generation;
+//! - [`runtime`] — tokio-based partition-aggregate execution engine.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run; the short version:
+//!
+//! ```
+//! use cedar::distrib::LogNormal;
+//! use cedar::core::{StageSpec, TreeSpec, WaitPolicyKind};
+//! use cedar::sim::{SimConfig, simulate_query};
+//!
+//! // A two-level tree: 50 processes per aggregator, 50 aggregators.
+//! let tree = TreeSpec::two_level(
+//!     StageSpec::new(LogNormal::new(2.77, 0.84).unwrap(), 50),
+//!     StageSpec::new(LogNormal::new(2.94, 0.55).unwrap(), 50),
+//! );
+//! let cfg = SimConfig::new(tree, 1000.0).with_seed(7);
+//! let outcome = simulate_query(&cfg, WaitPolicyKind::Cedar);
+//! assert!(outcome.quality >= 0.0 && outcome.quality <= 1.0);
+//! ```
+
+pub use cedar_core as core;
+pub use cedar_distrib as distrib;
+pub use cedar_estimate as estimate;
+pub use cedar_mathx as mathx;
+pub use cedar_runtime as runtime;
+pub use cedar_sim as sim;
+pub use cedar_workloads as workloads;
+
+/// Workspace version, re-exported for diagnostics.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,155 @@
+//! Failure-injection integration tests: the degenerate and adversarial
+//! configurations DESIGN.md calls out. The system must stay well-defined
+//! (quality in `[0, 1]`, no panics, sane orderings) even when the
+//! workload breaks every statistical nicety.
+
+use cedar_core::policy::WaitPolicyKind;
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::{LogNormal, Mixture, Pareto, Uniform};
+use cedar_sim::{mean_quality, run_trials, simulate_query, SimConfig};
+
+const ALL_POLICIES: [WaitPolicyKind; 6] = [
+    WaitPolicyKind::Cedar,
+    WaitPolicyKind::Ideal,
+    WaitPolicyKind::ProportionalSplit,
+    WaitPolicyKind::EqualSplit,
+    WaitPolicyKind::SubtractUpper,
+    WaitPolicyKind::FixedWait(5.0),
+];
+
+fn assert_valid(cfg: &SimConfig) {
+    for kind in ALL_POLICIES {
+        let out = simulate_query(cfg, kind);
+        assert!(
+            (0.0..=1.0).contains(&out.quality),
+            "{kind:?}: quality {}",
+            out.quality
+        );
+        assert!(out.included_outputs <= out.total_processes);
+    }
+}
+
+#[test]
+fn aggregator_duration_spikes() {
+    // Bimodal upper stage: 10% of shipments take ~100x longer (a
+    // blacklisting-worthy machine). Everything must stay well-defined and
+    // the spikes must show up as lost aggregator results.
+    let upper = Mixture::new(vec![
+        (0.9, Box::new(LogNormal::new(1.0, 0.3).unwrap()) as _),
+        (0.1, Box::new(LogNormal::new(5.5, 0.3).unwrap()) as _),
+    ])
+    .unwrap();
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(1.0, 0.6).unwrap(), 10),
+        StageSpec::new(upper, 10),
+    );
+    let cfg = SimConfig::new(tree, 40.0).with_seed(1).with_scan_steps(100);
+    assert_valid(&cfg);
+    // The spiked copies (~24 s mean vs a 40 s deadline minus waiting)
+    // should cost roughly their share of aggregator arrivals.
+    let outs = run_trials(&cfg, WaitPolicyKind::Ideal, 40);
+    let mean_arrivals: f64 =
+        outs.iter().map(|o| o.root_arrivals as f64).sum::<f64>() / outs.len() as f64;
+    assert!(
+        mean_arrivals < 9.9,
+        "spikes never cost an aggregator? {mean_arrivals}"
+    );
+}
+
+#[test]
+fn near_zero_variance_stages() {
+    // Nearly deterministic durations: the optimal wait is essentially
+    // the stage duration itself, and everything arrives or nothing does.
+    let tree = TreeSpec::two_level(
+        StageSpec::new(Uniform::new(9.999, 10.001).unwrap(), 20),
+        StageSpec::new(Uniform::new(4.999, 5.001).unwrap(), 10),
+    );
+    // Budget 16 > 10 + 5: full quality for a sane policy.
+    let cfg = SimConfig::new(tree.clone(), 16.0)
+        .with_seed(2)
+        .with_scan_steps(200);
+    let q = mean_quality(&run_trials(&cfg, WaitPolicyKind::Ideal, 10));
+    assert!(q > 0.999, "deterministic fit should be lossless, got {q}");
+    // Budget 14 < 15: nothing can make it.
+    let cfg = SimConfig::new(tree, 14.0).with_seed(2).with_scan_steps(200);
+    let q = mean_quality(&run_trials(&cfg, WaitPolicyKind::Ideal, 10));
+    assert!(q < 0.01, "impossible budget should be ~0, got {q}");
+}
+
+#[test]
+fn unit_fanouts() {
+    // k = 1 everywhere: a chain, not a tree. Degenerate but legal.
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(0.5, 0.4).unwrap(), 1),
+        StageSpec::new(LogNormal::new(0.5, 0.4).unwrap(), 1),
+    );
+    let cfg = SimConfig::new(tree, 10.0).with_seed(3).with_scan_steps(100);
+    assert_valid(&cfg);
+}
+
+#[test]
+fn deadline_below_every_completion() {
+    // No process can finish within the deadline: quality must be exactly
+    // zero for every policy (and nothing may panic or loop).
+    let tree = TreeSpec::two_level(
+        StageSpec::new(Uniform::new(100.0, 200.0).unwrap(), 10),
+        StageSpec::new(Uniform::new(1.0, 2.0).unwrap(), 5),
+    );
+    let cfg = SimConfig::new(tree, 50.0).with_seed(4).with_scan_steps(100);
+    for kind in ALL_POLICIES {
+        let out = simulate_query(&cfg, kind);
+        assert_eq!(out.quality, 0.0, "{kind:?}");
+        assert_eq!(out.root_arrivals, 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn infinite_mean_pareto_stage() {
+    // Pareto shape <= 1: infinite stage mean. Mean-based straw-men must
+    // degrade gracefully (no NaN waits, no panics).
+    let tree = TreeSpec::two_level(
+        StageSpec::new(Pareto::new(1.0, 0.9).unwrap(), 10),
+        StageSpec::new(LogNormal::new(0.5, 0.4).unwrap(), 5),
+    );
+    let cfg = SimConfig::new(tree, 30.0).with_seed(5).with_scan_steps(100);
+    assert_valid(&cfg);
+
+    // Infinite mean in the *upper* stage stresses Subtract-upper.
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(0.5, 0.4).unwrap(), 10),
+        StageSpec::new(Pareto::new(1.0, 0.9).unwrap(), 5),
+    );
+    let cfg = SimConfig::new(tree, 30.0).with_seed(6).with_scan_steps(100);
+    assert_valid(&cfg);
+}
+
+#[test]
+fn heavy_tailed_bottom_with_tiny_deadline_margin() {
+    // Extremely heavy-tailed bottom stage under a deadline barely above
+    // the upper stage's median: almost all mass is unreachable, but the
+    // reachable sliver must be handled consistently.
+    let tree = TreeSpec::two_level(
+        StageSpec::new(Pareto::new(0.5, 0.6).unwrap(), 25),
+        StageSpec::new(LogNormal::new(0.0, 0.3).unwrap(), 8),
+    );
+    let cfg = SimConfig::new(tree, 3.0).with_seed(7).with_scan_steps(100);
+    assert_valid(&cfg);
+    // Ideal should still deliver *something* (the Pareto has mass near
+    // its scale parameter 0.5).
+    let q = mean_quality(&run_trials(&cfg, WaitPolicyKind::Ideal, 20));
+    assert!(q > 0.05, "ideal got {q}");
+}
+
+#[test]
+fn mixed_scale_stages() {
+    // Microsecond bottom under a second-scale upper stage: six orders of
+    // magnitude apart, stressing the scan's grid conditioning.
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(-13.0, 1.0).unwrap(), 10), // ~2e-6
+        StageSpec::new(LogNormal::new(0.0, 0.5).unwrap(), 5),    // ~1
+    );
+    let cfg = SimConfig::new(tree, 5.0).with_seed(8).with_scan_steps(300);
+    assert_valid(&cfg);
+    let q = mean_quality(&run_trials(&cfg, WaitPolicyKind::Cedar, 10));
+    assert!(q > 0.5, "cedar got {q} despite generous budget");
+}

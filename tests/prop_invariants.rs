@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) over the public API: invariants that
+//! must hold for *any* reasonable configuration, not just the paper's.
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::core::profile::{tree_decision, ProfileConfig};
+use cedar::core::wait::calculate_wait;
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::distrib::{ContinuousDist, Exponential, LogNormal, Normal, Pareto, Weibull};
+use cedar::estimate::{CedarEstimator, DurationEstimator, Model};
+use cedar::sim::{simulate_query, SimConfig};
+use proptest::prelude::*;
+
+fn small_profile() -> ProfileConfig {
+    ProfileConfig {
+        points: 64,
+        scan_steps: 80,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lognormal_cdf_quantile_roundtrip(mu in -3.0..6.0f64, sigma in 0.05..2.5f64, p in 0.001..0.999f64) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let q = d.quantile(p);
+        prop_assert!((d.cdf(q) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cdf_is_monotone_for_all_families(x1 in -10.0..100.0f64, x2 in -10.0..100.0f64) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let dists: Vec<Box<dyn ContinuousDist>> = vec![
+            Box::new(LogNormal::new(1.0, 0.8).unwrap()),
+            Box::new(Normal::new(10.0, 5.0).unwrap()),
+            Box::new(Exponential::new(0.3).unwrap()),
+            Box::new(Pareto::new(2.0, 1.5).unwrap()),
+            Box::new(Weibull::new(1.3, 4.0).unwrap()),
+        ];
+        for d in &dists {
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+            let c = d.cdf(x1);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn calculate_wait_stays_within_deadline(
+        mu1 in 0.0..4.0f64, s1 in 0.2..1.5f64,
+        mu2 in 0.0..4.0f64, s2 in 0.2..1.0f64,
+        deadline in 1.0..200.0f64, k in 2usize..80,
+    ) {
+        let x1 = LogNormal::new(mu1, s1).unwrap();
+        let x2 = LogNormal::new(mu2, s2).unwrap();
+        let dec = calculate_wait(
+            deadline,
+            &x1,
+            k,
+            |rem| if rem <= 0.0 { 0.0 } else { x2.cdf(rem) },
+            deadline / 120.0,
+        );
+        prop_assert!(dec.wait >= 0.0);
+        prop_assert!(dec.wait <= deadline + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&dec.quality));
+    }
+
+    #[test]
+    fn tree_quality_monotone_in_deadline(
+        mu1 in 0.5..3.0f64, s1 in 0.3..1.2f64,
+        d_lo in 5.0..50.0f64, extra in 5.0..200.0f64,
+        k1 in 2usize..30, k2 in 2usize..20,
+    ) {
+        let tree = TreeSpec::two_level(
+            StageSpec::new(LogNormal::new(mu1, s1).unwrap(), k1),
+            StageSpec::new(LogNormal::new(1.5, 0.5).unwrap(), k2),
+        );
+        let q_lo = tree_decision(&tree, d_lo, &small_profile()).quality;
+        let q_hi = tree_decision(&tree, d_lo + extra, &small_profile()).quality;
+        // Allow tabulation jitter at coarse resolution.
+        prop_assert!(q_hi >= q_lo - 0.02, "q({}) = {q_lo} > q({}) = {q_hi}", d_lo, d_lo + extra);
+    }
+
+    #[test]
+    fn simulated_quality_is_valid_for_any_policy(
+        seed in 0u64..500,
+        deadline in 1.0..120.0f64,
+        pick in 0usize..5,
+    ) {
+        let tree = TreeSpec::two_level(
+            StageSpec::new(LogNormal::new(1.5, 0.9).unwrap(), 8),
+            StageSpec::new(LogNormal::new(1.5, 0.5).unwrap(), 5),
+        );
+        let kind = [
+            WaitPolicyKind::Cedar,
+            WaitPolicyKind::Ideal,
+            WaitPolicyKind::ProportionalSplit,
+            WaitPolicyKind::EqualSplit,
+            WaitPolicyKind::FixedWait(deadline / 2.0),
+        ][pick];
+        let cfg = SimConfig::new(tree, deadline).with_seed(seed).with_scan_steps(60);
+        let out = simulate_query(&cfg, kind);
+        prop_assert!((0.0..=1.0).contains(&out.quality));
+        prop_assert!(out.included_outputs <= out.total_processes);
+        let frac = out.included_outputs as f64 / out.total_processes as f64;
+        prop_assert!((frac - out.quality).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_recovers_scale_order(
+        mu in 0.0..4.0f64,
+        sigma in 0.3..1.2f64,
+        seed in 0u64..200,
+    ) {
+        // With a full (uncensored) arrival set the Cedar estimator's mu
+        // must land within a broad window of the truth.
+        use rand::SeedableRng;
+        let parent = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut xs = parent.sample_vec(&mut rng, 40);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut est = CedarEstimator::new(40, Model::LogNormal);
+        for &x in &xs {
+            est.observe(x);
+        }
+        let p = est.estimate().unwrap();
+        prop_assert!((p.mu - mu).abs() < 1.0, "mu {mu} estimated {}", p.mu);
+        prop_assert!(p.sigma > 0.0);
+    }
+
+    #[test]
+    fn simulator_is_deterministic(seed in 0u64..100) {
+        let tree = TreeSpec::two_level(
+            StageSpec::new(Exponential::from_mean(4.0).unwrap(), 6),
+            StageSpec::new(Exponential::from_mean(3.0).unwrap(), 4),
+        );
+        let cfg = SimConfig::new(tree, 30.0).with_seed(seed).with_scan_steps(50);
+        let a = simulate_query(&cfg, WaitPolicyKind::Cedar);
+        let b = simulate_query(&cfg, WaitPolicyKind::Cedar);
+        prop_assert_eq!(a, b);
+    }
+}

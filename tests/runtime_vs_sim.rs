@@ -1,0 +1,80 @@
+//! Cross-backend agreement: the tokio runtime and the discrete-event
+//! simulator implement the same semantics, so on matched workloads their
+//! mean qualities must agree within sampling noise.
+//!
+//! The runtime tests run under tokio's paused clock, so wall-time effects
+//! (timer granularity, scheduling skew) are absent and the agreement
+//! bound can be tight.
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::distrib::LogNormal;
+use cedar::runtime::{run_query, RuntimeConfig};
+use cedar::sim::{mean_quality, run_trials, SimConfig};
+
+fn tree() -> TreeSpec {
+    TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(2.0, 0.8).unwrap(), 12),
+        StageSpec::new(LogNormal::new(2.0, 0.5).unwrap(), 8),
+    )
+}
+
+async fn runtime_mean(kind: WaitPolicyKind, deadline: f64, trials: usize) -> f64 {
+    let mut total = 0.0;
+    for i in 0..trials {
+        let cfg = RuntimeConfig::new(tree(), deadline).with_seed(1000 + i as u64);
+        total += run_query(&cfg, kind).await.quality;
+    }
+    total / trials as f64
+}
+
+fn sim_mean(kind: WaitPolicyKind, deadline: f64, trials: usize) -> f64 {
+    let cfg = SimConfig::new(tree(), deadline).with_seed(1000);
+    mean_quality(&run_trials(&cfg, kind, trials))
+}
+
+#[tokio::test(start_paused = true)]
+async fn backends_agree_for_static_policies() {
+    // Static policies (no online adaptation) are the cleanest comparison:
+    // both backends make identical wait decisions and differ only in
+    // sampled randomness.
+    for kind in [
+        WaitPolicyKind::ProportionalSplit,
+        WaitPolicyKind::Ideal,
+        WaitPolicyKind::FixedWait(20.0),
+    ] {
+        for &d in &[25.0, 50.0] {
+            let rt = runtime_mean(kind, d, 30).await;
+            let sim = sim_mean(kind, d, 30);
+            assert!(
+                (rt - sim).abs() < 0.12,
+                "{kind:?} at D={d}: runtime {rt} vs sim {sim}"
+            );
+        }
+    }
+}
+
+#[tokio::test(start_paused = true)]
+async fn backends_agree_for_cedar() {
+    // Cedar adapts per arrival; arrival timestamps differ slightly
+    // between backends (wall conversion), so allow a looser bound.
+    for &d in &[30.0, 60.0] {
+        let rt = runtime_mean(WaitPolicyKind::Cedar, d, 30).await;
+        let sim = sim_mean(WaitPolicyKind::Cedar, d, 30);
+        assert!(
+            (rt - sim).abs() < 0.15,
+            "cedar at D={d}: runtime {rt} vs sim {sim}"
+        );
+    }
+}
+
+#[tokio::test(start_paused = true)]
+async fn runtime_quality_monotone_in_deadline() {
+    let tight = runtime_mean(WaitPolicyKind::Cedar, 15.0, 20).await;
+    let loose = runtime_mean(WaitPolicyKind::Cedar, 120.0, 20).await;
+    assert!(
+        loose > tight,
+        "more budget should mean more quality ({tight} -> {loose})"
+    );
+    assert!(loose > 0.9, "generous deadline should be nearly lossless");
+}

@@ -1,0 +1,123 @@
+//! End-to-end quality integration tests: the full stack (workload ->
+//! policies -> simulator -> metrics) reproduces the paper's core
+//! orderings.
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::sim::{compare_on_workload, mean_quality, run_workload, SimConfig};
+use cedar::workloads::production::{facebook_mr, facebook_mr_three_level, interactive};
+
+const TRIALS: usize = 25;
+
+fn cfg_for(w: &cedar::workloads::Workload, deadline: f64, seed: u64) -> SimConfig {
+    SimConfig::new(w.priors.clone(), deadline)
+        .with_seed(seed)
+        .with_scan_steps(150)
+}
+
+#[test]
+fn cedar_beats_proportional_split_on_facebook_mr() {
+    let w = facebook_mr(50, 50);
+    for &d in &[500.0, 1000.0, 2000.0] {
+        let cfg = cfg_for(&w, d, 1);
+        let cmp = compare_on_workload(
+            &w,
+            &cfg,
+            WaitPolicyKind::Cedar,
+            WaitPolicyKind::ProportionalSplit,
+            TRIALS,
+        );
+        assert!(
+            cmp.improvement_pct > 5.0,
+            "D={d}: cedar {} vs prop {} ({}%)",
+            cmp.candidate_quality,
+            cmp.baseline_quality,
+            cmp.improvement_pct
+        );
+    }
+}
+
+#[test]
+fn cedar_tracks_the_ideal_oracle() {
+    let w = facebook_mr(50, 50);
+    for &d in &[500.0, 1500.0] {
+        let cfg = cfg_for(&w, d, 2);
+        let cedar = mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Cedar, TRIALS));
+        let ideal = mean_quality(&run_workload(&w, &cfg, WaitPolicyKind::Ideal, TRIALS));
+        assert!(
+            ideal - cedar < 0.05,
+            "D={d}: cedar {cedar} trails ideal {ideal} by too much"
+        );
+        assert!(cedar <= ideal + 0.03, "D={d}: cedar above oracle?");
+    }
+}
+
+#[test]
+fn straw_men_ordering_is_sane() {
+    // All policies produce valid qualities; Cedar is the best of the
+    // non-oracle bunch on the heavy-tailed workload.
+    let w = facebook_mr(50, 50);
+    let cfg = cfg_for(&w, 1000.0, 3);
+    let mut results = Vec::new();
+    for kind in [
+        WaitPolicyKind::Cedar,
+        WaitPolicyKind::ProportionalSplit,
+        WaitPolicyKind::EqualSplit,
+        WaitPolicyKind::SubtractUpper,
+        WaitPolicyKind::FixedWait(500.0),
+    ] {
+        let q = mean_quality(&run_workload(&w, &cfg, kind, TRIALS));
+        assert!((0.0..=1.0).contains(&q), "{kind:?} quality {q}");
+        results.push((kind.name(), q));
+    }
+    let cedar_q = results[0].1;
+    for (name, q) in &results[1..] {
+        assert!(cedar_q >= q - 0.02, "cedar {cedar_q} loses to {name} ({q})");
+    }
+}
+
+#[test]
+fn deeper_trees_preserve_cedar_gains() {
+    let w3 = facebook_mr_three_level(50, 10, 5);
+    let cfg = cfg_for(&w3, 2000.0, 4);
+    let cmp = compare_on_workload(
+        &w3,
+        &cfg,
+        WaitPolicyKind::Cedar,
+        WaitPolicyKind::ProportionalSplit,
+        TRIALS,
+    );
+    assert!(
+        cmp.improvement_pct > 5.0,
+        "3-level improvement only {}%",
+        cmp.improvement_pct
+    );
+}
+
+#[test]
+fn interactive_workload_millisecond_scale() {
+    let w = interactive(50, 50);
+    let cfg = cfg_for(&w, 150.0, 5);
+    let cmp = compare_on_workload(
+        &w,
+        &cfg,
+        WaitPolicyKind::Cedar,
+        WaitPolicyKind::ProportionalSplit,
+        TRIALS,
+    );
+    assert!(
+        cmp.improvement_pct > 5.0,
+        "interactive improvement only {}%",
+        cmp.improvement_pct
+    );
+}
+
+#[test]
+fn matched_seeds_replay_identical_queries() {
+    // Two runs of the same (workload, cfg, policy) must be identical —
+    // the foundation of every policy comparison above.
+    let w = facebook_mr(20, 10);
+    let cfg = cfg_for(&w, 800.0, 6);
+    let a = run_workload(&w, &cfg, WaitPolicyKind::Cedar, 10);
+    let b = run_workload(&w, &cfg, WaitPolicyKind::Cedar, 10);
+    assert_eq!(a, b);
+}

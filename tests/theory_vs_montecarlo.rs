@@ -1,0 +1,87 @@
+//! Theory-vs-simulation: the recursive quality model `q_n(D)` (§4.3)
+//! predicts the quality the simulator actually measures when every
+//! aggregator runs the Ideal policy on the true distributions.
+//!
+//! This closes the loop between the analytic machinery (`cedar-core`) and
+//! the executable semantics (`cedar-sim`): a bug in either the gain/loss
+//! calculus or the event engine would show up as a systematic gap.
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::core::profile::{tree_decision, ProfileConfig};
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::distrib::{Exponential, LogNormal};
+use cedar::sim::{mean_quality, run_trials, SimConfig};
+
+fn check_tree(tree: TreeSpec, deadlines: &[f64], tol: f64, seed: u64) {
+    let profile_cfg = ProfileConfig {
+        points: 384,
+        scan_steps: 600,
+    };
+    for &d in deadlines {
+        let predicted = tree_decision(&tree, d, &profile_cfg).quality;
+        let cfg = SimConfig::new(tree.clone(), d)
+            .with_seed(seed)
+            .with_scan_steps(600);
+        let measured = mean_quality(&run_trials(&cfg, WaitPolicyKind::Ideal, 120));
+        assert!(
+            (predicted - measured).abs() < tol,
+            "D={d}: q_n predicts {predicted}, simulator measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn two_level_lognormal_prediction() {
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(2.0, 0.8).unwrap(), 20),
+        StageSpec::new(LogNormal::new(2.2, 0.5).unwrap(), 15),
+    );
+    check_tree(tree, &[20.0, 40.0, 80.0], 0.06, 11);
+}
+
+#[test]
+fn two_level_exponential_prediction() {
+    let tree = TreeSpec::two_level(
+        StageSpec::new(Exponential::from_mean(5.0).unwrap(), 25),
+        StageSpec::new(Exponential::from_mean(3.0).unwrap(), 10),
+    );
+    check_tree(tree, &[15.0, 30.0, 60.0], 0.06, 12);
+}
+
+#[test]
+fn three_level_prediction() {
+    let tree = TreeSpec::new(vec![
+        StageSpec::new(LogNormal::new(1.8, 0.7).unwrap(), 10),
+        StageSpec::new(LogNormal::new(1.8, 0.5).unwrap(), 6),
+        StageSpec::new(LogNormal::new(1.8, 0.5).unwrap(), 4),
+    ]);
+    // The recursion assumes each level restarts its budget optimally;
+    // the executable tree has cross-aggregator arrival dispersion the
+    // model abstracts away, so allow a slightly looser bound.
+    check_tree(tree, &[30.0, 60.0], 0.09, 13);
+}
+
+#[test]
+fn prediction_brackets_every_policy() {
+    // q_n(D) is the *maximum* achievable quality: no policy may beat it
+    // by more than noise.
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(2.0, 0.9).unwrap(), 20),
+        StageSpec::new(LogNormal::new(2.0, 0.5).unwrap(), 10),
+    );
+    let d = 35.0;
+    let predicted = tree_decision(&tree, d, &ProfileConfig::default()).quality;
+    let cfg = SimConfig::new(tree, d).with_seed(14).with_scan_steps(300);
+    for kind in [
+        WaitPolicyKind::Cedar,
+        WaitPolicyKind::ProportionalSplit,
+        WaitPolicyKind::EqualSplit,
+        WaitPolicyKind::FixedWait(20.0),
+    ] {
+        let q = mean_quality(&run_trials(&cfg, kind, 80));
+        assert!(
+            q <= predicted + 0.05,
+            "{kind:?} measured {q} above the theoretical ceiling {predicted}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Full trace-replay pipeline: generate a synthetic Facebook-shaped
+//! trace, round-trip it through the JSON-lines format, fit per-job
+//! distributions, and replay each job through the simulator — the exact
+//! workflow of the paper's primary evaluation (§5.1–5.2).
+
+use cedar::core::policy::WaitPolicyKind;
+use cedar::core::{StageSpec, TreeSpec};
+use cedar::sim::{simulate_query, SimConfig};
+use cedar::workloads::production::{FACEBOOK_MAP_REPLAY, FB_MU_JITTER, FB_SIGMA_JITTER};
+use cedar::workloads::traceio::{read_trace, write_trace};
+use cedar::workloads::{PopulationModel, TraceGenerator};
+
+#[test]
+fn full_replay_pipeline() {
+    // Generate. Jobs are smaller than production scale to keep the test
+    // quick but structurally identical.
+    let mut generator = TraceGenerator::facebook_shaped();
+    generator.maps_per_job = 400;
+    generator.reduces_per_job = 50;
+    let jobs = generator.generate(12, 77);
+    assert_eq!(jobs.len(), 12);
+
+    // Round-trip through the on-disk format.
+    let dir = std::env::temp_dir().join("cedar-integration-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("replay.jsonl");
+    write_trace(&path, &jobs).unwrap();
+    let loaded = read_trace(&path).unwrap();
+    assert_eq!(jobs, loaded);
+    std::fs::remove_file(&path).ok();
+
+    // Replay each job: per-job fitted tree as the truth, population
+    // marginal as the policies' prior.
+    let pop = PopulationModel::new(
+        FACEBOOK_MAP_REPLAY.0,
+        FACEBOOK_MAP_REPLAY.1,
+        FB_MU_JITTER,
+        FB_SIGMA_JITTER,
+    )
+    .unwrap();
+    let mut cedar_total = 0.0;
+    let mut prop_total = 0.0;
+    let mut replayed = 0;
+    for job in &loaded {
+        let Some(tree) = job.to_fitted_tree(20, 20) else {
+            panic!("every generated job should fit");
+        };
+        let priors = TreeSpec::two_level(
+            StageSpec::new(pop.marginal(), 20),
+            StageSpec::from_arc(tree.stage(1).dist.clone(), 20),
+        );
+        let cfg = SimConfig::new(tree, 1000.0)
+            .with_priors(priors)
+            .with_seed(500 + job.id)
+            .with_scan_steps(150);
+        let prop = simulate_query(&cfg, WaitPolicyKind::ProportionalSplit);
+        let cedar = simulate_query(&cfg, WaitPolicyKind::Cedar);
+        assert!((0.0..=1.0).contains(&prop.quality));
+        assert!((0.0..=1.0).contains(&cedar.quality));
+        cedar_total += cedar.quality;
+        prop_total += prop.quality;
+        replayed += 1;
+    }
+    assert_eq!(replayed, 12);
+    // Across the trace, Cedar's per-query learning must pay off.
+    assert!(
+        cedar_total > prop_total,
+        "cedar {cedar_total} vs prop {prop_total} over the trace"
+    );
+}
+
+#[test]
+fn empirical_replay_matches_fitted_replay_roughly() {
+    // Replaying raw empirical durations and replaying the per-job
+    // log-normal fit should give similar qualities (the paper's fit-error
+    // claims imply this).
+    let mut generator = TraceGenerator::facebook_shaped();
+    generator.maps_per_job = 900;
+    generator.reduces_per_job = 60;
+    let job = &generator.generate(1, 99)[0];
+    let emp_tree = job.to_tree(30, 30).unwrap();
+    let fit_tree = job.to_fitted_tree(30, 30).unwrap();
+    let d = 1500.0;
+    let q_emp = simulate_query(
+        &SimConfig::new(emp_tree, d)
+            .with_seed(1)
+            .with_scan_steps(150),
+        WaitPolicyKind::Ideal,
+    )
+    .quality;
+    let q_fit = simulate_query(
+        &SimConfig::new(fit_tree, d)
+            .with_seed(1)
+            .with_scan_steps(150),
+        WaitPolicyKind::Ideal,
+    )
+    .quality;
+    assert!(
+        (q_emp - q_fit).abs() < 0.12,
+        "empirical {q_emp} vs fitted {q_fit}"
+    );
+}

@@ -1,0 +1,78 @@
+//! Query throughput of the concurrent aggregation service with the
+//! prepared-context cache on vs off.
+//!
+//! The cache skips the expensive query-independent setup (quality
+//! profiles + offline wait chain, §5.2 reports tens of ms per profile)
+//! for queries sharing a (priors epoch, deadline bucket); this bench
+//! measures how much of the per-query cost that setup is.
+
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::LogNormal;
+use cedar_runtime::{AggregationService, ServiceConfig, TimeScale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Concurrent submissions per measured iteration.
+const BATCH: usize = 8;
+
+fn tree() -> TreeSpec {
+    TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(1.0, 0.6).unwrap(), 8),
+        StageSpec::new(LogNormal::new(1.0, 0.4).unwrap(), 4),
+    )
+}
+
+fn service(cache: bool) -> AggregationService {
+    let mut cfg = ServiceConfig::new(tree(), 40.0);
+    // Refits off: steady-state priors, so the cache (when on) stays hot
+    // and the comparison isolates the context-build cost.
+    cfg.refit_interval = 0;
+    cfg.profile_cache = cache;
+    // 5 us of wall clock per model unit: sleeps are near-instant and
+    // the setup cost dominates.
+    cfg.scale = TimeScale::new(Duration::from_micros(5));
+    AggregationService::new(cfg)
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .unwrap();
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    for &cache in &[true, false] {
+        let name = if cache {
+            "batch8/cache_on"
+        } else {
+            "batch8/cache_off"
+        };
+        let svc = service(cache);
+        // Warm up: first submission spawns the refit task and (cache on)
+        // populates the profile cache.
+        rt.block_on(svc.submit(tree()));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                rt.block_on(async {
+                    let mut handles = Vec::with_capacity(BATCH);
+                    for _ in 0..BATCH {
+                        let svc = svc.clone();
+                        handles.push(tokio::spawn(async move { svc.submit(tree()).await }));
+                    }
+                    let mut total = 0usize;
+                    for h in handles {
+                        total += h.await.expect("submission panicked").included_outputs;
+                    }
+                    black_box(total)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

@@ -24,6 +24,15 @@ USAGE:
       Fit distribution families to newline-separated duration samples.
   cedar-cli trace-gen --jobs N --out FILE [--seed S]
       Generate a synthetic Facebook-shaped job trace (JSON lines).
+  cedar-cli serve [--addr A] [--deadline D] [--k1 N] [--k2 N] [--unit-us U]
+                  [--refit-interval N] [--max-inflight N] [--max-queued N]
+                  [--queue-timeout-ms MS] [--workers N]
+      Run a network-facing FB-MR aggregation service until a client
+      sends the shutdown op.
+  cedar-cli loadgen --addr A [--qps Q] [--queries N] [--deadline D]
+                    [--k1 N] [--k2 N] [--seed S] [--stop-server BOOL]
+      Open-loop Poisson load against a running service; reports achieved
+      QPS, quality distribution and latency percentiles.
 ";
 
 /// Entry point: routes `argv` to a subcommand.
@@ -39,6 +48,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "dual" => cmd_dual(&args),
         "fit" => cmd_fit(&args),
         "trace-gen" => cmd_trace_gen(&args),
+        "serve" => crate::service_cmds::cmd_serve(&args),
+        "loadgen" => crate::service_cmds::cmd_loadgen(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

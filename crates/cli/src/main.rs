@@ -11,6 +11,7 @@
 
 mod args;
 mod commands;
+mod service_cmds;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,294 @@
+//! The service-facing subcommands: `serve` (run a cedar-server) and
+//! `loadgen` (drive one with open-loop Poisson load).
+
+use crate::args::Args;
+use cedar_distrib::spec::DistSpec;
+use cedar_runtime::TimeScale;
+use cedar_server::{AdmissionConfig, Client, Server, ServerConfig};
+use cedar_workloads::production::{FACEBOOK_REDUCE, FB_MU_JITTER, FB_SIGMA_JITTER};
+use cedar_workloads::treedef::{StageDef, TreeDef};
+use cedar_workloads::PopulationModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Runs a Facebook-MapReduce-shaped aggregation service until a client
+/// sends the `shutdown` op.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7070");
+    let deadline: f64 = args.opt_parse("deadline", 1600.0)?;
+    let k1: usize = args.opt_parse("k1", 50)?;
+    let k2: usize = args.opt_parse("k2", 50)?;
+    let unit_us: u64 = args.opt_parse("unit-us", 200)?;
+    if deadline <= 0.0 || k1 == 0 || k2 == 0 || unit_us == 0 {
+        return Err("--deadline, --k1, --k2 and --unit-us must be positive".into());
+    }
+
+    let mut cfg = ServerConfig::facebook_mr_sized(addr, deadline, k1, k2);
+    cfg.service.scale = TimeScale::new(Duration::from_micros(unit_us));
+    cfg.service.refit_interval = args.opt_parse("refit-interval", 20)?;
+    cfg.admission = AdmissionConfig {
+        max_inflight: args.opt_parse("max-inflight", 256)?,
+        max_queued: args.opt_parse("max-queued", 256)?,
+        queue_timeout: Duration::from_millis(args.opt_parse("queue-timeout-ms", 500)?),
+    };
+    cfg.worker_threads = args.opt_parse("workers", 0)?;
+    if cfg.admission.max_inflight == 0 {
+        return Err("--max-inflight must be positive".into());
+    }
+
+    let handle = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;
+    println!("cedar-server listening on {}", handle.addr());
+    println!(
+        "workload: FB-MR {k1}x{k2} ({} processes), deadline {deadline} model s, \
+         {unit_us} us of wall clock per model s",
+        k1 * k2
+    );
+    println!(
+        "stop with: cedar-cli loadgen --addr {} --stop-server true",
+        handle.addr()
+    );
+    handle.wait().map_err(|e| format!("serving: {e}"))
+}
+
+/// One query's fate, as seen by the load generator.
+struct Shot {
+    ok: bool,
+    shed: bool,
+    quality: f64,
+    /// Client-observed end-to-end latency (includes admission queueing).
+    latency_ms: f64,
+}
+
+/// Open-loop Poisson load against a running server, with a percentile
+/// report.
+pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let addr = args.req("addr")?.to_owned();
+    let qps: f64 = args.opt_parse("qps", 200.0)?;
+    let queries: usize = args.opt_parse("queries", 500)?;
+    let seed: u64 = args.opt_parse("seed", 1)?;
+    let k1: usize = args.opt_parse("k1", 50)?;
+    let k2: usize = args.opt_parse("k2", 50)?;
+    let stop_server: bool = args.opt_parse("stop-server", false)?;
+    let deadline: Option<f64> = match args.opt("deadline") {
+        Some(v) => Some(v.parse().map_err(|_| "--deadline has an invalid value")?),
+        None => None,
+    };
+    if qps.is_nan() || qps <= 0.0 || queries == 0 {
+        return Err("--qps and --queries must be positive".into());
+    }
+
+    // Fail fast if nothing is listening.
+    let mut control = Client::connect(&addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    control.ping().map_err(|e| format!("pinging {addr}: {e}"))?;
+
+    // Per-query trees: the FB-MR population model at the bottom (each
+    // query draws its own log-normal), the fixed reduce stage above —
+    // the same population `serve` learned its priors from.
+    let pop = PopulationModel::new(
+        cedar_workloads::production::FACEBOOK_MAP_REPLAY.0,
+        cedar_workloads::production::FACEBOOK_MAP_REPLAY.1,
+        FB_MU_JITTER,
+        FB_SIGMA_JITTER,
+    )
+    .expect("constants are valid");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let peak_in_flight = Arc::new(AtomicUsize::new(0));
+    let (shot_tx, shot_rx) = mpsc::channel::<Shot>();
+    let mut workers = Vec::with_capacity(queries);
+
+    println!("offering {qps} QPS, {queries} queries, FB-MR {k1}x{k2} trees");
+    let start = Instant::now();
+    let mut next_arrival = 0.0f64;
+    for _ in 0..queries {
+        // Open loop: exponential inter-arrivals, never gated on
+        // completions.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        next_arrival += -u.ln() / qps;
+        let bottom = pop.sample_query(&mut rng);
+        let tree = TreeDef {
+            stages: vec![
+                StageDef {
+                    dist: DistSpec::LogNormal {
+                        mu: bottom.mu(),
+                        sigma: bottom.sigma(),
+                    },
+                    fanout: k1,
+                },
+                StageDef {
+                    dist: DistSpec::LogNormal {
+                        mu: FACEBOOK_REDUCE.0,
+                        sigma: FACEBOOK_REDUCE.1,
+                    },
+                    fanout: k2,
+                },
+            ],
+        };
+
+        let due = start + Duration::from_secs_f64(next_arrival);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            thread::sleep(wait);
+        }
+
+        let addr = addr.clone();
+        let in_flight = in_flight.clone();
+        let peak = peak_in_flight.clone();
+        let tx = shot_tx.clone();
+        workers.push(thread::spawn(move || {
+            let now = in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+            peak.fetch_max(now, Ordering::AcqRel);
+            let sent = Instant::now();
+            let shot = match Client::connect(&addr).and_then(|mut c| c.query(&tree, deadline, None))
+            {
+                Ok(resp) => Shot {
+                    ok: resp.ok,
+                    shed: resp.is_shed(),
+                    quality: resp.result.as_ref().map_or(0.0, |r| r.quality),
+                    latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                },
+                Err(_) => Shot {
+                    ok: false,
+                    shed: false,
+                    quality: 0.0,
+                    latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                },
+            };
+            in_flight.fetch_sub(1, Ordering::AcqRel);
+            let _ = tx.send(shot);
+        }));
+    }
+    drop(shot_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = start.elapsed();
+
+    let shots: Vec<Shot> = shot_rx.into_iter().collect();
+    let served: Vec<&Shot> = shots.iter().filter(|s| s.ok).collect();
+    let shed = shots.iter().filter(|s| s.shed).count();
+    let failed = shots.len() - served.len() - shed;
+
+    let mut qualities: Vec<f64> = served.iter().map(|s| s.quality).collect();
+    let mut latencies: Vec<f64> = served.iter().map(|s| s.latency_ms).collect();
+    qualities.sort_by(|a, b| a.total_cmp(b));
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    println!();
+    println!(
+        "completed {} of {} in {:.2}s (achieved {:.1} QPS; {} shed, {} failed)",
+        served.len(),
+        shots.len(),
+        elapsed.as_secs_f64(),
+        served.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        shed,
+        failed,
+    );
+    println!(
+        "peak in-flight:    {}",
+        peak_in_flight.load(Ordering::Acquire)
+    );
+    if !served.is_empty() {
+        println!(
+            "quality:           mean {:.3}, p10 {:.3}, p50 {:.3}, p90 {:.3}",
+            qualities.iter().sum::<f64>() / qualities.len() as f64,
+            percentile(&qualities, 10.0),
+            percentile(&qualities, 50.0),
+            percentile(&qualities, 90.0),
+        );
+        println!(
+            "latency (ms):      p50 {:.1}, p95 {:.1}, p99 {:.1}",
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 95.0),
+            percentile(&latencies, 99.0),
+        );
+    }
+    if let Ok(resp) = control.stats() {
+        if let Some(stats) = resp.stats {
+            let lookups = stats.cache_hits + stats.cache_misses;
+            println!(
+                "server:            {} completed, {} refits (epoch {}), profile cache {}/{} hits ({:.0}%)",
+                stats.completed,
+                stats.refits,
+                stats.epoch,
+                stats.cache_hits,
+                lookups,
+                100.0 * stats.cache_hits as f64 / lookups.max(1) as f64,
+            );
+        }
+    }
+    if stop_server {
+        control
+            .shutdown_server()
+            .map_err(|e| format!("stopping server: {e}"))?;
+        println!("server stopped");
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::dispatch;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn loadgen_validates_flags() {
+        assert!(dispatch(&sv(&["loadgen"])).is_err()); // missing --addr
+        assert!(dispatch(&sv(&["loadgen", "--addr", "127.0.0.1:1", "--qps", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_server_and_stops_it() {
+        // A small, fast server: 4x2 trees, 1600 model-second deadline
+        // replayed at 20 us per model second (max ~32 ms per query).
+        let mut cfg = ServerConfig::facebook_mr_sized("127.0.0.1:0", 1600.0, 4, 2);
+        cfg.service.scale = TimeScale::new(Duration::from_micros(20));
+        cfg.service.refit_interval = 10;
+        let handle = Server::start(cfg).unwrap();
+        let addr = handle.addr().to_string();
+
+        let argv = sv(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--qps",
+            "400",
+            "--queries",
+            "40",
+            "--k1",
+            "4",
+            "--k2",
+            "2",
+            "--stop-server",
+            "true",
+        ]);
+        dispatch(&argv).unwrap();
+        handle.wait().unwrap();
+    }
+}

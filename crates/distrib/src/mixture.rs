@@ -99,8 +99,7 @@ impl ContinuousDist for Mixture {
         // component quantiles, but guard against flat CDF regions.
         let span = (hi - lo).max(1e-12);
         let (lo, hi) = (lo - 1e-9 * span, hi + 1e-9 * span);
-        brent(|x| self.cdf(x) - p, lo, hi, 1e-12 * span.max(1.0))
-            .unwrap_or(0.5 * (lo + hi))
+        brent(|x| self.cdf(x) - p, lo, hi, 1e-12 * span.max(1.0)).unwrap_or(0.5 * (lo + hi))
     }
 
     fn mean(&self) -> f64 {

@@ -100,6 +100,12 @@ pub struct RuntimeOutcome {
     pub value_sum: f64,
     /// Wall-clock time the query took (bounded by the scaled deadline).
     pub wall_elapsed: Duration,
+    /// The per-stage durations the engine actually ran with (model
+    /// units): `realized_durations[0]` is one entry per leaf process,
+    /// `realized_durations[level]` one entry per aggregator at `level`.
+    /// These are what an online estimator should refit from — they are
+    /// the ground truth of this execution, not a fresh model draw.
+    pub realized_durations: Vec<Vec<f64>>,
 }
 
 /// Runs one aggregation query; every worker contributes the value `1.0`
@@ -122,6 +128,35 @@ pub async fn run_query_with_values(
     kind: WaitPolicyKind,
     values: Arc<Vec<f64>>,
 ) -> RuntimeOutcome {
+    let prepared = PreparedContexts::new(
+        &cfg.priors,
+        cfg.deadline,
+        kind,
+        cfg.model,
+        cfg.scan_steps,
+        &cfg.profile,
+    );
+    run_query_prepared(cfg, kind, values, &prepared).await
+}
+
+/// Like [`run_query_with_values`], but reuses an already-built
+/// [`PreparedContexts`]. Building one is the expensive, query-independent
+/// part of setup (quality profiles + offline wait chain over the priors),
+/// so callers issuing many queries against the same priors and deadline —
+/// notably the aggregation service's profile cache — should build it once
+/// and pass it here.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the tree's process count, the
+/// tree has fewer than two levels, or `prepared` was built for a tree
+/// shape other than `cfg.tree`'s.
+pub async fn run_query_prepared(
+    cfg: &RuntimeConfig,
+    kind: WaitPolicyKind,
+    values: Arc<Vec<f64>>,
+    prepared: &PreparedContexts,
+) -> RuntimeOutcome {
     let n = cfg.tree.levels();
     assert!(n >= 2, "runtime queries need at least one aggregator level");
     let total_processes = cfg.tree.total_processes();
@@ -142,15 +177,7 @@ pub async fn run_query_with_values(
         })
         .collect();
 
-    let contexts = PreparedContexts::new(
-        &cfg.priors,
-        cfg.deadline,
-        kind,
-        cfg.model,
-        cfg.scan_steps,
-        &cfg.profile,
-    )
-    .for_query(&cfg.tree);
+    let contexts = prepared.for_query(&cfg.tree);
 
     let start = Instant::now();
     let deadline_instant = start + cfg.scale.to_wall(cfg.deadline);
@@ -232,6 +259,10 @@ pub async fn run_query_with_values(
         }
     }
 
+    let mut realized_durations = Vec::with_capacity(1 + own_durations.len());
+    realized_durations.push(process_durations);
+    realized_durations.extend(own_durations);
+
     RuntimeOutcome {
         quality: included as f64 / total_processes.max(1) as f64,
         included_outputs: included,
@@ -239,6 +270,7 @@ pub async fn run_query_with_values(
         root_arrivals: arrivals,
         value_sum,
         wall_elapsed: start.elapsed().min(cfg.scale.to_wall(cfg.deadline)),
+        realized_durations,
     }
 }
 
@@ -381,6 +413,46 @@ mod tests {
         let a = run_query(&cfg, WaitPolicyKind::Ideal).await;
         let b = run_query(&cfg, WaitPolicyKind::Ideal).await;
         assert_eq!(a.included_outputs, b.included_outputs);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn realized_durations_cover_every_stage() {
+        let tree = TreeSpec::new(vec![
+            StageSpec::new(LogNormal::new(1.5, 0.5).unwrap(), 4),
+            StageSpec::new(LogNormal::new(1.5, 0.4).unwrap(), 3),
+            StageSpec::new(LogNormal::new(1.5, 0.4).unwrap(), 2),
+        ]);
+        let cfg = RuntimeConfig::new(tree, 60.0).with_seed(11);
+        let out = run_query(&cfg, WaitPolicyKind::Cedar).await;
+        assert_eq!(out.realized_durations.len(), 3);
+        assert_eq!(out.realized_durations[0].len(), 24);
+        assert_eq!(out.realized_durations[1].len(), 6);
+        assert_eq!(out.realized_durations[2].len(), 2);
+        assert!(out
+            .realized_durations
+            .iter()
+            .flatten()
+            .all(|d| d.is_finite() && *d >= 0.0));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn prepared_contexts_reuse_matches_fresh_build() {
+        let cfg = RuntimeConfig::new(small_tree(), 30.0).with_seed(9);
+        let prepared = PreparedContexts::new(
+            &cfg.priors,
+            cfg.deadline,
+            WaitPolicyKind::Cedar,
+            cfg.model,
+            cfg.scan_steps,
+            &cfg.profile,
+        );
+        let n = cfg.tree.total_processes();
+        let values = Arc::new(vec![1.0; n]);
+        let fresh = run_query(&cfg, WaitPolicyKind::Cedar).await;
+        let cached = run_query_prepared(&cfg, WaitPolicyKind::Cedar, values, &prepared).await;
+        assert_eq!(fresh.included_outputs, cached.included_outputs);
+        assert_eq!(fresh.root_arrivals, cached.root_arrivals);
+        assert_eq!(fresh.realized_durations, cached.realized_durations);
     }
 
     #[test]

@@ -29,6 +29,8 @@ mod engine;
 mod scale;
 pub mod service;
 
-pub use engine::{run_query, run_query_with_values, RuntimeConfig, RuntimeOutcome};
+pub use engine::{
+    run_query, run_query_prepared, run_query_with_values, RuntimeConfig, RuntimeOutcome,
+};
 pub use scale::TimeScale;
-pub use service::{AggregationService, ServiceConfig};
+pub use service::{AggregationService, QueryOptions, ServiceConfig};

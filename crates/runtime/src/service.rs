@@ -1,5 +1,5 @@
-//! A long-running aggregation service: the full deployment loop of the
-//! paper.
+//! A long-running, concurrent aggregation service: the full deployment
+//! loop of the paper.
 //!
 //! Production systems do not get their priors from thin air — they
 //! "continuously learn statistics about the underlying distributions ...
@@ -8,30 +8,61 @@
 //! [`AggregationService`] closes that loop:
 //!
 //! 1. queries are submitted with their *true* (per-query) tree;
-//! 2. each runs on the tokio engine under the configured policy, using
-//!    the service's current priors;
-//! 3. realized stage durations are recorded, and every
-//!    `refit_interval` completed queries the service re-fits its
-//!    population priors by log-normal MLE.
+//! 2. each runs on the tokio engine under the configured policy, using a
+//!    snapshot of the service's current priors;
+//! 3. the engine's realized stage durations are streamed to a background
+//!    refit task, and every `refit_interval` completed queries the
+//!    service re-fits its population priors by log-normal MLE.
 //!
 //! The service therefore adapts to slow drift the way a deployment
 //! would, while Cedar's per-query learning handles fast variation.
+//!
+//! ## Concurrency model
+//!
+//! The service is a cheap-to-clone handle over shared state, safe to use
+//! from any number of tasks at once:
+//!
+//! - **Priors** live behind an epoch-versioned `RwLock`: submissions
+//!   take a consistent `(epoch, tree)` snapshot, and the refit task is
+//!   the only writer, bumping the epoch with each accepted refit — so a
+//!   query never sees a half-updated tree.
+//! - **Realized durations** flow over an mpsc channel to a single
+//!   background refit task; history bookkeeping is serialized there
+//!   instead of under a lock on the submission path. `submit` awaits the
+//!   task's per-query ack, so `completed()` / `refits()` / `epoch()` are
+//!   deterministic immediately after a submission resolves.
+//! - **Prepared policy contexts** ([`PreparedContexts`]) — the expensive
+//!   query-independent setup (§5.2 reports tens of ms per profile) — are
+//!   cached per `(priors epoch, deadline bucket)`, so concurrent queries
+//!   with the same deadline don't redundantly recompute profiles.
 
-use crate::engine::{run_query, RuntimeConfig, RuntimeOutcome};
+use crate::engine::{run_query_prepared, RuntimeConfig, RuntimeOutcome};
 use crate::scale::TimeScale;
 use cedar_core::policy::WaitPolicyKind;
 use cedar_core::profile::ProfileConfig;
+use cedar_core::setup::PreparedContexts;
 use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::{ContinuousDist, DistError};
 use cedar_estimate::Model;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+use tokio::sync::{mpsc, oneshot};
+
+/// Per-stage sample cap recorded into the refit history per query, so a
+/// single huge query cannot dominate the sliding window.
+const PER_QUERY_STAGE_SAMPLES: usize = 256;
+
+/// Sliding-window bound on per-stage refit history.
+const HISTORY_WINDOW: usize = 50_000;
 
 /// Configuration of the service.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Initial population priors (e.g. from a first offline fit).
     pub initial_priors: TreeSpec,
-    /// End-to-end deadline applied to every query (model units).
+    /// Default end-to-end deadline applied to every query (model units);
+    /// individual submissions may override it via [`QueryOptions`].
     pub deadline: f64,
     /// Wait policy to run.
     pub policy: WaitPolicyKind,
@@ -46,6 +77,14 @@ pub struct ServiceConfig {
     pub scan_steps: usize,
     /// Profile resolution.
     pub profile: ProfileConfig,
+    /// Whether to cache [`PreparedContexts`] per (epoch, deadline
+    /// bucket). Caching never changes results — context construction is
+    /// deterministic in (priors, deadline) — it only skips recomputation.
+    pub profile_cache: bool,
+    /// Width of the deadline bucket used both for cache keying and for
+    /// quantizing submitted deadlines (model units). Queries whose
+    /// deadlines fall in the same bucket share prepared contexts.
+    pub deadline_bucket: f64,
 }
 
 impl ServiceConfig {
@@ -60,121 +99,297 @@ impl ServiceConfig {
             refit_interval: 20,
             scan_steps: 300,
             profile: ProfileConfig::default(),
+            profile_cache: true,
+            deadline_bucket: 1e-3,
         }
     }
 }
 
-/// Per-stage duration history used for offline refits.
-#[derive(Debug, Default, Clone)]
-struct StageHistory {
-    durations: Vec<f64>,
+/// Per-query overrides for [`AggregationService::submit_with`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Deadline override (model units); the service default otherwise.
+    pub deadline: Option<f64>,
+    /// Explicit duration-sampling seed; a service-assigned one otherwise.
+    /// Fixing the seed (with refits disabled) makes a query's outcome a
+    /// pure function of `(tree, deadline, seed)` regardless of how many
+    /// other queries run concurrently.
+    pub seed: Option<u64>,
+    /// Per-worker partial values; every worker contributes `1.0` if
+    /// absent.
+    pub values: Option<Arc<Vec<f64>>>,
+}
+
+/// The priors plus the epoch stamping their version.
+#[derive(Debug, Clone)]
+struct PriorsSnapshot {
+    epoch: u64,
+    tree: Arc<TreeSpec>,
+}
+
+/// One completed query's realized durations, acked once recorded.
+struct RefitRecord {
+    durations: Vec<Vec<f64>>,
+    ack: oneshot::Sender<()>,
+}
+
+/// Shared state behind every [`AggregationService`] handle.
+struct ServiceState {
+    cfg: ServiceConfig,
+    priors: RwLock<PriorsSnapshot>,
+    cache: Mutex<HashMap<(u64, u64), Arc<PreparedContexts>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    completed: AtomicUsize,
+    refits: AtomicUsize,
+    submit_counter: AtomicU64,
+    refit_tx: mpsc::UnboundedSender<RefitRecord>,
+    /// Receiver parked here until the first submission spawns the refit
+    /// task (spawning needs a runtime; `new` must stay callable outside
+    /// one).
+    refit_rx: Mutex<Option<mpsc::UnboundedReceiver<RefitRecord>>>,
 }
 
 /// The long-running service; see the module docs.
-#[derive(Debug)]
+///
+/// Cloning is cheap and shares all state; any number of tasks may call
+/// [`submit`](Self::submit) concurrently.
+#[derive(Clone)]
 pub struct AggregationService {
-    cfg: ServiceConfig,
-    priors: TreeSpec,
-    history: Vec<StageHistory>,
-    completed: usize,
-    refits: usize,
-    seed: u64,
+    state: Arc<ServiceState>,
+}
+
+impl std::fmt::Debug for AggregationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregationService")
+            .field("epoch", &self.epoch())
+            .field("completed", &self.completed())
+            .field("refits", &self.refits())
+            .finish()
+    }
 }
 
 impl AggregationService {
-    /// Creates the service with its initial priors.
+    /// Creates the service with its initial priors. The background refit
+    /// task is spawned lazily by the first submission (which is the
+    /// first point a runtime is guaranteed to exist).
     pub fn new(cfg: ServiceConfig) -> Self {
-        let stages = cfg.initial_priors.levels();
-        Self {
-            priors: cfg.initial_priors.clone(),
+        let (refit_tx, refit_rx) = mpsc::unbounded_channel();
+        let state = Arc::new(ServiceState {
+            priors: RwLock::new(PriorsSnapshot {
+                epoch: 0,
+                tree: Arc::new(cfg.initial_priors.clone()),
+            }),
             cfg,
-            history: vec![StageHistory::default(); stages],
-            completed: 0,
-            refits: 0,
-            seed: 0x5EED,
-        }
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            completed: AtomicUsize::new(0),
+            refits: AtomicUsize::new(0),
+            submit_counter: AtomicU64::new(0),
+            refit_tx,
+            refit_rx: Mutex::new(Some(refit_rx)),
+        });
+        Self { state }
     }
 
-    /// The current population priors.
-    pub fn priors(&self) -> &TreeSpec {
-        &self.priors
+    /// A consistent snapshot of the current population priors.
+    pub fn priors(&self) -> Arc<TreeSpec> {
+        self.state.priors.read().unwrap().tree.clone()
     }
 
-    /// Completed query count.
+    /// The priors version: bumped by every accepted refit. Monotonically
+    /// non-decreasing across any sequence of observations.
+    pub fn epoch(&self) -> u64 {
+        self.state.priors.read().unwrap().epoch
+    }
+
+    /// Completed query count (recorded by the refit task; deterministic
+    /// once a submission resolves).
     pub fn completed(&self) -> usize {
-        self.completed
+        self.state.completed.load(Ordering::Acquire)
     }
 
     /// Number of offline refits performed.
     pub fn refits(&self) -> usize {
-        self.refits
+        self.state.refits.load(Ordering::Acquire)
     }
 
-    /// Runs one query whose true stage distributions are `true_tree`,
-    /// records its realized durations into the offline history, and
-    /// refits the priors when the interval elapses.
-    pub async fn submit(&mut self, true_tree: TreeSpec) -> RuntimeOutcome {
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    /// Prepared-context cache counters as `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.state.cache_hits.load(Ordering::Acquire),
+            self.state.cache_misses.load(Ordering::Acquire),
+        )
+    }
+
+    /// Runs one query whose true stage distributions are `true_tree`
+    /// under the service defaults. See [`submit_with`](Self::submit_with).
+    pub async fn submit(&self, true_tree: TreeSpec) -> RuntimeOutcome {
+        self.submit_with(true_tree, QueryOptions::default()).await
+    }
+
+    /// Runs one query with per-query overrides: executes on the engine
+    /// against the current priors snapshot, streams the realized
+    /// durations to the refit task, and resolves once they are recorded
+    /// (and any due refit has been applied).
+    pub async fn submit_with(&self, true_tree: TreeSpec, opts: QueryOptions) -> RuntimeOutcome {
+        let state = &self.state;
+        self.ensure_refit_task();
+
+        let seed = opts.seed.unwrap_or_else(|| {
+            let i = state.submit_counter.fetch_add(1, Ordering::AcqRel);
+            0x5EED ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        });
+        let deadline = self.quantize_deadline(opts.deadline.unwrap_or(state.cfg.deadline));
+        let snapshot = state.priors.read().unwrap().clone();
+        let prepared = self.prepared_contexts(&snapshot, deadline);
+
+        let n = true_tree.total_processes();
+        let values = opts.values.unwrap_or_else(|| Arc::new(vec![1.0; n]));
         let cfg = RuntimeConfig {
-            tree: true_tree.clone(),
-            priors: self.priors.clone(),
-            deadline: self.cfg.deadline,
-            scale: self.cfg.scale,
-            model: self.cfg.model,
-            scan_steps: self.cfg.scan_steps,
-            profile: self.cfg.profile,
-            seed: self.seed,
+            tree: true_tree,
+            priors: (*snapshot.tree).clone(),
+            deadline,
+            scale: state.cfg.scale,
+            model: state.cfg.model,
+            scan_steps: state.cfg.scan_steps,
+            profile: state.cfg.profile,
+            seed,
         };
-        let outcome = run_query(&cfg, self.cfg.policy).await;
+        let outcome = run_query_prepared(&cfg, state.cfg.policy, values, &prepared).await;
 
-        // Record realized durations: sample what the query actually drew.
-        // (The engine pre-samples from the same seed, so this mirrors the
-        // durations that ran; recording from the model keeps the service
-        // independent of engine internals.)
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
-        for (idx, stage) in true_tree.stages().iter().enumerate() {
-            let count = true_tree.nodes_at(idx).min(256);
-            self.history[idx]
-                .durations
-                .extend(stage.dist.sample_vec(&mut rng, count));
-        }
-
-        self.completed += 1;
-        if self.cfg.refit_interval > 0 && self.completed % self.cfg.refit_interval == 0 {
-            if let Err(e) = self.refit() {
-                // A degenerate history (e.g. all-equal durations) leaves
-                // the old priors in place; the service stays available.
-                let _ = e;
-            }
+        // Stream the durations the engine actually ran with to the refit
+        // task and wait for the record (plus any due refit) to land.
+        let (ack_tx, ack_rx) = oneshot::channel();
+        let record = RefitRecord {
+            durations: outcome.realized_durations.clone(),
+            ack: ack_tx,
+        };
+        if state.refit_tx.send(record).is_ok() {
+            let _ = ack_rx.await;
         }
         outcome
     }
 
-    /// Re-fits every stage's prior from the recorded history (log-normal
-    /// MLE), keeping fan-outs.
-    fn refit(&mut self) -> Result<(), DistError> {
-        let mut stages = Vec::with_capacity(self.history.len());
-        for (idx, h) in self.history.iter().enumerate() {
-            let old = self.priors.stage(idx);
-            let dist: Arc<dyn ContinuousDist> = if h.durations.len() >= 20 {
-                Arc::new(cedar_distrib::fit::fit_lognormal_mle(&h.durations)?)
-            } else {
-                old.dist.clone()
-            };
-            stages.push(StageSpec::from_arc(dist, old.fanout));
+    /// Spawns the background refit task on first use.
+    fn ensure_refit_task(&self) {
+        let rx = self.state.refit_rx.lock().unwrap().take();
+        if let Some(rx) = rx {
+            // The task holds only a weak reference so the state (and the
+            // task itself, once the channel drains) can be reclaimed
+            // after the last handle drops.
+            tokio::spawn(refit_loop(Arc::downgrade(&self.state), rx));
         }
-        self.priors = TreeSpec::new(stages);
-        self.refits += 1;
-        // Bound memory: keep a sliding window of recent history.
-        for h in &mut self.history {
-            let len = h.durations.len();
-            if len > 50_000 {
-                h.durations.drain(..len - 50_000);
-            }
-        }
-        Ok(())
     }
+
+    /// Snaps a deadline to its bucket's representative value, so every
+    /// deadline in a bucket runs with — and caches — identical contexts.
+    fn quantize_deadline(&self, deadline: f64) -> f64 {
+        let w = self.state.cfg.deadline_bucket;
+        if w > 0.0 && deadline.is_finite() {
+            ((deadline / w).round() * w).max(w)
+        } else {
+            deadline
+        }
+    }
+
+    /// Fetches (or builds) the prepared contexts for a priors snapshot
+    /// and bucketed deadline.
+    fn prepared_contexts(&self, snapshot: &PriorsSnapshot, deadline: f64) -> Arc<PreparedContexts> {
+        let state = &self.state;
+        let build = || {
+            Arc::new(PreparedContexts::new(
+                &snapshot.tree,
+                deadline,
+                state.cfg.policy,
+                state.cfg.model,
+                state.cfg.scan_steps,
+                &state.cfg.profile,
+            ))
+        };
+        if !state.cfg.profile_cache {
+            return build();
+        }
+        let w = state.cfg.deadline_bucket.max(f64::MIN_POSITIVE);
+        let bucket = (deadline / w).round() as u64;
+        let key = (snapshot.epoch, bucket);
+        if let Some(hit) = state.cache.lock().unwrap().get(&key).cloned() {
+            state.cache_hits.fetch_add(1, Ordering::AcqRel);
+            return hit;
+        }
+        state.cache_misses.fetch_add(1, Ordering::AcqRel);
+        // Built outside the lock: construction is the expensive part,
+        // and a racing duplicate build is benign (identical contents).
+        let fresh = build();
+        state.cache.lock().unwrap().insert(key, fresh.clone());
+        fresh
+    }
+}
+
+/// The background refit task: the single consumer of realized durations
+/// and the single writer of the priors.
+async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::UnboundedReceiver<RefitRecord>) {
+    let mut history: Vec<Vec<f64>> = Vec::new();
+    while let Some(record) = rx.recv().await {
+        let Some(state) = state.upgrade() else {
+            return;
+        };
+        if history.len() < record.durations.len() {
+            history.resize(record.durations.len(), Vec::new());
+        }
+        for (h, d) in history.iter_mut().zip(&record.durations) {
+            h.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
+        }
+        let completed = state.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        let interval = state.cfg.refit_interval;
+        if interval > 0 && completed % interval == 0 {
+            // A degenerate history (e.g. all-equal durations) leaves the
+            // old priors in place; the service stays available.
+            let _ = apply_refit(&state, &mut history);
+        }
+        // Ack after all bookkeeping so observers see a consistent state
+        // as soon as their submission resolves.
+        let _ = record.ack.send(());
+    }
+}
+
+/// Re-fits every stage's prior from the recorded history (log-normal
+/// MLE), keeping fan-outs; bumps the epoch and drops stale cache entries.
+fn apply_refit(state: &ServiceState, history: &mut [Vec<f64>]) -> Result<(), DistError> {
+    let current = state.priors.read().unwrap().clone();
+    let mut stages = Vec::with_capacity(history.len());
+    for (idx, h) in history.iter().enumerate() {
+        let old = current.tree.stage(idx);
+        let dist: Arc<dyn ContinuousDist> = if h.len() >= 20 {
+            Arc::new(cedar_distrib::fit::fit_lognormal_mle(h)?)
+        } else {
+            old.dist.clone()
+        };
+        stages.push(StageSpec::from_arc(dist, old.fanout));
+    }
+    let refitted = TreeSpec::new(stages);
+    {
+        let mut priors = state.priors.write().unwrap();
+        priors.epoch += 1;
+        priors.tree = Arc::new(refitted);
+    }
+    state.refits.fetch_add(1, Ordering::AcqRel);
+    // Contexts keyed by older epochs can never be requested again.
+    let new_epoch = state.priors.read().unwrap().epoch;
+    state
+        .cache
+        .lock()
+        .unwrap()
+        .retain(|(epoch, _), _| *epoch >= new_epoch);
+    // Bound memory: keep a sliding window of recent history.
+    for h in history.iter_mut() {
+        let len = h.len();
+        if len > HISTORY_WINDOW {
+            h.drain(..len - HISTORY_WINDOW);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -193,13 +408,14 @@ mod tests {
     async fn service_runs_queries_and_refits() {
         let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
         cfg.refit_interval = 5;
-        let mut svc = AggregationService::new(cfg);
+        let svc = AggregationService::new(cfg);
         for _ in 0..10 {
             let out = svc.submit(tree(1.0)).await;
             assert!((0.0..=1.0).contains(&out.quality));
         }
         assert_eq!(svc.completed(), 10);
         assert_eq!(svc.refits(), 2);
+        assert_eq!(svc.epoch(), 2);
     }
 
     #[tokio::test(start_paused = true)]
@@ -209,7 +425,7 @@ mod tests {
         // truth.
         let mut cfg = ServiceConfig::new(tree(0.5), 60.0);
         cfg.refit_interval = 6;
-        let mut svc = AggregationService::new(cfg);
+        let svc = AggregationService::new(cfg);
         let before = svc.priors().stage(0).dist.quantile(0.5);
         for _ in 0..6 {
             svc.submit(tree(2.5)).await;
@@ -226,12 +442,96 @@ mod tests {
     async fn refit_disabled_keeps_priors() {
         let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
         cfg.refit_interval = 0;
-        let mut svc = AggregationService::new(cfg);
+        let svc = AggregationService::new(cfg);
         let before = svc.priors().stage(0).dist.mean();
         for _ in 0..5 {
             svc.submit(tree(3.0)).await;
         }
         assert_eq!(svc.refits(), 0);
+        assert_eq!(svc.epoch(), 0);
         assert_eq!(svc.priors().stage(0).dist.mean(), before);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn profile_cache_hits_on_repeated_deadlines() {
+        let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+        cfg.refit_interval = 0;
+        let svc = AggregationService::new(cfg);
+        for _ in 0..8 {
+            svc.submit(tree(1.0)).await;
+        }
+        let (hits, misses) = svc.cache_stats();
+        assert_eq!(misses, 1, "one build for the fixed deadline");
+        assert_eq!(hits, 7);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn refit_invalidates_cache_epoch() {
+        let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+        cfg.refit_interval = 4;
+        let svc = AggregationService::new(cfg);
+        for _ in 0..8 {
+            svc.submit(tree(1.0)).await;
+        }
+        // Epoch advanced twice; each refit invalidates, so at least one
+        // rebuild per epoch actually used afterwards.
+        assert_eq!(svc.refits(), 2);
+        let (hits, misses) = svc.cache_stats();
+        assert!(misses >= 2, "each epoch change forces a rebuild");
+        assert!(hits + misses == 8);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn cache_off_matches_cache_on() {
+        let mk = |cache: bool| {
+            let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+            cfg.refit_interval = 0;
+            cfg.profile_cache = cache;
+            AggregationService::new(cfg)
+        };
+        let on = mk(true);
+        let off = mk(false);
+        for seed in 1..=4u64 {
+            let opts = QueryOptions {
+                seed: Some(seed),
+                ..QueryOptions::default()
+            };
+            let a = on.submit_with(tree(1.0), opts.clone()).await;
+            let b = off.submit_with(tree(1.0), opts).await;
+            assert_eq!(a.included_outputs, b.included_outputs);
+            assert_eq!(a.quality, b.quality);
+        }
+        assert_eq!(on.cache_stats().0, 3);
+        assert_eq!(off.cache_stats(), (0, 0));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn per_query_deadline_overrides_default() {
+        let mut cfg = ServiceConfig::new(tree(1.0), 500.0);
+        cfg.refit_interval = 0;
+        let svc = AggregationService::new(cfg);
+        let starved = svc
+            .submit_with(
+                tree(1.0),
+                QueryOptions {
+                    deadline: Some(0.001),
+                    seed: Some(3),
+                    ..QueryOptions::default()
+                },
+            )
+            .await;
+        let generous = svc
+            .submit_with(
+                tree(1.0),
+                QueryOptions {
+                    seed: Some(3),
+                    ..QueryOptions::default()
+                },
+            )
+            .await;
+        assert_eq!(starved.included_outputs, 0);
+        assert!(generous.quality > starved.quality);
+        // Distinct buckets: both were cache misses.
+        assert_eq!(svc.cache_stats().1, 2);
     }
 }

@@ -1,0 +1,197 @@
+//! Admission control: a bounded in-flight gate with a bounded wait queue.
+//!
+//! A deadline-bound service that accepts unbounded work stops meeting
+//! deadlines for *everyone* — queueing delay eats the deadline budget
+//! before a query even starts. The gate caps concurrently executing
+//! queries at `max_inflight`; up to `max_queued` callers may wait up to
+//! `queue_timeout` for a slot, and everything beyond that is shed
+//! immediately so the client can retry elsewhere.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Admission limits.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum queries executing at once.
+    pub max_inflight: usize,
+    /// Maximum callers allowed to wait for a slot.
+    pub max_queued: usize,
+    /// Longest a queued caller waits before being shed.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 256,
+            max_queued: 256,
+            queue_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shed {
+    /// In-flight and queue caps were both full on arrival.
+    QueueFull,
+    /// A slot did not free up within the queue timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shed::QueueFull => write!(f, "shed: admission queue full"),
+            Shed::Timeout => write!(f, "shed: timed out waiting for an execution slot"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: usize,
+    queued: usize,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    cfg: AdmissionConfig,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+/// The shared admission gate; clones refer to the same limits.
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    inner: Arc<GateInner>,
+}
+
+/// An execution slot. Dropping it releases the slot and wakes a waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    inner: Arc<GateInner>,
+}
+
+impl AdmissionGate {
+    /// Creates a gate with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            inner: Arc::new(GateInner {
+                cfg,
+                state: Mutex::new(GateState::default()),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Tries to claim an execution slot, blocking in the bounded queue
+    /// for at most `queue_timeout` when the service is saturated.
+    pub fn try_admit(&self) -> Result<AdmissionPermit, Shed> {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().unwrap();
+        if state.in_flight < inner.cfg.max_inflight {
+            state.in_flight += 1;
+            return Ok(self.permit());
+        }
+        if state.queued >= inner.cfg.max_queued {
+            return Err(Shed::QueueFull);
+        }
+        state.queued += 1;
+        let deadline = Instant::now() + inner.cfg.queue_timeout;
+        loop {
+            if state.in_flight < inner.cfg.max_inflight {
+                state.in_flight += 1;
+                state.queued -= 1;
+                return Ok(self.permit());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                state.queued -= 1;
+                return Err(Shed::Timeout);
+            }
+            let (next, timed_out) = inner.freed.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+            if timed_out.timed_out() && state.in_flight >= inner.cfg.max_inflight {
+                state.queued -= 1;
+                return Err(Shed::Timeout);
+            }
+        }
+    }
+
+    /// Queries currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.inner.state.lock().unwrap().in_flight
+    }
+
+    fn permit(&self) -> AdmissionPermit {
+        AdmissionPermit {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.in_flight -= 1;
+        drop(state);
+        self.inner.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn gate(max_inflight: usize, max_queued: usize, timeout_ms: u64) -> AdmissionGate {
+        AdmissionGate::new(AdmissionConfig {
+            max_inflight,
+            max_queued,
+            queue_timeout: Duration::from_millis(timeout_ms),
+        })
+    }
+
+    #[test]
+    fn admits_up_to_the_cap_and_sheds_beyond_the_queue() {
+        let g = gate(2, 0, 50);
+        let a = g.try_admit().unwrap();
+        let b = g.try_admit().unwrap();
+        assert_eq!(g.in_flight(), 2);
+        assert_eq!(g.try_admit().unwrap_err(), Shed::QueueFull);
+        drop(a);
+        let c = g.try_admit().unwrap();
+        assert_eq!(g.in_flight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn queued_caller_gets_a_freed_slot() {
+        let g = gate(1, 1, 2_000);
+        let held = g.try_admit().unwrap();
+        let waiter = {
+            let g = g.clone();
+            thread::spawn(move || g.try_admit())
+        };
+        // Give the waiter time to enter the queue, then free the slot.
+        thread::sleep(Duration::from_millis(50));
+        drop(held);
+        let permit = waiter.join().unwrap();
+        assert!(permit.is_ok());
+        assert_eq!(g.in_flight(), 1);
+    }
+
+    #[test]
+    fn queued_caller_times_out_when_nothing_frees() {
+        let g = gate(1, 1, 30);
+        let _held = g.try_admit().unwrap();
+        let start = Instant::now();
+        assert_eq!(g.try_admit().unwrap_err(), Shed::Timeout);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(g.in_flight(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! A small blocking client for the cedar-server protocol, used by
+//! `cedar-cli loadgen` and the integration tests.
+
+use crate::proto::{self, Request, Response};
+use cedar_workloads::treedef::TreeDef;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a cedar-server; requests run synchronously in
+/// submission order.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        proto::write_frame(&mut self.stream, req)?;
+        proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Runs one aggregation query.
+    pub fn query(
+        &mut self,
+        tree: &TreeDef,
+        deadline: Option<f64>,
+        seed: Option<u64>,
+    ) -> io::Result<Response> {
+        self.request(&Request::query(tree.clone(), deadline, seed))
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(&Request::stats())
+    }
+
+    /// Checks liveness.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.request(&Request::ping())
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<Response> {
+        self.request(&Request::shutdown())
+    }
+}

@@ -1,0 +1,47 @@
+//! `cedar-server` — a concurrent, network-facing aggregation query
+//! service over the `cedar-runtime` engine.
+//!
+//! The paper's deployment (§5.1) is a long-running service: many
+//! deadline-bound aggregation queries in flight at once, continuously
+//! learning priors from the ones that complete. This crate is that
+//! serving layer:
+//!
+//! - [`proto`]: the wire protocol — length-prefixed (u32 big-endian)
+//!   JSON frames carrying serde request/response types;
+//! - [`admission`]: a bounded in-flight gate — beyond the cap, requests
+//!   queue for a bounded time and are then shed, so deadline semantics
+//!   stay honest under overload;
+//! - [`server`]: the TCP service — one OS thread per connection parses
+//!   frames and drives queries on a shared multi-threaded tokio runtime
+//!   through the concurrent [`AggregationService`];
+//! - [`client`]: a small blocking client used by `cedar-cli loadgen`
+//!   and the tests.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use cedar_server::{Server, ServerConfig};
+//! use cedar_server::client::Client;
+//! use cedar_workloads::treedef::TreeDef;
+//!
+//! let cfg = ServerConfig::facebook_mr("127.0.0.1:0", 1600.0);
+//! let handle = Server::start(cfg).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let resp = client.query(&TreeDef::example(), None, Some(42)).unwrap();
+//! println!("quality {:?}", resp.result.unwrap().quality);
+//! handle.shutdown().unwrap();
+//! ```
+//!
+//! [`AggregationService`]: cedar_runtime::AggregationService
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, Shed};
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerHandle};

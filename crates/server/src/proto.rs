@@ -1,0 +1,270 @@
+//! Wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian length followed by that many
+//! bytes of UTF-8 JSON. Requests carry an `op` discriminator; responses
+//! carry `ok` plus either a payload or an error string.
+//!
+//! ```text
+//! -> { "op": "query", "tree": {...}, "deadline": 1600.0, "seed": 7 }
+//! <- { "ok": true, "result": { "quality": 0.93, ... } }
+//! ```
+
+use cedar_workloads::treedef::TreeDef;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame, to fail fast on garbage input.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Operation name for query submission.
+pub const OP_QUERY: &str = "query";
+/// Operation name for the stats snapshot.
+pub const OP_STATS: &str = "stats";
+/// Operation name for liveness checks.
+pub const OP_PING: &str = "ping";
+/// Operation name for requesting server shutdown.
+pub const OP_SHUTDOWN: &str = "shutdown";
+
+/// A client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// One of [`OP_QUERY`], [`OP_STATS`], [`OP_PING`], [`OP_SHUTDOWN`].
+    pub op: String,
+    /// The query's true aggregation tree ([`OP_QUERY`] only).
+    pub tree: Option<TreeDef>,
+    /// Per-query deadline in model units; the server default otherwise.
+    pub deadline: Option<f64>,
+    /// Explicit duration-sampling seed for reproducible runs.
+    pub seed: Option<u64>,
+}
+
+impl Request {
+    /// A query submission.
+    pub fn query(tree: TreeDef, deadline: Option<f64>, seed: Option<u64>) -> Self {
+        Self {
+            op: OP_QUERY.to_owned(),
+            tree: Some(tree),
+            deadline,
+            seed,
+        }
+    }
+
+    /// A stats request.
+    pub fn stats() -> Self {
+        Self::bare(OP_STATS)
+    }
+
+    /// A liveness check.
+    pub fn ping() -> Self {
+        Self::bare(OP_PING)
+    }
+
+    /// A shutdown request.
+    pub fn shutdown() -> Self {
+        Self::bare(OP_SHUTDOWN)
+    }
+
+    fn bare(op: &str) -> Self {
+        Self {
+            op: op.to_owned(),
+            tree: None,
+            deadline: None,
+            seed: None,
+        }
+    }
+}
+
+/// Per-query outcome returned for [`OP_QUERY`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Fraction of process outputs included in the response.
+    pub quality: f64,
+    /// Number of process outputs included.
+    pub included_outputs: usize,
+    /// Total leaf processes in the query's tree.
+    pub total_processes: usize,
+    /// Top-level results that made the deadline.
+    pub root_arrivals: usize,
+    /// Aggregated answer over the included workers.
+    pub value_sum: f64,
+    /// Server-side wall-clock latency of the query in milliseconds.
+    pub latency_ms: f64,
+    /// Priors epoch the query ran under.
+    pub epoch: u64,
+}
+
+/// Service counters returned for [`OP_STATS`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Queries completed by the aggregation service.
+    pub completed: usize,
+    /// Offline prior refits performed.
+    pub refits: usize,
+    /// Current priors epoch.
+    pub epoch: u64,
+    /// Prepared-context cache hits.
+    pub cache_hits: u64,
+    /// Prepared-context cache misses.
+    pub cache_misses: u64,
+    /// Queries currently executing.
+    pub in_flight: usize,
+    /// Requests shed by admission control since start.
+    pub shed_total: u64,
+    /// Query requests accepted since start.
+    pub served_total: u64,
+}
+
+/// A server response. Exactly one of `result` / `stats` is set for the
+/// corresponding request kind when `ok`; `error` is set when not `ok`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request was served.
+    pub ok: bool,
+    /// Failure description (including `"shed: ..."` on admission drops).
+    pub error: Option<String>,
+    /// Query outcome for [`OP_QUERY`].
+    pub result: Option<QueryResult>,
+    /// Counter snapshot for [`OP_STATS`].
+    pub stats: Option<ServerStats>,
+}
+
+impl Response {
+    /// A successful empty response (ping/shutdown).
+    pub fn ok() -> Self {
+        Self {
+            ok: true,
+            error: None,
+            result: None,
+            stats: None,
+        }
+    }
+
+    /// A successful query response.
+    pub fn with_result(result: QueryResult) -> Self {
+        Self {
+            result: Some(result),
+            ..Self::ok()
+        }
+    }
+
+    /// A successful stats response.
+    pub fn with_stats(stats: ServerStats) -> Self {
+        Self {
+            stats: Some(stats),
+            ..Self::ok()
+        }
+    }
+
+    /// A failure response.
+    pub fn err(msg: impl Into<String>) -> Self {
+        Self {
+            ok: false,
+            error: Some(msg.into()),
+            result: None,
+            stats: None,
+        }
+    }
+
+    /// Whether this failure was an admission-control shed.
+    pub fn is_shed(&self) -> bool {
+        self.error
+            .as_deref()
+            .is_some_and(|e| e.starts_with("shed:"))
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encoding frame: {e}")))?;
+    let bytes = body.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let len = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
+/// end-of-stream at a frame boundary.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf-8: {e}")))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decoding frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let req = Request::query(TreeDef::example(), Some(1600.0), Some(9));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back.op, OP_QUERY);
+        assert_eq!(back.deadline, Some(1600.0));
+        assert_eq!(back.seed, Some(9));
+        assert_eq!(back.tree.unwrap(), TreeDef::example());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        let got: Option<Request> = read_frame(&mut &*empty).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let got: io::Result<Option<Request>> = read_frame(&mut buf.as_slice());
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn responses_carry_one_payload() {
+        let r = Response::with_result(QueryResult {
+            quality: 0.5,
+            included_outputs: 16,
+            total_processes: 32,
+            root_arrivals: 4,
+            value_sum: 16.0,
+            latency_ms: 12.5,
+            epoch: 3,
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &r).unwrap();
+        let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert!(back.ok);
+        assert!(back.stats.is_none());
+        assert_eq!(back.result.unwrap().epoch, 3);
+        assert!(!Response::err("shed: queue full").ok);
+        assert!(Response::err("shed: queue full").is_shed());
+        assert!(!Response::err("bad tree").is_shed());
+    }
+}

@@ -1,0 +1,380 @@
+//! The TCP service: an accept loop, one OS thread per connection, and a
+//! shared multi-threaded tokio runtime executing the queries.
+//!
+//! Connection threads parse [`proto`](crate::proto) frames, claim an
+//! [`AdmissionGate`] slot, and bridge onto the runtime with
+//! `Handle::block_on` — so slow clients tie up cheap OS threads, never
+//! runtime workers. Shutdown is graceful: a flag flips, the accept loop
+//! is woken by a self-connection, idle connections notice within one
+//! poll interval, and in-flight queries run to completion before their
+//! threads are joined.
+
+use crate::admission::{AdmissionConfig, AdmissionGate};
+use crate::proto::{self, QueryResult, Request, Response, ServerStats};
+use cedar_runtime::{AggregationService, QueryOptions, ServiceConfig, TimeScale};
+use cedar_workloads::production;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(150);
+
+/// Everything needed to start a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// The aggregation service configuration (priors, deadline, policy,
+    /// time scale, refit interval, profile cache).
+    pub service: ServiceConfig,
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// Runtime worker threads (`0` = one per available core).
+    pub worker_threads: usize,
+}
+
+impl ServerConfig {
+    /// A config with default admission limits and worker count.
+    pub fn new(addr: impl Into<String>, service: ServiceConfig) -> Self {
+        Self {
+            addr: addr.into(),
+            service,
+            admission: AdmissionConfig::default(),
+            worker_threads: 0,
+        }
+    }
+
+    /// The paper's primary workload as a service: Facebook MapReduce
+    /// priors (50 maps per aggregator, 50 aggregators — the shape of
+    /// [`TreeDef::example`]), the given deadline in model seconds, and
+    /// trace seconds replayed at 5000x (200 µs of wall clock per model
+    /// second).
+    ///
+    /// [`TreeDef::example`]: cedar_workloads::treedef::TreeDef::example
+    pub fn facebook_mr(addr: impl Into<String>, deadline: f64) -> Self {
+        Self::facebook_mr_sized(addr, deadline, 50, 50)
+    }
+
+    /// [`facebook_mr`](Self::facebook_mr) with explicit fan-outs, for
+    /// smaller (or larger) trees than the paper's 2500-process default.
+    pub fn facebook_mr_sized(addr: impl Into<String>, deadline: f64, k1: usize, k2: usize) -> Self {
+        let workload = production::facebook_mr(k1, k2);
+        let mut service = ServiceConfig::new(workload.priors, deadline);
+        service.scale = TimeScale::new(Duration::from_micros(200));
+        Self::new(addr, service)
+    }
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// handle.
+struct ServerShared {
+    service: AggregationService,
+    gate: AdmissionGate,
+    runtime: tokio::runtime::Handle,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    shed_total: AtomicU64,
+    served_total: AtomicU64,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    /// Flips the shutdown flag and wakes the accept loop (idempotently).
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            // The accept loop blocks in `accept`; a throwaway connection
+            // gets it to re-check the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// The service entry point; see the crate docs for a usage example.
+pub struct Server;
+
+impl Server {
+    /// Binds, starts the runtime and the accept loop, and returns a
+    /// handle controlling the running server.
+    pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let mut builder = tokio::runtime::Builder::new_multi_thread();
+        if cfg.worker_threads > 0 {
+            builder.worker_threads(cfg.worker_threads);
+        }
+        let runtime = builder.enable_all().build()?;
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service: AggregationService::new(cfg.service),
+            gate: AdmissionGate::new(cfg.admission),
+            runtime: runtime.handle().clone(),
+            addr,
+            shutdown: AtomicBool::new(false),
+            shed_total: AtomicU64::new(0),
+            served_total: AtomicU64::new(0),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("cedar-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            runtime: Some(runtime),
+        })
+    }
+}
+
+/// Controls a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+    runtime: Option<tokio::runtime::Runtime>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.shared.gate.in_flight()
+    }
+
+    /// Initiates shutdown and blocks until in-flight queries have
+    /// drained and every thread is joined.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.finish()
+    }
+
+    /// Blocks until a client requests shutdown (the `"shutdown"` op),
+    /// then drains and joins like [`shutdown`](Self::shutdown). This is
+    /// what `cedar-cli serve` parks on.
+    pub fn wait(mut self) -> io::Result<()> {
+        if let Some(accept) = self.accept.take() {
+            accept
+                .join()
+                .map_err(|_| io::Error::other("accept thread panicked"))?;
+        }
+        self.finish()
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.shared.begin_shutdown();
+        let mut result = Ok(());
+        if let Some(accept) = self.accept.take() {
+            if accept.join().is_err() {
+                result = Err(io::Error::other("accept thread panicked"));
+            }
+        }
+        let conns = std::mem::take(&mut *self.shared.conn_threads.lock().unwrap());
+        for conn in conns {
+            if conn.join().is_err() {
+                result = Err(io::Error::other("connection thread panicked"));
+            }
+        }
+        // All users of the runtime are joined; tear it down last.
+        drop(self.runtime.take());
+        result
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Accepts connections until shutdown, one handler thread each.
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let handler = {
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("cedar-conn".into())
+                .spawn(move || handle_connection(&shared, stream))
+        };
+        let mut threads = shared.conn_threads.lock().unwrap();
+        threads.retain(|t| !t.is_finished());
+        if let Ok(handler) = handler {
+            threads.push(handler);
+        }
+    }
+}
+
+/// A `Read` over a timeout-armed stream that retries poll ticks until
+/// data arrives or the server shuts down.
+struct PatientReader<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&mut self.stream).read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "server shutting down",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Serves one connection: a request/response loop until EOF, error, or
+/// shutdown.
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut reader = PatientReader {
+            stream: &stream,
+            shutdown: &shared.shutdown,
+        };
+        let req: Request = match proto::read_frame(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // The frame was consumed whole; the stream is still
+                // aligned, so report and keep serving.
+                let resp = Response::err(format!("bad request: {e}"));
+                if proto::write_frame(&mut &stream, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // shutdown tick or a real I/O error
+        };
+        let resp = dispatch(shared, &req);
+        if proto::write_frame(&mut &stream, &resp).is_err() {
+            return;
+        }
+        if req.op == proto::OP_SHUTDOWN {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &ServerShared, req: &Request) -> Response {
+    match req.op.as_str() {
+        proto::OP_PING => Response::ok(),
+        proto::OP_SHUTDOWN => Response::ok(),
+        proto::OP_STATS => Response::with_stats(collect_stats(shared)),
+        proto::OP_QUERY => serve_query(shared, req),
+        other => Response::err(format!("unknown op {other:?}")),
+    }
+}
+
+fn collect_stats(shared: &ServerShared) -> ServerStats {
+    let (cache_hits, cache_misses) = shared.service.cache_stats();
+    ServerStats {
+        completed: shared.service.completed(),
+        refits: shared.service.refits(),
+        epoch: shared.service.epoch(),
+        cache_hits,
+        cache_misses,
+        in_flight: shared.gate.in_flight(),
+        shed_total: shared.shed_total.load(Ordering::Acquire),
+        served_total: shared.served_total.load(Ordering::Acquire),
+    }
+}
+
+fn serve_query(shared: &ServerShared, req: &Request) -> Response {
+    let Some(def) = &req.tree else {
+        return Response::err("query request without a tree");
+    };
+    let tree = match def.build() {
+        Ok(tree) => tree,
+        Err(e) => return Response::err(format!("invalid tree: {e}")),
+    };
+    // The prepared contexts (and the refit history) are shaped by the
+    // priors; a different query shape would corrupt both.
+    let priors = shared.service.priors();
+    if tree.levels() != priors.levels() {
+        return Response::err(format!(
+            "tree has {} levels but the service priors have {}",
+            tree.levels(),
+            priors.levels()
+        ));
+    }
+    for level in 0..tree.levels() {
+        if tree.stage(level).fanout != priors.stage(level).fanout {
+            return Response::err(format!(
+                "tree fan-out {} at level {level} differs from the service priors' {}",
+                tree.stage(level).fanout,
+                priors.stage(level).fanout
+            ));
+        }
+    }
+
+    let _permit = match shared.gate.try_admit() {
+        Ok(permit) => permit,
+        Err(shed) => {
+            shared.shed_total.fetch_add(1, Ordering::AcqRel);
+            return Response::err(shed.to_string());
+        }
+    };
+    shared.served_total.fetch_add(1, Ordering::AcqRel);
+
+    let epoch = shared.service.epoch();
+    let opts = QueryOptions {
+        deadline: req.deadline,
+        seed: req.seed,
+        values: None,
+    };
+    let start = Instant::now();
+    let outcome = shared
+        .runtime
+        .block_on(shared.service.submit_with(tree, opts));
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    Response::with_result(QueryResult {
+        quality: outcome.quality,
+        included_outputs: outcome.included_outputs,
+        total_processes: outcome.total_processes,
+        root_arrivals: outcome.root_arrivals,
+        value_sum: outcome.value_sum,
+        latency_ms,
+        epoch,
+    })
+}

@@ -1,0 +1,246 @@
+//! End-to-end tests over a real TCP socket: protocol round trips,
+//! admission control under load, and graceful shutdown draining.
+
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::spec::DistSpec;
+use cedar_distrib::LogNormal;
+use cedar_runtime::{ServiceConfig, TimeScale};
+use cedar_server::proto::Request;
+use cedar_server::{AdmissionConfig, Client, Server, ServerConfig};
+use cedar_workloads::treedef::{StageDef, TreeDef};
+use std::thread;
+use std::time::Duration;
+
+/// Service priors: fan-outs (4, 2), one model unit of wall time per
+/// `unit`.
+fn service(deadline: f64, unit: Duration) -> ServiceConfig {
+    let tree = TreeSpec::two_level(
+        StageSpec::new(LogNormal::new(1.0, 0.6).unwrap(), 4),
+        StageSpec::new(LogNormal::new(1.0, 0.4).unwrap(), 2),
+    );
+    let mut cfg = ServiceConfig::new(tree, deadline);
+    cfg.scale = TimeScale::new(unit);
+    cfg.refit_interval = 0;
+    cfg
+}
+
+/// A query tree matching the service priors' (4, 2) shape.
+fn matching_tree(mu: f64) -> TreeDef {
+    TreeDef {
+        stages: vec![
+            StageDef {
+                dist: DistSpec::LogNormal { mu, sigma: 0.6 },
+                fanout: 4,
+            },
+            StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 1.0,
+                    sigma: 0.4,
+                },
+                fanout: 2,
+            },
+        ],
+    }
+}
+
+/// A fast server: queries finish in ~5 ms of wall clock.
+fn fast_server() -> ServerConfig {
+    ServerConfig::new("127.0.0.1:0", service(50.0, Duration::from_micros(100)))
+}
+
+/// A slow server: huge stage durations against the deadline, so every
+/// query occupies its slot for the full scaled deadline (~300 ms).
+fn slow_server(admission: AdmissionConfig) -> ServerConfig {
+    let mut cfg = ServerConfig::new("127.0.0.1:0", service(300.0, Duration::from_millis(1)));
+    cfg.admission = admission;
+    cfg
+}
+
+#[test]
+fn ping_query_stats_round_trip() {
+    let handle = Server::start(fast_server()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert!(client.ping().unwrap().ok);
+
+    let resp = client.query(&matching_tree(1.0), None, Some(42)).unwrap();
+    assert!(resp.ok, "query failed: {:?}", resp.error);
+    let result = resp.result.expect("query response carries a result");
+    assert!((0.0..=1.0).contains(&result.quality));
+    assert_eq!(result.total_processes, 8);
+    assert!(result.latency_ms >= 0.0);
+
+    let stats = client.stats().unwrap().stats.expect("stats payload");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.served_total, 1);
+    assert_eq!(stats.shed_total, 0);
+    assert_eq!(stats.in_flight, 0);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn identical_seeds_get_identical_answers() {
+    // Exact per-seed replay needs the paused clock (covered by the
+    // cedar-runtime concurrency tests); over a real clock, assert on a
+    // deadline generous enough that boundary jitter cannot matter.
+    let handle = Server::start(fast_server()).unwrap();
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+    let ra = a.query(&matching_tree(1.0), Some(5000.0), Some(7)).unwrap();
+    let rb = b.query(&matching_tree(1.0), Some(5000.0), Some(7)).unwrap();
+    let (ra, rb) = (ra.result.unwrap(), rb.result.unwrap());
+    assert_eq!(ra.quality, 1.0);
+    assert_eq!(ra.included_outputs, rb.included_outputs);
+    assert_eq!(ra.value_sum, rb.value_sum);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn mismatched_tree_shape_is_rejected() {
+    let handle = Server::start(fast_server()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Wrong fan-outs (the example's 50x50) against the (4, 2) priors.
+    let resp = client.query(&TreeDef::example(), None, None).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap().contains("fan-out"));
+
+    // A query with no tree at all.
+    let resp = client
+        .request(&Request {
+            op: "query".into(),
+            tree: None,
+            deadline: None,
+            seed: None,
+        })
+        .unwrap();
+    assert!(!resp.ok);
+
+    // An unknown op.
+    let resp = client
+        .request(&Request {
+            op: "frobnicate".into(),
+            tree: None,
+            deadline: None,
+            seed: None,
+        })
+        .unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap().contains("unknown op"));
+
+    // The connection still serves valid requests afterwards.
+    assert!(client.ping().unwrap().ok);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn admission_sheds_beyond_the_cap() {
+    let handle = Server::start(slow_server(AdmissionConfig {
+        max_inflight: 1,
+        max_queued: 0,
+        queue_timeout: Duration::from_millis(50),
+    }))
+    .unwrap();
+    let addr = handle.addr();
+
+    // Saturate the single slot with a slow query...
+    let occupant = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(&matching_tree(9.0), None, Some(1)).unwrap()
+    });
+    // ...wait until it is actually in flight...
+    for _ in 0..100 {
+        if handle.in_flight() > 0 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.in_flight(), 1, "occupant query never started");
+
+    // ...then a second query must be shed, and quickly.
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.query(&matching_tree(9.0), None, Some(2)).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.is_shed(), "expected a shed, got {:?}", resp.error);
+
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(stats.shed_total, 1);
+    assert_eq!(stats.served_total, 1);
+
+    let occupied = occupant.join().unwrap();
+    assert!(occupied.ok);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn admission_queues_within_the_cap() {
+    let handle = Server::start(slow_server(AdmissionConfig {
+        max_inflight: 1,
+        max_queued: 1,
+        queue_timeout: Duration::from_secs(10),
+    }))
+    .unwrap();
+    let addr = handle.addr();
+
+    // Two slow queries against one slot: the second queues, then runs.
+    let mut workers = Vec::new();
+    for seed in [1u64, 2] {
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.query(&matching_tree(9.0), None, Some(seed)).unwrap()
+        }));
+    }
+    for w in workers {
+        let resp = w.join().unwrap();
+        assert!(resp.ok, "queued query failed: {:?}", resp.error);
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(stats.served_total, 2);
+    assert_eq!(stats.shed_total, 0);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries() {
+    let handle = Server::start(slow_server(AdmissionConfig::default())).unwrap();
+    let addr = handle.addr();
+
+    let inflight = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(&matching_tree(9.0), None, Some(5)).unwrap()
+    });
+    for _ in 0..100 {
+        if handle.in_flight() > 0 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.in_flight(), 1);
+
+    // Shutdown must block until the slow query has been answered.
+    handle.shutdown().unwrap();
+    let resp = inflight.join().unwrap();
+    assert!(resp.ok, "in-flight query was dropped: {:?}", resp.error);
+    assert!(resp.result.is_some());
+
+    // And the listener is really gone.
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn client_initiated_shutdown_stops_the_server() {
+    let handle = Server::start(fast_server()).unwrap();
+    let addr = handle.addr();
+    let stopper = thread::spawn(move || {
+        // Give `wait` a moment to park first.
+        thread::sleep(Duration::from_millis(50));
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown_server().unwrap()
+    });
+    handle.wait().unwrap();
+    assert!(stopper.join().unwrap().ok);
+    assert!(Client::connect(addr).is_err());
+}

@@ -33,10 +33,13 @@ async fn main() {
     let mut cfg = ServiceConfig::new(stale, 120.0);
     cfg.refit_interval = 10;
     cfg.scale = TimeScale::new(Duration::from_micros(200)); // 5000x replay speed
-    let mut svc = AggregationService::new(cfg);
+    let svc = AggregationService::new(cfg);
 
     println!("serving 30 queries at shifted load (priors start ~5x too fast)\n");
-    println!("{:>6} {:>9} {:>8} {:>22}", "query", "quality", "refits", "prior bottom median");
+    println!(
+        "{:>6} {:>9} {:>8} {:>22}",
+        "query", "quality", "refits", "prior bottom median"
+    );
     let mut rng = StdRng::seed_from_u64(7);
     let mut window = Vec::new();
     for q in 1..=30u32 {

@@ -1,0 +1,182 @@
+//! ChaCha12 block generator, bit-compatible with `rand_chacha` 0.3 as
+//! used by rand 0.8's `StdRng`.
+//!
+//! `rand_chacha` computes four 16-word blocks per refill (a SIMD win in
+//! the original; plain sequential blocks here) and serves them through
+//! `rand_core::block::BlockRng`, whose `next_u64` has distinctive
+//! behavior at the buffer boundary. Both are reproduced exactly so that
+//! seeded streams match the real crate.
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+const ROUNDS: usize = 12;
+
+/// The raw ChaCha12 core: seed + stream id; the counter lives in the
+/// buffered wrapper.
+#[derive(Clone)]
+pub(crate) struct ChaCha12Core {
+    key: [u32; 8],
+    stream: u64,
+}
+
+impl ChaCha12Core {
+    pub(crate) fn new(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self { key, stream: 0 }
+    }
+
+    /// Generates blocks `counter .. counter + 4` into `out`.
+    fn refill(&self, counter: u64, out: &mut [u32; BUF_WORDS]) {
+        for block in 0..4 {
+            let ctr = counter.wrapping_add(block as u64);
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = ctr as u32;
+            state[13] = (ctr >> 32) as u32;
+            state[14] = self.stream as u32;
+            state[15] = (self.stream >> 32) as u32;
+
+            let mut x = state;
+            for _ in 0..ROUNDS / 2 {
+                // Column round.
+                quarter(&mut x, 0, 4, 8, 12);
+                quarter(&mut x, 1, 5, 9, 13);
+                quarter(&mut x, 2, 6, 10, 14);
+                quarter(&mut x, 3, 7, 11, 15);
+                // Diagonal round.
+                quarter(&mut x, 0, 5, 10, 15);
+                quarter(&mut x, 1, 6, 11, 12);
+                quarter(&mut x, 2, 7, 8, 13);
+                quarter(&mut x, 3, 4, 9, 14);
+            }
+            for i in 0..16 {
+                out[block * 16 + i] = x[i].wrapping_add(state[i]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// ChaCha12 behind `BlockRng`-compatible buffering.
+#[derive(Clone)]
+pub(crate) struct BufferedChaCha12 {
+    core: ChaCha12Core,
+    results: [u32; BUF_WORDS],
+    index: usize,
+    counter: u64,
+}
+
+impl BufferedChaCha12 {
+    pub(crate) fn new(seed: [u8; 32]) -> Self {
+        Self {
+            core: ChaCha12Core::new(seed),
+            results: [0; BUF_WORDS],
+            index: BUF_WORDS, // empty: first use refills
+            counter: 0,
+        }
+    }
+
+    fn generate_and_set(&mut self, index: usize) {
+        let ctr = self.counter;
+        self.core.refill(ctr, &mut self.results);
+        self.counter = ctr.wrapping_add(4);
+        self.index = index;
+    }
+
+    pub(crate) fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let v = self.results[self.index];
+        self.index += 1;
+        v
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core::block::BlockRng::next_u64 exactly, including
+        // the split read when one word remains in the buffer.
+        let read_u64 = |results: &[u32; BUF_WORDS], index: usize| {
+            (u64::from(results[index + 1]) << 32) | u64::from(results[index])
+        };
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            let x = u64::from(self.results[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            let y = u64::from(self.results[0]);
+            (y << 32) | x
+        }
+    }
+
+    pub(crate) fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_sequential_and_stable() {
+        let core = ChaCha12Core::new([0u8; 32]);
+        let mut a = [0u32; BUF_WORDS];
+        let mut b = [0u32; BUF_WORDS];
+        core.refill(0, &mut a);
+        core.refill(1, &mut b);
+        // Block 1 of the first refill equals block 0 of a refill starting
+        // at counter 1.
+        assert_eq!(&a[16..32], &b[0..16]);
+        // Deterministic.
+        let mut c = [0u32; BUF_WORDS];
+        core.refill(0, &mut c);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn boundary_u64_split_read() {
+        // Consume 63 words, then next_u64 must stitch the last word of
+        // this buffer with the first of the next.
+        let mut rng = BufferedChaCha12::new([7u8; 32]);
+        let mut clone = rng.clone();
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        let stitched = rng.next_u64();
+        for _ in 0..63 {
+            clone.next_u32();
+        }
+        let last = clone.next_u32() as u64;
+        let first_next = clone.next_u32() as u64;
+        // clone consumed word 63 then word 0 of the next buffer — but
+        // generate_and_set(1) in the split path skips word 0 differently:
+        // verify only the low half matches the last word.
+        assert_eq!(stitched & 0xFFFF_FFFF, last);
+        assert_eq!(stitched >> 32, first_next);
+    }
+}

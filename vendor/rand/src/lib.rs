@@ -1,0 +1,245 @@
+//! Vendored, offline drop-in subset of the `rand` crate (0.8 API).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses. The key
+//! compatibility requirement is determinism: `StdRng` is a faithful
+//! reimplementation of rand 0.8's ChaCha12-based generator, including
+//! `SeedableRng::seed_from_u64`'s PCG32-based seed expansion and the
+//! block-buffer `next_u64` semantics of `rand_core::block::BlockRng`, so
+//! seeded experiment results match what the real crate would produce.
+
+pub mod rngs;
+
+mod chacha;
+
+/// The core trait every random number generator implements.
+///
+/// Object-safe: the distribution library samples through
+/// `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the same PCG32 expansion
+    /// rand_core 0.6 uses, then seeds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // PCG32 (XSH-RR), constants and advance-before-output order as in
+        // rand_core 0.6.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extensions over [`RngCore`]; blanket-implemented.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform `[0, 1)` for floats, uniform over all values for ints).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Samples uniformly from `[low, high)` (floats) or `low..high`
+    /// (integers). Panics if the range is empty.
+    fn gen_range<T: UniformRange>(&mut self, range: core::ops::Range<T>) -> T {
+        T::uniform(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`]; mirrors rand's `Standard`
+/// distribution for the primitives the workspace uses.
+pub trait Standard: Sized {
+    /// Draws one standard sample.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8's multiply-based [0, 1) double: 53 high bits.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types usable with [`Rng::gen_range`].
+///
+/// Integer sampling uses modulo rejection-free widening (biased only by
+/// < 2^-32, fine for workload generation); float sampling is affine.
+/// These are *not* bit-compatible with rand's `UniformSampler`; nothing
+/// in the workspace depends on that.
+pub trait UniformRange: Sized {
+    /// Draws uniformly from `[low, high)`.
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_float {
+    ($t:ty) => {
+        impl UniformRange for $t {
+            fn uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let u: f64 = f64::standard(rng);
+                let v = low as f64 + (high as f64 - low as f64) * u;
+                v as $t
+            }
+        }
+    };
+}
+uniform_float!(f64);
+uniform_float!(f32);
+
+macro_rules! uniform_int {
+    ($t:ty) => {
+        impl UniformRange for $t {
+            fn uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                (low as i128 + r as i128) as $t
+            }
+        }
+    };
+}
+uniform_int!(u8);
+uniform_int!(u16);
+uniform_int!(u32);
+uniform_int!(u64);
+uniform_int!(usize);
+uniform_int!(i8);
+uniform_int!(i16);
+uniform_int!(i32);
+uniform_int!(i64);
+uniform_int!(isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn next_u64_matches_two_u32_lanes() {
+        // BlockRng pairs consecutive buffer words little-end first.
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let lo = a.next_u32() as u64;
+        let hi = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), (hi << 32) | lo);
+    }
+
+    #[test]
+    fn mean_of_standard_samples_is_half() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,491 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! token-tree walker parses the item, and the generated impls are built
+//! as strings and re-parsed. Supported surface — the subset the
+//! workspace uses:
+//!
+//! - structs with named fields (missing `Option<..>` fields decode as
+//!   `None`);
+//! - enums with unit / newtype / struct variants, externally tagged by
+//!   default;
+//! - container attributes `#[serde(tag = "...")]` (internally tagged
+//!   enums) and `#[serde(rename_all = "snake_case")]`;
+//! - no generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (attrs, item) = parse_item(&tokens);
+    gen_serialize(&attrs, &item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (attrs, item) = parse_item(&tokens);
+    gen_deserialize(&attrs, &item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------- parsing ----------------
+
+fn parse_item(tokens: &[TokenTree]) -> (ContainerAttrs, Item) {
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Outer attributes (doc comments, #[serde(...)], ...).
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_serde_attr(&g.stream(), &mut attrs);
+            i += 2;
+        } else {
+            panic!("malformed attribute");
+        }
+    }
+    skip_visibility(tokens, &mut i);
+
+    let keyword = expect_ident(tokens, &mut i);
+    let name = expect_ident(tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generics are not supported on `{name}`");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            panic!("serde derive (vendored): expected braced body for `{name}`, got {other:?}")
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    let item = match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde derive (vendored): unsupported item kind `{other}`"),
+    };
+    (attrs, item)
+}
+
+fn parse_serde_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    // Looking for: serde ( tag = "...", rename_all = "..." )
+    if !matches!(&toks[..], [TokenTree::Ident(id), ..] if id.to_string() == "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let key = match &inner[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        if matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                let text = strip_quotes(&lit.to_string());
+                match key.as_str() {
+                    "tag" => attrs.tag = Some(text),
+                    "rename_all" => {
+                        if text == "snake_case" {
+                            attrs.rename_all_snake = true;
+                        } else {
+                            panic!("serde derive (vendored): only rename_all = \"snake_case\" is supported");
+                        }
+                    }
+                    other => {
+                        panic!("serde derive (vendored): unsupported serde attribute `{other}`")
+                    }
+                }
+                j += 3;
+                if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                continue;
+            }
+        }
+        panic!("serde derive (vendored): unsupported serde attribute shape at `{key}`");
+    }
+}
+
+fn parse_fields(body: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        skip_visibility(body, &mut i);
+        let name = expect_ident(body, &mut i);
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde derive (vendored): expected `:` after field `{name}`, got {other:?}")
+            }
+        }
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        let mut first_type_ident: Option<String> = None;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Ident(id) if first_type_ident.is_none() => {
+                    first_type_ident = Some(id.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < body.len() {
+            i += 1; // the comma
+        }
+        let is_option = first_type_ident.as_deref() == Some("Option");
+        fields.push(Field { name, is_option });
+    }
+    fields
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = expect_ident(body, &mut i);
+        let kind = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                let mut commas_at_top = 0usize;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            commas_at_top += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if !inner.is_empty() && commas_at_top > 0 {
+                    panic!(
+                        "serde derive (vendored): multi-field tuple variant `{name}` is not supported"
+                    );
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // '#' + bracket group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive (vendored): expected identifier, got {other:?}"),
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_owned()
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (idx, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if idx > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(attrs: &ContainerAttrs, name: &str) -> String {
+    if attrs.rename_all_snake {
+        snake_case(name)
+    } else {
+        name.to_owned()
+    }
+}
+
+// ---------------- codegen ----------------
+
+fn gen_serialize(attrs: &ContainerAttrs, item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "__m.insert(\"{k}\", ::serde::Serialize::to_value(&self.{f}));\n",
+                    k = f.name,
+                    f = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(attrs, &v.name);
+                match (&v.kind, &attrs.tag) {
+                    (VariantKind::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::String(\"{key}\".to_owned()),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantKind::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => {{ let mut __m = ::serde::Map::new(); __m.insert(\"{tag}\", ::serde::Value::String(\"{key}\".to_owned())); ::serde::Value::Object(__m) }}\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantKind::Newtype, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v}(__x) => {{ let mut __m = ::serde::Map::new(); __m.insert(\"{key}\", ::serde::Serialize::to_value(__x)); ::serde::Value::Object(__m) }}\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantKind::Newtype, Some(_)) => panic!(
+                        "serde derive (vendored): newtype variants are incompatible with tag = ... ({})",
+                        v.name
+                    ),
+                    (VariantKind::Struct(fields), tag) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::new();
+                        match tag {
+                            Some(tag) => {
+                                inner.push_str(&format!(
+                                    "let mut __m = ::serde::Map::new(); __m.insert(\"{tag}\", ::serde::Value::String(\"{key}\".to_owned()));\n"
+                                ));
+                                for f in fields {
+                                    inner.push_str(&format!(
+                                        "__m.insert(\"{k}\", ::serde::Serialize::to_value({f}));\n",
+                                        k = f.name,
+                                        f = f.name
+                                    ));
+                                }
+                                inner.push_str("::serde::Value::Object(__m)");
+                            }
+                            None => {
+                                inner.push_str("let mut __inner = ::serde::Map::new();\n");
+                                for f in fields {
+                                    inner.push_str(&format!(
+                                        "__inner.insert(\"{k}\", ::serde::Serialize::to_value({f}));\n",
+                                        k = f.name,
+                                        f = f.name
+                                    ));
+                                }
+                                inner.push_str(&format!(
+                                    "let mut __m = ::serde::Map::new(); __m.insert(\"{key}\", ::serde::Value::Object(__inner)); ::serde::Value::Object(__m)"
+                                ));
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} }}\n",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n match self {{\n {arms} }}\n }}\n}}"
+            )
+        }
+    }
+}
+
+fn field_expr(f: &Field, map: &str) -> String {
+    if f.is_option {
+        format!(
+            "match {map}.get(\"{k}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => ::core::option::Option::None }}",
+            k = f.name
+        )
+    } else {
+        format!(
+            "::serde::Deserialize::from_value(::serde::__private::field({map}, \"{k}\")?)?",
+            k = f.name
+        )
+    }
+}
+
+fn gen_deserialize(attrs: &ContainerAttrs, item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{k}: {e},\n",
+                    k = f.name,
+                    e = field_expr(f, "__m")
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n let __m = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __v))?;\n ::core::result::Result::Ok(Self {{\n {inits} }})\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => match &attrs.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = variant_key(attrs, &v.name);
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{k}: {e},\n",
+                                    k = f.name,
+                                    e = field_expr(f, "__m")
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "\"{key}\" => ::core::result::Result::Ok({name}::{v} {{ {inits} }}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantKind::Newtype => panic!(
+                            "serde derive (vendored): newtype variants are incompatible with tag = ..."
+                        ),
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n let __m = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __v))?;\n let __tag = ::serde::__private::field(__m, \"{tag}\")?;\n let __tag = __tag.as_str().ok_or_else(|| ::serde::DeError::expected(\"string tag\", __tag))?;\n match __tag {{\n {arms} __other => ::core::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n }}\n }}\n}}"
+                )
+            }
+            None => {
+                let mut string_arms = String::new();
+                let mut object_arms = String::new();
+                for v in variants {
+                    let key = variant_key(attrs, &v.name);
+                    match &v.kind {
+                        VariantKind::Unit => string_arms.push_str(&format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Newtype => object_arms.push_str(&format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{k}: {e},\n",
+                                    k = f.name,
+                                    e = field_expr(f, "__m")
+                                ));
+                            }
+                            object_arms.push_str(&format!(
+                                "\"{key}\" => {{ let __m = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __inner))?; ::core::result::Result::Ok({name}::{v} {{ {inits} }}) }}\n",
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n match __v {{\n ::serde::Value::String(__s) => match __s.as_str() {{\n {string_arms} __other => ::core::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n }},\n ::serde::Value::Object(__m0) if __m0.len() == 1 => {{\n let (__k, __inner) = __m0.iter().next().expect(\"len checked\");\n match __k.as_str() {{\n {object_arms} __other => ::core::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n }}\n }}\n _ => ::core::result::Result::Err(::serde::DeError::expected(\"variant string or single-key object\", __v)),\n }}\n }}\n}}"
+                )
+            }
+        },
+    }
+}

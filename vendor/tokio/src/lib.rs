@@ -1,0 +1,68 @@
+//! Vendored, offline drop-in subset of tokio.
+//!
+//! Two executor flavors back the workspace's needs:
+//!
+//! * `current_thread` — a single-threaded executor whose clock can start
+//!   paused (`#[tokio::test(start_paused = true)]`): when every task is
+//!   waiting on a timer, virtual time jumps to the next expiry, so timer
+//!   tests run instantly and deterministically.
+//! * `multi_thread` — worker threads draining a shared run queue plus a
+//!   timer thread; `Handle::block_on` may be called from any thread, so
+//!   blocking connection handlers can drive async code.
+//!
+//! Feature flags mirror tokio's names but are inert: the whole subset is
+//! always compiled.
+
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+#[doc(hidden)]
+pub mod macros;
+
+pub use task::{spawn, JoinError, JoinHandle};
+pub use tokio_macros::{main, test};
+
+/// Polls two futures concurrently and runs the arm of whichever finishes
+/// first (written order = poll order, so `biased;` is the only mode).
+///
+/// Supports the two-arm shapes used in this workspace: a block or
+/// comma-terminated expression per arm.
+#[macro_export]
+macro_rules! select {
+    (biased; $p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::select!(@core $p1, $f1, { $b1 }, $p2, $f2, { $b2 })
+    };
+    (biased; $p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::select!(@core $p1, $f1, { $b1 }, $p2, $f2, { $b2 })
+    };
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::select!(@core $p1, $f1, { $b1 }, $p2, $f2, { $b2 })
+    };
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::select!(@core $p1, $f1, { $b1 }, $p2, $f2, { $b2 })
+    };
+    (@core $p1:pat, $f1:expr, $b1:block, $p2:pat, $f2:expr, $b2:block) => {{
+        let mut __select_f1 = ::core::pin::pin!($f1);
+        let mut __select_f2 = ::core::pin::pin!($f2);
+        let __select_out = ::core::future::poll_fn(|__cx| {
+            if let ::core::task::Poll::Ready(v) =
+                ::core::future::Future::poll(__select_f1.as_mut(), __cx)
+            {
+                return ::core::task::Poll::Ready($crate::macros::Either2::First(v));
+            }
+            if let ::core::task::Poll::Ready(v) =
+                ::core::future::Future::poll(__select_f2.as_mut(), __cx)
+            {
+                return ::core::task::Poll::Ready($crate::macros::Either2::Second(v));
+            }
+            ::core::task::Poll::Pending
+        })
+        .await;
+        match __select_out {
+            $crate::macros::Either2::First($p1) => $b1,
+            $crate::macros::Either2::Second($p2) => $b2,
+        }
+    }};
+}

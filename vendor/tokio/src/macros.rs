@@ -1,0 +1,7 @@
+//! Support types for the `select!` macro expansion.
+
+/// Which of two raced futures completed first.
+pub enum Either2<A, B> {
+    First(A),
+    Second(B),
+}

@@ -1,0 +1,597 @@
+//! Executor: builder, runtime, handle, task cells and the two flavors.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// Process-wide epoch anchoring real-clock [`crate::time::Instant`]s.
+pub(crate) fn global_epoch() -> std::time::Instant {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+/// The runtime's notion of "now", in nanoseconds since its epoch.
+pub(crate) enum Clock {
+    Real,
+    /// Virtual time; advanced by the current-thread executor when every
+    /// task is blocked on a timer.
+    Paused(Mutex<u64>),
+}
+
+impl Clock {
+    pub(crate) fn now_nanos(&self) -> u64 {
+        match self {
+            Clock::Real => global_epoch().elapsed().as_nanos() as u64,
+            Clock::Paused(now) => *now.lock().unwrap(),
+        }
+    }
+}
+
+pub(crate) struct TimerQueue {
+    /// (deadline nanos, registration seq) -> waker. The seq keeps
+    /// same-instant timers firing in registration order.
+    entries: BTreeMap<(u64, u64), Waker>,
+    next_seq: u64,
+}
+
+pub(crate) struct Shared {
+    queue: Mutex<VecDeque<Arc<TaskCell>>>,
+    work_available: Condvar,
+    timers: Mutex<TimerQueue>,
+    timer_signal: Condvar,
+    pub(crate) clock: Clock,
+    shutdown: AtomicBool,
+    multi_thread: bool,
+    /// Thread currently inside a current-thread `block_on`, to unpark
+    /// when a task or timer becomes ready from another thread.
+    owner: Mutex<Option<Thread>>,
+}
+
+impl Shared {
+    pub(crate) fn enqueue(&self, task: Arc<TaskCell>) {
+        self.queue.lock().unwrap().push_back(task);
+        if self.multi_thread {
+            self.work_available.notify_one();
+        } else if let Some(t) = self.owner.lock().unwrap().as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Registers (or re-arms) a timer entry; returns the map key.
+    pub(crate) fn register_timer(
+        &self,
+        key: &mut Option<(u64, u64)>,
+        deadline_nanos: u64,
+        waker: &Waker,
+    ) {
+        let mut timers = self.timers.lock().unwrap();
+        if let Some(k) = *key {
+            if let Some(slot) = timers.entries.get_mut(&k) {
+                // Defer dropping the displaced waker until the lock is
+                // released: a waker drop can re-enter this mutex (waker ->
+                // task -> future -> Sleep::drop -> cancel_timer).
+                let old = std::mem::replace(slot, waker.clone());
+                drop(timers);
+                drop(old);
+                return;
+            }
+        }
+        let seq = timers.next_seq;
+        timers.next_seq += 1;
+        let k = (deadline_nanos, seq);
+        timers.entries.insert(k, waker.clone());
+        *key = Some(k);
+        drop(timers);
+        if self.multi_thread {
+            self.timer_signal.notify_all();
+        } else if let Some(t) = self.owner.lock().unwrap().as_ref() {
+            // A timer armed from a foreign thread must interrupt the
+            // owner's park so its deadline is taken into account.
+            t.unpark();
+        }
+    }
+
+    pub(crate) fn cancel_timer(&self, key: &mut Option<(u64, u64)>) {
+        if let Some(k) = key.take() {
+            // Bind the removed waker so it drops only after the lock guard
+            // (statement temporaries drop in reverse creation order, which
+            // would otherwise drop the waker while the lock is still held
+            // and deadlock if that drop re-enters `cancel_timer`).
+            let removed = self.timers.lock().unwrap().entries.remove(&k);
+            drop(removed);
+        }
+    }
+
+    /// Fires every timer with deadline <= `now`; returns how many fired.
+    fn fire_timers_up_to(&self, now: u64) -> usize {
+        let mut due = Vec::new();
+        {
+            let mut timers = self.timers.lock().unwrap();
+            while let Some((&k, _)) = timers.entries.iter().next() {
+                if k.0 <= now {
+                    due.push(timers.entries.remove(&k).unwrap());
+                } else {
+                    break;
+                }
+            }
+        }
+        let n = due.len();
+        for w in due {
+            w.wake();
+        }
+        n
+    }
+
+    fn earliest_timer(&self) -> Option<u64> {
+        self.timers
+            .lock()
+            .unwrap()
+            .entries
+            .keys()
+            .next()
+            .map(|&(t, _)| t)
+    }
+}
+
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const COMPLETE: u8 = 4;
+
+/// A spawned task: its future plus a run-state machine that makes
+/// wake-during-poll safe (a wake observed mid-poll reschedules the task
+/// instead of racing a second runner for the future).
+pub(crate) struct TaskCell {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    state: AtomicU8,
+    shared: Arc<Shared>,
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        Self::wake_by_ref(&self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.shared.enqueue(self.clone());
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn run_task(cell: &Arc<TaskCell>) {
+    cell.state.store(RUNNING, Ordering::Release);
+    let fut = cell.future.lock().unwrap().take();
+    let Some(mut fut) = fut else {
+        cell.state.store(COMPLETE, Ordering::Release);
+        return;
+    };
+    let waker = Waker::from(cell.clone());
+    let mut cx = Context::from_waker(&waker);
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(()) => {
+            cell.state.store(COMPLETE, Ordering::Release);
+        }
+        Poll::Pending => {
+            *cell.future.lock().unwrap() = Some(fut);
+            loop {
+                if cell
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                if cell
+                    .state
+                    .compare_exchange(NOTIFIED, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    cell.shared.enqueue(cell.clone());
+                    return;
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Handle>> = const { RefCell::new(None) };
+}
+
+struct ContextGuard {
+    prev: Option<Handle>,
+}
+
+impl ContextGuard {
+    fn enter(handle: Handle) -> Self {
+        let prev = CONTEXT.with(|c| c.borrow_mut().replace(handle));
+        Self { prev }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CONTEXT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Wakes a `block_on` caller: raise the repoll flag, unpark the thread.
+struct MainWaker {
+    thread: Thread,
+    flag: Arc<AtomicBool>,
+}
+
+impl Wake for MainWaker {
+    fn wake(self: Arc<Self>) {
+        self.flag.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// A cloneable reference into the runtime, valid on any thread.
+#[derive(Clone)]
+pub struct Handle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// The handle of the runtime the current thread is running under.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a runtime context.
+    pub fn current() -> Handle {
+        Self::try_current().expect("must be called from the context of a Tokio runtime")
+    }
+
+    pub(crate) fn try_current() -> Option<Handle> {
+        CONTEXT.with(|c| c.borrow().clone())
+    }
+
+    /// Spawns a future onto the runtime.
+    pub fn spawn<F>(&self, future: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn_on(self, future)
+    }
+
+    pub(crate) fn spawn_cell(&self, future: Pin<Box<dyn Future<Output = ()> + Send>>) {
+        let cell = Arc::new(TaskCell {
+            future: Mutex::new(Some(future)),
+            state: AtomicU8::new(SCHEDULED),
+            shared: self.shared.clone(),
+        });
+        self.shared.enqueue(cell);
+    }
+
+    /// Runs a future to completion on the calling thread, driving the
+    /// runtime (current-thread flavor) or parking between wakes while
+    /// workers drive it (multi-thread flavor).
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _ctx = ContextGuard::enter(self.clone());
+        let mut future = std::pin::pin!(future);
+        let flag = Arc::new(AtomicBool::new(true));
+        let waker = Waker::from(Arc::new(MainWaker {
+            thread: thread::current(),
+            flag: flag.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+
+        let owner_guard = if !self.shared.multi_thread {
+            // Register as the driving thread so foreign wakes unpark us.
+            let prev = self.shared.owner.lock().unwrap().replace(thread::current());
+            Some(OwnerGuard {
+                shared: self.shared.clone(),
+                prev,
+            })
+        } else {
+            None
+        };
+
+        loop {
+            if flag.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+                    drop(owner_guard);
+                    return v;
+                }
+                continue;
+            }
+            if self.shared.multi_thread {
+                thread::park_timeout(Duration::from_millis(100));
+            } else {
+                self.turn_current_thread(&flag);
+            }
+        }
+    }
+
+    /// One scheduling turn of the current-thread executor: drain ready
+    /// tasks, fire due timers, then advance the paused clock or park.
+    fn turn_current_thread(&self, flag: &AtomicBool) {
+        let shared = &self.shared;
+        loop {
+            let task = shared.queue.lock().unwrap().pop_front();
+            match task {
+                Some(t) => run_task(&t),
+                None => break,
+            }
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+        }
+        if flag.load(Ordering::Acquire) {
+            return;
+        }
+        let now = shared.clock.now_nanos();
+        if shared.fire_timers_up_to(now) > 0 {
+            return;
+        }
+        match &shared.clock {
+            Clock::Paused(virtual_now) => {
+                if let Some(next) = shared.earliest_timer() {
+                    *virtual_now.lock().unwrap() = next;
+                    shared.fire_timers_up_to(next);
+                } else {
+                    thread::park();
+                }
+            }
+            Clock::Real => match shared.earliest_timer() {
+                Some(next) => {
+                    let now = shared.clock.now_nanos();
+                    if next > now {
+                        thread::park_timeout(Duration::from_nanos(next - now));
+                    }
+                }
+                None => thread::park(),
+            },
+        }
+    }
+}
+
+struct OwnerGuard {
+    shared: Arc<Shared>,
+    prev: Option<Thread>,
+}
+
+impl Drop for OwnerGuard {
+    fn drop(&mut self) {
+        *self.shared.owner.lock().unwrap() = self.prev.take();
+    }
+}
+
+impl std::fmt::Debug for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Handle")
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    CurrentThread,
+    MultiThread,
+}
+
+/// Runtime builder mirroring tokio's.
+pub struct Builder {
+    flavor: Flavor,
+    worker_threads: Option<usize>,
+    start_paused: bool,
+}
+
+impl Builder {
+    pub fn new_current_thread() -> Builder {
+        Builder {
+            flavor: Flavor::CurrentThread,
+            worker_threads: None,
+            start_paused: false,
+        }
+    }
+
+    pub fn new_multi_thread() -> Builder {
+        Builder {
+            flavor: Flavor::MultiThread,
+            worker_threads: None,
+            start_paused: false,
+        }
+    }
+
+    pub fn enable_time(&mut self) -> &mut Self {
+        self
+    }
+
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    pub fn worker_threads(&mut self, n: usize) -> &mut Self {
+        self.worker_threads = Some(n.max(1));
+        self
+    }
+
+    pub fn start_paused(&mut self, paused: bool) -> &mut Self {
+        self.start_paused = paused;
+        self
+    }
+
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        let multi = self.flavor == Flavor::MultiThread;
+        assert!(
+            !(multi && self.start_paused),
+            "paused clock requires the current-thread flavor"
+        );
+        let clock = if self.start_paused {
+            Clock::Paused(Mutex::new(0))
+        } else {
+            Clock::Real
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            timers: Mutex::new(TimerQueue {
+                entries: BTreeMap::new(),
+                next_seq: 0,
+            }),
+            timer_signal: Condvar::new(),
+            clock,
+            shutdown: AtomicBool::new(false),
+            multi_thread: multi,
+            owner: Mutex::new(None),
+        });
+        let mut threads = Vec::new();
+        if multi {
+            let workers = self.worker_threads.unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+            for i in 0..workers {
+                let s = shared.clone();
+                threads.push(
+                    thread::Builder::new()
+                        .name(format!("tokio-worker-{i}"))
+                        .spawn(move || worker_loop(s))?,
+                );
+            }
+            let s = shared.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("tokio-timer".into())
+                    .spawn(move || timer_loop(s))?,
+            );
+        }
+        Ok(Runtime {
+            handle: Handle { shared },
+            threads,
+        })
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let _ctx = ContextGuard::enter(Handle {
+        shared: shared.clone(),
+    });
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = queue.pop_front() {
+            drop(queue);
+            run_task(&task);
+            queue = shared.queue.lock().unwrap();
+        } else {
+            let (guard, _) = shared
+                .work_available
+                .wait_timeout(queue, Duration::from_millis(100))
+                .unwrap();
+            queue = guard;
+        }
+    }
+}
+
+fn timer_loop(shared: Arc<Shared>) {
+    let mut timers = shared.timers.lock().unwrap();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now = shared.clock.now_nanos();
+        let mut due = Vec::new();
+        while let Some((&k, _)) = timers.entries.iter().next() {
+            if k.0 <= now {
+                due.push(timers.entries.remove(&k).unwrap());
+            } else {
+                break;
+            }
+        }
+        if !due.is_empty() {
+            drop(timers);
+            for w in due {
+                w.wake();
+            }
+            timers = shared.timers.lock().unwrap();
+            continue;
+        }
+        let wait = match timers.entries.keys().next() {
+            Some(&(t, _)) => {
+                Duration::from_nanos(t.saturating_sub(now)).max(Duration::from_micros(50))
+            }
+            None => Duration::from_millis(100),
+        };
+        let (guard, _) = shared.timer_signal.wait_timeout(timers, wait).unwrap();
+        timers = guard;
+    }
+}
+
+/// The runtime; dropping it stops the worker and timer threads.
+pub struct Runtime {
+    handle: Handle,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        self.handle.block_on(future)
+    }
+
+    pub fn handle(&self) -> &Handle {
+        &self.handle
+    }
+
+    pub fn spawn<F>(&self, future: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle.spawn(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.handle.shared.shutdown.store(true, Ordering::Release);
+        self.handle.shared.work_available.notify_all();
+        self.handle.shared.timer_signal.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Move remaining tasks/timers out of the locks before dropping
+        // them: dropping a task's future can re-enter these mutexes
+        // (e.g. Sleep::drop -> cancel_timer, Receiver::drop -> channel).
+        let orphan_tasks = std::mem::take(&mut *self.handle.shared.queue.lock().unwrap());
+        let orphan_timers = std::mem::take(&mut self.handle.shared.timers.lock().unwrap().entries);
+        drop(orphan_tasks);
+        drop(orphan_timers);
+    }
+}

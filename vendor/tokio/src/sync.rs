@@ -1,0 +1,481 @@
+//! Synchronization primitives: mpsc channels, oneshot, semaphore.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub mod mpsc {
+    use super::*;
+
+    struct Chan<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+        tx_wakers: Vec<Waker>,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Mutex<Chan<T>>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<Chan<T>>>,
+    }
+
+    /// The receiver disconnected; the message comes back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error of [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        Full(T),
+        Closed(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Closed(_) => f.write_str("Closed(..)"),
+            }
+        }
+    }
+
+    /// Bounded channel with capacity `cap` (> 0).
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc bounded channel requires capacity > 0");
+        let inner = Arc::new(Mutex::new(Chan {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            rx_alive: true,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+        }));
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, waiting while the channel is full.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut slot = Some(value);
+            std::future::poll_fn(|cx| {
+                let mut ch = self.inner.lock().unwrap();
+                if !ch.rx_alive {
+                    return Poll::Ready(Err(SendError(slot.take().unwrap())));
+                }
+                if ch.queue.len() < ch.cap {
+                    ch.queue.push_back(slot.take().unwrap());
+                    let waker = ch.rx_waker.take();
+                    drop(ch);
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
+                    Poll::Ready(Ok(()))
+                } else {
+                    ch.tx_wakers.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            })
+            .await
+        }
+
+        /// Non-blocking send.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut ch = self.inner.lock().unwrap();
+            if !ch.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if ch.queue.len() >= ch.cap {
+                return Err(TrySendError::Full(value));
+            }
+            ch.queue.push_back(value);
+            let waker = ch.rx_waker.take();
+            drop(ch);
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().unwrap().senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut ch = self.inner.lock().unwrap();
+            ch.senders -= 1;
+            if ch.senders == 0 {
+                let waker = ch.rx_waker.take();
+                drop(ch);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value; `None` once every sender is gone and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| self.poll_recv(cx)).await
+        }
+
+        pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut ch = self.inner.lock().unwrap();
+            if let Some(v) = ch.queue.pop_front() {
+                let wakers: Vec<Waker> = ch.tx_wakers.drain(..).collect();
+                drop(ch);
+                for w in wakers {
+                    w.wake();
+                }
+                return Poll::Ready(Some(v));
+            }
+            if ch.senders == 0 {
+                return Poll::Ready(None);
+            }
+            // Drop any displaced waker only after releasing the lock: a
+            // waker drop can re-enter this channel (task -> future ->
+            // Sender/Receiver drop).
+            let old = ch.rx_waker.replace(cx.waker().clone());
+            drop(ch);
+            drop(old);
+            Poll::Pending
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut ch = self.inner.lock().unwrap();
+            if let Some(v) = ch.queue.pop_front() {
+                let wakers: Vec<Waker> = ch.tx_wakers.drain(..).collect();
+                drop(ch);
+                for w in wakers {
+                    w.wake();
+                }
+                return Ok(v);
+            }
+            if ch.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            // Move queued values and pending wakers out before dropping or
+            // waking them: a queued value may itself own a Sender on this
+            // channel, and dropping it under the lock would deadlock.
+            let mut ch = self.inner.lock().unwrap();
+            ch.rx_alive = false;
+            let orphans = std::mem::take(&mut ch.queue);
+            let wakers: Vec<Waker> = ch.tx_wakers.drain(..).collect();
+            let old_rx_waker = ch.rx_waker.take();
+            drop(ch);
+            drop(orphans);
+            drop(old_rx_waker);
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    /// Unbounded sending half; `send` never waits.
+    pub struct UnboundedSender<T> {
+        inner: Sender<T>,
+    }
+
+    /// Unbounded receiving half.
+    pub struct UnboundedReceiver<T> {
+        inner: Receiver<T>,
+    }
+
+    /// Unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let (tx, rx) = channel(usize::MAX);
+        (
+            UnboundedSender { inner: tx },
+            UnboundedReceiver { inner: rx },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.inner.try_send(value) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Closed(v)) | Err(TrySendError::Full(v)) => Err(SendError(v)),
+            }
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            UnboundedSender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        pub async fn recv(&mut self) -> Option<T> {
+            self.inner.recv().await
+        }
+
+        pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            self.inner.poll_recv(cx)
+        }
+
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+}
+
+pub mod oneshot {
+    use super::*;
+
+    struct Inner<T> {
+        value: Option<T>,
+        tx_alive: bool,
+        waker: Option<Waker>,
+    }
+
+    /// Sends the single value.
+    pub struct Sender<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    /// Awaits the single value.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    pub mod error {
+        use std::fmt;
+
+        /// The sender dropped without sending.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct RecvError(pub(crate) ());
+
+        impl fmt::Display for RecvError {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+
+        impl std::error::Error for RecvError {}
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Mutex::new(Inner {
+            value: None,
+            tx_alive: true,
+            waker: None,
+        }));
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends the value; fails (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut inner = self.inner.lock().unwrap();
+            if Arc::strong_count(&self.inner) == 1 {
+                return Err(value);
+            }
+            inner.value = Some(value);
+            let waker = inner.waker.take();
+            drop(inner);
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tx_alive = false;
+            let waker = inner.waker.take();
+            drop(inner);
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> std::future::Future for Receiver<T> {
+        type Output = Result<T, error::RecvError>;
+
+        fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(v) = inner.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if !inner.tx_alive {
+                return Poll::Ready(Err(error::RecvError(())));
+            }
+            let old = inner.waker.replace(cx.waker().clone());
+            drop(inner);
+            drop(old);
+            Poll::Pending
+        }
+    }
+}
+
+/// Counting semaphore for bounding concurrency.
+pub struct Semaphore {
+    state: Mutex<SemState>,
+}
+
+struct SemState {
+    permits: usize,
+    closed: bool,
+    waiters: VecDeque<Waker>,
+}
+
+/// Permit returned by [`Semaphore::acquire`]; releases on drop.
+pub struct SemaphorePermit<'a> {
+    sem: &'a Semaphore,
+    count: usize,
+}
+
+/// The semaphore was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireError(());
+
+impl fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("semaphore closed")
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            state: Mutex::new(SemState {
+                permits,
+                closed: false,
+                waiters: VecDeque::new(),
+            }),
+        }
+    }
+
+    pub fn available_permits(&self) -> usize {
+        self.state.lock().unwrap().permits
+    }
+
+    /// Acquires one permit, waiting while none are available.
+    pub async fn acquire(&self) -> Result<SemaphorePermit<'_>, AcquireError> {
+        std::future::poll_fn(|cx| {
+            let mut s = self.state.lock().unwrap();
+            if s.closed {
+                return Poll::Ready(Err(AcquireError(())));
+            }
+            if s.permits > 0 {
+                s.permits -= 1;
+                Poll::Ready(Ok(SemaphorePermit {
+                    sem: self,
+                    count: 1,
+                }))
+            } else {
+                s.waiters.push_back(cx.waker().clone());
+                Poll::Pending
+            }
+        })
+        .await
+    }
+
+    /// Tries to acquire one permit without waiting.
+    pub fn try_acquire(&self) -> Result<SemaphorePermit<'_>, AcquireError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed || s.permits == 0 {
+            return Err(AcquireError(()));
+        }
+        s.permits -= 1;
+        Ok(SemaphorePermit {
+            sem: self,
+            count: 1,
+        })
+    }
+
+    /// Adds permits, waking waiters.
+    pub fn add_permits(&self, n: usize) {
+        let mut s = self.state.lock().unwrap();
+        s.permits += n;
+        let wake: Vec<Waker> = s.waiters.drain(..).collect();
+        drop(s);
+        for w in wake {
+            w.wake();
+        }
+    }
+
+    /// Closes the semaphore; pending and future acquires fail.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        let wake: Vec<Waker> = s.waiters.drain(..).collect();
+        drop(s);
+        for w in wake {
+            w.wake();
+        }
+    }
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        self.sem.add_permits(self.count);
+    }
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Semaphore(permits = {})", self.available_permits())
+    }
+}

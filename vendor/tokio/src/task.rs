@@ -1,0 +1,131 @@
+//! Task spawning and join handles.
+
+use crate::runtime::Handle;
+use std::fmt;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Task failed to complete (it panicked).
+pub struct JoinError {
+    panic: bool,
+}
+
+impl JoinError {
+    pub fn is_panic(&self) -> bool {
+        self.panic
+    }
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinError::Panic")
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    result: Mutex<Option<Result<T, JoinError>>>,
+    waker: Mutex<Option<Waker>>,
+}
+
+/// Handle awaiting a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(res) = self.state.result.lock().unwrap().take() {
+            return Poll::Ready(res);
+        }
+        // Defer dropping any displaced waker until the lock is released
+        // (a waker drop can cascade into arbitrary future drops).
+        let old = self.state.waker.lock().unwrap().replace(cx.waker().clone());
+        drop(old);
+        // Re-check: the task may have completed between the first check
+        // and the waker registration.
+        if let Some(res) = self.state.result.lock().unwrap().take() {
+            return Poll::Ready(res);
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.result.lock().unwrap().is_some()
+    }
+}
+
+/// Spawns a future onto the current runtime.
+///
+/// # Panics
+///
+/// Panics when called outside a runtime context.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    spawn_on(&Handle::current(), future)
+}
+
+pub(crate) fn spawn_on<F>(handle: &Handle, future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState {
+        result: Mutex::new(None),
+        waker: Mutex::new(None),
+    });
+    let shared_state = state.clone();
+    let wrapped = async move {
+        let mut inner = Box::pin(future);
+        // A panicking task must not take its worker thread down; catch
+        // it and surface a JoinError to the handle instead.
+        let outcome = std::future::poll_fn(move |cx| {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| inner.as_mut().poll(cx))) {
+                Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+                Ok(Poll::Pending) => Poll::Pending,
+                Err(_) => Poll::Ready(Err(JoinError { panic: true })),
+            }
+        })
+        .await;
+        *shared_state.result.lock().unwrap() = Some(outcome);
+        let joiner = shared_state.waker.lock().unwrap().take();
+        if let Some(w) = joiner {
+            w.wake();
+        }
+    };
+    handle.spawn_cell(Box::pin(wrapped));
+    JoinHandle { state }
+}
+
+/// Yields execution back to the scheduler once.
+pub async fn yield_now() {
+    let mut yielded = false;
+    std::future::poll_fn(|cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    })
+    .await
+}

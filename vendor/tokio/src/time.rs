@@ -1,0 +1,171 @@
+//! Timers over the runtime clock (virtual when paused, wall otherwise).
+
+use crate::runtime::{global_epoch, Handle};
+use std::fmt;
+use std::future::Future;
+use std::ops::{Add, AddAssign, Sub};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+/// A measurement of the runtime's clock, comparable and steppable by
+/// `Duration`. Under a paused clock this is virtual time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    pub fn now() -> Instant {
+        let nanos = match Handle::try_current() {
+            Some(h) => h.shared.clock.now_nanos(),
+            None => global_epoch().elapsed().as_nanos() as u64,
+        };
+        Instant { nanos }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().duration_since(*self)
+    }
+
+    /// Saturating difference (zero if `earlier` is later).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        let extra = u64::try_from(d.as_nanos()).ok()?;
+        self.nanos.checked_add(extra).map(|nanos| Instant { nanos })
+    }
+
+    pub(crate) fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, d: Duration) -> Instant {
+        self.checked_add(d).expect("instant overflow")
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+
+    fn sub(self, d: Duration) -> Instant {
+        Instant {
+            nanos: self
+                .nanos
+                .saturating_sub(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+        }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+
+    fn sub(self, other: Instant) -> Duration {
+        self.duration_since(other)
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Instant({:?})", Duration::from_nanos(self.nanos))
+    }
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    deadline: Instant,
+    key: Option<(u64, u64)>,
+    handle: Option<Handle>,
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let handle = match &this.handle {
+            Some(h) => h.clone(),
+            None => {
+                let h = Handle::current();
+                this.handle = Some(h.clone());
+                h
+            }
+        };
+        if handle.shared.clock.now_nanos() >= this.deadline.as_nanos() {
+            handle.shared.cancel_timer(&mut this.key);
+            return Poll::Ready(());
+        }
+        handle
+            .shared
+            .register_timer(&mut this.key, this.deadline.as_nanos(), cx.waker());
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(h) = &self.handle {
+            h.shared.cancel_timer(&mut self.key);
+        }
+    }
+}
+
+/// Sleeps for `duration` of runtime time.
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Sleeps until `deadline`; ready immediately if it already passed.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep {
+        deadline,
+        key: None,
+        handle: None,
+    }
+}
+
+/// Error of [`timeout`]: the future did not complete in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Awaits `future` for at most `duration`.
+pub async fn timeout<F: Future>(duration: Duration, future: F) -> Result<F::Output, Elapsed> {
+    let mut delay = std::pin::pin!(sleep(duration));
+    let mut future = std::pin::pin!(future);
+    std::future::poll_fn(|cx| {
+        if let Poll::Ready(v) = future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if delay.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        Poll::Pending
+    })
+    .await
+}

@@ -1,0 +1,199 @@
+//! Executor smoke tests for the vendored tokio subset.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::time::Instant;
+
+#[test]
+fn block_on_plain_value() {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+        .unwrap();
+    assert_eq!(rt.block_on(async { 41 + 1 }), 42);
+}
+
+#[test]
+fn paused_sleep_is_instant() {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .start_paused(true)
+        .build()
+        .unwrap();
+    let wall = std::time::Instant::now();
+    rt.block_on(async {
+        let start = Instant::now();
+        tokio::time::sleep(Duration::from_secs(3600)).await;
+        assert!(start.elapsed() >= Duration::from_secs(3600));
+    });
+    assert!(
+        wall.elapsed() < Duration::from_secs(5),
+        "paused sleep must not wall-block"
+    );
+}
+
+#[test]
+fn paused_spawn_and_channels() {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .start_paused(true)
+        .build()
+        .unwrap();
+    rt.block_on(async {
+        let start = Instant::now();
+        let (tx, mut rx) = tokio::sync::mpsc::channel::<u32>(2);
+        for i in 0..4u32 {
+            let tx = tx.clone();
+            tokio::spawn(async move {
+                tokio::time::sleep(Duration::from_millis(u64::from(i) * 10)).await;
+                let _ = tx.send(i).await;
+            });
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv().await {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(start.elapsed(), Duration::from_millis(30));
+    });
+}
+
+#[test]
+fn select_timer_vs_recv() {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .start_paused(true)
+        .build()
+        .unwrap();
+    rt.block_on(async {
+        let start = Instant::now();
+        let (tx, mut rx) = tokio::sync::mpsc::channel::<u32>(1);
+        tokio::spawn(async move {
+            tokio::time::sleep(Duration::from_millis(5)).await;
+            let _ = tx.send(7).await;
+        });
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let mut hits = 0;
+        loop {
+            tokio::select! {
+                _ = tokio::time::sleep_until(deadline) => break,
+                msg = rx.recv() => match msg {
+                    Some(v) => {
+                        assert_eq!(v, 7);
+                        hits += 1;
+                    }
+                    None => break,
+                },
+            }
+        }
+        assert_eq!(hits, 1);
+        assert!(start.elapsed() <= Duration::from_millis(50));
+    });
+}
+
+#[test]
+fn multi_thread_spawn_join() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_time()
+        .worker_threads(2)
+        .build()
+        .unwrap();
+    let out = rt.block_on(async {
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            handles.push(tokio::spawn(async move {
+                tokio::time::sleep(Duration::from_millis(5)).await;
+                i * 2
+            }));
+        }
+        let mut sum = 0;
+        for h in handles {
+            sum += h.await.unwrap();
+        }
+        sum
+    });
+    assert_eq!(out, 56);
+}
+
+#[test]
+fn multi_thread_semaphore() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_time()
+        .worker_threads(2)
+        .build()
+        .unwrap();
+    let sem = Arc::new(tokio::sync::Semaphore::new(2));
+    rt.block_on(async {
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let sem = sem.clone();
+            handles.push(tokio::spawn(async move {
+                let _permit = sem.acquire().await.unwrap();
+                tokio::time::sleep(Duration::from_millis(2)).await;
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+    });
+}
+
+#[test]
+fn handle_block_on_from_foreign_thread() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_time()
+        .worker_threads(2)
+        .build()
+        .unwrap();
+    let handle = rt.handle().clone();
+    let t = std::thread::spawn(move || {
+        handle.block_on(async {
+            tokio::time::sleep(Duration::from_millis(3)).await;
+            5u32
+        })
+    });
+    assert_eq!(t.join().unwrap(), 5);
+}
+
+#[test]
+fn join_handle_surfaces_panics() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_time()
+        .worker_threads(1)
+        .build()
+        .unwrap();
+    rt.block_on(async {
+        let h = tokio::spawn(async { panic!("boom") });
+        let err = h.await.unwrap_err();
+        assert!(err.is_panic());
+    });
+}
+
+#[tokio::test(start_paused = true)]
+async fn test_macro_paused() {
+    let start = Instant::now();
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    assert_eq!(start.elapsed(), Duration::from_millis(100));
+}
+
+#[tokio::test]
+async fn test_macro_real_clock() {
+    let start = Instant::now();
+    tokio::time::sleep(Duration::from_millis(10)).await;
+    assert!(start.elapsed() >= Duration::from_millis(9));
+}
+
+#[test]
+fn timeout_fires() {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .start_paused(true)
+        .build()
+        .unwrap();
+    rt.block_on(async {
+        let (_tx, mut rx) = tokio::sync::mpsc::channel::<u32>(1);
+        let res = tokio::time::timeout(Duration::from_millis(5), rx.recv()).await;
+        assert!(res.is_err());
+    });
+}

@@ -1,0 +1,141 @@
+//! `#[tokio::main]` / `#[tokio::test]` for the vendored tokio subset.
+//!
+//! No syn/quote: the item is walked as raw token trees and re-emitted as
+//! a synchronous function that builds a runtime and `block_on`s the
+//! original async body (kept as an inner `async fn`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// `#[tokio::main]` — runs the async fn on a new runtime. Defaults to
+/// the multi-thread flavor; accepts `flavor = "current_thread" |
+/// "multi_thread"` and `worker_threads = N`.
+#[proc_macro_attribute]
+pub fn main(attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(attr, item, false)
+}
+
+/// `#[tokio::test]` — like `#[test]` but async. Defaults to the
+/// current-thread flavor; accepts `start_paused = true` and `flavor`.
+#[proc_macro_attribute]
+pub fn test(attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(attr, item, true)
+}
+
+fn transform(attr: TokenStream, item: TokenStream, is_test: bool) -> TokenStream {
+    let attr_text = attr.to_string();
+    let multi_thread = if attr_text.contains("flavor") {
+        attr_text.contains("multi_thread")
+    } else {
+        !is_test
+    };
+    let start_paused = attr_text.contains("start_paused") && attr_text.contains("true");
+    let worker_threads = parse_worker_threads(&attr_text);
+
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+
+    // Leading attributes (`#[...]` pairs) pass through unchanged.
+    let mut attrs = String::new();
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push_str(&format!("# {g} "));
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility and qualifiers up to (and including) `async`.
+    let mut vis = String::new();
+    let mut saw_async = false;
+    while i < tokens.len() {
+        let text = tokens[i].to_string();
+        i += 1;
+        if text == "async" {
+            saw_async = true;
+            break;
+        }
+        vis.push_str(&text);
+        vis.push(' ');
+    }
+    assert!(
+        saw_async,
+        "#[tokio::main]/#[tokio::test] requires an async fn"
+    );
+
+    // `fn name`.
+    assert_eq!(tokens[i].to_string(), "fn", "expected `fn` after `async`");
+    i += 1;
+    let name = tokens[i].to_string();
+    i += 1;
+
+    // Parameter list (must be empty for main/test).
+    let TokenTree::Group(params) = &tokens[i] else {
+        panic!("expected parameter list");
+    };
+    assert!(
+        params.stream().is_empty(),
+        "async main/test functions take no arguments"
+    );
+    i += 1;
+
+    // Optional return type: everything up to the body block.
+    let mut ret = String::new();
+    while i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[i] {
+            if g.delimiter() == Delimiter::Brace {
+                break;
+            }
+        }
+        ret.push_str(&tokens[i].to_string());
+        ret.push(' ');
+        i += 1;
+    }
+    let TokenTree::Group(body) = &tokens[i] else {
+        panic!("expected function body");
+    };
+    let body = body.to_string();
+
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]"
+    } else {
+        ""
+    };
+    let ctor = if multi_thread {
+        "new_multi_thread"
+    } else {
+        "new_current_thread"
+    };
+    let paused = if start_paused {
+        ".start_paused(true)"
+    } else {
+        ""
+    };
+    let workers = match worker_threads {
+        Some(n) => format!(".worker_threads({n})"),
+        None => String::new(),
+    };
+
+    let out = format!(
+        "{attrs} {test_attr} {vis} fn {name}() {ret} {{\
+             async fn __tokio_inner() {ret} {body}\
+             tokio::runtime::Builder::{ctor}()\
+                 .enable_all(){paused}{workers}\
+                 .build()\
+                 .expect(\"failed to build runtime\")\
+                 .block_on(__tokio_inner())\
+         }}"
+    );
+    out.parse().expect("generated function parses")
+}
+
+fn parse_worker_threads(attr_text: &str) -> Option<usize> {
+    let idx = attr_text.find("worker_threads")?;
+    let rest = &attr_text[idx + "worker_threads".len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}

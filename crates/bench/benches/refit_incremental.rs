@@ -1,0 +1,98 @@
+//! Cost of keeping the online estimate current as arrivals stream in.
+//!
+//! Cedar re-estimates after *every* arrival, so what matters is the total
+//! cost of a full query's worth of (observe, estimate) cycles:
+//!
+//! - `incremental` — the shipped estimators: O(1) running sufficient
+//!   statistics per arrival.
+//! - `refold` — the naive alternative: keep the raw observations and
+//!   recompute the two-pass fit from scratch on every arrival (O(n) per
+//!   arrival, O(n²) per query).
+//!
+//! Also benchmarked: building a fan-out's `NormalOrderStats` table fresh
+//! per query versus fetching it from the process-wide shared cache.
+
+use cedar_estimate::{CedarEstimator, DurationEstimator, EmpiricalEstimator, Model};
+use cedar_mathx::order_stats::{NormalOrderStats, OrderStatMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Sorted arrival times of one query: the first `r` of `k` log-normal
+/// draws (fixed seed so every variant fits identical data).
+fn arrivals(k: usize, r: usize) -> Vec<f64> {
+    use cedar_distrib::ContinuousDist;
+    use rand::SeedableRng;
+    let parent = cedar_distrib::LogNormal::new(2.77, 0.84).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut xs = parent.sample_vec(&mut rng, k);
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.truncate(r);
+    xs
+}
+
+/// The pre-change empirical refit: all observations retained, full
+/// two-pass mean/variance recomputed per arrival.
+fn refold_two_pass(seen: &[f64]) -> Option<(f64, f64)> {
+    if seen.len() < 2 {
+        return None;
+    }
+    let mu = cedar_mathx::kahan::mean(seen);
+    let n = seen.len() as f64;
+    let ss: f64 = seen.iter().map(|y| (y - mu) * (y - mu)).sum();
+    Some((mu, (ss / n).sqrt()))
+}
+
+fn bench_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refit_per_query");
+    for &k in &[50usize, 500] {
+        let data = arrivals(k, k);
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, _| {
+            b.iter(|| {
+                let mut est = EmpiricalEstimator::new(Model::LogNormal);
+                let mut last = None;
+                for &t in &data {
+                    est.observe(black_box(t));
+                    last = est.estimate();
+                }
+                last
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("refold", k), &k, |b, _| {
+            b.iter(|| {
+                let mut seen = Vec::new();
+                let mut last = None;
+                for &t in &data {
+                    seen.push(black_box(t).max(f64::MIN_POSITIVE).ln());
+                    last = refold_two_pass(&seen);
+                }
+                last
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cedar_order_stats", k), &k, |b, _| {
+            b.iter(|| {
+                let mut est = CedarEstimator::new(k, Model::LogNormal);
+                let mut last = None;
+                for &t in &data {
+                    est.observe(black_box(t));
+                    last = est.estimate();
+                }
+                last
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("order_stats_table");
+    for &k in &[50usize, 500] {
+        group.bench_with_input(BenchmarkId::new("fresh_per_query", k), &k, |b, &k| {
+            b.iter(|| NormalOrderStats::new(black_box(k), OrderStatMethod::Blom));
+        });
+        group.bench_with_input(BenchmarkId::new("shared_cache", k), &k, |b, &k| {
+            b.iter(|| NormalOrderStats::shared(black_box(k), OrderStatMethod::Blom));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refit);
+criterion_main!(benches);

@@ -31,8 +31,11 @@ USAGE:
       sends the shutdown op.
   cedar-cli loadgen --addr A [--qps Q] [--queries N] [--deadline D]
                     [--k1 N] [--k2 N] [--seed S] [--stop-server BOOL]
+                    [--save-baseline FILE] [--compare-baseline FILE]
       Open-loop Poisson load against a running service; reports achieved
-      QPS, quality distribution and latency percentiles.
+      QPS, quality distribution and latency percentiles. A baseline file
+      stores the percentile summary as JSON; comparing prints p50/p95/p99
+      deltas against it.
 ";
 
 /// Entry point: routes `argv` to a subcommand.

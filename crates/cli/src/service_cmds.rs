@@ -63,6 +63,78 @@ struct Shot {
     latency_ms: f64,
 }
 
+/// The percentile summary a loadgen run can persist and later be judged
+/// against: client-observed latency tail plus the quality distribution.
+#[derive(Debug, PartialEq)]
+struct Baseline {
+    latency_p50: f64,
+    latency_p95: f64,
+    latency_p99: f64,
+    quality_mean: f64,
+    quality_p50: f64,
+}
+
+impl Baseline {
+    fn to_json(&self) -> serde_json::Value {
+        use serde_json::{Map, Number, Value};
+        let mut latency = Map::new();
+        latency.insert("p50", Value::Number(Number::F64(self.latency_p50)));
+        latency.insert("p95", Value::Number(Number::F64(self.latency_p95)));
+        latency.insert("p99", Value::Number(Number::F64(self.latency_p99)));
+        let mut quality = Map::new();
+        quality.insert("mean", Value::Number(Number::F64(self.quality_mean)));
+        quality.insert("p50", Value::Number(Number::F64(self.quality_p50)));
+        let mut root = Map::new();
+        root.insert("latency_ms", Value::Object(latency));
+        root.insert("quality", Value::Object(quality));
+        Value::Object(root)
+    }
+
+    fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        let f = |path: &[&str]| -> Result<f64, String> {
+            let mut cur = v;
+            for key in path {
+                cur = cur
+                    .as_object()
+                    .and_then(|m| m.get(key))
+                    .ok_or_else(|| format!("baseline is missing \"{}\"", path.join(".")))?;
+            }
+            cur.as_f64()
+                .ok_or_else(|| format!("baseline \"{}\" is not a number", path.join(".")))
+        };
+        Ok(Self {
+            latency_p50: f(&["latency_ms", "p50"])?,
+            latency_p95: f(&["latency_ms", "p95"])?,
+            latency_p99: f(&["latency_ms", "p99"])?,
+            quality_mean: f(&["quality", "mean"])?,
+            quality_p50: f(&["quality", "p50"])?,
+        })
+    }
+
+    /// One comparison line per tracked percentile: current vs stored, with
+    /// the delta in both absolute and relative terms.
+    fn diff_report(&self, stored: &Self) -> Vec<String> {
+        fn line(name: &str, unit: &str, now: f64, then: f64) -> String {
+            let delta = now - then;
+            let pct = if then.abs() > 1e-12 {
+                format!("{:+.1}%", 100.0 * delta / then)
+            } else {
+                "n/a".into()
+            };
+            format!(
+                "  {name:<14} {now:>9.2}{unit} vs {then:>9.2}{unit}  ({delta:+.2}{unit}, {pct})"
+            )
+        }
+        vec![
+            line("latency p50", "ms", self.latency_p50, stored.latency_p50),
+            line("latency p95", "ms", self.latency_p95, stored.latency_p95),
+            line("latency p99", "ms", self.latency_p99, stored.latency_p99),
+            line("quality mean", "", self.quality_mean, stored.quality_mean),
+            line("quality p50", "", self.quality_p50, stored.quality_p50),
+        ]
+    }
+}
+
 /// Open-loop Poisson load against a running server, with a percentile
 /// report.
 pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
@@ -73,6 +145,8 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let k1: usize = args.opt_parse("k1", 50)?;
     let k2: usize = args.opt_parse("k2", 50)?;
     let stop_server: bool = args.opt_parse("stop-server", false)?;
+    let save_baseline = args.opt("save-baseline").map(str::to_owned);
+    let compare_baseline = args.opt("compare-baseline").map(str::to_owned);
     let deadline: Option<f64> = match args.opt("deadline") {
         Some(v) => Some(v.parse().map_err(|_| "--deadline has an invalid value")?),
         None => None,
@@ -206,6 +280,33 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
             percentile(&latencies, 95.0),
             percentile(&latencies, 99.0),
         );
+
+        let current = Baseline {
+            latency_p50: percentile(&latencies, 50.0),
+            latency_p95: percentile(&latencies, 95.0),
+            latency_p99: percentile(&latencies, 99.0),
+            quality_mean: qualities.iter().sum::<f64>() / qualities.len() as f64,
+            quality_p50: percentile(&qualities, 50.0),
+        };
+        if let Some(path) = &compare_baseline {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {path}: {e}"))?;
+            let stored = serde_json::from_str::<serde_json::Value>(&text)
+                .map_err(|e| format!("parsing baseline {path}: {e}"))
+                .and_then(|v| Baseline::from_json(&v))?;
+            println!();
+            println!("vs baseline {path}:");
+            for line in current.diff_report(&stored) {
+                println!("{line}");
+            }
+        }
+        if let Some(path) = &save_baseline {
+            let text = serde_json::to_string_pretty(&current.to_json()).expect("valid json");
+            std::fs::write(path, text).map_err(|e| format!("writing baseline {path}: {e}"))?;
+            println!("baseline saved to {path}");
+        }
+    } else if save_baseline.is_some() || compare_baseline.is_some() {
+        return Err("no queries were served; refusing to save or compare a baseline".into());
     }
     if let Ok(resp) = control.stats() {
         if let Some(stats) = resp.stats {
@@ -264,6 +365,50 @@ mod tests {
     }
 
     #[test]
+    fn baseline_round_trips_through_json() {
+        let b = Baseline {
+            latency_p50: 12.5,
+            latency_p95: 40.0,
+            latency_p99: 88.25,
+            quality_mean: 0.93,
+            quality_p50: 0.97,
+        };
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+        let mut incomplete = serde_json::Map::new();
+        incomplete.insert(
+            "latency_ms",
+            serde_json::Value::Object(serde_json::Map::new()),
+        );
+        assert!(Baseline::from_json(&serde_json::Value::Object(incomplete))
+            .unwrap_err()
+            .contains("latency_ms.p50"));
+    }
+
+    #[test]
+    fn baseline_diff_reports_all_percentiles() {
+        let then = Baseline {
+            latency_p50: 10.0,
+            latency_p95: 20.0,
+            latency_p99: 40.0,
+            quality_mean: 0.9,
+            quality_p50: 0.95,
+        };
+        let now = Baseline {
+            latency_p50: 5.0,
+            latency_p95: 30.0,
+            latency_p99: 40.0,
+            quality_mean: 0.9,
+            quality_p50: 0.95,
+        };
+        let report = now.diff_report(&then);
+        assert_eq!(report.len(), 5);
+        assert!(report[0].contains("-50.0%"));
+        assert!(report[1].contains("+50.0%"));
+        assert!(report[2].contains("+0.0%"));
+    }
+
+    #[test]
     fn loadgen_drives_a_live_server_and_stops_it() {
         // A small, fast server: 4x2 trees, 1600 model-second deadline
         // replayed at 20 us per model second (max ~32 ms per query).
@@ -273,6 +418,9 @@ mod tests {
         let handle = Server::start(cfg).unwrap();
         let addr = handle.addr().to_string();
 
+        let baseline =
+            std::env::temp_dir().join(format!("cedar-baseline-{}.json", std::process::id()));
+        let baseline = baseline.to_str().unwrap().to_owned();
         let argv = sv(&[
             "loadgen",
             "--addr",
@@ -285,10 +433,32 @@ mod tests {
             "4",
             "--k2",
             "2",
+            "--save-baseline",
+            &baseline,
+        ]);
+        dispatch(&argv).unwrap();
+
+        // A second run compares itself against the baseline it just
+        // stored, then shuts the server down.
+        let argv = sv(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--qps",
+            "400",
+            "--queries",
+            "40",
+            "--k1",
+            "4",
+            "--k2",
+            "2",
+            "--compare-baseline",
+            &baseline,
             "--stop-server",
             "true",
         ]);
         dispatch(&argv).unwrap();
+        let _ = std::fs::remove_file(&baseline);
         handle.wait().unwrap();
     }
 }

@@ -146,6 +146,7 @@ mod tests {
             level: 1,
             levels_total: 2,
             scan_steps: 100,
+            qup_grid: std::sync::OnceLock::new(),
         }
     }
 

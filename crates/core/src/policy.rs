@@ -8,12 +8,12 @@
 //! state machine driving timers lives in [`crate::aggregator`].
 
 use crate::profile::QualityProfile;
-use crate::wait::{calculate_wait, WaitDecision};
+use crate::wait::{calculate_wait_with_grid, QupGrid, WaitDecision};
 use cedar_distrib::ContinuousDist;
 use cedar_estimate::{
     CedarEstimator, DurationEstimator, EmpiricalEstimator, Model, PairwiseCedarEstimator,
 };
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Everything a policy may consult when choosing a wait.
 ///
@@ -51,6 +51,15 @@ pub struct PolicyContext {
     pub levels_total: usize,
     /// ε-scan resolution: `epsilon = deadline / scan_steps`.
     pub scan_steps: usize,
+    /// Lazily built memo of the upstream quality function on the ε-grid.
+    ///
+    /// `upper`, `deadline` and `scan_steps` are fixed for the life of a
+    /// context, so the grid is computed once (on the first scan) and then
+    /// shared: cloning the context — as the runtime's prepared-context
+    /// cache does per query — clones the initialized cell, so every
+    /// arrival of every query on the same (priors epoch, deadline) reuses
+    /// one table. Construct with [`OnceLock::new`].
+    pub qup_grid: OnceLock<Arc<QupGrid>>,
 }
 
 impl PolicyContext {
@@ -59,15 +68,20 @@ impl PolicyContext {
     }
 
     /// Runs the CALCULATEWAIT scan against an arbitrary lower
-    /// distribution.
+    /// distribution, memoizing the upstream quality grid on first use.
     pub fn scan(&self, lower: &dyn ContinuousDist) -> WaitDecision {
-        calculate_wait(
-            self.deadline,
-            lower,
-            self.fanout,
-            |rem| self.upper.eval(rem),
-            self.epsilon(),
-        )
+        if self.deadline <= 0.0 {
+            return WaitDecision {
+                wait: 0.0,
+                quality: 0.0,
+            };
+        }
+        let grid = self.qup_grid.get_or_init(|| {
+            Arc::new(QupGrid::build(self.deadline, self.epsilon(), |rem| {
+                self.upper.eval(rem)
+            }))
+        });
+        calculate_wait_with_grid(lower, self.fanout, grid)
     }
 }
 
@@ -388,6 +402,7 @@ mod tests {
             level: 1,
             levels_total: 2,
             scan_steps: 300,
+            qup_grid: OnceLock::new(),
         }
     }
 
@@ -452,6 +467,7 @@ mod tests {
             level: 1,
             levels_total: 2,
             scan_steps: 800,
+            qup_grid: OnceLock::new(),
         }
     }
 

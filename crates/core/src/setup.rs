@@ -70,10 +70,14 @@ impl PreparedContexts {
                 level,
                 levels_total: n,
                 scan_steps,
+                qup_grid: std::sync::OnceLock::new(),
             };
 
             // Chain the expected wait for the next level's arrival-time
             // distribution: what this policy picks before any arrivals.
+            // The probe's scan also populates the context's memoized
+            // upstream-quality grid, so every query cloned from this
+            // context shares one pre-built table.
             let mut probe = kind.instantiate(ctx.fanout, model);
             prior_wait_below = probe.initial_wait(&ctx);
 

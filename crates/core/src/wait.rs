@@ -9,6 +9,118 @@
 use crate::quality::{quality_gain, quality_loss};
 use cedar_distrib::ContinuousDist;
 use cedar_mathx::KahanSum;
+use std::cell::RefCell;
+
+/// Reusable per-thread buffers for the batched scan: the ε-grid, the
+/// batched lower-stage CDF values, and (for the closure-driven entry
+/// point) the upstream quality values. Sized on first use and reused, so
+/// steady-state scans allocate nothing.
+#[derive(Default)]
+struct Scratch {
+    ts: Vec<f64>,
+    fs: Vec<f64>,
+    qs: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            ts: Vec::new(),
+            fs: Vec::new(),
+            qs: Vec::new(),
+        })
+    };
+}
+
+/// Runs `f` with the thread-local scratch, falling back to a fresh
+/// (allocating) scratch if the thread-local one is already borrowed —
+/// which can only happen if a `q_up` closure re-enters the scan.
+fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Scratch::default()),
+    })
+}
+
+/// Number of scan steps for a given deadline and step size; shared by
+/// every entry point so grids and scans always agree on the grid shape.
+fn scan_steps(deadline: f64, epsilon: f64) -> usize {
+    ((deadline / epsilon).ceil() as usize).max(1)
+}
+
+/// Fills `ts[i]` with the departure candidate of step `i`:
+/// `t_next = (i + 1) * epsilon`, clamped to the deadline. The expression
+/// mirrors the scalar loop exactly so both paths scan identical grids.
+fn fill_grid(ts: &mut Vec<f64>, deadline: f64, epsilon: f64, steps: usize) {
+    ts.clear();
+    ts.extend((0..steps).map(|i| (i as f64 * epsilon + epsilon).min(deadline)));
+}
+
+/// The upstream quality function `q_{n-1}` pre-evaluated on a scan grid.
+///
+/// A Cedar aggregator re-runs the wait scan on *every* downstream arrival,
+/// and within one query (and across concurrent queries sharing a priors
+/// epoch and deadline) the upstream quality function does not change —
+/// only the lower-stage estimate does. Building this table once and
+/// passing it to [`calculate_wait_with_grid`] removes the per-arrival
+/// `q_up` evaluations (an interpolation-table walk per ε-step) entirely.
+///
+/// The grid stores `q_up(deadline - t_next)` for each step's departure
+/// candidate `t_next`, plus the initial value `q_up(deadline)`, all
+/// clamped to `[0, 1]` exactly as the scalar scan does — so a grid-driven
+/// scan is *bit-identical* to the closure-driven scan it replaces.
+#[derive(Debug, Clone)]
+pub struct QupGrid {
+    deadline: f64,
+    epsilon: f64,
+    /// `q_up(deadline)`, the quality of departing immediately.
+    q0: f64,
+    /// `q_up(deadline - t_next_i)` for step `i`.
+    values: Vec<f64>,
+}
+
+impl QupGrid {
+    /// Evaluates `q_up` over the scan grid for `(deadline, epsilon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive or `deadline <= 0`.
+    pub fn build<Q>(deadline: f64, epsilon: f64, q_up: Q) -> Self
+    where
+        Q: Fn(f64) -> f64,
+    {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(deadline > 0.0, "deadline must be positive");
+        let steps = scan_steps(deadline, epsilon);
+        let values = (0..steps)
+            .map(|i| {
+                let t_next = (i as f64 * epsilon + epsilon).min(deadline);
+                q_up(deadline - t_next).clamp(0.0, 1.0)
+            })
+            .collect();
+        Self {
+            deadline,
+            epsilon,
+            q0: q_up(deadline).clamp(0.0, 1.0),
+            values,
+        }
+    }
+
+    /// The deadline this grid was built for.
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// The scan step this grid was built for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of scan steps covered.
+    pub fn steps(&self) -> usize {
+        self.values.len()
+    }
+}
 
 /// Result of a wait-duration optimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +193,129 @@ where
         };
     }
 
-    let steps = ((deadline / epsilon).ceil() as usize).max(1);
+    let steps = scan_steps(deadline, epsilon);
+    with_scratch(|scratch| {
+        fill_grid(&mut scratch.ts, deadline, epsilon, steps);
+        scratch.qs.clear();
+        scratch.qs.extend(
+            scratch
+                .ts
+                .iter()
+                .map(|&t_next| q_up(deadline - t_next).clamp(0.0, 1.0)),
+        );
+        scratch.fs.resize(steps, 0.0);
+        lower.cdf_batch(&scratch.ts, &mut scratch.fs);
+        let q0 = q_up(deadline).clamp(0.0, 1.0);
+        accumulate_scan(lower, fanout, &scratch.ts, &scratch.fs, q0, &scratch.qs)
+    })
+}
+
+/// Scans wait durations against a pre-built upstream quality grid.
+///
+/// The per-arrival fast path: the lower-stage CDF is evaluated over the
+/// whole ε-grid in one [`ContinuousDist::cdf_batch`] call, and the
+/// upstream quality comes from the memoized [`QupGrid`]. The result is
+/// bit-identical to [`calculate_wait`] with the closure the grid was
+/// built from.
+///
+/// # Panics
+///
+/// Panics if `fanout == 0`.
+pub fn calculate_wait_with_grid(
+    lower: &dyn ContinuousDist,
+    fanout: usize,
+    grid: &QupGrid,
+) -> WaitDecision {
+    assert!(fanout >= 1, "fanout must be at least 1");
+    let deadline = grid.deadline;
+    if deadline <= 0.0 {
+        return WaitDecision {
+            wait: 0.0,
+            quality: 0.0,
+        };
+    }
+    let steps = grid.steps();
+    with_scratch(|scratch| {
+        fill_grid(&mut scratch.ts, deadline, grid.epsilon, steps);
+        scratch.fs.resize(steps, 0.0);
+        lower.cdf_batch(&scratch.ts, &mut scratch.fs);
+        accumulate_scan(
+            lower,
+            fanout,
+            &scratch.ts,
+            &scratch.fs,
+            grid.q0,
+            &grid.values,
+        )
+    })
+}
+
+/// The shared accumulation kernel: given departure candidates `ts`, the
+/// batched lower-stage CDF values `fs`, and the upstream quality values,
+/// walks the grid once accumulating gain − loss with Kahan summation and
+/// keeps the first maximizer.
+fn accumulate_scan(
+    lower: &dyn ContinuousDist,
+    fanout: usize,
+    ts: &[f64],
+    fs: &[f64],
+    q0: f64,
+    qs: &[f64],
+) -> WaitDecision {
+    let mut running = KahanSum::new();
+    let mut best_q = 0.0f64;
+    let mut best_wait = 0.0f64;
+
+    let mut f_prev = lower.cdf(0.0);
+    let mut q_up_prev = q0;
+    for ((&t_next, &f_next), &q_up_next) in ts.iter().zip(fs).zip(qs) {
+        let gain = quality_gain(f_prev, f_next, q_up_next);
+        let loss = quality_loss(f_prev, fanout, q_up_prev, q_up_next);
+        running.add(gain - loss);
+
+        // Keep the *first* maximizer: on quality plateaus (gain and loss
+        // both ~0) a later departure buys nothing but risks model error,
+        // so the earliest wait achieving the maximum is the safe argmax.
+        let q = running.value();
+        if q > best_q {
+            best_q = q;
+            best_wait = t_next;
+        }
+
+        f_prev = f_next;
+        q_up_prev = q_up_next;
+    }
+
+    WaitDecision {
+        wait: best_wait,
+        quality: best_q.clamp(0.0, 1.0),
+    }
+}
+
+/// The pre-batching scalar scan, kept verbatim as the reference
+/// implementation: one virtual `cdf` call and one `q_up` evaluation per
+/// ε-step. The equivalence tests and the `wait_scan` bench compare the
+/// batched paths against this.
+pub fn calculate_wait_scalar<Q>(
+    deadline: f64,
+    lower: &dyn ContinuousDist,
+    fanout: usize,
+    q_up: Q,
+    epsilon: f64,
+) -> WaitDecision
+where
+    Q: Fn(f64) -> f64,
+{
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(fanout >= 1, "fanout must be at least 1");
+    if deadline <= 0.0 {
+        return WaitDecision {
+            wait: 0.0,
+            quality: 0.0,
+        };
+    }
+
+    let steps = scan_steps(deadline, epsilon);
     let mut running = KahanSum::new();
     let mut best_q = 0.0f64;
     let mut best_wait = 0.0f64;
@@ -98,9 +332,6 @@ where
         let loss = quality_loss(f_prev, fanout, q_up_prev, q_up_next);
         running.add(gain - loss);
 
-        // Keep the *first* maximizer: on quality plateaus (gain and loss
-        // both ~0) a later departure buys nothing but risks model error,
-        // so the earliest wait achieving the maximum is the safe argmax.
         let q = running.value();
         if q > best_q {
             best_q = q;
@@ -264,6 +495,93 @@ mod tests {
         // by more than the coarse discretization error.
         assert!(fine.quality >= coarse.quality - 1e-9);
         assert!((fine.wait - coarse.wait).abs() <= 40.0);
+    }
+
+    #[test]
+    fn batched_scan_matches_scalar_reference() {
+        // The acceptance bar: chosen wait and reported quality agree with
+        // the pre-change scalar scan to ≤1e-9 across families, deadlines
+        // and resolutions.
+        let cases: Vec<(Box<dyn ContinuousDist>, Box<dyn ContinuousDist>)> = vec![
+            (
+                Box::new(LogNormal::new(2.77, 0.84).unwrap()),
+                Box::new(LogNormal::new(2.94, 0.55).unwrap()),
+            ),
+            (
+                Box::new(Normal::new(40.0, 80.0).unwrap()),
+                Box::new(Normal::new(40.0, 10.0).unwrap()),
+            ),
+            (
+                Box::new(Exponential::from_mean(12.0).unwrap()),
+                Box::new(Exponential::from_mean(4.0).unwrap()),
+            ),
+            (
+                Box::new(cedar_distrib::Pareto::new(1.0, 0.8).unwrap()),
+                Box::new(LogNormal::new(0.5, 0.4).unwrap()),
+            ),
+        ];
+        for (x1, x2) in &cases {
+            for &deadline in &[5.0, 60.0, 300.0, 3000.0] {
+                for &steps in &[100usize, 500] {
+                    let eps = deadline / steps as f64;
+                    let q_up = |rem: f64| if rem <= 0.0 { 0.0 } else { x2.cdf(rem) };
+                    let scalar = calculate_wait_scalar(deadline, x1, 50, q_up, eps);
+                    let batched = calculate_wait(deadline, x1, 50, q_up, eps);
+                    assert!(
+                        (batched.quality - scalar.quality).abs() <= 1e-9,
+                        "quality {} vs {} (deadline {deadline}, steps {steps})",
+                        batched.quality,
+                        scalar.quality
+                    );
+                    assert!(
+                        (batched.wait - scalar.wait).abs() <= 1e-9 * deadline.max(1.0),
+                        "wait {} vs {} (deadline {deadline}, steps {steps})",
+                        batched.wait,
+                        scalar.wait
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_scan_is_bit_identical_to_closure_scan() {
+        let x1 = LogNormal::new(2.77, 0.84).unwrap();
+        let x2 = LogNormal::new(2.94, 0.55).unwrap();
+        for &deadline in &[40.0, 100.0, 750.0] {
+            let eps = deadline / DEFAULT_STEPS as f64;
+            let q_up = two_level_qup(&x2);
+            let grid = QupGrid::build(deadline, eps, &q_up);
+            assert_eq!(grid.steps(), DEFAULT_STEPS);
+            assert_eq!(grid.deadline(), deadline);
+            assert_eq!(grid.epsilon(), eps);
+            let via_closure = calculate_wait(deadline, &x1, 50, &q_up, eps);
+            let via_grid = calculate_wait_with_grid(&x1, 50, &grid);
+            // Same kernel, same inputs: exactly equal, not just close.
+            assert_eq!(via_closure, via_grid);
+        }
+    }
+
+    #[test]
+    fn grid_reuse_across_lower_estimates() {
+        // The per-arrival pattern: one grid, many lower-stage refits.
+        let x2 = LogNormal::new(2.94, 0.55).unwrap();
+        let deadline = 200.0;
+        let eps = deadline / DEFAULT_STEPS as f64;
+        let grid = QupGrid::build(deadline, eps, two_level_qup(&x2));
+        for &(mu, sigma) in &[(2.5, 0.9), (2.77, 0.84), (3.0, 0.7)] {
+            let lower = LogNormal::new(mu, sigma).unwrap();
+            let fast = calculate_wait_with_grid(&lower, 50, &grid);
+            let slow = calculate_wait_scalar(deadline, &lower, 50, two_level_qup(&x2), eps);
+            assert!((fast.quality - slow.quality).abs() <= 1e-9);
+            assert!((fast.wait - slow.wait).abs() <= 1e-9 * deadline);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn grid_rejects_non_positive_deadline() {
+        QupGrid::build(0.0, 0.1, |_| 1.0);
     }
 
     #[test]

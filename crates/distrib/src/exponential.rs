@@ -66,6 +66,18 @@ impl ContinuousDist for Exponential {
         }
     }
 
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
+        let lambda = self.lambda;
+        for (slot, &t) in out.iter_mut().zip(ts) {
+            *slot = if t <= 0.0 {
+                0.0
+            } else {
+                -(-lambda * t).exp_m1()
+            };
+        }
+    }
+
     fn quantile(&self, p: f64) -> f64 {
         if p <= 0.0 {
             return 0.0;

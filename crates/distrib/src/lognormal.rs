@@ -3,7 +3,7 @@
 //! median), Google search (<5% even at p99) and Bing RTTs (1–2% error).
 
 use crate::traits::{ContinuousDist, DistError};
-use cedar_mathx::special::{norm_cdf, norm_quantile, SQRT_2PI};
+use cedar_mathx::special::{norm_cdf_fast, norm_quantile, SQRT_2PI};
 use serde::{Deserialize, Serialize};
 
 /// Log-normal distribution: `ln X ~ Normal(mu, sigma^2)`.
@@ -98,7 +98,20 @@ impl ContinuousDist for LogNormal {
         if x <= 0.0 {
             return 0.0;
         }
-        norm_cdf((x.ln() - self.mu) / self.sigma)
+        norm_cdf_fast((x.ln() - self.mu) / self.sigma)
+    }
+
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
+        let mu = self.mu;
+        let inv_sigma = 1.0 / self.sigma;
+        for (slot, &t) in out.iter_mut().zip(ts) {
+            *slot = if t <= 0.0 {
+                0.0
+            } else {
+                norm_cdf_fast((t.ln() - mu) * inv_sigma)
+            };
+        }
     }
 
     fn quantile(&self, p: f64) -> f64 {

@@ -65,6 +65,21 @@ impl ContinuousDist for Mixture {
         self.components.iter().map(|(w, d)| w * d.cdf(x)).sum()
     }
 
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
+        // One batched pass per component, accumulated in place. Keeps the
+        // same summation order as the scalar `cdf` (component order), so
+        // results agree to rounding of the per-point weighted sum.
+        out.fill(0.0);
+        let mut scratch = vec![0.0; ts.len()];
+        for (w, d) in &self.components {
+            d.cdf_batch(ts, &mut scratch);
+            for (slot, &f) in out.iter_mut().zip(&scratch) {
+                *slot += w * f;
+            }
+        }
+    }
+
     fn quantile(&self, p: f64) -> f64 {
         if p <= 0.0 {
             return self

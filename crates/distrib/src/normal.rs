@@ -9,7 +9,7 @@
 //! family's.
 
 use crate::traits::{ContinuousDist, DistError};
-use cedar_mathx::special::{norm_cdf, norm_pdf, norm_quantile};
+use cedar_mathx::special::{norm_cdf_fast, norm_pdf, norm_quantile};
 use serde::{Deserialize, Serialize};
 
 /// Normal distribution with mean `mu` and standard deviation `sigma`.
@@ -68,7 +68,18 @@ impl ContinuousDist for Normal {
     }
 
     fn cdf(&self, x: f64) -> f64 {
-        norm_cdf((x - self.mu) / self.sigma)
+        norm_cdf_fast((x - self.mu) / self.sigma)
+    }
+
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
+        // Hoist the standardization so the loop body is one fma plus the
+        // fixed-degree erfc kernel — no division, no virtual dispatch.
+        let mu = self.mu;
+        let inv_sigma = 1.0 / self.sigma;
+        for (slot, &t) in out.iter_mut().zip(ts) {
+            *slot = norm_cdf_fast((t - mu) * inv_sigma);
+        }
     }
 
     fn quantile(&self, p: f64) -> f64 {

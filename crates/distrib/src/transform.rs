@@ -7,6 +7,31 @@
 
 use crate::traits::{ContinuousDist, DistError};
 
+/// Applies `map` to each point of `ts` in fixed-size stack chunks and
+/// forwards the transformed chunk to the inner distribution's `cdf_batch`.
+///
+/// This keeps the affine wrappers on the batched (non-virtual-per-point)
+/// path of the wrapped family without allocating: the prepared upper-stage
+/// arrival distributions in the runtime are `Shifted<Arc<dyn ...>>`, so
+/// this forwarding sits directly on the wait-scan hot path.
+fn chunked_cdf_batch<D: ContinuousDist>(
+    inner: &D,
+    ts: &[f64],
+    out: &mut [f64],
+    map: impl Fn(f64) -> f64,
+) {
+    assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
+    const CHUNK: usize = 64;
+    let mut buf = [0.0_f64; CHUNK];
+    for (ts_chunk, out_chunk) in ts.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+        let mapped = &mut buf[..ts_chunk.len()];
+        for (slot, &t) in mapped.iter_mut().zip(ts_chunk) {
+            *slot = map(t);
+        }
+        inner.cdf_batch(mapped, out_chunk);
+    }
+}
+
 /// A distribution multiplied by a positive constant: `Y = c * X`.
 #[derive(Debug, Clone)]
 pub struct Scaled<D> {
@@ -43,6 +68,11 @@ impl<D: ContinuousDist> ContinuousDist for Scaled<D> {
 
     fn cdf(&self, x: f64) -> f64 {
         self.inner.cdf(x / self.factor)
+    }
+
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        let inv = 1.0 / self.factor;
+        chunked_cdf_batch(&self.inner, ts, out, |t| t * inv);
     }
 
     fn quantile(&self, p: f64) -> f64 {
@@ -96,6 +126,11 @@ impl<D: ContinuousDist> ContinuousDist for Shifted<D> {
 
     fn cdf(&self, x: f64) -> f64 {
         self.inner.cdf(x - self.offset)
+    }
+
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        let offset = self.offset;
+        chunked_cdf_batch(&self.inner, ts, out, |t| t - offset);
     }
 
     fn quantile(&self, p: f64) -> f64 {
@@ -176,6 +211,15 @@ impl<D: ContinuousDist> ContinuousDist for Rectified<D> {
             0.0
         } else {
             self.inner.cdf(x)
+        }
+    }
+
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        self.inner.cdf_batch(ts, out);
+        for (slot, &t) in out.iter_mut().zip(ts) {
+            if t < 0.0 {
+                *slot = 0.0;
+            }
         }
     }
 

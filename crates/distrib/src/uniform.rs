@@ -62,6 +62,15 @@ impl ContinuousDist for Uniform {
         }
     }
 
+    fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
+        let a = self.a;
+        let inv_width = 1.0 / (self.b - self.a);
+        for (slot, &t) in out.iter_mut().zip(ts) {
+            *slot = ((t - a) * inv_width).clamp(0.0, 1.0);
+        }
+    }
+
     fn quantile(&self, p: f64) -> f64 {
         if p <= 0.0 {
             return self.a;

@@ -1,0 +1,127 @@
+//! Property tests: every `cdf_batch` override agrees with the scalar
+//! `cdf` it specializes.
+//!
+//! The batched kernels hoist parameters out of the loop and may reassociate
+//! the standardization (`* inv_sigma` instead of `/ sigma`), so we allow a
+//! 1e-12 absolute tolerance rather than demanding bit equality. Families
+//! without an override (Gamma, Pareto, Weibull) exercise the trait-default
+//! fallback, which must be exactly the scalar path.
+
+use cedar_distrib::{
+    ContinuousDist, Exponential, Gamma, LogNormal, Mixture, Normal, Pareto, Rectified, Scaled,
+    Shifted, Uniform, Weibull,
+};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-12;
+
+/// Evaluation grids long enough to cross the 64-element chunk boundary in
+/// the affine wrappers' chunked batch helper.
+fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let step = (hi - lo) / (n.max(2) - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+fn assert_batch_matches<D: ContinuousDist>(dist: &D, ts: &[f64]) {
+    let mut out = vec![f64::NAN; ts.len()];
+    dist.cdf_batch(ts, &mut out);
+    for (&t, &f) in ts.iter().zip(out.iter()) {
+        let scalar = dist.cdf(t);
+        assert!(
+            (f - scalar).abs() <= TOL,
+            "cdf_batch({t}) = {f} but cdf({t}) = {scalar}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn normal_batch_matches_scalar(
+        mu in -50.0..50.0f64,
+        sigma in 0.05..30.0f64,
+        n in 1usize..200,
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        assert_batch_matches(&d, &grid(mu - 8.0 * sigma, mu + 8.0 * sigma, n));
+    }
+
+    #[test]
+    fn lognormal_batch_matches_scalar(
+        mu in -3.0..8.0f64,
+        sigma in 0.05..3.0f64,
+        n in 1usize..200,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        // Include non-positive ts to hit the `t <= 0 -> 0` branch.
+        assert_batch_matches(&d, &grid(-2.0, (mu + 6.0 * sigma).exp(), n));
+    }
+
+    #[test]
+    fn exponential_batch_matches_scalar(lambda in 0.01..20.0f64, n in 1usize..200) {
+        let d = Exponential::new(lambda).unwrap();
+        assert_batch_matches(&d, &grid(-1.0, 10.0 / lambda, n));
+    }
+
+    #[test]
+    fn uniform_batch_matches_scalar(a in -100.0..100.0f64, w in 0.1..200.0f64, n in 1usize..200) {
+        let d = Uniform::new(a, a + w).unwrap();
+        assert_batch_matches(&d, &grid(a - w, a + 2.0 * w, n));
+    }
+
+    #[test]
+    fn default_fallback_families_match_scalar(
+        shape in 0.3..10.0f64,
+        scale in 0.1..50.0f64,
+        n in 1usize..120,
+    ) {
+        let ts = grid(-1.0, 12.0 * scale, n);
+        assert_batch_matches(&Gamma::new(shape, scale).unwrap(), &ts);
+        assert_batch_matches(&Weibull::new(shape, scale).unwrap(), &ts);
+        assert_batch_matches(&Pareto::new(scale, shape + 1.0).unwrap(), &ts);
+    }
+
+    #[test]
+    fn affine_wrappers_match_scalar(
+        mu in 0.0..6.0f64,
+        sigma in 0.1..2.0f64,
+        factor in 0.05..25.0f64,
+        offset in -40.0..40.0f64,
+        n in 1usize..200,
+    ) {
+        let inner = LogNormal::new(mu, sigma).unwrap();
+        let hi = (mu + 5.0 * sigma).exp();
+        let scaled = Scaled::new(inner, factor).unwrap();
+        assert_batch_matches(&scaled, &grid(-1.0, hi * factor, n));
+        let shifted = Shifted::new(inner, offset).unwrap();
+        assert_batch_matches(&shifted, &grid(offset - 1.0, offset + hi, n));
+        let rectified = Rectified::new(Normal::new(mu, sigma).unwrap());
+        assert_batch_matches(&rectified, &grid(-sigma, mu + 5.0 * sigma, n));
+    }
+
+    #[test]
+    fn mixture_batch_matches_scalar(
+        mu1 in 0.0..5.0f64,
+        mu2 in 0.0..5.0f64,
+        w in 0.05..0.95f64,
+        n in 1usize..200,
+    ) {
+        let d = Mixture::new(vec![
+            (w, Box::new(LogNormal::new(mu1, 0.7).unwrap()) as Box<dyn ContinuousDist>),
+            (1.0 - w, Box::new(Normal::new(mu2, 1.3).unwrap())),
+        ])
+        .unwrap();
+        assert_batch_matches(&d, &grid(-3.0, (mu1.max(mu2) + 4.0).exp(), n));
+    }
+
+    #[test]
+    fn boxed_and_arc_forwarding_match_scalar(mu in -5.0..5.0f64, sigma in 0.1..4.0f64) {
+        let ts = grid(mu - 6.0 * sigma, mu + 6.0 * sigma, 97);
+        let boxed: Box<dyn ContinuousDist> = Box::new(Normal::new(mu, sigma).unwrap());
+        assert_batch_matches(&boxed, &ts);
+        let arced: std::sync::Arc<dyn ContinuousDist> =
+            std::sync::Arc::new(Normal::new(mu, sigma).unwrap());
+        assert_batch_matches(&arced, &ts);
+    }
+}

@@ -134,15 +134,18 @@ impl CedarEstimator {
     /// processes feeding this aggregator), using Blom's approximation for
     /// the expected order statistics.
     ///
+    /// The order-statistic table comes from the process-wide
+    /// [`NormalOrderStats::shared`] cache: one aggregator is instantiated
+    /// per query, so rebuilding the `k`-entry table (one quantile solve
+    /// per entry) on every query is pure waste once two queries share a
+    /// fan-out.
+    ///
     /// # Panics
     ///
     /// Panics if `k < 2` — with fewer than two processes there are no
     /// pairs to estimate from.
     pub fn new(k: usize, model: Model) -> Self {
-        Self::with_order_stats(
-            Arc::new(NormalOrderStats::new(k, OrderStatMethod::Blom)),
-            model,
-        )
+        Self::with_order_stats(NormalOrderStats::shared(k, OrderStatMethod::Blom), model)
     }
 
     /// Creates an estimator reusing a precomputed order-statistic table
@@ -285,7 +288,7 @@ impl PairwiseCedarEstimator {
         Self {
             k,
             model,
-            order_stats: Arc::new(NormalOrderStats::new(k, OrderStatMethod::Blom)),
+            order_stats: NormalOrderStats::shared(k, OrderStatMethod::Blom),
             count: 0,
             prev_y: 0.0,
             prev_valid: false,
@@ -368,10 +371,25 @@ impl DurationEstimator for PairwiseCedarEstimator {
 ///
 /// This is "Cedar with empirical estimates" from the paper's Fig. 10 — the
 /// wait optimization is identical, only the learned parameters differ.
+///
+/// Maintains running sufficient statistics instead of the observation
+/// vector, so both `observe` and `estimate` are O(1) — matching the other
+/// online estimators and keeping the per-arrival decision path free of
+/// O(n) refolds. The sums are anchored at the first observation
+/// (`Σ(y − y_0)`, `Σ(y − y_0)²`, Kahan-compensated): arrival times within
+/// one query cluster tightly, so centering before squaring avoids the
+/// catastrophic cancellation a raw `Σy² − (Σy)²/n` would suffer.
 #[derive(Debug, Clone)]
 pub struct EmpiricalEstimator {
     model: Model,
-    transformed: Vec<f64>,
+    count: usize,
+    /// Anchor `y_0` for the shifted moments; the first transformed
+    /// observation.
+    shift: f64,
+    /// `Σ (y_i − y_0)`, compensated.
+    sum: cedar_mathx::KahanSum,
+    /// `Σ (y_i − y_0)²`, compensated.
+    sum_sq: cedar_mathx::KahanSum,
 }
 
 impl EmpiricalEstimator {
@@ -379,7 +397,10 @@ impl EmpiricalEstimator {
     pub fn new(model: Model) -> Self {
         Self {
             model,
-            transformed: Vec::new(),
+            count: 0,
+            shift: 0.0,
+            sum: cedar_mathx::KahanSum::new(),
+            sum_sq: cedar_mathx::KahanSum::new(),
         }
     }
 
@@ -398,21 +419,31 @@ impl DurationEstimator for EmpiricalEstimator {
             Model::LogNormal => duration.max(f64::MIN_POSITIVE).ln(),
             Model::Normal => duration,
         };
-        self.transformed.push(y);
+        if self.count == 0 {
+            self.shift = y;
+        }
+        self.count += 1;
+        let c = y - self.shift;
+        self.sum.add(c);
+        self.sum_sq.add(c * c);
     }
 
     fn count(&self) -> usize {
-        self.transformed.len()
+        self.count
     }
 
     fn estimate(&self) -> Option<ParamEstimate> {
-        if self.transformed.len() < 2 {
+        if self.count < 2 {
             return None;
         }
-        let mu = cedar_mathx::kahan::mean(&self.transformed);
-        let n = self.transformed.len() as f64;
-        let ss: f64 = self.transformed.iter().map(|y| (y - mu) * (y - mu)).sum();
-        let mut sigma = (ss / n).sqrt();
+        let n = self.count as f64;
+        let centered_mean = self.sum.value() / n;
+        let mu = self.shift + centered_mean;
+        // Population variance around the anchor, re-centered at the mean:
+        // Var = Σc²/n − (Σc/n)², identical (in exact arithmetic) to the
+        // two-pass Σ(y−ȳ)²/n this replaces.
+        let variance = self.sum_sq.value() / n - centered_mean * centered_mean;
+        let mut sigma = variance.max(0.0).sqrt();
         if sigma <= 0.0 {
             sigma = 1e-9;
         }
@@ -424,7 +455,10 @@ impl DurationEstimator for EmpiricalEstimator {
     }
 
     fn reset(&mut self) {
-        self.transformed.clear();
+        self.count = 0;
+        self.shift = 0.0;
+        self.sum = cedar_mathx::KahanSum::new();
+        self.sum_sq = cedar_mathx::KahanSum::new();
     }
 }
 
@@ -602,6 +636,78 @@ mod tests {
         // Seeing only the fastest 30% of 50 draws, the naive mu estimate
         // must be far below the truth.
         assert!(emp.estimate().unwrap().mu < 2.77 - 0.3);
+    }
+
+    /// Two-pass reference for the empirical estimator: mean, then Σ(y−ȳ)²,
+    /// exactly the formula the incremental version replaced.
+    fn two_pass_empirical(transformed: &[f64], model: Model) -> Option<ParamEstimate> {
+        if transformed.len() < 2 {
+            return None;
+        }
+        let mu = cedar_mathx::kahan::mean(transformed);
+        let n = transformed.len() as f64;
+        let ss: f64 = transformed.iter().map(|y| (y - mu) * (y - mu)).sum();
+        Some(ParamEstimate {
+            model,
+            mu,
+            sigma: (ss / n).sqrt().max(1e-9),
+        })
+    }
+
+    #[test]
+    fn incremental_empirical_matches_two_pass() {
+        let parent = LogNormal::new(2.77, 0.84).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let arrivals = earliest(&parent, 50, 50, &mut rng);
+        let mut inc = EmpiricalEstimator::new(Model::LogNormal);
+        let mut seen = Vec::new();
+        for &t in &arrivals {
+            inc.observe(t);
+            seen.push(t.max(f64::MIN_POSITIVE).ln());
+            // At *every* prefix the O(1) sufficient statistics must agree
+            // with the from-scratch two-pass refit.
+            match (inc.estimate(), two_pass_empirical(&seen, Model::LogNormal)) {
+                (Some(a), Some(b)) => {
+                    assert!((a.mu - b.mu).abs() < 1e-12, "{} vs {}", a.mu, b.mu);
+                    assert!(
+                        (a.sigma - b.sigma).abs() < 1e-10,
+                        "{} vs {}",
+                        a.sigma,
+                        b.sigma
+                    );
+                }
+                (None, None) => {}
+                (a, b) => panic!("availability mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_is_stable_with_large_offsets() {
+        // Arrivals with a huge common offset (e.g. absolute epoch
+        // timestamps): the anchored sums must not cancel catastrophically.
+        let mut est = EmpiricalEstimator::new(Model::Normal);
+        let base = 1.0e12;
+        let mut seen = Vec::new();
+        for t in [1.0, 2.0, 3.0, 5.0, 8.0] {
+            est.observe(base + t);
+            seen.push(base + t);
+        }
+        let got = est.estimate().unwrap();
+        let want = two_pass_empirical(&seen, Model::Normal).unwrap();
+        assert!((got.mu - want.mu).abs() < 1e-3);
+        // True population stddev of {1,2,3,5,8} is sqrt(6.16).
+        assert!((got.sigma - 6.16_f64.sqrt()).abs() < 1e-6, "{}", got.sigma);
+    }
+
+    #[test]
+    fn shared_order_stats_are_reused_across_estimators() {
+        let a = CedarEstimator::new(37, Model::LogNormal);
+        let b = CedarEstimator::new(37, Model::LogNormal);
+        assert!(
+            Arc::ptr_eq(&a.order_stats, &b.order_stats),
+            "same fan-out must share one order-stat table"
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests: the O(1)-per-arrival incremental refit is numerically
+//! indistinguishable from recomputing the two-pass fit from scratch on
+//! every prefix of the arrival stream.
+
+use cedar_estimate::{DurationEstimator, EmpiricalEstimator, Model};
+use proptest::prelude::*;
+
+/// Reference two-pass population fit over the transformed observations.
+/// Anchored at the first observation so the reference itself stays exact
+/// even when the data sit at a large common offset (raw `Σy` at 1e12
+/// magnitudes would make the *reference* the imprecise side).
+fn two_pass(model: Model, raw: &[f64]) -> Option<(f64, f64)> {
+    if raw.len() < 2 {
+        return None;
+    }
+    let ys: Vec<f64> = raw
+        .iter()
+        .map(|&x| match model {
+            Model::LogNormal => x.max(f64::MIN_POSITIVE).ln(),
+            Model::Normal => x,
+        })
+        .collect();
+    let n = ys.len() as f64;
+    let y0 = ys[0];
+    let mean_c = ys.iter().map(|y| y - y0).sum::<f64>() / n;
+    let mu = y0 + mean_c;
+    let ss: f64 = ys
+        .iter()
+        .map(|y| {
+            let d = (y - y0) - mean_c;
+            d * d
+        })
+        .sum();
+    Some((mu, (ss / n).sqrt().max(1e-9)))
+}
+
+fn assert_matches_two_pass(model: Model, data: &[f64]) {
+    let mut est = EmpiricalEstimator::new(model);
+    for (i, &x) in data.iter().enumerate() {
+        est.observe(x);
+        let incremental = est.estimate();
+        let reference = two_pass(model, &data[..=i]);
+        match (incremental, reference) {
+            (None, None) => {}
+            (Some(got), Some((mu, sigma))) => {
+                let scale = mu.abs().max(1.0);
+                assert!(
+                    (got.mu - mu).abs() <= 1e-10 * scale,
+                    "prefix {}: mu {} vs {}",
+                    i + 1,
+                    got.mu,
+                    mu
+                );
+                // Small absolute floor: the incremental `Σc²/n − mean²`
+                // form cancels when sigma ≪ mean of the anchored values.
+                assert!(
+                    (got.sigma - sigma).abs() <= 1e-6 + 1e-8 * sigma.max(1.0),
+                    "prefix {}: sigma {} vs {}",
+                    i + 1,
+                    got.sigma,
+                    sigma
+                );
+            }
+            (got, reference) => panic!("prefix {}: {:?} vs {:?}", i + 1, got, reference),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn incremental_matches_two_pass_lognormal(
+        data in prop::collection::vec(0.001..10_000.0f64, 1..120),
+    ) {
+        assert_matches_two_pass(Model::LogNormal, &data);
+    }
+
+    #[test]
+    fn incremental_matches_two_pass_normal(
+        data in prop::collection::vec(-500.0..500.0f64, 1..120),
+    ) {
+        assert_matches_two_pass(Model::Normal, &data);
+    }
+
+    #[test]
+    fn incremental_survives_large_common_offset(
+        base in 1e9..1e12f64,
+        jitter in prop::collection::vec(0.0..50.0f64, 2..60),
+    ) {
+        // Arrival times far from zero but tightly clustered: the regime
+        // where a naive sum-of-squares refit loses all significant digits.
+        let data: Vec<f64> = jitter.iter().map(|j| base + j).collect();
+        assert_matches_two_pass(Model::Normal, &data);
+    }
+
+    #[test]
+    fn reset_restarts_cleanly(
+        first in prop::collection::vec(0.1..100.0f64, 2..40),
+        second in prop::collection::vec(0.1..100.0f64, 2..40),
+    ) {
+        let mut est = EmpiricalEstimator::new(Model::Normal);
+        for &x in &first {
+            est.observe(x);
+        }
+        est.reset();
+        prop_assert_eq!(est.count(), 0);
+        for &x in &second {
+            est.observe(x);
+        }
+        let got = est.estimate().unwrap();
+        let (mu, sigma) = two_pass(Model::Normal, &second).unwrap();
+        prop_assert!((got.mu - mu).abs() <= 1e-10 * mu.abs().max(1.0));
+        prop_assert!((got.sigma - sigma).abs() <= 1e-8 * sigma.max(1.0));
+    }
+}

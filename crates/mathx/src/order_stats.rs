@@ -21,6 +21,8 @@
 
 use crate::integrate::gauss_legendre;
 use crate::special::{ln_gamma, norm_cdf, norm_pdf, norm_quantile, norm_sf};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Expected value of the `i`-th order statistic (1-indexed, `1 <= i <= k`)
 /// of `k` i.i.d. standard normal samples, by numerical integration.
@@ -81,7 +83,7 @@ pub fn blom_order_stat_mean(i: usize, k: usize) -> f64 {
 }
 
 /// How to compute expected order statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OrderStatMethod {
     /// Numerical integration of the order-statistic density (slow, exact).
     Exact,
@@ -138,6 +140,42 @@ impl NormalOrderStats {
             OrderStatMethod::Blom => (1..=k).map(|i| blom_order_stat_mean(i, k)).collect(),
         };
         Self { k, means, method }
+    }
+
+    /// Returns the process-wide shared table for `(k, method)`, computing
+    /// it on first use.
+    ///
+    /// Building a table costs `k` quantile evaluations (Blom) or `k/2`
+    /// numerical integrations (Exact); queries with the same fan-out arrive
+    /// constantly in the service, so estimators should go through this
+    /// cache instead of calling [`NormalOrderStats::new`] per query. The
+    /// map only ever grows, but it is keyed by fan-out — a handful of
+    /// distinct values in any real deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn shared(k: usize, method: OrderStatMethod) -> Arc<Self> {
+        type TableCache = Mutex<HashMap<(usize, OrderStatMethod), Arc<NormalOrderStats>>>;
+        static CACHE: OnceLock<TableCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache
+            .lock()
+            .expect("order-stat cache poisoned")
+            .get(&(k, method))
+        {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: Exact tables take milliseconds and
+        // holding the mutex would stall every concurrent estimator build.
+        // A racing thread may compute the same table; last insert wins and
+        // both results are identical.
+        let table = Arc::new(Self::new(k, method));
+        cache
+            .lock()
+            .expect("order-stat cache poisoned")
+            .insert((k, method), Arc::clone(&table));
+        table
     }
 
     /// The sample size these order statistics refer to.
@@ -258,6 +296,30 @@ mod tests {
         assert_eq!(os.means().len(), 10);
         assert_eq!(os.k(), 10);
         assert_eq!(os.method(), OrderStatMethod::Exact);
+    }
+
+    #[test]
+    fn shared_cache_returns_same_table() {
+        let a = NormalOrderStats::shared(17, OrderStatMethod::Blom);
+        let b = NormalOrderStats::shared(17, OrderStatMethod::Blom);
+        assert!(Arc::ptr_eq(&a, &b), "same (k, method) must share one table");
+        let c = NormalOrderStats::shared(17, OrderStatMethod::Exact);
+        assert!(!Arc::ptr_eq(&a, &c), "different method must not alias");
+        // Contents match a freshly built table.
+        let fresh = NormalOrderStats::new(17, OrderStatMethod::Blom);
+        assert_eq!(a.means(), fresh.means());
+    }
+
+    #[test]
+    fn shared_cache_is_threadsafe() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| NormalOrderStats::shared(33, OrderStatMethod::Blom)))
+            .collect();
+        let tables: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &tables {
+            assert_eq!(t.k(), 33);
+            assert_eq!(t.means(), tables[0].means());
+        }
     }
 
     #[test]

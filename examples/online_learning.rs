@@ -36,6 +36,7 @@ fn main() {
         level: 1,
         levels_total: 2,
         scan_steps: 400,
+        qup_grid: std::sync::OnceLock::new(),
     };
 
     let mut policy = CedarPolicy::new(k, Model::LogNormal, EstimatorKind::OrderStats);

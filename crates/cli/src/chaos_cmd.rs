@@ -1,0 +1,244 @@
+//! The `chaos` subcommand: sweep injected failure rates against the
+//! cedar policy and report how gracefully quality degrades.
+//!
+//! Runs entirely on a paused current-thread runtime, so a full sweep
+//! (hundreds of queries across several fault rates) finishes in wall
+//! milliseconds while model time behaves exactly as in deployment.
+
+use crate::args::Args;
+use cedar_core::{StageSpec, TreeSpec};
+use cedar_distrib::LogNormal;
+use cedar_runtime::{
+    AggregationService, FailureReport, FaultPlan, FaultSpec, QueryOptions, ServiceConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default sweep: clean baseline plus 2/5/10/20 percent fault rates.
+const DEFAULT_RATES: &str = "0,0.02,0.05,0.1,0.2";
+
+/// Straggler slow-down factor used by `--mode straggle`.
+const STRAGGLE_FACTOR: f64 = 4.0;
+
+/// One rate's aggregate outcome across the whole batch of queries.
+struct RatePoint {
+    rate: f64,
+    qualities: Vec<f64>,
+    failures: FailureReport,
+    deadline_violations: usize,
+}
+
+/// Quality-vs-failure-rate sweep; see the USAGE entry.
+pub fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let mode = args.opt("mode").unwrap_or("crash");
+    let queries: usize = args.opt_parse("queries", 40)?;
+    let deadline: f64 = args.opt_parse("deadline", 40.0)?;
+    let k1: usize = args.opt_parse("k1", 8)?;
+    let k2: usize = args.opt_parse("k2", 4)?;
+    let seed: u64 = args.opt_parse("seed", 0xC1A05)?;
+    let rates: Vec<f64> = args
+        .opt("rates")
+        .unwrap_or(DEFAULT_RATES)
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad rate '{t}' in --rates"))
+        })
+        .collect::<Result<_, _>>()?;
+    if queries == 0 || deadline <= 0.0 || k1 == 0 || k2 == 0 || rates.is_empty() {
+        return Err("--queries, --deadline, --k1 and --k2 must be positive".into());
+    }
+    if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        return Err("--rates entries must be within [0, 1]".into());
+    }
+    let spec_for = |rate: f64| -> Result<FaultSpec, String> {
+        Ok(match mode {
+            "crash" => FaultSpec::crashes(rate),
+            "straggle" => FaultSpec::stragglers(rate, STRAGGLE_FACTOR),
+            "mixed" => FaultSpec::mixed(rate),
+            other => {
+                return Err(format!(
+                    "unknown mode '{other}' (try crash, straggle, mixed)"
+                ))
+            }
+        })
+    };
+
+    // The paused clock makes every model-time sleep resolve instantly
+    // and deterministically: the sweep is a pure function of its flags.
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .start_paused(true)
+        .build()
+        .map_err(|e| format!("building runtime: {e}"))?;
+
+    println!(
+        "chaos sweep: mode {mode}, {queries} queries per rate, \
+         {k1}x{k2} tree, deadline {deadline} model units, seed {seed}"
+    );
+    let scale = cedar_runtime::TimeScale::millis();
+    let scaled_deadline = scale.to_wall(deadline);
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in &rates {
+        let spec = spec_for(rate)?;
+        let tree = || {
+            TreeSpec::two_level(
+                StageSpec::new(LogNormal::new(1.0, 0.6).expect("valid params"), k1),
+                StageSpec::new(LogNormal::new(1.0, 0.4).expect("valid params"), k2),
+            )
+        };
+        let mut cfg = ServiceConfig::new(tree(), deadline);
+        cfg.scale = scale;
+        // Fixed priors across the sweep: rates stay comparable, and the
+        // quality trend isolates the fault plan's effect.
+        cfg.refit_interval = 0;
+        let svc = AggregationService::new(cfg);
+
+        let mut point = RatePoint {
+            rate,
+            qualities: Vec::with_capacity(queries),
+            failures: FailureReport::default(),
+            deadline_violations: 0,
+        };
+        rt.block_on(async {
+            for q in 0..queries {
+                // Each query gets its own plan seed: which tasks fault
+                // varies across the batch (a fixed plan would replay the
+                // same failure pattern every query), while the whole
+                // sweep stays a deterministic function of --seed.
+                let plan = (rate > 0.0).then(|| {
+                    let plan_seed = seed ^ (q as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+                    Arc::new(FaultPlan::new(plan_seed, spec))
+                });
+                let opts = QueryOptions {
+                    seed: Some(seed ^ (q as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    faults: plan,
+                    ..QueryOptions::default()
+                };
+                let out = svc.submit_with(tree(), opts).await;
+                point.qualities.push(out.quality);
+                accumulate(&mut point.failures, out.failures);
+                // Tolerance for timer-wheel granularity at the boundary.
+                if out.wall_elapsed > scaled_deadline + Duration::from_millis(5) {
+                    point.deadline_violations += 1;
+                }
+            }
+        });
+        point.qualities.sort_by(|a, b| a.total_cmp(b));
+        points.push(point);
+    }
+
+    println!();
+    println!(
+        "{:>6} {:>8} {:>7} {:>8} {:>8} {:>9} {:>8} {:>9} {:>9}",
+        "rate",
+        "mean_q",
+        "p10_q",
+        "injected",
+        "retries",
+        "recovered",
+        "dup_supp",
+        "censored",
+        "ddl_viol"
+    );
+    for p in &points {
+        let mean = p.qualities.iter().sum::<f64>() / p.qualities.len() as f64;
+        let p10 = p.qualities[(p.qualities.len().saturating_sub(1)) / 10];
+        println!(
+            "{:>6.2} {:>8.3} {:>7.3} {:>8} {:>8} {:>9} {:>8} {:>9} {:>9}",
+            p.rate,
+            mean,
+            p10,
+            p.failures.total_injected(),
+            p.failures.retries_launched,
+            p.failures.retries_delivered,
+            p.failures.duplicates_suppressed,
+            p.failures.censored_observations,
+            p.deadline_violations,
+        );
+    }
+    if let (Some(clean), Some(worst)) = (
+        points.iter().find(|p| p.rate == 0.0),
+        points.iter().max_by(|a, b| a.rate.total_cmp(&b.rate)),
+    ) {
+        let mean = |p: &RatePoint| p.qualities.iter().sum::<f64>() / p.qualities.len() as f64;
+        println!();
+        println!(
+            "quality drop at rate {:.2}: {:.3} -> {:.3} ({:+.3})",
+            worst.rate,
+            mean(clean),
+            mean(worst),
+            mean(worst) - mean(clean),
+        );
+    }
+    Ok(())
+}
+
+/// Sums one query's counters into the running per-rate total.
+fn accumulate(total: &mut FailureReport, one: FailureReport) {
+    total.crashed += one.crashed;
+    total.hung += one.hung;
+    total.straggled += one.straggled;
+    total.dropped += one.dropped;
+    total.duplicated += one.duplicated;
+    total.retries_launched += one.retries_launched;
+    total.retries_delivered += one.retries_delivered;
+    total.duplicates_suppressed += one.duplicates_suppressed;
+    total.censored_observations += one.censored_observations;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::dispatch;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn chaos_validates_flags() {
+        assert!(dispatch(&sv(&["chaos", "--queries", "0"])).is_err());
+        assert!(dispatch(&sv(&["chaos", "--rates", "0,nope"])).is_err());
+        assert!(dispatch(&sv(&["chaos", "--rates", "1.5"])).is_err());
+        assert!(dispatch(&sv(&["chaos", "--mode", "meteor", "--queries", "1"])).is_err());
+    }
+
+    #[test]
+    fn chaos_sweeps_quickly_on_the_paused_clock() {
+        // Paused clock: even a multi-rate sweep is wall-instant.
+        let argv = sv(&[
+            "chaos",
+            "--rates",
+            "0,0.5",
+            "--queries",
+            "3",
+            "--k1",
+            "4",
+            "--k2",
+            "2",
+            "--deadline",
+            "30",
+        ]);
+        dispatch(&argv).unwrap();
+    }
+
+    #[test]
+    fn chaos_modes_all_run() {
+        for mode in ["crash", "straggle", "mixed"] {
+            let argv = sv(&[
+                "chaos",
+                "--rates",
+                "0.3",
+                "--queries",
+                "2",
+                "--k1",
+                "3",
+                "--k2",
+                "2",
+                "--mode",
+                mode,
+            ]);
+            dispatch(&argv).unwrap();
+        }
+    }
+}

@@ -27,15 +27,25 @@ USAGE:
   cedar-cli serve [--addr A] [--deadline D] [--k1 N] [--k2 N] [--unit-us U]
                   [--refit-interval N] [--max-inflight N] [--max-queued N]
                   [--queue-timeout-ms MS] [--workers N]
+                  [--idle-timeout-ms MS] [--drain-deadline-ms MS]
+                  [--query-timeout-ms MS]
       Run a network-facing FB-MR aggregation service until a client
-      sends the shutdown op.
+      sends the shutdown op. Idle connections are reaped after the idle
+      timeout; graceful shutdown detaches stragglers past the drain
+      deadline; 0 disables the per-query execution cap.
   cedar-cli loadgen --addr A [--qps Q] [--queries N] [--deadline D]
                     [--k1 N] [--k2 N] [--seed S] [--stop-server BOOL]
                     [--save-baseline FILE] [--compare-baseline FILE]
       Open-loop Poisson load against a running service; reports achieved
       QPS, quality distribution and latency percentiles. A baseline file
       stores the percentile summary as JSON; comparing prints p50/p95/p99
-      deltas against it.
+      deltas against it. Errors are counted per class (using the typed
+      response codes) and excluded from the percentiles.
+  cedar-cli chaos [--rates R1,R2,..] [--mode crash|straggle|mixed]
+                  [--queries N] [--deadline D] [--k1 N] [--k2 N] [--seed S]
+      Sweep injected failure rates against the cedar policy on a paused
+      clock; per rate, reports mean/p10 quality, injected/recovered fault
+      counts and deadline violations.
 ";
 
 /// Entry point: routes `argv` to a subcommand.
@@ -53,6 +63,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "trace-gen" => cmd_trace_gen(&args),
         "serve" => crate::service_cmds::cmd_serve(&args),
         "loadgen" => crate::service_cmds::cmd_loadgen(&args),
+        "chaos" => crate::chaos_cmd::cmd_chaos(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -10,6 +10,7 @@
 //! ```
 
 mod args;
+mod chaos_cmd;
 mod commands;
 mod service_cmds;
 

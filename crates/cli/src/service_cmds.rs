@@ -36,8 +36,15 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         queue_timeout: Duration::from_millis(args.opt_parse("queue-timeout-ms", 500)?),
     };
     cfg.worker_threads = args.opt_parse("workers", 0)?;
+    cfg.idle_timeout = Duration::from_millis(args.opt_parse("idle-timeout-ms", 60_000)?);
+    cfg.drain_deadline = Duration::from_millis(args.opt_parse("drain-deadline-ms", 10_000)?);
+    let query_timeout_ms: u64 = args.opt_parse("query-timeout-ms", 30_000)?;
+    cfg.query_timeout = (query_timeout_ms > 0).then(|| Duration::from_millis(query_timeout_ms));
     if cfg.admission.max_inflight == 0 {
         return Err("--max-inflight must be positive".into());
+    }
+    if cfg.idle_timeout.is_zero() {
+        return Err("--idle-timeout-ms must be positive".into());
     }
 
     let handle = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;
@@ -58,6 +65,10 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
 struct Shot {
     ok: bool,
     shed: bool,
+    /// Error class for failures: the server's typed response code when
+    /// present, `"transport"` for connection-level failures, or
+    /// `"unclassified"` for untyped server errors.
+    error_class: Option<String>,
     quality: f64,
     /// Client-observed end-to-end latency (includes admission queueing).
     latency_ms: f64,
@@ -219,15 +230,25 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
             let sent = Instant::now();
             let shot = match Client::connect(&addr).and_then(|mut c| c.query(&tree, deadline, None))
             {
-                Ok(resp) => Shot {
-                    ok: resp.ok,
-                    shed: resp.is_shed(),
-                    quality: resp.result.as_ref().map_or(0.0, |r| r.quality),
-                    latency_ms: sent.elapsed().as_secs_f64() * 1e3,
-                },
+                Ok(resp) => {
+                    let shed = resp.is_shed();
+                    let error_class = if resp.ok || shed {
+                        None
+                    } else {
+                        Some(resp.code.unwrap_or_else(|| "unclassified".to_owned()))
+                    };
+                    Shot {
+                        ok: resp.ok,
+                        shed,
+                        error_class,
+                        quality: resp.result.as_ref().map_or(0.0, |r| r.quality),
+                        latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                    }
+                }
                 Err(_) => Shot {
                     ok: false,
                     shed: false,
+                    error_class: Some("transport".to_owned()),
                     quality: 0.0,
                     latency_ms: sent.elapsed().as_secs_f64() * 1e3,
                 },
@@ -243,9 +264,19 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let elapsed = start.elapsed();
 
     let shots: Vec<Shot> = shot_rx.into_iter().collect();
+    // Only served queries contribute to the quality and latency
+    // percentiles: sheds and errors carry no meaningful quality, and
+    // folding their zeros in would silently flatter a degraded server.
     let served: Vec<&Shot> = shots.iter().filter(|s| s.ok).collect();
     let shed = shots.iter().filter(|s| s.shed).count();
-    let failed = shots.len() - served.len() - shed;
+    let mut error_counts: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
+    for s in &shots {
+        if let Some(class) = &s.error_class {
+            *error_counts.entry(class.as_str()).or_default() += 1;
+        }
+    }
+    let errors: usize = error_counts.values().sum();
 
     let mut qualities: Vec<f64> = served.iter().map(|s| s.quality).collect();
     let mut latencies: Vec<f64> = served.iter().map(|s| s.latency_ms).collect();
@@ -254,14 +285,21 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
 
     println!();
     println!(
-        "completed {} of {} in {:.2}s (achieved {:.1} QPS; {} shed, {} failed)",
+        "completed {} of {} in {:.2}s (achieved {:.1} QPS; {} shed, {} errored)",
         served.len(),
         shots.len(),
         elapsed.as_secs_f64(),
         served.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         shed,
-        failed,
+        errors,
     );
+    if errors > 0 {
+        let breakdown: Vec<String> = error_counts
+            .iter()
+            .map(|(class, n)| format!("{class} {n}"))
+            .collect();
+        println!("errors:            {errors} ({})", breakdown.join(", "));
+    }
     println!(
         "peak in-flight:    {}",
         peak_in_flight.load(Ordering::Acquire)

@@ -22,6 +22,118 @@
 use crate::{CedarEstimator, DurationEstimator, Model, ParamEstimate};
 use cedar_mathx::special::{norm_pdf, norm_sf};
 
+/// Exact MLE from fully-observed durations plus independently
+/// right-censored ones (Type-I / progressive censoring): entry `j` of
+/// `censored_at` is a duration known only to *exceed* its threshold —
+/// e.g. a worker that had not arrived when its aggregator departed, or
+/// one that crashed mid-flight. Each observed point contributes its
+/// density, each censored point its survival `ln(1 - Phi((c_j - mu)/sigma))`:
+///
+/// ```text
+/// LL(mu, sigma) = sum_i ln phi(z_i) - r ln sigma + sum_j ln(1 - Phi(z_cj))
+/// ```
+///
+/// This generalizes [`CensoredMleEstimator`] (whose Type-II scheme pins
+/// every threshold to the largest observation) to per-point thresholds,
+/// which is what fault-induced non-arrivals produce: dropping them
+/// instead would bias a refit toward fast completions, since only the
+/// fast tail gets observed. With `censored_at` empty this is the plain
+/// uncensored MLE.
+///
+/// Returns `None` when fewer than two usable observed points remain
+/// after filtering (non-finite anywhere; non-positive under
+/// [`Model::LogNormal`], which also drops non-positive thresholds — a
+/// censoring time of zero carries no information).
+pub fn fit_right_censored(
+    model: Model,
+    observed: &[f64],
+    censored_at: &[f64],
+) -> Option<ParamEstimate> {
+    let transform = |t: f64| -> Option<f64> {
+        if !t.is_finite() {
+            return None;
+        }
+        match model {
+            Model::LogNormal => (t > 0.0).then(|| t.ln()),
+            Model::Normal => Some(t),
+        }
+    };
+    let ys: Vec<f64> = observed.iter().copied().filter_map(transform).collect();
+    let cs: Vec<f64> = censored_at.iter().copied().filter_map(transform).collect();
+    if ys.len() < 2 {
+        return None;
+    }
+    let mu0 = cedar_mathx::kahan::mean(&ys);
+    let ls0 = cedar_mathx::kahan::sample_stddev(&ys).max(1e-3).ln();
+    let (mu, sigma) = newton_censored(&ys, &cs, mu0, ls0)?;
+    Some(ParamEstimate {
+        model,
+        mu,
+        sigma: sigma.max(1e-9),
+    })
+}
+
+/// Damped Newton ascent in `(mu, ln sigma)` on the progressive-censoring
+/// likelihood; same iteration scheme as [`CensoredMleEstimator`]'s
+/// internal solver but with per-point censoring thresholds.
+fn newton_censored(ys: &[f64], cs: &[f64], mut mu: f64, mut ln_sigma: f64) -> Option<(f64, f64)> {
+    // Gradient scaled by sigma (the common positive factor does not move
+    // the root).
+    let gradient = |mu: f64, ln_sigma: f64| -> (f64, f64) {
+        let sigma = ln_sigma.exp();
+        let mut g_mu = 0.0;
+        let mut g_ls = 0.0;
+        for &y in ys {
+            let z = (y - mu) / sigma;
+            g_mu += z;
+            g_ls += z * z - 1.0;
+        }
+        for &c in cs {
+            let z = (c - mu) / sigma;
+            let sf = norm_sf(z).max(1e-300);
+            let hazard = norm_pdf(z) / sf;
+            g_mu += hazard;
+            g_ls += z * hazard;
+        }
+        (g_mu, g_ls)
+    };
+    const H: f64 = 1e-5;
+    for _ in 0..60 {
+        let (g1, g2) = gradient(mu, ln_sigma);
+        if g1.abs() < 1e-10 && g2.abs() < 1e-10 {
+            break;
+        }
+        let (a1, a2) = gradient(mu + H, ln_sigma);
+        let (b1, b2) = gradient(mu, ln_sigma + H);
+        let j11 = (a1 - g1) / H;
+        let j21 = (a2 - g2) / H;
+        let j12 = (b1 - g1) / H;
+        let j22 = (b2 - g2) / H;
+        let det = j11 * j22 - j12 * j21;
+        let (mut dmu, mut dls) = if det.abs() > 1e-12 {
+            (-(g1 * j22 - g2 * j12) / det, -(j11 * g2 - j21 * g1) / det)
+        } else {
+            (0.05 * g1.signum(), 0.05 * g2.signum())
+        };
+        let norm = dmu.hypot(dls);
+        if norm > 2.0 {
+            dmu *= 2.0 / norm;
+            dls *= 2.0 / norm;
+        }
+        mu += dmu;
+        ln_sigma += dls;
+        ln_sigma = ln_sigma.clamp(-20.0, 20.0);
+        if dmu.abs() < 1e-11 && dls.abs() < 1e-11 {
+            break;
+        }
+    }
+    let sigma = ln_sigma.exp();
+    if !(mu.is_finite() && sigma.is_finite() && sigma > 0.0) {
+        return None;
+    }
+    Some((mu, sigma))
+}
+
 /// Exact censored-sample MLE estimator.
 ///
 /// `estimate()` costs `O(r)` per Newton iteration (typically 4–8
@@ -293,6 +405,72 @@ mod tests {
         est.reset();
         assert_eq!(est.count(), 0);
         assert!(est.estimate().is_none());
+    }
+
+    #[test]
+    fn fit_right_censored_matches_plain_mle_without_censoring() {
+        let parent = LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs = parent.sample_vec(&mut rng, 300);
+        let p = fit_right_censored(Model::LogNormal, &xs, &[]).unwrap();
+        let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let mu_mle = cedar_mathx::kahan::mean(&logs);
+        let var: f64 = logs
+            .iter()
+            .map(|l| (l - mu_mle) * (l - mu_mle))
+            .sum::<f64>()
+            / logs.len() as f64;
+        assert!((p.mu - mu_mle).abs() < 1e-6, "mu {} vs {}", p.mu, mu_mle);
+        assert!((p.sigma - var.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_right_censored_matches_type_ii_special_case() {
+        // Pinning every threshold to the largest observation reproduces
+        // the Type-II estimator exactly (same likelihood, same solver).
+        let parent = LogNormal::new(2.77, 0.84).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let (k, r) = (60, 25);
+        let xs = earliest(&parent, k, r, &mut rng);
+        let mut type2 = CensoredMleEstimator::new(k, Model::LogNormal);
+        for &x in &xs {
+            type2.observe(x);
+        }
+        let a = type2.estimate().unwrap();
+        let thresholds = vec![*xs.last().unwrap(); k - r];
+        let b = fit_right_censored(Model::LogNormal, &xs, &thresholds).unwrap();
+        assert!((a.mu - b.mu).abs() < 1e-6, "mu {} vs {}", a.mu, b.mu);
+        assert!((a.sigma - b.sigma).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_right_censored_corrects_truncation_bias() {
+        // Keep only durations below a cutoff (what a crashed slow tail
+        // looks like); censoring the removed points at the cutoff must
+        // pull mu back up toward the truth versus ignoring them.
+        let parent = LogNormal::new(2.0, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs = parent.sample_vec(&mut rng, 500);
+        let cutoff = parent.quantile(0.7);
+        let fast: Vec<f64> = xs.iter().copied().filter(|&x| x < cutoff).collect();
+        let thresholds = vec![cutoff; xs.len() - fast.len()];
+        let naive = fit_right_censored(Model::LogNormal, &fast, &[]).unwrap();
+        let corrected = fit_right_censored(Model::LogNormal, &fast, &thresholds).unwrap();
+        assert!(
+            (corrected.mu - 2.0).abs() < (naive.mu - 2.0).abs(),
+            "corrected {} naive {}",
+            corrected.mu,
+            naive.mu
+        );
+        assert!((corrected.mu - 2.0).abs() < 0.1, "mu {}", corrected.mu);
+    }
+
+    #[test]
+    fn fit_right_censored_needs_two_observations() {
+        assert!(fit_right_censored(Model::LogNormal, &[1.0], &[2.0, 3.0]).is_none());
+        assert!(fit_right_censored(Model::LogNormal, &[], &[]).is_none());
+        // Non-positive values are unusable under the log model.
+        assert!(fit_right_censored(Model::LogNormal, &[0.0, -1.0, 2.0], &[]).is_none());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 pub mod censored;
 pub mod eval;
 
-pub use censored::CensoredMleEstimator;
+pub use censored::{fit_right_censored, CensoredMleEstimator};
 
 use cedar_distrib::{ContinuousDist, DistError, LogNormal, Normal};
 use cedar_mathx::order_stats::{NormalOrderStats, OrderStatMethod};

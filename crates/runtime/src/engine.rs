@@ -1,25 +1,73 @@
 //! Query execution on the tokio runtime: workers, aggregators and root
 //! wired by channels, timers driven by the wall clock.
 
+use crate::faults::{ChaosLog, FailureReport, FaultKind, FaultPlan};
 use crate::scale::TimeScale;
 use cedar_core::policy::WaitPolicyKind;
 use cedar_core::profile::ProfileConfig;
 use cedar_core::setup::PreparedContexts;
 use cedar_core::{AggregatorAction, AggregatorState, TreeSpec};
+use cedar_distrib::ContinuousDist;
 use cedar_estimate::Model;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::sync::mpsc;
 use tokio::time::Instant;
 
 /// A partial result flowing up the tree: how many process outputs it
-/// carries and their aggregated value.
+/// carries and their aggregated value. `origin` identifies the sending
+/// task globally (workers `0..W`, then aggregators level by level) so
+/// receivers can suppress duplicate arrivals; `duration` is the sender's
+/// realized model-time duration (what refit should learn from); `retry`
+/// marks a speculative re-execution launched by a watchdog.
 #[derive(Debug, Clone, Copy)]
 struct PartialResult {
     payload: usize,
     value: f64,
+    origin: usize,
+    duration: f64,
+    retry: bool,
+}
+
+/// Chaos state shared by every task of one query.
+struct ChaosShared {
+    plan: Arc<FaultPlan>,
+    log: Arc<ChaosLog>,
+    /// When hung tasks finally release their channel ends: past the
+    /// deadline, so a hang can never be mistaken for a slow completion.
+    hang_until: Instant,
+}
+
+/// Per-aggregator chaos wiring.
+struct AggChaos {
+    log: Arc<ChaosLog>,
+    /// This aggregator's level (1 = bottom aggregators).
+    level: usize,
+    /// The fault striking this aggregator's own send boundary, if any.
+    fault: Option<FaultKind>,
+    hang_until: Instant,
+    /// Global origin ids of the children expected to arrive.
+    expected: std::ops::Range<usize>,
+    /// Watchdog + speculative-retry machinery (bottom aggregators only).
+    watchdog: Option<Watchdog>,
+}
+
+/// Armed by bottom-level aggregators when a fault plan is installed: if
+/// the learned-quantile timeout passes with children still missing, each
+/// missing worker is re-executed exactly once.
+struct Watchdog {
+    at: Instant,
+    plan: Arc<FaultPlan>,
+    /// True stage-0 distribution the re-executed work draws from.
+    dist: Arc<dyn ContinuousDist>,
+    values: Arc<Vec<f64>>,
+    /// Clone of this aggregator's own sender, handed to retry tasks.
+    /// Held until the watchdog resolves so the channel cannot close
+    /// while a retry might still be launched.
+    self_tx: mpsc::Sender<PartialResult>,
 }
 
 /// Configuration of one runtime query.
@@ -41,6 +89,9 @@ pub struct RuntimeConfig {
     pub profile: ProfileConfig,
     /// RNG seed for duration sampling.
     pub seed: u64,
+    /// Optional fault-injection plan. `None` (the default) runs the
+    /// engine exactly as before — the clean path is byte-identical.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl RuntimeConfig {
@@ -56,6 +107,7 @@ impl RuntimeConfig {
             scan_steps: 300,
             profile: ProfileConfig::default(),
             seed: 0xCEDA2,
+            faults: None,
         }
     }
 
@@ -82,6 +134,12 @@ impl RuntimeConfig {
         self.model = model;
         self
     }
+
+    /// Installs a fault-injection plan (and its recovery policy).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
 }
 
 /// What the root collected by the deadline.
@@ -105,7 +163,23 @@ pub struct RuntimeOutcome {
     /// `realized_durations[level]` one entry per aggregator at `level`.
     /// These are what an online estimator should refit from — they are
     /// the ground truth of this execution, not a fresh model draw.
+    ///
+    /// Under a fault plan this holds only the durations that were
+    /// actually *observed* upstream (delivered and counted), sorted by
+    /// task origin — crashed, hung and dropped tasks are excluded here
+    /// and surface in [`RuntimeOutcome::censored_durations`] instead.
     pub realized_durations: Vec<Vec<f64>>,
+    /// Per-query fault/recovery summary. [`FailureReport::is_clean`] on
+    /// runs without a fault plan.
+    pub failures: FailureReport,
+    /// Right-censoring thresholds, same shape as `realized_durations`:
+    /// `censored_durations[0]` has one entry per leaf worker that never
+    /// arrived at a departed aggregator (censored at the departure
+    /// time). Feeding these to a censored MLE keeps the online refit
+    /// unbiased when crashes thin out the slow tail. Aggregator stages
+    /// are never censored (their non-arrival is absorbed by the stage
+    /// above); all stages are empty when no fault plan is installed.
+    pub censored_durations: Vec<Vec<f64>>,
 }
 
 /// Runs one aggregation query; every worker contributes the value `1.0`
@@ -182,6 +256,40 @@ pub async fn run_query_prepared(
     let start = Instant::now();
     let deadline_instant = start + cfg.scale.to_wall(cfg.deadline);
 
+    // Chaos wiring (None on clean runs; the clean path below is
+    // byte-identical to the fault-free engine).
+    let chaos = cfg.faults.as_ref().map(|plan| {
+        Arc::new(ChaosShared {
+            plan: plan.clone(),
+            log: Arc::new(ChaosLog::new(n)),
+            hang_until: deadline_instant + cfg.scale.to_wall(1.0),
+        })
+    });
+    // The watchdog fires at a quantile of the *learned* leaf
+    // distribution: beyond it, a missing worker is presumed dead rather
+    // than slow. Clamped to the deadline — retrying later is pointless.
+    let watchdog_at = cfg.faults.as_ref().and_then(|plan| {
+        let rec = plan.recovery();
+        if !rec.speculative_retry {
+            return None;
+        }
+        let q = cfg
+            .priors
+            .stage(0)
+            .dist
+            .quantile(rec.watchdog_quantile.clamp(0.5, 0.9999));
+        Some(start + cfg.scale.to_wall(q.clamp(0.0, cfg.deadline)))
+    });
+    // Global task-origin numbering: workers 0..W, then each aggregator
+    // level in order. Scheduling-independent, so dedup and the chaos log
+    // are deterministic.
+    let mut origin_base = vec![0usize; n];
+    let mut acc = total_processes;
+    for (level, slot) in origin_base.iter_mut().enumerate().skip(1) {
+        *slot = acc;
+        acc += cfg.tree.nodes_at(level);
+    }
+
     // Root channel.
     let top_fanout = cfg.tree.stage(agg_levels - 1).fanout.max(1);
     let (root_tx, mut root_rx) =
@@ -214,7 +322,35 @@ pub async fn run_query_prepared(
             );
             let own = own_durations[level - 1][agg];
             let scale = cfg.scale;
-            tokio::spawn(aggregator_task(state, rx, parent_tx, start, scale, own));
+            let agg_origin = origin_base[level] + agg;
+            let agg_chaos = chaos.as_ref().map(|c| {
+                let child_base = if level == 1 {
+                    0
+                } else {
+                    origin_base[level - 1]
+                };
+                AggChaos {
+                    log: c.log.clone(),
+                    level,
+                    fault: c.plan.fault_for(level, agg),
+                    hang_until: c.hang_until,
+                    expected: (child_base + agg * fan_in)..(child_base + (agg + 1) * fan_in),
+                    watchdog: if level == 1 {
+                        watchdog_at.map(|at| Watchdog {
+                            at,
+                            plan: c.plan.clone(),
+                            dist: cfg.tree.stage(0).dist.clone(),
+                            values: values.clone(),
+                            self_tx: tx.clone(),
+                        })
+                    } else {
+                        None
+                    },
+                }
+            });
+            tokio::spawn(aggregator_task(
+                state, rx, parent_tx, start, scale, own, agg_origin, agg_chaos,
+            ));
             txs.push(tx);
         }
         if level == 1 {
@@ -224,32 +360,81 @@ pub async fn run_query_prepared(
         }
     }
 
-    // Workers.
+    // Workers. Faults strike at the channel-send boundary: the sampled
+    // duration is the work, the send is the one act a fault can deny.
     let k1 = cfg.tree.stage(0).fanout;
     for (i, &dur) in process_durations.iter().enumerate() {
         let tx = level1_txs[i / k1].clone();
+        let fault = chaos.as_ref().and_then(|c| c.plan.fault_for(0, i));
+        let dur = match fault {
+            Some(FaultKind::Straggle { factor }) => dur * factor,
+            _ => dur,
+        };
         let fire_at = start + cfg.scale.to_wall(dur);
         let value = values[i];
+        let worker_chaos = chaos.clone();
         tokio::spawn(async move {
-            tokio::time::sleep_until(fire_at).await;
-            // The aggregator may already have departed; a send error is
-            // exactly the "output ignored upstream" case.
-            let _ = tx.send(PartialResult { payload: 1, value }).await;
+            match fault {
+                Some(FaultKind::Hang) => {
+                    let c = worker_chaos.expect("fault implies chaos");
+                    c.log.injected(FaultKind::Hang);
+                    // Never finishes: holds `tx` past the deadline so the
+                    // channel cannot close early, then exits unsent.
+                    tokio::time::sleep_until(c.hang_until).await;
+                }
+                Some(k @ (FaultKind::CrashBeforeSend | FaultKind::DropMessage)) => {
+                    // The work happens; the result never leaves the host.
+                    tokio::time::sleep_until(fire_at).await;
+                    worker_chaos.expect("fault implies chaos").log.injected(k);
+                }
+                fault => {
+                    if let Some(k @ FaultKind::Straggle { .. }) = fault {
+                        worker_chaos
+                            .as_ref()
+                            .expect("fault implies chaos")
+                            .log
+                            .injected(k);
+                    }
+                    tokio::time::sleep_until(fire_at).await;
+                    let msg = PartialResult {
+                        payload: 1,
+                        value,
+                        origin: i,
+                        duration: dur,
+                        retry: false,
+                    };
+                    if let Some(k @ FaultKind::DuplicateMessage) = fault {
+                        worker_chaos.expect("fault implies chaos").log.injected(k);
+                        let _ = tx.send(msg).await;
+                    }
+                    // The aggregator may already have departed; a send error is
+                    // exactly the "output ignored upstream" case.
+                    let _ = tx.send(msg).await;
+                }
+            }
         });
     }
     // Drop our clones so channels close when tasks finish.
     drop(level1_txs);
     drop(upper_txs);
 
-    // Root: gather until the deadline.
+    // Root: gather until the deadline (suppressing duplicate top-level
+    // arrivals when faults can duplicate them).
     let mut included = 0usize;
     let mut arrivals = 0usize;
     let mut value_sum = 0.0f64;
+    let mut root_seen: HashSet<usize> = HashSet::new();
     loop {
         tokio::select! {
             _ = tokio::time::sleep_until(deadline_instant) => break,
             msg = root_rx.recv() => match msg {
                 Some(m) => {
+                    if let Some(c) = &chaos {
+                        if !root_seen.insert(m.origin) {
+                            c.log.duplicate_suppressed();
+                            continue;
+                        }
+                    }
                     included += m.payload;
                     arrivals += 1;
                     value_sum += m.value;
@@ -259,9 +444,15 @@ pub async fn run_query_prepared(
         }
     }
 
-    let mut realized_durations = Vec::with_capacity(1 + own_durations.len());
-    realized_durations.push(process_durations);
-    realized_durations.extend(own_durations);
+    let (failures, realized_durations, censored_durations) = match &chaos {
+        Some(c) => c.log.finish(),
+        None => {
+            let mut realized = Vec::with_capacity(1 + own_durations.len());
+            realized.push(process_durations);
+            realized.extend(own_durations);
+            (FailureReport::default(), realized, vec![Vec::new(); n])
+        }
+    };
 
     RuntimeOutcome {
         quality: included as f64 / total_processes.max(1) as f64,
@@ -271,12 +462,21 @@ pub async fn run_query_prepared(
         value_sum,
         wall_elapsed: start.elapsed().min(cfg.scale.to_wall(cfg.deadline)),
         realized_durations,
+        failures,
+        censored_durations,
     }
 }
 
 /// Pseudocode 1 as an async task: collect arrivals, let the policy revise
 /// the timer, depart on timer expiry or full collection, then aggregate
 /// (sleep the own duration) and ship upstream.
+///
+/// With chaos wiring attached it additionally suppresses duplicate
+/// arrivals by origin, runs the bottom-level watchdog (one speculative
+/// retry per child still missing at the learned-quantile timeout), logs
+/// observed durations, right-censors children missing at departure, and
+/// subjects its own upstream send to the fault plan.
+#[allow(clippy::too_many_arguments)]
 async fn aggregator_task(
     mut state: AggregatorState,
     mut rx: mpsc::Receiver<PartialResult>,
@@ -284,15 +484,57 @@ async fn aggregator_task(
     start: Instant,
     scale: TimeScale,
     own_duration: f64,
+    origin: usize,
+    mut chaos: Option<AggChaos>,
 ) {
     let w0 = state.start();
     let mut timer = start + scale.to_wall(w0);
     let mut payload = 0usize;
     let mut value = 0.0f64;
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut watchdog = chaos.as_mut().and_then(|c| c.watchdog.take());
     loop {
+        // The vendored select! has exactly two arms, so the watchdog
+        // shares the timer arm: sleep until whichever is earlier and
+        // dispatch on which one is due.
+        let wake = match &watchdog {
+            Some(w) if w.at < timer => w.at,
+            _ => timer,
+        };
         tokio::select! {
             biased;
-            _ = tokio::time::sleep_until(timer) => {
+            _ = tokio::time::sleep_until(wake) => {
+                if wake < timer {
+                    // Watchdog, not the policy timer: re-execute each
+                    // child still missing, exactly once, then disarm.
+                    // Dropping `w` releases self_tx so the channel can
+                    // close once workers and retries are done.
+                    let w = watchdog.take().expect("watchdog armed");
+                    let c = chaos.as_ref().expect("watchdog implies chaos");
+                    for id in c.expected.clone() {
+                        if !seen.contains(&id) {
+                            c.log.retry_launched();
+                            let mut rng = StdRng::seed_from_u64(w.plan.retry_seed(id));
+                            let dur = w.dist.sample(&mut rng);
+                            let fire_at = w.at + scale.to_wall(dur);
+                            let retry_tx = w.self_tx.clone();
+                            let retry_value = w.values[id];
+                            tokio::spawn(async move {
+                                tokio::time::sleep_until(fire_at).await;
+                                let _ = retry_tx
+                                    .send(PartialResult {
+                                        payload: 1,
+                                        value: retry_value,
+                                        origin: id,
+                                        duration: dur,
+                                        retry: true,
+                                    })
+                                    .await;
+                            });
+                        }
+                    }
+                    continue;
+                }
                 // The armed instant always mirrors the state machine's
                 // current wait, so this firing is never stale.
                 let _ = state.on_timer(state.timer());
@@ -300,6 +542,20 @@ async fn aggregator_task(
             }
             msg = rx.recv() => match msg {
                 Some(m) => {
+                    if let Some(c) = &chaos {
+                        if !seen.insert(m.origin) {
+                            // Injected duplicate, or a retry racing its
+                            // own original — count it once either way.
+                            c.log.duplicate_suppressed();
+                            continue;
+                        }
+                        if c.level == 1 {
+                            c.log.delivered(0, m.origin, m.duration);
+                            if m.retry {
+                                c.log.retry_delivered();
+                            }
+                        }
+                    }
                     payload += m.payload;
                     value += m.value;
                     let now_model = scale.to_model(start.elapsed());
@@ -315,10 +571,65 @@ async fn aggregator_task(
             },
         }
     }
+    // Children missing at departure are right-censored at the departure
+    // time: all we know is their duration exceeds it. Only the bottom
+    // stage feeds the censored refit path — a missing aggregator is
+    // absorbed by the stage above, not re-learned.
+    if let Some(c) = &chaos {
+        if c.level == 1 {
+            let depart_model = scale.to_model(start.elapsed());
+            for id in c.expected.clone() {
+                if !seen.contains(&id) {
+                    c.log.censored(0, id, depart_model);
+                }
+            }
+        }
+    }
+    drop(watchdog);
     drop(rx);
     if payload > 0 {
-        tokio::time::sleep(scale.to_wall(own_duration)).await;
-        let _ = parent_tx.send(PartialResult { payload, value }).await;
+        let own_fault = chaos.as_ref().and_then(|c| c.fault);
+        match own_fault {
+            Some(k @ FaultKind::CrashBeforeSend) => {
+                // Died at departure: no aggregation work, no send.
+                chaos.as_ref().expect("fault implies chaos").log.injected(k);
+            }
+            Some(k @ FaultKind::Hang) => {
+                let c = chaos.as_ref().expect("fault implies chaos");
+                c.log.injected(k);
+                tokio::time::sleep_until(c.hang_until).await;
+            }
+            own_fault => {
+                let own_duration = match own_fault {
+                    Some(k @ FaultKind::Straggle { factor }) => {
+                        chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                        own_duration * factor
+                    }
+                    _ => own_duration,
+                };
+                tokio::time::sleep(scale.to_wall(own_duration)).await;
+                if let Some(k @ FaultKind::DropMessage) = own_fault {
+                    // Aggregation completed but the result is lost.
+                    chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                    return;
+                }
+                if let Some(c) = &chaos {
+                    c.log.delivered(c.level, origin, own_duration);
+                }
+                let msg = PartialResult {
+                    payload,
+                    value,
+                    origin,
+                    duration: own_duration,
+                    retry: false,
+                };
+                if let Some(k @ FaultKind::DuplicateMessage) = own_fault {
+                    chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                    let _ = parent_tx.send(msg).await;
+                }
+                let _ = parent_tx.send(msg).await;
+            }
+        }
     }
 }
 

@@ -26,11 +26,13 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+pub mod faults;
 mod scale;
 pub mod service;
 
 pub use engine::{
     run_query, run_query_prepared, run_query_with_values, RuntimeConfig, RuntimeOutcome,
 };
+pub use faults::{FailureReport, FaultKind, FaultPlan, FaultSpec, RecoveryPolicy};
 pub use scale::TimeScale;
 pub use service::{AggregationService, QueryOptions, ServiceConfig};

@@ -37,6 +37,7 @@
 //!   with the same deadline don't redundantly recompute profiles.
 
 use crate::engine::{run_query_prepared, RuntimeConfig, RuntimeOutcome};
+use crate::faults::FaultPlan;
 use crate::scale::TimeScale;
 use cedar_core::policy::WaitPolicyKind;
 use cedar_core::profile::ProfileConfig;
@@ -85,6 +86,10 @@ pub struct ServiceConfig {
     /// quantizing submitted deadlines (model units). Queries whose
     /// deadlines fall in the same bucket share prepared contexts.
     pub deadline_bucket: f64,
+    /// Fault plan applied to every query (chaos testing a whole
+    /// deployment); per-query [`QueryOptions::faults`] takes precedence.
+    /// `None` (the default) runs every query clean.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl ServiceConfig {
@@ -101,6 +106,7 @@ impl ServiceConfig {
             profile: ProfileConfig::default(),
             profile_cache: true,
             deadline_bucket: 1e-3,
+            faults: None,
         }
     }
 }
@@ -118,6 +124,8 @@ pub struct QueryOptions {
     /// Per-worker partial values; every worker contributes `1.0` if
     /// absent.
     pub values: Option<Arc<Vec<f64>>>,
+    /// Fault plan for this query, overriding [`ServiceConfig::faults`].
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 /// The priors plus the epoch stamping their version.
@@ -130,6 +138,10 @@ struct PriorsSnapshot {
 /// One completed query's realized durations, acked once recorded.
 struct RefitRecord {
     durations: Vec<Vec<f64>>,
+    /// Right-censoring thresholds for tasks that never arrived (empty on
+    /// clean runs); kept alongside `durations` so refits can correct for
+    /// the missing slow tail instead of learning only from survivors.
+    censored: Vec<Vec<f64>>,
     ack: oneshot::Sender<()>,
 }
 
@@ -256,6 +268,7 @@ impl AggregationService {
             scan_steps: state.cfg.scan_steps,
             profile: state.cfg.profile,
             seed,
+            faults: opts.faults.or_else(|| state.cfg.faults.clone()),
         };
         let outcome = run_query_prepared(&cfg, state.cfg.policy, values, &prepared).await;
 
@@ -264,6 +277,7 @@ impl AggregationService {
         let (ack_tx, ack_rx) = oneshot::channel();
         let record = RefitRecord {
             durations: outcome.realized_durations.clone(),
+            censored: outcome.censored_durations.clone(),
             ack: ack_tx,
         };
         if state.refit_tx.send(record).is_ok() {
@@ -331,22 +345,27 @@ impl AggregationService {
 /// and the single writer of the priors.
 async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::UnboundedReceiver<RefitRecord>) {
     let mut history: Vec<Vec<f64>> = Vec::new();
+    let mut censored: Vec<Vec<f64>> = Vec::new();
     while let Some(record) = rx.recv().await {
         let Some(state) = state.upgrade() else {
             return;
         };
         if history.len() < record.durations.len() {
             history.resize(record.durations.len(), Vec::new());
+            censored.resize(record.durations.len(), Vec::new());
         }
         for (h, d) in history.iter_mut().zip(&record.durations) {
             h.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
+        }
+        for (c, d) in censored.iter_mut().zip(&record.censored) {
+            c.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
         }
         let completed = state.completed.fetch_add(1, Ordering::AcqRel) + 1;
         let interval = state.cfg.refit_interval;
         if interval > 0 && completed % interval == 0 {
             // A degenerate history (e.g. all-equal durations) leaves the
             // old priors in place; the service stays available.
-            let _ = apply_refit(&state, &mut history);
+            let _ = apply_refit(&state, &mut history, &mut censored);
         }
         // Ack after all bookkeeping so observers see a consistent state
         // as soon as their submission resolves.
@@ -355,13 +374,28 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::UnboundedReceiver<R
 }
 
 /// Re-fits every stage's prior from the recorded history (log-normal
-/// MLE), keeping fan-outs; bumps the epoch and drops stale cache entries.
-fn apply_refit(state: &ServiceState, history: &mut [Vec<f64>]) -> Result<(), DistError> {
+/// MLE; the censored variant when the stage has right-censored entries,
+/// so non-arrivals under faults don't bias the prior toward fast
+/// completions), keeping fan-outs; bumps the epoch and drops stale cache
+/// entries.
+fn apply_refit(
+    state: &ServiceState,
+    history: &mut [Vec<f64>],
+    censored: &mut [Vec<f64>],
+) -> Result<(), DistError> {
     let current = state.priors.read().unwrap().clone();
     let mut stages = Vec::with_capacity(history.len());
     for (idx, h) in history.iter().enumerate() {
         let old = current.tree.stage(idx);
-        let dist: Arc<dyn ContinuousDist> = if h.len() >= 20 {
+        let cens = censored.get(idx).map(Vec::as_slice).unwrap_or(&[]);
+        let censored_fit = if cens.is_empty() || h.len() < 20 {
+            None
+        } else {
+            cedar_estimate::fit_right_censored(Model::LogNormal, h, cens)
+        };
+        let dist: Arc<dyn ContinuousDist> = if let Some(p) = censored_fit {
+            Arc::new(cedar_distrib::LogNormal::new(p.mu, p.sigma)?)
+        } else if h.len() >= 20 {
             Arc::new(cedar_distrib::fit::fit_lognormal_mle(h)?)
         } else {
             old.dist.clone()
@@ -383,7 +417,7 @@ fn apply_refit(state: &ServiceState, history: &mut [Vec<f64>]) -> Result<(), Dis
         .unwrap()
         .retain(|(epoch, _), _| *epoch >= new_epoch);
     // Bound memory: keep a sliding window of recent history.
-    for h in history.iter_mut() {
+    for h in history.iter_mut().chain(censored.iter_mut()) {
         let len = h.len();
         if len > HISTORY_WINDOW {
             h.drain(..len - HISTORY_WINDOW);

@@ -9,6 +9,7 @@
 //! <- { "ok": true, "result": { "quality": 0.93, ... } }
 //! ```
 
+use cedar_runtime::FailureReport;
 use cedar_workloads::treedef::TreeDef;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -24,6 +25,18 @@ pub const OP_STATS: &str = "stats";
 pub const OP_PING: &str = "ping";
 /// Operation name for requesting server shutdown.
 pub const OP_SHUTDOWN: &str = "shutdown";
+
+/// Error code: the request itself was malformed (bad op, bad tree,
+/// missing fields). Retrying unchanged will fail again.
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// Error code: dropped by admission control; retry after backing off.
+pub const ERR_SHED: &str = "shed";
+/// Error code: the query's runtime panicked or failed server-side.
+pub const ERR_INTERNAL: &str = "internal";
+/// Error code: the query exceeded the server's execution timeout.
+pub const ERR_TIMEOUT: &str = "timeout";
+/// Error code: the server is shutting down.
+pub const ERR_UNAVAILABLE: &str = "unavailable";
 
 /// A client request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,6 +104,9 @@ pub struct QueryResult {
     pub latency_ms: f64,
     /// Priors epoch the query ran under.
     pub epoch: u64,
+    /// Fault/recovery summary when the server runs with a fault plan
+    /// (chaos testing); absent on clean runs and from old servers.
+    pub failures: Option<FailureReport>,
 }
 
 /// Service counters returned for [`OP_STATS`].
@@ -122,6 +138,11 @@ pub struct Response {
     pub ok: bool,
     /// Failure description (including `"shed: ..."` on admission drops).
     pub error: Option<String>,
+    /// Machine-readable failure class when not `ok`: one of
+    /// [`ERR_BAD_REQUEST`], [`ERR_SHED`], [`ERR_INTERNAL`],
+    /// [`ERR_TIMEOUT`], [`ERR_UNAVAILABLE`]. Absent from old servers —
+    /// fall back to sniffing `error`.
+    pub code: Option<String>,
     /// Query outcome for [`OP_QUERY`].
     pub result: Option<QueryResult>,
     /// Counter snapshot for [`OP_STATS`].
@@ -134,6 +155,7 @@ impl Response {
         Self {
             ok: true,
             error: None,
+            code: None,
             result: None,
             stats: None,
         }
@@ -155,21 +177,33 @@ impl Response {
         }
     }
 
-    /// A failure response.
+    /// A failure response without a machine-readable class (legacy
+    /// paths); prefer [`err_code`](Self::err_code).
     pub fn err(msg: impl Into<String>) -> Self {
         Self {
             ok: false,
             error: Some(msg.into()),
+            code: None,
             result: None,
             stats: None,
         }
     }
 
+    /// A typed failure response carrying one of the `ERR_*` codes.
+    pub fn err_code(code: &str, msg: impl Into<String>) -> Self {
+        Self {
+            code: Some(code.to_owned()),
+            ..Self::err(msg)
+        }
+    }
+
     /// Whether this failure was an admission-control shed.
     pub fn is_shed(&self) -> bool {
-        self.error
-            .as_deref()
-            .is_some_and(|e| e.starts_with("shed:"))
+        self.code.as_deref() == Some(ERR_SHED)
+            || self
+                .error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("shed:"))
     }
 }
 
@@ -256,6 +290,7 @@ mod tests {
             value_sum: 16.0,
             latency_ms: 12.5,
             epoch: 3,
+            failures: None,
         });
         let mut buf = Vec::new();
         write_frame(&mut buf, &r).unwrap();
@@ -266,5 +301,45 @@ mod tests {
         assert!(!Response::err("shed: queue full").ok);
         assert!(Response::err("shed: queue full").is_shed());
         assert!(!Response::err("bad tree").is_shed());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        let r = Response::err_code(ERR_TIMEOUT, "query exceeded 30s");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &r).unwrap();
+        let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.code.as_deref(), Some(ERR_TIMEOUT));
+        assert!(!back.is_shed());
+        // Typed sheds are recognized by code even without the string
+        // prefix; untyped ones by the legacy prefix.
+        assert!(Response::err_code(ERR_SHED, "shed: queue full").is_shed());
+        assert!(Response::err_code(ERR_SHED, "queue full").is_shed());
+    }
+
+    #[test]
+    fn query_result_failures_survive_round_trip() {
+        let failures = FailureReport {
+            crashed: 2,
+            retries_launched: 2,
+            retries_delivered: 1,
+            censored_observations: 1,
+            ..FailureReport::default()
+        };
+        let r = Response::with_result(QueryResult {
+            quality: 0.9,
+            included_outputs: 18,
+            total_processes: 20,
+            root_arrivals: 2,
+            value_sum: 18.0,
+            latency_ms: 3.0,
+            epoch: 0,
+            failures: Some(failures),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &r).unwrap();
+        let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back.result.unwrap().failures, Some(failures));
     }
 }

@@ -15,6 +15,7 @@ use cedar_runtime::{AggregationService, QueryOptions, ServiceConfig, TimeScale};
 use cedar_workloads::production;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -35,6 +36,19 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Runtime worker threads (`0` = one per available core).
     pub worker_threads: usize,
+    /// Per-frame client read budget: a connection that cannot deliver a
+    /// complete request frame within this window is closed (slowloris
+    /// protection; also bounds how long an idle keep-alive connection
+    /// holds its thread). Writes get the same budget.
+    pub idle_timeout: Duration,
+    /// How long graceful shutdown waits for in-flight connections before
+    /// detaching the stragglers and returning an error.
+    pub drain_deadline: Duration,
+    /// Server-side cap on one query's execution; `None` trusts the
+    /// query's own deadline. Queries over the cap get a typed
+    /// [`proto::ERR_TIMEOUT`] response instead of holding their
+    /// connection forever.
+    pub query_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -45,6 +59,9 @@ impl ServerConfig {
             service,
             admission: AdmissionConfig::default(),
             worker_threads: 0,
+            idle_timeout: Duration::from_secs(60),
+            drain_deadline: Duration::from_secs(10),
+            query_timeout: Some(Duration::from_secs(30)),
         }
     }
 
@@ -80,6 +97,9 @@ struct ServerShared {
     shed_total: AtomicU64,
     served_total: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    idle_timeout: Duration,
+    drain_deadline: Duration,
+    query_timeout: Option<Duration>,
 }
 
 impl ServerShared {
@@ -117,6 +137,9 @@ impl Server {
             shed_total: AtomicU64::new(0),
             served_total: AtomicU64::new(0),
             conn_threads: Mutex::new(Vec::new()),
+            idle_timeout: cfg.idle_timeout.max(POLL_INTERVAL),
+            drain_deadline: cfg.drain_deadline,
+            query_timeout: cfg.query_timeout,
         });
 
         let accept = {
@@ -180,11 +203,42 @@ impl ServerHandle {
                 result = Err(io::Error::other("accept thread panicked"));
             }
         }
-        let conns = std::mem::take(&mut *self.shared.conn_threads.lock().unwrap());
-        for conn in conns {
-            if conn.join().is_err() {
-                result = Err(io::Error::other("connection thread panicked"));
+        // Drain with a deadline: connection threads normally notice the
+        // shutdown flag within one poll interval, but a thread wedged in
+        // a query must not wedge shutdown with it.
+        let drain_until = Instant::now() + self.shared.drain_deadline;
+        let mut conns = std::mem::take(&mut *self.shared.conn_threads.lock().unwrap());
+        loop {
+            let mut pending = Vec::new();
+            for conn in conns {
+                if conn.is_finished() {
+                    if conn.join().is_err() {
+                        result = Err(io::Error::other("connection thread panicked"));
+                    }
+                } else {
+                    pending.push(conn);
+                }
             }
+            conns = pending;
+            if conns.is_empty() {
+                break;
+            }
+            if Instant::now() >= drain_until {
+                // Detach the stragglers: they hold only their sockets and
+                // will die with the process. Leak the runtime too — its
+                // teardown would drop tasks out from under their
+                // `block_on` calls.
+                let stranded = conns.len();
+                drop(conns);
+                if let Some(rt) = self.runtime.take() {
+                    std::mem::forget(rt);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("drain deadline exceeded; {stranded} connection(s) detached"),
+                ));
+            }
+            thread::sleep(POLL_INTERVAL.min(Duration::from_millis(20)));
         }
         // All users of the runtime are joined; tear it down last.
         drop(self.runtime.take());
@@ -228,10 +282,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
 }
 
 /// A `Read` over a timeout-armed stream that retries poll ticks until
-/// data arrives or the server shuts down.
+/// data arrives, the per-frame deadline passes, or the server shuts
+/// down. The deadline is the slowloris defense: without it, a client
+/// dripping (or never sending) bytes pins this connection's thread
+/// forever.
 struct PatientReader<'a> {
     stream: &'a TcpStream,
     shutdown: &'a AtomicBool,
+    deadline: Instant,
 }
 
 impl Read for PatientReader<'_> {
@@ -250,6 +308,12 @@ impl Read for PatientReader<'_> {
                             "server shutting down",
                         ));
                     }
+                    if Instant::now() >= self.deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "idle timeout: no complete frame",
+                        ));
+                    }
                 }
                 other => return other,
             }
@@ -261,6 +325,9 @@ impl Read for PatientReader<'_> {
 /// shutdown.
 fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // A client that stops draining its socket must not pin this thread
+    // in `write_frame` either.
+    let _ = stream.set_write_timeout(Some(shared.idle_timeout));
     let _ = stream.set_nodelay(true);
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
@@ -269,6 +336,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
         let mut reader = PatientReader {
             stream: &stream,
             shutdown: &shared.shutdown,
+            deadline: Instant::now() + shared.idle_timeout,
         };
         let req: Request = match proto::read_frame(&mut reader) {
             Ok(Some(req)) => req,
@@ -276,13 +344,13 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // The frame was consumed whole; the stream is still
                 // aligned, so report and keep serving.
-                let resp = Response::err(format!("bad request: {e}"));
+                let resp = Response::err_code(proto::ERR_BAD_REQUEST, format!("bad request: {e}"));
                 if proto::write_frame(&mut &stream, &resp).is_err() {
                     return;
                 }
                 continue;
             }
-            Err(_) => return, // shutdown tick or a real I/O error
+            Err(_) => return, // shutdown tick, idle timeout, or I/O error
         };
         let resp = dispatch(shared, &req);
         if proto::write_frame(&mut &stream, &resp).is_err() {
@@ -296,12 +364,15 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
 }
 
 fn dispatch(shared: &ServerShared, req: &Request) -> Response {
+    if shared.shutdown.load(Ordering::Acquire) && req.op != proto::OP_SHUTDOWN {
+        return Response::err_code(proto::ERR_UNAVAILABLE, "server shutting down");
+    }
     match req.op.as_str() {
         proto::OP_PING => Response::ok(),
         proto::OP_SHUTDOWN => Response::ok(),
         proto::OP_STATS => Response::with_stats(collect_stats(shared)),
         proto::OP_QUERY => serve_query(shared, req),
-        other => Response::err(format!("unknown op {other:?}")),
+        other => Response::err_code(proto::ERR_BAD_REQUEST, format!("unknown op {other:?}")),
     }
 }
 
@@ -321,29 +392,35 @@ fn collect_stats(shared: &ServerShared) -> ServerStats {
 
 fn serve_query(shared: &ServerShared, req: &Request) -> Response {
     let Some(def) = &req.tree else {
-        return Response::err("query request without a tree");
+        return Response::err_code(proto::ERR_BAD_REQUEST, "query request without a tree");
     };
     let tree = match def.build() {
         Ok(tree) => tree,
-        Err(e) => return Response::err(format!("invalid tree: {e}")),
+        Err(e) => return Response::err_code(proto::ERR_BAD_REQUEST, format!("invalid tree: {e}")),
     };
     // The prepared contexts (and the refit history) are shaped by the
     // priors; a different query shape would corrupt both.
     let priors = shared.service.priors();
     if tree.levels() != priors.levels() {
-        return Response::err(format!(
-            "tree has {} levels but the service priors have {}",
-            tree.levels(),
-            priors.levels()
-        ));
+        return Response::err_code(
+            proto::ERR_BAD_REQUEST,
+            format!(
+                "tree has {} levels but the service priors have {}",
+                tree.levels(),
+                priors.levels()
+            ),
+        );
     }
     for level in 0..tree.levels() {
         if tree.stage(level).fanout != priors.stage(level).fanout {
-            return Response::err(format!(
-                "tree fan-out {} at level {level} differs from the service priors' {}",
-                tree.stage(level).fanout,
-                priors.stage(level).fanout
-            ));
+            return Response::err_code(
+                proto::ERR_BAD_REQUEST,
+                format!(
+                    "tree fan-out {} at level {level} differs from the service priors' {}",
+                    tree.stage(level).fanout,
+                    priors.stage(level).fanout
+                ),
+            );
         }
     }
 
@@ -351,7 +428,7 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         Ok(permit) => permit,
         Err(shed) => {
             shared.shed_total.fetch_add(1, Ordering::AcqRel);
-            return Response::err(shed.to_string());
+            return Response::err_code(proto::ERR_SHED, shed.to_string());
         }
     };
     shared.served_total.fetch_add(1, Ordering::AcqRel);
@@ -361,12 +438,39 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         deadline: req.deadline,
         seed: req.seed,
         values: None,
+        faults: None,
     };
     let start = Instant::now();
-    let outcome = shared
-        .runtime
-        .block_on(shared.service.submit_with(tree, opts));
+    // A panicking or runaway query must produce a typed error, not a
+    // dead connection: catch the panic, cap the execution time.
+    let query_timeout = shared.query_timeout;
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        shared.runtime.block_on(async {
+            let submit = shared.service.submit_with(tree, opts);
+            match query_timeout {
+                Some(cap) => tokio::time::timeout(cap, submit).await.ok(),
+                None => Some(submit.await),
+            }
+        })
+    }));
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    let outcome = match ran {
+        Ok(Some(outcome)) => outcome,
+        Ok(None) => {
+            return Response::err_code(
+                proto::ERR_TIMEOUT,
+                format!("query exceeded the server execution cap of {query_timeout:?}"),
+            );
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            return Response::err_code(proto::ERR_INTERNAL, format!("query panicked: {msg}"));
+        }
+    };
 
     Response::with_result(QueryResult {
         quality: outcome.quality,
@@ -376,5 +480,6 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         value_sum: outcome.value_sum,
         latency_ms,
         epoch,
+        failures: (!outcome.failures.is_clean()).then_some(outcome.failures),
     })
 }

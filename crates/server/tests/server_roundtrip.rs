@@ -4,12 +4,14 @@
 use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::spec::DistSpec;
 use cedar_distrib::LogNormal;
-use cedar_runtime::{ServiceConfig, TimeScale};
-use cedar_server::proto::Request;
+use cedar_runtime::{FaultPlan, FaultSpec, ServiceConfig, TimeScale};
+use cedar_server::proto::{self, Request};
 use cedar_server::{AdmissionConfig, Client, Server, ServerConfig};
 use cedar_workloads::treedef::{StageDef, TreeDef};
+use std::io::{Read, Write};
+use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service priors: fan-outs (4, 2), one model unit of wall time per
 /// `unit`.
@@ -228,6 +230,75 @@ fn shutdown_drains_in_flight_queries() {
 
     // And the listener is really gone.
     assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn slowloris_connection_is_reaped() {
+    let mut cfg = fast_server();
+    cfg.idle_timeout = Duration::from_millis(300);
+    let handle = Server::start(cfg).unwrap();
+
+    // A client that opens a frame and then drips nothing must be closed
+    // by the idle timeout, not hold its thread forever.
+    let mut sock = std::net::TcpStream::connect(handle.addr()).unwrap();
+    sock.write_all(&[0, 0]).unwrap(); // half a length prefix, then silence
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 16];
+    // EOF (0 bytes) or a reset error both mean the server hung up.
+    let hung_up = matches!(sock.read(&mut buf), Ok(0) | Err(_));
+    assert!(hung_up, "server kept the slowloris connection open");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "connection outlived the idle timeout by too much: {:?}",
+        started.elapsed()
+    );
+
+    // The server is still healthy for well-behaved clients.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.ping().unwrap().ok);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn errors_carry_typed_codes() {
+    let handle = Server::start(fast_server()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let resp = client
+        .request(&Request {
+            op: "frobnicate".into(),
+            tree: None,
+            deadline: None,
+            seed: None,
+        })
+        .unwrap();
+    assert_eq!(resp.code.as_deref(), Some(proto::ERR_BAD_REQUEST));
+
+    let resp = client.query(&TreeDef::example(), None, None).unwrap();
+    assert_eq!(resp.code.as_deref(), Some(proto::ERR_BAD_REQUEST));
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn chaos_plan_surfaces_failure_report() {
+    let mut cfg = fast_server();
+    // Crash every worker: the watchdog must retry all of them, and the
+    // response must carry the failure accounting.
+    cfg.service.faults = Some(Arc::new(FaultPlan::new(7, FaultSpec::crashes(1.0))));
+    let handle = Server::start(cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let resp = client
+        .query(&matching_tree(1.0), Some(5000.0), Some(11))
+        .unwrap();
+    assert!(resp.ok, "chaos query failed: {:?}", resp.error);
+    let result = resp.result.unwrap();
+    let failures = result.failures.expect("fault plan must report failures");
+    assert_eq!(failures.crashed, 8, "all 8 workers crash at p=1.0");
+    assert_eq!(failures.retries_launched, 8);
+    assert!((0.0..=1.0).contains(&result.quality));
+    handle.shutdown().unwrap();
 }
 
 #[test]

@@ -1,0 +1,107 @@
+//! Lint diagnostics: rule identities, severities and rustc-style
+//! rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The domain-invariant rules. Every rule is deny-by-default; the only
+/// escape hatch is an allow directive with a non-empty justification
+/// (see [`crate::lint`] module docs for the syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// No raw wall-clock reads outside the clock abstraction.
+    L1,
+    /// No unbounded channels/queues outside tests.
+    L2,
+    /// No lock guard held live across an `.await`.
+    L3,
+    /// No `unwrap()`/`expect()`/`panic!` in library crates.
+    L4,
+    /// No hand-rolled millisecond unit conversions in policy code.
+    L5,
+    /// Malformed allow directive (missing rule list or justification).
+    BadDirective,
+}
+
+impl Rule {
+    /// Parses `"L1"`..`"L5"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            _ => None,
+        }
+    }
+
+    /// One-line statement of the invariant, shown in diagnostics.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            Rule::L1 => {
+                "wall-clock reads must go through the clock abstraction \
+                 (tokio::time::Instant or a dedicated clock module)"
+            }
+            Rule::L2 => "channel/queue topology must stay bounded outside tests",
+            Rule::L3 => "a lock guard must not be held across an .await point",
+            Rule::L4 => {
+                "library crates must propagate typed errors instead of \
+                 unwrap()/expect()/panic!"
+            }
+            Rule::L5 => {
+                "millisecond unit conversions must go through the duration \
+                 newtypes (Millis / TimeScale / Duration), not raw f64 literals"
+            }
+            Rule::BadDirective => {
+                "cedar-lint allow directives need a rule list and a non-empty \
+                 justification: // cedar-lint: allow(L4): <why this is sound>"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::BadDirective => write!(f, "directive"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// One violation at one source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub path: PathBuf,
+    pub line: u32,
+    pub col: u32,
+    /// What was found at the span (rule-specific).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in rustc's `error[Exxxx]` style, quoting
+    /// the offending source line when available.
+    pub fn render(&self, source: Option<&str>) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "error[{}]: {}\n  --> {}:{}:{}\n",
+            self.rule,
+            self.message,
+            self.path.display(),
+            self.line,
+            self.col
+        );
+        if let Some(src) = source {
+            if let Some(line) = src.lines().nth(self.line.saturating_sub(1) as usize) {
+                let gutter = format!("{} | ", self.line);
+                let pad = " ".repeat(gutter.len() + self.col.saturating_sub(1) as usize);
+                let _ = writeln!(out, "{gutter}{line}\n{pad}^");
+            }
+        }
+        let _ = writeln!(out, "  = invariant: {}", self.rule.invariant());
+        out
+    }
+}

@@ -1,0 +1,494 @@
+//! A minimal Rust lexer: just enough fidelity for span-accurate lint
+//! rules, with none of the weight of a full parser.
+//!
+//! The workspace vendors its dependencies offline, so `syn` is not
+//! available; instead this hand-rolled tokenizer understands exactly the
+//! constructs that would otherwise produce false positives in a textual
+//! scan: line and (nested) block comments, doc comments, string / raw
+//! string / byte string / char literals, and lifetimes. Everything else
+//! becomes a flat token stream of identifiers, literals and punctuation,
+//! each carrying its `line:column` position.
+
+/// One lexical token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The token classes the lint rules distinguish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `async`, ...).
+    Ident(String),
+    /// Lifetime such as `'a` (kept distinct so `'a` is not a char).
+    Lifetime(String),
+    /// Integer literal, suffix included (`42`, `0xFF`, `10_000u64`).
+    Int(String),
+    /// Float literal, suffix included (`1e3`, `0.001`, `2.5f32`).
+    Float(String),
+    /// String-ish literal (string, raw string, byte string, char).
+    Str,
+    /// A single punctuation character (`.`, `(`, `{`, `!`, ...).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True if the token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(t) if t == s)
+    }
+
+    /// The numeric literal text for ints and floats.
+    pub fn number(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Int(s) | TokenKind::Float(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A comment with its position, surfaced separately from the token
+/// stream so the allow-directive escape hatch can read them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// True for `///` and `//!` doc comments (and their block forms).
+    pub doc: bool,
+}
+
+/// Lexer output: code tokens plus the comments that were skipped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count one column per character, not per UTF-8 byte.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`, never failing: unknown bytes become punctuation.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek2() == Some(b'/') => lex_line_comment(&mut c, &mut out, line),
+            b'/' if c.peek2() == Some(b'*') => lex_block_comment(&mut c, &mut out, line),
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                lex_raw_or_byte_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => lex_quote(&mut c, &mut out, line, col),
+            _ if is_ident_start(b) => {
+                let mut s = String::new();
+                while let Some(b) = c.peek() {
+                    if is_ident_continue(b) {
+                        s.push(b as char);
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let kind = lex_number(&mut c);
+                out.tokens.push(Token { kind, line, col });
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(c: &mut Cursor, out: &mut Lexed, line: u32) {
+    let start = c.pos;
+    while let Some(b) = c.peek() {
+        if b == b'\n' {
+            break;
+        }
+        c.bump();
+    }
+    let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+    let doc = text.starts_with("///") || text.starts_with("//!");
+    out.comments.push(Comment { text, line, doc });
+}
+
+fn lex_block_comment(c: &mut Cursor, out: &mut Lexed, line: u32) {
+    let start = c.pos;
+    c.bump();
+    c.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if c.starts_with("/*") {
+            depth += 1;
+            c.bump();
+            c.bump();
+        } else if c.starts_with("*/") {
+            depth -= 1;
+            c.bump();
+            c.bump();
+        } else if c.bump().is_none() {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+    let doc = text.starts_with("/**") || text.starts_with("/*!");
+    out.comments.push(Comment { text, line, doc });
+}
+
+fn starts_raw_or_byte_string(c: &Cursor) -> bool {
+    let rest = &c.src[c.pos..];
+    for prefix in [&b"r\""[..], b"r#", b"b\"", b"b'", b"br\"", b"br#"] {
+        if rest.starts_with(prefix) {
+            return true;
+        }
+    }
+    false
+}
+
+fn lex_raw_or_byte_string(c: &mut Cursor) {
+    // Consume the prefix letters.
+    let mut raw = false;
+    while let Some(b) = c.peek() {
+        if b == b'r' {
+            raw = true;
+            c.bump();
+        } else if b == b'b' {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        c.bump(); // opening quote
+        loop {
+            match c.bump() {
+                None => return,
+                Some(b'"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && c.peek() == Some(b'#') {
+                        matched += 1;
+                        c.bump();
+                    }
+                    if matched == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else if c.peek() == Some(b'\'') {
+        lex_char(c);
+    } else {
+        lex_string(c);
+    }
+}
+
+fn lex_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+fn lex_char(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates a `'`: lifetime (`'a`) vs char literal (`'a'`).
+fn lex_quote(c: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    let rest = &c.src[c.pos + 1..];
+    let is_lifetime = match rest.first() {
+        Some(&b) if is_ident_start(b) => {
+            // 'ident not followed by a closing quote is a lifetime.
+            let mut i = 1;
+            while rest.get(i).is_some_and(|&b| is_ident_continue(b)) {
+                i += 1;
+            }
+            rest.get(i) != Some(&b'\'')
+        }
+        _ => false,
+    };
+    if is_lifetime {
+        c.bump(); // '
+        let mut s = String::new();
+        while let Some(b) = c.peek() {
+            if is_ident_continue(b) {
+                s.push(b as char);
+                c.bump();
+            } else {
+                break;
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Lifetime(s),
+            line,
+            col,
+        });
+    } else {
+        lex_char(c);
+        out.tokens.push(Token {
+            kind: TokenKind::Str,
+            line,
+            col,
+        });
+    }
+}
+
+fn lex_number(c: &mut Cursor) -> TokenKind {
+    let start = c.pos;
+    let mut float = false;
+    // Hex/octal/binary prefixes never become floats.
+    if c.peek() == Some(b'0') && matches!(c.peek2(), Some(b'x' | b'o' | b'b')) {
+        c.bump();
+        c.bump();
+        while c
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            c.bump();
+        }
+        let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+        return TokenKind::Int(text);
+    }
+    while let Some(b) = c.peek() {
+        match b {
+            b'0'..=b'9' | b'_' => {
+                c.bump();
+            }
+            b'.' if !float && c.peek2().is_none_or(|n| n.is_ascii_digit() || n == b' ')
+                // `1.` and `1.5` are floats; `1.方法()` / `1..2` are not.
+                =>
+            {
+                float = true;
+                c.bump();
+            }
+            b'e' | b'E' => {
+                // Exponent only if followed by digit or sign+digit.
+                let rest = &c.src[c.pos + 1..];
+                let exp = match rest.first() {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some(b'+' | b'-') => rest.get(1).is_some_and(u8::is_ascii_digit),
+                    _ => false,
+                };
+                if exp {
+                    float = true;
+                    c.bump(); // e
+                    if matches!(c.peek(), Some(b'+' | b'-')) {
+                        c.bump();
+                    }
+                } else {
+                    break;
+                }
+            }
+            _ if b.is_ascii_alphabetic() => {
+                // Suffix such as u64 / f64; `f64` or `f32` makes it float.
+                let suffix_start = c.pos;
+                while c.peek().is_some_and(|b| b.is_ascii_alphanumeric()) {
+                    c.bump();
+                }
+                let suffix = &c.src[suffix_start..c.pos];
+                if suffix == b"f64" || suffix == b"f32" {
+                    float = true;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+    if float {
+        TokenKind::Float(text)
+    } else {
+        TokenKind::Int(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_code_tokens() {
+        let src = r##"
+            // line .unwrap()
+            /* block .unwrap() /* nested */ still comment */
+            let s = "str .unwrap()";
+            let r = r#"raw .unwrap()"#;
+            let c = '\'';
+        "##;
+        let l = lex(src);
+        assert!(!idents(src).contains(&"unwrap".to_owned()));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_forms() {
+        for (src, want) in [
+            ("1e3", true),
+            ("1000.0", true),
+            ("0.001", true),
+            ("1_000", false),
+            ("0xFF", false),
+            ("2.5f32", true),
+            ("3f64", true),
+        ] {
+            let l = lex(src);
+            let is_float = matches!(l.tokens[0].kind, TokenKind::Float(_));
+            assert_eq!(is_float, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn positions_are_line_col() {
+        let l = lex("a\n  b");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let l = lex("0..10");
+        assert!(matches!(l.tokens[0].kind, TokenKind::Int(_)));
+        assert!(l.tokens[1].is_punct('.'));
+    }
+}

@@ -1,0 +1,33 @@
+//! cedar-analysis: correctness tooling for the cedar workspace.
+//!
+//! Two halves:
+//!
+//! 1. **The lint pass** ([`lint`]) — a lexer-driven AST-lite scan of
+//!    every workspace source file enforcing the domain invariants L1-L5
+//!    (clock abstraction, bounded queues, no guard across `.await`, no
+//!    panics in library crates, typed millisecond conversions) as
+//!    deny-by-default diagnostics with span-accurate rustc-style output
+//!    and a justification-bearing allow directive as the only escape
+//!    hatch. Driven by `cargo xtask lint`.
+//!
+//! 2. **The model checker** ([`sched`]) — a loom-style exhaustive
+//!    interleaving explorer for small concurrent models, used to check
+//!    the executor's timer-wake/lock protocol and the aggregation
+//!    service's priors-epoch handoff. Built in-tree because the
+//!    environment vendors no external model-checking crate; the
+//!    scheduler explores schedules by replay-prefix DFS exactly the way
+//!    loom does, just with a smaller surface.
+//!
+//! The crate is dependency-free on purpose: `cargo xtask lint` should
+//! build from a cold cache in seconds, and the model checker must not
+//! drag the vendored runtime into its own object graph.
+
+pub mod diag;
+pub mod lexer;
+pub mod lint;
+pub mod sched;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Rule};
+pub use lint::{lint_source, lint_workspace};
+pub use workspace::{collect_sources, FileClass, FileKind};

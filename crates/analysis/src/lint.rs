@@ -1,0 +1,773 @@
+//! The domain-invariant lint pass: rules L1-L5 over the lexed token
+//! stream of every workspace source file.
+//!
+//! ## Rules
+//!
+//! - **L1** — no raw wall-clock reads (`std::time::Instant::now`,
+//!   `SystemTime::now`) outside the clock abstraction. The paused-clock
+//!   test harness and the chaos/experiment reproducibility guarantees
+//!   silently break the moment any engine-adjacent path reads real time
+//!   directly; time must come from `tokio::time::Instant` (virtual under
+//!   a paused runtime) or a dedicated `clock.rs` module.
+//! - **L2** — no unbounded channels (`mpsc::unbounded_channel` and
+//!   friends) outside test code. The engine's channel topology is sized
+//!   by fan-in; an unbounded edge turns backpressure into heap growth.
+//! - **L3** — no `Mutex`/`RwLock` guard held live across an `.await`.
+//!   This is the exact shape of the re-entrant executor deadlock fixed
+//!   in PR 1: a task parks holding a lock the waker path needs.
+//! - **L4** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`
+//!   in library-crate production code; propagate typed errors.
+//! - **L5** — no hand-rolled millisecond conversions (`* 1e3`,
+//!   `/ 1000.0`, `.as_millis() as f64`, ...); go through the
+//!   `Millis` / `TimeScale` / `Duration` newtypes so units stay typed.
+//!
+//! ## Escape hatch
+//!
+//! A violation that is intentional carries an allow directive *with a
+//! justification*, either trailing the offending line or on the line
+//! directly above it:
+//!
+//! ```text
+//! // cedar-lint: allow(L4): serialization of plain data cannot fail
+//! let s = serde_json::to_string(self).expect("plain data");
+//! ```
+//!
+//! Directives without a justification (or naming no known rule) are
+//! themselves diagnostics: silence must always carry its reason.
+//!
+//! ## Test code
+//!
+//! `#[cfg(test)]` items, `tests/`, `benches/` and `examples/` are exempt
+//! from L1, L2, L4 and L5 (tests legitimately panic, fake time, and use
+//! unbounded scaffolding). L3 applies everywhere: a guard held across an
+//! await deadlocks a test just as surely as production code.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::workspace::FileClass;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// Lints one file's source text under its classification.
+pub fn lint_source(class: &FileClass, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let allows = parse_allow_directives(&lexed.comments);
+    let test_spans = test_item_spans(&lexed.tokens);
+    let mut ctx = FileCtx {
+        class,
+        tokens: &lexed.tokens,
+        test_spans,
+        allows: &allows.per_line,
+        diags: allows.errors,
+        uses_std_instant: detect_std_instant_import(&lexed.tokens),
+    };
+    rule_l1_wall_clock(&mut ctx);
+    rule_l2_unbounded(&mut ctx);
+    rule_l3_guard_across_await(&mut ctx);
+    rule_l4_panics(&mut ctx);
+    rule_l5_ms_literals(&mut ctx);
+    ctx.diags.sort_by_key(|d| (d.line, d.col));
+    ctx.diags
+}
+
+struct FileCtx<'a> {
+    class: &'a FileClass,
+    tokens: &'a [Token],
+    /// Token index ranges covered by `#[cfg(test)]` / `#[cfg(bench)]`
+    /// items (half-open).
+    test_spans: Vec<(usize, usize)>,
+    allows: &'a HashMap<u32, HashSet<Rule>>,
+    diags: Vec<Diagnostic>,
+    uses_std_instant: bool,
+}
+
+impl FileCtx<'_> {
+    fn in_test_item(&self, idx: usize) -> bool {
+        self.class.is_test_code()
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| idx >= lo && idx < hi)
+    }
+
+    fn emit(&mut self, rule: Rule, tok: &Token, message: impl Into<String>) {
+        let allowed = self
+            .allows
+            .get(&tok.line)
+            .is_some_and(|rules| rules.contains(&rule));
+        if !allowed {
+            self.diags.push(Diagnostic {
+                rule,
+                path: self.class.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: message.into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------
+
+struct Allows {
+    /// Line number -> rules allowed on that line. A directive covers its
+    /// own line and the next line (trailing vs preceding placement).
+    per_line: HashMap<u32, HashSet<Rule>>,
+    errors: Vec<Diagnostic>,
+}
+
+fn parse_allow_directives(comments: &[Comment]) -> Allows {
+    let mut per_line: HashMap<u32, HashSet<Rule>> = HashMap::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("cedar-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "cedar-lint:".len()..].trim();
+        let parsed = parse_one_directive(rest);
+        match parsed {
+            Ok(rules) => {
+                for line in [c.line, c.line + 1] {
+                    per_line.entry(line).or_default().extend(rules.iter());
+                }
+            }
+            Err(msg) => errors.push(Diagnostic {
+                rule: Rule::BadDirective,
+                path: std::path::PathBuf::new(), // filled by caller via class
+                line: c.line,
+                col: 1,
+                message: msg,
+            }),
+        }
+    }
+    Allows { per_line, errors }
+}
+
+/// Parses `allow(L1, L4): justification`.
+fn parse_one_directive(s: &str) -> Result<HashSet<Rule>, String> {
+    let Some(body) = s.strip_prefix("allow") else {
+        return Err(format!("unknown cedar-lint directive {s:?}"));
+    };
+    let body = body.trim_start();
+    let Some(close) = body.find(')') else {
+        return Err("allow directive missing closing parenthesis".into());
+    };
+    let Some(inner) = body[..close].strip_prefix('(') else {
+        return Err("allow directive missing rule list".into());
+    };
+    let mut rules = HashSet::new();
+    for part in inner.split(',') {
+        match Rule::parse(part) {
+            Some(r) => {
+                rules.insert(r);
+            }
+            None => return Err(format!("unknown lint rule {:?}", part.trim())),
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow directive names no rules".into());
+    }
+    let tail = body[close + 1..].trim();
+    let justification = tail.strip_prefix(':').map_or("", str::trim);
+    if justification.is_empty() {
+        return Err(
+            "allow directive requires a justification: // cedar-lint: allow(Lx): <why>".into(),
+        );
+    }
+    Ok(rules)
+}
+
+// ---------------------------------------------------------------------
+// #[cfg(test)] item tracking
+// ---------------------------------------------------------------------
+
+/// Finds token spans of items annotated `#[cfg(test)]` (or any cfg
+/// mentioning `test`), so in-file test modules are exempted.
+fn test_item_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && attr_mentions_test(tokens, i + 2)
+        {
+            // Skip to the end of the attribute.
+            let Some(attr_end) = matching_bracket(tokens, i + 1, '[', ']') else {
+                break;
+            };
+            // The annotated item runs to the end of its braced block (or
+            // trailing semicolon for `mod name;` forms).
+            let mut j = attr_end + 1;
+            // Skip any further attributes on the same item.
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                match tokens
+                    .get(j + 1)
+                    .filter(|t| t.is_punct('['))
+                    .and_then(|_| matching_bracket(tokens, j + 1, '[', ']'))
+                {
+                    Some(e) => j = e + 1,
+                    None => break,
+                }
+            }
+            let mut end = j;
+            while end < tokens.len() {
+                if tokens[end].is_punct('{') {
+                    end = matching_bracket(tokens, end, '{', '}').unwrap_or(tokens.len());
+                    break;
+                }
+                if tokens[end].is_punct(';') {
+                    break;
+                }
+                end += 1;
+            }
+            spans.push((i, end + 1));
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn attr_mentions_test(tokens: &[Token], start: usize) -> bool {
+    // Inside `#[ ... ]`: look for `cfg` with `test`/`bench`/`loom` in
+    // its argument list, or a bare `test`/`bench` attribute.
+    let Some(end) = matching_bracket(tokens, start.saturating_sub(1), '[', ']') else {
+        return false;
+    };
+    let inner = &tokens[start..end];
+    let has = |s: &str| inner.iter().any(|t| t.is_ident(s));
+    (has("cfg") && (has("test") || has("bench") || has("loom"))) || has("test") || has("bench")
+}
+
+/// Index of the bracket matching `tokens[open_idx]` (which must be the
+/// opening bracket), or `None` if unbalanced.
+fn matching_bracket(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// L1: wall clock
+// ---------------------------------------------------------------------
+
+/// True when the file imports `std::time::Instant` (so a bare
+/// `Instant::now()` is a wall-clock read, not a tokio one).
+fn detect_std_instant_import(tokens: &[Token]) -> bool {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") {
+            // Scan the use statement up to its semicolon.
+            let mut j = i + 1;
+            let mut path = Vec::new();
+            while j < tokens.len() && !tokens[j].is_punct(';') {
+                if let Some(id) = tokens[j].ident() {
+                    path.push(id.to_owned());
+                }
+                j += 1;
+            }
+            let is_std_time = path.first().is_some_and(|p| p == "std")
+                && path.iter().any(|p| p == "time")
+                && path.iter().any(|p| p == "Instant");
+            if is_std_time {
+                return true;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    false
+}
+
+fn rule_l1_wall_clock(ctx: &mut FileCtx) {
+    if !ctx.class.clocked() {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test_item(i) {
+            continue;
+        }
+        // `SystemTime` anywhere outside the clock abstraction.
+        if t.is_ident("SystemTime") && !in_use_statement(tokens, i) {
+            hits.push((
+                i,
+                "raw wall-clock type `SystemTime` used outside the clock abstraction".to_owned(),
+            ));
+            continue;
+        }
+        // `Instant :: now` where Instant resolves to std::time.
+        if t.is_ident("Instant")
+            && next_is(tokens, i + 1, "::")
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            let qualified_std = path_prefix_is(tokens, i, &["std", "time"]);
+            let qualified_tokio = path_prefix_is(tokens, i, &["tokio", "time"]);
+            if qualified_std || (ctx.uses_std_instant && !qualified_tokio) {
+                hits.push((
+                    i,
+                    "raw wall-clock read `Instant::now()` resolves to std::time::Instant"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    for (i, msg) in hits {
+        let tok = tokens[i].clone();
+        ctx.emit(Rule::L1, &tok, msg);
+    }
+}
+
+fn next_is(tokens: &[Token], i: usize, punct2: &str) -> bool {
+    let mut chars = punct2.chars();
+    let (a, b) = (chars.next().unwrap_or(' '), chars.next().unwrap_or(' '));
+    tokens.get(i).is_some_and(|t| t.is_punct(a)) && tokens.get(i + 1).is_some_and(|t| t.is_punct(b))
+}
+
+/// True when `tokens[i]` is preceded by exactly the path segments
+/// `prefix` (e.g. `std :: time ::`).
+fn path_prefix_is(tokens: &[Token], i: usize, prefix: &[&str]) -> bool {
+    let mut idx = i;
+    for seg in prefix.iter().rev() {
+        if idx < 3 {
+            return false;
+        }
+        if !(next_is(tokens, idx - 2, "::") && tokens[idx - 3].is_ident(seg)) {
+            return false;
+        }
+        idx -= 3;
+    }
+    true
+}
+
+fn in_use_statement(tokens: &[Token], i: usize) -> bool {
+    // Walk back to the previous `;` / `}` / start; if we hit `use`
+    // first, the token is part of an import, which is fine on its own —
+    // the *call* is what reads the clock.
+    for t in tokens[..i].iter().rev() {
+        if t.is_punct(';') || t.is_punct('}') || t.is_punct('{') {
+            return false;
+        }
+        if t.is_ident("use") {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// L2: unbounded channels
+// ---------------------------------------------------------------------
+
+fn rule_l2_unbounded(ctx: &mut FileCtx) {
+    if ctx.class.is_test_code() {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test_item(i) || in_use_statement(tokens, i) {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        if (id == "unbounded_channel" || id == "unbounded")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            hits.push((i, format!("unbounded queue constructor `{id}()`")));
+        }
+    }
+    for (i, msg) in hits {
+        let tok = tokens[i].clone();
+        ctx.emit(Rule::L2, &tok, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3: guard across await
+// ---------------------------------------------------------------------
+
+/// Method names whose empty-argument calls produce a lock guard.
+const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
+
+/// Suffix calls that keep the binding a guard (consume the LockResult
+/// without dropping the guard).
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unpoisoned"];
+
+fn rule_l3_guard_across_await(ctx: &mut FileCtx) {
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Find `let [mut] <ident> = ... ;` statements.
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(bound) = tokens.get(j).and_then(|t| t.ident().map(str::to_owned)) else {
+            i += 1;
+            continue;
+        };
+        if !tokens.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+            i += 1;
+            continue;
+        }
+        // Statement end: the `;` at zero bracket depth.
+        let Some(stmt_end) = statement_end(tokens, j + 2) else {
+            i += 1;
+            continue;
+        };
+        if let Some(guard_idx) = initializer_is_guard(tokens, j + 2, stmt_end) {
+            // Guard is live from stmt_end until the enclosing block
+            // closes, an explicit `drop(bound)`, or a shadowing re-`let`.
+            if let Some(await_tok) = find_await_while_live(tokens, stmt_end + 1, &bound) {
+                let tok = tokens[guard_idx].clone();
+                hits.push((
+                    tok,
+                    format!(
+                        "lock guard `{bound}` is held across the .await at line {}",
+                        await_tok.line
+                    ),
+                ));
+            }
+        }
+        i = stmt_end + 1;
+    }
+    for (tok, msg) in hits {
+        ctx.emit(Rule::L3, &tok, msg);
+    }
+}
+
+fn statement_end(tokens: &[Token], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(from) {
+        match t.kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return Some(k),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If the initializer in `tokens[from..end]` produces a live lock guard,
+/// returns the index of the guard-producing call.
+fn initializer_is_guard(tokens: &[Token], from: usize, end: usize) -> Option<usize> {
+    // Find the last `.lock()` / `.read()` / `.write()` with empty args
+    // at depth 0 of the initializer.
+    let mut last_guard = None;
+    let mut depth = 0i32;
+    for k in from..end {
+        match tokens[k].kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+            _ => {}
+        }
+        if depth != 0 {
+            continue;
+        }
+        if let Some(id) = tokens[k].ident() {
+            let empty_call = tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(k + 2).is_some_and(|t| t.is_punct(')'));
+            let preceded_by_dot = k > 0 && tokens[k - 1].is_punct('.');
+            if GUARD_CALLS.contains(&id) && empty_call && preceded_by_dot {
+                last_guard = Some(k);
+            }
+        }
+    }
+    let guard_idx = last_guard?;
+    // Examine what follows the guard call's `()`: only guard-preserving
+    // suffixes may appear before the statement ends, otherwise the guard
+    // is a dropped temporary (e.g. `.lock().unwrap().clone()`).
+    let mut k = guard_idx + 3; // past `( )`
+    while k < end {
+        if tokens[k].is_punct('.') {
+            let id = tokens.get(k + 1).and_then(|t| t.ident())?;
+            let preserving = GUARD_PRESERVING.iter().any(|p| id.contains(p));
+            if !preserving {
+                return None;
+            }
+            // Skip over the call's argument list.
+            let open = k + 2;
+            if tokens.get(open).is_some_and(|t| t.is_punct('(')) {
+                k = matching_bracket(tokens, open, '(', ')')? + 1;
+            } else {
+                return None;
+            }
+        } else if tokens[k].is_punct('?') {
+            k += 1;
+        } else {
+            return None;
+        }
+    }
+    Some(guard_idx)
+}
+
+/// Scans forward from `from` while the guard binding is live; returns
+/// the first `.await` token encountered, if any.
+fn find_await_while_live<'t>(tokens: &'t [Token], from: usize, bound: &str) -> Option<&'t Token> {
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // enclosing block closed; guard dropped
+                }
+            }
+            _ => {}
+        }
+        // drop(bound) or std::mem::drop(bound) ends liveness.
+        if t.is_ident("drop")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(k + 2).is_some_and(|t| t.is_ident(bound))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            return None;
+        }
+        // A shadowing `let bound = ...` also ends the old guard's reach
+        // for this heuristic.
+        if t.is_ident("let")
+            && (tokens.get(k + 1).is_some_and(|t| t.is_ident(bound))
+                || (tokens.get(k + 1).is_some_and(|t| t.is_ident("mut"))
+                    && tokens.get(k + 2).is_some_and(|t| t.is_ident(bound))))
+        {
+            return None;
+        }
+        if t.is_punct('.') && tokens.get(k + 1).is_some_and(|t| t.is_ident("await")) {
+            return Some(&tokens[k + 1]);
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// L4: unwrap / expect / panic in library crates
+// ---------------------------------------------------------------------
+
+fn rule_l4_panics(ctx: &mut FileCtx) {
+    if !ctx.class.panic_free_required() {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test_item(i) {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        match id {
+            "unwrap" | "expect" => {
+                let method_call = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if method_call {
+                    hits.push((i, format!(".{id}() in a library crate")));
+                }
+            }
+            "panic" | "todo" | "unimplemented"
+                if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                hits.push((i, format!("{id}! in a library crate")));
+            }
+            _ => {}
+        }
+    }
+    for (i, msg) in hits {
+        let tok = tokens[i].clone();
+        ctx.emit(Rule::L4, &tok, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// L5: raw millisecond literals in policy code
+// ---------------------------------------------------------------------
+
+/// Float literal texts that smell like hand-rolled ms<->s conversion
+/// factors when used with `*` or `/`.
+const MS_FACTORS: &[&str] = &["1e3", "1000.0", "1_000.0", "1e-3", "0.001"];
+
+fn rule_l5_ms_literals(ctx: &mut FileCtx) {
+    if ctx.class.is_test_code() {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test_item(i) {
+            continue;
+        }
+        // `<expr> * 1e3` / `<expr> / 1000.0` and the mirrored forms.
+        if let TokenKind::Float(num) = &t.kind {
+            if MS_FACTORS.contains(&num.as_str()) {
+                let prev_op = i > 0 && (tokens[i - 1].is_punct('*') || tokens[i - 1].is_punct('/'));
+                let next_op = tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct('*') || t.is_punct('/'));
+                if prev_op || next_op {
+                    hits.push((
+                        i,
+                        format!("hand-rolled unit conversion with raw factor `{num}`"),
+                    ));
+                }
+            }
+        }
+        // `.as_millis() as f64`: lossy truncation plus an untyped float.
+        if t.is_ident("as_millis")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("as"))
+            && tokens
+                .get(i + 4)
+                .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"))
+        {
+            hits.push((
+                i,
+                "`.as_millis() as f64` truncates; use Millis::from_duration".to_owned(),
+            ));
+        }
+    }
+    for (i, msg) in hits {
+        let tok = tokens[i].clone();
+        ctx.emit(Rule::L5, &tok, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Lints every classifiable source file under `root`; diagnostics carry
+/// workspace-relative paths. Returns `(diagnostics, files_scanned)`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let sources = crate::workspace::collect_sources(root)?;
+    let mut diags = Vec::new();
+    for class in &sources {
+        let src = std::fs::read_to_string(root.join(&class.path))?;
+        for mut d in lint_source(class, &src) {
+            // Directive errors are emitted with an empty path.
+            if d.path.as_os_str().is_empty() {
+                d.path.clone_from(&class.path);
+            }
+            diags.push(d);
+        }
+    }
+    Ok((diags, sources.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::FileClass;
+    use std::path::Path;
+
+    fn lib_class() -> FileClass {
+        FileClass::classify(Path::new("crates/runtime/src/engine.rs"))
+            .unwrap_or_else(|| panic!("classifies"))
+    }
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source(&lib_class(), src)
+    }
+
+    #[test]
+    fn l4_fires_and_allow_suppresses() {
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(lint(bad).len(), 1);
+        let allowed = "fn f(x: Option<u8>) -> u8 {\n\
+             // cedar-lint: allow(L4): x is Some by construction\n\
+             x.unwrap() }";
+        assert!(lint(allowed).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_an_error() {
+        let src = "// cedar-lint: allow(L4)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let diags = lint(src);
+        assert!(diags.iter().any(|d| d.rule == Rule::BadDirective));
+        // The unwrap itself still fires: a bad directive allows nothing.
+        assert!(diags.iter().any(|d| d.rule == Rule::L4));
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l3_guard_across_await() {
+        let bad = "async fn f(m: &std::sync::Mutex<u8>) {\n\
+             let g = m.lock().unwrap();\n\
+             other().await;\n}";
+        let diags = lint(bad);
+        assert!(diags.iter().any(|d| d.rule == Rule::L3), "{diags:?}");
+        // Dropping the guard first is fine.
+        let ok = "async fn f(m: &std::sync::Mutex<u8>) {\n\
+             let g = m.lock().unwrap();\n\
+             drop(g);\n\
+             other().await;\n}";
+        assert!(lint(ok).iter().all(|d| d.rule != Rule::L3));
+        // A temporary (guard consumed in the statement) is fine.
+        let tmp = "async fn f(m: &std::sync::Mutex<u8>) {\n\
+             let v = m.lock().unwrap().clone();\n\
+             other().await;\n}";
+        assert!(lint(tmp).iter().all(|d| d.rule != Rule::L3));
+    }
+
+    #[test]
+    fn l1_distinguishes_std_and_tokio_instant() {
+        let std_i = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let diags = lint(std_i);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::L1),
+            "std Instant::now must fire: {diags:?}"
+        );
+        let tokio_i = "use tokio::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert!(lint(tokio_i).iter().all(|d| d.rule != Rule::L1));
+        let qualified = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(lint(qualified).iter().any(|d| d.rule == Rule::L1));
+    }
+
+    #[test]
+    fn l2_and_l5() {
+        let src = "fn f() { let (tx, rx) = mpsc::unbounded_channel::<u8>(); }";
+        // Generic turbofish between name and paren: the simple adjacency
+        // check misses it, so also test the plain form.
+        let plain = "fn f() { let (tx, rx) = unbounded_channel(); }";
+        assert!(lint(plain).iter().any(|d| d.rule == Rule::L2));
+        let _ = src;
+        let conv = "fn f(d: std::time::Duration) -> f64 { d.as_secs_f64() * 1e3 }";
+        assert!(lint(conv).iter().any(|d| d.rule == Rule::L5));
+        let millis = "fn f(d: std::time::Duration) -> u128 { d.as_millis() }";
+        assert!(lint(millis).iter().all(|d| d.rule != Rule::L5));
+    }
+}

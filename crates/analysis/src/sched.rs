@@ -1,0 +1,1032 @@
+//! A loom-style exhaustive-interleaving model checker.
+//!
+//! The environment vendors no model-checking crate, so this module
+//! rebuilds the core of loom's technique in ~600 lines: run a small
+//! concurrent model repeatedly, once per distinct thread interleaving,
+//! and fail the test if *any* schedule deadlocks or violates an
+//! assertion.
+//!
+//! ## How it works
+//!
+//! Model threads are real OS threads, but only one is ever *active*: a
+//! central turnstile (mutex + condvar) parks everyone else. At every
+//! visible operation — lock acquire/release, atomic access, spawn,
+//! join, yield — the active thread reaches a **schedule point**: it
+//! asks the scheduler which thread runs next. The scheduler records
+//! each decision as `(candidate_count, chosen_index)`.
+//!
+//! Exploration is replay-prefix DFS, exactly loom's strategy: after a
+//! run completes, find the deepest decision with an unexplored
+//! alternative, truncate the log there, bump the choice, and re-run the
+//! model replaying that prefix. When every decision at every depth has
+//! been exhausted, the model is verified for all interleavings (at the
+//! granularity of the model's visible operations).
+//!
+//! ## Failure channels
+//!
+//! - **Deadlock** — at a schedule point no thread is runnable but some
+//!   are unfinished (all blocked on locks/joins), or a thread tries to
+//!   re-acquire a lock it already holds (self-deadlock: no future
+//!   release can ever unblock it).
+//! - **Panic** — any model thread panics (assertion failure). The
+//!   panic message is captured into the [`Failure`].
+//!
+//! On failure the scheduler aborts the run: every parked thread is
+//! woken and unwound via a private [`ModelAbort`] panic payload, so the
+//! process never leaks parked OS threads.
+//!
+//! ## Scope
+//!
+//! Only what the cedar models need: [`Mutex`], [`RwLock`],
+//! [`AtomicUsize`], [`spawn`]/[`JoinHandle`], [`yield_now`]. No
+//! `Condvar`, no weak-memory modeling (all atomics are sequentially
+//! consistent) — the protocols under test (the executor's timer-wake
+//! locking and the service's priors-epoch handoff) are lock-order
+//! protocols, which this granularity captures exactly.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+// ---------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------
+
+/// Why a model failed.
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// No runnable thread remained while some were unfinished, or a
+    /// thread re-acquired a lock it already holds.
+    Deadlock {
+        /// Human-readable description of who is stuck on what.
+        detail: String,
+    },
+    /// A model thread panicked (assertion failure).
+    Panic { message: String },
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            Failure::Panic { message } => write!(f, "panic: {message}"),
+        }
+    }
+}
+
+/// Result of exploring a model's interleavings.
+#[derive(Debug)]
+pub struct Summary {
+    /// Number of distinct schedules executed.
+    pub runs: usize,
+    /// True when exploration stopped at `max_runs` before exhausting
+    /// the schedule space.
+    pub truncated: bool,
+    /// The first failing schedule found, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Upper bound on schedules executed (safety valve; exploration is
+    /// exhaustive when the space is smaller).
+    pub max_runs: usize,
+    /// Bound on context switches away from a still-runnable thread per
+    /// schedule. Most real concurrency bugs need <= 2 preemptions
+    /// (CHESS's empirical result), so a small bound prunes the space
+    /// enormously while keeping the bugs findable.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_runs: 100_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn max_runs(mut self, n: usize) -> Self {
+        self.max_runs = n;
+        self
+    }
+
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = Some(n);
+        self
+    }
+
+    /// Runs `f` once per distinct interleaving, returning what was
+    /// found. Does not panic on failure — callers inspect the summary.
+    pub fn explore<F>(&self, f: F) -> Summary
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut runs = 0usize;
+        loop {
+            runs += 1;
+            let (mut log, failure) = run_once(Arc::clone(&f), &replay, self.preemption_bound);
+            if failure.is_some() {
+                return Summary {
+                    runs,
+                    truncated: false,
+                    failure,
+                };
+            }
+            // Backtrack: deepest decision with an unexplored branch.
+            while let Some(&(n, c)) = log.last() {
+                if c + 1 < n {
+                    break;
+                }
+                log.pop();
+            }
+            if log.is_empty() {
+                return Summary {
+                    runs,
+                    truncated: false,
+                    failure: None,
+                };
+            }
+            let last = log.len() - 1;
+            replay = log.iter().map(|&(_, c)| c).collect();
+            replay[last] += 1;
+            if runs >= self.max_runs {
+                return Summary {
+                    runs,
+                    truncated: true,
+                    failure: None,
+                };
+            }
+        }
+    }
+}
+
+/// Explores all interleavings of `f` with default settings and panics
+/// with the failing schedule's description if any fails — the `loom
+/// ::model` entry point shape.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let summary = Builder::default().explore(f);
+    if let Some(failure) = summary.failure {
+        panic!(
+            "model failed after {} schedule(s): {}",
+            summary.runs, failure
+        );
+    }
+    assert!(
+        !summary.truncated,
+        "model exploration truncated at {} schedules; raise max_runs or shrink the model",
+        summary.runs
+    );
+}
+
+// ---------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------
+
+/// Private panic payload used to unwind parked threads when a run
+/// aborts. Never escapes the controller.
+struct ModelAbort;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Blocked with a human-readable reason (used in deadlock reports).
+    Blocked(String),
+    Finished,
+}
+
+enum Resource {
+    Mutex {
+        owner: Option<usize>,
+    },
+    RwLock {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+    },
+}
+
+struct Core {
+    threads: Vec<TState>,
+    active: usize,
+    resources: Vec<Resource>,
+    /// Decision log for this run: (candidate_count, chosen_index).
+    log: Vec<(usize, usize)>,
+    /// Prefix of choices to replay, from the exploration driver.
+    replay: Vec<usize>,
+    step: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    aborting: bool,
+    failure: Option<Failure>,
+}
+
+struct SchedInner {
+    core: StdMutex<Core>,
+    cv: Condvar,
+    /// Real OS thread handles, joined by the controller.
+    handles: StdMutex<VecDeque<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<SchedInner>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<SchedInner>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("sched primitive used outside a model run")
+    })
+}
+
+fn abort_run(inner: &SchedInner, core: &mut Core, failure: Failure) -> ! {
+    if core.failure.is_none() {
+        core.failure = Some(failure);
+    }
+    core.aborting = true;
+    inner.cv.notify_all();
+    std::panic::panic_any(ModelAbort);
+}
+
+/// Chooses the next active thread. Call with the core locked, from the
+/// currently active thread `tid` (whose state is already updated).
+fn reschedule(inner: &SchedInner, core: &mut Core, tid: usize) {
+    if core.aborting {
+        inner.cv.notify_all();
+        return;
+    }
+    let mut candidates: Vec<usize> = (0..core.threads.len())
+        .filter(|&t| core.threads[t] == TState::Runnable)
+        .collect();
+    if candidates.is_empty() {
+        if core.threads.iter().any(|t| !matches!(t, TState::Finished)) {
+            let detail = core
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    TState::Blocked(why) => Some(format!("thread {t} blocked: {why}")),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            core.failure = Some(Failure::Deadlock { detail });
+            core.aborting = true;
+        }
+        // Either everyone finished (run complete) or we just flagged a
+        // deadlock; wake the world in both cases.
+        inner.cv.notify_all();
+        return;
+    }
+    // Preemption bounding: once the budget is spent, a still-runnable
+    // thread keeps running.
+    let self_runnable = core
+        .threads
+        .get(tid)
+        .is_some_and(|s| *s == TState::Runnable);
+    if let Some(bound) = core.bound {
+        if core.preemptions >= bound && self_runnable && candidates.contains(&tid) {
+            candidates = vec![tid];
+        }
+    }
+    let chosen_idx = if core.step < core.replay.len() {
+        core.replay[core.step].min(candidates.len() - 1)
+    } else {
+        0
+    };
+    core.log.push((candidates.len(), chosen_idx));
+    core.step += 1;
+    let next = candidates[chosen_idx];
+    if next != tid && self_runnable {
+        core.preemptions += 1;
+    }
+    core.active = next;
+    inner.cv.notify_all();
+}
+
+/// Parks until this thread is the active one (or the run aborts).
+fn block_until_active<'a>(
+    inner: &'a SchedInner,
+    mut core: StdMutexGuard<'a, Core>,
+    tid: usize,
+) -> StdMutexGuard<'a, Core> {
+    loop {
+        if core.aborting {
+            drop(core);
+            std::panic::panic_any(ModelAbort);
+        }
+        if core.active == tid {
+            return core;
+        }
+        core = inner
+            .cv
+            .wait(core)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+fn lock_core(inner: &SchedInner) -> StdMutexGuard<'_, Core> {
+    inner
+        .core
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A visible-operation boundary: let the scheduler pick who runs next,
+/// then wait for our turn.
+fn schedule_point() {
+    let (inner, tid) = ctx();
+    let mut core = lock_core(&inner);
+    if core.aborting {
+        drop(core);
+        std::panic::panic_any(ModelAbort);
+    }
+    reschedule(&inner, &mut core, tid);
+    let core = block_until_active(&inner, core, tid);
+    drop(core);
+}
+
+/// Marks `tid` blocked, hands off the baton, and parks until some other
+/// thread makes us runnable and the scheduler picks us.
+fn block_on<'a>(
+    inner: &'a SchedInner,
+    mut core: StdMutexGuard<'a, Core>,
+    tid: usize,
+    why: String,
+) -> StdMutexGuard<'a, Core> {
+    core.threads[tid] = TState::Blocked(why);
+    reschedule(inner, &mut core, tid);
+    block_until_active(inner, core, tid)
+}
+
+fn wake_waiters_on(core: &mut Core, needle: &str) {
+    for s in &mut core.threads {
+        if matches!(s, TState::Blocked(why) if why.contains(needle)) {
+            *s = TState::Runnable;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run controller
+// ---------------------------------------------------------------------
+
+fn thread_main(inner: Arc<SchedInner>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), tid)));
+    {
+        let core = lock_core(&inner);
+        let _core = block_until_active(&inner, core, tid);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    let mut core = lock_core(&inner);
+    core.threads[tid] = TState::Finished;
+    wake_waiters_on(&mut core, &join_tag(tid));
+    match outcome {
+        Ok(()) => {}
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                if core.failure.is_none() {
+                    core.failure = Some(Failure::Panic { message });
+                }
+                core.aborting = true;
+            }
+        }
+    }
+    reschedule(&inner, &mut core, tid);
+    drop(core);
+    inner.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn join_tag(tid: usize) -> String {
+    format!("join(thread {tid})")
+}
+
+/// Executes one schedule. Returns the decision log and any failure.
+fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    replay: &[usize],
+    bound: Option<usize>,
+) -> (Vec<(usize, usize)>, Option<Failure>) {
+    let inner = Arc::new(SchedInner {
+        core: StdMutex::new(Core {
+            threads: vec![TState::Runnable],
+            active: 0,
+            resources: Vec::new(),
+            log: Vec::new(),
+            replay: replay.to_vec(),
+            step: 0,
+            preemptions: 0,
+            bound,
+            aborting: false,
+            failure: None,
+        }),
+        cv: Condvar::new(),
+        handles: StdMutex::new(VecDeque::new()),
+    });
+    let root = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || {
+            let inner2 = Arc::clone(&inner);
+            thread_main(inner, 0, Box::new(move || f()));
+            drop(inner2);
+        })
+    };
+    let _ = root.join();
+    // Spawned threads register their handles as they are created; keep
+    // draining until none remain (a joined thread may have spawned
+    // more, though by the time the root joins, all model threads have
+    // finished or aborted).
+    loop {
+        let next = {
+            let mut q = inner
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q.pop_front()
+        };
+        match next {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let mut core = lock_core(&inner);
+    (std::mem::take(&mut core.log), core.failure.take())
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Handle to a model thread; [`join`](JoinHandle::join) blocks the
+/// calling model thread until the target finishes.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> T {
+        let (inner, me) = ctx();
+        schedule_point();
+        let mut core = lock_core(&inner);
+        while !matches!(core.threads[self.tid], TState::Finished) {
+            core = block_on(&inner, core, me, join_tag(self.tid));
+        }
+        drop(core);
+        match self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            Some(v) => v,
+            // The target panicked; the run is aborting — unwind too.
+            None => std::panic::panic_any(ModelAbort),
+        }
+    }
+}
+
+/// Spawns a model thread. Must be called from within a model run.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (inner, _me) = ctx();
+    let tid = {
+        let mut core = lock_core(&inner);
+        core.threads.push(TState::Runnable);
+        core.threads.len() - 1
+    };
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let inner2 = Arc::clone(&inner);
+    let handle = std::thread::spawn(move || {
+        thread_main(
+            inner2,
+            tid,
+            Box::new(move || {
+                let v = f();
+                *slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+            }),
+        );
+    });
+    inner
+        .handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push_back(handle);
+    // Spawning is a visible operation: the child may run before or
+    // after anything the parent does next.
+    schedule_point();
+    JoinHandle { tid, result }
+}
+
+/// An explicit schedule point, for modeling code that yields.
+pub fn yield_now() {
+    schedule_point();
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+fn register(res: Resource) -> usize {
+    let (inner, _tid) = ctx();
+    let mut core = lock_core(&inner);
+    core.resources.push(res);
+    core.resources.len() - 1
+}
+
+fn lock_tag(id: usize) -> String {
+    format!("lock(resource {id})")
+}
+
+/// A model mutex: acquisition order is explored exhaustively, and
+/// re-entrant acquisition or unreleasable contention is reported as a
+/// deadlock. Data access is exclusive by the model protocol (only the
+/// owner dereferences, and only one model thread executes at a time).
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a model mutex. Must be called inside a model run.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: register(Resource::Mutex { owner: None }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (inner, tid) = ctx();
+        schedule_point();
+        let mut core = lock_core(&inner);
+        loop {
+            if core.aborting {
+                drop(core);
+                std::panic::panic_any(ModelAbort);
+            }
+            match &mut core.resources[self.id] {
+                Resource::Mutex { owner } => match owner {
+                    None => {
+                        *owner = Some(tid);
+                        break;
+                    }
+                    Some(o) if *o == tid => {
+                        let failure = Failure::Deadlock {
+                            detail: format!(
+                                "thread {tid} re-entered mutex {} it already holds",
+                                self.id
+                            ),
+                        };
+                        abort_run(&inner, &mut core, failure);
+                    }
+                    Some(_) => {}
+                },
+                Resource::RwLock { .. } => unreachable!("mutex id maps to rwlock"),
+            }
+            core = block_on(&inner, core, tid, lock_tag(self.id));
+        }
+        drop(core);
+        MutexGuard { lock: self }
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (inner, tid) = ctx();
+        let mut core = lock_core(&inner);
+        if let Resource::Mutex { owner } = &mut core.resources[self.lock.id] {
+            *owner = None;
+        }
+        wake_waiters_on(&mut core, &lock_tag(self.lock.id));
+        if core.aborting || std::thread::panicking() {
+            // Unwinding: keep the model state consistent but do not
+            // schedule (the run is over for this thread).
+            inner.cv.notify_all();
+            return;
+        }
+        // Release is a visible operation: a waiter may grab the lock
+        // before this thread's next step.
+        reschedule(&inner, &mut core, tid);
+        let core = block_until_active(&inner, core, tid);
+        drop(core);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A model reader-writer lock with writer priority semantics left
+/// unspecified (any admissible grant order is explored).
+pub struct RwLock<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a model rwlock. Must be called inside a model run.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: register(Resource::RwLock {
+                writer: None,
+                readers: Vec::new(),
+            }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let (inner, tid) = ctx();
+        schedule_point();
+        let mut core = lock_core(&inner);
+        loop {
+            if core.aborting {
+                drop(core);
+                std::panic::panic_any(ModelAbort);
+            }
+            match &mut core.resources[self.id] {
+                Resource::RwLock { writer, readers } => match writer {
+                    None => {
+                        readers.push(tid);
+                        break;
+                    }
+                    Some(w) if *w == tid => {
+                        let failure = Failure::Deadlock {
+                            detail: format!(
+                                "thread {tid} read-locked rwlock {} while write-holding it",
+                                self.id
+                            ),
+                        };
+                        abort_run(&inner, &mut core, failure);
+                    }
+                    Some(_) => {}
+                },
+                Resource::Mutex { .. } => unreachable!("rwlock id maps to mutex"),
+            }
+            core = block_on(&inner, core, tid, lock_tag(self.id));
+        }
+        drop(core);
+        RwLockReadGuard { lock: self }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let (inner, tid) = ctx();
+        schedule_point();
+        let mut core = lock_core(&inner);
+        loop {
+            if core.aborting {
+                drop(core);
+                std::panic::panic_any(ModelAbort);
+            }
+            match &mut core.resources[self.id] {
+                Resource::RwLock { writer, readers } => {
+                    if writer == &Some(tid) || readers.contains(&tid) {
+                        let failure = Failure::Deadlock {
+                            detail: format!(
+                                "thread {tid} write-locked rwlock {} it already holds",
+                                self.id
+                            ),
+                        };
+                        abort_run(&inner, &mut core, failure);
+                    }
+                    if writer.is_none() && readers.is_empty() {
+                        *writer = Some(tid);
+                        break;
+                    }
+                }
+                Resource::Mutex { .. } => unreachable!("rwlock id maps to mutex"),
+            }
+            core = block_on(&inner, core, tid, lock_tag(self.id));
+        }
+        drop(core);
+        RwLockWriteGuard { lock: self }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        release_rw(self.lock.id, false);
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        release_rw(self.lock.id, true);
+    }
+}
+
+fn release_rw(id: usize, write: bool) {
+    let (inner, tid) = ctx();
+    let mut core = lock_core(&inner);
+    if let Resource::RwLock { writer, readers } = &mut core.resources[id] {
+        if write {
+            *writer = None;
+        } else if let Some(pos) = readers.iter().position(|&r| r == tid) {
+            readers.remove(pos);
+        }
+    }
+    wake_waiters_on(&mut core, &lock_tag(id));
+    if core.aborting || std::thread::panicking() {
+        inner.cv.notify_all();
+        return;
+    }
+    reschedule(&inner, &mut core, tid);
+    let core = block_until_active(&inner, core, tid);
+    drop(core);
+}
+
+// ---------------------------------------------------------------------
+// Atomics (sequentially consistent)
+// ---------------------------------------------------------------------
+
+/// A model atomic counter. Every access is a schedule point; ordering
+/// is sequentially consistent (the turnstile serializes all accesses).
+pub struct AtomicUsize {
+    cell: UnsafeCell<usize>,
+}
+
+unsafe impl Send for AtomicUsize {}
+unsafe impl Sync for AtomicUsize {}
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> Self {
+        AtomicUsize {
+            cell: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn load(&self) -> usize {
+        schedule_point();
+        unsafe { *self.cell.get() }
+    }
+
+    pub fn store(&self, v: usize) {
+        schedule_point();
+        unsafe { *self.cell.get() = v }
+    }
+
+    pub fn fetch_add(&self, v: usize) -> usize {
+        schedule_point();
+        unsafe {
+            let old = *self.cell.get();
+            *self.cell.get() = old.wrapping_add(v);
+            old
+        }
+    }
+
+    pub fn compare_exchange(&self, expect: usize, new: usize) -> Result<usize, usize> {
+        schedule_point();
+        unsafe {
+            let old = *self.cell.get();
+            if old == expect {
+                *self.cell.get() = new;
+                Ok(old)
+            } else {
+                Err(old)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_runs_once() {
+        let s = Builder::new().explore(|| {
+            let m = Mutex::new(0u32);
+            *m.lock() += 1;
+            assert_eq!(*m.lock(), 1);
+        });
+        assert!(s.failure.is_none(), "{:?}", s.failure);
+        assert_eq!(s.runs, 1, "no branching => single schedule");
+    }
+
+    #[test]
+    fn finds_lost_update_on_non_atomic_counter() {
+        // Two threads read-modify-write through separate lock sections:
+        // the classic lost update. The checker must find a schedule
+        // where the final count is 1, not 2.
+        let s = Builder::new().max_runs(10_000).explore(|| {
+            let c = Arc::new(Mutex::new(0u32));
+            let c2 = Arc::clone(&c);
+            let t = spawn(move || {
+                let read = *c2.lock();
+                *c2.lock() = read + 1;
+            });
+            let read = *c.lock();
+            *c.lock() = read + 1;
+            t.join();
+            assert_eq!(*c.lock(), 2, "lost update");
+        });
+        match s.failure {
+            Some(Failure::Panic { ref message }) => {
+                assert!(message.contains("lost update"), "{message}");
+            }
+            other => panic!(
+                "expected panic failure, got {other:?} after {} runs",
+                s.runs
+            ),
+        }
+    }
+
+    #[test]
+    fn finds_ab_ba_deadlock() {
+        let s = Builder::new().max_runs(10_000).explore(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            t.join();
+        });
+        assert!(
+            matches!(s.failure, Some(Failure::Deadlock { .. })),
+            "expected deadlock, got {:?} after {} runs",
+            s.failure,
+            s.runs
+        );
+    }
+
+    #[test]
+    fn consistent_locking_order_passes() {
+        let s = Builder::new().max_runs(50_000).explore(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = spawn(move || {
+                let mut ga = a2.lock();
+                let mut gb = b2.lock();
+                *ga += 1;
+                *gb += 1;
+            });
+            {
+                let mut ga = a.lock();
+                let mut gb = b.lock();
+                *ga += 1;
+                *gb += 1;
+            }
+            t.join();
+            assert_eq!(*a.lock(), 2);
+            assert_eq!(*b.lock(), 2);
+        });
+        assert!(s.failure.is_none(), "{:?}", s.failure);
+        assert!(!s.truncated, "space should be exhaustible: {} runs", s.runs);
+    }
+
+    #[test]
+    fn self_reentry_is_a_deadlock() {
+        let s = Builder::new().explore(|| {
+            let m = Arc::new(Mutex::new(()));
+            let _g = m.lock();
+            let _g2 = m.lock();
+        });
+        assert!(matches!(s.failure, Some(Failure::Deadlock { .. })));
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let s = Builder::new().max_runs(50_000).explore(|| {
+            let l = Arc::new(RwLock::new(0u32));
+            let l2 = Arc::clone(&l);
+            let t = spawn(move || {
+                *l2.write() += 1;
+            });
+            let seen = *l.read();
+            assert!(seen == 0 || seen == 1);
+            t.join();
+            assert_eq!(*l.read(), 1);
+        });
+        assert!(s.failure.is_none(), "{:?}", s.failure);
+    }
+
+    #[test]
+    fn atomic_cas_loop_is_sound() {
+        let s = Builder::new().max_runs(50_000).explore(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = spawn(move || loop {
+                let cur = c2.load();
+                if c2.compare_exchange(cur, cur + 1).is_ok() {
+                    break;
+                }
+            });
+            loop {
+                let cur = c.load();
+                if c.compare_exchange(cur, cur + 1).is_ok() {
+                    break;
+                }
+            }
+            t.join();
+            assert_eq!(c.load(), 2);
+        });
+        assert!(s.failure.is_none(), "{:?}", s.failure);
+    }
+
+    #[test]
+    fn preemption_bound_still_finds_two_switch_bugs() {
+        let s = Builder::new()
+            .max_runs(10_000)
+            .preemption_bound(2)
+            .explore(|| {
+                let c = Arc::new(Mutex::new(0u32));
+                let c2 = Arc::clone(&c);
+                let t = spawn(move || {
+                    let read = *c2.lock();
+                    *c2.lock() = read + 1;
+                });
+                let read = *c.lock();
+                *c.lock() = read + 1;
+                t.join();
+                assert_eq!(*c.lock(), 2, "lost update");
+            });
+        assert!(matches!(s.failure, Some(Failure::Panic { .. })));
+    }
+}

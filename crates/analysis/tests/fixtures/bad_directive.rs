@@ -1,0 +1,12 @@
+// Seeded violation fixture: malformed allow directives are themselves
+// diagnostics — silence must carry its reason.
+
+pub fn no_justification(x: Option<u64>) -> u64 {
+    // cedar-lint: allow(L4)
+    x.unwrap() // still fires: the directive above is rejected
+}
+
+pub fn unknown_rule(x: Option<u64>) -> u64 {
+    // cedar-lint: allow(L9): no such rule
+    x.unwrap() // still fires
+}

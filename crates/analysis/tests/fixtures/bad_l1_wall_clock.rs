@@ -1,0 +1,19 @@
+// Seeded violation fixture: L1 must fire on raw wall-clock reads.
+// This file is never compiled; the lint test lints it as if it lived at
+// crates/runtime/src/bad.rs.
+use std::time::Instant;
+
+pub fn elapsed_wall() -> std::time::Duration {
+    let start = Instant::now(); // L1: std Instant resolved via import
+    start.elapsed()
+}
+
+pub fn qualified_read() -> u64 {
+    let t = std::time::Instant::now(); // L1: fully qualified
+    let _ = t;
+    0
+}
+
+pub fn system_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now() // L1: SystemTime anywhere
+}

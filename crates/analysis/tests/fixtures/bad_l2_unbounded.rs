@@ -1,0 +1,17 @@
+// Seeded violation fixture: L2 must fire on unbounded queue
+// constructors outside test code.
+use tokio::sync::mpsc;
+
+pub fn build_pipeline() -> (mpsc::UnboundedSender<u64>, mpsc::UnboundedReceiver<u64>) {
+    mpsc::unbounded_channel() // L2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_ok_in_tests() {
+        let (_tx, _rx) = tokio::sync::mpsc::unbounded_channel::<u64>(); // exempt
+    }
+}

@@ -1,0 +1,23 @@
+// Seeded violation fixture: L3 must fire when a lock guard is live
+// across an .await point — the exact shape of the PR 1 executor
+// deadlock.
+use std::sync::Mutex;
+
+pub async fn held_across_await(state: &Mutex<u64>) {
+    let guard = state.lock().unwrap(); // L3: guard live at the await below
+    tokio::task::yield_now().await;
+    drop(guard);
+}
+
+pub async fn dropped_before_await(state: &Mutex<u64>) {
+    let guard = state.lock().unwrap(); // ok: dropped before the await
+    let _v = *guard;
+    drop(guard);
+    tokio::task::yield_now().await;
+}
+
+pub async fn temporary_is_fine(state: &Mutex<u64>) -> u64 {
+    let v = state.lock().unwrap().clone(); // ok: guard is a temporary
+    tokio::task::yield_now().await;
+    v
+}

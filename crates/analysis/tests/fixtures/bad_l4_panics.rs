@@ -1,0 +1,29 @@
+// Seeded violation fixture: L4 must fire on unwrap/expect/panic in
+// library-crate production code, and the allow directive must suppress
+// it only with a justification.
+
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    *xs.get(i).unwrap() // L4
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller guarantees digits") // L4
+}
+
+pub fn unreachable_state() -> ! {
+    panic!("corrupted state") // L4
+}
+
+pub fn justified(s: &str) -> u64 {
+    // cedar-lint: allow(L4): input is validated one frame up by parse_header
+    s.parse().unwrap() // suppressed by the directive above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_fine_here() {
+        let v: u64 = "7".parse().unwrap(); // exempt: test code
+        assert_eq!(v, 7);
+    }
+}

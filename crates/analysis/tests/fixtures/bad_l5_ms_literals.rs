@@ -1,0 +1,19 @@
+// Seeded violation fixture: L5 must fire on hand-rolled millisecond
+// conversions in policy code.
+use std::time::Duration;
+
+pub fn latency_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3 // L5: raw conversion factor
+}
+
+pub fn to_seconds(ms: f64) -> f64 {
+    ms / 1000.0 // L5
+}
+
+pub fn truncating(d: Duration) -> f64 {
+    d.as_millis() as f64 // L5: lossy truncation + untyped float
+}
+
+pub fn fine(d: Duration) -> f64 {
+    d.as_secs_f64() // ok: typed accessor, no raw factor
+}

@@ -1,0 +1,84 @@
+//! Regression seeds for the lint pass: each `tests/fixtures/bad_*.rs`
+//! file carries known violations, and this suite proves every rule
+//! still fires on them (and that the exemptions still exempt).
+//!
+//! The fixtures are never compiled — `fixtures/` is excluded from
+//! workspace collection — so they can contain arbitrarily bad code.
+
+use cedar_analysis::{lint_source, FileClass, Rule};
+use std::path::Path;
+
+/// Lints a fixture as if it lived at a library-crate source path, so
+/// every rule's scope applies.
+fn lint_fixture(name: &str) -> (Vec<cedar_analysis::Diagnostic>, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let class = FileClass::classify(Path::new("crates/runtime/src/fixture_under_test.rs"))
+        .expect("synthetic path classifies as library source");
+    (lint_source(&class, &src), src)
+}
+
+fn count(diags: &[cedar_analysis::Diagnostic], rule: Rule) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn l1_fires_on_wall_clock_reads() {
+    let (diags, _) = lint_fixture("bad_l1_wall_clock.rs");
+    // Import-resolved Instant::now, qualified std::time::Instant::now,
+    // and SystemTime (type use + ::now read are one site each).
+    assert!(count(&diags, Rule::L1) >= 3, "{diags:?}");
+}
+
+#[test]
+fn l2_fires_outside_tests_only() {
+    let (diags, _) = lint_fixture("bad_l2_unbounded.rs");
+    assert_eq!(count(&diags, Rule::L2), 1, "{diags:?}");
+}
+
+#[test]
+fn l3_fires_on_guard_across_await() {
+    let (diags, _) = lint_fixture("bad_l3_guard_await.rs");
+    assert_eq!(count(&diags, Rule::L3), 1, "{diags:?}");
+    let d = diags.iter().find(|d| d.rule == Rule::L3).unwrap();
+    assert_eq!(d.line, 7, "must point at the guard-producing lock call");
+}
+
+#[test]
+fn l4_fires_and_respects_justified_allow() {
+    let (diags, _) = lint_fixture("bad_l4_panics.rs");
+    // unwrap + expect + panic! fire; the justified one and the test
+    // module are exempt.
+    assert_eq!(count(&diags, Rule::L4), 3, "{diags:?}");
+}
+
+#[test]
+fn l5_fires_on_raw_ms_conversions() {
+    let (diags, _) = lint_fixture("bad_l5_ms_literals.rs");
+    assert_eq!(count(&diags, Rule::L5), 3, "{diags:?}");
+}
+
+#[test]
+fn malformed_directives_are_diagnostics() {
+    let (diags, _) = lint_fixture("bad_directive.rs");
+    assert_eq!(count(&diags, Rule::BadDirective), 2, "{diags:?}");
+    // And the unwraps they failed to allow still fire.
+    assert_eq!(count(&diags, Rule::L4), 2, "{diags:?}");
+}
+
+#[test]
+fn diagnostics_render_with_span_and_invariant() {
+    let (diags, src) = lint_fixture("bad_l4_panics.rs");
+    let d = diags.iter().find(|d| d.rule == Rule::L4).unwrap();
+    let rendered = d.render(Some(&src));
+    assert!(rendered.contains("error[L4]"), "{rendered}");
+    assert!(
+        rendered.contains(&format!(":{}:{}", d.line, d.col)),
+        "{rendered}"
+    );
+    assert!(rendered.contains("= invariant:"), "{rendered}");
+    assert!(rendered.contains('^'), "caret marks the column: {rendered}");
+}

@@ -1,0 +1,171 @@
+//! Model check of the mini-tokio executor's timer-wake/lock protocol
+//! (vendor/tokio/src/runtime.rs).
+//!
+//! The protocol under test: `TimerQueue` entries live in a
+//! `BTreeMap` behind a `Mutex`. Registering a timer can *displace* a
+//! previously registered waker at the same key, and canceling removes
+//! one. The subtlety fixed in PR 1 is that **dropping a waker can
+//! re-enter the timers mutex**: a waker keeps its task alive, the task
+//! owns its future, and the future may own a `Sleep` whose `Drop` runs
+//! `cancel_timer` — which locks the same mutex. Any drop of a displaced
+//! or removed waker while the timers lock is held is therefore a
+//! self-deadlock.
+//!
+//! The model parameterizes the drop placement (`defer_displaced_drop`):
+//! with the PR 1 fix (drop after release) every interleaving passes;
+//! with the fix reverted (drop under the lock) the checker finds the
+//! re-entrant deadlock. This is the guarded regression demanded by the
+//! issue: the buggy protocol must *keep failing* in the model, so the
+//! model itself stays honest.
+
+use cedar_analysis::sched::{self, Builder, Failure, Mutex};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Weak};
+
+struct Timers {
+    entries: Mutex<BTreeMap<u64, Entry>>,
+}
+
+/// A registered waker. Dropping it drops the task's future, which may
+/// own a `Sleep` for *another* timer — the re-entrant path.
+struct Entry {
+    _owned_sleep: Option<Sleep>,
+}
+
+/// Models `tokio::time::Sleep`: its Drop cancels its own timer.
+struct Sleep {
+    key: u64,
+    timers: Weak<Timers>,
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(t) = self.timers.upgrade() {
+            // cancel_timer: remove under the lock, drop the removed
+            // entry only after the guard is released (itself the PR 1
+            // discipline — the removed entry may own further Sleeps).
+            let removed = {
+                let mut g = t.entries.lock();
+                g.remove(&self.key)
+            };
+            drop(removed);
+        }
+    }
+}
+
+fn register_timer(t: &Arc<Timers>, key: u64, entry: Entry, defer_displaced_drop: bool) {
+    let mut g = t.entries.lock();
+    let displaced = g.insert(key, entry);
+    if defer_displaced_drop {
+        // PR 1 fix: release the timers lock before the displaced waker
+        // (and anything it owns) is dropped.
+        drop(g);
+        drop(displaced);
+    } else {
+        // Reverted-fix shape: the displaced waker drops while the lock
+        // is held; if it owns a Sleep, Sleep::drop re-enters the mutex.
+        drop(displaced);
+        drop(g);
+    }
+}
+
+/// Drains the queue without holding the lock across entry drops.
+fn drain(t: &Arc<Timers>) {
+    let drained = {
+        let mut g = t.entries.lock();
+        std::mem::take(&mut *g)
+    };
+    drop(drained);
+}
+
+/// The displacement scenario: a waker that owns a Sleep gets displaced
+/// by a re-registration at the same deadline key.
+fn displacement_model(defer: bool) {
+    let timers = Arc::new(Timers {
+        entries: Mutex::new(BTreeMap::new()),
+    });
+    register_timer(&timers, 2, Entry { _owned_sleep: None }, defer);
+    let sleep2 = Sleep {
+        key: 2,
+        timers: Arc::downgrade(&timers),
+    };
+    register_timer(
+        &timers,
+        1,
+        Entry {
+            _owned_sleep: Some(sleep2),
+        },
+        defer,
+    );
+    // Re-registration at key 1 displaces the waker owning sleep2;
+    // sleep2's cancel path targets the same mutex.
+    register_timer(&timers, 1, Entry { _owned_sleep: None }, defer);
+    drain(&timers);
+}
+
+#[test]
+fn reverted_fix_deadlocks_in_the_model() {
+    let s = Builder::new().explore(|| displacement_model(false));
+    match s.failure {
+        Some(Failure::Deadlock { ref detail }) => {
+            assert!(
+                detail.contains("re-entered"),
+                "must be the re-entrant shape: {detail}"
+            );
+        }
+        other => panic!(
+            "reverted fix must deadlock, got {other:?} after {} runs",
+            s.runs
+        ),
+    }
+}
+
+#[test]
+fn current_protocol_passes_all_interleavings() {
+    let s = Builder::new().explore(|| displacement_model(true));
+    assert!(s.failure.is_none(), "{:?}", s.failure);
+    assert!(!s.truncated);
+}
+
+#[test]
+fn concurrent_register_and_cancel_stay_deadlock_free() {
+    // Two threads racing the protocol with the fix in place: one
+    // re-registers (displacing a Sleep-owning waker), the other cancels
+    // a different timer. Every interleaving must terminate.
+    let s = Builder::new()
+        .max_runs(50_000)
+        .preemption_bound(3)
+        .explore(|| {
+            let timers = Arc::new(Timers {
+                entries: Mutex::new(BTreeMap::new()),
+            });
+            register_timer(&timers, 2, Entry { _owned_sleep: None }, true);
+            let sleep2 = Sleep {
+                key: 2,
+                timers: Arc::downgrade(&timers),
+            };
+            register_timer(
+                &timers,
+                1,
+                Entry {
+                    _owned_sleep: Some(sleep2),
+                },
+                true,
+            );
+            let t2 = Arc::clone(&timers);
+            let canceler = sched::spawn(move || {
+                // An independent Sleep canceling its own (absent) timer
+                // races the displacement on the same mutex.
+                let s3 = Sleep {
+                    key: 3,
+                    timers: Arc::downgrade(&t2),
+                };
+                drop(s3);
+                register_timer(&t2, 3, Entry { _owned_sleep: None }, true);
+            });
+            register_timer(&timers, 1, Entry { _owned_sleep: None }, true);
+            canceler.join();
+            drain(&timers);
+        });
+    assert!(s.failure.is_none(), "{:?}", s.failure);
+}

@@ -124,7 +124,7 @@ pub fn cmd_chaos(args: &Args) -> Result<(), String> {
                 }
             }
         });
-        point.qualities.sort_by(|a, b| a.total_cmp(b));
+        point.qualities.sort_by(f64::total_cmp);
         points.push(point);
     }
 

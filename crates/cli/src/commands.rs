@@ -55,7 +55,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     };
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
-        "template" => cmd_template(),
+        "template" => {
+            cmd_template();
+            Ok(())
+        }
         "optimize" => cmd_optimize(&args),
         "simulate" => cmd_simulate(&args),
         "dual" => cmd_dual(&args),
@@ -102,9 +105,8 @@ fn parse_policy(s: &str) -> Result<WaitPolicyKind, String> {
     })
 }
 
-fn cmd_template() -> Result<(), String> {
+fn cmd_template() {
     println!("{}", TreeDef::example().to_json());
-    Ok(())
 }
 
 fn cmd_optimize(args: &Args) -> Result<(), String> {
@@ -306,7 +308,11 @@ mod tests {
         let d = cedar_distrib::LogNormal::new(2.0, 0.7).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let samples = d.sample_vec(&mut rng, 500);
-        let text: String = samples.iter().map(|x| format!("{x}\n")).collect();
+        use std::fmt::Write;
+        let mut text = String::new();
+        for x in &samples {
+            let _ = writeln!(text, "{x}");
+        }
         std::fs::write(&path, text).unwrap();
         let argv = sv(&["fit", "--data", path.to_str().unwrap()]);
         assert!(dispatch(&argv).is_ok());

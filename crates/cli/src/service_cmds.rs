@@ -242,7 +242,7 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
                         shed,
                         error_class,
                         quality: resp.result.as_ref().map_or(0.0, |r| r.quality),
-                        latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                        latency_ms: cedar_core::Millis::from_duration(sent.elapsed()).get(),
                     }
                 }
                 Err(_) => Shot {
@@ -250,7 +250,7 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
                     shed: false,
                     error_class: Some("transport".to_owned()),
                     quality: 0.0,
-                    latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                    latency_ms: cedar_core::Millis::from_duration(sent.elapsed()).get(),
                 },
             };
             in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -280,8 +280,8 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
 
     let mut qualities: Vec<f64> = served.iter().map(|s| s.quality).collect();
     let mut latencies: Vec<f64> = served.iter().map(|s| s.latency_ms).collect();
-    qualities.sort_by(|a, b| a.total_cmp(b));
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    qualities.sort_by(f64::total_cmp);
+    latencies.sort_by(f64::total_cmp);
 
     println!();
     println!(

@@ -23,7 +23,10 @@
 //!   straw-men, the **Ideal** oracle, and the ablations (empirical
 //!   estimates, no online learning);
 //! - [`aggregator`] — the aggregator state machine (Pseudocode 1), shared
-//!   by the discrete-event simulator and the tokio runtime.
+//!   by the discrete-event simulator and the tokio runtime;
+//! - [`sync`] — poison-tolerant lock acquisition ([`sync::LockExt`]);
+//! - [`units`] — typed time units ([`units::Millis`]), the sanctioned
+//!   home of millisecond conversions (lint rule L5).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,12 +36,16 @@ pub mod policy;
 pub mod profile;
 pub mod quality;
 pub mod setup;
+pub mod sync;
 pub mod tree;
+pub mod units;
 pub mod wait;
 
 pub use aggregator::{AggregatorAction, AggregatorState};
 pub use policy::{PolicyContext, WaitPolicy, WaitPolicyKind};
 pub use profile::QualityProfile;
 pub use setup::PreparedContexts;
+pub use sync::LockExt;
 pub use tree::{StageSpec, TreeSpec};
+pub use units::Millis;
 pub use wait::{calculate_wait, WaitDecision};

@@ -551,7 +551,7 @@ mod tests {
             let mut p = kind.instantiate(50, Model::LogNormal);
             let ctx = ctx_two_level(500.0);
             let w = p.initial_wait(&ctx);
-            assert!((0.0..=500.0).contains(&w), "{:?} gave {w}", kind);
+            assert!((0.0..=500.0).contains(&w), "{kind:?} gave {w}");
             assert!(!kind.name().is_empty());
         }
     }

@@ -14,6 +14,14 @@ use cedar_distrib::{ContinuousDist, Shifted};
 use cedar_estimate::Model;
 use std::sync::Arc;
 
+/// An arrival-time distribution: the stage-duration distribution shifted
+/// by the expected wait accumulated below it.
+fn shifted_arrival(dist: Arc<dyn ContinuousDist>, wait_below: f64) -> Arc<dyn ContinuousDist> {
+    debug_assert!(wait_below.is_finite(), "policy produced a non-finite wait");
+    // cedar-lint: allow(L4): initial_wait returns a point off a finite scan grid, so the offset is always finite
+    Arc::new(Shifted::new(dist, wait_below).expect("finite wait offset"))
+}
+
 /// Per-level policy contexts with the prior-dependent parts filled in.
 #[derive(Debug, Clone)]
 pub struct PreparedContexts {
@@ -53,10 +61,7 @@ impl PreparedContexts {
             let prior_lower: Arc<dyn ContinuousDist> = if level == 1 {
                 priors.stage(0).dist.clone()
             } else {
-                Arc::new(
-                    Shifted::new(priors.stage(stage_idx).dist.clone(), prior_wait_below)
-                        .expect("finite wait offset"),
-                )
+                shifted_arrival(priors.stage(stage_idx).dist.clone(), prior_wait_below)
             };
 
             let ctx = PolicyContext {
@@ -115,10 +120,7 @@ impl PreparedContexts {
             let true_lower: Arc<dyn ContinuousDist> = if ctx.level == 1 {
                 true_tree.stage(0).dist.clone()
             } else {
-                Arc::new(
-                    Shifted::new(true_tree.stage(stage_idx).dist.clone(), true_wait_below)
-                        .expect("finite wait offset"),
-                )
+                shifted_arrival(true_tree.stage(stage_idx).dist.clone(), true_wait_below)
             };
             ctx.true_lower = Some(true_lower);
             let mut oracle = WaitPolicyKind::Ideal.instantiate(ctx.fanout, self.model);

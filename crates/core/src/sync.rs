@@ -1,0 +1,79 @@
+//! Poison-tolerant lock acquisition.
+//!
+//! The engine's shared state (priors snapshots, chaos logs, connection
+//! registries) is guarded by `std::sync` locks. A panic on one thread
+//! poisons the lock for everyone else; propagating that poison as a
+//! second panic turns one failed query into a crashed service. Every
+//! guarded section in cedar is written to be **panic-atomic** — state is
+//! updated by whole-value assignment, never left half-written — so the
+//! data behind a poisoned lock is still consistent and the right
+//! recovery is to keep going with the guard.
+//!
+//! [`LockExt::unpoisoned`] encodes that recovery once, instead of
+//! scattering `unwrap_or_else(PoisonError::into_inner)` (or worse,
+//! `.unwrap()`) at every call site. The domain lint (rule L4) rejects
+//! raw `.unwrap()` on lock results in library crates; this is the
+//! sanctioned replacement.
+
+use std::sync::PoisonError;
+
+/// Extension for `Result<Guard, PoisonError<Guard>>` — every
+/// `lock()`/`read()`/`write()`/`wait_timeout()` result in `std::sync`.
+pub trait LockExt {
+    /// The guard type on the `Ok` path.
+    type Guard;
+    /// Returns the guard, recovering it from a poisoned lock instead of
+    /// panicking. Sound whenever the guarded state is panic-atomic (see
+    /// module docs).
+    fn unpoisoned(self) -> Self::Guard;
+}
+
+impl<G> LockExt for Result<G, PoisonError<G>> {
+    type Guard = G;
+
+    fn unpoisoned(self) -> G {
+        self.unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Condvar, Mutex, RwLock};
+
+    #[test]
+    fn recovers_guards_from_healthy_locks() {
+        let m = Mutex::new(3u32);
+        assert_eq!(*m.lock().unpoisoned(), 3);
+        let rw = RwLock::new(7u32);
+        assert_eq!(*rw.read().unpoisoned(), 7);
+        *rw.write().unpoisoned() = 8;
+        assert_eq!(*rw.read().unpoisoned(), 8);
+    }
+
+    #[test]
+    fn recovers_guards_from_poisoned_locks() {
+        let m = std::sync::Arc::new(Mutex::new(41u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unpoisoned();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let mut g = m.lock().unpoisoned();
+        *g += 1;
+        assert_eq!(*g, 42);
+    }
+
+    #[test]
+    fn covers_wait_timeout_results() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock().unpoisoned();
+        let (_g, timed_out) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unpoisoned();
+        assert!(timed_out.timed_out());
+    }
+}

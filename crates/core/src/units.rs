@@ -1,0 +1,81 @@
+//! Typed time units.
+//!
+//! The paper's quality model works in abstract *model units* (the
+//! deadline `D` and all stage durations share one unit); the runtime
+//! maps those to wall time via `TimeScale`, and operator-facing surfaces
+//! (CLI tables, server metrics) report milliseconds. Hand-rolled
+//! `* 1e3` / `/ 1000.0` conversions at those boundaries are where unit
+//! bugs breed, so the domain lint (rule L5) bans raw conversion factors
+//! and this module is the one sanctioned place the arithmetic lives.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A millisecond count, converted from a typed source exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Millis(f64);
+
+impl Millis {
+    /// Milliseconds elapsed in `d`, without the truncation of
+    /// `Duration::as_millis`.
+    pub fn from_duration(d: Duration) -> Self {
+        // cedar-lint: allow(L5): this newtype is the sanctioned home of the conversion factor
+        Millis(d.as_secs_f64() * 1e3)
+    }
+
+    /// From a second count (e.g. `as_secs_f64()` differences).
+    pub fn from_secs(secs: f64) -> Self {
+        // cedar-lint: allow(L5): this newtype is the sanctioned home of the conversion factor
+        Millis(secs * 1e3)
+    }
+
+    /// Wraps a value that is already a millisecond count.
+    pub fn from_raw(ms: f64) -> Self {
+        Millis(ms)
+    }
+
+    /// The millisecond count as a plain float (for serialization and
+    /// arithmetic at the edge of the typed world).
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Back to seconds.
+    pub fn to_secs(self) -> f64 {
+        // cedar-lint: allow(L5): this newtype is the sanctioned home of the conversion factor
+        self.0 * 1e-3
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_roundtrip() {
+        let ms = Millis::from_duration(Duration::from_micros(1500));
+        assert!((ms.get() - 1.5).abs() < 1e-12);
+        assert!((ms.to_secs() - 0.0015).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_truncation_below_one_ms() {
+        let ms = Millis::from_duration(Duration::from_micros(250));
+        assert!((ms.get() - 0.25).abs() < 1e-12, "as_millis would give 0");
+    }
+
+    #[test]
+    fn from_secs_matches_duration_path() {
+        let d = Duration::from_millis(2750);
+        assert_eq!(
+            Millis::from_duration(d).get(),
+            Millis::from_secs(d.as_secs_f64()).get()
+        );
+    }
+}

@@ -46,7 +46,7 @@ impl Empirical {
                 "empirical samples must all be finite",
             ));
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        samples.sort_by(f64::total_cmp);
         let mean = cedar_mathx::kahan::mean(&samples);
         let variance = cedar_mathx::kahan::sample_variance(&samples);
         Ok(Self {
@@ -78,7 +78,7 @@ impl Empirical {
 
     /// Largest sample.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty by construction")
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// Hazen plotting position of 0-indexed order statistic `i`.

@@ -258,7 +258,7 @@ pub fn fit_family(family: Family, pts: &[Percentile]) -> Result<FamilyFit, DistE
         })
         .collect();
     let mean_rel_error = cedar_mathx::kahan::mean(&per_percentile_error);
-    let max_rel_error = per_percentile_error.iter().cloned().fold(0.0, f64::max);
+    let max_rel_error = per_percentile_error.iter().copied().fold(0.0, f64::max);
 
     Ok(FamilyFit {
         family,
@@ -285,11 +285,7 @@ pub fn fit_best(pts: &[Percentile], candidates: &[Family]) -> Result<FitReport, 
     if fits.is_empty() {
         return Err(DistError::InvalidData("no family produced a valid fit"));
     }
-    fits.sort_by(|a, b| {
-        a.mean_rel_error
-            .partial_cmp(&b.mean_rel_error)
-            .expect("errors are finite")
-    });
+    fits.sort_by(|a, b| a.mean_rel_error.total_cmp(&b.mean_rel_error));
     Ok(FitReport { fits })
 }
 

@@ -144,11 +144,8 @@ impl ContinuousDist for Mixture {
             u -= w;
         }
         // Floating-point slack: fall through to the last component.
-        self.components
-            .last()
-            .expect("non-empty by construction")
-            .1
-            .sample(rng)
+        let last = &self.components[self.components.len() - 1];
+        last.1.sample(rng)
     }
 }
 

@@ -117,7 +117,7 @@ impl ContinuousDist for Box<dyn ContinuousDist> {
         self.as_ref().cdf(x)
     }
     fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
-        self.as_ref().cdf_batch(ts, out)
+        self.as_ref().cdf_batch(ts, out);
     }
     fn quantile(&self, p: f64) -> f64 {
         self.as_ref().quantile(p)
@@ -144,7 +144,7 @@ impl<D: ContinuousDist + ?Sized> ContinuousDist for std::sync::Arc<D> {
         self.as_ref().cdf(x)
     }
     fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
-        self.as_ref().cdf_batch(ts, out)
+        self.as_ref().cdf_batch(ts, out);
     }
     fn quantile(&self, p: f64) -> f64 {
         self.as_ref().quantile(p)

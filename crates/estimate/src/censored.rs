@@ -191,8 +191,9 @@ impl CensoredMleEstimator {
             g_mu += z;
             g_ls += z * z - 1.0;
         }
-        // Hazard term from the censored tail at the largest observation.
-        let y_r = *self.ys.last().expect("non-empty by caller contract");
+        // Hazard term from the censored tail at the largest observation
+        // (ys is sorted ascending and non-empty by caller contract).
+        let y_r = self.ys[self.ys.len() - 1];
         let z_r = (y_r - mu) / sigma;
         let sf = norm_sf(z_r).max(1e-300);
         let hazard = norm_pdf(z_r) / sf;

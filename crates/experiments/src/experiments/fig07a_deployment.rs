@@ -32,9 +32,7 @@ pub fn measure(opts: &Opts) -> Vec<Row> {
     // 16 aggregators.
     let w = facebook_mr(20, 16);
     let trials = opts.trials_capped(4).min(40);
-    let concurrency = std::thread::available_parallelism()
-        .map(|n| n.get() * 2)
-        .unwrap_or(8);
+    let concurrency = std::thread::available_parallelism().map_or(8, |n| n.get() * 2);
     DEADLINES
         .iter()
         .map(|&d| {

@@ -31,9 +31,7 @@ pub struct Row {
 pub fn measure(opts: &Opts) -> Vec<Row> {
     let w = facebook_mr(20, 16);
     let trials = opts.trials_capped(4).min(40);
-    let concurrency = std::thread::available_parallelism()
-        .map(|n| n.get() * 2)
-        .unwrap_or(8);
+    let concurrency = std::thread::available_parallelism().map_or(8, |n| n.get() * 2);
     let run = |d: f64, kind: WaitPolicyKind| {
         mean_quality(&run_workload_runtime(
             &w,

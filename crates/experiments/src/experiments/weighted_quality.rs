@@ -52,7 +52,10 @@ pub fn measure(opts: &Opts) -> Vec<Row> {
         let base = run_workload(&w, &cfg, WaitPolicyKind::ProportionalSplit, trials);
         let cedar = run_workload(&w, &cfg, WaitPolicyKind::Cedar, trials);
         let mean_w = |outs: &[cedar_sim::QueryOutcome]| {
-            outs.iter().map(|o| o.weighted_quality()).sum::<f64>() / outs.len() as f64
+            outs.iter()
+                .map(cedar_sim::QueryOutcome::weighted_quality)
+                .sum::<f64>()
+                / outs.len() as f64
         };
         Row {
             deadline: d,

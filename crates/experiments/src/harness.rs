@@ -149,7 +149,7 @@ impl Table {
 
     /// Renders as aligned plain text.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -199,9 +199,7 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let max = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let max = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let mut results: Vec<Option<O>> = Vec::new();
     results.resize_with(inputs.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);

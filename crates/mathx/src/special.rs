@@ -142,10 +142,18 @@ fn erf_small(x: f64) -> f64 {
     x * (num + ERF_A[3]) / (den + ERF_B[3])
 }
 
+/// Beyond this `erfc(y)` underflows to zero in f64 (CALERF's `XBIG`).
+/// The early return also keeps `y = +inf` finite: the split-argument
+/// trick below would otherwise produce `inf - inf = NaN`.
+const ERFC_XBIG: f64 = 26.543;
+
 /// `erfc(y)` for `y > 0.46875`, with the split-argument `exp(-y^2)`
 /// evaluation from CALERF that preserves relative accuracy in the tail.
 #[inline]
 fn erfc_tail(y: f64) -> f64 {
+    if y >= ERFC_XBIG {
+        return 0.0;
+    }
     // exp(-y^2) loses relative precision when y*y rounds; split y^2 into
     // an exactly-representable head (multiple of 1/16) plus a correction.
     let ysq = (y * 16.0).trunc() / 16.0;

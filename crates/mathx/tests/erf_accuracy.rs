@@ -1,0 +1,148 @@
+//! Accuracy pins for the fast error-function kernels.
+//!
+//! `erf_fast` / `erfc_fast` / `norm_cdf_fast` (Cody's fixed-degree
+//! rational approximations, the per-point kernels of the batched CDF
+//! scan) are checked against the iterative incomplete-gamma references
+//! `erf` / `erfc` / `norm_cdf`, which converge to near machine
+//! precision. The bounds asserted here are the contract the wait-scan
+//! optimization relies on: swapping the kernel must never move a CDF
+//! value by more than a few ulps.
+//!
+//! The suite is pure arithmetic (no I/O, no clocks, no threads) so it
+//! also runs under Miri; case counts shrink there to keep the
+//! interpreter's run time reasonable.
+
+use cedar_mathx::special::{erf, erf_fast, erfc, erfc_fast, norm_cdf, norm_cdf_fast};
+use proptest::prelude::*;
+
+/// Proptest iterations: Miri interprets ~3 orders of magnitude slower,
+/// so it gets a reduced but still meaningful sample.
+const CASES: u32 = if cfg!(miri) { 32 } else { 2048 };
+
+/// Grid density for the deterministic sweeps.
+const GRID_STEPS: usize = if cfg!(miri) { 64 } else { 20_000 };
+
+/// |erf_fast - erf| bound. Both sides are accurate to ~1e-15 relative
+/// and |erf| <= 1, so a few ulps of slack covers the pair.
+const ERF_ABS_TOL: f64 = 5e-15;
+
+/// Relative error bound for erfc in the right tail, where the result
+/// spans ~300 orders of magnitude and absolute error is meaningless.
+const ERFC_REL_TOL: f64 = 5e-13;
+
+fn abs_err(a: f64, b: f64) -> f64 {
+    (a - b).abs()
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        a.abs()
+    } else {
+        ((a - b) / b).abs()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn erf_fast_matches_reference_absolutely(x in -30.0f64..30.0) {
+        prop_assert!(
+            abs_err(erf_fast(x), erf(x)) <= ERF_ABS_TOL,
+            "x={x}, fast={}, ref={}", erf_fast(x), erf(x)
+        );
+    }
+
+    #[test]
+    fn erfc_fast_matches_reference_absolutely(x in -30.0f64..30.0) {
+        // erfc in [0, 2]: absolute agreement to the same few-ulp bound.
+        prop_assert!(
+            abs_err(erfc_fast(x), erfc(x)) <= ERF_ABS_TOL,
+            "x={x}, fast={}, ref={}", erfc_fast(x), erfc(x)
+        );
+    }
+
+    #[test]
+    fn erfc_fast_keeps_relative_precision_in_tail(x in 1.0f64..26.5) {
+        // The whole point of erfc over 1 - erf: the tail must not cancel.
+        // exp(-x^2) underflows near x ~ 26.6, so stop just short.
+        prop_assert!(
+            rel_err(erfc_fast(x), erfc(x)) <= ERFC_REL_TOL,
+            "x={x}, fast={:e}, ref={:e}", erfc_fast(x), erfc(x)
+        );
+    }
+
+    #[test]
+    fn norm_cdf_fast_matches_reference(x in -37.0f64..37.0) {
+        prop_assert!(
+            abs_err(norm_cdf_fast(x), norm_cdf(x)) <= ERF_ABS_TOL,
+            "x={x}, fast={}, ref={}", norm_cdf_fast(x), norm_cdf(x)
+        );
+        // Left tail: norm_cdf(x) = 0.5 erfc(-x/sqrt(2)) is tiny but
+        // nonzero down to x ~ -37; relative precision must survive.
+        if x < -1.0 {
+            prop_assert!(
+                rel_err(norm_cdf_fast(x), norm_cdf(x)) <= ERFC_REL_TOL,
+                "x={x}, fast={:e}, ref={:e}", norm_cdf_fast(x), norm_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erf_fast_is_odd_and_bounded(x in -50.0f64..50.0) {
+        let v = erf_fast(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert_eq!(v.to_bits(), (-erf_fast(-x)).to_bits());
+        // erf + erfc = 1 to working precision.
+        prop_assert!((v + erfc_fast(x) - 1.0).abs() <= 1e-15);
+    }
+}
+
+/// Deterministic dense sweep reporting the worst observed error — the
+/// pinned number, not just a threshold: if someone retunes the kernel
+/// coefficients, this is the test that notices a regression of the
+/// maximum, not merely an average.
+#[test]
+fn dense_grid_max_errors_stay_pinned() {
+    let mut worst_erf = 0.0f64;
+    let mut worst_cdf = 0.0f64;
+    let mut worst_tail_rel = 0.0f64;
+    for i in 0..=GRID_STEPS {
+        // x in [-8, 8]: past |x| = 6, erf is 1 to machine precision.
+        let x = -8.0 + 16.0 * (i as f64) / (GRID_STEPS as f64);
+        worst_erf = worst_erf.max(abs_err(erf_fast(x), erf(x)));
+        let z = -6.0 + 12.0 * (i as f64) / (GRID_STEPS as f64);
+        worst_cdf = worst_cdf.max(abs_err(norm_cdf_fast(z), norm_cdf(z)));
+        let t = 1.0 + 25.0 * (i as f64) / (GRID_STEPS as f64);
+        worst_tail_rel = worst_tail_rel.max(rel_err(erfc_fast(t), erfc(t)));
+    }
+    assert!(
+        worst_erf <= ERF_ABS_TOL,
+        "max |erf_fast - erf| = {worst_erf:e}"
+    );
+    assert!(
+        worst_cdf <= ERF_ABS_TOL,
+        "max |cdf_fast - cdf| = {worst_cdf:e}"
+    );
+    assert!(
+        worst_tail_rel <= ERFC_REL_TOL,
+        "max tail rel err = {worst_tail_rel:e}"
+    );
+}
+
+/// Edge cases the property ranges cannot hit exactly.
+#[test]
+fn edge_cases() {
+    assert_eq!(erf_fast(0.0), 0.0);
+    assert_eq!(erfc_fast(0.0), 1.0);
+    assert_eq!(norm_cdf_fast(0.0), 0.5);
+    assert!(erf_fast(f64::NAN).is_nan());
+    assert!(erfc_fast(f64::NAN).is_nan());
+    assert_eq!(erf_fast(f64::INFINITY), 1.0);
+    assert_eq!(erf_fast(f64::NEG_INFINITY), -1.0);
+    assert_eq!(erfc_fast(f64::INFINITY), 0.0);
+    assert_eq!(erfc_fast(f64::NEG_INFINITY), 2.0);
+    // Deep right tail: nonzero up to CALERF's XBIG cutoff, zero after.
+    assert!(erfc_fast(26.0) > 0.0);
+    assert_eq!(erfc_fast(27.0), 0.0);
+}

@@ -78,8 +78,8 @@ proptest! {
     ) {
         let t = InterpTable::new(0.0, 1.0, vals.clone());
         let y = t.eval(x);
-        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
     }
 }

@@ -365,35 +365,33 @@ pub async fn run_query_prepared(
     let k1 = cfg.tree.stage(0).fanout;
     for (i, &dur) in process_durations.iter().enumerate() {
         let tx = level1_txs[i / k1].clone();
-        let fault = chaos.as_ref().and_then(|c| c.plan.fault_for(0, i));
-        let dur = match fault {
-            Some(FaultKind::Straggle { factor }) => dur * factor,
+        // A fault only exists with its chaos wiring; carrying them as a
+        // pair keeps that invariant in the type instead of in expects.
+        let fault = chaos
+            .as_ref()
+            .and_then(|c| c.plan.fault_for(0, i).map(|k| (k, Arc::clone(c))));
+        let dur = match &fault {
+            Some((FaultKind::Straggle { factor }, _)) => dur * factor,
             _ => dur,
         };
         let fire_at = start + cfg.scale.to_wall(dur);
         let value = values[i];
-        let worker_chaos = chaos.clone();
         tokio::spawn(async move {
             match fault {
-                Some(FaultKind::Hang) => {
-                    let c = worker_chaos.expect("fault implies chaos");
+                Some((FaultKind::Hang, c)) => {
                     c.log.injected(FaultKind::Hang);
                     // Never finishes: holds `tx` past the deadline so the
                     // channel cannot close early, then exits unsent.
                     tokio::time::sleep_until(c.hang_until).await;
                 }
-                Some(k @ (FaultKind::CrashBeforeSend | FaultKind::DropMessage)) => {
+                Some((k @ (FaultKind::CrashBeforeSend | FaultKind::DropMessage), c)) => {
                     // The work happens; the result never leaves the host.
                     tokio::time::sleep_until(fire_at).await;
-                    worker_chaos.expect("fault implies chaos").log.injected(k);
+                    c.log.injected(k);
                 }
                 fault => {
-                    if let Some(k @ FaultKind::Straggle { .. }) = fault {
-                        worker_chaos
-                            .as_ref()
-                            .expect("fault implies chaos")
-                            .log
-                            .injected(k);
+                    if let Some((k @ FaultKind::Straggle { .. }, c)) = &fault {
+                        c.log.injected(*k);
                     }
                     tokio::time::sleep_until(fire_at).await;
                     let msg = PartialResult {
@@ -403,8 +401,8 @@ pub async fn run_query_prepared(
                         duration: dur,
                         retry: false,
                     };
-                    if let Some(k @ FaultKind::DuplicateMessage) = fault {
-                        worker_chaos.expect("fault implies chaos").log.injected(k);
+                    if let Some((k @ FaultKind::DuplicateMessage, c)) = &fault {
+                        c.log.injected(*k);
                         let _ = tx.send(msg).await;
                     }
                     // The aggregator may already have departed; a send error is
@@ -426,7 +424,7 @@ pub async fn run_query_prepared(
     let mut root_seen: HashSet<usize> = HashSet::new();
     loop {
         tokio::select! {
-            _ = tokio::time::sleep_until(deadline_instant) => break,
+            () = tokio::time::sleep_until(deadline_instant) => break,
             msg = root_rx.recv() => match msg {
                 Some(m) => {
                     if let Some(c) = &chaos {
@@ -503,34 +501,37 @@ async fn aggregator_task(
         };
         tokio::select! {
             biased;
-            _ = tokio::time::sleep_until(wake) => {
+            () = tokio::time::sleep_until(wake) => {
                 if wake < timer {
                     // Watchdog, not the policy timer: re-execute each
                     // child still missing, exactly once, then disarm.
                     // Dropping `w` releases self_tx so the channel can
-                    // close once workers and retries are done.
-                    let w = watchdog.take().expect("watchdog armed");
-                    let c = chaos.as_ref().expect("watchdog implies chaos");
-                    for id in c.expected.clone() {
-                        if !seen.contains(&id) {
-                            c.log.retry_launched();
-                            let mut rng = StdRng::seed_from_u64(w.plan.retry_seed(id));
-                            let dur = w.dist.sample(&mut rng);
-                            let fire_at = w.at + scale.to_wall(dur);
-                            let retry_tx = w.self_tx.clone();
-                            let retry_value = w.values[id];
-                            tokio::spawn(async move {
-                                tokio::time::sleep_until(fire_at).await;
-                                let _ = retry_tx
-                                    .send(PartialResult {
-                                        payload: 1,
-                                        value: retry_value,
-                                        origin: id,
-                                        duration: dur,
-                                        retry: true,
-                                    })
-                                    .await;
-                            });
+                    // close once workers and retries are done. A due
+                    // watchdog implies both are present (`wake < timer`
+                    // only ever holds with a watchdog armed, and a
+                    // watchdog only arms with chaos wiring).
+                    if let (Some(w), Some(c)) = (watchdog.take(), chaos.as_ref()) {
+                        for id in c.expected.clone() {
+                            if !seen.contains(&id) {
+                                c.log.retry_launched();
+                                let mut rng = StdRng::seed_from_u64(w.plan.retry_seed(id));
+                                let dur = w.dist.sample(&mut rng);
+                                let fire_at = w.at + scale.to_wall(dur);
+                                let retry_tx = w.self_tx.clone();
+                                let retry_value = w.values[id];
+                                tokio::spawn(async move {
+                                    tokio::time::sleep_until(fire_at).await;
+                                    let _ = retry_tx
+                                        .send(PartialResult {
+                                            payload: 1,
+                                            value: retry_value,
+                                            origin: id,
+                                            duration: dur,
+                                            retry: true,
+                                        })
+                                        .await;
+                                });
+                            }
                         }
                     }
                     continue;
@@ -588,29 +589,30 @@ async fn aggregator_task(
     drop(watchdog);
     drop(rx);
     if payload > 0 {
-        let own_fault = chaos.as_ref().and_then(|c| c.fault);
+        // Pair the fault with its chaos wiring so each arm gets both
+        // without re-asserting the implication.
+        let own_fault = chaos.as_ref().and_then(|c| c.fault.map(|k| (k, c)));
         match own_fault {
-            Some(k @ FaultKind::CrashBeforeSend) => {
+            Some((k @ FaultKind::CrashBeforeSend, c)) => {
                 // Died at departure: no aggregation work, no send.
-                chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                c.log.injected(k);
             }
-            Some(k @ FaultKind::Hang) => {
-                let c = chaos.as_ref().expect("fault implies chaos");
+            Some((k @ FaultKind::Hang, c)) => {
                 c.log.injected(k);
                 tokio::time::sleep_until(c.hang_until).await;
             }
             own_fault => {
                 let own_duration = match own_fault {
-                    Some(k @ FaultKind::Straggle { factor }) => {
-                        chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                    Some((k @ FaultKind::Straggle { factor }, c)) => {
+                        c.log.injected(k);
                         own_duration * factor
                     }
                     _ => own_duration,
                 };
                 tokio::time::sleep(scale.to_wall(own_duration)).await;
-                if let Some(k @ FaultKind::DropMessage) = own_fault {
+                if let Some((k @ FaultKind::DropMessage, c)) = own_fault {
                     // Aggregation completed but the result is lost.
-                    chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                    c.log.injected(k);
                     return;
                 }
                 if let Some(c) = &chaos {
@@ -623,8 +625,8 @@ async fn aggregator_task(
                     duration: own_duration,
                     retry: false,
                 };
-                if let Some(k @ FaultKind::DuplicateMessage) = own_fault {
-                    chaos.as_ref().expect("fault implies chaos").log.injected(k);
+                if let Some((k @ FaultKind::DuplicateMessage, c)) = own_fault {
+                    c.log.injected(k);
                     let _ = parent_tx.send(msg).await;
                 }
                 let _ = parent_tx.send(msg).await;

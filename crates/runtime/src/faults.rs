@@ -25,6 +25,7 @@
 //!
 //! Everything observable is summarized per query in a [`FailureReport`].
 
+use cedar_core::LockExt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -251,6 +252,7 @@ impl FaultPlan {
 
     /// Serializes the plan as JSON.
     pub fn to_json(&self) -> String {
+        // cedar-lint: allow(L4): FaultPlan is plain data (no maps with non-string keys, no custom Serialize); serde_json cannot fail on it
         serde_json::to_string(self).expect("plan is plain data")
     }
 
@@ -355,11 +357,11 @@ impl ChaosLog {
     }
 
     pub(crate) fn delivered(&self, stage: usize, origin: usize, duration: f64) {
-        self.delivered.lock().unwrap()[stage].push((origin, duration));
+        self.delivered.lock().unpoisoned()[stage].push((origin, duration));
     }
 
     pub(crate) fn censored(&self, stage: usize, origin: usize, threshold: f64) {
-        self.censored.lock().unwrap()[stage].push((origin, threshold));
+        self.censored.lock().unpoisoned()[stage].push((origin, threshold));
     }
 
     /// Drains the log into `(report, realized, censor_thresholds)`, both
@@ -367,7 +369,7 @@ impl ChaosLog {
     /// append order).
     pub(crate) fn finish(&self) -> (FailureReport, Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let sort_take = |m: &Mutex<Vec<Vec<(usize, f64)>>>| -> Vec<Vec<f64>> {
-            let mut stages = std::mem::take(&mut *m.lock().unwrap());
+            let mut stages = std::mem::take(&mut *m.lock().unpoisoned());
             stages
                 .iter_mut()
                 .map(|s| {

@@ -42,6 +42,7 @@ use crate::scale::TimeScale;
 use cedar_core::policy::WaitPolicyKind;
 use cedar_core::profile::ProfileConfig;
 use cedar_core::setup::PreparedContexts;
+use cedar_core::LockExt;
 use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::{ContinuousDist, DistError};
 use cedar_estimate::Model;
@@ -56,6 +57,12 @@ const PER_QUERY_STAGE_SAMPLES: usize = 256;
 
 /// Sliding-window bound on per-stage refit history.
 const HISTORY_WINDOW: usize = 50_000;
+
+/// Capacity of the refit-record channel. Submitters wait for a per-record
+/// ack before returning, so each in-flight query contributes at most one
+/// queued record; the bound exists to turn any future fire-and-forget
+/// misuse into backpressure instead of unbounded heap growth (lint L2).
+const REFIT_QUEUE_CAP: usize = 64;
 
 /// Configuration of the service.
 #[derive(Debug, Clone)]
@@ -155,11 +162,11 @@ struct ServiceState {
     completed: AtomicUsize,
     refits: AtomicUsize,
     submit_counter: AtomicU64,
-    refit_tx: mpsc::UnboundedSender<RefitRecord>,
+    refit_tx: mpsc::Sender<RefitRecord>,
     /// Receiver parked here until the first submission spawns the refit
     /// task (spawning needs a runtime; `new` must stay callable outside
     /// one).
-    refit_rx: Mutex<Option<mpsc::UnboundedReceiver<RefitRecord>>>,
+    refit_rx: Mutex<Option<mpsc::Receiver<RefitRecord>>>,
 }
 
 /// The long-running service; see the module docs.
@@ -186,7 +193,7 @@ impl AggregationService {
     /// task is spawned lazily by the first submission (which is the
     /// first point a runtime is guaranteed to exist).
     pub fn new(cfg: ServiceConfig) -> Self {
-        let (refit_tx, refit_rx) = mpsc::unbounded_channel();
+        let (refit_tx, refit_rx) = mpsc::channel(REFIT_QUEUE_CAP);
         let state = Arc::new(ServiceState {
             priors: RwLock::new(PriorsSnapshot {
                 epoch: 0,
@@ -207,13 +214,13 @@ impl AggregationService {
 
     /// A consistent snapshot of the current population priors.
     pub fn priors(&self) -> Arc<TreeSpec> {
-        self.state.priors.read().unwrap().tree.clone()
+        self.state.priors.read().unpoisoned().tree.clone()
     }
 
     /// The priors version: bumped by every accepted refit. Monotonically
     /// non-decreasing across any sequence of observations.
     pub fn epoch(&self) -> u64 {
-        self.state.priors.read().unwrap().epoch
+        self.state.priors.read().unpoisoned().epoch
     }
 
     /// Completed query count (recorded by the refit task; deterministic
@@ -254,7 +261,7 @@ impl AggregationService {
             0x5EED ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         });
         let deadline = self.quantize_deadline(opts.deadline.unwrap_or(state.cfg.deadline));
-        let snapshot = state.priors.read().unwrap().clone();
+        let snapshot = state.priors.read().unpoisoned().clone();
         let prepared = self.prepared_contexts(&snapshot, deadline);
 
         let n = true_tree.total_processes();
@@ -280,7 +287,7 @@ impl AggregationService {
             censored: outcome.censored_durations.clone(),
             ack: ack_tx,
         };
-        if state.refit_tx.send(record).is_ok() {
+        if state.refit_tx.send(record).await.is_ok() {
             let _ = ack_rx.await;
         }
         outcome
@@ -288,7 +295,7 @@ impl AggregationService {
 
     /// Spawns the background refit task on first use.
     fn ensure_refit_task(&self) {
-        let rx = self.state.refit_rx.lock().unwrap().take();
+        let rx = self.state.refit_rx.lock().unpoisoned().take();
         if let Some(rx) = rx {
             // The task holds only a weak reference so the state (and the
             // task itself, once the channel drains) can be reclaimed
@@ -328,7 +335,7 @@ impl AggregationService {
         let w = state.cfg.deadline_bucket.max(f64::MIN_POSITIVE);
         let bucket = (deadline / w).round() as u64;
         let key = (snapshot.epoch, bucket);
-        if let Some(hit) = state.cache.lock().unwrap().get(&key).cloned() {
+        if let Some(hit) = state.cache.lock().unpoisoned().get(&key).cloned() {
             state.cache_hits.fetch_add(1, Ordering::AcqRel);
             return hit;
         }
@@ -336,14 +343,14 @@ impl AggregationService {
         // Built outside the lock: construction is the expensive part,
         // and a racing duplicate build is benign (identical contents).
         let fresh = build();
-        state.cache.lock().unwrap().insert(key, fresh.clone());
+        state.cache.lock().unpoisoned().insert(key, fresh.clone());
         fresh
     }
 }
 
 /// The background refit task: the single consumer of realized durations
 /// and the single writer of the priors.
-async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::UnboundedReceiver<RefitRecord>) {
+async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecord>) {
     let mut history: Vec<Vec<f64>> = Vec::new();
     let mut censored: Vec<Vec<f64>> = Vec::new();
     while let Some(record) = rx.recv().await {
@@ -383,11 +390,11 @@ fn apply_refit(
     history: &mut [Vec<f64>],
     censored: &mut [Vec<f64>],
 ) -> Result<(), DistError> {
-    let current = state.priors.read().unwrap().clone();
+    let current = state.priors.read().unpoisoned().clone();
     let mut stages = Vec::with_capacity(history.len());
     for (idx, h) in history.iter().enumerate() {
         let old = current.tree.stage(idx);
-        let cens = censored.get(idx).map(Vec::as_slice).unwrap_or(&[]);
+        let cens: &[f64] = censored.get(idx).map_or(&[], Vec::as_slice);
         let censored_fit = if cens.is_empty() || h.len() < 20 {
             None
         } else {
@@ -403,18 +410,25 @@ fn apply_refit(
         stages.push(StageSpec::from_arc(dist, old.fanout));
     }
     let refitted = TreeSpec::new(stages);
-    {
-        let mut priors = state.priors.write().unwrap();
-        priors.epoch += 1;
-        priors.tree = Arc::new(refitted);
-    }
+    // Whole-struct assignment keeps the snapshot panic-atomic: no reader
+    // (or poison-recovering writer) can ever observe the new epoch paired
+    // with the old tree. The loom model in crates/analysis guards this
+    // protocol (`loom_service.rs`).
+    let new_epoch = {
+        let mut priors = state.priors.write().unpoisoned();
+        let next = priors.epoch + 1;
+        *priors = PriorsSnapshot {
+            epoch: next,
+            tree: Arc::new(refitted),
+        };
+        next
+    };
     state.refits.fetch_add(1, Ordering::AcqRel);
     // Contexts keyed by older epochs can never be requested again.
-    let new_epoch = state.priors.read().unwrap().epoch;
     state
         .cache
         .lock()
-        .unwrap()
+        .unpoisoned()
         .retain(|(epoch, _), _| *epoch >= new_epoch);
     // Bound memory: keep a sliding window of recent history.
     for h in history.iter_mut().chain(censored.iter_mut()) {

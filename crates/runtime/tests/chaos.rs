@@ -44,8 +44,8 @@ async fn run(deadline: f64, seed: u64, plan: Option<FaultPlan>) -> RuntimeOutcom
 fn same_multiset(a: &[f64], b: &[f64]) -> bool {
     let mut a: Vec<f64> = a.to_vec();
     let mut b: Vec<f64> = b.to_vec();
-    a.sort_by(|x, y| x.total_cmp(y));
-    b.sort_by(|x, y| x.total_cmp(y));
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
     a == b
 }
 

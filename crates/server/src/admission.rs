@@ -7,8 +7,10 @@
 //! `queue_timeout` for a slot, and everything beyond that is shed
 //! immediately so the client can retry elsewhere.
 
+use crate::clock;
+use cedar_core::LockExt;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Admission limits.
 #[derive(Debug, Clone)]
@@ -90,7 +92,7 @@ impl AdmissionGate {
     /// for at most `queue_timeout` when the service is saturated.
     pub fn try_admit(&self) -> Result<AdmissionPermit, Shed> {
         let inner = &self.inner;
-        let mut state = inner.state.lock().unwrap();
+        let mut state = inner.state.lock().unpoisoned();
         if state.in_flight < inner.cfg.max_inflight {
             state.in_flight += 1;
             return Ok(self.permit());
@@ -99,19 +101,19 @@ impl AdmissionGate {
             return Err(Shed::QueueFull);
         }
         state.queued += 1;
-        let deadline = Instant::now() + inner.cfg.queue_timeout;
+        let deadline = clock::now() + inner.cfg.queue_timeout;
         loop {
             if state.in_flight < inner.cfg.max_inflight {
                 state.in_flight += 1;
                 state.queued -= 1;
                 return Ok(self.permit());
             }
-            let now = Instant::now();
+            let now = clock::now();
             if now >= deadline {
                 state.queued -= 1;
                 return Err(Shed::Timeout);
             }
-            let (next, timed_out) = inner.freed.wait_timeout(state, deadline - now).unwrap();
+            let (next, timed_out) = inner.freed.wait_timeout(state, deadline - now).unpoisoned();
             state = next;
             if timed_out.timed_out() && state.in_flight >= inner.cfg.max_inflight {
                 state.queued -= 1;
@@ -122,7 +124,7 @@ impl AdmissionGate {
 
     /// Queries currently holding a permit.
     pub fn in_flight(&self) -> usize {
-        self.inner.state.lock().unwrap().in_flight
+        self.inner.state.lock().unpoisoned().in_flight
     }
 
     fn permit(&self) -> AdmissionPermit {
@@ -134,7 +136,7 @@ impl AdmissionGate {
 
 impl Drop for AdmissionPermit {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock().unpoisoned();
         state.in_flight -= 1;
         drop(state);
         self.inner.freed.notify_one();
@@ -189,7 +191,7 @@ mod tests {
     fn queued_caller_times_out_when_nothing_frees() {
         let g = gate(1, 1, 30);
         let _held = g.try_admit().unwrap();
-        let start = Instant::now();
+        let start = clock::now();
         assert_eq!(g.try_admit().unwrap_err(), Shed::Timeout);
         assert!(start.elapsed() >= Duration::from_millis(30));
         assert_eq!(g.in_flight(), 1);

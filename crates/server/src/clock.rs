@@ -1,0 +1,27 @@
+//! The server's sanctioned wall-clock access point (lint rule L1).
+//!
+//! Unlike the engine — async code under a (pausable) tokio clock — the
+//! TCP server is synchronous thread-per-connection code: drain
+//! deadlines, idle timeouts, and `Condvar::wait_timeout` all need real
+//! elapsed time, and the virtual clock cannot apply. Those reads are
+//! legitimate, but scattering `Instant::now()` through the request path
+//! makes them ungreppable and unswappable; every wall read in the
+//! server goes through [`now`] so the lint can pin raw reads to this
+//! one file and a future virtualized server clock has a single seam.
+
+use std::time::Instant;
+
+/// The current wall-clock instant.
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn advances() {
+        let a = super::now();
+        let b = super::now();
+        assert!(b >= a);
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod clock;
 pub mod proto;
 pub mod server;
 

@@ -10,7 +10,9 @@
 //! threads are joined.
 
 use crate::admission::{AdmissionConfig, AdmissionGate};
+use crate::clock;
 use crate::proto::{self, QueryResult, Request, Response, ServerStats};
+use cedar_core::{LockExt, Millis};
 use cedar_runtime::{AggregationService, QueryOptions, ServiceConfig, TimeScale};
 use cedar_workloads::production;
 use std::io::{self, Read};
@@ -59,7 +61,7 @@ impl ServerConfig {
             service,
             admission: AdmissionConfig::default(),
             worker_threads: 0,
-            idle_timeout: Duration::from_secs(60),
+            idle_timeout: Duration::from_mins(1),
             drain_deadline: Duration::from_secs(10),
             query_timeout: Some(Duration::from_secs(30)),
         }
@@ -206,8 +208,8 @@ impl ServerHandle {
         // Drain with a deadline: connection threads normally notice the
         // shutdown flag within one poll interval, but a thread wedged in
         // a query must not wedge shutdown with it.
-        let drain_until = Instant::now() + self.shared.drain_deadline;
-        let mut conns = std::mem::take(&mut *self.shared.conn_threads.lock().unwrap());
+        let drain_until = clock::now() + self.shared.drain_deadline;
+        let mut conns = std::mem::take(&mut *self.shared.conn_threads.lock().unpoisoned());
         loop {
             let mut pending = Vec::new();
             for conn in conns {
@@ -223,7 +225,7 @@ impl ServerHandle {
             if conns.is_empty() {
                 break;
             }
-            if Instant::now() >= drain_until {
+            if clock::now() >= drain_until {
                 // Detach the stragglers: they hold only their sockets and
                 // will die with the process. Leak the runtime too — its
                 // teardown would drop tasks out from under their
@@ -255,14 +257,11 @@ impl Drop for ServerHandle {
 /// Accepts connections until shutdown, one handler thread each.
 fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
     loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
             }
+            continue;
         };
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -273,7 +272,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
                 .name("cedar-conn".into())
                 .spawn(move || handle_connection(&shared, stream))
         };
-        let mut threads = shared.conn_threads.lock().unwrap();
+        let mut threads = shared.conn_threads.lock().unpoisoned();
         threads.retain(|t| !t.is_finished());
         if let Ok(handler) = handler {
             threads.push(handler);
@@ -308,7 +307,7 @@ impl Read for PatientReader<'_> {
                             "server shutting down",
                         ));
                     }
-                    if Instant::now() >= self.deadline {
+                    if clock::now() >= self.deadline {
                         return Err(io::Error::new(
                             io::ErrorKind::TimedOut,
                             "idle timeout: no complete frame",
@@ -336,7 +335,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
         let mut reader = PatientReader {
             stream: &stream,
             shutdown: &shared.shutdown,
-            deadline: Instant::now() + shared.idle_timeout,
+            deadline: clock::now() + shared.idle_timeout,
         };
         let req: Request = match proto::read_frame(&mut reader) {
             Ok(Some(req)) => req,
@@ -440,7 +439,7 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         values: None,
         faults: None,
     };
-    let start = Instant::now();
+    let start = clock::now();
     // A panicking or runaway query must produce a typed error, not a
     // dead connection: catch the panic, cap the execution time.
     let query_timeout = shared.query_timeout;
@@ -453,7 +452,7 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
             }
         })
     }));
-    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    let latency_ms = Millis::from_duration(start.elapsed()).get();
     let outcome = match ran {
         Ok(Some(outcome)) => outcome,
         Ok(None) => {

@@ -101,7 +101,7 @@ pub fn execute_prepared(
     if let Some(spec) = cfg.speculation {
         let launch_at = cfg.tree.stage(0).dist.quantile(spec.launch_quantile);
         if launch_at.is_finite() {
-            for d in process_durations.iter_mut() {
+            for d in &mut process_durations {
                 if *d > launch_at {
                     let copy = launch_at + cfg.tree.stage(0).dist.sample(rng);
                     *d = d.min(copy);

@@ -101,7 +101,7 @@ mod tests {
         let err = read_trace(&path).unwrap_err();
         match err {
             TraceError::Parse(line, _) => assert_eq!(line, 2),
-            other => panic!("unexpected error {other:?}"),
+            TraceError::Io(other) => panic!("unexpected error {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }

@@ -1,0 +1,78 @@
+//! Workspace automation. The one subcommand that matters:
+//!
+//! ```text
+//! cargo xtask lint            # run the L1-L5 domain-invariant pass
+//! cargo xtask lint --quiet    # counts only, no rendered diagnostics
+//! ```
+//!
+//! Exit status is non-zero when any diagnostic fires, so CI can gate on
+//! it directly. All rules are deny-by-default; see
+//! `crates/analysis/src/lint.rs` for the rules and the allow-directive
+//! escape hatch.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let quiet = args.any(|a| a == "--quiet" || a == "-q");
+            lint(quiet)
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand: {other}");
+            eprintln!("usage: cargo xtask lint [--quiet]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--quiet]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workspace root: xtask always runs via cargo, so the manifest dir is
+/// `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn lint(quiet: bool) -> ExitCode {
+    let root = workspace_root();
+    let (diags, scanned) = match cedar_analysis::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: lint pass failed to read the workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        println!("cedar-lint: {scanned} files clean (rules L1-L5)");
+        return ExitCode::SUCCESS;
+    }
+    let mut by_rule: BTreeMap<String, usize> = BTreeMap::new();
+    for d in &diags {
+        *by_rule.entry(d.rule.to_string()).or_default() += 1;
+        if !quiet {
+            let source = std::fs::read_to_string(root.join(&d.path)).ok();
+            eprintln!("{}", d.render(source.as_deref()));
+        }
+    }
+    let tally = by_rule
+        .iter()
+        .map(|(r, n)| format!("{r}: {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    eprintln!(
+        "cedar-lint: {} violation(s) across {scanned} files ({tally})",
+        diags.len()
+    );
+    ExitCode::FAILURE
+}

@@ -13,7 +13,14 @@ use std::path::{Path, PathBuf};
 /// exit; math/simulation crates assert mathematical contracts; the
 /// model checker in `analysis` is panic-driven by design (assertions
 /// *are* its failure channel, as in loom).
-pub const LIB_CRATES: &[&str] = &["core", "distrib", "estimate", "runtime", "server"];
+pub const LIB_CRATES: &[&str] = &[
+    "core",
+    "distrib",
+    "estimate",
+    "runtime",
+    "server",
+    "telemetry",
+];
 
 /// Crates whose code runs under (or next to) the async engine and must
 /// read time only through the clock abstraction: `L1` scope.
@@ -26,6 +33,7 @@ pub const CLOCKED_CRATES: &[&str] = &[
     "workloads",
     "runtime",
     "server",
+    "telemetry",
 ];
 
 /// Files that *are* the clock abstraction: the one sanctioned home for
@@ -173,6 +181,10 @@ mod tests {
         let c = class("crates/mathx/src/special.rs").unwrap();
         assert!(!c.panic_free_required(), "mathx asserts math contracts");
         assert!(c.clocked());
+
+        let c = class("crates/telemetry/src/metrics.rs").unwrap();
+        assert!(c.panic_free_required());
+        assert!(c.clocked(), "telemetry must use caller-supplied time");
 
         let c = class("crates/runtime/tests/chaos.rs").unwrap();
         assert_eq!(c.kind, FileKind::TestOrBench);

@@ -1,0 +1,156 @@
+//! Model check of the telemetry histogram's snapshot-by-merge protocol
+//! (crates/telemetry/src/metrics.rs).
+//!
+//! The protocol under test: `Histogram::record` bumps one striped
+//! bucket cell with an atomic add, and `Histogram::snapshot` merges the
+//! stripes deriving `count` by summing the merged buckets — never from
+//! a separate running total. The model shows why that discipline
+//! matters: a total kept in its own atomic (bumped before the bucket
+//! write lands) can be observed **torn** by a concurrent snapshot —
+//! count says one observation, the buckets say zero. Deriving the count
+//! from the very cells that were merged is torn-free by construction
+//! under every interleaving.
+//!
+//! As with the executor and service models, the buggy shape is kept as
+//! a guarded regression: the checker must *keep finding* the tear when
+//! the separate-total protocol is modeled, so the model stays honest.
+
+use cedar_analysis::sched::{self, AtomicUsize, Builder, Failure};
+use std::sync::Arc;
+
+const STRIPES: usize = 2;
+const BUCKETS: usize = 2;
+
+/// Two stripes of two buckets plus the buggy shape's separate total.
+struct ModelHistogram {
+    stripes: Vec<Vec<AtomicUsize>>,
+    total: AtomicUsize,
+}
+
+impl ModelHistogram {
+    fn new() -> Self {
+        ModelHistogram {
+            stripes: (0..STRIPES)
+                .map(|_| (0..BUCKETS).map(|_| AtomicUsize::new(0)).collect())
+                .collect(),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// One `record`: bump the bucket cell. The buggy variant also
+    /// maintains the separate running total — bumped first, exactly the
+    /// window a concurrent snapshot can tear through.
+    fn record(&self, stripe: usize, bucket: usize, separate_total: bool) {
+        if separate_total {
+            self.total.fetch_add(1);
+        }
+        self.stripes[stripe][bucket].fetch_add(1);
+    }
+
+    /// One `snapshot`: merge the stripes. Returns the reported count
+    /// and the merged bucket sum. The fixed protocol reports the merged
+    /// sum as the count (they cannot disagree); the buggy one reports
+    /// the separate total read before the merge.
+    fn snapshot(&self, separate_total: bool) -> (usize, usize) {
+        let reported_total = if separate_total { self.total.load() } else { 0 };
+        let mut merged = 0usize;
+        for stripe in &self.stripes {
+            for cell in stripe {
+                merged += cell.load();
+            }
+        }
+        if separate_total {
+            (reported_total, merged)
+        } else {
+            (merged, merged)
+        }
+    }
+}
+
+/// Two writers into different stripes race one mid-run snapshot.
+fn snapshot_model(separate_total: bool) {
+    let h = Arc::new(ModelHistogram::new());
+    let writer = {
+        let h = Arc::clone(&h);
+        sched::spawn(move || h.record(0, 0, separate_total))
+    };
+    let reader = {
+        let h = Arc::clone(&h);
+        sched::spawn(move || {
+            let (count, merged) = h.snapshot(separate_total);
+            assert!(
+                count <= merged,
+                "torn snapshot: count {count} exceeds merged bucket sum {merged}"
+            );
+            assert!(merged <= 2, "phantom records: merged {merged}");
+        })
+    };
+    h.record(1, 1, separate_total);
+    writer.join();
+    reader.join();
+    // Quiescent: every record must be visible and the views must agree.
+    let (count, merged) = h.snapshot(separate_total);
+    assert_eq!(merged, 2, "a record was lost");
+    assert_eq!(count, merged, "views disagree at quiescence");
+}
+
+#[test]
+fn separate_total_counter_tears_in_the_model() {
+    let s = Builder::new()
+        .max_runs(200_000)
+        .preemption_bound(2)
+        .explore(|| snapshot_model(true));
+    match s.failure {
+        Some(Failure::Panic { ref message }) => {
+            assert!(
+                message.contains("torn snapshot"),
+                "must fail via the torn-count shape: {message}"
+            );
+        }
+        other => panic!(
+            "separate-total protocol must tear, got {other:?} after {} runs",
+            s.runs
+        ),
+    }
+}
+
+#[test]
+fn derive_count_from_merged_buckets_is_torn_free() {
+    let s = Builder::new()
+        .max_runs(200_000)
+        .preemption_bound(2)
+        .explore(|| snapshot_model(false));
+    assert!(s.failure.is_none(), "{:?}", s.failure);
+}
+
+#[test]
+fn snapshots_never_observe_count_going_backwards() {
+    // One writer records twice while a reader snapshots twice: with the
+    // count derived from the buckets, successive snapshots are monotone
+    // under every interleaving (cells only ever increase).
+    let s = Builder::new()
+        .max_runs(200_000)
+        .preemption_bound(2)
+        .explore(|| {
+            let h = Arc::new(ModelHistogram::new());
+            let writer = {
+                let h = Arc::clone(&h);
+                sched::spawn(move || {
+                    h.record(0, 0, false);
+                    h.record(1, 0, false);
+                })
+            };
+            let (first, _) = h.snapshot(false);
+            let (second, _) = h.snapshot(false);
+            assert!(
+                second >= first,
+                "count went backwards: {first} then {second}"
+            );
+            writer.join();
+            let (fin, merged) = h.snapshot(false);
+            assert_eq!(fin, 2);
+            assert_eq!(merged, 2);
+        });
+    assert!(s.failure.is_none(), "{:?}", s.failure);
+    assert!(!s.truncated, "space must be exhaustible: {} runs", s.runs);
+}

@@ -8,7 +8,7 @@
 
 use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::LogNormal;
-use cedar_runtime::{AggregationService, ServiceConfig, TimeScale};
+use cedar_runtime::{AggregationService, RuntimeMetrics, ServiceConfig, TimeScale};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -23,7 +23,7 @@ fn tree() -> TreeSpec {
     )
 }
 
-fn service(cache: bool) -> AggregationService {
+fn service(cache: bool, telemetry: bool) -> AggregationService {
     let mut cfg = ServiceConfig::new(tree(), 40.0);
     // Refits off: steady-state priors, so the cache (when on) stays hot
     // and the comparison isolates the context-build cost.
@@ -32,6 +32,11 @@ fn service(cache: bool) -> AggregationService {
     // 5 us of wall clock per model unit: sleeps are near-instant and
     // the setup cost dominates.
     cfg.scale = TimeScale::new(Duration::from_micros(5));
+    if telemetry {
+        // Metrics attached but never scraped: the enabled-but-idle
+        // configuration the < 2% overhead budget is judged at.
+        cfg.metrics = Some(RuntimeMetrics::detached());
+    }
     AggregationService::new(cfg)
 }
 
@@ -44,13 +49,13 @@ fn bench_service_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("service_throughput");
     group.sample_size(10);
-    for &cache in &[true, false] {
-        let name = if cache {
-            "batch8/cache_on"
-        } else {
-            "batch8/cache_off"
+    for &(cache, telemetry) in &[(true, false), (true, true), (false, false)] {
+        let name = match (cache, telemetry) {
+            (true, false) => "batch8/cache_on",
+            (true, true) => "batch8/cache_on_telemetry",
+            _ => "batch8/cache_off",
         };
-        let svc = service(cache);
+        let svc = service(cache, telemetry);
         // Warm up: first submission spawns the refit task and (cache on)
         // populates the profile cache.
         rt.block_on(svc.submit(tree()));

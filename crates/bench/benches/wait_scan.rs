@@ -115,6 +115,31 @@ fn bench_wait_scan(c: &mut Criterion) {
                 b.iter(|| calculate_wait_with_grid(black_box(&x1_new), 50, &grid));
             },
         );
+        // The same hot path as the runtime runs it with metrics
+        // attached: a wall-clock read before the scan and a lock-free
+        // histogram record after. The enabled-but-idle telemetry budget
+        // is < 2% over `batched_memo_grid`.
+        group.bench_with_input(
+            BenchmarkId::new("batched_memo_grid_telemetry", steps),
+            &steps,
+            |b, _| {
+                let grid = QupGrid::build(deadline, eps, |rem| {
+                    if rem <= 0.0 {
+                        0.0
+                    } else {
+                        x2_new.cdf(rem)
+                    }
+                });
+                let hist = cedar_telemetry::Registry::new()
+                    .histogram("bench_wait_scan_seconds", "scan latency");
+                b.iter(|| {
+                    let t0 = std::time::Instant::now();
+                    let w = calculate_wait_with_grid(black_box(&x1_new), 50, &grid);
+                    hist.record(t0.elapsed().as_secs_f64());
+                    w
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -28,24 +28,37 @@ USAGE:
                   [--refit-interval N] [--max-inflight N] [--max-queued N]
                   [--queue-timeout-ms MS] [--workers N]
                   [--idle-timeout-ms MS] [--drain-deadline-ms MS]
-                  [--query-timeout-ms MS]
+                  [--query-timeout-ms MS] [--metrics-addr A]
       Run a network-facing FB-MR aggregation service until a client
       sends the shutdown op. Idle connections are reaped after the idle
       timeout; graceful shutdown detaches stragglers past the drain
-      deadline; 0 disables the per-query execution cap.
+      deadline; 0 disables the per-query execution cap. --metrics-addr
+      additionally serves Prometheus text over plain HTTP GET.
   cedar-cli loadgen --addr A [--qps Q] [--queries N] [--deadline D]
                     [--k1 N] [--k2 N] [--seed S] [--stop-server BOOL]
                     [--save-baseline FILE] [--compare-baseline FILE]
+                    [--fail-threshold F]
       Open-loop Poisson load against a running service; reports achieved
-      QPS, quality distribution and latency percentiles. A baseline file
-      stores the percentile summary as JSON; comparing prints p50/p95/p99
-      deltas against it. Errors are counted per class (using the typed
-      response codes) and excluded from the percentiles.
+      QPS, quality distribution and latency percentiles, and scrapes the
+      server's metrics mid-run on a dedicated connection. A baseline
+      file stores the percentile summary as JSON; comparing prints
+      p50/p95/p99 deltas against it and exits non-zero when any latency
+      percentile rises (or quality falls) by more than F (default 0.10)
+      relative to the baseline — the CI gate. Errors are counted per
+      class (using the typed response codes) and excluded from the
+      percentiles.
   cedar-cli chaos [--rates R1,R2,..] [--mode crash|straggle|mixed]
                   [--queries N] [--deadline D] [--k1 N] [--k2 N] [--seed S]
       Sweep injected failure rates against the cedar policy on a paused
       clock; per rate, reports mean/p10 quality, injected/recovered fault
       counts and deadline violations.
+  cedar-cli explain [--deadline D] [--k1 N] [--k2 N] [--seed S]
+                    [--fault-rate R] [--mode crash|straggle|mixed]
+      Run one (optionally chaos-seeded) query with the decision trace on
+      and print its per-arrival timeline: initial waits, estimates,
+      timer re-arms with gain/loss at the chosen wait, faults, retries,
+      departures and the final ship reason. The timeline's counters are
+      verified against the engine's own failure accounting.
 ";
 
 /// Entry point: routes `argv` to a subcommand.
@@ -67,6 +80,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "serve" => crate::service_cmds::cmd_serve(&args),
         "loadgen" => crate::service_cmds::cmd_loadgen(&args),
         "chaos" => crate::chaos_cmd::cmd_chaos(&args),
+        "explain" => crate::explain_cmd::cmd_explain(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

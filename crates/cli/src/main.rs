@@ -12,6 +12,7 @@
 mod args;
 mod chaos_cmd;
 mod commands;
+mod explain_cmd;
 mod service_cmds;
 
 use std::process::ExitCode;

@@ -35,6 +35,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         max_queued: args.opt_parse("max-queued", 256)?,
         queue_timeout: Duration::from_millis(args.opt_parse("queue-timeout-ms", 500)?),
     };
+    cfg.metrics_addr = args.opt("metrics-addr").map(str::to_owned);
     cfg.worker_threads = args.opt_parse("workers", 0)?;
     cfg.idle_timeout = Duration::from_millis(args.opt_parse("idle-timeout-ms", 60_000)?);
     cfg.drain_deadline = Duration::from_millis(args.opt_parse("drain-deadline-ms", 10_000)?);
@@ -49,6 +50,9 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
 
     let handle = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;
     println!("cedar-server listening on {}", handle.addr());
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics endpoint on http://{maddr}/metrics");
+    }
     println!(
         "workload: FB-MR {k1}x{k2} ({} processes), deadline {deadline} model s, \
          {unit_us} us of wall clock per model s",
@@ -122,6 +126,77 @@ impl Baseline {
         })
     }
 
+    /// Percentiles that regressed beyond `threshold` (a fraction of the
+    /// stored value): latencies count as regressed when they rise,
+    /// qualities when they fall. Used for CI gating — any entry here
+    /// makes `loadgen --compare-baseline` exit non-zero.
+    fn regressions(&self, stored: &Self, threshold: f64) -> Vec<String> {
+        fn check(
+            name: &str,
+            now: f64,
+            then: f64,
+            threshold: f64,
+            worse_when_higher: bool,
+        ) -> Option<String> {
+            if then.abs() <= 1e-12 {
+                return None;
+            }
+            let rel = (now - then) / then;
+            let regressed = if worse_when_higher {
+                rel > threshold
+            } else {
+                -rel > threshold
+            };
+            regressed.then(|| {
+                format!(
+                    "{name}: {then:.2} -> {now:.2} ({:+.1}%, threshold {:.0}%)",
+                    100.0 * rel,
+                    100.0 * threshold
+                )
+            })
+        }
+        [
+            check(
+                "latency p50",
+                self.latency_p50,
+                stored.latency_p50,
+                threshold,
+                true,
+            ),
+            check(
+                "latency p95",
+                self.latency_p95,
+                stored.latency_p95,
+                threshold,
+                true,
+            ),
+            check(
+                "latency p99",
+                self.latency_p99,
+                stored.latency_p99,
+                threshold,
+                true,
+            ),
+            check(
+                "quality mean",
+                self.quality_mean,
+                stored.quality_mean,
+                threshold,
+                false,
+            ),
+            check(
+                "quality p50",
+                self.quality_p50,
+                stored.quality_p50,
+                threshold,
+                false,
+            ),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// One comparison line per tracked percentile: current vs stored, with
     /// the delta in both absolute and relative terms.
     fn diff_report(&self, stored: &Self) -> Vec<String> {
@@ -158,12 +233,16 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let stop_server: bool = args.opt_parse("stop-server", false)?;
     let save_baseline = args.opt("save-baseline").map(str::to_owned);
     let compare_baseline = args.opt("compare-baseline").map(str::to_owned);
+    let fail_threshold: f64 = args.opt_parse("fail-threshold", 0.10)?;
     let deadline: Option<f64> = match args.opt("deadline") {
         Some(v) => Some(v.parse().map_err(|_| "--deadline has an invalid value")?),
         None => None,
     };
     if qps.is_nan() || qps <= 0.0 || queries == 0 {
         return Err("--qps and --queries must be positive".into());
+    }
+    if fail_threshold.is_nan() || fail_threshold < 0.0 {
+        return Err("--fail-threshold must be non-negative".into());
     }
 
     // Fail fast if nothing is listening.
@@ -186,6 +265,35 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let peak_in_flight = Arc::new(AtomicUsize::new(0));
     let (shot_tx, shot_rx) = mpsc::channel::<Shot>();
     let mut workers = Vec::with_capacity(queries);
+
+    // Scrape the server's metrics mid-run on a dedicated connection:
+    // the exposition surface is meant to be read *while* the service is
+    // loaded, and doing so here both demonstrates that and catches a
+    // scrape path that deadlocks under load. Old servers without the
+    // `metrics` op just yield zero scrapes.
+    let scrape_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let addr = addr.clone();
+        let stop = scrape_stop.clone();
+        thread::spawn(move || -> (usize, Option<String>) {
+            let Ok(mut client) = Client::connect(&addr) else {
+                return (0, None);
+            };
+            let mut scrapes = 0;
+            let mut last = None;
+            while !stop.load(Ordering::Acquire) {
+                match client.metrics() {
+                    Ok(resp) if resp.ok && resp.metrics.is_some() => {
+                        scrapes += 1;
+                        last = resp.metrics;
+                    }
+                    _ => break,
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+            (scrapes, last)
+        })
+    };
 
     println!("offering {qps} QPS, {queries} queries, FB-MR {k1}x{k2} trees");
     let start = Instant::now();
@@ -262,6 +370,8 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
         let _ = w.join();
     }
     let elapsed = start.elapsed();
+    scrape_stop.store(true, Ordering::Release);
+    let (scrapes, last_scrape) = scraper.join().unwrap_or((0, None));
 
     let shots: Vec<Shot> = shot_rx.into_iter().collect();
     // Only served queries contribute to the quality and latency
@@ -337,6 +447,22 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
             for line in current.diff_report(&stored) {
                 println!("{line}");
             }
+            let regressions = current.regressions(&stored, fail_threshold);
+            if regressions.is_empty() {
+                println!(
+                    "  within the {:.0}% regression threshold",
+                    100.0 * fail_threshold
+                );
+            } else {
+                for r in &regressions {
+                    println!("  REGRESSION {r}");
+                }
+                return Err(format!(
+                    "{} percentile(s) regressed beyond the {:.0}% threshold",
+                    regressions.len(),
+                    100.0 * fail_threshold
+                ));
+            }
         }
         if let Some(path) = &save_baseline {
             let text = serde_json::to_string_pretty(&current.to_json()).expect("valid json");
@@ -360,6 +486,33 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
             );
         }
     }
+    if scrapes > 0 {
+        if let Some(text) = &last_scrape {
+            let line = |label: &str, v: Option<String>| {
+                if let Some(v) = v {
+                    println!("  {label:<28} {v}");
+                }
+            };
+            println!("metrics ({scrapes} mid-run scrapes; last):");
+            line("queries completed", scraped(text, "cedar_queries_total"));
+            line(
+                "wait-scan p99 (s)",
+                scraped(text, "cedar_wait_scan_seconds{quantile=\"0.99\"}"),
+            );
+            line(
+                "censored fraction",
+                scraped(text, "cedar_censored_observation_fraction"),
+            );
+            line(
+                "sheds",
+                scraped(text, "cedar_server_errors_total{class=\"shed\"}"),
+            );
+            line(
+                "priors epoch age (queries)",
+                scraped(text, "cedar_priors_epoch_age_queries"),
+            );
+        }
+    }
     if stop_server {
         control
             .shutdown_server()
@@ -367,6 +520,14 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
         println!("server stopped");
     }
     Ok(())
+}
+
+/// One metric's rendered value, from Prometheus text captured mid-run.
+fn scraped(text: &str, name: &str) -> Option<String> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .map(str::to_owned)
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -421,6 +582,64 @@ mod tests {
         assert!(Baseline::from_json(&serde_json::Value::Object(incomplete))
             .unwrap_err()
             .contains("latency_ms.p50"));
+    }
+
+    #[test]
+    fn regression_gate_flags_only_true_regressions() {
+        let stored = Baseline {
+            latency_p50: 10.0,
+            latency_p95: 20.0,
+            latency_p99: 40.0,
+            quality_mean: 0.9,
+            quality_p50: 0.95,
+        };
+        // Latency improvements and small wobbles pass...
+        let fine = Baseline {
+            latency_p50: 5.0,
+            latency_p95: 21.0,
+            latency_p99: 43.0,
+            quality_mean: 0.89,
+            quality_p50: 0.95,
+        };
+        assert!(fine.regressions(&stored, 0.10).is_empty());
+        // ...a latency blow-up and a quality collapse both fail.
+        let worse = Baseline {
+            latency_p50: 10.0,
+            latency_p95: 30.0,
+            latency_p99: 40.0,
+            quality_mean: 0.9,
+            quality_p50: 0.70,
+        };
+        let r = worse.regressions(&stored, 0.10);
+        assert_eq!(r.len(), 2, "{r:?}");
+        assert!(r[0].contains("latency p95"));
+        assert!(r[1].contains("quality p50"));
+        // A zero threshold flags any worsening at all (p95, p99, mean).
+        assert_eq!(fine.regressions(&stored, 0.0).len(), 3);
+    }
+
+    #[test]
+    fn scraped_pulls_labelled_series() {
+        let text = "# HELP x y\ncedar_queries_total 42\n\
+                    cedar_server_errors_total{class=\"shed\"} 3\n";
+        assert_eq!(scraped(text, "cedar_queries_total").as_deref(), Some("42"));
+        assert_eq!(
+            scraped(text, "cedar_server_errors_total{class=\"shed\"}").as_deref(),
+            Some("3")
+        );
+        assert!(scraped(text, "cedar_missing").is_none());
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_fail_threshold() {
+        assert!(dispatch(&sv(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--fail-threshold",
+            "-0.5"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -122,6 +122,18 @@ impl AggregatorState {
     pub fn ctx(&self) -> &PolicyContext {
         &self.ctx
     }
+
+    /// Turns explain mode on or off for the underlying policy (see
+    /// [`crate::policy::WaitPolicy::set_explain`]).
+    pub fn set_explain(&mut self, on: bool) {
+        self.policy.set_explain(on);
+    }
+
+    /// Detail of the most recent wait revision, when explain mode is on
+    /// and the policy recomputed at least once since the query started.
+    pub fn last_detail(&self) -> Option<crate::policy::DecisionDetail> {
+        self.policy.last_detail()
+    }
 }
 
 #[cfg(test)]

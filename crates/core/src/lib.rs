@@ -42,7 +42,7 @@ pub mod units;
 pub mod wait;
 
 pub use aggregator::{AggregatorAction, AggregatorState};
-pub use policy::{PolicyContext, WaitPolicy, WaitPolicyKind};
+pub use policy::{DecisionDetail, PolicyContext, WaitPolicy, WaitPolicyKind};
 pub use profile::QualityProfile;
 pub use setup::PreparedContexts;
 pub use sync::LockExt;

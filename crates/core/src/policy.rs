@@ -8,7 +8,7 @@
 //! state machine driving timers lives in [`crate::aggregator`].
 
 use crate::profile::QualityProfile;
-use crate::wait::{calculate_wait_with_grid, QupGrid, WaitDecision};
+use crate::wait::{calculate_wait_with_grid, gain_loss_at, QupGrid, WaitDecision};
 use cedar_distrib::ContinuousDist;
 use cedar_estimate::{
     CedarEstimator, DurationEstimator, EmpiricalEstimator, Model, PairwiseCedarEstimator,
@@ -83,6 +83,43 @@ impl PolicyContext {
         });
         calculate_wait_with_grid(lower, self.fanout, grid)
     }
+
+    /// Marginal quality gain/loss of the ε-step ending at `wait`, using
+    /// the same memoized upstream grid as [`PolicyContext::scan`]. The
+    /// explain-path probe behind [`DecisionDetail`]; not on the default
+    /// hot path.
+    pub fn gain_loss(&self, lower: &dyn ContinuousDist, wait: f64) -> (f64, f64) {
+        if self.deadline <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let grid = self.qup_grid.get_or_init(|| {
+            Arc::new(QupGrid::build(self.deadline, self.epsilon(), |rem| {
+                self.upper.eval(rem)
+            }))
+        });
+        gain_loss_at(lower, self.fanout, grid, wait)
+    }
+}
+
+/// A snapshot of the inputs and outputs of one wait decision, captured
+/// by policies when explain mode is on (see [`WaitPolicy::set_explain`]).
+/// The runtime turns these into decision-trace events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionDetail {
+    /// Estimated location parameter of the input distribution.
+    pub mu: f64,
+    /// Estimated scale parameter of the input distribution.
+    pub sigma: f64,
+    /// Samples behind the estimate.
+    pub samples: usize,
+    /// The chosen wait `t`.
+    pub wait: f64,
+    /// Expected quality `q(t)` at the chosen wait.
+    pub expected_quality: f64,
+    /// Marginal quality gain at the chosen ε-step.
+    pub gain: f64,
+    /// Marginal quality loss at the chosen ε-step.
+    pub loss: f64,
 }
 
 /// A per-(aggregator, query) wait decision maker.
@@ -95,6 +132,16 @@ pub trait WaitPolicy: Send + std::fmt::Debug {
     /// `arrival`. Returns `Some(new_wait)` to revise the departure time,
     /// `None` to keep the current one.
     fn on_arrival(&mut self, ctx: &PolicyContext, arrival: f64) -> Option<f64>;
+
+    /// Asks the policy to capture a [`DecisionDetail`] on every revision.
+    /// Off by default; policies without online learning may ignore it.
+    fn set_explain(&mut self, _on: bool) {}
+
+    /// The detail captured by the most recent revision, if explain mode
+    /// is on and the policy recomputed at least once.
+    fn last_detail(&self) -> Option<DecisionDetail> {
+        None
+    }
 }
 
 /// Which estimator Cedar runs online.
@@ -222,6 +269,11 @@ pub struct CedarPolicy {
     /// `min_samples` (1 = every arrival, the paper's behaviour).
     recompute_every: usize,
     arrivals_seen: usize,
+    /// When set, each recomputation also records a [`DecisionDetail`]
+    /// (including the gain/loss probe, an extra partial scan) — only the
+    /// explain path pays for it.
+    explain: bool,
+    detail: Option<DecisionDetail>,
 }
 
 impl CedarPolicy {
@@ -244,6 +296,8 @@ impl CedarPolicy {
             min_samples: 3,
             recompute_every: 1,
             arrivals_seen: 0,
+            explain: false,
+            detail: None,
         }
     }
 
@@ -270,7 +324,28 @@ impl WaitPolicy for CedarPolicy {
         }
         let est = self.estimator.estimate()?;
         let dist = est.to_dist().ok()?;
-        Some(ctx.scan(&dist).wait)
+        let dec = ctx.scan(&dist);
+        if self.explain {
+            let (gain, loss) = ctx.gain_loss(&dist, dec.wait);
+            self.detail = Some(DecisionDetail {
+                mu: est.mu,
+                sigma: est.sigma,
+                samples: self.arrivals_seen,
+                wait: dec.wait,
+                expected_quality: dec.quality,
+                gain,
+                loss,
+            });
+        }
+        Some(dec.wait)
+    }
+
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn last_detail(&self) -> Option<DecisionDetail> {
+        self.detail
     }
 }
 
@@ -534,6 +609,41 @@ mod tests {
         }
         // Updates at arrivals 5, 8, 11.
         assert_eq!(updates, 3);
+    }
+
+    #[test]
+    fn explain_captures_decision_detail() {
+        let ctx = ctx_knee();
+        let slow = LogNormal::new(2.6, 0.5).unwrap();
+        let mut cedar = CedarPolicy::new(50, Model::LogNormal, EstimatorKind::OrderStats);
+        cedar.set_explain(true);
+        assert!(cedar.last_detail().is_none());
+        let mut arrivals: Vec<f64> = {
+            use cedar_distrib::ContinuousDist;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            slow.sample_vec(&mut rng, 50)
+        };
+        arrivals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last_wait = None;
+        for &t in arrivals.iter().take(10) {
+            if let Some(w) = cedar.on_arrival(&ctx, t) {
+                last_wait = Some(w);
+            }
+        }
+        let detail = cedar.last_detail().expect("explain detail captured");
+        assert_eq!(Some(detail.wait), last_wait);
+        assert!(detail.samples >= 3);
+        assert!(detail.sigma > 0.0);
+        assert!((0.0..=1.0).contains(&detail.expected_quality));
+        assert!(detail.gain.is_finite() && detail.loss.is_finite());
+
+        // Explain off: no detail is captured (and no probe cost paid).
+        let mut plain = CedarPolicy::new(50, Model::LogNormal, EstimatorKind::OrderStats);
+        for &t in arrivals.iter().take(10) {
+            let _ = plain.on_arrival(&ctx, t);
+        }
+        assert!(plain.last_detail().is_none());
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! wired by channels, timers driven by the wall clock.
 
 use crate::faults::{ChaosLog, FailureReport, FaultKind, FaultPlan};
+use crate::metrics::RuntimeMetrics;
 use crate::scale::TimeScale;
-use cedar_core::policy::WaitPolicyKind;
+use cedar_core::policy::{DecisionDetail, WaitPolicyKind};
 use cedar_core::profile::ProfileConfig;
 use cedar_core::setup::PreparedContexts;
 use cedar_core::{AggregatorAction, AggregatorState, TreeSpec};
 use cedar_distrib::ContinuousDist;
 use cedar_estimate::Model;
+use cedar_telemetry::{QueryTrace, ShipReason, TraceEventKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -70,6 +72,27 @@ struct Watchdog {
     self_tx: mpsc::Sender<PartialResult>,
 }
 
+/// Per-aggregator observability wiring: a shared decision trace and/or
+/// shared metrics, plus this aggregator's tree coordinates. Both handles
+/// are optional and independent; a default (all-`None`) carrier keeps
+/// the uninstrumented path to one branch per site.
+#[derive(Clone, Default)]
+struct AggObs {
+    trace: Option<Arc<QueryTrace>>,
+    metrics: Option<Arc<RuntimeMetrics>>,
+    level: usize,
+    index: usize,
+}
+
+impl AggObs {
+    /// Records `kind` into the trace, if one is attached.
+    fn record(&self, at: f64, kind: TraceEventKind) {
+        if let Some(t) = &self.trace {
+            t.record(at, self.level, self.index, kind);
+        }
+    }
+}
+
 /// Configuration of one runtime query.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -92,6 +115,18 @@ pub struct RuntimeConfig {
     /// Optional fault-injection plan. `None` (the default) runs the
     /// engine exactly as before — the clean path is byte-identical.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional per-query decision trace. When attached, every
+    /// Pseudocode-1 timeline event (arrivals, estimates, re-arms,
+    /// watchdog/retry/fault events, ship decisions) is recorded into it
+    /// and policies run in explain mode.
+    pub trace: Option<Arc<QueryTrace>>,
+    /// Optional shared runtime metrics (wait-scan latency, fault and
+    /// outcome counters). One instance is typically shared across every
+    /// query of a service.
+    pub metrics: Option<Arc<RuntimeMetrics>>,
+    /// Epoch of the priors snapshot this query planned against (surfaced
+    /// in the trace's `QueryStart` event; 0 when priors are static).
+    pub priors_epoch: u64,
 }
 
 impl RuntimeConfig {
@@ -108,6 +143,9 @@ impl RuntimeConfig {
             profile: ProfileConfig::default(),
             seed: 0xCEDA2,
             faults: None,
+            trace: None,
+            metrics: None,
+            priors_epoch: 0,
         }
     }
 
@@ -138,6 +176,24 @@ impl RuntimeConfig {
     /// Installs a fault-injection plan (and its recovery policy).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Attaches a decision trace (turns on policy explain mode).
+    pub fn with_trace(mut self, trace: Arc<QueryTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches shared runtime metrics.
+    pub fn with_metrics(mut self, metrics: Arc<RuntimeMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Sets the priors epoch surfaced in the trace.
+    pub fn with_priors_epoch(mut self, epoch: u64) -> Self {
+        self.priors_epoch = epoch;
         self
     }
 }
@@ -256,6 +312,23 @@ pub async fn run_query_prepared(
     let start = Instant::now();
     let deadline_instant = start + cfg.scale.to_wall(cfg.deadline);
 
+    // Root-level observability (the root collector sits above the top
+    // aggregator stage, so it reports as level `n`).
+    let root_obs = AggObs {
+        trace: cfg.trace.clone(),
+        metrics: cfg.metrics.clone(),
+        level: n,
+        index: 0,
+    };
+    root_obs.record(
+        0.0,
+        TraceEventKind::QueryStart {
+            deadline: cfg.deadline,
+            total_processes,
+            priors_epoch: cfg.priors_epoch,
+        },
+    );
+
     // Chaos wiring (None on clean runs; the clean path below is
     // byte-identical to the fault-free engine).
     let chaos = cfg.faults.as_ref().map(|plan| {
@@ -348,8 +421,14 @@ pub async fn run_query_prepared(
                     },
                 }
             });
+            let agg_obs = AggObs {
+                trace: cfg.trace.clone(),
+                metrics: cfg.metrics.clone(),
+                level,
+                index: agg,
+            };
             tokio::spawn(aggregator_task(
-                state, rx, parent_tx, start, scale, own, agg_origin, agg_chaos,
+                state, rx, parent_tx, start, scale, own, agg_origin, agg_chaos, agg_obs,
             ));
             txs.push(tx);
         }
@@ -370,16 +449,40 @@ pub async fn run_query_prepared(
         let fault = chaos
             .as_ref()
             .and_then(|c| c.plan.fault_for(0, i).map(|k| (k, Arc::clone(c))));
+        // A trace handle rides along only when this worker has a fault
+        // to report (its only trace-worthy events are injections).
+        let wtrace = if fault.is_some() {
+            cfg.trace.clone()
+        } else {
+            None
+        };
         let dur = match &fault {
             Some((FaultKind::Straggle { factor }, _)) => dur * factor,
             _ => dur,
         };
         let fire_at = start + cfg.scale.to_wall(dur);
+        let scale = cfg.scale;
         let value = values[i];
         tokio::spawn(async move {
+            // Mirror every ChaosLog::injected call into the trace at the
+            // same instant so trace and FailureReport counts agree.
+            let trace_fault = |k: FaultKind| {
+                if let Some(t) = &wtrace {
+                    t.record(
+                        scale.to_model(start.elapsed()),
+                        0,
+                        i,
+                        TraceEventKind::FaultInjected {
+                            fault: k.class(),
+                            origin: i,
+                        },
+                    );
+                }
+            };
             match fault {
                 Some((FaultKind::Hang, c)) => {
                     c.log.injected(FaultKind::Hang);
+                    trace_fault(FaultKind::Hang);
                     // Never finishes: holds `tx` past the deadline so the
                     // channel cannot close early, then exits unsent.
                     tokio::time::sleep_until(c.hang_until).await;
@@ -388,10 +491,12 @@ pub async fn run_query_prepared(
                     // The work happens; the result never leaves the host.
                     tokio::time::sleep_until(fire_at).await;
                     c.log.injected(k);
+                    trace_fault(k);
                 }
                 fault => {
                     if let Some((k @ FaultKind::Straggle { .. }, c)) = &fault {
                         c.log.injected(*k);
+                        trace_fault(*k);
                     }
                     tokio::time::sleep_until(fire_at).await;
                     let msg = PartialResult {
@@ -403,6 +508,7 @@ pub async fn run_query_prepared(
                     };
                     if let Some((k @ FaultKind::DuplicateMessage, c)) = &fault {
                         c.log.injected(*k);
+                        trace_fault(*k);
                         let _ = tx.send(msg).await;
                     }
                     // The aggregator may already have departed; a send error is
@@ -422,20 +528,36 @@ pub async fn run_query_prepared(
     let mut arrivals = 0usize;
     let mut value_sum = 0.0f64;
     let mut root_seen: HashSet<usize> = HashSet::new();
+    let mut end_reason = ShipReason::AllArrived;
     loop {
         tokio::select! {
-            () = tokio::time::sleep_until(deadline_instant) => break,
+            () = tokio::time::sleep_until(deadline_instant) => {
+                end_reason = ShipReason::DeadlineExpired;
+                break;
+            }
             msg = root_rx.recv() => match msg {
                 Some(m) => {
+                    let now_model = cfg.scale.to_model(start.elapsed());
                     if let Some(c) = &chaos {
                         if !root_seen.insert(m.origin) {
                             c.log.duplicate_suppressed();
+                            root_obs.record(
+                                now_model,
+                                TraceEventKind::DuplicateSuppressed { origin: m.origin },
+                            );
                             continue;
                         }
                     }
                     included += m.payload;
                     arrivals += 1;
                     value_sum += m.value;
+                    root_obs.record(
+                        now_model,
+                        TraceEventKind::RootArrival {
+                            origin: m.origin,
+                            weight: m.payload,
+                        },
+                    );
                 }
                 None => break,
             },
@@ -452,7 +574,7 @@ pub async fn run_query_prepared(
         }
     };
 
-    RuntimeOutcome {
+    let outcome = RuntimeOutcome {
         quality: included as f64 / total_processes.max(1) as f64,
         included_outputs: included,
         total_processes,
@@ -462,7 +584,19 @@ pub async fn run_query_prepared(
         realized_durations,
         failures,
         censored_durations,
+    };
+    root_obs.record(
+        cfg.scale.to_model(outcome.wall_elapsed),
+        TraceEventKind::QueryEnd {
+            quality: outcome.quality,
+            included: outcome.included_outputs,
+            reason: end_reason,
+        },
+    );
+    if let Some(m) = &cfg.metrics {
+        m.observe_outcome(&outcome);
     }
+    outcome
 }
 
 /// Pseudocode 1 as an async task: collect arrivals, let the policy revise
@@ -484,12 +618,19 @@ async fn aggregator_task(
     own_duration: f64,
     origin: usize,
     mut chaos: Option<AggChaos>,
+    obs: AggObs,
 ) {
+    if obs.trace.is_some() {
+        state.set_explain(true);
+    }
     let w0 = state.start();
+    obs.record(0.0, TraceEventKind::InitialWait { wait: w0 });
     let mut timer = start + scale.to_wall(w0);
     let mut payload = 0usize;
     let mut value = 0.0f64;
     let mut seen: HashSet<usize> = HashSet::new();
+    let mut prev_detail: Option<DecisionDetail> = None;
+    let mut reason = ShipReason::AllArrived;
     let mut watchdog = chaos.as_mut().and_then(|c| c.watchdog.take());
     loop {
         // The vendored select! has exactly two arms, so the watchdog
@@ -511,9 +652,18 @@ async fn aggregator_task(
                     // only ever holds with a watchdog armed, and a
                     // watchdog only arms with chaos wiring).
                     if let (Some(w), Some(c)) = (watchdog.take(), chaos.as_ref()) {
+                        let wd_model = scale.to_model(start.elapsed());
+                        obs.record(
+                            wd_model,
+                            TraceEventKind::WatchdogFired {
+                                expected: c.expected.len(),
+                                received: seen.len(),
+                            },
+                        );
                         for id in c.expected.clone() {
                             if !seen.contains(&id) {
                                 c.log.retry_launched();
+                                obs.record(wd_model, TraceEventKind::RetryLaunched { origin: id });
                                 let mut rng = StdRng::seed_from_u64(w.plan.retry_seed(id));
                                 let dur = w.dist.sample(&mut rng);
                                 let fire_at = w.at + scale.to_wall(dur);
@@ -539,29 +689,91 @@ async fn aggregator_task(
                 // The armed instant always mirrors the state machine's
                 // current wait, so this firing is never stale.
                 let _ = state.on_timer(state.timer());
+                obs.record(scale.to_model(start.elapsed()), TraceEventKind::TimerFired);
+                reason = ShipReason::TimerExpired;
                 break;
             }
             msg = rx.recv() => match msg {
                 Some(m) => {
+                    let now_model = scale.to_model(start.elapsed());
                     if let Some(c) = &chaos {
                         if !seen.insert(m.origin) {
                             // Injected duplicate, or a retry racing its
                             // own original — count it once either way.
                             c.log.duplicate_suppressed();
+                            obs.record(
+                                now_model,
+                                TraceEventKind::DuplicateSuppressed { origin: m.origin },
+                            );
                             continue;
                         }
                         if c.level == 1 {
                             c.log.delivered(0, m.origin, m.duration);
                             if m.retry {
                                 c.log.retry_delivered();
+                                obs.record(
+                                    now_model,
+                                    TraceEventKind::RetryDelivered { origin: m.origin },
+                                );
                             }
                         }
                     }
                     payload += m.payload;
                     value += m.value;
-                    let now_model = scale.to_model(start.elapsed());
-                    match state.on_output(now_model) {
-                        AggregatorAction::Depart => break,
+                    obs.record(
+                        now_model,
+                        TraceEventKind::Arrival {
+                            arrival: state.received() + 1,
+                            origin: m.origin,
+                            retry: m.retry,
+                        },
+                    );
+                    // Time the whole arrival handler (estimate + ε-scan)
+                    // only when metrics are attached; under a paused test
+                    // clock the measurement is zero, which is harmless.
+                    let scan_begun = obs.metrics.as_ref().map(|_| Instant::now());
+                    let action = state.on_output(now_model);
+                    if let (Some(met), Some(t0)) = (&obs.metrics, scan_begun) {
+                        met.wait_scan_seconds.record(t0.elapsed().as_secs_f64());
+                    }
+                    if obs.trace.is_some() {
+                        // One Estimate + Rearm pair per *new* decision;
+                        // straw-man policies never revise, so they only
+                        // ever log their initial wait.
+                        let detail = state.last_detail();
+                        if detail != prev_detail {
+                            if let Some(d) = detail {
+                                obs.record(
+                                    now_model,
+                                    TraceEventKind::Estimate {
+                                        mu: d.mu,
+                                        sigma: d.sigma,
+                                        samples: d.samples,
+                                    },
+                                );
+                                obs.record(
+                                    now_model,
+                                    TraceEventKind::Rearm {
+                                        wait: d.wait,
+                                        expected_quality: d.expected_quality,
+                                        gain: d.gain,
+                                        loss: d.loss,
+                                    },
+                                );
+                            }
+                            prev_detail = detail;
+                        }
+                    }
+                    match action {
+                        AggregatorAction::Depart => {
+                            reason = if state.received() >= state.ctx().fanout {
+                                ShipReason::AllArrived
+                            } else {
+                                // Revised wait already in the past.
+                                ShipReason::TimerExpired
+                            };
+                            break;
+                        }
                         AggregatorAction::SetTimer(w) => {
                             timer = start + scale.to_wall(w);
                         }
@@ -572,16 +784,25 @@ async fn aggregator_task(
             },
         }
     }
+    let depart_model = scale.to_model(start.elapsed());
+    obs.record(
+        depart_model,
+        TraceEventKind::Departed {
+            reason,
+            received: state.received(),
+            expected: state.ctx().fanout,
+        },
+    );
     // Children missing at departure are right-censored at the departure
     // time: all we know is their duration exceeds it. Only the bottom
     // stage feeds the censored refit path — a missing aggregator is
     // absorbed by the stage above, not re-learned.
     if let Some(c) = &chaos {
         if c.level == 1 {
-            let depart_model = scale.to_model(start.elapsed());
             for id in c.expected.clone() {
                 if !seen.contains(&id) {
                     c.log.censored(0, id, depart_model);
+                    obs.record(depart_model, TraceEventKind::Censored { origin: id });
                 }
             }
         }
@@ -596,15 +817,36 @@ async fn aggregator_task(
             Some((k @ FaultKind::CrashBeforeSend, c)) => {
                 // Died at departure: no aggregation work, no send.
                 c.log.injected(k);
+                obs.record(
+                    depart_model,
+                    TraceEventKind::FaultInjected {
+                        fault: k.class(),
+                        origin,
+                    },
+                );
             }
             Some((k @ FaultKind::Hang, c)) => {
                 c.log.injected(k);
+                obs.record(
+                    depart_model,
+                    TraceEventKind::FaultInjected {
+                        fault: k.class(),
+                        origin,
+                    },
+                );
                 tokio::time::sleep_until(c.hang_until).await;
             }
             own_fault => {
                 let own_duration = match own_fault {
                     Some((k @ FaultKind::Straggle { factor }, c)) => {
                         c.log.injected(k);
+                        obs.record(
+                            depart_model,
+                            TraceEventKind::FaultInjected {
+                                fault: k.class(),
+                                origin,
+                            },
+                        );
                         own_duration * factor
                     }
                     _ => own_duration,
@@ -613,6 +855,13 @@ async fn aggregator_task(
                 if let Some((k @ FaultKind::DropMessage, c)) = own_fault {
                     // Aggregation completed but the result is lost.
                     c.log.injected(k);
+                    obs.record(
+                        scale.to_model(start.elapsed()),
+                        TraceEventKind::FaultInjected {
+                            fault: k.class(),
+                            origin,
+                        },
+                    );
                     return;
                 }
                 if let Some(c) = &chaos {
@@ -627,6 +876,13 @@ async fn aggregator_task(
                 };
                 if let Some((k @ FaultKind::DuplicateMessage, c)) = own_fault {
                     c.log.injected(k);
+                    obs.record(
+                        scale.to_model(start.elapsed()),
+                        TraceEventKind::FaultInjected {
+                            fault: k.class(),
+                            origin,
+                        },
+                    );
                     let _ = parent_tx.send(msg).await;
                 }
                 let _ = parent_tx.send(msg).await;

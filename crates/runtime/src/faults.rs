@@ -54,6 +54,20 @@ pub enum FaultKind {
     DuplicateMessage,
 }
 
+impl FaultKind {
+    /// The telemetry classification of this fault (collapses the
+    /// straggle factor away).
+    pub fn class(&self) -> cedar_telemetry::FaultClass {
+        match self {
+            Self::CrashBeforeSend => cedar_telemetry::FaultClass::Crash,
+            Self::Hang => cedar_telemetry::FaultClass::Hang,
+            Self::Straggle { .. } => cedar_telemetry::FaultClass::Straggle,
+            Self::DropMessage => cedar_telemetry::FaultClass::Drop,
+            Self::DuplicateMessage => cedar_telemetry::FaultClass::Duplicate,
+        }
+    }
+}
+
 /// Per-task fault probabilities; the fates are mutually exclusive and
 /// drawn once per task.
 ///
@@ -298,6 +312,22 @@ impl FailureReport {
     /// `true` when nothing abnormal happened (the clean-run report).
     pub fn is_clean(&self) -> bool {
         *self == Self::default()
+    }
+
+    /// `true` when a decision trace's aggregate counters agree with this
+    /// report on every failure-related count. The trace counters are
+    /// bumped at record time (independent of ring-buffer eviction), so
+    /// on a correctly instrumented engine this holds exactly.
+    pub fn matches_trace(&self, summary: &cedar_telemetry::TraceSummary) -> bool {
+        self.crashed == summary.crashed
+            && self.hung == summary.hung
+            && self.straggled == summary.straggled
+            && self.dropped == summary.dropped_messages
+            && self.duplicated == summary.duplicated
+            && self.retries_launched == summary.retries_launched
+            && self.retries_delivered == summary.retries_delivered
+            && self.duplicates_suppressed == summary.duplicates_suppressed
+            && self.censored_observations == summary.censored_observations
     }
 }
 

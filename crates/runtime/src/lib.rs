@@ -27,6 +27,7 @@
 
 mod engine;
 pub mod faults;
+pub mod metrics;
 mod scale;
 pub mod service;
 
@@ -34,5 +35,6 @@ pub use engine::{
     run_query, run_query_prepared, run_query_with_values, RuntimeConfig, RuntimeOutcome,
 };
 pub use faults::{FailureReport, FaultKind, FaultPlan, FaultSpec, RecoveryPolicy};
+pub use metrics::RuntimeMetrics;
 pub use scale::TimeScale;
 pub use service::{AggregationService, QueryOptions, ServiceConfig};

@@ -1,0 +1,248 @@
+//! Engine- and service-level metrics, built on `cedar-telemetry`.
+//!
+//! One [`RuntimeMetrics`] instance is shared by every query of a
+//! service (and every aggregator task within each query): all its
+//! members are lock-free telemetry primitives, so recording from the
+//! per-arrival hot path is a handful of relaxed atomic operations.
+//! Everything is optional — an engine run without metrics installed
+//! takes a single `Option` branch per instrumentation point.
+
+use crate::engine::RuntimeOutcome;
+use cedar_telemetry::{Counter, FaultClass, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Per-fault-kind injection counters, rendered as one Prometheus series
+/// per kind (`cedar_faults_injected_total{kind="crash"}`, ...).
+#[derive(Debug)]
+pub struct FaultCounters {
+    /// Crash-before-send injections.
+    pub crash: Arc<Counter>,
+    /// Hang injections.
+    pub hang: Arc<Counter>,
+    /// Straggle injections.
+    pub straggle: Arc<Counter>,
+    /// Message-drop injections.
+    pub drop: Arc<Counter>,
+    /// Message-duplication injections.
+    pub duplicate: Arc<Counter>,
+}
+
+impl FaultCounters {
+    /// The counter for one fault class.
+    #[must_use]
+    pub fn class(&self, class: FaultClass) -> &Counter {
+        match class {
+            FaultClass::Crash => &self.crash,
+            FaultClass::Hang => &self.hang,
+            FaultClass::Straggle => &self.straggle,
+            FaultClass::Drop => &self.drop,
+            FaultClass::Duplicate => &self.duplicate,
+        }
+    }
+}
+
+/// Metrics recorded by the engine and the aggregation service.
+#[derive(Debug)]
+pub struct RuntimeMetrics {
+    /// Queries completed by the engine.
+    pub queries_total: Arc<Counter>,
+    /// Latency of the per-arrival CALCULATEWAIT scan (wall seconds; under
+    /// a paused test clock these record as zero, which is harmless).
+    pub wait_scan_seconds: Arc<Histogram>,
+    /// Accepted prior refits.
+    pub refits_total: Arc<Counter>,
+    /// Current priors epoch.
+    pub priors_epoch: Arc<Gauge>,
+    /// Queries completed since the last accepted refit — a clock-free
+    /// "age" of the current priors (lint L1: no wall time needed).
+    pub priors_epoch_age_queries: Arc<Gauge>,
+    /// Fully observed stage-0 duration samples fed to the refit path.
+    pub observed_durations_total: Arc<Counter>,
+    /// Right-censored stage-0 duration samples (tasks missing at their
+    /// aggregator's departure).
+    pub censored_observations_total: Arc<Counter>,
+    /// Faults injected, by kind.
+    pub faults_injected: FaultCounters,
+    /// Speculative retries launched by watchdogs.
+    pub retries_launched_total: Arc<Counter>,
+    /// Speculative retries whose result was counted.
+    pub retries_delivered_total: Arc<Counter>,
+    /// Arrivals suppressed as duplicates.
+    pub duplicates_suppressed_total: Arc<Counter>,
+}
+
+impl RuntimeMetrics {
+    /// Registers every runtime metric in `registry` and returns the
+    /// shared handle. Metric names are stable: they are part of the
+    /// exposition contract documented in DESIGN.md.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        let fault = |kind: &str| {
+            registry.counter(
+                &format!("cedar_faults_injected_total{{kind=\"{kind}\"}}"),
+                "Faults injected by the chaos plan, by kind",
+            )
+        };
+        Arc::new(Self {
+            queries_total: registry
+                .counter("cedar_queries_total", "Queries completed by the engine"),
+            wait_scan_seconds: registry.histogram(
+                "cedar_wait_scan_seconds",
+                "Latency of the per-arrival CALCULATEWAIT scan",
+            ),
+            refits_total: registry.counter("cedar_refits_total", "Accepted prior refits"),
+            priors_epoch: registry.gauge("cedar_priors_epoch", "Current priors epoch"),
+            priors_epoch_age_queries: registry.gauge(
+                "cedar_priors_epoch_age_queries",
+                "Queries completed since the last accepted refit",
+            ),
+            observed_durations_total: registry.counter(
+                "cedar_observed_durations_total",
+                "Fully observed stage-0 duration samples",
+            ),
+            censored_observations_total: registry.counter(
+                "cedar_censored_observations_total",
+                "Right-censored stage-0 duration samples",
+            ),
+            faults_injected: FaultCounters {
+                crash: fault("crash"),
+                hang: fault("hang"),
+                straggle: fault("straggle"),
+                drop: fault("drop"),
+                duplicate: fault("duplicate"),
+            },
+            retries_launched_total: registry.counter(
+                "cedar_retries_launched_total",
+                "Speculative retries launched by watchdogs",
+            ),
+            retries_delivered_total: registry.counter(
+                "cedar_retries_delivered_total",
+                "Speculative retries whose result was counted",
+            ),
+            duplicates_suppressed_total: registry.counter(
+                "cedar_duplicates_suppressed_total",
+                "Arrivals suppressed as duplicates",
+            ),
+        })
+    }
+
+    /// A handle not attached to any registry (benches and tests that
+    /// want recording overhead without exposition).
+    #[must_use]
+    pub fn detached() -> Arc<Self> {
+        Self::register(&Registry::new())
+    }
+
+    /// Folds one completed query's outcome into the counters.
+    pub fn observe_outcome(&self, out: &RuntimeOutcome) {
+        self.queries_total.inc();
+        self.priors_epoch_age_queries.add(1.0);
+        let f = &out.failures;
+        self.faults_injected.crash.add(f.crashed as u64);
+        self.faults_injected.hang.add(f.hung as u64);
+        self.faults_injected.straggle.add(f.straggled as u64);
+        self.faults_injected.drop.add(f.dropped as u64);
+        self.faults_injected.duplicate.add(f.duplicated as u64);
+        self.retries_launched_total.add(f.retries_launched as u64);
+        self.retries_delivered_total.add(f.retries_delivered as u64);
+        self.duplicates_suppressed_total
+            .add(f.duplicates_suppressed as u64);
+        self.censored_observations_total
+            .add(f.censored_observations as u64);
+        self.observed_durations_total
+            .add(out.realized_durations.first().map_or(0, Vec::len) as u64);
+    }
+
+    /// Records an accepted refit: bumps the refit counter, publishes the
+    /// new epoch, and resets the epoch age.
+    pub fn on_refit(&self, epoch: u64) {
+        self.refits_total.inc();
+        self.priors_epoch.set(epoch as f64);
+        self.priors_epoch_age_queries.set(0.0);
+    }
+
+    /// Fraction of stage-0 observations that were right-censored
+    /// (`0.0` when nothing has been observed yet).
+    #[must_use]
+    pub fn censored_fraction(&self) -> f64 {
+        let censored = self.censored_observations_total.value() as f64;
+        let observed = self.observed_durations_total.value() as f64;
+        if censored + observed == 0.0 {
+            0.0
+        } else {
+            censored / (censored + observed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FailureReport;
+    use std::time::Duration;
+
+    fn outcome(failures: FailureReport) -> RuntimeOutcome {
+        RuntimeOutcome {
+            quality: 0.5,
+            included_outputs: 4,
+            total_processes: 8,
+            root_arrivals: 2,
+            value_sum: 4.0,
+            wall_elapsed: Duration::from_millis(5),
+            realized_durations: vec![vec![1.0, 2.0, 3.0], vec![4.0]],
+            failures,
+            censored_durations: vec![vec![9.0], Vec::new()],
+        }
+    }
+
+    #[test]
+    fn observe_outcome_accumulates() {
+        let m = RuntimeMetrics::detached();
+        let failures = FailureReport {
+            crashed: 2,
+            hung: 1,
+            straggled: 3,
+            dropped: 1,
+            duplicated: 1,
+            retries_launched: 2,
+            retries_delivered: 1,
+            duplicates_suppressed: 1,
+            censored_observations: 1,
+        };
+        m.observe_outcome(&outcome(failures));
+        m.observe_outcome(&outcome(failures));
+        assert_eq!(m.queries_total.value(), 2);
+        assert_eq!(m.faults_injected.crash.value(), 4);
+        assert_eq!(m.faults_injected.straggle.value(), 6);
+        assert_eq!(m.retries_launched_total.value(), 4);
+        assert_eq!(m.observed_durations_total.value(), 6);
+        assert_eq!(m.censored_observations_total.value(), 2);
+        let frac = m.censored_fraction();
+        assert!((frac - 2.0 / 8.0).abs() < 1e-12, "fraction {frac}");
+        assert_eq!(m.priors_epoch_age_queries.get(), 2.0);
+    }
+
+    #[test]
+    fn on_refit_resets_epoch_age() {
+        let m = RuntimeMetrics::detached();
+        m.observe_outcome(&outcome(FailureReport::default()));
+        m.on_refit(7);
+        assert_eq!(m.refits_total.value(), 1);
+        assert_eq!(m.priors_epoch.get(), 7.0);
+        assert_eq!(m.priors_epoch_age_queries.get(), 0.0);
+        // Clean run: nothing censored regardless of the duration shape.
+        assert_eq!(m.censored_fraction(), 0.0);
+    }
+
+    #[test]
+    fn registered_names_render() {
+        let reg = Registry::new();
+        let m = RuntimeMetrics::register(&reg);
+        m.queries_total.inc();
+        let text = reg.render();
+        assert!(text.contains("cedar_queries_total 1"));
+        assert!(text.contains("cedar_faults_injected_total{kind=\"crash\"} 0"));
+        assert!(text.contains("cedar_wait_scan_seconds_count 0"));
+        assert!(text.contains("cedar_priors_epoch_age_queries"));
+    }
+}

@@ -38,6 +38,7 @@
 
 use crate::engine::{run_query_prepared, RuntimeConfig, RuntimeOutcome};
 use crate::faults::FaultPlan;
+use crate::metrics::RuntimeMetrics;
 use crate::scale::TimeScale;
 use cedar_core::policy::WaitPolicyKind;
 use cedar_core::profile::ProfileConfig;
@@ -97,6 +98,9 @@ pub struct ServiceConfig {
     /// deployment); per-query [`QueryOptions::faults`] takes precedence.
     /// `None` (the default) runs every query clean.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Shared runtime metrics recorded by every query and by the refit
+    /// task (see [`RuntimeMetrics`]). `None` disables recording.
+    pub metrics: Option<Arc<RuntimeMetrics>>,
 }
 
 impl ServiceConfig {
@@ -114,6 +118,7 @@ impl ServiceConfig {
             profile_cache: true,
             deadline_bucket: 1e-3,
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -133,6 +138,9 @@ pub struct QueryOptions {
     pub values: Option<Arc<Vec<f64>>>,
     /// Fault plan for this query, overriding [`ServiceConfig::faults`].
     pub faults: Option<Arc<FaultPlan>>,
+    /// Decision trace to record this query's Pseudocode-1 timeline into
+    /// (the `explain: true` path). `None` leaves tracing off.
+    pub trace: Option<Arc<cedar_telemetry::QueryTrace>>,
 }
 
 /// The priors plus the epoch stamping their version.
@@ -276,6 +284,9 @@ impl AggregationService {
             profile: state.cfg.profile,
             seed,
             faults: opts.faults.or_else(|| state.cfg.faults.clone()),
+            trace: opts.trace,
+            metrics: state.cfg.metrics.clone(),
+            priors_epoch: snapshot.epoch,
         };
         let outcome = run_query_prepared(&cfg, state.cfg.policy, values, &prepared).await;
 
@@ -372,7 +383,11 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecor
         if interval > 0 && completed % interval == 0 {
             // A degenerate history (e.g. all-equal durations) leaves the
             // old priors in place; the service stays available.
-            let _ = apply_refit(&state, &mut history, &mut censored);
+            if let Ok(epoch) = apply_refit(&state, &mut history, &mut censored) {
+                if let Some(m) = &state.cfg.metrics {
+                    m.on_refit(epoch);
+                }
+            }
         }
         // Ack after all bookkeeping so observers see a consistent state
         // as soon as their submission resolves.
@@ -384,12 +399,12 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecor
 /// MLE; the censored variant when the stage has right-censored entries,
 /// so non-arrivals under faults don't bias the prior toward fast
 /// completions), keeping fan-outs; bumps the epoch and drops stale cache
-/// entries.
+/// entries. Returns the new epoch.
 fn apply_refit(
     state: &ServiceState,
     history: &mut [Vec<f64>],
     censored: &mut [Vec<f64>],
-) -> Result<(), DistError> {
+) -> Result<u64, DistError> {
     let current = state.priors.read().unpoisoned().clone();
     let mut stages = Vec::with_capacity(history.len());
     for (idx, h) in history.iter().enumerate() {
@@ -437,7 +452,7 @@ fn apply_refit(
             h.drain(..len - HISTORY_WINDOW);
         }
     }
-    Ok(())
+    Ok(new_epoch)
 }
 
 #[cfg(test)]

@@ -127,6 +127,11 @@ impl AdmissionGate {
         self.inner.state.lock().unpoisoned().in_flight
     }
 
+    /// Callers currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().unpoisoned().queued
+    }
+
     fn permit(&self) -> AdmissionPermit {
         AdmissionPermit {
             inner: self.inner.clone(),

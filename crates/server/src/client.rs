@@ -42,9 +42,25 @@ impl Client {
         self.request(&Request::query(tree.clone(), deadline, seed))
     }
 
+    /// Runs one aggregation query with the decision trace enabled; the
+    /// response's result carries the trace report.
+    pub fn query_explain(
+        &mut self,
+        tree: &TreeDef,
+        deadline: Option<f64>,
+        seed: Option<u64>,
+    ) -> io::Result<Response> {
+        self.request(&Request::query(tree.clone(), deadline, seed).with_explain(true))
+    }
+
     /// Fetches the server's counter snapshot.
     pub fn stats(&mut self) -> io::Result<Response> {
         self.request(&Request::stats())
+    }
+
+    /// Fetches the server's Prometheus-text metrics snapshot.
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.request(&Request::metrics())
     }
 
     /// Checks liveness.

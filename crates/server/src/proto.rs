@@ -10,6 +10,7 @@
 //! ```
 
 use cedar_runtime::FailureReport;
+use cedar_telemetry::TraceReport;
 use cedar_workloads::treedef::TreeDef;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -25,6 +26,8 @@ pub const OP_STATS: &str = "stats";
 pub const OP_PING: &str = "ping";
 /// Operation name for requesting server shutdown.
 pub const OP_SHUTDOWN: &str = "shutdown";
+/// Operation name for a Prometheus-text metrics snapshot.
+pub const OP_METRICS: &str = "metrics";
 
 /// Error code: the request itself was malformed (bad op, bad tree,
 /// missing fields). Retrying unchanged will fail again.
@@ -49,6 +52,10 @@ pub struct Request {
     pub deadline: Option<f64>,
     /// Explicit duration-sampling seed for reproducible runs.
     pub seed: Option<u64>,
+    /// When `true` on [`OP_QUERY`], the server records a per-query
+    /// decision trace and returns it in [`QueryResult::trace`]. Absent
+    /// (the wire-compatible default) means off.
+    pub explain: Option<bool>,
 }
 
 impl Request {
@@ -59,7 +66,14 @@ impl Request {
             tree: Some(tree),
             deadline,
             seed,
+            explain: None,
         }
+    }
+
+    /// Turns the decision trace on or off for a query request.
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = Some(explain);
+        self
     }
 
     /// A stats request.
@@ -77,12 +91,18 @@ impl Request {
         Self::bare(OP_SHUTDOWN)
     }
 
+    /// A metrics scrape.
+    pub fn metrics() -> Self {
+        Self::bare(OP_METRICS)
+    }
+
     fn bare(op: &str) -> Self {
         Self {
             op: op.to_owned(),
             tree: None,
             deadline: None,
             seed: None,
+            explain: None,
         }
     }
 }
@@ -107,6 +127,9 @@ pub struct QueryResult {
     /// Fault/recovery summary when the server runs with a fault plan
     /// (chaos testing); absent on clean runs and from old servers.
     pub failures: Option<FailureReport>,
+    /// The per-query decision trace, present when the request set
+    /// `explain: true`; absent otherwise and from old servers.
+    pub trace: Option<TraceReport>,
 }
 
 /// Service counters returned for [`OP_STATS`].
@@ -147,6 +170,8 @@ pub struct Response {
     pub result: Option<QueryResult>,
     /// Counter snapshot for [`OP_STATS`].
     pub stats: Option<ServerStats>,
+    /// Prometheus-text metrics snapshot for [`OP_METRICS`].
+    pub metrics: Option<String>,
 }
 
 impl Response {
@@ -158,6 +183,7 @@ impl Response {
             code: None,
             result: None,
             stats: None,
+            metrics: None,
         }
     }
 
@@ -177,6 +203,14 @@ impl Response {
         }
     }
 
+    /// A successful metrics response.
+    pub fn with_metrics(text: String) -> Self {
+        Self {
+            metrics: Some(text),
+            ..Self::ok()
+        }
+    }
+
     /// A failure response without a machine-readable class (legacy
     /// paths); prefer [`err_code`](Self::err_code).
     pub fn err(msg: impl Into<String>) -> Self {
@@ -186,6 +220,7 @@ impl Response {
             code: None,
             result: None,
             stats: None,
+            metrics: None,
         }
     }
 
@@ -291,6 +326,7 @@ mod tests {
             latency_ms: 12.5,
             epoch: 3,
             failures: None,
+            trace: None,
         });
         let mut buf = Vec::new();
         write_frame(&mut buf, &r).unwrap();
@@ -336,10 +372,39 @@ mod tests {
             latency_ms: 3.0,
             epoch: 0,
             failures: Some(failures),
+            trace: None,
         });
         let mut buf = Vec::new();
         write_frame(&mut buf, &r).unwrap();
         let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
         assert_eq!(back.result.unwrap().failures, Some(failures));
+    }
+
+    #[test]
+    fn explain_flag_defaults_off_and_round_trips() {
+        // An old client's frame has no `explain` key at all.
+        let legacy = r#"{"op":"query","tree":null,"deadline":null,"seed":null}"#;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(legacy.len() as u32).to_be_bytes());
+        buf.extend_from_slice(legacy.as_bytes());
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back.explain, None);
+
+        let req = Request::query(TreeDef::example(), None, Some(1)).with_explain(true);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back.explain, Some(true));
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let r = Response::with_metrics("cedar_queries_total 4\n".to_owned());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &r).unwrap();
+        let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert!(back.ok);
+        assert_eq!(back.metrics.as_deref(), Some("cedar_queries_total 4\n"));
+        assert!(back.result.is_none());
     }
 }

@@ -13,9 +13,10 @@ use crate::admission::{AdmissionConfig, AdmissionGate};
 use crate::clock;
 use crate::proto::{self, QueryResult, Request, Response, ServerStats};
 use cedar_core::{LockExt, Millis};
-use cedar_runtime::{AggregationService, QueryOptions, ServiceConfig, TimeScale};
+use cedar_runtime::{AggregationService, QueryOptions, RuntimeMetrics, ServiceConfig, TimeScale};
+use cedar_telemetry::{Counter, Gauge, QueryTrace, Registry};
 use cedar_workloads::production;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,6 +52,11 @@ pub struct ServerConfig {
     /// [`proto::ERR_TIMEOUT`] response instead of holding their
     /// connection forever.
     pub query_timeout: Option<Duration>,
+    /// When set, also serve the metrics text over plain HTTP `GET` on
+    /// this address (`"127.0.0.1:0"` picks a free port), so a
+    /// Prometheus-style scraper needs no frame protocol. `None` (the
+    /// default) leaves metrics reachable only via the `"metrics"` op.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -64,6 +70,7 @@ impl ServerConfig {
             idle_timeout: Duration::from_mins(1),
             drain_deadline: Duration::from_secs(10),
             query_timeout: Some(Duration::from_secs(30)),
+            metrics_addr: None,
         }
     }
 
@@ -88,6 +95,104 @@ impl ServerConfig {
     }
 }
 
+/// The server's exposition surface: one registry holding the runtime
+/// metrics every query records into, plus the server's own request and
+/// error-class counters and point-in-time gauges.
+struct ServerMetrics {
+    registry: Registry,
+    runtime: Arc<RuntimeMetrics>,
+    queries_inflight: Arc<Gauge>,
+    admission_queue_depth: Arc<Gauge>,
+    censored_fraction: Arc<Gauge>,
+    requests_query: Arc<Counter>,
+    requests_stats: Arc<Counter>,
+    requests_ping: Arc<Counter>,
+    requests_metrics: Arc<Counter>,
+    requests_shutdown: Arc<Counter>,
+    errors_bad_request: Arc<Counter>,
+    errors_shed: Arc<Counter>,
+    errors_internal: Arc<Counter>,
+    errors_timeout: Arc<Counter>,
+    errors_unavailable: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let runtime = RuntimeMetrics::register(&registry);
+        let op = |name: &str| {
+            registry.counter(
+                &format!("cedar_server_requests_total{{op=\"{name}\"}}"),
+                "Requests dispatched, by op",
+            )
+        };
+        let err = |class: &str| {
+            registry.counter(
+                &format!("cedar_server_errors_total{{class=\"{class}\"}}"),
+                "Error responses, by class",
+            )
+        };
+        Self {
+            queries_inflight: registry.gauge(
+                "cedar_server_queries_inflight",
+                "Queries currently holding an admission permit",
+            ),
+            admission_queue_depth: registry.gauge(
+                "cedar_server_admission_queue_depth",
+                "Callers waiting in the admission queue",
+            ),
+            censored_fraction: registry.gauge(
+                "cedar_censored_observation_fraction",
+                "Fraction of stage-0 observations that were right-censored",
+            ),
+            requests_query: op(proto::OP_QUERY),
+            requests_stats: op(proto::OP_STATS),
+            requests_ping: op(proto::OP_PING),
+            requests_metrics: op(proto::OP_METRICS),
+            requests_shutdown: op(proto::OP_SHUTDOWN),
+            errors_bad_request: err(proto::ERR_BAD_REQUEST),
+            errors_shed: err(proto::ERR_SHED),
+            errors_internal: err(proto::ERR_INTERNAL),
+            errors_timeout: err(proto::ERR_TIMEOUT),
+            errors_unavailable: err(proto::ERR_UNAVAILABLE),
+            registry,
+            runtime,
+        }
+    }
+
+    fn on_request(&self, op: &str) {
+        match op {
+            proto::OP_QUERY => self.requests_query.inc(),
+            proto::OP_STATS => self.requests_stats.inc(),
+            proto::OP_PING => self.requests_ping.inc(),
+            proto::OP_METRICS => self.requests_metrics.inc(),
+            proto::OP_SHUTDOWN => self.requests_shutdown.inc(),
+            _ => {} // unknown ops surface via the bad_request error class
+        }
+    }
+
+    fn on_response(&self, resp: &Response) {
+        match resp.code.as_deref() {
+            Some(proto::ERR_BAD_REQUEST) => self.errors_bad_request.inc(),
+            Some(proto::ERR_SHED) => self.errors_shed.inc(),
+            Some(proto::ERR_INTERNAL) => self.errors_internal.inc(),
+            Some(proto::ERR_TIMEOUT) => self.errors_timeout.inc(),
+            Some(proto::ERR_UNAVAILABLE) => self.errors_unavailable.inc(),
+            _ => {}
+        }
+    }
+
+    /// Publishes the point-in-time gauges and renders the whole
+    /// registry as Prometheus text.
+    #[allow(clippy::cast_precision_loss)] // gauge depths are far below 2^52
+    fn render(&self, gate: &AdmissionGate) -> String {
+        self.queries_inflight.set(gate.in_flight() as f64);
+        self.admission_queue_depth.set(gate.queued() as f64);
+        self.censored_fraction.set(self.runtime.censored_fraction());
+        self.registry.render()
+    }
+}
+
 /// State shared by the accept loop, every connection thread, and the
 /// handle.
 struct ServerShared {
@@ -95,6 +200,8 @@ struct ServerShared {
     gate: AdmissionGate,
     runtime: tokio::runtime::Handle,
     addr: SocketAddr,
+    metrics: ServerMetrics,
+    metrics_addr: Option<SocketAddr>,
     shutdown: AtomicBool,
     shed_total: AtomicU64,
     served_total: AtomicU64,
@@ -108,9 +215,12 @@ impl ServerShared {
     /// Flips the shutdown flag and wakes the accept loop (idempotently).
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::AcqRel) {
-            // The accept loop blocks in `accept`; a throwaway connection
-            // gets it to re-check the flag.
+            // The accept loops block in `accept`; a throwaway connection
+            // gets each to re-check the flag.
             let _ = TcpStream::connect(self.addr);
+            if let Some(addr) = self.metrics_addr {
+                let _ = TcpStream::connect(addr);
+            }
         }
     }
 }
@@ -121,20 +231,36 @@ pub struct Server;
 impl Server {
     /// Binds, starts the runtime and the accept loop, and returns a
     /// handle controlling the running server.
-    pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    pub fn start(mut cfg: ServerConfig) -> io::Result<ServerHandle> {
         let mut builder = tokio::runtime::Builder::new_multi_thread();
         if cfg.worker_threads > 0 {
             builder.worker_threads(cfg.worker_threads);
         }
         let runtime = builder.enable_all().build()?;
 
+        // Every query (and the refit task) records into the server's
+        // registry; the connection layer adds its own counters on top.
+        let metrics = ServerMetrics::new();
+        cfg.service.metrics = Some(metrics.runtime.clone());
+
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = cfg
+            .metrics_addr
+            .as_deref()
+            .map(TcpListener::bind)
+            .transpose()?;
+        let metrics_addr = metrics_listener
+            .as_ref()
+            .map(TcpListener::local_addr)
+            .transpose()?;
         let shared = Arc::new(ServerShared {
             service: AggregationService::new(cfg.service),
             gate: AdmissionGate::new(cfg.admission),
             runtime: runtime.handle().clone(),
             addr,
+            metrics,
+            metrics_addr,
             shutdown: AtomicBool::new(false),
             shed_total: AtomicU64::new(0),
             served_total: AtomicU64::new(0),
@@ -150,11 +276,20 @@ impl Server {
                 .name("cedar-accept".into())
                 .spawn(move || accept_loop(listener, shared))?
         };
+        let scrape = metrics_listener
+            .map(|listener| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name("cedar-metrics".into())
+                    .spawn(move || metrics_http_loop(&listener, &shared))
+            })
+            .transpose()?;
 
         Ok(ServerHandle {
             addr,
             shared,
             accept: Some(accept),
+            scrape,
             runtime: Some(runtime),
         })
     }
@@ -165,6 +300,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     accept: Option<JoinHandle<()>>,
+    scrape: Option<JoinHandle<()>>,
     runtime: Option<tokio::runtime::Runtime>,
 }
 
@@ -172,6 +308,12 @@ impl ServerHandle {
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP metrics address, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
     }
 
     /// Queries currently executing.
@@ -203,6 +345,11 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             if accept.join().is_err() {
                 result = Err(io::Error::other("accept thread panicked"));
+            }
+        }
+        if let Some(scrape) = self.scrape.take() {
+            if scrape.join().is_err() {
+                result = Err(io::Error::other("metrics thread panicked"));
             }
         }
         // Drain with a deadline: connection threads normally notice the
@@ -344,6 +491,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
                 // The frame was consumed whole; the stream is still
                 // aligned, so report and keep serving.
                 let resp = Response::err_code(proto::ERR_BAD_REQUEST, format!("bad request: {e}"));
+                shared.metrics.on_response(&resp);
                 if proto::write_frame(&mut &stream, &resp).is_err() {
                     return;
                 }
@@ -352,6 +500,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             Err(_) => return, // shutdown tick, idle timeout, or I/O error
         };
         let resp = dispatch(shared, &req);
+        shared.metrics.on_response(&resp);
         if proto::write_frame(&mut &stream, &resp).is_err() {
             return;
         }
@@ -363,6 +512,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
 }
 
 fn dispatch(shared: &ServerShared, req: &Request) -> Response {
+    shared.metrics.on_request(&req.op);
     if shared.shutdown.load(Ordering::Acquire) && req.op != proto::OP_SHUTDOWN {
         return Response::err_code(proto::ERR_UNAVAILABLE, "server shutting down");
     }
@@ -370,9 +520,70 @@ fn dispatch(shared: &ServerShared, req: &Request) -> Response {
         proto::OP_PING => Response::ok(),
         proto::OP_SHUTDOWN => Response::ok(),
         proto::OP_STATS => Response::with_stats(collect_stats(shared)),
+        proto::OP_METRICS => Response::with_metrics(shared.metrics.render(&shared.gate)),
         proto::OP_QUERY => serve_query(shared, req),
         other => Response::err_code(proto::ERR_BAD_REQUEST, format!("unknown op {other:?}")),
     }
+}
+
+/// Serves Prometheus scrapes over plain HTTP: reads (and discards) the
+/// request head, then writes one `200 text/plain` response and closes.
+fn metrics_http_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let Ok(stream) = listener.accept().map(|(s, _)| s) else {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        serve_scrape(shared, stream);
+    }
+}
+
+fn serve_scrape(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    // Read until the blank line ending the request head; a scraper that
+    // cannot deliver its head within a few poll ticks is dropped rather
+    // than allowed to pin this thread (slowloris defense, as on the
+    // frame port).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let deadline = clock::now() + shared.idle_timeout.min(Duration::from_secs(2));
+    loop {
+        match (&stream).read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) || clock::now() >= deadline {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let body = shared.metrics.render(&shared.gate);
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = (&stream)
+        .write_all(header.as_bytes())
+        .and_then(|()| (&stream).write_all(body.as_bytes()));
 }
 
 fn collect_stats(shared: &ServerShared) -> ServerStats {
@@ -433,11 +644,16 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
     shared.served_total.fetch_add(1, Ordering::AcqRel);
 
     let epoch = shared.service.epoch();
+    let trace = req
+        .explain
+        .unwrap_or(false)
+        .then(|| Arc::new(QueryTrace::new()));
     let opts = QueryOptions {
         deadline: req.deadline,
         seed: req.seed,
         values: None,
         faults: None,
+        trace: trace.clone(),
     };
     let start = clock::now();
     // A panicking or runaway query must produce a typed error, not a
@@ -480,5 +696,6 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         latency_ms,
         epoch,
         failures: (!outcome.failures.is_clean()).then_some(outcome.failures),
+        trace: trace.map(|t| t.report()),
     })
 }

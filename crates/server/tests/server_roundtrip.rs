@@ -115,6 +115,7 @@ fn mismatched_tree_shape_is_rejected() {
             tree: None,
             deadline: None,
             seed: None,
+            explain: None,
         })
         .unwrap();
     assert!(!resp.ok);
@@ -126,6 +127,7 @@ fn mismatched_tree_shape_is_rejected() {
             tree: None,
             deadline: None,
             seed: None,
+            explain: None,
         })
         .unwrap();
     assert!(!resp.ok);
@@ -271,6 +273,7 @@ fn errors_carry_typed_codes() {
             tree: None,
             deadline: None,
             seed: None,
+            explain: None,
         })
         .unwrap();
     assert_eq!(resp.code.as_deref(), Some(proto::ERR_BAD_REQUEST));

@@ -1,0 +1,33 @@
+//! Low-overhead observability primitives for the cedar workspace.
+//!
+//! Three pieces live here:
+//!
+//! * [`metrics`] — sharded atomic counters, gauges, and log-linear
+//!   (HDR-style) histograms. Recording is lock-free (relaxed atomic
+//!   increments on striped cells); reading is a *snapshot-by-merge*
+//!   that sums the stripes without stopping writers. A [`Registry`]
+//!   renders everything in the Prometheus text exposition format.
+//! * [`trace`] — an optional per-query decision trace: a bounded
+//!   event log capturing the Pseudocode-1 timeline (arrivals, refit
+//!   epoch, estimated parameters, chosen waits, gain/loss at the
+//!   chosen point, watchdog/retry/duplicate events, final ship
+//!   reason). The ring keeps the first and last events of a query
+//!   even under overflow, and aggregate counters are maintained at
+//!   record time so fault totals never depend on what the ring
+//!   retained.
+//!
+//! The crate is a leaf: it depends only on `serde` so every other
+//! crate can use it without cycles. Timestamps are plain `f64` model
+//! times supplied by callers — nothing here reads a wall clock, so
+//! the L1 domain lint holds by construction.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{
+    FaultClass, QueryTrace, ShipReason, TraceEvent, TraceEventKind, TraceReport, TraceSummary,
+};

@@ -1,0 +1,614 @@
+//! Sharded atomic metrics with lock-free record and snapshot-by-merge.
+//!
+//! The recording paths (`Counter::add`, `Gauge::set`, `Histogram::record`)
+//! are wait-free or lock-free: each is a handful of relaxed atomic
+//! operations on striped cells, so they are safe to call from the
+//! aggregation hot path. Readers never stop writers: a snapshot simply
+//! sums the stripes ("snapshot-by-merge"), which yields a value that is
+//! consistent-enough for exposition — every recorded event is counted in
+//! exactly one stripe cell, so totals derived from a merge can never tear
+//! (see the loom-lite model in `cedar-analysis`).
+//!
+//! All storage is bounded at construction time: counters and histograms
+//! use a fixed stripe count and a fixed bucket layout; the registry holds
+//! only what was explicitly registered.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of stripes used by [`Counter`] and [`Histogram`].
+///
+/// Eight stripes is enough to keep a few dozen recording threads from
+/// serialising on one cache line while keeping merge cost trivial.
+const STRIPES: usize = 8;
+
+/// Smallest representable histogram exponent: values below `2^EXP_MIN`
+/// land in the underflow bucket. `2^-30` ≈ 0.93 ns when recording seconds.
+const EXP_MIN: i32 = -30;
+/// Largest representable histogram exponent: values at or above
+/// `2^(EXP_MAX + 1)` land in the overflow bucket. `2^34` s ≈ 544 years.
+const EXP_MAX: i32 = 33;
+/// Log-linear sub-buckets per power of two (3 mantissa bits, so the
+/// relative error of a bucket midpoint is under ~6%).
+const SUB_BUCKETS: usize = 8;
+/// Total bucket count: underflow + linear grid + overflow.
+const BUCKETS: usize = (EXP_MAX - EXP_MIN + 1) as usize * SUB_BUCKETS + 2;
+/// Index of the underflow bucket (zero, negative, and subnormal-small values).
+const UNDERFLOW: usize = 0;
+/// Index of the overflow bucket.
+const OVERFLOW: usize = BUCKETS - 1;
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Round-robin stripe assignment: each thread picks a stripe once and
+/// sticks with it, spreading unrelated threads across cache lines.
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// A cache-line-padded atomic cell, so neighbouring stripes of a
+/// [`Counter`] do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// A monotonically increasing counter, striped across cache lines.
+///
+/// `add` is wait-free (one relaxed `fetch_add`); `value` merges the
+/// stripes and may race with concurrent adds, observing any value
+/// between "before" and "after" — never a torn or double-counted one.
+#[derive(Default)]
+pub struct Counter {
+    stripes: [PaddedCell; STRIPES],
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Merges the stripes into the current total.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// A last-write-wins gauge holding an `f64` (stored as raw bits in a
+/// single atomic; `set`/`get` are wait-free, `add` is lock-free).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to the gauge (compare-and-swap loop).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Reads the current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+/// Maps a finite `f64` to a total-order-preserving `u64` (for values
+/// that may be negative), so min/max can be maintained with integer CAS.
+fn ordered_bits(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+fn from_ordered_bits(bits: u64) -> f64 {
+    if bits >> 63 == 1 {
+        f64::from_bits(bits & !(1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+/// One stripe of histogram storage: a full bucket array plus a running
+/// sum, padded so stripes do not share cache lines at the boundary.
+#[repr(align(64))]
+struct HistogramStripe {
+    buckets: Vec<AtomicU64>,
+    /// Sum of recorded values, stored as `f64` bits, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl HistogramStripe {
+    fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// A log-linear (HDR-style) histogram of non-negative `f64` values.
+///
+/// Buckets cover `[2^-30, 2^34)` with 8 linear sub-buckets per power of
+/// two (≈6% relative precision); values outside the range fall into
+/// dedicated underflow/overflow buckets so nothing is ever dropped.
+/// Recording is lock-free: one relaxed `fetch_add` on a striped bucket
+/// cell, one CAS loop on the stripe's running sum, and two monotone CAS
+/// updates for min/max. [`Histogram::snapshot`] merges the stripes
+/// without blocking writers.
+pub struct Histogram {
+    stripes: Vec<HistogramStripe>,
+    /// Total-order-encoded running minimum (`u64::MAX` = empty).
+    min_bits: AtomicU64,
+    /// Total-order-encoded running maximum (`0` = empty).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut stripes = Vec::with_capacity(STRIPES);
+        stripes.resize_with(STRIPES, HistogramStripe::new);
+        Self {
+            stripes,
+            min_bits: AtomicU64::new(u64::MAX),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of buckets in the fixed layout (including under/overflow).
+    #[must_use]
+    pub fn bucket_count() -> usize {
+        BUCKETS
+    }
+
+    /// Maps a value to its bucket index.
+    #[must_use]
+    pub fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            return UNDERFLOW;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp < EXP_MIN {
+            return UNDERFLOW;
+        }
+        if exp > EXP_MAX {
+            return OVERFLOW;
+        }
+        // Top 3 mantissa bits select the linear sub-bucket within [2^e, 2^(e+1)).
+        let sub = ((bits >> 49) & 0x7) as usize;
+        1 + (exp - EXP_MIN) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `index`.
+    ///
+    /// The underflow bucket reports `(0, 2^EXP_MIN)` and the overflow
+    /// bucket `(2^(EXP_MAX+1), +inf)`.
+    #[must_use]
+    pub fn bucket_range(index: usize) -> (f64, f64) {
+        if index == UNDERFLOW {
+            return (0.0, (EXP_MIN as f64).exp2());
+        }
+        if index >= OVERFLOW {
+            return (((EXP_MAX + 1) as f64).exp2(), f64::INFINITY);
+        }
+        let linear = index - 1;
+        let exp = EXP_MIN + (linear / SUB_BUCKETS) as i32;
+        let sub = linear % SUB_BUCKETS;
+        let base = f64::from(exp).exp2();
+        let step = base / SUB_BUCKETS as f64;
+        (base + sub as f64 * step, base + (sub + 1) as f64 * step)
+    }
+
+    /// Records one observation. Lock-free; safe on the hot path.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let stripe = &self.stripes[stripe_index()];
+        stripe.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let mut cur = stripe.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match stripe.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let ordered = ordered_bits(v);
+        self.min_bits.fetch_min(ordered, Ordering::Relaxed);
+        self.max_bits.fetch_max(ordered, Ordering::Relaxed);
+    }
+
+    /// Merges the stripes into a consistent point-in-time view.
+    ///
+    /// Concurrent `record` calls may or may not be included, but the
+    /// returned counts are internally consistent: `count` is derived
+    /// from the merged buckets, never from a separate atomic, so it can
+    /// never disagree with the bucket totals.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut sum = 0.0;
+        for stripe in &self.stripes {
+            for (merged, cell) in buckets.iter_mut().zip(&stripe.buckets) {
+                *merged += cell.load(Ordering::Relaxed);
+            }
+            sum += f64::from_bits(stripe.sum_bits.load(Ordering::Relaxed));
+        }
+        let count: u64 = buckets.iter().sum();
+        let min_bits = self.min_bits.load(Ordering::Relaxed);
+        let max_bits = self.max_bits.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 || min_bits == u64::MAX {
+                f64::NAN
+            } else {
+                from_ordered_bits(min_bits)
+            },
+            max: if count == 0 || max_bits == 0 {
+                f64::NAN
+            } else {
+                from_ordered_bits(max_bits)
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+/// A merged, immutable view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts in the fixed layout order.
+    pub buckets: Vec<u64>,
+    /// Total observations (always equal to the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`NaN` when empty).
+    pub min: f64,
+    /// Largest recorded value (`NaN` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`, preserving total count, sum, and
+    /// min/max bounds. Used to combine snapshots from several sources.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if !other.min.is_nan() && (self.min.is_nan() || other.min < self.min) {
+            self.min = other.min;
+        }
+        if !other.max.is_nan() && (self.max.is_nan() || other.max > self.max) {
+            self.max = other.max;
+        }
+    }
+
+    /// Mean of the recorded values (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by walking the
+    /// cumulative bucket counts and reporting the midpoint of the
+    /// containing bucket, clamped to the observed min/max.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Histogram::bucket_range(i);
+                let mid = if hi.is_finite() {
+                    f64::midpoint(lo, hi)
+                } else {
+                    lo
+                };
+                let mid = if self.min.is_nan() {
+                    mid
+                } else {
+                    mid.max(self.min)
+                };
+                return if self.max.is_nan() {
+                    mid
+                } else {
+                    mid.min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    /// Full metric name, possibly with inline labels (`x{class="shed"}`).
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A bounded collection of named metrics rendered in the Prometheus
+/// text exposition format. Registration is cold-path (mutex); the
+/// handles it returns record without touching the registry.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers and returns a new counter. `name` may carry inline
+    /// Prometheus labels, e.g. `cedar_errors_total{class="shed"}`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        lock_unpoisoned(&self.entries).push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            metric: Metric::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Registers and returns a new gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        lock_unpoisoned(&self.entries).push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            metric: Metric::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Registers and returns a new histogram, rendered as a Prometheus
+    /// summary (`{quantile=...}` series plus `_sum`/`_count`).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        lock_unpoisoned(&self.entries).push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            metric: Metric::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Renders every registered metric in the Prometheus text format
+    /// (`text/plain; version=0.0.4`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let entries = lock_unpoisoned(&self.entries);
+        let mut out = String::new();
+        let mut seen_base: Vec<String> = Vec::new();
+        for e in entries.iter() {
+            let base = e.name.split('{').next().unwrap_or(&e.name).to_owned();
+            let first = !seen_base.contains(&base);
+            if first {
+                seen_base.push(base.clone());
+            }
+            match &e.metric {
+                Metric::Counter(c) => {
+                    if first {
+                        let _ = writeln!(out, "# HELP {base} {}", e.help);
+                        let _ = writeln!(out, "# TYPE {base} counter");
+                    }
+                    let _ = writeln!(out, "{} {}", e.name, c.value());
+                }
+                Metric::Gauge(g) => {
+                    if first {
+                        let _ = writeln!(out, "# HELP {base} {}", e.help);
+                        let _ = writeln!(out, "# TYPE {base} gauge");
+                    }
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    if first {
+                        let _ = writeln!(out, "# HELP {base} {}", e.help);
+                        let _ = writeln!(out, "# TYPE {base} summary");
+                    }
+                    for q in [0.5, 0.9, 0.95, 0.99] {
+                        let v = snap.quantile(q);
+                        let v = if v.is_nan() { 0.0 } else { v };
+                        let _ = writeln!(out, "{base}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{base}_sum {}", snap.sum);
+                    let _ = writeln!(out, "{base}_count {}", snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = lock_unpoisoned(&self.entries).len();
+        f.debug_struct("Registry").field("entries", &n).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_adds() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-0.5);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_index_matches_range() {
+        for v in [1e-9, 3.7e-5, 0.001, 0.5, 1.0, 1.9, 12.0, 5e8] {
+            let idx = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_range(idx);
+            assert!(v >= lo && v < hi, "v={v} idx={idx} range=({lo},{hi})");
+        }
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::INFINITY), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_counts_and_quantiles() {
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!((s.sum - 5050.0).abs() < 1e-9);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 100.0).abs() < 1e-12);
+        let p50 = s.quantile(0.5);
+        assert!(p50 > 40.0 && p50 < 60.0, "p50={p50}");
+        let p99 = s.quantile(0.99);
+        assert!(p99 > 90.0 && p99 <= 100.0, "p99={p99}");
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let reg = Registry::new();
+        let c = reg.counter("cedar_test_total{class=\"a\"}", "test counter");
+        let _c2 = reg.counter("cedar_test_total{class=\"b\"}", "test counter");
+        let g = reg.gauge("cedar_test_gauge", "test gauge");
+        let h = reg.histogram("cedar_test_seconds", "test histogram");
+        c.add(3);
+        g.set(1.5);
+        h.record(0.25);
+        let text = reg.render();
+        assert!(text.contains("# TYPE cedar_test_total counter"));
+        // TYPE emitted once even with two labeled series.
+        assert_eq!(text.matches("# TYPE cedar_test_total").count(), 1);
+        assert!(text.contains("cedar_test_total{class=\"a\"} 3"));
+        assert!(text.contains("cedar_test_total{class=\"b\"} 0"));
+        assert!(text.contains("cedar_test_gauge 1.5"));
+        assert!(text.contains("cedar_test_seconds_count 1"));
+        assert!(text.contains("cedar_test_seconds{quantile=\"0.5\"}"));
+    }
+}

@@ -1,0 +1,11 @@
+# Build cedar-cli for the multi-node compose quickstart
+# (see docker-compose.yml and examples/mesh/).
+FROM rust:1.83-slim AS build
+WORKDIR /src
+COPY . .
+RUN cargo build --release -p cedar-cli
+
+FROM debian:bookworm-slim
+COPY --from=build /src/target/release/cedar-cli /usr/local/bin/cedar-cli
+COPY examples/mesh/topology-compose.json /etc/cedar/topology.json
+ENTRYPOINT ["cedar-cli"]

@@ -17,6 +17,7 @@ pub const LIB_CRATES: &[&str] = &[
     "core",
     "distrib",
     "estimate",
+    "mesh",
     "runtime",
     "server",
     "telemetry",
@@ -29,6 +30,7 @@ pub const CLOCKED_CRATES: &[&str] = &[
     "distrib",
     "estimate",
     "mathx",
+    "mesh",
     "sim",
     "workloads",
     "runtime",

@@ -59,6 +59,16 @@ USAGE:
       timer re-arms with gain/loss at the chosen wait, faults, retries,
       departures and the final ship reason. The timeline's counters are
       verified against the engine's own failure accounting.
+  cedar-cli node --topology FILE --name NAME [--faults JSON|FILE]
+      Run one mesh process (root, aggregator, or worker — the role
+      comes from the topology) until a client sends the shutdown op.
+      --faults installs a fault-injection plan on the root; it travels
+      to every node inside each query's exec frame.
+  cedar-cli topology [--aggs N] [--workers N] [--processes N]
+                     [--replicas R] [--host H] [--base-port P]
+                     [--check FILE]
+      Generate a regular 3-level topology config (JSON on stdout), or
+      with --check validate an existing config and print its shape.
 ";
 
 /// Entry point: routes `argv` to a subcommand.
@@ -81,6 +91,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "loadgen" => crate::service_cmds::cmd_loadgen(&args),
         "chaos" => crate::chaos_cmd::cmd_chaos(&args),
         "explain" => crate::explain_cmd::cmd_explain(&args),
+        "node" => crate::node_cmd::cmd_node(&args),
+        "topology" => crate::node_cmd::cmd_topology(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,323 @@
+//! Multi-process chaos smoke: a 3-level, 7-process topology run as
+//! real `cedar-cli node` child processes, queried over TCP, with one
+//! mid-tree aggregator killed mid-load. The bar is the same as the
+//! in-process mesh tests — a real dead peer must degrade quality by
+//! exactly its subtree's share, and the root's failure report must
+//! reconcile with its Prometheus counters — but here every node is a
+//! separate OS process, so the accounting has to survive the wire.
+
+use cedar_distrib::spec::DistSpec;
+use cedar_mesh::topology::{NodeDef, Role, Topology};
+use cedar_server::Client;
+use cedar_workloads::treedef::{StageDef, TreeDef};
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const LEAVES_PER_AGG: usize = 8; // 2 workers x 4 processes
+const AGGS: usize = 2;
+const TOTAL: usize = LEAVES_PER_AGG * AGGS;
+const DEADLINE: f64 = 400.0;
+
+/// Reserves `n` distinct free localhost ports.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind port 0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+/// The same 7-node shape the in-process tests use: 1 root, 2 aggs,
+/// 4 workers with 4 leaf processes each.
+fn topo() -> Topology {
+    let p = free_ports(7);
+    let addr = |i: usize| format!("127.0.0.1:{}", p[i]);
+    let worker = |name: &str, i: usize| NodeDef {
+        name: name.into(),
+        role: Role::Worker,
+        addr: addr(i),
+        children: None,
+        processes: Some(4),
+    };
+    // 10ms of wall clock per model unit: across real processes, frame
+    // transit and decode cost real milliseconds. A finer unit would let
+    // that skew masquerade as model-time lateness, and Cedar's online
+    // refit is entitled to fold on leaves it believes are late — so the
+    // unit must keep wire jitter well under one model unit.
+    Topology {
+        unit_us: Some(10_000),
+        heartbeat_ms: Some(100),
+        miss_limit: Some(3),
+        replicas: None,
+        nodes: vec![
+            NodeDef {
+                name: "root".into(),
+                role: Role::Root,
+                addr: addr(0),
+                children: Some(vec!["agg0".into(), "agg1".into()]),
+                processes: None,
+            },
+            NodeDef {
+                name: "agg0".into(),
+                role: Role::Agg,
+                addr: addr(1),
+                children: Some(vec!["w0".into(), "w1".into()]),
+                processes: None,
+            },
+            NodeDef {
+                name: "agg1".into(),
+                role: Role::Agg,
+                addr: addr(2),
+                children: Some(vec!["w2".into(), "w3".into()]),
+                processes: None,
+            },
+            worker("w0", 3),
+            worker("w1", 4),
+            worker("w2", 5),
+            worker("w3", 6),
+        ],
+    }
+}
+
+fn tree() -> TreeDef {
+    TreeDef {
+        stages: vec![
+            StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 2.0,
+                    sigma: 0.5,
+                },
+                fanout: LEAVES_PER_AGG,
+            },
+            StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 1.0,
+                    sigma: 0.3,
+                },
+                fanout: AGGS,
+            },
+        ],
+    }
+}
+
+/// One `cedar-cli node` child; killed on drop so a panicking test
+/// never leaks processes.
+struct Proc {
+    name: String,
+    child: Child,
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_node(topo_path: &std::path::Path, name: &str) -> Proc {
+    let child = Command::new(env!("CARGO_BIN_EXE_cedar-cli"))
+        .args(["node", "--topology"])
+        .arg(topo_path)
+        .args(["--name", name])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+    Proc {
+        name: name.to_owned(),
+        child,
+    }
+}
+
+/// Scrapes a node's metrics over its `metrics` op; `None` until the
+/// process is up and listening.
+fn metrics_text(addr: &str) -> Option<String> {
+    let mut client = Client::connect(addr).ok()?;
+    client.metrics().ok()?.metrics
+}
+
+/// Reads one counter/gauge's value out of Prometheus text; `series`
+/// includes any labels (e.g. `cedar_mesh_peer_up{peer="agg0"}`).
+fn metric(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(series) && l.as_bytes().get(series.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {series} not found"))
+}
+
+/// Polls until every parent in the topology reports every child link
+/// up, i.e. the whole 7-process mesh is wired.
+fn wait_ready(topo: &Topology) {
+    let ready_by = Instant::now() + Duration::from_secs(30);
+    'outer: loop {
+        assert!(Instant::now() < ready_by, "mesh never became ready");
+        std::thread::sleep(Duration::from_millis(50));
+        for node in &topo.nodes {
+            let children = node.children();
+            if children.is_empty() {
+                continue;
+            }
+            let Some(text) = metrics_text(&node.addr) else {
+                continue 'outer;
+            };
+            for child in children {
+                let series = format!("cedar_mesh_peer_up{{peer=\"{child}\"}}");
+                if metric(&text, &series) != 1.0 {
+                    continue 'outer;
+                }
+            }
+        }
+        return;
+    }
+}
+
+#[test]
+fn killing_an_aggregator_mid_load_degrades_and_reconciles() {
+    let topo = topo();
+    let dir = std::env::temp_dir().join(format!("cedar-mesh-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let topo_path = dir.join("topo.json");
+    std::fs::write(&topo_path, topo.to_json()).expect("write topology");
+
+    // Workers first, then aggs, then the root — though start order only
+    // affects how long the links take to connect, not correctness.
+    let mut procs: Vec<Proc> = Vec::new();
+    for role in [Role::Worker, Role::Agg, Role::Root] {
+        for node in &topo.nodes {
+            if node.role == role {
+                procs.push(spawn_node(&topo_path, &node.name));
+            }
+        }
+    }
+    wait_ready(&topo);
+
+    let root_addr = &topo.root().addr;
+    let mut client = Client::connect(root_addr).expect("connect to root");
+    let tree = tree();
+
+    // Phase 1: the healthy mesh answers at full quality, and repeating
+    // a seed repeats the answer (durations are origin-pure, so the only
+    // run-to-run variation left is wire jitter under the model unit).
+    let healthy = 3_u64;
+    for _ in 0..healthy {
+        let resp = client
+            .query(&tree, Some(DEADLINE), Some(42))
+            .expect("query");
+        assert!(resp.ok, "healthy query failed: {:?}", resp.error);
+        let result = resp.result.expect("result");
+        if result.included_outputs != TOTAL {
+            let mut dump = format!("{result:?}\n");
+            for node in &topo.nodes {
+                let text = metrics_text(&node.addr).unwrap_or_default();
+                for line in text.lines() {
+                    if line.starts_with("cedar_mesh_") && !line.ends_with(" 0") {
+                        let _ = writeln!(dump, "{}: {line}", node.name);
+                    }
+                }
+            }
+            panic!("healthy mesh lost outputs\n{dump}");
+        }
+        assert!((result.quality - 1.0).abs() < f64::EPSILON);
+    }
+
+    // Phase 2: kill agg0's PROCESS mid-load and keep querying. While
+    // the failure detector converges, answers may come from anywhere
+    // between the full tree and the surviving half; they must never be
+    // worse than the surviving half and the connection must never die.
+    let idx = procs
+        .iter()
+        .position(|p| p.name == "agg0")
+        .expect("agg0 proc");
+    drop(procs.remove(idx));
+
+    let half = LEAVES_PER_AGG as f64 / TOTAL as f64;
+    let settled_by = Instant::now() + Duration::from_mins(1);
+    let mut degraded = healthy;
+    loop {
+        let resp = client.query(&tree, Some(DEADLINE), Some(5)).expect("query");
+        assert!(resp.ok, "mid-chaos query failed: {:?}", resp.error);
+        let result = resp.result.expect("result");
+        degraded += 1;
+        // Whatever the detector's convergence state, the ledger must
+        // balance: quality is exactly the included fraction, and the
+        // dead subtree can contribute nothing.
+        assert!(
+            (result.quality - result.included_outputs as f64 / TOTAL as f64).abs() < f64::EPSILON,
+            "quality does not match the ledger: {result:?}"
+        );
+        assert!(
+            result.included_outputs <= LEAVES_PER_AGG,
+            "outputs from a dead subtree: {result:?}"
+        );
+        if (result.quality - half).abs() < f64::EPSILON {
+            assert_eq!(result.included_outputs, LEAVES_PER_AGG);
+            let report = result.failures.expect("report");
+            assert!(report.crashed >= 1, "dead agg not charged: {report:?}");
+            break;
+        }
+        assert!(
+            Instant::now() < settled_by,
+            "quality never settled at the surviving half"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Phase 3: counters reconcile across processes. The root's scrape
+    // must agree with the reports clients saw: every query counted,
+    // the dead aggregator charged as a crash, and the link marked down.
+    let queries = degraded;
+    let text = metrics_text(root_addr).expect("root metrics");
+    assert!(
+        (metric(&text, "cedar_mesh_queries_total") - queries as f64).abs() < f64::EPSILON,
+        "root lost count of its queries"
+    );
+    assert!(
+        (metric(&text, "cedar_queries_total") - queries as f64).abs() < f64::EPSILON,
+        "runtime family disagrees with the mesh family"
+    );
+    assert!(
+        metric(&text, "cedar_faults_injected_total{kind=\"crash\"}") >= 1.0,
+        "the real crash never reached the reconciliation counters"
+    );
+    assert!(
+        (metric(&text, "cedar_mesh_peer_up{peer=\"agg0\"}") - 0.0).abs() < f64::EPSILON,
+        "dead peer still marked up"
+    );
+    assert!(
+        (metric(&text, "cedar_mesh_peer_up{peer=\"agg1\"}") - 1.0).abs() < f64::EPSILON,
+        "surviving peer marked down"
+    );
+    let stats = client.stats().expect("stats").stats.expect("stats body");
+    assert_eq!(u64::try_from(stats.completed).expect("fits"), queries);
+
+    // Phase 4: orderly shutdown of every surviving process.
+    for node in &topo.nodes {
+        if node.name == "agg0" {
+            continue;
+        }
+        if let Ok(mut c) = Client::connect(&node.addr) {
+            let _ = c.shutdown_server();
+        }
+    }
+    let gone_by = Instant::now() + Duration::from_secs(10);
+    for p in &mut procs {
+        loop {
+            match p.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < gone_by => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    // Drop will kill it; the orderly path failed.
+                    panic!("{} did not exit after shutdown", p.name);
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

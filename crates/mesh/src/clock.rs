@@ -1,0 +1,26 @@
+//! The mesh's sanctioned wall-clock access point (lint rule L1).
+//!
+//! Mesh nodes are synchronous thread-per-connection code like the TCP
+//! server: connect retries, heartbeat cadences, ack staleness checks,
+//! and leaf-completion schedules all need real elapsed time. Every wall
+//! read in the crate goes through [`now`] so the lint can pin raw reads
+//! to this one file and a future virtualized mesh clock has a single
+//! seam. (Aggregation passes run on a tokio runtime and use
+//! `tokio::time::Instant`, which is sanctioned separately.)
+
+use std::time::Instant;
+
+/// The current wall-clock instant.
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn advances() {
+        let a = super::now();
+        let b = super::now();
+        assert!(b >= a);
+    }
+}

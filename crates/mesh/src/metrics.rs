@@ -1,0 +1,132 @@
+//! Per-node and per-peer mesh metrics.
+//!
+//! Every node owns one registry served on its `metrics` op. Roots
+//! additionally register the standard [`RuntimeMetrics`] family and
+//! fold each query's merged [`cedar_runtime::FailureReport`] into it,
+//! so the counters a Prometheus scrape sees reconcile with the reports
+//! clients receive — the same contract as the single-process server,
+//! now spanning processes.
+
+use cedar_runtime::RuntimeMetrics;
+use cedar_telemetry::{labeled, Counter, Gauge, Registry};
+use std::sync::Arc;
+
+/// Health and traffic counters for one child link.
+#[derive(Debug)]
+pub struct PeerMetrics {
+    /// 1 when the link is established, 0 when down.
+    pub up: Arc<Gauge>,
+    /// Transitions to down (missed heartbeats or send errors).
+    pub downs: Arc<Counter>,
+    /// Heartbeats sent.
+    pub heartbeats_sent: Arc<Counter>,
+    /// Heartbeat acks received.
+    pub heartbeats_acked: Arc<Counter>,
+    /// Partial-result frames received from this peer.
+    pub partials_received: Arc<Counter>,
+}
+
+impl PeerMetrics {
+    /// Registers the per-peer family for `peer` in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry, peer: &str) -> Self {
+        Self {
+            up: registry.gauge(
+                &labeled("cedar_mesh_peer_up", "peer", peer),
+                "Whether the link to the peer is established",
+            ),
+            downs: registry.counter(
+                &labeled("cedar_mesh_peer_down_total", "peer", peer),
+                "Peer-down transitions (missed heartbeats, send errors)",
+            ),
+            heartbeats_sent: registry.counter(
+                &labeled("cedar_mesh_heartbeats_sent_total", "peer", peer),
+                "Heartbeats sent to the peer",
+            ),
+            heartbeats_acked: registry.counter(
+                &labeled("cedar_mesh_heartbeats_acked_total", "peer", peer),
+                "Heartbeat acks received from the peer",
+            ),
+            partials_received: registry.counter(
+                &labeled("cedar_mesh_partials_received_total", "peer", peer),
+                "Partial-result frames received from the peer",
+            ),
+        }
+    }
+}
+
+/// One mesh node's whole metric surface.
+#[derive(Debug)]
+pub struct MeshMetrics {
+    /// The registry rendered for `metrics` scrapes.
+    pub registry: Registry,
+    /// Standard runtime counters (fault/retry/censor reconciliation);
+    /// roots fold merged query outcomes into these.
+    pub runtime: Arc<RuntimeMetrics>,
+    /// Client queries answered (root only moves this).
+    pub queries: Arc<Counter>,
+    /// Exec frames handled (aggs and workers).
+    pub execs: Arc<Counter>,
+    /// Partial frames pushed upstream.
+    pub partials_sent: Arc<Counter>,
+    /// Partial frames dropped for want of a registered query (late
+    /// arrivals after departure, or an unknown query id).
+    pub partials_unroutable: Arc<Counter>,
+}
+
+impl MeshMetrics {
+    /// Builds a node's registry and its node-wide counters.
+    #[must_use]
+    pub fn new(node: &str) -> Self {
+        let registry = Registry::new();
+        let runtime = RuntimeMetrics::register(&registry);
+        registry
+            .gauge(
+                &labeled("cedar_mesh_node_info", "node", node),
+                "Constant 1, labeled with the node name",
+            )
+            .set(1.0);
+        Self {
+            runtime,
+            queries: registry.counter(
+                "cedar_mesh_queries_total",
+                "Client queries answered by this root",
+            ),
+            execs: registry.counter("cedar_mesh_execs_total", "Exec frames handled"),
+            partials_sent: registry.counter(
+                "cedar_mesh_partials_sent_total",
+                "Partial-result frames pushed upstream",
+            ),
+            partials_unroutable: registry.counter(
+                "cedar_mesh_partials_unroutable_total",
+                "Partial frames with no registered in-flight query",
+            ),
+            registry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_peer_series_render_separately() {
+        let m = MeshMetrics::new("root");
+        let a = PeerMetrics::register(&m.registry, "agg0");
+        let b = PeerMetrics::register(&m.registry, "agg1");
+        a.up.set(1.0);
+        a.heartbeats_sent.add(3);
+        b.downs.inc();
+        m.queries.inc();
+        let text = m.registry.render();
+        assert!(text.contains("cedar_mesh_peer_up{peer=\"agg0\"} 1"));
+        assert!(text.contains("cedar_mesh_peer_up{peer=\"agg1\"} 0"));
+        assert!(text.contains("cedar_mesh_heartbeats_sent_total{peer=\"agg0\"} 3"));
+        assert!(text.contains("cedar_mesh_peer_down_total{peer=\"agg1\"} 1"));
+        assert!(text.contains("cedar_mesh_queries_total 1"));
+        assert!(text.contains("cedar_mesh_node_info{node=\"root\"} 1"));
+        // The runtime reconciliation family is present from the start.
+        assert!(text.contains("cedar_faults_injected_total{kind=\"crash\"} 0"));
+    }
+}

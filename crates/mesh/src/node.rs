@@ -1,0 +1,1067 @@
+//! The mesh node: one process playing root, aggregator, or worker.
+//!
+//! Every node binds one listener and serves both frame families on it:
+//! client [`Request`]s (ping/metrics/stats/shutdown everywhere, query on
+//! the root) and inter-node [`MeshMsg`]s. A connection's first
+//! successfully decoded frame decides which conversation it is — mesh
+//! ops are disjoint from client ops, so the dispatch is unambiguous.
+//!
+//! Data flow for one query, mirroring the in-process engine:
+//!
+//! 1. The **root** assigns a query id, routes the query to one replica
+//!    set by consistent hash of its seed, fans `exec` frames out to that
+//!    replica's aggregators, and gathers their `partial`s until the
+//!    deadline (duplicate origins suppressed) — the same terminal loop
+//!    the engine's root runs over its channel.
+//! 2. Each **aggregator** re-anchors the deadline at `exec` receipt
+//!    (wire latency manifests as genuine straggling), fans out to its
+//!    workers, and runs the engine's own policy state machine via
+//!    [`cedar_runtime::aggregate_remote`]; a watchdog fires speculative
+//!    `retry` frames, missing leaves are right-censored at departure,
+//!    and one aggregated `partial` ships upstream after the
+//!    aggregator's own sampled stage-1 duration.
+//! 3. Each **worker** samples its leaves' durations from seeds that are
+//!    pure functions of `(query seed, global origin)`, applies the
+//!    fault plan at the send boundary exactly like the engine's
+//!    channel-send injection, and pushes one `partial` per surviving
+//!    leaf at its scheduled completion instant.
+//!
+//! Failure accounting reconciles end-to-end without coordination:
+//! *injected* fault counts are computed at the root from the plan alone
+//! ([`FaultPlan::planned_into`] is a pure function), while
+//! runtime-dependent counts (retries, suppressed duplicates, censored
+//! observations) ride in each `partial`'s [`FailureReport`] and are
+//! merged with [`FailureReport::absorb`]. A *real* dead peer is charged
+//! as crashes by the parent that detects it — a worker node as one
+//! crash per hosted leaf (whose observations the aggregator then
+//! censors), an aggregator node as one crash — so an actual failure
+//! degrades quality through the same arithmetic as an injected one. The
+//! one divergence from the engine's shared-memory bookkeeping: a
+//! subtree whose `partial` never arrives cannot report its
+//! runtime-dependent counts, so those are lost with it.
+
+use crate::clock;
+use crate::metrics::{MeshMetrics, PeerMetrics};
+use crate::peer::{LinkConfig, PeerLink, Router};
+use crate::ring::HashRing;
+use crate::topology::{NodeDef, Role, Topology};
+use crate::wire::{self, agg_seed, leaf_seed, MeshMsg, StageTiming};
+use cedar_core::profile::ProfileConfig;
+use cedar_core::{LockExt, Millis, PolicyContext, PreparedContexts, WaitPolicyKind};
+use cedar_distrib::ContinuousDist;
+use cedar_estimate::Model;
+use cedar_runtime::{
+    aggregate_remote, Arrival, FailureReport, FaultKind, FaultPlan, RemoteAggConfig,
+};
+use cedar_server::proto::{self, QueryResult, Request, Response, ServerStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Deadline applied when a query request omits one, in model units.
+const DEFAULT_DEADLINE: f64 = 1600.0;
+/// ε-scan resolution for policy contexts.
+const SCAN_STEPS: usize = 64;
+/// Recent `exec`s a worker remembers for `retry` handling.
+const RECENT_EXECS: usize = 64;
+/// Prepared-context cache entries kept before a wholesale reset.
+const PREPARED_CACHE_MAX: usize = 16;
+
+/// What a worker needs to re-execute leaves of a recent query.
+struct RecentExec {
+    query_id: u64,
+    base: usize,
+    count: usize,
+    start: Instant,
+    deadline: f64,
+    plan: Option<FaultPlan>,
+    dist: Arc<dyn ContinuousDist>,
+}
+
+/// A running mesh node. Dropping the handle does not stop the node;
+/// call [`shutdown`](NodeHandle::shutdown) (or send the `shutdown`
+/// client op) to stop it.
+pub struct NodeHandle {
+    inner: Arc<NodeInner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// The node's name in the topology.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.me.name
+    }
+
+    /// The node's role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.inner.me.role
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// How many child links are currently established — readiness is
+    /// `peers_up() == children.len()`.
+    #[must_use]
+    pub fn peers_up(&self) -> usize {
+        self.inner.links.iter().filter(|l| l.is_up()).count()
+    }
+
+    /// Number of children this node should hold links to.
+    #[must_use]
+    pub fn peers_total(&self) -> usize {
+        self.inner.links.len()
+    }
+
+    /// Signals the node to stop (idempotent).
+    pub fn stop(&self) {
+        self.inner.stop_signal();
+    }
+
+    /// Blocks until the node stops — its own [`stop`](NodeHandle::stop)
+    /// or a client `shutdown` op.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the node and waits for the accept loop to exit.
+    pub fn shutdown(self) {
+        self.stop();
+        self.join();
+    }
+}
+
+struct NodeInner {
+    topo: Topology,
+    me: NodeDef,
+    fault_plan: Option<FaultPlan>,
+    metrics: MeshMetrics,
+    router: Arc<Router>,
+    /// Child links in topology child order (root → aggs, agg → workers).
+    links: Vec<Arc<PeerLink>>,
+    /// Writer half of the connection our parent holds to us; shared so
+    /// heartbeat acks and partial pushes serialize their frames.
+    upstream: Mutex<Option<TcpStream>>,
+    /// Async runtime for aggregation passes (aggregators only).
+    rt: Option<tokio::runtime::Runtime>,
+    /// Replica shard ring (root only).
+    ring: Option<HashRing>,
+    groups: Vec<Vec<String>>,
+    local_addr: SocketAddr,
+    stop: AtomicBool,
+    query_seq: AtomicU64,
+    completed: AtomicU64,
+    served: AtomicU64,
+    in_flight: AtomicUsize,
+    prepared: Mutex<HashMap<(u64, String), Arc<PreparedContexts>>>,
+    recent: Mutex<Vec<RecentExec>>,
+}
+
+/// Starts the node named `name` from `topology`, binding its listener
+/// and connecting to its children. `fault_plan`, when set on the root,
+/// is installed into every query's `exec` fan-out (chaos runs).
+pub fn start(
+    topology: Topology,
+    name: &str,
+    fault_plan: Option<FaultPlan>,
+) -> io::Result<NodeHandle> {
+    topology
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let me = topology.node(name).cloned().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("node {name:?} is not in the topology"),
+        )
+    })?;
+    let listener = TcpListener::bind(&me.addr)?;
+    let local_addr = listener.local_addr()?;
+    let metrics = MeshMetrics::new(name);
+    let router = Arc::new(Router::new());
+    let topology_hash = topology.hash();
+    let links: Vec<Arc<PeerLink>> = me
+        .children()
+        .iter()
+        .map(|child| {
+            // Validation guarantees every child name resolves.
+            let addr = topology
+                .node(child)
+                .map_or_else(String::new, |n| n.addr.clone());
+            PeerLink::spawn(
+                LinkConfig {
+                    self_name: me.name.clone(),
+                    self_role: me.role.as_str().to_owned(),
+                    peer_name: child.clone(),
+                    peer_addr: addr,
+                    topology_hash,
+                    heartbeat: topology.heartbeat(),
+                    miss_limit: topology.miss_limit(),
+                },
+                PeerMetrics::register(&metrics.registry, child),
+                Arc::clone(&router),
+                Arc::clone(&metrics.partials_unroutable),
+            )
+        })
+        .collect();
+    let rt = if me.role == Role::Agg {
+        Some(
+            tokio::runtime::Builder::new_multi_thread()
+                .worker_threads(2)
+                .enable_all()
+                .build()?,
+        )
+    } else {
+        None
+    };
+    let groups = topology.replica_groups();
+    let ring = (me.role == Role::Root).then(|| {
+        let labels: Vec<String> = groups.iter().map(|g| g.join("+")).collect();
+        HashRing::new(&labels)
+    });
+    let inner = Arc::new(NodeInner {
+        topo: topology,
+        me,
+        fault_plan,
+        metrics,
+        router,
+        links,
+        upstream: Mutex::new(None),
+        rt,
+        ring,
+        groups,
+        local_addr,
+        stop: AtomicBool::new(false),
+        query_seq: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        in_flight: AtomicUsize::new(0),
+        prepared: Mutex::new(HashMap::new()),
+        recent: Mutex::new(Vec::new()),
+    });
+    let acceptor = Arc::clone(&inner);
+    let accept = std::thread::spawn(move || acceptor.accept_loop(&listener));
+    Ok(NodeHandle {
+        inner,
+        accept: Some(accept),
+    })
+}
+
+/// Replies in the framing the request arrived in, like the server.
+fn write_matching(stream: &TcpStream, version: u8, resp: &Response) -> io::Result<()> {
+    if version == 0 {
+        proto::write_frame(&mut &*stream, resp)
+    } else {
+        proto::write_frame_versioned(&mut &*stream, resp)
+    }
+}
+
+impl NodeInner {
+    fn accept_loop(self: &Arc<Self>, listener: &TcpListener) {
+        for conn in listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let node = Arc::clone(self);
+            std::thread::spawn(move || node.serve(&stream));
+        }
+    }
+
+    /// Signals shutdown: stops child links and unblocks the acceptor.
+    fn stop_signal(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for link in &self.links {
+            link.stop();
+        }
+        if let Some(s) = self.upstream.lock().unpoisoned().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // A throwaway connection pops the blocking accept() so the
+        // acceptor observes the stop flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// One connection: reads frames until EOF, answering client
+    /// requests and mesh messages as they come.
+    fn serve(self: &Arc<Self>, stream: &TcpStream) {
+        let _ = stream.set_nodelay(true);
+        while !self.stop.load(Ordering::Acquire) {
+            let Ok(Some(raw)) = proto::read_frame_raw(&mut &*stream) else {
+                break;
+            };
+            if !raw.is_supported() {
+                // Legacy framing so any client can decode the refusal.
+                let resp = Response::err_code(
+                    proto::ERR_UNSUPPORTED_VERSION,
+                    format!(
+                        "protocol version {} not supported (this build speaks 0 and {})",
+                        raw.version,
+                        proto::PROTO_VERSION
+                    ),
+                );
+                if proto::write_frame(&mut &*stream, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+            if let Ok(msg) = raw.decode::<MeshMsg>() {
+                if !self.handle_mesh(msg, stream) {
+                    break;
+                }
+                continue;
+            }
+            match raw.decode::<Request>() {
+                Ok(req) => {
+                    let shutdown = req.op == proto::OP_SHUTDOWN;
+                    let resp = self.handle_request(&req);
+                    if write_matching(stream, raw.version, &resp).is_err() {
+                        break;
+                    }
+                    if shutdown {
+                        self.stop_signal();
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let resp = Response::err_code(proto::ERR_BAD_REQUEST, e.to_string());
+                    if write_matching(stream, raw.version, &resp).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one mesh frame; returns `false` to close the connection.
+    fn handle_mesh(self: &Arc<Self>, msg: MeshMsg, stream: &TcpStream) -> bool {
+        match msg {
+            MeshMsg::Hello { topology_hash, .. } => {
+                let ok = topology_hash == self.topo.hash();
+                let ack = MeshMsg::HelloAck {
+                    from: self.me.name.clone(),
+                    ok,
+                    error: (!ok).then(|| {
+                        format!(
+                            "topology hash mismatch: ours {}, peer {topology_hash}",
+                            self.topo.hash()
+                        )
+                    }),
+                };
+                if !ok {
+                    let _ = wire::send(&mut &*stream, &ack);
+                    return false;
+                }
+                // This connection becomes our upstream: acks and partial
+                // pushes share its write lock from here on.
+                match stream.try_clone() {
+                    Ok(writer) => {
+                        if let Some(old) = self.upstream.lock().unpoisoned().replace(writer) {
+                            let _ = old.shutdown(Shutdown::Both);
+                        }
+                        self.send_upstream(&ack)
+                    }
+                    Err(_) => false,
+                }
+            }
+            MeshMsg::Heartbeat { seq, .. } => self.send_upstream(&MeshMsg::HeartbeatAck {
+                from: self.me.name.clone(),
+                seq,
+            }),
+            MeshMsg::Exec {
+                query_id,
+                agg_index,
+                tree,
+                deadline,
+                seed,
+                fault_plan,
+                ..
+            } => {
+                self.metrics.execs.inc();
+                match self.me.role {
+                    Role::Agg => {
+                        self.agg_exec(query_id, agg_index, tree, deadline, seed, fault_plan);
+                    }
+                    Role::Worker => {
+                        self.worker_exec(query_id, agg_index, &tree, deadline, seed, fault_plan);
+                    }
+                    Role::Root => {}
+                }
+                true
+            }
+            MeshMsg::Retry {
+                query_id, origins, ..
+            } => {
+                if self.me.role == Role::Worker {
+                    self.worker_retry(query_id, &origins);
+                }
+                true
+            }
+            // Acks and partials arrive on parent-initiated connections,
+            // which the PeerLink reader owns — not here.
+            MeshMsg::HelloAck { .. } | MeshMsg::HeartbeatAck { .. } | MeshMsg::Partial { .. } => {
+                true
+            }
+        }
+    }
+
+    /// Writes one frame on the upstream connection (serialized with
+    /// every other upstream writer). Returns `false` when there is no
+    /// live upstream or the write failed.
+    fn send_upstream(&self, msg: &MeshMsg) -> bool {
+        let mut guard = self.upstream.lock().unpoisoned();
+        let Some(stream) = guard.as_mut() else {
+            return false;
+        };
+        if wire::send(&mut &*stream, msg).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            *guard = None;
+            return false;
+        }
+        true
+    }
+
+    fn ship_partial(&self, msg: &MeshMsg) {
+        if self.send_upstream(msg) {
+            self.metrics.partials_sent.inc();
+        }
+    }
+
+    fn handle_request(self: &Arc<Self>, req: &Request) -> Response {
+        match req.op.as_str() {
+            proto::OP_PING | proto::OP_SHUTDOWN => Response::ok(),
+            proto::OP_METRICS => Response::with_metrics(self.metrics.registry.render()),
+            proto::OP_STATS => Response::with_stats(ServerStats {
+                completed: self.completed.load(Ordering::Acquire) as usize,
+                refits: 0,
+                epoch: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                in_flight: self.in_flight.load(Ordering::Acquire),
+                shed_total: 0,
+                served_total: self.served.load(Ordering::Acquire),
+            }),
+            proto::OP_QUERY => {
+                if self.me.role == Role::Root {
+                    self.served.fetch_add(1, Ordering::AcqRel);
+                    self.root_query(req)
+                } else {
+                    Response::err_code(
+                        proto::ERR_BAD_REQUEST,
+                        format!(
+                            "{} nodes do not serve queries; ask the root",
+                            self.me.role.as_str()
+                        ),
+                    )
+                }
+            }
+            other => Response::err_code(proto::ERR_UNKNOWN_OP, format!("unknown op {other:?}")),
+        }
+    }
+
+    // ---- root ----
+
+    /// Shards one client query onto a replica, fans out, gathers until
+    /// the deadline, and folds the merged outcome into the standard
+    /// runtime metrics — the engine's terminal loop, across processes.
+    fn root_query(self: &Arc<Self>, req: &Request) -> Response {
+        let Some(tree) = req.tree.clone() else {
+            return Response::err_code(proto::ERR_BAD_REQUEST, "query carries no tree");
+        };
+        let deadline = req.deadline.unwrap_or(DEFAULT_DEADLINE);
+        if !deadline.is_finite() || deadline <= 0.0 {
+            return Response::err_code(proto::ERR_BAD_REQUEST, "deadline must be positive");
+        }
+        if tree.stages.len() != 2 {
+            return Response::err_code(
+                proto::ERR_BAD_REQUEST,
+                format!(
+                    "a 3-level mesh executes 2-stage trees; this one has {}",
+                    tree.stages.len()
+                ),
+            );
+        }
+        if tree.build().is_err() {
+            return Response::err_code(proto::ERR_BAD_REQUEST, "tree does not build");
+        }
+        let k1 = tree.stages[0].fanout;
+        let k2 = tree.stages[1].fanout;
+        let aggs = self.topo.aggs();
+        let hosted = aggs.first().map_or(0, |a| self.topo.leaves_under(a));
+        if k1 != hosted {
+            return Response::err_code(
+                proto::ERR_BAD_REQUEST,
+                format!("tree wants {k1} leaves per aggregator, topology hosts {hosted}"),
+            );
+        }
+        let seed = req.seed.unwrap_or(0xCEDA2);
+        // Shard by consistent hash of the query key (its seed): the
+        // same query always lands on the same replica set.
+        let group_idx = self.ring.as_ref().map_or(0, |r| r.route(seed));
+        let group = &self.groups[group_idx];
+        if k2 != group.len() {
+            return Response::err_code(
+                proto::ERR_BAD_REQUEST,
+                format!(
+                    "tree wants {k2} aggregators, replica set {group_idx} has {}",
+                    group.len()
+                ),
+            );
+        }
+        let query_id = self.query_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let scale = self.topo.scale();
+        let start = clock::now();
+        let rx = self.router.register(query_id, 4 * k2 + 8);
+
+        // Injected faults are a pure function of the plan — account for
+        // the whole tree here, no coordination needed.
+        let mut report = FailureReport::default();
+        if let Some(plan) = &self.fault_plan {
+            plan.planned_into(0, 0..k1 * k2, &mut report);
+            plan.planned_into(1, 0..k2, &mut report);
+        }
+
+        // Fan out; a dead aggregator at dispatch is a real crash.
+        let mut dispatched: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(group.len());
+        for (agg_index, agg_name) in group.iter().enumerate() {
+            let link = self
+                .links
+                .iter()
+                .find(|l| l.peer_name() == agg_name.as_str());
+            let exec = MeshMsg::Exec {
+                query_id,
+                from: self.me.name.clone(),
+                target: agg_name.clone(),
+                agg_index,
+                tree: tree.clone(),
+                deadline,
+                seed,
+                fault_plan: self.fault_plan.clone(),
+            };
+            match link {
+                Some(l) if l.send(&exec).is_ok() => dispatched.push(Some(Arc::clone(l))),
+                _ => {
+                    report.crashed += 1;
+                    dispatched.push(None);
+                }
+            }
+        }
+
+        // Gather until deadline or full collection, suppressing
+        // duplicate origins.
+        let deadline_at = start + scale.to_wall(deadline);
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut included = 0usize;
+        let mut arrivals = 0usize;
+        let mut value_sum = 0.0f64;
+        let mut realized0: Vec<(usize, f64)> = Vec::new();
+        let mut realized1: Vec<(usize, f64)> = Vec::new();
+        let mut censored0: Vec<(usize, f64)> = Vec::new();
+        while let Some(left) = deadline_at.checked_duration_since(clock::now()) {
+            let Ok(msg) = rx.recv_timeout(left) else {
+                break;
+            };
+            let MeshMsg::Partial {
+                origin,
+                payload,
+                value,
+                duration,
+                timings,
+                censored,
+                failures,
+                ..
+            } = msg
+            else {
+                continue;
+            };
+            if !seen.insert(origin) {
+                report.duplicates_suppressed += 1;
+                continue;
+            }
+            included += payload;
+            arrivals += 1;
+            value_sum += value;
+            realized1.push((origin, duration));
+            realized0.extend(
+                timings
+                    .iter()
+                    .filter(|t| t.level == 0)
+                    .map(|t| (t.origin, t.duration)),
+            );
+            censored0.extend(
+                censored
+                    .iter()
+                    .filter(|t| t.level == 0)
+                    .map(|t| (t.origin, t.duration)),
+            );
+            report.absorb(&failures);
+            if arrivals == k2 {
+                break;
+            }
+        }
+        self.router.unregister(query_id);
+
+        // An aggregator that was dispatched to, went silent, AND whose
+        // link is down died for real mid-query.
+        for (origin, link) in dispatched.iter().enumerate() {
+            if let Some(l) = link {
+                if !seen.contains(&origin) && !l.is_up() {
+                    report.crashed += 1;
+                }
+            }
+        }
+
+        let sorted = |mut v: Vec<(usize, f64)>| -> Vec<f64> {
+            v.sort_by_key(|&(origin, _)| origin);
+            v.into_iter().map(|(_, d)| d).collect()
+        };
+        let outcome = cedar_runtime::RuntimeOutcome {
+            quality: included as f64 / (k1 * k2).max(1) as f64,
+            included_outputs: included,
+            total_processes: k1 * k2,
+            root_arrivals: arrivals,
+            value_sum,
+            wall_elapsed: start.elapsed().min(scale.to_wall(deadline)),
+            realized_durations: vec![sorted(realized0), sorted(realized1)],
+            failures: report,
+            censored_durations: vec![sorted(censored0), Vec::new()],
+        };
+        self.metrics.runtime.observe_outcome(&outcome);
+        self.metrics.queries.inc();
+        self.completed.fetch_add(1, Ordering::AcqRel);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        Response::with_result(QueryResult {
+            quality: outcome.quality,
+            included_outputs: outcome.included_outputs,
+            total_processes: outcome.total_processes,
+            root_arrivals: outcome.root_arrivals,
+            value_sum: outcome.value_sum,
+            latency_ms: Millis::from_duration(start.elapsed()).get(),
+            epoch: 0,
+            failures: Some(report),
+            trace: None,
+        })
+    }
+
+    // ---- aggregator ----
+
+    /// Spawns one aggregation pass onto the async runtime; the serving
+    /// thread stays free for heartbeats and further execs.
+    fn agg_exec(
+        self: &Arc<Self>,
+        query_id: u64,
+        agg_index: usize,
+        tree: cedar_workloads::treedef::TreeDef,
+        deadline: f64,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) {
+        let Some(rt) = &self.rt else { return };
+        let node = Arc::clone(self);
+        rt.spawn(async move {
+            node.agg_run(query_id, agg_index, &tree, deadline, seed, plan)
+                .await;
+        });
+    }
+
+    /// One aggregation pass: the engine's Pseudocode-1 loop fed by
+    /// remote arrivals, with watchdog retries over the wire.
+    async fn agg_run(
+        self: &Arc<Self>,
+        query_id: u64,
+        agg_index: usize,
+        tree: &cedar_workloads::treedef::TreeDef,
+        deadline: f64,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) {
+        let Ok(spec_tree) = tree.build() else { return };
+        if tree.stages.len() != 2 || !deadline.is_finite() || deadline <= 0.0 {
+            return;
+        }
+        let Some(ctx) = self.prepared_ctx(tree, &spec_tree, deadline) else {
+            return;
+        };
+        let scale = self.topo.scale();
+        let start = tokio::time::Instant::now();
+        let k1 = tree.stages[0].fanout;
+        let base = agg_index * k1;
+        let watchdog = plan.as_ref().and_then(|p| {
+            let recovery = p.recovery();
+            recovery.speculative_retry.then(|| {
+                spec_tree
+                    .stage(0)
+                    .dist
+                    .quantile(recovery.watchdog_quantile.clamp(0.5, 0.9999))
+                    .clamp(0.0, deadline)
+            })
+        });
+
+        // Bridge: network partials → the engine's channel-send boundary.
+        // The route MUST exist before any exec goes out, or the fastest
+        // leaves' partials arrive unroutable and are shed.
+        let mesh_rx = self.router.register(query_id, 4 * k1 + 16);
+        let (tx, rx) = tokio::sync::mpsc::channel::<Arrival>(4 * k1 + 16);
+        let bridge = std::thread::spawn(move || {
+            while let Ok(msg) = mesh_rx.recv() {
+                let MeshMsg::Partial {
+                    origin,
+                    payload,
+                    value,
+                    duration,
+                    retry,
+                    ..
+                } = msg
+                else {
+                    continue;
+                };
+                let arrival = Arrival {
+                    payload,
+                    value,
+                    origin,
+                    duration,
+                    retry,
+                };
+                if tx.try_send(arrival).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut local_report = FailureReport::default();
+        // Fan out to workers; a dead worker node is one real crash per
+        // hosted leaf, and those leaves censor naturally at departure.
+        let mut spans: Vec<(std::ops::Range<usize>, Arc<PeerLink>)> = Vec::new();
+        for child in self.me.children() {
+            let (Some(def), Some(offset)) = (self.topo.node(child), self.topo.worker_offset(child))
+            else {
+                continue;
+            };
+            let range = (base + offset)..(base + offset + def.processes());
+            let link = self.links.iter().find(|l| l.peer_name() == child.as_str());
+            let exec = MeshMsg::Exec {
+                query_id,
+                from: self.me.name.clone(),
+                target: child.clone(),
+                agg_index,
+                tree: tree.clone(),
+                deadline,
+                seed,
+                fault_plan: plan.clone(),
+            };
+            match link {
+                Some(l) if l.send(&exec).is_ok() => spans.push((range, Arc::clone(l))),
+                _ => local_report.crashed += def.processes(),
+            }
+        }
+
+        let retries = Arc::new(AtomicUsize::new(0));
+        let retries_cb = Arc::clone(&retries);
+        let retry_spans = spans.clone();
+        let self_name = self.me.name.clone();
+        let outcome = aggregate_remote(
+            RemoteAggConfig {
+                ctx,
+                kind: WaitPolicyKind::Cedar,
+                model: Model::LogNormal,
+                scale,
+                expected: base..base + k1,
+                start,
+                watchdog,
+            },
+            rx,
+            move |missing| {
+                for (range, link) in &retry_spans {
+                    let mine: Vec<usize> = missing
+                        .iter()
+                        .copied()
+                        .filter(|o| range.contains(o))
+                        .collect();
+                    if mine.is_empty() {
+                        continue;
+                    }
+                    let launched = mine.len();
+                    let retry = MeshMsg::Retry {
+                        query_id,
+                        from: self_name.clone(),
+                        origins: mine,
+                    };
+                    if link.send(&retry).is_ok() {
+                        retries_cb.fetch_add(launched, Ordering::AcqRel);
+                    }
+                }
+            },
+        )
+        .await;
+        // Dropping the route drops the channel sender; the bridge
+        // thread unblocks and exits.
+        self.router.unregister(query_id);
+        drop(bridge);
+
+        local_report.retries_launched = retries.load(Ordering::Acquire);
+        local_report.retries_delivered = outcome.retries_delivered;
+        local_report.duplicates_suppressed = outcome.duplicates_suppressed;
+        local_report.censored_observations = outcome.censored.len();
+
+        // The aggregator's own stage-1 fate and duration.
+        let own_fault = plan.as_ref().and_then(|p| p.fault_for(1, agg_index));
+        let mut rng = StdRng::seed_from_u64(agg_seed(seed, agg_index));
+        let mut own = spec_tree.stage(1).dist.sample(&mut rng);
+        if let Some(FaultKind::Straggle { factor }) = own_fault {
+            own *= factor.max(1.0);
+        }
+        if matches!(
+            own_fault,
+            Some(FaultKind::CrashBeforeSend | FaultKind::Hang | FaultKind::DropMessage)
+        ) {
+            return; // the subtree's aggregate never reaches the root
+        }
+        tokio::time::sleep(scale.to_wall(own)).await;
+
+        let timings: Vec<StageTiming> = outcome
+            .observed
+            .iter()
+            .map(|&(origin, duration)| StageTiming {
+                level: 0,
+                origin,
+                duration,
+            })
+            .collect();
+        let censored: Vec<StageTiming> = outcome
+            .censored
+            .iter()
+            .map(|&origin| StageTiming {
+                level: 0,
+                origin,
+                duration: outcome.departed_at,
+            })
+            .collect();
+        let msg = MeshMsg::Partial {
+            query_id,
+            from: self.me.name.clone(),
+            origin: agg_index,
+            payload: outcome.payload,
+            value: outcome.value,
+            duration: own,
+            retry: false,
+            timings,
+            censored,
+            failures: local_report,
+        };
+        self.ship_partial(&msg);
+        if matches!(own_fault, Some(FaultKind::DuplicateMessage)) {
+            self.ship_partial(&msg);
+        }
+    }
+
+    /// The per-(deadline, tree) policy-context cache; returns the
+    /// bottom-level context for one query.
+    fn prepared_ctx(
+        &self,
+        tree: &cedar_workloads::treedef::TreeDef,
+        spec_tree: &cedar_core::TreeSpec,
+        deadline: f64,
+    ) -> Option<PolicyContext> {
+        let key = (deadline.to_bits(), tree.to_json());
+        let prepared = {
+            let mut cache = self.prepared.lock().unpoisoned();
+            if let Some(p) = cache.get(&key) {
+                Arc::clone(p)
+            } else {
+                let p = Arc::new(PreparedContexts::new(
+                    spec_tree,
+                    deadline,
+                    WaitPolicyKind::Cedar,
+                    Model::LogNormal,
+                    SCAN_STEPS,
+                    &ProfileConfig::default(),
+                ));
+                if cache.len() >= PREPARED_CACHE_MAX {
+                    cache.clear();
+                }
+                cache.insert(key, Arc::clone(&p));
+                p
+            }
+        };
+        prepared.for_query(spec_tree).into_iter().next()
+    }
+
+    // ---- worker ----
+
+    /// Simulates this worker's leaves on a dedicated thread: sample
+    /// each duration from its origin-pure seed, apply the fault plan at
+    /// the send boundary, and push one partial per surviving leaf at
+    /// its completion instant.
+    fn worker_exec(
+        self: &Arc<Self>,
+        query_id: u64,
+        agg_index: usize,
+        tree: &cedar_workloads::treedef::TreeDef,
+        deadline: f64,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) {
+        let Ok(spec_tree) = tree.build() else { return };
+        if tree.stages.is_empty() || !deadline.is_finite() || deadline <= 0.0 {
+            return;
+        }
+        let Some(offset) = self.topo.worker_offset(&self.me.name) else {
+            return;
+        };
+        let start = clock::now();
+        let dist = spec_tree.stage(0).dist.clone();
+        let k1 = tree.stages[0].fanout;
+        let base = agg_index * k1 + offset;
+        let count = self.me.processes();
+        {
+            let mut recent = self.recent.lock().unpoisoned();
+            if recent.len() >= RECENT_EXECS {
+                recent.remove(0);
+            }
+            recent.push(RecentExec {
+                query_id,
+                base,
+                count,
+                start,
+                deadline,
+                plan: plan.clone(),
+                dist: dist.clone(),
+            });
+        }
+        let scale = self.topo.scale();
+        let node = Arc::clone(self);
+        std::thread::spawn(move || {
+            // (fire time, origin, realized duration, copies to send)
+            let mut events: Vec<(f64, usize, usize)> = Vec::with_capacity(count);
+            for i in 0..count {
+                let origin = base + i;
+                let mut rng = StdRng::seed_from_u64(leaf_seed(seed, origin));
+                let mut dur = dist.sample(&mut rng);
+                let mut copies = 1usize;
+                match plan.as_ref().and_then(|p| p.fault_for(0, origin)) {
+                    Some(FaultKind::CrashBeforeSend | FaultKind::Hang | FaultKind::DropMessage) => {
+                        continue
+                    }
+                    Some(FaultKind::Straggle { factor }) => dur *= factor.max(1.0),
+                    Some(FaultKind::DuplicateMessage) => copies = 2,
+                    None => {}
+                }
+                if dur > deadline {
+                    // It cannot be counted upstream; its absence is
+                    // right-censored there, like the engine's late tail.
+                    continue;
+                }
+                events.push((dur, origin, copies));
+            }
+            events.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (dur, origin, copies) in events {
+                let target = start + scale.to_wall(dur);
+                let now = clock::now();
+                if let Some(wait) = target.checked_duration_since(now) {
+                    std::thread::sleep(wait);
+                }
+                let msg = MeshMsg::Partial {
+                    query_id,
+                    from: node.me.name.clone(),
+                    origin,
+                    payload: 1,
+                    value: 1.0,
+                    duration: dur,
+                    retry: false,
+                    timings: Vec::new(),
+                    censored: Vec::new(),
+                    failures: FailureReport::default(),
+                };
+                for _ in 0..copies {
+                    node.ship_partial(&msg);
+                }
+            }
+        });
+    }
+
+    /// Re-executes the named leaf origins of a recent query, once,
+    /// fault-free, with the plan's dedicated retry seeds — the wire
+    /// form of the engine's speculative retry.
+    fn worker_retry(self: &Arc<Self>, query_id: u64, origins: &[usize]) {
+        let Some((base, count, start, deadline, plan, dist)) = ({
+            let recent = self.recent.lock().unpoisoned();
+            recent
+                .iter()
+                .rev()
+                .find(|e| e.query_id == query_id)
+                .map(|e| {
+                    (
+                        e.base,
+                        e.count,
+                        e.start,
+                        e.deadline,
+                        e.plan.clone(),
+                        e.dist.clone(),
+                    )
+                })
+        }) else {
+            return;
+        };
+        let Some(plan) = plan else { return };
+        let mine: Vec<usize> = origins
+            .iter()
+            .copied()
+            .filter(|&o| o >= base && o < base + count)
+            .collect();
+        if mine.is_empty() {
+            return;
+        }
+        let scale = self.topo.scale();
+        let node = Arc::clone(self);
+        std::thread::spawn(move || {
+            let issued = clock::now();
+            let mut events: Vec<(f64, usize)> = mine
+                .into_iter()
+                .map(|origin| {
+                    let mut rng = StdRng::seed_from_u64(plan.retry_seed(origin));
+                    (dist.sample(&mut rng), origin)
+                })
+                .collect();
+            events.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (dur, origin) in events {
+                // Skip re-executions that cannot land before the
+                // deadline anyway (anchored at the original exec).
+                if scale.to_model(issued.duration_since(start)) + dur > deadline {
+                    continue;
+                }
+                let target = issued + scale.to_wall(dur);
+                if let Some(wait) = target.checked_duration_since(clock::now()) {
+                    std::thread::sleep(wait);
+                }
+                let msg = MeshMsg::Partial {
+                    query_id,
+                    from: node.me.name.clone(),
+                    origin,
+                    payload: 1,
+                    value: 1.0,
+                    duration: dur,
+                    retry: true,
+                    timings: Vec::new(),
+                    censored: Vec::new(),
+                    failures: FailureReport::default(),
+                };
+                node.ship_partial(&msg);
+            }
+        });
+    }
+}

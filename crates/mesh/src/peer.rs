@@ -1,0 +1,343 @@
+//! Parent-side peer links and partial-result routing.
+//!
+//! A [`PeerLink`] is the parent's half of one tree edge: it owns the
+//! TCP connection to a child, performs the `hello`/`hello_ack` topology
+//! handshake, drives the heartbeat loop, and reads everything the child
+//! pushes back (heartbeat acks and partial results). Failure detection
+//! lives here: a send error or [`Topology::miss_limit`] consecutive
+//! heartbeat intervals without an ack marks the link down, and the
+//! maintenance thread keeps trying to re-establish it, so a restarted
+//! peer rejoins without operator action.
+//!
+//! Partial-result frames are fanned out by query through a [`Router`]:
+//! query execution registers a bounded channel per in-flight query, the
+//! link's reader thread delivers into it without blocking, and frames
+//! for queries that already departed are counted instead of delivered.
+//!
+//! [`Topology::miss_limit`]: crate::topology::Topology::miss_limit
+
+use crate::clock;
+use crate::metrics::PeerMetrics;
+use crate::wire::{self, MeshMsg};
+use cedar_core::LockExt;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fans incoming partial-result frames out to their queries' gather
+/// loops. Channels are bounded and delivery never blocks the network
+/// reader: a full or missing channel drops the frame (and the caller
+/// counts it), exactly like the engine's bounded channel boundary.
+#[derive(Debug, Default)]
+pub struct Router {
+    routes: Mutex<HashMap<u64, SyncSender<MeshMsg>>>,
+}
+
+impl Router {
+    /// An empty router.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query and returns the receiving end of its bounded
+    /// delivery channel. A second registration for the same id replaces
+    /// the first (stale entries cannot shadow a new query).
+    #[must_use]
+    pub fn register(&self, query_id: u64, capacity: usize) -> Receiver<MeshMsg> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        self.routes.lock().unpoisoned().insert(query_id, tx);
+        rx
+    }
+
+    /// Removes a query's route; frames arriving afterwards are reported
+    /// as undeliverable by [`deliver`](Router::deliver).
+    pub fn unregister(&self, query_id: u64) {
+        self.routes.lock().unpoisoned().remove(&query_id);
+    }
+
+    /// Delivers a partial-result frame to its query's channel without
+    /// blocking. Returns `false` when the query is not registered or
+    /// its channel is full — the frame is dropped either way.
+    pub fn deliver(&self, msg: MeshMsg) -> bool {
+        let MeshMsg::Partial { query_id, .. } = &msg else {
+            return false;
+        };
+        let routes = self.routes.lock().unpoisoned();
+        match routes.get(query_id) {
+            Some(tx) => !matches!(
+                tx.try_send(msg),
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_))
+            ),
+            None => false,
+        }
+    }
+}
+
+/// Everything a link needs to introduce itself and pace its probes.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// The parent's node name (sent in `hello` and `heartbeat`).
+    pub self_name: String,
+    /// The parent's role spelling.
+    pub self_role: String,
+    /// The child's node name (for metrics and logs).
+    pub peer_name: String,
+    /// The child's `host:port`.
+    pub peer_addr: String,
+    /// Topology handshake token; both ends must agree.
+    pub topology_hash: u64,
+    /// Heartbeat interval.
+    pub heartbeat: Duration,
+    /// Consecutive missed heartbeats before the link is declared down.
+    pub miss_limit: u32,
+}
+
+/// The parent's half of one tree edge. See the module docs.
+#[derive(Debug)]
+pub struct PeerLink {
+    cfg: LinkConfig,
+    /// The live connection's writer half; `None` while down.
+    stream: Mutex<Option<TcpStream>>,
+    up: AtomicBool,
+    /// Last instant the child proved liveness (handshake or ack).
+    last_seen: Mutex<Instant>,
+    seq: AtomicU64,
+    stop: AtomicBool,
+    metrics: PeerMetrics,
+    router: Arc<Router>,
+    /// Partial frames that arrived with no registered query.
+    unroutable: Arc<cedar_telemetry::Counter>,
+}
+
+impl PeerLink {
+    /// Creates the link and starts its maintenance thread (connect,
+    /// handshake, heartbeat, failure detection). Returns immediately;
+    /// [`is_up`](PeerLink::is_up) reports when the handshake lands.
+    pub fn spawn(
+        cfg: LinkConfig,
+        metrics: PeerMetrics,
+        router: Arc<Router>,
+        unroutable: Arc<cedar_telemetry::Counter>,
+    ) -> Arc<Self> {
+        let link = Arc::new(Self {
+            cfg,
+            stream: Mutex::new(None),
+            up: AtomicBool::new(false),
+            last_seen: Mutex::new(clock::now()),
+            seq: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            metrics,
+            router,
+            unroutable,
+        });
+        let worker = Arc::clone(&link);
+        std::thread::spawn(move || worker.maintain());
+        link
+    }
+
+    /// Whether the link is currently established.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
+    /// The child's node name.
+    #[must_use]
+    pub fn peer_name(&self) -> &str {
+        &self.cfg.peer_name
+    }
+
+    /// Sends one frame to the child. A send on a down link fails fast;
+    /// a send error marks the link down (the maintenance thread will
+    /// reconnect).
+    pub fn send(&self, msg: &MeshMsg) -> io::Result<()> {
+        let mut guard = self.stream.lock().unpoisoned();
+        let Some(stream) = guard.as_mut() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("link to {} is down", self.cfg.peer_name),
+            ));
+        };
+        let sent = wire::send(&mut &*stream, msg);
+        if sent.is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            *guard = None;
+            drop(guard);
+            self.note_down();
+        }
+        sent
+    }
+
+    /// Stops the maintenance thread and closes the connection.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.drop_stream();
+    }
+
+    /// Connect → handshake → heartbeat until stopped; on any failure,
+    /// back off one heartbeat interval and start over.
+    fn maintain(self: &Arc<Self>) {
+        while !self.stop.load(Ordering::Acquire) {
+            if !self.is_up() && self.establish().is_err() {
+                std::thread::sleep(self.cfg.heartbeat);
+                continue;
+            }
+            let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+            let beat = MeshMsg::Heartbeat {
+                from: self.cfg.self_name.clone(),
+                seq,
+            };
+            if self.send(&beat).is_ok() {
+                self.metrics.heartbeats_sent.inc();
+            }
+            std::thread::sleep(self.cfg.heartbeat);
+            let stale = self.last_seen.lock().unpoisoned().elapsed();
+            if self.is_up() && stale > self.cfg.heartbeat * self.cfg.miss_limit.max(1) {
+                self.drop_stream();
+                self.note_down();
+            }
+        }
+        self.drop_stream();
+    }
+
+    /// One connection attempt: dial, exchange `hello`/`hello_ack`,
+    /// install the stream, and start a reader thread for it.
+    fn establish(self: &Arc<Self>) -> io::Result<()> {
+        let stream = TcpStream::connect(&self.cfg.peer_addr)?;
+        stream.set_nodelay(true)?;
+        // Bound the handshake so a wedged peer cannot pin this thread.
+        stream.set_read_timeout(Some(self.cfg.heartbeat * self.cfg.miss_limit.max(1)))?;
+        wire::send(
+            &mut &stream,
+            &MeshMsg::Hello {
+                from: self.cfg.self_name.clone(),
+                role: self.cfg.self_role.clone(),
+                topology_hash: self.cfg.topology_hash,
+            },
+        )?;
+        match wire::recv(&mut &stream)? {
+            Some(MeshMsg::HelloAck { ok: true, .. }) => {}
+            Some(MeshMsg::HelloAck { error, .. }) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    error.unwrap_or_else(|| "peer refused the handshake".to_owned()),
+                ));
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected hello_ack, got {other:?}"),
+                ));
+            }
+        }
+        // Steady state blocks on reads; liveness is the ack timestamp.
+        stream.set_read_timeout(None)?;
+        let reader = stream.try_clone()?;
+        *self.stream.lock().unpoisoned() = Some(stream);
+        *self.last_seen.lock().unpoisoned() = clock::now();
+        self.up.store(true, Ordering::Release);
+        self.metrics.up.set(1.0);
+        let link = Arc::clone(self);
+        std::thread::spawn(move || link.read_loop(reader));
+        Ok(())
+    }
+
+    /// Drains the child's pushes on one connection until it dies.
+    fn read_loop(&self, stream: TcpStream) {
+        loop {
+            match wire::recv(&mut &stream) {
+                Ok(Some(MeshMsg::HeartbeatAck { .. })) => {
+                    *self.last_seen.lock().unpoisoned() = clock::now();
+                    self.metrics.heartbeats_acked.inc();
+                }
+                Ok(Some(msg @ MeshMsg::Partial { .. })) => {
+                    self.metrics.partials_received.inc();
+                    if !self.router.deliver(msg) {
+                        self.unroutable.inc();
+                    }
+                }
+                Ok(Some(MeshMsg::HelloAck { .. })) => {
+                    *self.last_seen.lock().unpoisoned() = clock::now();
+                }
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+        // Only report down if this reader's connection is still the
+        // live one; a reconnect may already have replaced it.
+        let mut guard = self.stream.lock().unpoisoned();
+        if guard.is_some() {
+            *guard = None;
+            drop(guard);
+            self.note_down();
+        }
+    }
+
+    fn drop_stream(&self) {
+        if let Some(s) = self.stream.lock().unpoisoned().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn note_down(&self) {
+        if self.up.swap(false, Ordering::AcqRel) {
+            self.metrics.up.set(0.0);
+            self.metrics.downs.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_runtime::FailureReport;
+
+    fn partial(query_id: u64, origin: usize) -> MeshMsg {
+        MeshMsg::Partial {
+            query_id,
+            from: "w0".into(),
+            origin,
+            payload: 1,
+            value: 1.0,
+            duration: 2.0,
+            retry: false,
+            timings: Vec::new(),
+            censored: Vec::new(),
+            failures: FailureReport::default(),
+        }
+    }
+
+    #[test]
+    fn router_delivers_to_registered_queries_only() {
+        let router = Router::new();
+        let rx = router.register(7, 4);
+        assert!(router.deliver(partial(7, 0)));
+        assert!(!router.deliver(partial(8, 0)), "unknown query id");
+        let got = rx.recv().unwrap();
+        assert_eq!(got.op(), "partial");
+        router.unregister(7);
+        assert!(!router.deliver(partial(7, 1)), "after unregister");
+    }
+
+    #[test]
+    fn router_sheds_instead_of_blocking_when_full() {
+        let router = Router::new();
+        let _rx = router.register(1, 1);
+        assert!(router.deliver(partial(1, 0)));
+        assert!(!router.deliver(partial(1, 1)), "channel is full");
+    }
+
+    #[test]
+    fn router_ignores_non_partial_frames() {
+        let router = Router::new();
+        let _rx = router.register(1, 4);
+        assert!(!router.deliver(MeshMsg::Heartbeat {
+            from: "root".into(),
+            seq: 0
+        }));
+    }
+}

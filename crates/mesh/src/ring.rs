@@ -1,0 +1,167 @@
+//! Consistent-hash ring: the root's shard function.
+//!
+//! Replica sets are placed on a `u64` ring at `vnodes` pseudo-random
+//! points each (finalized FNV-1a of `"{label}#{v}"`); a query key
+//! routes to the owner of the first point at or after its own hash,
+//! wrapping around.
+//! Because each label's points depend only on the label, removing one
+//! replica leaves every other replica's points untouched — only the
+//! removed replica's keys move. The hash is a pure function of bytes,
+//! so every process computes the same routing without coordination.
+
+/// Virtual nodes per label: enough to balance a handful of replicas
+/// within a few percent without bloating the point list.
+pub const VNODES: usize = 64;
+
+/// FNV-1a over a byte string (64-bit offset basis / prime).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 64-bit avalanche finalizer. FNV-1a alone clusters on the short,
+/// nearly-sequential inputs we feed it (`"agg0#17"`, integer keys);
+/// this mix spreads ring points and key hashes uniformly.
+#[must_use]
+pub fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// A ring of labeled points; see the module docs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, label index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    labels: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring over `labels` with [`VNODES`] points each.
+    #[must_use]
+    pub fn new(labels: &[String]) -> Self {
+        Self::with_vnodes(labels, VNODES)
+    }
+
+    /// Builds a ring with an explicit per-label point count.
+    #[must_use]
+    pub fn with_vnodes(labels: &[String], vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(labels.len() * vnodes);
+        for (i, label) in labels.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((mix64(fnv1a(format!("{label}#{v}").as_bytes())), i));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            labels: labels.to_vec(),
+        }
+    }
+
+    /// Routes a key to a label index: the owner of the first ring point
+    /// at or after `fnv1a(key bytes)`, wrapping past the top.
+    ///
+    /// # Panics
+    /// Panics on an empty ring — a validated topology always has at
+    /// least one replica.
+    #[must_use]
+    pub fn route(&self, key: u64) -> usize {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        let h = mix64(fnv1a(&key.to_be_bytes()));
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, owner) = self.points[at % self.points.len()];
+        owner
+    }
+
+    /// The label at `index` (as passed to the constructor).
+    #[must_use]
+    pub fn label(&self, index: usize) -> &str {
+        &self.labels[index]
+    }
+
+    /// Number of labels on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the ring has no labels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|&s| s.to_owned()).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(&labels(&["a", "b", "c"]));
+        for key in 0..1000u64 {
+            let r = ring.route(key);
+            assert!(r < 3);
+            assert_eq!(r, ring.route(key), "key {key} routed unstably");
+        }
+    }
+
+    #[test]
+    fn load_spreads_over_every_label() {
+        let ring = HashRing::new(&labels(&["a", "b", "c", "d"]));
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[ring.route(key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Perfectly even would be 1000; vnode placement keeps every
+            // shard within a loose band of it.
+            assert!(c > 400 && c < 1800, "label {i} got {c}/4000 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_label_only_remaps_its_own_keys() {
+        let full = HashRing::new(&labels(&["a", "b", "c"]));
+        let reduced = HashRing::new(&labels(&["a", "b"]));
+        let mut moved = 0usize;
+        for key in 0..2000u64 {
+            let before = full.label(full.route(key));
+            let after = reduced.label(reduced.route(key));
+            if before == "c" {
+                moved += 1;
+            } else {
+                // Keys owned by surviving labels must not move.
+                assert_eq!(before, after, "key {key} moved off a surviving label");
+            }
+        }
+        assert!(
+            moved > 0,
+            "some keys must have been owned by the removed label"
+        );
+    }
+
+    #[test]
+    fn single_label_takes_everything() {
+        let ring = HashRing::new(&labels(&["only"]));
+        assert_eq!(ring.len(), 1);
+        assert!(!ring.is_empty());
+        for key in [0u64, 7, u64::MAX] {
+            assert_eq!(ring.route(key), 0);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Inter-node frames: the mesh's extension of the cedar-server wire
+//! protocol.
+//!
+//! Every mesh frame travels in the **versioned** framing of
+//! [`cedar_server::proto`] (length, version byte, JSON), so a legacy
+//! client that wanders onto a mesh port gets a typed
+//! `unsupported_version`-style rejection instead of garbage, and the
+//! mesh can evolve its frames behind the version byte. Messages are
+//! internally tagged with `op`, disjoint from the client protocol's
+//! ops, so one listener can serve both families on a single port.
+//!
+//! The conversation on one parent→child connection:
+//!
+//! ```text
+//! parent -> hello { from, role, topology_hash }
+//! child  <- hello_ack { from, ok, error }
+//! parent -> heartbeat { from, seq }          (every heartbeat interval)
+//! child  <- heartbeat_ack { from, seq }
+//! parent -> exec { query_id, tree, deadline, seed, agg_index, ... }
+//! child  <- partial { query_id, origin, payload, value, ... }  (per result)
+//! parent -> retry { query_id, origins }      (watchdog re-execution)
+//! ```
+
+use cedar_runtime::{FailureReport, FaultPlan};
+use cedar_server::proto;
+use cedar_workloads::treedef::TreeDef;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// One realized or censored stage duration, tagged with where it came
+/// from. `level` 0 is the leaf stage; for censored entries `duration`
+/// is the right-censoring threshold (the observer's departure time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Tree stage the observation belongs to (0 = leaves).
+    pub level: usize,
+    /// Global origin id of the observed task.
+    pub origin: usize,
+    /// Realized duration, or the censoring threshold, in model units.
+    pub duration: f64,
+}
+
+/// Every frame that crosses a mesh edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum MeshMsg {
+    /// Topology handshake, sent by the connecting parent first.
+    Hello {
+        /// Sender's node name.
+        from: String,
+        /// Sender's role spelling (informational).
+        role: String,
+        /// [`crate::topology::Topology::hash`] of the sender's config;
+        /// both ends must agree or the link is refused.
+        topology_hash: u64,
+    },
+    /// The child's verdict on a `hello`.
+    HelloAck {
+        /// Responder's node name.
+        from: String,
+        /// Whether the link is accepted.
+        ok: bool,
+        /// Refusal reason when not ok.
+        error: Option<String>,
+    },
+    /// Liveness probe, parent → child.
+    Heartbeat {
+        /// Sender's node name.
+        from: String,
+        /// Monotonic per-link sequence number.
+        seq: u64,
+    },
+    /// Liveness echo, child → parent, same `seq`.
+    HeartbeatAck {
+        /// Responder's node name.
+        from: String,
+        /// The probe's sequence number.
+        seq: u64,
+    },
+    /// Query dispatch, parent → child (root → agg, agg → worker).
+    Exec {
+        /// Mesh-wide query id, assigned by the root.
+        query_id: u64,
+        /// Sender's node name.
+        from: String,
+        /// Intended recipient; a mismatch means misrouted wiring.
+        target: String,
+        /// Position of the executing aggregator within its replica
+        /// (defines the global origin numbering).
+        agg_index: usize,
+        /// The query's true tree (stage dists and fan-outs).
+        tree: TreeDef,
+        /// End-to-end deadline in model units, measured locally from
+        /// Exec receipt; wire latency manifests as real straggling.
+        deadline: f64,
+        /// Duration-sampling seed; combined with each leaf's global
+        /// origin so every process draws disjoint, reproducible work.
+        seed: u64,
+        /// Fault-injection plan for chaos runs. Injection is a pure
+        /// function of (plan, level, index), so every process accounts
+        /// for the same faults without coordination.
+        fault_plan: Option<FaultPlan>,
+    },
+    /// Watchdog re-execution request, aggregator → worker: re-run the
+    /// named leaf origins of a previously dispatched query once.
+    Retry {
+        /// The query being patched.
+        query_id: u64,
+        /// Sender's node name.
+        from: String,
+        /// Global leaf origins to re-execute.
+        origins: Vec<usize>,
+    },
+    /// A partial result pushed up one edge (leaf result from a worker,
+    /// or an aggregated subtree result from an agg).
+    Partial {
+        /// The query this belongs to.
+        query_id: u64,
+        /// Sender's node name.
+        from: String,
+        /// Global origin id of the producing task.
+        origin: usize,
+        /// Process outputs aggregated into this message.
+        payload: usize,
+        /// Aggregated value over those outputs.
+        value: f64,
+        /// The producer's realized model-time duration.
+        duration: f64,
+        /// Whether this is a speculative re-execution's result.
+        retry: bool,
+        /// Realized stage durations observed in this subtree (refit
+        /// food; workers send an empty list, aggs report their leaves).
+        timings: Vec<StageTiming>,
+        /// Right-censored observations from this subtree.
+        censored: Vec<StageTiming>,
+        /// Runtime failure accounting from this subtree (retries,
+        /// suppressed duplicates, censor counts).
+        failures: FailureReport,
+    },
+}
+
+impl MeshMsg {
+    /// The frame's `op` tag, for logging and metrics.
+    #[must_use]
+    pub fn op(&self) -> &'static str {
+        match self {
+            MeshMsg::Hello { .. } => "hello",
+            MeshMsg::HelloAck { .. } => "hello_ack",
+            MeshMsg::Heartbeat { .. } => "heartbeat",
+            MeshMsg::HeartbeatAck { .. } => "heartbeat_ack",
+            MeshMsg::Exec { .. } => "exec",
+            MeshMsg::Retry { .. } => "retry",
+            MeshMsg::Partial { .. } => "partial",
+        }
+    }
+}
+
+/// Writes one mesh frame in the versioned framing.
+pub fn send<W: Write>(w: &mut W, msg: &MeshMsg) -> io::Result<()> {
+    proto::write_frame_versioned(w, msg)
+}
+
+/// Reads one mesh frame, accepting both framings (a peer of the same
+/// build always sends versioned) and rejecting unknown versions.
+/// Returns `Ok(None)` on clean end-of-stream.
+pub fn recv<R: Read>(r: &mut R) -> io::Result<Option<MeshMsg>> {
+    Ok(proto::read_frame_negotiated(r)?.map(|(_, msg)| msg))
+}
+
+/// Derives the duration-sampling seed for one leaf: a splitmix64 mix of
+/// the query seed and the leaf's global origin. Pure, so the worker
+/// hosting the leaf and any process auditing it agree byte-for-byte.
+#[must_use]
+pub fn leaf_seed(seed: u64, origin: usize) -> u64 {
+    splitmix64(seed ^ splitmix64(0x1eaf_0000_0000_0000 | origin as u64))
+}
+
+/// Derives the duration-sampling seed for an aggregator's own stage.
+#[must_use]
+pub fn agg_seed(seed: u64, origin: usize) -> u64 {
+    splitmix64(seed ^ splitmix64(0xa990_0000_0000_0000 | origin as u64))
+}
+
+/// SplitMix64: tiny, well-mixed, and stable across platforms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_disjoint_from_the_client_protocol() {
+        let client_ops = [
+            proto::OP_QUERY,
+            proto::OP_STATS,
+            proto::OP_PING,
+            proto::OP_SHUTDOWN,
+            proto::OP_METRICS,
+        ];
+        for mesh_op in [
+            "hello",
+            "hello_ack",
+            "heartbeat",
+            "heartbeat_ack",
+            "exec",
+            "retry",
+            "partial",
+        ] {
+            assert!(!client_ops.contains(&mesh_op));
+        }
+    }
+
+    #[test]
+    fn seed_derivations_are_pure_and_distinct() {
+        assert_eq!(leaf_seed(7, 3), leaf_seed(7, 3));
+        assert_ne!(leaf_seed(7, 3), leaf_seed(7, 4));
+        assert_ne!(leaf_seed(7, 3), leaf_seed(8, 3));
+        assert_ne!(leaf_seed(7, 3), agg_seed(7, 3));
+    }
+}

@@ -1,0 +1,442 @@
+//! End-to-end mesh tests: a full 3-level, 7-process topology (1 root,
+//! 2 aggregators, 4 workers × 4 leaves) brought up in-process, queried
+//! through the ordinary client protocol, and degraded both by injected
+//! faults and by actually killing nodes. The point under test is the
+//! acceptance bar: a real dead peer must flow through exactly the same
+//! quality/failure accounting as an injected one.
+
+use cedar_distrib::spec::DistSpec;
+use cedar_mesh::topology::{NodeDef, Role, Topology};
+use cedar_mesh::wire::leaf_seed;
+use cedar_mesh::NodeHandle;
+use cedar_runtime::{FailureReport, FaultPlan, FaultSpec, RecoveryPolicy};
+use cedar_server::Client;
+use cedar_workloads::treedef::{StageDef, TreeDef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpListener;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+const LEAVES_PER_AGG: usize = 8; // 2 workers x 4 processes
+const AGGS: usize = 2;
+const TOTAL: usize = LEAVES_PER_AGG * AGGS;
+const DEADLINE: f64 = 400.0;
+
+/// Runs the mesh tests one at a time. Each spins up a 7-node,
+/// ~35-thread topology; concurrent meshes multiply scheduler jitter
+/// into the wall-clock arrival observations the wait policy refits on,
+/// and these tests assert *exact* accounting. Serializing (plus the
+/// coarse `unit_us` below) keeps skew well under one model unit.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reserves `n` distinct free localhost ports.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind port 0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+/// The 7-node test topology; `replicas` splits the two aggregators
+/// into singleton replica sets.
+fn topo(replicated: bool) -> Topology {
+    let p = free_ports(7);
+    let addr = |i: usize| format!("127.0.0.1:{}", p[i]);
+    let worker = |name: &str, i: usize| NodeDef {
+        name: name.into(),
+        role: Role::Worker,
+        addr: addr(i),
+        children: None,
+        processes: Some(4),
+    };
+    Topology {
+        // Coarse enough that thread-scheduling jitter (single-digit
+        // ms under a loaded test run) stays far below one model unit,
+        // so the online refit never mistakes skew for stragglers.
+        unit_us: Some(2_000),
+        heartbeat_ms: Some(100),
+        miss_limit: Some(3),
+        replicas: replicated.then(|| vec![vec!["agg0".into()], vec!["agg1".into()]]),
+        nodes: vec![
+            NodeDef {
+                name: "root".into(),
+                role: Role::Root,
+                addr: addr(0),
+                children: Some(vec!["agg0".into(), "agg1".into()]),
+                processes: None,
+            },
+            NodeDef {
+                name: "agg0".into(),
+                role: Role::Agg,
+                addr: addr(1),
+                children: Some(vec!["w0".into(), "w1".into()]),
+                processes: None,
+            },
+            NodeDef {
+                name: "agg1".into(),
+                role: Role::Agg,
+                addr: addr(2),
+                children: Some(vec!["w2".into(), "w3".into()]),
+                processes: None,
+            },
+            worker("w0", 3),
+            worker("w1", 4),
+            worker("w2", 5),
+            worker("w3", 6),
+        ],
+    }
+}
+
+fn tree(k2: usize) -> TreeDef {
+    TreeDef {
+        stages: vec![
+            StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 2.0,
+                    sigma: 0.5,
+                },
+                fanout: LEAVES_PER_AGG,
+            },
+            StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 1.0,
+                    sigma: 0.3,
+                },
+                fanout: k2,
+            },
+        ],
+    }
+}
+
+/// Starts every node (workers, then aggs, then root) and waits until
+/// all parent→child links are established.
+fn start_mesh(topo: &Topology, root_plan: Option<FaultPlan>) -> Vec<NodeHandle> {
+    let mut handles = Vec::new();
+    for role in [Role::Worker, Role::Agg, Role::Root] {
+        for node in &topo.nodes {
+            if node.role == role {
+                let plan = if role == Role::Root {
+                    root_plan.clone()
+                } else {
+                    None
+                };
+                handles.push(
+                    cedar_mesh::start(topo.clone(), &node.name, plan)
+                        .unwrap_or_else(|e| panic!("starting {}: {e}", node.name)),
+                );
+            }
+        }
+    }
+    let ready_by = Instant::now() + Duration::from_secs(10);
+    while handles.iter().any(|h| h.peers_up() < h.peers_total()) {
+        assert!(Instant::now() < ready_by, "mesh never became ready");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handles
+}
+
+fn shutdown_all(handles: Vec<NodeHandle>) {
+    for h in &handles {
+        h.stop();
+    }
+    for h in handles {
+        h.join();
+    }
+}
+
+fn root_client(topo: &Topology) -> Client {
+    Client::connect(&topo.root().addr).expect("connect to root")
+}
+
+/// Reads an un-labeled counter's value out of Prometheus text.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found"))
+}
+
+#[test]
+fn clean_mesh_answers_at_full_quality_and_deterministically() {
+    let _mesh = serial();
+    let topo = topo(false);
+    let handles = start_mesh(&topo, None);
+    let mut client = root_client(&topo);
+    assert!(client.ping().expect("ping").ok);
+
+    let tree = tree(AGGS);
+    let first = client
+        .query(&tree, Some(DEADLINE), Some(42))
+        .expect("query");
+    assert!(first.ok, "query failed: {:?}", first.error);
+    let result = first.result.expect("result");
+    assert_eq!(result.total_processes, TOTAL);
+    assert_eq!(result.included_outputs, TOTAL, "a clean mesh loses nothing");
+    assert!((result.quality - 1.0).abs() < f64::EPSILON);
+    assert!((result.value_sum - TOTAL as f64).abs() < 1e-9);
+    let report = result.failures.expect("failure report");
+    assert!(report.is_clean(), "clean run reported failures: {report:?}");
+
+    // Identical seed, identical answer: every duration is a pure
+    // function of (seed, origin), across processes.
+    let second = client
+        .query(&tree, Some(DEADLINE), Some(42))
+        .expect("query again");
+    let again = second.result.expect("result");
+    assert!((again.quality - result.quality).abs() < f64::EPSILON);
+    assert!((again.value_sum - result.value_sum).abs() < 1e-9);
+
+    // Counters reconcile: the root served and completed both queries.
+    let stats = client.stats().expect("stats").stats.expect("stats body");
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.served_total, 2);
+    let metrics = client.metrics().expect("metrics").metrics.expect("text");
+    assert!((metric(&metrics, "cedar_mesh_queries_total") - 2.0).abs() < f64::EPSILON);
+    assert!((metric(&metrics, "cedar_queries_total") - 2.0).abs() < f64::EPSILON);
+
+    shutdown_all(handles);
+}
+
+#[test]
+fn non_root_nodes_refuse_queries_and_unknown_ops_are_typed() {
+    let _mesh = serial();
+    let topo = topo(false);
+    let handles = start_mesh(&topo, None);
+
+    let agg_addr = &topo.node("agg0").expect("agg0").addr;
+    let mut agg = Client::connect(agg_addr).expect("connect to agg");
+    let resp = agg
+        .query(&tree(AGGS), Some(DEADLINE), Some(1))
+        .expect("query agg");
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.code.as_deref(),
+        Some(cedar_server::proto::ERR_BAD_REQUEST)
+    );
+
+    let mut root = root_client(&topo);
+    let resp = root
+        .request(&cedar_server::proto::Request {
+            op: "no_such_op".into(),
+            tree: None,
+            deadline: None,
+            seed: None,
+            explain: None,
+        })
+        .expect("send unknown op");
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.code.as_deref(),
+        Some(cedar_server::proto::ERR_UNKNOWN_OP)
+    );
+
+    shutdown_all(handles);
+}
+
+/// Picks a chaos seed whose plan actually crashes a useful number of
+/// leaves (deterministic at runtime; no magic constant to go stale).
+fn seed_with_crashes(spec: &FaultSpec) -> (u64, FailureReport) {
+    for seed in 0..1000 {
+        let plan = FaultPlan::new(seed, *spec);
+        let mut planned = FailureReport::default();
+        plan.planned_into(0, 0..TOTAL, &mut planned);
+        plan.planned_into(1, 0..AGGS, &mut planned);
+        if planned.crashed >= 2 && planned.crashed <= TOTAL / 2 {
+            return (seed, planned);
+        }
+    }
+    panic!("no seed under 1000 crashes 2..={} leaves", TOTAL / 2);
+}
+
+#[test]
+fn injected_crashes_account_exactly_without_recovery() {
+    let _mesh = serial();
+    let spec = FaultSpec::crashes(0.25);
+    let (fault_seed, planned) = seed_with_crashes(&spec);
+    let plan = FaultPlan::new(fault_seed, spec).with_recovery(RecoveryPolicy {
+        speculative_retry: false,
+        ..RecoveryPolicy::default()
+    });
+
+    let topo = topo(false);
+    let handles = start_mesh(&topo, Some(plan.clone()));
+    let mut client = root_client(&topo);
+    let resp = client
+        .query(&tree(AGGS), Some(DEADLINE), Some(9))
+        .expect("query");
+    assert!(resp.ok, "query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    let report = result.failures.expect("report");
+
+    // Injection counts are a pure function of the plan; the mesh must
+    // report exactly what the plan schedules.
+    assert_eq!(report.crashed, planned.crashed);
+    assert_eq!(report.hung, 0);
+    assert_eq!(report.straggled, 0);
+
+    // Without recovery, every crashed leaf is one lost output and one
+    // right-censored observation at its aggregator.
+    assert_eq!(result.included_outputs, TOTAL - planned.crashed);
+    let expected_quality = (TOTAL - planned.crashed) as f64 / TOTAL as f64;
+    assert!((result.quality - expected_quality).abs() < f64::EPSILON);
+    assert_eq!(report.censored_observations, planned.crashed);
+    assert_eq!(report.retries_launched, 0);
+
+    shutdown_all(handles);
+}
+
+#[test]
+fn speculative_retries_recover_crashed_leaves() {
+    let _mesh = serial();
+    let spec = FaultSpec::crashes(0.25);
+    let (fault_seed, planned) = seed_with_crashes(&spec);
+    let plan = FaultPlan::new(fault_seed, spec); // default recovery: retries on
+
+    let topo = topo(false);
+    let handles = start_mesh(&topo, Some(plan));
+    let mut client = root_client(&topo);
+    let resp = client
+        .query(&tree(AGGS), Some(DEADLINE), Some(9))
+        .expect("query");
+    assert!(resp.ok, "query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    let report = result.failures.expect("report");
+
+    assert_eq!(
+        report.crashed, planned.crashed,
+        "injection accounting unchanged"
+    );
+    assert!(
+        report.retries_launched > 0,
+        "watchdog never fired: {report:?}"
+    );
+    assert!(report.retries_delivered > 0, "no retry landed: {report:?}");
+    // The generous deadline leaves room for every re-execution, so
+    // recovery restores what the crashes took.
+    assert!(
+        result.included_outputs > TOTAL - planned.crashed,
+        "retries recovered nothing: {result:?}"
+    );
+
+    shutdown_all(handles);
+}
+
+#[test]
+fn a_dead_aggregator_degrades_quality_like_an_injected_crash() {
+    let _mesh = serial();
+    let topo = topo(false);
+    let mut handles = start_mesh(&topo, None);
+
+    // Kill agg0 for real (its process, not an injection).
+    let idx = handles
+        .iter()
+        .position(|h| h.name() == "agg0")
+        .expect("agg0 handle");
+    handles.remove(idx).shutdown();
+
+    // Wait for the root's failure detector (missed heartbeats) to see it.
+    let root = handles.iter().find(|h| h.name() == "root").expect("root");
+    let noticed_by = Instant::now() + Duration::from_secs(10);
+    while root.peers_up() != 1 {
+        assert!(
+            Instant::now() < noticed_by,
+            "root never noticed the dead agg"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut client = root_client(&topo);
+    let resp = client
+        .query(&tree(AGGS), Some(DEADLINE), Some(5))
+        .expect("query");
+    assert!(resp.ok, "query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    let report = result.failures.expect("report");
+
+    // Exactly the surviving subtree answers; the dead aggregator is
+    // charged as a real crash in the same ledger injections use.
+    assert_eq!(result.included_outputs, LEAVES_PER_AGG);
+    assert!((result.quality - 0.5).abs() < f64::EPSILON);
+    assert!(report.crashed >= 1, "dead agg not charged: {report:?}");
+
+    shutdown_all(handles);
+}
+
+#[test]
+fn replicas_shard_queries_by_consistent_hash() {
+    let _mesh = serial();
+    let topo = topo(true);
+    let handles = start_mesh(&topo, None);
+    let mut client = root_client(&topo);
+
+    // Replicated topology: each query runs on ONE aggregator (k2 = 1).
+    let tree = tree(1);
+    for seed in 0..20 {
+        let resp = client
+            .query(&tree, Some(DEADLINE), Some(seed))
+            .expect("query");
+        assert!(resp.ok, "seed {seed} failed: {:?}", resp.error);
+        let result = resp.result.expect("result");
+        assert_eq!(result.total_processes, LEAVES_PER_AGG);
+        // This test pins WHERE queries run, not the wait policy. The
+        // online refit may legitimately fold early on a noisy
+        // 3-sample estimate for an unvetted seed, so hold the quality
+        // ledger (quality == included/total) rather than exactly 1.0;
+        // the vetted-seed full-quality case lives in
+        // `clean_mesh_answers_at_full_quality_and_deterministically`.
+        let ledger = result.included_outputs as f64 / LEAVES_PER_AGG as f64;
+        assert!(
+            (result.quality - ledger).abs() < f64::EPSILON,
+            "seed {seed}: {result:?}"
+        );
+        assert!(
+            result.included_outputs >= 3,
+            "seed {seed} folded before min_samples: {result:?}"
+        );
+    }
+
+    // Both shards took traffic: 20 seeds all landing on one replica
+    // would mean the ring is not spreading keys.
+    let mut exec_counts = Vec::new();
+    for agg in ["agg0", "agg1"] {
+        let addr = &topo.node(agg).expect("agg def").addr;
+        let mut c = Client::connect(addr).expect("connect agg");
+        let text = c.metrics().expect("metrics").metrics.expect("text");
+        exec_counts.push(metric(&text, "cedar_mesh_execs_total"));
+    }
+    assert!(
+        exec_counts.iter().all(|&c| c > 0.0),
+        "one replica never executed: {exec_counts:?}"
+    );
+    assert!(
+        (exec_counts[0] + exec_counts[1] - 20.0).abs() < f64::EPSILON,
+        "execs across shards must sum to the query count: {exec_counts:?}"
+    );
+
+    shutdown_all(handles);
+}
+
+#[test]
+fn leaf_durations_are_origin_pure_across_the_wire() {
+    // The engine-side invariant the mesh relies on: the duration a
+    // worker samples for (seed, origin) equals what any auditor
+    // computes from the same pure inputs.
+    let tree = tree(AGGS);
+    let spec_tree = tree.build().expect("tree builds");
+    let dist = &spec_tree.stage(0).dist;
+    for origin in 0..TOTAL {
+        let a = dist.sample(&mut StdRng::seed_from_u64(leaf_seed(42, origin)));
+        let b = dist.sample(&mut StdRng::seed_from_u64(leaf_seed(42, origin)));
+        assert!((a - b).abs() < f64::EPSILON, "origin {origin} not pure");
+    }
+}

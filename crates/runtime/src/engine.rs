@@ -19,20 +19,10 @@ use std::time::Duration;
 use tokio::sync::mpsc;
 use tokio::time::Instant;
 
-/// A partial result flowing up the tree: how many process outputs it
-/// carries and their aggregated value. `origin` identifies the sending
-/// task globally (workers `0..W`, then aggregators level by level) so
-/// receivers can suppress duplicate arrivals; `duration` is the sender's
-/// realized model-time duration (what refit should learn from); `retry`
-/// marks a speculative re-execution launched by a watchdog.
-#[derive(Debug, Clone, Copy)]
-struct PartialResult {
-    payload: usize,
-    value: f64,
-    origin: usize,
-    duration: f64,
-    retry: bool,
-}
+/// The engine's channel-send boundary type, shared with the mesh's
+/// remote child adapter so a partial result decoded off a socket flows
+/// through the identical aggregation path as a local one.
+use crate::remote::Arrival as PartialResult;
 
 /// Chaos state shared by every task of one query.
 struct ChaosShared {

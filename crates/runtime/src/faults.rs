@@ -264,6 +264,30 @@ impl FaultPlan {
         splitmix64(self.seed ^ 0x5EED_FA17 ^ splitmix64(index as u64 | 1 << 48))
     }
 
+    /// Folds the faults this plan will inject across `indices` of
+    /// `level` into `report`. Because injection is a pure function of
+    /// `(seed, level, index)`, any process holding the plan can account
+    /// for faults scheduled in another process without hearing from it
+    /// — the mesh root uses this to keep `FailureReport` reconciliation
+    /// exact even when the faulted peer's own report never arrives.
+    pub fn planned_into(
+        &self,
+        level: usize,
+        indices: std::ops::Range<usize>,
+        report: &mut FailureReport,
+    ) {
+        for index in indices {
+            match self.fault_for(level, index) {
+                Some(FaultKind::CrashBeforeSend) => report.crashed += 1,
+                Some(FaultKind::Hang) => report.hung += 1,
+                Some(FaultKind::Straggle { .. }) => report.straggled += 1,
+                Some(FaultKind::DropMessage) => report.dropped += 1,
+                Some(FaultKind::DuplicateMessage) => report.duplicated += 1,
+                None => {}
+            }
+        }
+    }
+
     /// Serializes the plan as JSON.
     pub fn to_json(&self) -> String {
         // cedar-lint: allow(L4): FaultPlan is plain data (no maps with non-string keys, no custom Serialize); serde_json cannot fail on it
@@ -312,6 +336,22 @@ impl FailureReport {
     /// `true` when nothing abnormal happened (the clean-run report).
     pub fn is_clean(&self) -> bool {
         *self == Self::default()
+    }
+
+    /// Folds another report into this one, field by field. Mesh roots
+    /// use this to merge the per-subtree reports carried by partial
+    /// result frames into one end-to-end account, so a distributed
+    /// query reconciles exactly like a single-process one.
+    pub fn absorb(&mut self, other: &Self) {
+        self.crashed += other.crashed;
+        self.hung += other.hung;
+        self.straggled += other.straggled;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.retries_launched += other.retries_launched;
+        self.retries_delivered += other.retries_delivered;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.censored_observations += other.censored_observations;
     }
 
     /// `true` when a decision trace's aggregate counters agree with this
@@ -518,5 +558,54 @@ mod tests {
         assert_eq!(report.total_injected(), 2);
         assert!(!report.is_clean());
         assert!(FailureReport::default().is_clean());
+    }
+
+    #[test]
+    fn absorb_merges_field_by_field() {
+        let mut a = FailureReport {
+            crashed: 1,
+            retries_launched: 2,
+            censored_observations: 3,
+            ..FailureReport::default()
+        };
+        let b = FailureReport {
+            crashed: 2,
+            hung: 1,
+            straggled: 4,
+            dropped: 1,
+            duplicated: 1,
+            retries_launched: 1,
+            retries_delivered: 1,
+            duplicates_suppressed: 1,
+            censored_observations: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.crashed, 3);
+        assert_eq!(a.hung, 1);
+        assert_eq!(a.straggled, 4);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.duplicated, 1);
+        assert_eq!(a.retries_launched, 3);
+        assert_eq!(a.retries_delivered, 1);
+        assert_eq!(a.duplicates_suppressed, 1);
+        assert_eq!(a.censored_observations, 5);
+        // Absorbing a clean report is the identity.
+        let before = a;
+        a.absorb(&FailureReport::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn planned_counts_match_per_index_injection() {
+        let plan = FaultPlan::new(11, FaultSpec::mixed(0.6));
+        let mut planned = FailureReport::default();
+        plan.planned_into(0, 0..64, &mut planned);
+        let by_hand = (0..64).filter_map(|i| plan.fault_for(0, i)).count();
+        assert_eq!(planned.total_injected(), by_hand);
+        assert!(planned.total_injected() > 0);
+        // workers_only plans schedule nothing at aggregator levels.
+        let mut upper = FailureReport::default();
+        plan.planned_into(1, 0..8, &mut upper);
+        assert!(upper.is_clean() || !plan.spec().workers_only);
     }
 }

@@ -28,6 +28,7 @@
 mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod remote;
 mod scale;
 pub mod service;
 
@@ -36,5 +37,6 @@ pub use engine::{
 };
 pub use faults::{FailureReport, FaultKind, FaultPlan, FaultSpec, RecoveryPolicy};
 pub use metrics::RuntimeMetrics;
+pub use remote::{aggregate_remote, Arrival, RemoteAggConfig, RemoteAggOutcome};
 pub use scale::TimeScale;
 pub use service::{AggregationService, QueryOptions, ServiceConfig};

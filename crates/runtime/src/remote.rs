@@ -1,0 +1,335 @@
+//! Remote child adapter: the engine's aggregation loop, driven by
+//! arrivals that crossed a process boundary.
+//!
+//! The in-process engine wires workers to aggregators through bounded
+//! channels and injects faults at the channel-send boundary. A mesh
+//! node replays exactly that shape: network reader threads push each
+//! decoded partial-result frame into the same kind of channel as an
+//! [`Arrival`], and [`aggregate_remote`] runs the identical policy
+//! state machine (initial wait, per-arrival re-estimate, timer re-arm,
+//! early departure) over it. A dead or straggling *real* peer therefore
+//! degrades quality through the same code path as an injected one:
+//! missing children are right-censored at departure, duplicates are
+//! suppressed by origin, and a watchdog hook lets the caller launch
+//! speculative retries across the wire.
+
+use crate::scale::TimeScale;
+use cedar_core::{AggregatorAction, AggregatorState, PolicyContext, WaitPolicyKind};
+use cedar_estimate::Model;
+use std::collections::HashSet;
+use std::ops::Range;
+use tokio::sync::mpsc;
+use tokio::time::Instant;
+
+/// A partial result flowing up the tree: how many process outputs it
+/// carries and their aggregated value. `origin` identifies the sending
+/// task globally (workers `0..W`, then aggregators level by level) so
+/// receivers can suppress duplicate arrivals; `duration` is the
+/// sender's realized model-time duration (what refit should learn
+/// from); `retry` marks a speculative re-execution launched by a
+/// watchdog. This is the engine's channel-send boundary type; mesh
+/// frames decode into it so remote children are indistinguishable from
+/// local ones past the socket.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Process outputs aggregated into this message.
+    pub payload: usize,
+    /// Aggregated value over those outputs.
+    pub value: f64,
+    /// Global origin id of the sender.
+    pub origin: usize,
+    /// The sender's realized model-time duration.
+    pub duration: f64,
+    /// Whether this is a speculative re-execution's result.
+    pub retry: bool,
+}
+
+/// Configuration for one remotely-fed aggregation pass.
+pub struct RemoteAggConfig {
+    /// This aggregator's policy context (from
+    /// [`cedar_core::PreparedContexts::for_query`]).
+    pub ctx: PolicyContext,
+    /// Wait policy family to instantiate.
+    pub kind: WaitPolicyKind,
+    /// Distribution family the online estimator assumes.
+    pub model: Model,
+    /// Model-to-wall time mapping.
+    pub scale: TimeScale,
+    /// Global origin ids of the children expected to arrive.
+    pub expected: Range<usize>,
+    /// Query start on this node; model time is measured from here.
+    pub start: Instant,
+    /// Watchdog timeout in model units, if speculative retries are on:
+    /// when it fires with children still missing, the caller's hook
+    /// receives their origins (exactly once).
+    pub watchdog: Option<f64>,
+}
+
+/// What one remote aggregation pass produced.
+#[derive(Debug, Clone)]
+pub struct RemoteAggOutcome {
+    /// Process outputs aggregated before departure.
+    pub payload: usize,
+    /// Aggregated value over those outputs.
+    pub value: f64,
+    /// Distinct children that arrived in time.
+    pub received: usize,
+    /// Children that were expected.
+    pub expected: usize,
+    /// Departure time in model units.
+    pub departed_at: f64,
+    /// Delivered `(origin, duration)` observations from the stage
+    /// below, in arrival order — refit food.
+    pub observed: Vec<(usize, f64)>,
+    /// Origins still missing at departure; each is right-censored at
+    /// [`departed_at`](Self::departed_at).
+    pub censored: Vec<usize>,
+    /// Arrivals dropped because their origin had already been counted
+    /// (injected duplicates, or a retry racing its original).
+    pub duplicates_suppressed: usize,
+    /// Delivered arrivals that were speculative re-executions.
+    pub retries_delivered: usize,
+}
+
+/// Runs Pseudocode 1 over a channel of remote arrivals: collect, let
+/// the policy revise the timer, depart on timer expiry or full
+/// collection. Duplicate origins are suppressed; children missing when
+/// the watchdog fires are handed to `on_watchdog` so the caller can
+/// re-execute them across the wire; children missing at departure come
+/// back in [`RemoteAggOutcome::censored`].
+pub async fn aggregate_remote(
+    cfg: RemoteAggConfig,
+    mut rx: mpsc::Receiver<Arrival>,
+    mut on_watchdog: impl FnMut(&[usize]) + Send,
+) -> RemoteAggOutcome {
+    let RemoteAggConfig {
+        ctx,
+        kind,
+        model,
+        scale,
+        expected,
+        start,
+        watchdog,
+    } = cfg;
+    let mut state = AggregatorState::new(kind.instantiate(ctx.fanout, model), ctx);
+    let w0 = state.start();
+    let mut timer = start + scale.to_wall(w0);
+    let mut watchdog_at = watchdog.map(|w| start + scale.to_wall(w));
+    let mut payload = 0usize;
+    let mut value = 0.0f64;
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut observed: Vec<(usize, f64)> = Vec::new();
+    let mut duplicates_suppressed = 0usize;
+    let mut retries_delivered = 0usize;
+    loop {
+        // The vendored select! has exactly two arms, so the watchdog
+        // shares the timer arm: sleep until whichever is earlier and
+        // dispatch on which one is due.
+        let wake = match watchdog_at {
+            Some(w) if w < timer => w,
+            _ => timer,
+        };
+        tokio::select! {
+            biased;
+            () = tokio::time::sleep_until(wake) => {
+                if wake < timer {
+                    // Watchdog, not the policy timer: hand the caller
+                    // every child still missing, exactly once.
+                    watchdog_at = None;
+                    let missing: Vec<usize> =
+                        expected.clone().filter(|id| !seen.contains(id)).collect();
+                    if !missing.is_empty() {
+                        on_watchdog(&missing);
+                    }
+                    continue;
+                }
+                // The armed instant always mirrors the state machine's
+                // current wait, so this firing is never stale.
+                let _ = state.on_timer(state.timer());
+                break;
+            }
+            msg = rx.recv() => match msg {
+                Some(m) => {
+                    let now_model = scale.to_model(start.elapsed());
+                    if !seen.insert(m.origin) {
+                        duplicates_suppressed += 1;
+                        continue;
+                    }
+                    if m.retry {
+                        retries_delivered += 1;
+                    }
+                    observed.push((m.origin, m.duration));
+                    payload += m.payload;
+                    value += m.value;
+                    match state.on_output(now_model) {
+                        AggregatorAction::Depart => break,
+                        AggregatorAction::SetTimer(w) => {
+                            timer = start + scale.to_wall(w);
+                        }
+                    }
+                }
+                // All senders gone: nothing more can arrive.
+                None => break,
+            },
+        }
+    }
+    let departed_at = scale.to_model(start.elapsed());
+    let censored: Vec<usize> = expected.clone().filter(|id| !seen.contains(id)).collect();
+    RemoteAggOutcome {
+        payload,
+        value,
+        received: state.received(),
+        expected: expected.len(),
+        departed_at,
+        observed,
+        censored,
+        duplicates_suppressed,
+        retries_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_core::profile::ProfileConfig;
+    use cedar_core::{PreparedContexts, StageSpec, TreeSpec};
+    use cedar_distrib::LogNormal;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn tree() -> TreeSpec {
+        TreeSpec::two_level(
+            StageSpec::new(LogNormal::new(1.0, 0.6).unwrap(), 4),
+            StageSpec::new(LogNormal::new(1.0, 0.4).unwrap(), 2),
+        )
+    }
+
+    fn ctx(tree: &TreeSpec, deadline: f64) -> PolicyContext {
+        let prepared = PreparedContexts::new(
+            tree,
+            deadline,
+            WaitPolicyKind::Cedar,
+            Model::LogNormal,
+            64,
+            &ProfileConfig::default(),
+        );
+        let mut contexts = prepared.for_query(tree);
+        contexts.remove(0)
+    }
+
+    fn config(deadline: f64, watchdog: Option<f64>) -> RemoteAggConfig {
+        let t = tree();
+        RemoteAggConfig {
+            ctx: ctx(&t, deadline),
+            kind: WaitPolicyKind::Cedar,
+            model: Model::LogNormal,
+            scale: TimeScale::new(Duration::from_micros(50)),
+            expected: 0..4,
+            start: Instant::now(),
+            watchdog,
+        }
+    }
+
+    #[test]
+    fn departs_early_when_every_child_arrives() {
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let outcome = rt.block_on(async {
+            let (tx, rx) = mpsc::channel(8);
+            for origin in 0..4 {
+                tx.send(Arrival {
+                    payload: 1,
+                    value: 1.0,
+                    origin,
+                    duration: 2.0,
+                    retry: false,
+                })
+                .await
+                .unwrap();
+            }
+            aggregate_remote(config(400.0, None), rx, |_| {}).await
+        });
+        assert_eq!(outcome.payload, 4);
+        assert_eq!(outcome.received, 4);
+        assert!(outcome.censored.is_empty());
+        assert_eq!(outcome.duplicates_suppressed, 0);
+        assert!((outcome.value - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censors_missing_children_and_suppresses_duplicates() {
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let outcome = rt.block_on(async {
+            let (tx, rx) = mpsc::channel(8);
+            // Children 0 and 1 arrive (1 twice); 2 and 3 never do.
+            for origin in [0usize, 1, 1] {
+                tx.send(Arrival {
+                    payload: 1,
+                    value: 1.0,
+                    origin,
+                    duration: 2.0,
+                    retry: false,
+                })
+                .await
+                .unwrap();
+            }
+            drop(tx);
+            aggregate_remote(config(60.0, None), rx, |_| {}).await
+        });
+        assert_eq!(outcome.payload, 2);
+        assert_eq!(outcome.duplicates_suppressed, 1);
+        assert_eq!(outcome.censored, vec![2, 3]);
+        assert!(outcome.departed_at > 0.0);
+    }
+
+    #[test]
+    fn watchdog_reports_missing_children_once() {
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired_in = Arc::clone(&fired);
+        let outcome = rt.block_on(async move {
+            let (tx, rx) = mpsc::channel(8);
+            tx.send(Arrival {
+                payload: 1,
+                value: 1.0,
+                origin: 0,
+                duration: 1.0,
+                retry: false,
+            })
+            .await
+            .unwrap();
+            let retry_tx = tx.clone();
+            drop(tx);
+            // Fire the watchdog almost immediately; deliver a "retry"
+            // for one missing child when it does.
+            aggregate_remote(config(200.0, Some(0.5)), rx, move |missing| {
+                fired_in.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(missing, &[1, 2, 3]);
+                let _ = retry_tx.try_send(Arrival {
+                    payload: 1,
+                    value: 1.0,
+                    origin: 1,
+                    duration: 3.0,
+                    retry: true,
+                });
+            })
+            .await
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(outcome.retries_delivered, 1);
+        assert!(outcome.received >= 2);
+        assert_eq!(outcome.censored, vec![2, 3]);
+    }
+}

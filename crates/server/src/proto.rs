@@ -1,8 +1,19 @@
 //! Wire protocol: length-prefixed JSON frames.
 //!
 //! Every message is a 4-byte big-endian length followed by that many
-//! bytes of UTF-8 JSON. Requests carry an `op` discriminator; responses
-//! carry `ok` plus either a payload or an error string.
+//! bytes of payload. Two framings coexist on the wire:
+//!
+//! * **Legacy (version 0):** the payload is bare UTF-8 JSON, so its
+//!   first byte is always `{`. Old clients speak only this.
+//! * **Versioned (version ≥ 1):** the payload is a single version byte
+//!   followed by UTF-8 JSON. The version byte can never be `{` (0x7B),
+//!   which is how the two framings are told apart. Inter-node mesh
+//!   traffic always uses the versioned framing.
+//!
+//! Requests carry an `op` discriminator; responses carry `ok` plus
+//! either a payload or an error string. A reader that sees a version it
+//! does not speak answers with a typed [`ERR_UNSUPPORTED_VERSION`]
+//! error instead of a JSON parse failure.
 //!
 //! ```text
 //! -> { "op": "query", "tree": {...}, "deadline": 1600.0, "seed": 7 }
@@ -17,6 +28,15 @@ use std::io::{self, Read, Write};
 
 /// Upper bound on a single frame, to fail fast on garbage input.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Protocol version spoken by this build's versioned framing. Version
+/// `0` denotes the legacy bare-JSON framing, which has no version byte
+/// and is recognized by its leading `{`.
+pub const PROTO_VERSION: u8 = 1;
+
+/// The byte that opens every legacy (version-0) JSON frame body; a
+/// version byte may never take this value.
+const LEGACY_JSON_OPEN: u8 = b'{';
 
 /// Operation name for query submission.
 pub const OP_QUERY: &str = "query";
@@ -40,6 +60,13 @@ pub const ERR_INTERNAL: &str = "internal";
 pub const ERR_TIMEOUT: &str = "timeout";
 /// Error code: the server is shutting down.
 pub const ERR_UNAVAILABLE: &str = "unavailable";
+/// Error code: the frame carried a protocol version this build does not
+/// speak. The error response itself is sent in the legacy framing so
+/// every client can decode it.
+pub const ERR_UNSUPPORTED_VERSION: &str = "unsupported_version";
+/// Error code: the request's `op` is not one this server understands.
+/// Distinct from [`ERR_BAD_REQUEST`] (a recognized op with bad fields).
+pub const ERR_UNKNOWN_OP: &str = "unknown_op";
 
 /// A client request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -277,11 +304,116 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<T>> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    let text = std::str::from_utf8(&body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf-8: {e}")))?;
-    serde_json::from_str(text)
+    decode_json(&body)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decoding frame: {e}")))
+}
+
+/// One frame as it came off the wire: the negotiated version plus the
+/// still-encoded JSON body. Callers check [`is_supported`] before
+/// [`decode`]-ing, so an unknown version yields a typed error rather
+/// than a parse failure on bytes laid out for a different protocol.
+///
+/// [`is_supported`]: RawFrame::is_supported
+/// [`decode`]: RawFrame::decode
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    /// Frame version: `0` for legacy bare-JSON, else the version byte.
+    pub version: u8,
+    body: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Whether this build can decode the frame's body.
+    #[must_use]
+    pub fn is_supported(&self) -> bool {
+        self.version == 0 || self.version == PROTO_VERSION
+    }
+
+    /// Decodes the JSON body. Call only on supported versions; the
+    /// bytes of an unknown version may not be JSON at all.
+    pub fn decode<T: Deserialize>(&self) -> io::Result<T> {
+        decode_json(&self.body)
+    }
+}
+
+fn decode_json<T: Deserialize>(body: &[u8]) -> io::Result<T> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf-8: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decoding frame: {e}")))
+}
+
+/// Writes one versioned frame: 4-byte length, then [`PROTO_VERSION`],
+/// then the JSON body. Legacy peers reading it fail fast on the version
+/// byte instead of mid-JSON.
+pub fn write_frame_versioned<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encoding frame: {e}")))?;
+    let bytes = body.as_bytes();
+    if bytes.len() + 1 > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let len = (bytes.len() as u32 + 1).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(&[PROTO_VERSION])?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame in either framing without decoding its JSON. A body
+/// opening with `{` is a legacy version-0 frame; anything else is a
+/// versioned frame whose first byte is the version. Returns `Ok(None)`
+/// on a clean end-of-stream at a frame boundary.
+pub fn read_frame_raw<R: Read>(r: &mut R) -> io::Result<Option<RawFrame>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} limit"),
+        ));
+    }
+    if len == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    if body[0] == LEGACY_JSON_OPEN {
+        return Ok(Some(RawFrame { version: 0, body }));
+    }
+    let rest = body.split_off(1);
+    Ok(Some(RawFrame {
+        version: body[0],
+        body: rest,
+    }))
+}
+
+/// Reads one frame in either framing and decodes it, rejecting versions
+/// this build does not speak with an [`io::ErrorKind::Unsupported`]
+/// error. The convenience path for symmetric peers (mesh links) where
+/// both ends are this build; servers facing arbitrary clients should
+/// use [`read_frame_raw`] and answer [`ERR_UNSUPPORTED_VERSION`].
+pub fn read_frame_negotiated<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<(u8, T)>> {
+    match read_frame_raw(r)? {
+        None => Ok(None),
+        Some(raw) if raw.is_supported() => Ok(Some((raw.version, raw.decode()?))),
+        Some(raw) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!(
+                "frame version {} not supported (this build speaks 0 and {PROTO_VERSION})",
+                raw.version
+            ),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +527,77 @@ mod tests {
         write_frame(&mut buf, &req).unwrap();
         let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
         assert_eq!(back.explain, Some(true));
+    }
+
+    #[test]
+    fn versioned_frames_round_trip() {
+        let req = Request::query(TreeDef::example(), Some(800.0), Some(3));
+        let mut buf = Vec::new();
+        write_frame_versioned(&mut buf, &req).unwrap();
+        let raw = read_frame_raw(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(raw.version, PROTO_VERSION);
+        assert!(raw.is_supported());
+        let back: Request = raw.decode().unwrap();
+        assert_eq!(back.op, OP_QUERY);
+        assert_eq!(back.seed, Some(3));
+    }
+
+    #[test]
+    fn raw_reader_detects_legacy_frames_as_version_zero() {
+        let req = Request::ping();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let raw = read_frame_raw(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(raw.version, 0);
+        assert!(raw.is_supported());
+        let back: Request = raw.decode().unwrap();
+        assert_eq!(back.op, OP_PING);
+    }
+
+    #[test]
+    fn unknown_version_is_flagged_not_parsed() {
+        // A future version-9 frame: length, version byte, opaque bytes.
+        let payload = b"\x93binary-not-json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32 + 1).to_be_bytes());
+        buf.push(9);
+        buf.extend_from_slice(payload);
+        let raw = read_frame_raw(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(raw.version, 9);
+        assert!(!raw.is_supported());
+        let err = read_frame_negotiated::<_, Request>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn negotiated_reader_accepts_both_framings() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::ping()).unwrap();
+        write_frame_versioned(&mut buf, &Request::stats()).unwrap();
+        let mut cursor = buf.as_slice();
+        let (v0, first): (u8, Request) = read_frame_negotiated(&mut cursor).unwrap().unwrap();
+        let (v1, second): (u8, Request) = read_frame_negotiated(&mut cursor).unwrap().unwrap();
+        assert_eq!((v0, first.op.as_str()), (0, OP_PING));
+        assert_eq!((v1, second.op.as_str()), (PROTO_VERSION, OP_STATS));
+        let done: Option<(u8, Request)> = read_frame_negotiated(&mut cursor).unwrap();
+        assert!(done.is_none());
+    }
+
+    #[test]
+    fn empty_and_truncated_frames_are_clean_errors() {
+        // Zero-length frame: no room for either framing.
+        let zero = 0u32.to_be_bytes();
+        assert!(read_frame_raw(&mut zero.as_slice()).is_err());
+        // Length promises more bytes than the stream holds.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"\x01{}");
+        assert!(read_frame_raw(&mut buf.as_slice()).is_err());
+        // Body shorter than the length prefix promises.
+        let mut short = Vec::new();
+        short.extend_from_slice(&3u32.to_be_bytes());
+        short.push(1);
+        assert!(read_frame_raw(&mut short.as_slice()).is_err());
     }
 
     #[test]

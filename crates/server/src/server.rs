@@ -114,6 +114,8 @@ struct ServerMetrics {
     errors_internal: Arc<Counter>,
     errors_timeout: Arc<Counter>,
     errors_unavailable: Arc<Counter>,
+    errors_unknown_op: Arc<Counter>,
+    errors_unsupported_version: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -155,6 +157,8 @@ impl ServerMetrics {
             errors_internal: err(proto::ERR_INTERNAL),
             errors_timeout: err(proto::ERR_TIMEOUT),
             errors_unavailable: err(proto::ERR_UNAVAILABLE),
+            errors_unknown_op: err(proto::ERR_UNKNOWN_OP),
+            errors_unsupported_version: err(proto::ERR_UNSUPPORTED_VERSION),
             registry,
             runtime,
         }
@@ -167,7 +171,7 @@ impl ServerMetrics {
             proto::OP_PING => self.requests_ping.inc(),
             proto::OP_METRICS => self.requests_metrics.inc(),
             proto::OP_SHUTDOWN => self.requests_shutdown.inc(),
-            _ => {} // unknown ops surface via the bad_request error class
+            _ => {} // unknown ops surface via the unknown_op error class
         }
     }
 
@@ -178,6 +182,8 @@ impl ServerMetrics {
             Some(proto::ERR_INTERNAL) => self.errors_internal.inc(),
             Some(proto::ERR_TIMEOUT) => self.errors_timeout.inc(),
             Some(proto::ERR_UNAVAILABLE) => self.errors_unavailable.inc(),
+            Some(proto::ERR_UNKNOWN_OP) => self.errors_unknown_op.inc(),
+            Some(proto::ERR_UNSUPPORTED_VERSION) => self.errors_unsupported_version.inc(),
             _ => {}
         }
     }
@@ -484,8 +490,8 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             shutdown: &shared.shutdown,
             deadline: clock::now() + shared.idle_timeout,
         };
-        let req: Request = match proto::read_frame(&mut reader) {
-            Ok(Some(req)) => req,
+        let raw = match proto::read_frame_raw(&mut reader) {
+            Ok(Some(raw)) => raw,
             Ok(None) => return, // clean EOF
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // The frame was consumed whole; the stream is still
@@ -499,15 +505,55 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             }
             Err(_) => return, // shutdown tick, idle timeout, or I/O error
         };
+        // Answer unknown-version frames in the legacy framing, which
+        // every client decodes, with a typed error instead of the JSON
+        // parse failure the body would otherwise produce.
+        if !raw.is_supported() {
+            let resp = Response::err_code(
+                proto::ERR_UNSUPPORTED_VERSION,
+                format!(
+                    "unsupported protocol version {} (this server speaks 0 and {})",
+                    raw.version,
+                    proto::PROTO_VERSION
+                ),
+            );
+            shared.metrics.on_response(&resp);
+            if proto::write_frame(&mut &stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
+        let req: Request = match raw.decode() {
+            Ok(req) => req,
+            Err(e) => {
+                let resp = Response::err_code(proto::ERR_BAD_REQUEST, format!("bad request: {e}"));
+                shared.metrics.on_response(&resp);
+                if write_frame_matching(&stream, raw.version, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
         let resp = dispatch(shared, &req);
         shared.metrics.on_response(&resp);
-        if proto::write_frame(&mut &stream, &resp).is_err() {
+        // Reply in the framing the request arrived in.
+        if write_frame_matching(&stream, raw.version, &resp).is_err() {
             return;
         }
         if req.op == proto::OP_SHUTDOWN {
             shared.begin_shutdown();
             return;
         }
+    }
+}
+
+/// Writes `resp` in the framing version the request arrived in, so old
+/// clients keep receiving bare-JSON frames.
+fn write_frame_matching(stream: &TcpStream, version: u8, resp: &Response) -> io::Result<()> {
+    if version == 0 {
+        proto::write_frame(&mut &*stream, resp)
+    } else {
+        proto::write_frame_versioned(&mut &*stream, resp)
     }
 }
 
@@ -522,7 +568,7 @@ fn dispatch(shared: &ServerShared, req: &Request) -> Response {
         proto::OP_STATS => Response::with_stats(collect_stats(shared)),
         proto::OP_METRICS => Response::with_metrics(shared.metrics.render(&shared.gate)),
         proto::OP_QUERY => serve_query(shared, req),
-        other => Response::err_code(proto::ERR_BAD_REQUEST, format!("unknown op {other:?}")),
+        other => Response::err_code(proto::ERR_UNKNOWN_OP, format!("unknown op {other:?}")),
     }
 }
 

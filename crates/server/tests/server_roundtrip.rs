@@ -5,7 +5,7 @@ use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::spec::DistSpec;
 use cedar_distrib::LogNormal;
 use cedar_runtime::{FaultPlan, FaultSpec, ServiceConfig, TimeScale};
-use cedar_server::proto::{self, Request};
+use cedar_server::proto::{self, Request, Response};
 use cedar_server::{AdmissionConfig, Client, Server, ServerConfig};
 use cedar_workloads::treedef::{StageDef, TreeDef};
 use std::io::{Read, Write};
@@ -131,10 +131,44 @@ fn mismatched_tree_shape_is_rejected() {
         })
         .unwrap();
     assert!(!resp.ok);
+    assert_eq!(resp.code.as_deref(), Some(proto::ERR_UNKNOWN_OP));
     assert!(resp.error.unwrap().contains("unknown op"));
 
     // The connection still serves valid requests afterwards.
     assert!(client.ping().unwrap().ok);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn version_negotiation_over_a_live_connection() {
+    let handle = Server::start(fast_server()).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+
+    // A versioned (v1) ping is served and answered in kind.
+    proto::write_frame_versioned(&mut stream, &Request::ping()).unwrap();
+    let (version, resp): (u8, Response) =
+        proto::read_frame_negotiated(&mut stream).unwrap().unwrap();
+    assert_eq!(version, proto::PROTO_VERSION);
+    assert!(resp.ok);
+
+    // A frame from the future gets a typed error in the legacy framing
+    // (readable by any client), and the connection keeps serving.
+    let payload = b"\x07not-json";
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(payload.len() as u32 + 1).to_be_bytes());
+    frame.push(250);
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame).unwrap();
+    let resp: Response = proto::read_frame(&mut stream).unwrap().unwrap();
+    assert!(!resp.ok);
+    assert_eq!(resp.code.as_deref(), Some(proto::ERR_UNSUPPORTED_VERSION));
+
+    // Legacy v0 frames still work on the same connection afterwards.
+    proto::write_frame(&mut stream, &Request::ping()).unwrap();
+    let resp: Response = proto::read_frame(&mut stream).unwrap().unwrap();
+    assert!(resp.ok);
+
+    drop(stream);
     handle.shutdown().unwrap();
 }
 
@@ -276,7 +310,7 @@ fn errors_carry_typed_codes() {
             explain: None,
         })
         .unwrap();
-    assert_eq!(resp.code.as_deref(), Some(proto::ERR_BAD_REQUEST));
+    assert_eq!(resp.code.as_deref(), Some(proto::ERR_UNKNOWN_OP));
 
     let resp = client.query(&TreeDef::example(), None, None).unwrap();
     assert_eq!(resp.code.as_deref(), Some(proto::ERR_BAD_REQUEST));

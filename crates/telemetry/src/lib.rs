@@ -27,7 +27,7 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use trace::{
     FaultClass, QueryTrace, ShipReason, TraceEvent, TraceEventKind, TraceReport, TraceSummary,
 };

@@ -437,6 +437,26 @@ struct Entry {
     metric: Metric,
 }
 
+/// Formats a metric name with one inline Prometheus label:
+/// `labeled("up", "peer", "w0")` → `up{peer="w0"}`. Label values are
+/// sanitized (quotes, backslashes, and newlines escaped) so dynamic
+/// peer names can never corrupt the exposition text. Families that key
+/// series by a runtime-determined dimension — per-peer mesh health,
+/// per-op request counts — build their names through this.
+#[must_use]
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    format!("{name}{{{key}=\"{escaped}\"}}")
+}
+
 /// A bounded collection of named metrics rendered in the Prometheus
 /// text exposition format. Registration is cold-path (mutex); the
 /// handles it returns record without touching the registry.
@@ -552,6 +572,24 @@ mod tests {
         c.inc();
         c.add(41);
         assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn labeled_formats_and_escapes() {
+        assert_eq!(labeled("up", "peer", "w0"), "up{peer=\"w0\"}");
+        assert_eq!(
+            labeled("up", "peer", "a\"b\\c\nd"),
+            "up{peer=\"a\\\"b\\\\c\\nd\"}"
+        );
+        // Labeled series render under one shared HELP/TYPE header.
+        let reg = Registry::new();
+        reg.counter(&labeled("m_total", "peer", "a"), "per-peer")
+            .inc();
+        reg.counter(&labeled("m_total", "peer", "b"), "per-peer");
+        let text = reg.render();
+        assert!(text.contains("m_total{peer=\"a\"} 1"));
+        assert!(text.contains("m_total{peer=\"b\"} 0"));
+        assert_eq!(text.matches("# TYPE m_total counter").count(), 1);
     }
 
     #[test]

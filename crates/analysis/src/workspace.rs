@@ -21,6 +21,7 @@ pub const LIB_CRATES: &[&str] = &[
     "runtime",
     "server",
     "telemetry",
+    "wire",
 ];
 
 /// Crates whose code runs under (or next to) the async engine and must
@@ -36,6 +37,7 @@ pub const CLOCKED_CRATES: &[&str] = &[
     "runtime",
     "server",
     "telemetry",
+    "wire",
 ];
 
 /// Files that *are* the clock abstraction: the one sanctioned home for

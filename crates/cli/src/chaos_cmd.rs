@@ -6,11 +6,15 @@
 //! milliseconds while model time behaves exactly as in deployment.
 
 use crate::args::Args;
-use cedar_core::{StageSpec, TreeSpec};
-use cedar_distrib::LogNormal;
+use cedar_core::TreeSpec;
+use cedar_distrib::spec::DistSpec;
 use cedar_runtime::{
     AggregationService, FailureReport, FaultPlan, FaultSpec, QueryOptions, ServiceConfig,
 };
+use cedar_server::proto::Request;
+use cedar_server::wire2::BinaryCodec;
+use cedar_server::WireFormat;
+use cedar_workloads::treedef::{StageDef, TreeDef};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,6 +40,7 @@ pub fn cmd_chaos(args: &Args) -> Result<(), String> {
     let k1: usize = args.opt_parse("k1", 8)?;
     let k2: usize = args.opt_parse("k2", 4)?;
     let seed: u64 = args.opt_parse("seed", 0xC1A05)?;
+    let wire = WireFormat::parse(args.opt("wire").unwrap_or("json"))?;
     let rates: Vec<f64> = args
         .opt("rates")
         .unwrap_or(DEFAULT_RATES)
@@ -74,19 +79,41 @@ pub fn cmd_chaos(args: &Args) -> Result<(), String> {
 
     println!(
         "chaos sweep: mode {mode}, {queries} queries per rate, \
-         {k1}x{k2} tree, deadline {deadline} model units, seed {seed}"
+         {k1}x{k2} tree, deadline {deadline} model units, seed {seed}, \
+         {} wire (in-process round-trip)",
+        wire.name()
     );
+    // The sweep's tree rides through the selected wire codec before it
+    // runs: the same encode/decode pair a remote client would exercise,
+    // applied in-process so a codec bug shows up as a sweep failure.
+    let wire_tree = round_trip_tree(
+        TreeDef {
+            stages: vec![
+                StageDef {
+                    dist: DistSpec::LogNormal {
+                        mu: 1.0,
+                        sigma: 0.6,
+                    },
+                    fanout: k1,
+                },
+                StageDef {
+                    dist: DistSpec::LogNormal {
+                        mu: 1.0,
+                        sigma: 0.4,
+                    },
+                    fanout: k2,
+                },
+            ],
+        },
+        deadline,
+        wire,
+    )?;
     let scale = cedar_runtime::TimeScale::millis();
     let scaled_deadline = scale.to_wall(deadline);
     let mut points = Vec::with_capacity(rates.len());
     for &rate in &rates {
         let spec = spec_for(rate)?;
-        let tree = || {
-            TreeSpec::two_level(
-                StageSpec::new(LogNormal::new(1.0, 0.6).expect("valid params"), k1),
-                StageSpec::new(LogNormal::new(1.0, 0.4).expect("valid params"), k2),
-            )
-        };
+        let tree = || wire_tree.clone();
         let mut cfg = ServiceConfig::new(tree(), deadline);
         cfg.scale = scale;
         // Fixed priors across the sweep: rates stay comparable, and the
@@ -174,6 +201,29 @@ pub fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Round-trips the sweep's tree through the chosen wire codec (as a
+/// full query request, the way a client would ship it) and materializes
+/// the decoded definition.
+fn round_trip_tree(def: TreeDef, deadline: f64, wire: WireFormat) -> Result<TreeSpec, String> {
+    let req = Request::query(def, Some(deadline), None);
+    let decoded: Request = match wire {
+        WireFormat::Json => {
+            let text = serde_json::to_string(&req).map_err(|e| format!("encoding request: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("decoding request: {e}"))?
+        }
+        WireFormat::Binary => {
+            let mut buf = Vec::new();
+            req.encode_binary(&mut buf);
+            Request::decode_binary(&buf).map_err(|e| format!("decoding request: {e}"))?
+        }
+    };
+    decoded
+        .tree
+        .ok_or_else(|| "round-tripped request lost its tree".to_owned())?
+        .build()
+        .map_err(|e| format!("materializing round-tripped tree: {e:?}"))
+}
+
 /// Sums one query's counters into the running per-rate total.
 fn accumulate(total: &mut FailureReport, one: FailureReport) {
     total.crashed += one.crashed;
@@ -201,6 +251,32 @@ mod tests {
         assert!(dispatch(&sv(&["chaos", "--rates", "0,nope"])).is_err());
         assert!(dispatch(&sv(&["chaos", "--rates", "1.5"])).is_err());
         assert!(dispatch(&sv(&["chaos", "--mode", "meteor", "--queries", "1"])).is_err());
+        assert!(dispatch(&sv(&[
+            "chaos",
+            "--wire",
+            "carrier-pigeon",
+            "--queries",
+            "1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn chaos_runs_over_the_binary_wire() {
+        let argv = sv(&[
+            "chaos",
+            "--wire",
+            "binary",
+            "--rates",
+            "0,0.3",
+            "--queries",
+            "2",
+            "--k1",
+            "3",
+            "--k2",
+            "2",
+        ]);
+        dispatch(&argv).unwrap();
     }
 
     #[test]

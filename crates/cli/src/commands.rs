@@ -36,22 +36,26 @@ USAGE:
       additionally serves Prometheus text over plain HTTP GET.
   cedar-cli loadgen --addr A [--qps Q] [--queries N] [--deadline D]
                     [--k1 N] [--k2 N] [--seed S] [--stop-server BOOL]
-                    [--save-baseline FILE] [--compare-baseline FILE]
-                    [--fail-threshold F]
+                    [--wire json|binary] [--save-baseline FILE]
+                    [--compare-baseline FILE] [--fail-threshold F]
       Open-loop Poisson load against a running service; reports achieved
       QPS, quality distribution and latency percentiles, and scrapes the
-      server's metrics mid-run on a dedicated connection. A baseline
-      file stores the percentile summary as JSON; comparing prints
-      p50/p95/p99 deltas against it and exits non-zero when any latency
-      percentile rises (or quality falls) by more than F (default 0.10)
-      relative to the baseline — the CI gate. Errors are counted per
-      class (using the typed response codes) and excluded from the
-      percentiles.
+      server's metrics mid-run on a dedicated connection. --wire selects
+      the client protocol (default json; binary is the v2 zero-copy
+      framing) — the report prints it and the baseline records it. A
+      baseline file stores the percentile summary as JSON; comparing
+      prints p50/p95/p99 deltas against it and exits non-zero when any
+      latency percentile rises (or quality falls) by more than F
+      (default 0.10) relative to the baseline — the CI gate. Errors are
+      counted per class (using the typed response codes) and excluded
+      from the percentiles.
   cedar-cli chaos [--rates R1,R2,..] [--mode crash|straggle|mixed]
                   [--queries N] [--deadline D] [--k1 N] [--k2 N] [--seed S]
+                  [--wire json|binary]
       Sweep injected failure rates against the cedar policy on a paused
       clock; per rate, reports mean/p10 quality, injected/recovered fault
-      counts and deadline violations.
+      counts and deadline violations. --wire picks the codec the sweep's
+      query tree is round-tripped through before it runs.
   cedar-cli explain [--deadline D] [--k1 N] [--k2 N] [--seed S]
                     [--fault-rate R] [--mode crash|straggle|mixed]
       Run one (optionally chaos-seeded) query with the decision trace on

@@ -42,6 +42,7 @@ fn topo() -> Topology {
         addr: addr(i),
         children: None,
         processes: Some(4),
+        wire: None,
     };
     // 10ms of wall clock per model unit: across real processes, frame
     // transit and decode cost real milliseconds. A finer unit would let
@@ -52,6 +53,7 @@ fn topo() -> Topology {
         unit_us: Some(10_000),
         heartbeat_ms: Some(100),
         miss_limit: Some(3),
+        wire: None,
         replicas: None,
         nodes: vec![
             NodeDef {
@@ -60,6 +62,7 @@ fn topo() -> Topology {
                 addr: addr(0),
                 children: Some(vec!["agg0".into(), "agg1".into()]),
                 processes: None,
+                wire: None,
             },
             NodeDef {
                 name: "agg0".into(),
@@ -67,6 +70,7 @@ fn topo() -> Topology {
                 addr: addr(1),
                 children: Some(vec!["w0".into(), "w1".into()]),
                 processes: None,
+                wire: None,
             },
             NodeDef {
                 name: "agg1".into(),
@@ -74,6 +78,7 @@ fn topo() -> Topology {
                 addr: addr(2),
                 children: Some(vec!["w2".into(), "w3".into()]),
                 processes: None,
+                wire: None,
             },
             worker("w0", 3),
             worker("w1", 4),

@@ -105,12 +105,22 @@ impl ContinuousDist for LogNormal {
         assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
         let mu = self.mu;
         let inv_sigma = 1.0 / self.sigma;
-        for (slot, &t) in out.iter_mut().zip(ts) {
-            *slot = if t <= 0.0 {
-                0.0
-            } else {
-                norm_cdf_fast((t.ln() - mu) * inv_sigma)
-            };
+        const CHUNK: usize = 64;
+        let mut z = [0.0_f64; CHUNK];
+        for (ts_chunk, out_chunk) in ts.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let zs = &mut z[..ts_chunk.len()];
+            for (slot, &t) in zs.iter_mut().zip(ts_chunk) {
+                // Out-of-support points map to -inf, which the CDF
+                // kernel takes to exactly +0.0 — the same value the
+                // scalar guard returns — so one lane path serves the
+                // whole chunk. NaN stays NaN through `ln`.
+                *slot = if t <= 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (t.ln() - mu) * inv_sigma
+                };
+            }
+            cedar_mathx::simd::norm_cdf_fast_slice(zs, out_chunk);
         }
     }
 

@@ -67,15 +67,21 @@ impl ContinuousDist for Mixture {
 
     fn cdf_batch(&self, ts: &[f64], out: &mut [f64]) {
         assert_eq!(ts.len(), out.len(), "cdf_batch slice length mismatch");
-        // One batched pass per component, accumulated in place. Keeps the
-        // same summation order as the scalar `cdf` (component order), so
-        // results agree to rounding of the per-point weighted sum.
+        // One batched pass per component, accumulated in place through a
+        // fixed-size stack scratch chunk (no allocation — this can sit on
+        // the steady-state wait-scan path). Keeps the same summation order
+        // as the scalar `cdf` (component order), so results agree to
+        // rounding of the per-point weighted sum.
         out.fill(0.0);
-        let mut scratch = vec![0.0; ts.len()];
-        for (w, d) in &self.components {
-            d.cdf_batch(ts, &mut scratch);
-            for (slot, &f) in out.iter_mut().zip(&scratch) {
-                *slot += w * f;
+        const CHUNK: usize = 64;
+        let mut scratch = [0.0_f64; CHUNK];
+        for (ts_chunk, out_chunk) in ts.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            for (w, d) in &self.components {
+                let s = &mut scratch[..ts_chunk.len()];
+                d.cdf_batch(ts_chunk, s);
+                for (slot, &f) in out_chunk.iter_mut().zip(s.iter()) {
+                    *slot += w * f;
+                }
             }
         }
     }

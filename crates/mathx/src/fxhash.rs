@@ -1,0 +1,140 @@
+//! FxHash: the multiply-rotate hasher used by rustc's interner maps.
+//!
+//! The hot-path caches (prepared per-tree contexts, order-statistic
+//! tables) are keyed by one or two machine words. `std`'s default
+//! SipHash is a keyed cryptographic PRF — overkill for process-local
+//! caches that never hash attacker-controlled keys — and its setup and
+//! finalization dominate the probe cost for such tiny keys. FxHash
+//! folds each word in with one rotate, one xor and one multiply by a
+//! constant derived from the golden ratio, which is both faster and
+//! inlines to a handful of instructions.
+//!
+//! Not DoS-resistant by design; keep it to process-local keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `2^64 / phi`, the 64-bit golden-ratio multiplier (Knuth's
+/// multiplicative hashing constant, forced odd).
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`]; plug
+/// into `HashMap::with_hasher(FxBuildHasher::default())`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// The Fx multiply-rotate hasher. One word of state; each input word
+/// costs a rotate, an xor and a multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0_u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" + "" and "a" + "b" differ.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        #[allow(clippy::cast_possible_truncation)]
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Unlike RandomState, Fx has no per-process seed.
+        assert_eq!(hash_of(&(7_u64, 42_u64)), hash_of(&(7_u64, 42_u64)));
+        assert_eq!(hash_of(&"cache-key"), hash_of(&"cache-key"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0_u64..64 {
+            for b in 0_u64..64 {
+                assert!(seen.insert(hash_of(&(a, b))), "collision at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_framing_is_not_ambiguous() {
+        // Same concatenated bytes, different split points.
+        assert_ne!(hash_of(&("ab", "")), hash_of(&("a", "b")));
+        assert_ne!(
+            hash_of(&[1_u8, 2, 3].as_slice()),
+            hash_of(&[1_u8, 2].as_slice())
+        );
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: FxHashMap<(u64, u64), usize> = FxHashMap::default();
+        for i in 0..1000_u64 {
+            m.insert((i, i * 31), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(999, 999 * 31)], 999);
+    }
+}

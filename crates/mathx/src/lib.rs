@@ -14,7 +14,11 @@
 //!   memoize the recursive quality profile `q_n(D)`;
 //! - [`kahan`] — compensated summation;
 //! - [`roots`] — bracketed root finding (bisection and Brent), used to
-//!   invert CDFs that have no closed-form quantile.
+//!   invert CDFs that have no closed-form quantile;
+//! - [`simd`] — lane-struct (SIMD-shaped) batch evaluation of the fast
+//!   erf/erfc/normal-CDF kernels, bit-identical to the scalars;
+//! - [`fxhash`] — the FxHash multiply-rotate hasher for small fixed
+//!   keys, used by the hot-path caches instead of SipHash.
 //!
 //! Everything here is implemented from scratch; no external statistics
 //! crates are used. Accuracy targets are documented per function and
@@ -23,11 +27,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fxhash;
 pub mod integrate;
 pub mod kahan;
 pub mod ks;
 pub mod order_stats;
 pub mod roots;
+pub mod simd;
 pub mod special;
 pub mod table;
 

@@ -19,9 +19,9 @@
 //! The crate-level tests cross-check the two and verify the classic
 //! closed-form cases (`k = 2`: `±1/sqrt(pi)`; `k = 3`: `±1.5/sqrt(pi)`).
 
+use crate::fxhash::FxHashMap;
 use crate::integrate::gauss_legendre;
 use crate::special::{ln_gamma, norm_cdf, norm_pdf, norm_quantile, norm_sf};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Expected value of the `i`-th order statistic (1-indexed, `1 <= i <= k`)
@@ -156,9 +156,9 @@ impl NormalOrderStats {
     ///
     /// Panics if `k == 0`.
     pub fn shared(k: usize, method: OrderStatMethod) -> Arc<Self> {
-        type TableCache = Mutex<HashMap<(usize, OrderStatMethod), Arc<NormalOrderStats>>>;
+        type TableCache = Mutex<FxHashMap<(usize, OrderStatMethod), Arc<NormalOrderStats>>>;
         static CACHE: OnceLock<TableCache> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let cache = CACHE.get_or_init(|| Mutex::new(FxHashMap::default()));
         if let Some(hit) = cache
             .lock()
             .expect("order-stat cache poisoned")

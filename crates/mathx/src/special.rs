@@ -60,17 +60,17 @@ pub fn erfc(x: f64) -> f64 {
 // registers (and unroll/vectorize the batch loops built on top).
 
 /// `1 / sqrt(pi)`.
-const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+pub(crate) const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
 
 /// Region boundary: below this `erf` is computed directly.
-const ERF_THRESHOLD: f64 = 0.46875;
+pub(crate) const ERF_THRESHOLD: f64 = 0.46875;
 
 // The coefficient digits below are transcribed verbatim from Cody's
 // published tables; clippy's "excessive precision" lint would have us
 // truncate them to the nearest f64, obscuring the provenance.
 /// Coefficients for `erf(x)`, `|x| <= 0.46875`.
 #[allow(clippy::excessive_precision)]
-const ERF_A: [f64; 5] = [
+pub(crate) const ERF_A: [f64; 5] = [
     3.161_123_743_870_565_6e0,
     1.138_641_541_510_501_6e2,
     3.774_852_376_853_020_2e2,
@@ -78,7 +78,7 @@ const ERF_A: [f64; 5] = [
     1.857_777_061_846_031_5e-1,
 ];
 #[allow(clippy::excessive_precision)]
-const ERF_B: [f64; 4] = [
+pub(crate) const ERF_B: [f64; 4] = [
     2.360_129_095_234_412_1e1,
     2.440_246_379_344_441_7e2,
     1.282_616_526_077_372_3e3,
@@ -87,7 +87,7 @@ const ERF_B: [f64; 4] = [
 
 /// Coefficients for `erfc(x)`, `0.46875 < x <= 4.0`.
 #[allow(clippy::excessive_precision)]
-const ERF_C: [f64; 9] = [
+pub(crate) const ERF_C: [f64; 9] = [
     5.641_884_969_886_700_9e-1,
     8.883_149_794_388_376e0,
     6.611_919_063_714_163e1,
@@ -99,7 +99,7 @@ const ERF_C: [f64; 9] = [
     2.153_115_354_744_038_5e-8,
 ];
 #[allow(clippy::excessive_precision)]
-const ERF_D: [f64; 8] = [
+pub(crate) const ERF_D: [f64; 8] = [
     1.574_492_611_070_983_5e1,
     1.176_939_508_913_125e2,
     5.371_811_018_620_098e2,
@@ -112,7 +112,7 @@ const ERF_D: [f64; 8] = [
 
 /// Coefficients for `erfc(x)`, `x > 4.0`.
 #[allow(clippy::excessive_precision)]
-const ERF_P: [f64; 6] = [
+pub(crate) const ERF_P: [f64; 6] = [
     3.053_266_349_612_323_4e-1,
     3.603_448_999_498_044_4e-1,
     1.257_817_261_112_292_4e-1,
@@ -121,7 +121,7 @@ const ERF_P: [f64; 6] = [
     1.631_538_713_730_209_8e-2,
 ];
 #[allow(clippy::excessive_precision)]
-const ERF_Q: [f64; 5] = [
+pub(crate) const ERF_Q: [f64; 5] = [
     2.568_520_192_289_822_4e0,
     1.872_952_849_923_460_4e0,
     5.279_051_029_514_284e-1,
@@ -145,7 +145,7 @@ fn erf_small(x: f64) -> f64 {
 /// Beyond this `erfc(y)` underflows to zero in f64 (CALERF's `XBIG`).
 /// The early return also keeps `y = +inf` finite: the split-argument
 /// trick below would otherwise produce `inf - inf = NaN`.
-const ERFC_XBIG: f64 = 26.543;
+pub(crate) const ERFC_XBIG: f64 = 26.543;
 
 /// `erfc(y)` for `y > 0.46875`, with the split-argument `exp(-y^2)`
 /// evaluation from CALERF that preserves relative accuracy in the tail.

@@ -50,16 +50,18 @@ use cedar_core::profile::ProfileConfig;
 use cedar_core::{LockExt, Millis, PolicyContext, PreparedContexts, WaitPolicyKind};
 use cedar_distrib::ContinuousDist;
 use cedar_estimate::Model;
+use cedar_mathx::fxhash::FxHashMap;
 use cedar_runtime::{
     aggregate_remote, Arrival, FailureReport, FaultKind, FaultPlan, RemoteAggConfig,
 };
 use cedar_server::proto::{self, QueryResult, Request, Response, ServerStats};
+use cedar_server::WireFormat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -155,6 +157,11 @@ struct NodeInner {
     /// Writer half of the connection our parent holds to us; shared so
     /// heartbeat acks and partial pushes serialize their frames.
     upstream: Mutex<Option<TcpStream>>,
+    /// Encoding our parent's `hello` arrived in; everything we push on
+    /// the upstream connection answers in kind, so a binary parent gets
+    /// binary partials and a JSON parent keeps JSON (mixed-version
+    /// meshes interoperate per link). Stores [`WireFormat`] as a u8.
+    upstream_wire: AtomicU8,
     /// Async runtime for aggregation passes (aggregators only).
     rt: Option<tokio::runtime::Runtime>,
     /// Replica shard ring (root only).
@@ -166,7 +173,7 @@ struct NodeInner {
     completed: AtomicU64,
     served: AtomicU64,
     in_flight: AtomicUsize,
-    prepared: Mutex<HashMap<(u64, String), Arc<PreparedContexts>>>,
+    prepared: Mutex<FxHashMap<(u64, String), Arc<PreparedContexts>>>,
     recent: Mutex<Vec<RecentExec>>,
 }
 
@@ -209,6 +216,7 @@ pub fn start(
                     topology_hash,
                     heartbeat: topology.heartbeat(),
                     miss_limit: topology.miss_limit(),
+                    wire: topology.wire_format_for(&me),
                 },
                 PeerMetrics::register(&metrics.registry, child),
                 Arc::clone(&router),
@@ -239,6 +247,7 @@ pub fn start(
         router,
         links,
         upstream: Mutex::new(None),
+        upstream_wire: AtomicU8::new(wire_to_u8(WireFormat::Json)),
         rt,
         ring,
         groups,
@@ -248,7 +257,7 @@ pub fn start(
         completed: AtomicU64::new(0),
         served: AtomicU64::new(0),
         in_flight: AtomicUsize::new(0),
-        prepared: Mutex::new(HashMap::new()),
+        prepared: Mutex::new(FxHashMap::default()),
         recent: Mutex::new(Vec::new()),
     });
     let acceptor = Arc::clone(&inner);
@@ -263,8 +272,35 @@ pub fn start(
 fn write_matching(stream: &TcpStream, version: u8, resp: &Response) -> io::Result<()> {
     if version == 0 {
         proto::write_frame(&mut &*stream, resp)
+    } else if version == proto::PROTO_VERSION_BINARY {
+        proto::write_frame_binary(&mut &*stream, resp)
     } else {
         proto::write_frame_versioned(&mut &*stream, resp)
+    }
+}
+
+/// The wire format a frame of the given protocol version arrived in.
+fn wire_of_version(version: u8) -> WireFormat {
+    if version == proto::PROTO_VERSION_BINARY {
+        WireFormat::Binary
+    } else {
+        WireFormat::Json
+    }
+}
+
+/// [`WireFormat`] ⇄ `u8`, for the atomic upstream-format cell.
+fn wire_to_u8(wire: WireFormat) -> u8 {
+    match wire {
+        WireFormat::Json => 0,
+        WireFormat::Binary => 1,
+    }
+}
+
+fn wire_from_u8(v: u8) -> WireFormat {
+    if v == 1 {
+        WireFormat::Binary
+    } else {
+        WireFormat::Json
     }
 }
 
@@ -309,9 +345,10 @@ impl NodeInner {
                 let resp = Response::err_code(
                     proto::ERR_UNSUPPORTED_VERSION,
                     format!(
-                        "protocol version {} not supported (this build speaks 0 and {})",
+                        "protocol version {} not supported (this build speaks 0, {} and {})",
                         raw.version,
-                        proto::PROTO_VERSION
+                        proto::PROTO_VERSION,
+                        proto::PROTO_VERSION_BINARY
                     ),
                 );
                 if proto::write_frame(&mut &*stream, &resp).is_err() {
@@ -319,13 +356,13 @@ impl NodeInner {
                 }
                 continue;
             }
-            if let Ok(msg) = raw.decode::<MeshMsg>() {
-                if !self.handle_mesh(msg, stream) {
+            if let Ok(msg) = raw.decode_auto::<MeshMsg>() {
+                if !self.handle_mesh(msg, stream, wire_of_version(raw.version)) {
                     break;
                 }
                 continue;
             }
-            match raw.decode::<Request>() {
+            match raw.decode_auto::<Request>() {
                 Ok(req) => {
                     let shutdown = req.op == proto::OP_SHUTDOWN;
                     let resp = self.handle_request(&req);
@@ -348,7 +385,9 @@ impl NodeInner {
     }
 
     /// Handles one mesh frame; returns `false` to close the connection.
-    fn handle_mesh(self: &Arc<Self>, msg: MeshMsg, stream: &TcpStream) -> bool {
+    /// `wire` is the encoding the frame arrived in; replies answer in
+    /// kind.
+    fn handle_mesh(self: &Arc<Self>, msg: MeshMsg, stream: &TcpStream, wire: WireFormat) -> bool {
         match msg {
             MeshMsg::Hello { topology_hash, .. } => {
                 let ok = topology_hash == self.topo.hash();
@@ -363,13 +402,16 @@ impl NodeInner {
                     }),
                 };
                 if !ok {
-                    let _ = wire::send(&mut &*stream, &ack);
+                    let _ = wire::send_as(&mut &*stream, &ack, wire);
                     return false;
                 }
                 // This connection becomes our upstream: acks and partial
-                // pushes share its write lock from here on.
+                // pushes share its write lock from here on, answering in
+                // whichever encoding the parent's hello used.
                 match stream.try_clone() {
                     Ok(writer) => {
+                        self.upstream_wire
+                            .store(wire_to_u8(wire), Ordering::Release);
                         if let Some(old) = self.upstream.lock().unpoisoned().replace(writer) {
                             let _ = old.shutdown(Shutdown::Both);
                         }
@@ -427,7 +469,8 @@ impl NodeInner {
         let Some(stream) = guard.as_mut() else {
             return false;
         };
-        if wire::send(&mut &*stream, msg).is_err() {
+        let wire = wire_from_u8(self.upstream_wire.load(Ordering::Acquire));
+        if wire::send_as(&mut &*stream, msg, wire).is_err() {
             let _ = stream.shutdown(Shutdown::Both);
             *guard = None;
             return false;

@@ -30,6 +30,7 @@
 //! all aggregators (a single replica).
 
 use cedar_runtime::TimeScale;
+use cedar_server::WireFormat;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::time::Duration;
@@ -83,6 +84,11 @@ pub struct NodeDef {
     pub children: Option<Vec<String>>,
     /// Leaf processes hosted (workers only).
     pub processes: Option<usize>,
+    /// Per-node override of the deployment-wide `wire` format for this
+    /// node's outbound links (`"json"` or `"binary"`). Lets a mesh run
+    /// mixed-version — e.g. a binary root over JSON aggregators —
+    /// because every receiver accepts both encodings.
+    pub wire: Option<String>,
 }
 
 impl NodeDef {
@@ -109,6 +115,11 @@ pub struct Topology {
     /// Consecutive missed heartbeats before a peer is declared down
     /// (default 3).
     pub miss_limit: Option<u32>,
+    /// Wire format this deployment's senders put on mesh links:
+    /// `"json"` (protocol 1, the default) or `"binary"` (protocol 2).
+    /// Receivers accept every supported version regardless, so rolling
+    /// a mesh from one format to the other is safe link by link.
+    pub wire: Option<String>,
     /// Optional replica sets: each inner list names aggregators; the
     /// sets must partition the root's children. Omitted means one
     /// replica containing every aggregator.
@@ -141,6 +152,14 @@ impl Topology {
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("topology has no nodes".into());
+        }
+        if let Some(wire) = &self.wire {
+            WireFormat::parse(wire)?;
+        }
+        for n in &self.nodes {
+            if let Some(wire) = &n.wire {
+                WireFormat::parse(wire).map_err(|e| format!("node {:?}: {e}", n.name))?;
+            }
         }
         let mut names = HashSet::new();
         for n in &self.nodes {
@@ -343,6 +362,28 @@ impl Topology {
         self.miss_limit.unwrap_or(DEFAULT_MISS_LIMIT).max(1)
     }
 
+    /// Wire format this deployment's senders use on mesh links; JSON
+    /// when omitted. [`validate`](Topology::validate) has already
+    /// checked the spelling, so unknown values fall back to JSON here
+    /// rather than panic.
+    #[must_use]
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire
+            .as_deref()
+            .and_then(|w| WireFormat::parse(w).ok())
+            .unwrap_or_default()
+    }
+
+    /// The wire format `node`'s outbound links use: its own override,
+    /// or the deployment-wide [`wire_format`](Topology::wire_format).
+    #[must_use]
+    pub fn wire_format_for(&self, node: &NodeDef) -> WireFormat {
+        node.wire
+            .as_deref()
+            .and_then(|w| WireFormat::parse(w).ok())
+            .unwrap_or_else(|| self.wire_format())
+    }
+
     /// FNV-1a over the canonical JSON encoding: the topology handshake
     /// token. Two processes agree on it iff they loaded byte-identical
     /// configurations (field order is fixed by the struct definitions).
@@ -386,6 +427,7 @@ impl Topology {
             addr: format!("{host}:{}", bump(&mut port)),
             children: Some(agg_names.clone()),
             processes: None,
+            wire: None,
         });
         for (a, agg_name) in agg_names.iter().enumerate() {
             let worker_names: Vec<String> = (0..workers_per_agg)
@@ -397,6 +439,7 @@ impl Topology {
                 addr: format!("{host}:{}", bump(&mut port)),
                 children: Some(worker_names.clone()),
                 processes: None,
+                wire: None,
             });
             for w in worker_names {
                 nodes.push(NodeDef {
@@ -405,6 +448,7 @@ impl Topology {
                     addr: format!("{host}:{}", bump(&mut port)),
                     children: None,
                     processes: Some(processes),
+                    wire: None,
                 });
             }
         }
@@ -414,6 +458,7 @@ impl Topology {
             unit_us: None,
             heartbeat_ms: None,
             miss_limit: None,
+            wire: None,
             replicas: (replicas > 1).then_some(groups),
             nodes,
         };
@@ -478,6 +523,7 @@ mod tests {
             addr: "h:9".into(),
             children: Some(vec!["agg0".into()]),
             processes: None,
+            wire: None,
         });
         assert!(topo.validate().is_err());
 

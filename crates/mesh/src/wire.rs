@@ -2,12 +2,18 @@
 //! protocol.
 //!
 //! Every mesh frame travels in the **versioned** framing of
-//! [`cedar_server::proto`] (length, version byte, JSON), so a legacy
-//! client that wanders onto a mesh port gets a typed
+//! [`cedar_server::proto`]: length, version byte, then either JSON
+//! (version 1) or the zero-copy binary layout of
+//! [`cedar_server::wire2`] (version 2, kind bytes `0x10..=0x16`). A
+//! legacy client that wanders onto a mesh port gets a typed
 //! `unsupported_version`-style rejection instead of garbage, and the
-//! mesh can evolve its frames behind the version byte. Messages are
-//! internally tagged with `op`, disjoint from the client protocol's
-//! ops, so one listener can serve both families on a single port.
+//! mesh can evolve its frames behind the version byte. JSON messages
+//! are internally tagged with `op` and binary ones with a kind byte,
+//! both disjoint from the client protocol's, so one listener can serve
+//! both families on a single port in either encoding. Receivers always
+//! accept every supported version; which one a sender puts on the wire
+//! is the topology's `wire` knob, so mixed-version meshes interoperate
+//! link by link.
 //!
 //! The conversation on one parent→child connection:
 //!
@@ -22,10 +28,27 @@
 //! ```
 
 use cedar_runtime::{FailureReport, FaultPlan};
-use cedar_server::proto;
+use cedar_server::wire2::{self, BinaryCodec};
+use cedar_server::{proto, WireFormat};
+use cedar_wire::{Reader, Result as WireResult, WireError, Writer};
 use cedar_workloads::treedef::TreeDef;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
+
+/// Binary kind byte for [`MeshMsg::Hello`].
+pub const KIND_HELLO: u8 = 0x10;
+/// Binary kind byte for [`MeshMsg::HelloAck`].
+pub const KIND_HELLO_ACK: u8 = 0x11;
+/// Binary kind byte for [`MeshMsg::Heartbeat`].
+pub const KIND_HEARTBEAT: u8 = 0x12;
+/// Binary kind byte for [`MeshMsg::HeartbeatAck`].
+pub const KIND_HEARTBEAT_ACK: u8 = 0x13;
+/// Binary kind byte for [`MeshMsg::Exec`].
+pub const KIND_EXEC: u8 = 0x14;
+/// Binary kind byte for [`MeshMsg::Retry`].
+pub const KIND_RETRY: u8 = 0x15;
+/// Binary kind byte for [`MeshMsg::Partial`].
+pub const KIND_PARTIAL: u8 = 0x16;
 
 /// One realized or censored stage duration, tagged with where it came
 /// from. `level` 0 is the leaf stage; for censored entries `duration`
@@ -155,9 +178,232 @@ impl MeshMsg {
     }
 }
 
-/// Writes one mesh frame in the versioned framing.
+impl BinaryCodec for MeshMsg {
+    fn encode_binary(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::new(buf);
+        match self {
+            MeshMsg::Hello {
+                from,
+                role,
+                topology_hash,
+            } => {
+                w.u8(KIND_HELLO);
+                w.str(from);
+                w.str(role);
+                w.uvarint(*topology_hash);
+            }
+            MeshMsg::HelloAck { from, ok, error } => {
+                w.u8(KIND_HELLO_ACK);
+                w.str(from);
+                w.bool(*ok);
+                w.bool(error.is_some());
+                if let Some(e) = error {
+                    w.str(e);
+                }
+            }
+            MeshMsg::Heartbeat { from, seq } => {
+                w.u8(KIND_HEARTBEAT);
+                w.str(from);
+                w.uvarint(*seq);
+            }
+            MeshMsg::HeartbeatAck { from, seq } => {
+                w.u8(KIND_HEARTBEAT_ACK);
+                w.str(from);
+                w.uvarint(*seq);
+            }
+            MeshMsg::Exec {
+                query_id,
+                from,
+                target,
+                agg_index,
+                tree,
+                deadline,
+                seed,
+                fault_plan,
+            } => {
+                w.u8(KIND_EXEC);
+                w.uvarint(*query_id);
+                w.str(from);
+                w.str(target);
+                w.usize(*agg_index);
+                wire2::put_tree(&mut w, tree);
+                w.f64(*deadline);
+                w.uvarint(*seed);
+                // The fault plan is chaos-only configuration with
+                // private fields; it rides as a JSON capsule so clean
+                // hot-path Execs stay byte-for-byte JSON-free.
+                w.bool(fault_plan.is_some());
+                if let Some(plan) = fault_plan {
+                    wire2::put_json_capsule(&mut w, plan);
+                }
+            }
+            MeshMsg::Retry {
+                query_id,
+                from,
+                origins,
+            } => {
+                w.u8(KIND_RETRY);
+                w.uvarint(*query_id);
+                w.str(from);
+                w.usize(origins.len());
+                for origin in origins {
+                    w.usize(*origin);
+                }
+            }
+            MeshMsg::Partial {
+                query_id,
+                from,
+                origin,
+                payload,
+                value,
+                duration,
+                retry,
+                timings,
+                censored,
+                failures,
+            } => {
+                w.u8(KIND_PARTIAL);
+                w.uvarint(*query_id);
+                w.str(from);
+                w.usize(*origin);
+                w.usize(*payload);
+                w.f64(*value);
+                w.f64(*duration);
+                w.bool(*retry);
+                put_timings(&mut w, timings);
+                put_timings(&mut w, censored);
+                wire2::put_failure_report(&mut w, failures);
+            }
+        }
+    }
+
+    fn decode_binary(body: &[u8]) -> WireResult<Self> {
+        let mut r = Reader::new(body);
+        let kind = r.u8()?;
+        let msg = match kind {
+            KIND_HELLO => MeshMsg::Hello {
+                from: r.str()?.to_owned(),
+                role: r.str()?.to_owned(),
+                topology_hash: r.uvarint()?,
+            },
+            KIND_HELLO_ACK => MeshMsg::HelloAck {
+                from: r.str()?.to_owned(),
+                ok: r.bool()?,
+                error: if r.bool()? {
+                    Some(r.str()?.to_owned())
+                } else {
+                    None
+                },
+            },
+            KIND_HEARTBEAT => MeshMsg::Heartbeat {
+                from: r.str()?.to_owned(),
+                seq: r.uvarint()?,
+            },
+            KIND_HEARTBEAT_ACK => MeshMsg::HeartbeatAck {
+                from: r.str()?.to_owned(),
+                seq: r.uvarint()?,
+            },
+            KIND_EXEC => MeshMsg::Exec {
+                query_id: r.uvarint()?,
+                from: r.str()?.to_owned(),
+                target: r.str()?.to_owned(),
+                agg_index: r.usize()?,
+                tree: wire2::read_tree(&mut r)?,
+                deadline: r.f64()?,
+                seed: r.uvarint()?,
+                fault_plan: if r.bool()? {
+                    Some(wire2::read_json_capsule(&mut r)?)
+                } else {
+                    None
+                },
+            },
+            KIND_RETRY => {
+                let query_id = r.uvarint()?;
+                let from = r.str()?.to_owned();
+                let n = r.usize()?;
+                // Each origin takes at least one byte, so a declared
+                // count beyond the remaining bytes is hostile.
+                if n > r.remaining() {
+                    return Err(WireError::LengthOverrun {
+                        declared: n,
+                        available: r.remaining(),
+                    });
+                }
+                let mut origins = Vec::with_capacity(n);
+                for _ in 0..n {
+                    origins.push(r.usize()?);
+                }
+                MeshMsg::Retry {
+                    query_id,
+                    from,
+                    origins,
+                }
+            }
+            KIND_PARTIAL => MeshMsg::Partial {
+                query_id: r.uvarint()?,
+                from: r.str()?.to_owned(),
+                origin: r.usize()?,
+                payload: r.usize()?,
+                value: r.f64()?,
+                duration: r.f64()?,
+                retry: r.bool()?,
+                timings: read_timings(&mut r)?,
+                censored: read_timings(&mut r)?,
+                failures: wire2::read_failure_report(&mut r)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Appends a counted list of [`StageTiming`]s.
+fn put_timings(w: &mut Writer<'_>, timings: &[StageTiming]) {
+    w.usize(timings.len());
+    for t in timings {
+        w.usize(t.level);
+        w.usize(t.origin);
+        w.f64(t.duration);
+    }
+}
+
+/// Reads a counted list written by [`put_timings`].
+fn read_timings(r: &mut Reader<'_>) -> WireResult<Vec<StageTiming>> {
+    let n = r.usize()?;
+    // Each entry takes at least ten bytes (two varints + one f64); a
+    // byte-per-entry bound is enough to refuse hostile counts.
+    if n > r.remaining() {
+        return Err(WireError::LengthOverrun {
+            declared: n,
+            available: r.remaining(),
+        });
+    }
+    let mut timings = Vec::with_capacity(n);
+    for _ in 0..n {
+        timings.push(StageTiming {
+            level: r.usize()?,
+            origin: r.usize()?,
+            duration: r.f64()?,
+        });
+    }
+    Ok(timings)
+}
+
+/// Writes one mesh frame in the versioned JSON framing. Kept as the
+/// spelling for paths that have not negotiated a format; prefer
+/// [`send_as`] where the link's configured format is known.
 pub fn send<W: Write>(w: &mut W, msg: &MeshMsg) -> io::Result<()> {
     proto::write_frame_versioned(w, msg)
+}
+
+/// Writes one mesh frame in the given wire format: versioned JSON
+/// (protocol 1) or binary (protocol 2).
+pub fn send_as<W: Write>(w: &mut W, msg: &MeshMsg, wire: WireFormat) -> io::Result<()> {
+    match wire {
+        WireFormat::Json => proto::write_frame_versioned(w, msg),
+        WireFormat::Binary => proto::write_frame_binary(w, msg),
+    }
 }
 
 /// Reads one mesh frame, accepting both framings (a peer of the same

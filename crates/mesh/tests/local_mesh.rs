@@ -57,6 +57,7 @@ fn topo(replicated: bool) -> Topology {
         addr: addr(i),
         children: None,
         processes: Some(4),
+        wire: None,
     };
     Topology {
         // Coarse enough that thread-scheduling jitter (single-digit
@@ -65,6 +66,7 @@ fn topo(replicated: bool) -> Topology {
         unit_us: Some(2_000),
         heartbeat_ms: Some(100),
         miss_limit: Some(3),
+        wire: None,
         replicas: replicated.then(|| vec![vec!["agg0".into()], vec!["agg1".into()]]),
         nodes: vec![
             NodeDef {
@@ -73,6 +75,7 @@ fn topo(replicated: bool) -> Topology {
                 addr: addr(0),
                 children: Some(vec!["agg0".into(), "agg1".into()]),
                 processes: None,
+                wire: None,
             },
             NodeDef {
                 name: "agg0".into(),
@@ -80,6 +83,7 @@ fn topo(replicated: bool) -> Topology {
                 addr: addr(1),
                 children: Some(vec!["w0".into(), "w1".into()]),
                 processes: None,
+                wire: None,
             },
             NodeDef {
                 name: "agg1".into(),
@@ -87,6 +91,7 @@ fn topo(replicated: bool) -> Topology {
                 addr: addr(2),
                 children: Some(vec!["w2".into(), "w3".into()]),
                 processes: None,
+                wire: None,
             },
             worker("w0", 3),
             worker("w1", 4),
@@ -203,6 +208,53 @@ fn clean_mesh_answers_at_full_quality_and_deterministically() {
     let metrics = client.metrics().expect("metrics").metrics.expect("text");
     assert!((metric(&metrics, "cedar_mesh_queries_total") - 2.0).abs() < f64::EPSILON);
     assert!((metric(&metrics, "cedar_queries_total") - 2.0).abs() < f64::EPSILON);
+
+    shutdown_all(handles);
+}
+
+/// A mixed-version mesh: the root sends binary (protocol 2) frames to
+/// its aggregators, while the aggregators keep JSON (protocol 1) links
+/// to their workers — and a binary client queries the root. Every
+/// receiver dispatches on the version byte, so the deployment must
+/// answer exactly like an all-JSON mesh, down to the deterministic
+/// per-seed answer.
+#[test]
+fn mixed_version_mesh_interops_binary_root_json_aggs() {
+    let _mesh = serial();
+    let mut topo = topo(false);
+    topo.nodes[0].wire = Some("binary".into());
+    topo.validate().expect("wire override validates");
+    let handles = start_mesh(&topo, None);
+
+    let mut client = Client::connect_with(&topo.root().addr, cedar_server::WireFormat::Binary)
+        .expect("connect binary client to root");
+    assert!(client.ping().expect("ping").ok);
+
+    let tree = tree(AGGS);
+    let resp = client
+        .query(&tree, Some(DEADLINE), Some(42))
+        .expect("query over binary wire");
+    assert!(resp.ok, "mixed-version query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    assert_eq!(result.total_processes, TOTAL);
+    assert_eq!(
+        result.included_outputs, TOTAL,
+        "a clean mixed-version mesh loses nothing"
+    );
+    assert!((result.quality - 1.0).abs() < f64::EPSILON);
+    assert!((result.value_sum - TOTAL as f64).abs() < 1e-9);
+    let report = result.failures.expect("failure report");
+    assert!(report.is_clean(), "clean run reported failures: {report:?}");
+
+    // A plain JSON client on the same root must agree answer-for-answer
+    // with the binary one: the wire format cannot leak into results.
+    let mut json_client = root_client(&topo);
+    let twin = json_client
+        .query(&tree, Some(DEADLINE), Some(42))
+        .expect("query over json wire");
+    let twin_result = twin.result.expect("result");
+    assert!((twin_result.quality - result.quality).abs() < f64::EPSILON);
+    assert!((twin_result.value_sum - result.value_sum).abs() < 1e-9);
 
     shutdown_all(handles);
 }

@@ -1,0 +1,177 @@
+//! Property tests for the protocol-2 binary framing, mirroring
+//! `wire_props.rs`: every `MeshMsg` variant must survive a binary
+//! round trip byte-for-byte (floats by bit pattern), truncation and
+//! garbage must fail cleanly, and cross-encoding confusion — a binary
+//! body behind the JSON version byte or vice versa — must error rather
+//! than panic or mis-decode.
+
+use cedar_mesh::wire::{self, MeshMsg};
+use cedar_server::wire2::BinaryCodec;
+use cedar_server::{proto, WireFormat};
+use proptest::prelude::*;
+
+mod common;
+use common::{Gen, VARIANTS};
+
+/// Frames one message in the binary encoding.
+fn send_binary(msg: &MeshMsg) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::send_as(&mut buf, msg, WireFormat::Binary).expect("send into a Vec");
+    buf
+}
+
+proptest! {
+    /// Every variant round-trips exactly through the binary framing,
+    /// and the frame is tagged with the binary protocol version.
+    #[test]
+    fn every_frame_round_trips(variant in 0usize..VARIANTS, seed in 0u64..u64::MAX) {
+        let msg = Gen::new(seed).msg(variant);
+        let buf = send_binary(&msg);
+        // On the wire: 4-byte length, version byte, binary body.
+        prop_assert!(buf.len() > 5);
+        prop_assert_eq!(buf[4], proto::PROTO_VERSION_BINARY);
+        let got = wire::recv(&mut buf.as_slice()).expect("recv what we sent");
+        prop_assert_eq!(got, Some(msg));
+    }
+
+    /// A mixed stream — every variant, alternating binary and JSON
+    /// frames — decodes in order off one connection: the version byte
+    /// dispatches each frame to the right codec.
+    #[test]
+    fn mixed_encoding_streams_decode_in_order(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let msgs: Vec<MeshMsg> = (0..VARIANTS).map(|v| g.msg(v)).collect();
+        let mut buf = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            let wire_fmt = if i % 2 == 0 { WireFormat::Binary } else { WireFormat::Json };
+            wire::send_as(&mut buf, m, wire_fmt).expect("send");
+        }
+        let mut r = buf.as_slice();
+        for m in &msgs {
+            prop_assert_eq!(wire::recv(&mut r).expect("recv"), Some(m.clone()));
+        }
+        prop_assert_eq!(wire::recv(&mut r).expect("clean EOF"), None);
+    }
+
+    /// A binary frame cut anywhere strictly inside it never decodes to
+    /// a message and never panics.
+    #[test]
+    fn truncated_frames_fail_cleanly(
+        variant in 0usize..VARIANTS,
+        seed in 0u64..u64::MAX,
+        frac in 0.0..1.0f64,
+    ) {
+        let msg = Gen::new(seed).msg(variant);
+        let buf = send_binary(&msg);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        let mut r = &buf[..cut];
+        if let Ok(Some(_)) = wire::recv(&mut r) {
+            prop_assert!(false, "decoded a message from a truncated frame");
+        }
+    }
+
+    /// Arbitrary garbage behind the binary version byte errors instead
+    /// of panicking: every malformed body must surface as a typed
+    /// decode error through the io boundary.
+    #[test]
+    fn garbage_binary_bodies_error_not_panic(body in prop::collection::vec(0u8..255, 0..256)) {
+        #[allow(clippy::cast_possible_truncation)]
+        let mut framed = ((body.len() + 1) as u32).to_be_bytes().to_vec();
+        framed.push(proto::PROTO_VERSION_BINARY);
+        framed.extend_from_slice(&body);
+        let mut r = framed.as_slice();
+        match wire::recv(&mut r) {
+            // Short bodies can coincide with a valid encoding (e.g. a
+            // heartbeat with empty name); decoding one is not a defect.
+            Ok(Some(_) | None) | Err(_) => {}
+        }
+    }
+
+    /// Version-byte flips across codecs fail cleanly both ways: a valid
+    /// binary body behind the JSON version byte is a parse error, and a
+    /// valid JSON body behind the binary version byte is a decode
+    /// error (`{` can never be a binary kind byte).
+    #[test]
+    fn flipped_version_bytes_error_not_misdecode(
+        variant in 0usize..VARIANTS,
+        seed in 0u64..u64::MAX,
+    ) {
+        let msg = Gen::new(seed).msg(variant);
+
+        // Binary body, JSON version byte.
+        let mut framed = send_binary(&msg);
+        framed[4] = proto::PROTO_VERSION;
+        prop_assert!(wire::recv(&mut framed.as_slice()).is_err());
+
+        // JSON body, binary version byte.
+        let json = serde_json::to_string(&msg).expect("serialize");
+        #[allow(clippy::cast_possible_truncation)]
+        let mut framed = ((json.len() + 1) as u32).to_be_bytes().to_vec();
+        framed.push(proto::PROTO_VERSION_BINARY);
+        framed.extend_from_slice(json.as_bytes());
+        prop_assert!(wire::recv(&mut framed.as_slice()).is_err());
+    }
+
+    /// The raw body (behind the framing) round-trips through the codec
+    /// trait itself and consumes every byte it produced.
+    #[test]
+    fn bodies_round_trip_with_no_trailing_bytes(
+        variant in 0usize..VARIANTS,
+        seed in 0u64..u64::MAX,
+    ) {
+        let msg = Gen::new(seed).msg(variant);
+        let mut body = Vec::new();
+        msg.encode_binary(&mut body);
+        let back = MeshMsg::decode_binary(&body).expect("decode own encoding");
+        prop_assert_eq!(back, msg);
+    }
+}
+
+/// Non-finite and signed-zero floats survive the binary path by bit
+/// pattern — the property JSON cannot offer (NaN has no JSON spelling).
+#[test]
+fn non_finite_floats_round_trip_bit_exact() {
+    for value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0] {
+        let msg = MeshMsg::Partial {
+            query_id: 1,
+            from: "w0".into(),
+            origin: 0,
+            payload: 1,
+            value,
+            duration: value,
+            retry: false,
+            timings: Vec::new(),
+            censored: Vec::new(),
+            failures: cedar_runtime::FailureReport::default(),
+        };
+        let buf = send_binary(&msg);
+        let got = wire::recv(&mut buf.as_slice()).expect("recv").expect("msg");
+        let MeshMsg::Partial {
+            value: v,
+            duration: d,
+            ..
+        } = got
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(v.to_bits(), value.to_bits());
+        assert_eq!(d.to_bits(), value.to_bits());
+    }
+}
+
+/// Binary frames are materially smaller than their JSON twins on the
+/// hot-path message (an aggregator's partial with timings attached).
+#[test]
+fn binary_partials_are_smaller_than_json() {
+    let msg = Gen::new(7).msg(6); // variant 6 = Partial
+    let binary = send_binary(&msg);
+    let mut json = Vec::new();
+    wire::send_as(&mut json, &msg, WireFormat::Json).expect("send json");
+    assert!(
+        binary.len() * 2 < json.len(),
+        "binary {} bytes vs json {} bytes: expected at least 2x smaller",
+        binary.len(),
+        json.len()
+    );
+}

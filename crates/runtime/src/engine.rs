@@ -232,7 +232,7 @@ pub struct RuntimeOutcome {
 /// (so `value_sum == included_outputs as f64`).
 pub async fn run_query(cfg: &RuntimeConfig, kind: WaitPolicyKind) -> RuntimeOutcome {
     let n = cfg.tree.total_processes();
-    run_query_with_values(cfg, kind, Arc::new(vec![1.0; n])).await
+    run_query_with_values(cfg, kind, crate::pool::ones(n)).await
 }
 
 /// Runs one aggregation query with explicit per-worker partial values

@@ -28,6 +28,7 @@
 mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod pool;
 pub mod remote;
 mod scale;
 pub mod service;
@@ -37,6 +38,7 @@ pub use engine::{
 };
 pub use faults::{FailureReport, FaultKind, FaultPlan, FaultSpec, RecoveryPolicy};
 pub use metrics::RuntimeMetrics;
+pub use pool::{ones, VecPool};
 pub use remote::{aggregate_remote, Arrival, RemoteAggConfig, RemoteAggOutcome};
 pub use scale::TimeScale;
 pub use service::{AggregationService, QueryOptions, ServiceConfig};

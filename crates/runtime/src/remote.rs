@@ -130,24 +130,13 @@ pub async fn aggregate_remote(
             _ => timer,
         };
         tokio::select! {
+            // The channel arm goes first: a result already sitting in
+            // the queue beat the timer in wall time, so it must not be
+            // censored by a concurrently-due timer — and the watchdog
+            // must not speculatively re-execute a child whose answer
+            // is a `recv` away. Tight timers make both races real when
+            // a cold-start wait scan delays the first poll.
             biased;
-            () = tokio::time::sleep_until(wake) => {
-                if wake < timer {
-                    // Watchdog, not the policy timer: hand the caller
-                    // every child still missing, exactly once.
-                    watchdog_at = None;
-                    let missing: Vec<usize> =
-                        expected.clone().filter(|id| !seen.contains(id)).collect();
-                    if !missing.is_empty() {
-                        on_watchdog(&missing);
-                    }
-                    continue;
-                }
-                // The armed instant always mirrors the state machine's
-                // current wait, so this firing is never stale.
-                let _ = state.on_timer(state.timer());
-                break;
-            }
             msg = rx.recv() => match msg {
                 Some(m) => {
                     let now_model = scale.to_model(start.elapsed());
@@ -171,6 +160,23 @@ pub async fn aggregate_remote(
                 // All senders gone: nothing more can arrive.
                 None => break,
             },
+            () = tokio::time::sleep_until(wake) => {
+                if wake < timer {
+                    // Watchdog, not the policy timer: hand the caller
+                    // every child still missing, exactly once.
+                    watchdog_at = None;
+                    let missing: Vec<usize> =
+                        expected.clone().filter(|id| !seen.contains(id)).collect();
+                    if !missing.is_empty() {
+                        on_watchdog(&missing);
+                    }
+                    continue;
+                }
+                // The armed instant always mirrors the state machine's
+                // current wait, so this firing is never stale.
+                let _ = state.on_timer(state.timer());
+                break;
+            }
         }
     }
     let departed_at = scale.to_model(start.elapsed());

@@ -47,7 +47,7 @@ use cedar_core::LockExt;
 use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::{ContinuousDist, DistError};
 use cedar_estimate::Model;
-use std::collections::HashMap;
+use cedar_mathx::fxhash::FxHashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 use tokio::sync::{mpsc, oneshot};
@@ -150,6 +150,11 @@ struct PriorsSnapshot {
     tree: Arc<TreeSpec>,
 }
 
+/// Shells recycled between [`RefitRecord`]s: taken (and refilled with
+/// `clone_from`) on submission, returned by the refit task once the
+/// samples are folded into the history.
+static REFIT_BUFFERS: crate::pool::VecPool<Vec<f64>> = crate::pool::VecPool::new();
+
 /// One completed query's realized durations, acked once recorded.
 struct RefitRecord {
     durations: Vec<Vec<f64>>,
@@ -164,7 +169,9 @@ struct RefitRecord {
 struct ServiceState {
     cfg: ServiceConfig,
     priors: RwLock<PriorsSnapshot>,
-    cache: Mutex<HashMap<(u64, u64), Arc<PreparedContexts>>>,
+    // FxHash, not SipHash: two-word keys probed once per query make
+    // the hasher itself the dominant map cost.
+    cache: Mutex<FxHashMap<(u64, u64), Arc<PreparedContexts>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     completed: AtomicUsize,
@@ -208,7 +215,7 @@ impl AggregationService {
                 tree: Arc::new(cfg.initial_priors.clone()),
             }),
             cfg,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(FxHashMap::default()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             completed: AtomicUsize::new(0),
@@ -273,7 +280,7 @@ impl AggregationService {
         let prepared = self.prepared_contexts(&snapshot, deadline);
 
         let n = true_tree.total_processes();
-        let values = opts.values.unwrap_or_else(|| Arc::new(vec![1.0; n]));
+        let values = opts.values.unwrap_or_else(|| crate::pool::ones(n));
         let cfg = RuntimeConfig {
             tree: true_tree,
             priors: (*snapshot.tree).clone(),
@@ -291,11 +298,18 @@ impl AggregationService {
         let outcome = run_query_prepared(&cfg, state.cfg.policy, values, &prepared).await;
 
         // Stream the durations the engine actually ran with to the refit
-        // task and wait for the record (plus any due refit) to land.
+        // task and wait for the record (plus any due refit) to land. The
+        // copies ride in pooled shells: `clone_from` into a recycled
+        // buffer reuses its outer and inner capacities, so after warmup
+        // the hand-off allocates nothing.
         let (ack_tx, ack_rx) = oneshot::channel();
+        let mut durations = REFIT_BUFFERS.take();
+        durations.clone_from(&outcome.realized_durations);
+        let mut censored = REFIT_BUFFERS.take();
+        censored.clone_from(&outcome.censored_durations);
         let record = RefitRecord {
-            durations: outcome.realized_durations.clone(),
-            censored: outcome.censored_durations.clone(),
+            durations,
+            censored,
             ack: ack_tx,
         };
         if state.refit_tx.send(record).await.is_ok() {
@@ -368,16 +382,25 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecor
         let Some(state) = state.upgrade() else {
             return;
         };
-        if history.len() < record.durations.len() {
-            history.resize(record.durations.len(), Vec::new());
-            censored.resize(record.durations.len(), Vec::new());
+        let RefitRecord {
+            durations: rec_durations,
+            censored: rec_censored,
+            ack,
+        } = record;
+        if history.len() < rec_durations.len() {
+            history.resize(rec_durations.len(), Vec::new());
+            censored.resize(rec_durations.len(), Vec::new());
         }
-        for (h, d) in history.iter_mut().zip(&record.durations) {
+        for (h, d) in history.iter_mut().zip(&rec_durations) {
             h.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
         }
-        for (c, d) in censored.iter_mut().zip(&record.censored) {
+        for (c, d) in censored.iter_mut().zip(&rec_censored) {
             c.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
         }
+        // The shells (and their inner buffers) go back on the shelf for
+        // the next submission.
+        REFIT_BUFFERS.put(rec_durations);
+        REFIT_BUFFERS.put(rec_censored);
         let completed = state.completed.fetch_add(1, Ordering::AcqRel) + 1;
         let interval = state.cfg.refit_interval;
         if interval > 0 && completed % interval == 0 {
@@ -391,7 +414,7 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecor
         }
         // Ack after all bookkeeping so observers see a consistent state
         // as soon as their submission resolves.
-        let _ = record.ack.send(());
+        let _ = ack.send(());
     }
 }
 

@@ -6,25 +6,90 @@ use cedar_workloads::treedef::TreeDef;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
+/// Which encoding a [`Client`] puts on the wire. The server answers in
+/// the framing each request arrived in, so the choice is per-client and
+/// needs no handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Legacy length-prefixed bare JSON (protocol version 0) — what
+    /// every historical client speaks; the default.
+    #[default]
+    Json,
+    /// The zero-copy binary layout of [`crate::wire2`] behind protocol
+    /// version [`proto::PROTO_VERSION_BINARY`].
+    Binary,
+}
+
+impl WireFormat {
+    /// The flag spelling (`json` / `binary`), for reports and baselines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Json => "json",
+            WireFormat::Binary => "binary",
+        }
+    }
+
+    /// Parses the `--wire` flag spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "json" => Ok(WireFormat::Json),
+            "binary" => Ok(WireFormat::Binary),
+            other => Err(format!("unknown wire format {other:?} (json|binary)")),
+        }
+    }
+}
+
 /// One connection to a cedar-server; requests run synchronously in
 /// submission order.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    wire: WireFormat,
+    /// Reused encode scratch so binary requests allocate nothing in
+    /// steady state.
+    buf: Vec<u8>,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server speaking legacy JSON frames.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with(addr, WireFormat::default())
+    }
+
+    /// Connects to a running server speaking the given wire format.
+    pub fn connect_with(addr: impl ToSocketAddrs, wire: WireFormat) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            wire,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The wire format this client sends.
+    #[must_use]
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire
     }
 
     /// Sends one request and waits for its response.
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
-        proto::write_frame(&mut self.stream, req)?;
-        proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+        let resp = match self.wire {
+            WireFormat::Json => {
+                proto::write_frame(&mut self.stream, req)?;
+                proto::read_frame(&mut self.stream)?
+            }
+            WireFormat::Binary => {
+                proto::write_frame_binary_buf(&mut self.stream, req, &mut self.buf)?;
+                match proto::read_frame_raw(&mut self.stream)? {
+                    Some(raw) => Some(raw.decode_auto()?),
+                    None => None,
+                }
+            }
+        };
+        resp.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection before responding",

@@ -7,7 +7,9 @@
 //! serving layer:
 //!
 //! - [`proto`]: the wire protocol — length-prefixed (u32 big-endian)
-//!   JSON frames carrying serde request/response types;
+//!   frames carrying either JSON (versions 0/1) or the hand-rolled
+//!   binary layout of [`wire2`] (version 2);
+//! - [`wire2`]: the zero-copy binary codec behind protocol version 2;
 //! - [`admission`]: a bounded in-flight gate — beyond the cap, requests
 //!   queue for a bounded time and are then shed, so deadline semantics
 //!   stay honest under overload;
@@ -42,7 +44,8 @@ pub mod client;
 pub mod clock;
 pub mod proto;
 pub mod server;
+pub mod wire2;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, Shed};
-pub use client::Client;
+pub use client::{Client, WireFormat};
 pub use server::{Server, ServerConfig, ServerHandle};

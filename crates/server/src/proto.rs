@@ -1,14 +1,17 @@
-//! Wire protocol: length-prefixed JSON frames.
+//! Wire protocol: length-prefixed frames, JSON or binary bodies.
 //!
 //! Every message is a 4-byte big-endian length followed by that many
-//! bytes of payload. Two framings coexist on the wire:
+//! bytes of payload. Three framings coexist on the wire:
 //!
 //! * **Legacy (version 0):** the payload is bare UTF-8 JSON, so its
 //!   first byte is always `{`. Old clients speak only this.
-//! * **Versioned (version ≥ 1):** the payload is a single version byte
-//!   followed by UTF-8 JSON. The version byte can never be `{` (0x7B),
-//!   which is how the two framings are told apart. Inter-node mesh
-//!   traffic always uses the versioned framing.
+//! * **Versioned JSON (version 1):** the payload is a single version
+//!   byte followed by UTF-8 JSON. The version byte can never be `{`
+//!   (0x7B), which is how the two framings are told apart.
+//! * **Binary (version 2):** the payload is the version byte
+//!   [`PROTO_VERSION_BINARY`] followed by the zero-copy binary layout
+//!   of [`crate::wire2`] — kind byte, varints, `f64` bit patterns,
+//!   borrowed length-prefixed views. No JSON is touched on this path.
 //!
 //! Requests carry an `op` discriminator; responses carry `ok` plus
 //! either a payload or an error string. A reader that sees a version it
@@ -29,10 +32,15 @@ use std::io::{self, Read, Write};
 /// Upper bound on a single frame, to fail fast on garbage input.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
-/// Protocol version spoken by this build's versioned framing. Version
-/// `0` denotes the legacy bare-JSON framing, which has no version byte
-/// and is recognized by its leading `{`.
+/// Protocol version spoken by this build's versioned JSON framing.
+/// Version `0` denotes the legacy bare-JSON framing, which has no
+/// version byte and is recognized by its leading `{`.
 pub const PROTO_VERSION: u8 = 1;
+
+/// Protocol version of the zero-copy binary framing ([`crate::wire2`]).
+/// Pinned to the body-layout version of `cedar-wire` so the frame
+/// version byte and the primitive layout can never drift apart.
+pub const PROTO_VERSION_BINARY: u8 = cedar_wire::BINARY_VERSION;
 
 /// The byte that opens every legacy (version-0) JSON frame body; a
 /// version byte may never take this value.
@@ -327,13 +335,30 @@ impl RawFrame {
     /// Whether this build can decode the frame's body.
     #[must_use]
     pub fn is_supported(&self) -> bool {
-        self.version == 0 || self.version == PROTO_VERSION
+        self.version == 0 || self.version == PROTO_VERSION || self.version == PROTO_VERSION_BINARY
     }
 
-    /// Decodes the JSON body. Call only on supported versions; the
-    /// bytes of an unknown version may not be JSON at all.
+    /// Decodes the JSON body. Call only on frames known to carry JSON
+    /// (versions 0 and 1); the bytes of other versions are not JSON.
     pub fn decode<T: Deserialize>(&self) -> io::Result<T> {
         decode_json(&self.body)
+    }
+
+    /// Decodes the body in whichever codec the frame's version selects:
+    /// JSON for versions 0/1, the binary layout for
+    /// [`PROTO_VERSION_BINARY`]. Call only on supported versions.
+    pub fn decode_auto<T: Deserialize + crate::wire2::BinaryCodec>(&self) -> io::Result<T> {
+        if self.version == PROTO_VERSION_BINARY {
+            T::decode_binary(&self.body).map_err(io::Error::from)
+        } else {
+            decode_json(&self.body)
+        }
+    }
+
+    /// The still-encoded frame body (version byte stripped).
+    #[must_use]
+    pub fn body(&self) -> &[u8] {
+        &self.body
     }
 }
 
@@ -397,23 +422,52 @@ pub fn read_frame_raw<R: Read>(r: &mut R) -> io::Result<Option<RawFrame>> {
     }))
 }
 
-/// Reads one frame in either framing and decodes it, rejecting versions
-/// this build does not speak with an [`io::ErrorKind::Unsupported`]
-/// error. The convenience path for symmetric peers (mesh links) where
-/// both ends are this build; servers facing arbitrary clients should
-/// use [`read_frame_raw`] and answer [`ERR_UNSUPPORTED_VERSION`].
-pub fn read_frame_negotiated<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<(u8, T)>> {
+/// Reads one frame in any framing and decodes it with the codec its
+/// version selects (JSON for 0/1, binary for [`PROTO_VERSION_BINARY`]),
+/// rejecting versions this build does not speak with an
+/// [`io::ErrorKind::Unsupported`] error. The convenience path for
+/// symmetric peers (mesh links) where both ends are this build; servers
+/// facing arbitrary clients should use [`read_frame_raw`] and answer
+/// [`ERR_UNSUPPORTED_VERSION`].
+pub fn read_frame_negotiated<R: Read, T: Deserialize + crate::wire2::BinaryCodec>(
+    r: &mut R,
+) -> io::Result<Option<(u8, T)>> {
     match read_frame_raw(r)? {
         None => Ok(None),
-        Some(raw) if raw.is_supported() => Ok(Some((raw.version, raw.decode()?))),
+        Some(raw) if raw.is_supported() => Ok(Some((raw.version, raw.decode_auto()?))),
         Some(raw) => Err(io::Error::new(
             io::ErrorKind::Unsupported,
             format!(
-                "frame version {} not supported (this build speaks 0 and {PROTO_VERSION})",
+                "frame version {} not supported (this build speaks 0, {PROTO_VERSION} and {PROTO_VERSION_BINARY})",
                 raw.version
             ),
         )),
     }
+}
+
+/// Writes one binary frame: 4-byte length, [`PROTO_VERSION_BINARY`],
+/// then the message's [`crate::wire2`] body. Allocates a scratch buffer
+/// per call; steady-state senders should hold a buffer and use
+/// [`write_frame_binary_buf`].
+pub fn write_frame_binary<W: Write, T: crate::wire2::BinaryCodec>(
+    w: &mut W,
+    msg: &T,
+) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(256);
+    write_frame_binary_buf(w, msg, &mut buf)
+}
+
+/// [`write_frame_binary`] with a caller-owned scratch buffer, so a
+/// steady-state sender performs no per-frame allocation once the buffer
+/// has grown to its working size.
+pub fn write_frame_binary_buf<W: Write, T: crate::wire2::BinaryCodec>(
+    w: &mut W,
+    msg: &T,
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    crate::wire2::encode_frame_into(msg, buf)?;
+    w.write_all(buf)?;
+    w.flush()
 }
 
 #[cfg(test)]

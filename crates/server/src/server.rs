@@ -512,9 +512,10 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             let resp = Response::err_code(
                 proto::ERR_UNSUPPORTED_VERSION,
                 format!(
-                    "unsupported protocol version {} (this server speaks 0 and {})",
+                    "unsupported protocol version {} (this server speaks 0, {} and {})",
                     raw.version,
-                    proto::PROTO_VERSION
+                    proto::PROTO_VERSION,
+                    proto::PROTO_VERSION_BINARY
                 ),
             );
             shared.metrics.on_response(&resp);
@@ -523,7 +524,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             }
             continue;
         }
-        let req: Request = match raw.decode() {
+        let req: Request = match raw.decode_auto() {
             Ok(req) => req,
             Err(e) => {
                 let resp = Response::err_code(proto::ERR_BAD_REQUEST, format!("bad request: {e}"));
@@ -548,10 +549,13 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
 }
 
 /// Writes `resp` in the framing version the request arrived in, so old
-/// clients keep receiving bare-JSON frames.
+/// clients keep receiving bare-JSON frames and binary clients get
+/// binary replies.
 fn write_frame_matching(stream: &TcpStream, version: u8, resp: &Response) -> io::Result<()> {
     if version == 0 {
         proto::write_frame(&mut &*stream, resp)
+    } else if version == proto::PROTO_VERSION_BINARY {
+        proto::write_frame_binary(&mut &*stream, resp)
     } else {
         proto::write_frame_versioned(&mut &*stream, resp)
     }

@@ -29,11 +29,28 @@ USAGE:
                   [--queue-timeout-ms MS] [--workers N]
                   [--idle-timeout-ms MS] [--drain-deadline-ms MS]
                   [--query-timeout-ms MS] [--metrics-addr A]
+                  [--checkpoint-dir DIR] [--prior-mu MU] [--prior-sigma S]
+                  [--spill-dir DIR] [--spill-max-entries N]
+                  [--spill-max-disk-bytes B] [--spill-replay-timeout-ms MS]
       Run a network-facing FB-MR aggregation service until a client
       sends the shutdown op. Idle connections are reaped after the idle
       timeout; graceful shutdown detaches stragglers past the drain
       deadline; 0 disables the per-query execution cap. --metrics-addr
       additionally serves Prometheus text over plain HTTP GET.
+      --checkpoint-dir persists the learned priors (and the statistics
+      behind them) on every refit epoch and on graceful shutdown, and
+      warm-restarts from the newest valid checkpoint on boot — a corrupt
+      or missing file degrades to a cold start, never a crash.
+      --prior-mu/--prior-sigma override the initial bottom-stage prior
+      (for warm-vs-cold restart experiments). --spill-dir arms a bounded
+      disk-backed overflow behind the admission queue: bursts past the
+      in-memory queue spill encoded frames to a segment file and replay
+      FIFO as slots free; past the disk bound they shed as queue_full.
+  cedar-cli health --addr A [--wire json|binary] [--fail-on-degraded BOOL]
+      Probe a running server's elasticity state (ok|degraded|overloaded)
+      plus queue/spill depths, priors epoch and age, checkpoint age and
+      warm-restart flag. With --fail-on-degraded true, exits non-zero
+      unless the state is ok — a scriptable readiness gate.
   cedar-cli loadgen --addr A [--qps Q] [--queries N] [--deadline D]
                     [--k1 N] [--k2 N] [--seed S] [--stop-server BOOL]
                     [--wire json|binary] [--save-baseline FILE]
@@ -56,6 +73,25 @@ USAGE:
       clock; per rate, reports mean/p10 quality, injected/recovered fault
       counts and deadline violations. --wire picks the codec the sweep's
       query tree is round-tripped through before it runs.
+  cedar-cli chaos --kill-restart true [--steady N] [--window N]
+                  [--deadline D] [--k1 N] [--k2 N] [--unit-us U]
+                  [--refit-interval N] [--prior-mu MU] [--prior-sigma S]
+                  [--policy P] [--seed S] [--tolerance F]
+                  [--require-cliff F] [--dir DIR]
+      kill -9 recovery demo: boots a real `serve` child with a bad
+      initial prior (a confidently-wrong LN(2, 0.2) by default) and a
+      checkpoint dir, drives load until the refits converge, SIGKILLs
+      the process mid-load, restarts it from the checkpoint and
+      measures the first post-restart window against a steady-state
+      reference window driven with the same query seeds — then repeats
+      the boot cold (fresh dir) to show the re-learning cliff the
+      checkpoint avoids. --policy defaults to offline (priors-only
+      waits); the adaptive cedar policy recovers from bad priors within
+      a single query and would mask the cliff. Exits non-zero if the
+      warm first-window p50 quality falls more than F (default 0.05)
+      below the reference, if accounting fails to reconcile, or — with
+      --require-cliff F — if the cold boot does NOT drop at least that
+      fraction below steady (proof the checkpoint protects something).
   cedar-cli explain [--deadline D] [--k1 N] [--k2 N] [--seed S]
                     [--fault-rate R] [--mode crash|straggle|mixed]
       Run one (optionally chaos-seeded) query with the decision trace on
@@ -93,6 +129,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "trace-gen" => cmd_trace_gen(&args),
         "serve" => crate::service_cmds::cmd_serve(&args),
         "loadgen" => crate::service_cmds::cmd_loadgen(&args),
+        "health" => crate::service_cmds::cmd_health(&args),
         "chaos" => crate::chaos_cmd::cmd_chaos(&args),
         "explain" => crate::explain_cmd::cmd_explain(&args),
         "node" => crate::node_cmd::cmd_node(&args),
@@ -112,7 +149,7 @@ fn load_tree(args: &Args) -> Result<TreeSpec, String> {
     def.build().map_err(|e| e.to_string())
 }
 
-fn parse_policy(s: &str) -> Result<WaitPolicyKind, String> {
+pub(crate) fn parse_policy(s: &str) -> Result<WaitPolicyKind, String> {
     Ok(match s {
         "cedar" => WaitPolicyKind::Cedar,
         "ideal" => WaitPolicyKind::Ideal,

@@ -2,10 +2,14 @@
 //! `loadgen` (drive one with open-loop Poisson load).
 
 use crate::args::Args;
+use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::spec::DistSpec;
-use cedar_runtime::TimeScale;
-use cedar_server::{AdmissionConfig, Client, Server, ServerConfig, WireFormat};
-use cedar_workloads::production::{FACEBOOK_REDUCE, FB_MU_JITTER, FB_SIGMA_JITTER};
+use cedar_distrib::LogNormal;
+use cedar_runtime::{CheckpointConfig, TimeScale};
+use cedar_server::{AdmissionConfig, Client, Server, ServerConfig, SpillConfig, WireFormat};
+use cedar_workloads::production::{
+    FACEBOOK_MAP_REPLAY, FACEBOOK_REDUCE, FB_MU_JITTER, FB_SIGMA_JITTER,
+};
 use cedar_workloads::treedef::{StageDef, TreeDef};
 use cedar_workloads::PopulationModel;
 use rand::rngs::StdRng;
@@ -30,6 +34,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let mut cfg = ServerConfig::facebook_mr_sized(addr, deadline, k1, k2);
     cfg.service.scale = TimeScale::new(Duration::from_micros(unit_us));
     cfg.service.refit_interval = args.opt_parse("refit-interval", 20)?;
+    cfg.service.policy = crate::commands::parse_policy(args.opt("policy").unwrap_or("cedar"))?;
     cfg.admission = AdmissionConfig {
         max_inflight: args.opt_parse("max-inflight", 256)?,
         max_queued: args.opt_parse("max-queued", 256)?,
@@ -48,8 +53,55 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         return Err("--idle-timeout-ms must be positive".into());
     }
 
+    // Durability: priors + learned statistics checkpointed on refit
+    // epochs and on graceful shutdown, restored on the next boot.
+    if let Some(dir) = args.opt("checkpoint-dir") {
+        cfg.service.checkpoint = Some(CheckpointConfig::new(dir));
+    }
+    // A deliberately chosen (often deliberately *bad*) initial bottom-
+    // stage prior, for warm-vs-cold restart experiments: the map stage
+    // becomes LN(--prior-mu, --prior-sigma) instead of the FB-MR fit.
+    if let Some(mu) = args.opt("prior-mu") {
+        let mu: f64 = mu.parse().map_err(|_| "--prior-mu has an invalid value")?;
+        let sigma: f64 = args.opt_parse("prior-sigma", FACEBOOK_MAP_REPLAY.1)?;
+        let bottom =
+            LogNormal::new(mu, sigma).map_err(|e| format!("--prior-mu/--prior-sigma: {e}"))?;
+        let reduce = LogNormal::new(FACEBOOK_REDUCE.0, FACEBOOK_REDUCE.1).expect("constants");
+        cfg.service.initial_priors =
+            TreeSpec::two_level(StageSpec::new(bottom, k1), StageSpec::new(reduce, k2));
+    }
+    // Elasticity: a second-level FIFO behind the admission queue that
+    // spills encoded frames to a bounded segment file under burst.
+    if let Some(dir) = args.opt("spill-dir") {
+        let mut spill = SpillConfig::new(dir);
+        spill.max_entries = args.opt_parse("spill-max-entries", spill.max_entries)?;
+        spill.max_disk_bytes = args.opt_parse("spill-max-disk-bytes", spill.max_disk_bytes)?;
+        spill.replay_timeout =
+            Duration::from_millis(args.opt_parse("spill-replay-timeout-ms", 2_000)?);
+        if spill.max_entries == 0 || spill.max_disk_bytes == 0 {
+            return Err("--spill-max-entries and --spill-max-disk-bytes must be positive".into());
+        }
+        cfg.spill = Some(spill);
+    }
+    let checkpointing = cfg.service.checkpoint.is_some();
+
     let handle = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;
     println!("cedar-server listening on {}", handle.addr());
+    if checkpointing {
+        match handle.warm_restart() {
+            Some(w) => println!(
+                "warm restart: epoch {}, {} completed queries, {} refits \
+                 (checkpoint was {} ms old)",
+                w.epoch, w.completed, w.refits, w.age_ms
+            ),
+            None => {
+                let reason = handle
+                    .cold_start_reason()
+                    .unwrap_or_else(|| "no checkpoint found".to_owned());
+                println!("cold start: {reason}");
+            }
+        }
+    }
     if let Some(maddr) = handle.metrics_addr() {
         println!("metrics endpoint on http://{maddr}/metrics");
     }
@@ -63,6 +115,48 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         handle.addr()
     );
     handle.wait().map_err(|e| format!("serving: {e}"))
+}
+
+/// One-shot elasticity probe: prints the server's `health` op snapshot.
+pub fn cmd_health(args: &Args) -> Result<(), String> {
+    let addr = args.req("addr")?;
+    let wire = WireFormat::parse(args.opt("wire").unwrap_or("json"))?;
+    let fail_on_degraded: bool = args.opt_parse("fail-on-degraded", false)?;
+    let mut client =
+        Client::connect_with(addr, wire).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = client
+        .health()
+        .map_err(|e| format!("probing {addr}: {e}"))?;
+    if !resp.ok {
+        return Err(format!(
+            "health probe refused: {}",
+            resp.error.unwrap_or_else(|| "unknown error".into())
+        ));
+    }
+    let h = resp
+        .health
+        .ok_or("server answered without a health payload (pre-durability build?)")?;
+    println!("state:              {}", h.state.name());
+    println!("in flight:          {}", h.in_flight);
+    println!("queued:             {}", h.queued);
+    println!(
+        "spilled:            {} ({} disk bytes)",
+        h.spilled, h.spill_disk_bytes
+    );
+    println!(
+        "priors epoch:       {} (age {} queries)",
+        h.priors_epoch, h.priors_age_queries
+    );
+    match h.checkpoint_age_ms {
+        Some(age) => println!("checkpoint age:     {age} ms"),
+        None => println!("checkpoint age:     n/a (disabled, or none written yet)"),
+    }
+    println!("warm restart:       {}", h.warm_restart);
+    println!("wait-scan p99:      {:.6} s", h.wait_scan_p99_seconds);
+    if fail_on_degraded && h.state != cedar_server::HealthState::Ok {
+        return Err(format!("server is {}", h.state.name()));
+    }
+    Ok(())
 }
 
 /// One query's fate, as seen by the load generator.
@@ -532,7 +626,10 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
         }
         if let Some(path) = &save_baseline {
             let text = serde_json::to_string_pretty(&current.to_json()).expect("valid json");
-            std::fs::write(path, text).map_err(|e| format!("writing baseline {path}: {e}"))?;
+            // Atomic replace: a baseline a CI gate will later judge
+            // against must never be left half-written by a crash.
+            cedar_core::fs::write_atomic(std::path::Path::new(path), text.as_bytes())
+                .map_err(|e| format!("writing baseline {path}: {e}"))?;
             println!("baseline saved to {path}");
         }
     } else if save_baseline.is_some() || compare_baseline.is_some() {

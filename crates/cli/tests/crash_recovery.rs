@@ -1,0 +1,141 @@
+//! Cross-process crash-recovery coverage: the kill -9 demo run end to
+//! end as a child process (SIGKILL mid-load, warm restart vs cold-start
+//! cliff, accounting reconciliation), and the corruption path — a
+//! garbage checkpoint file must degrade a boot to a logged cold start,
+//! never a crash. Both spawn the real `cedar-cli` binary: the demo
+//! re-invokes `std::env::current_exe()` for its serve children, so it
+//! must run as the shipped binary, not through the test harness.
+
+use cedar_server::Client;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BOOT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind port 0")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+/// Kills the child on drop so a failing test never leaks a listener.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn wait_ready(child: &mut Reap, addr: &str) {
+    let ready_by = Instant::now() + BOOT_TIMEOUT;
+    loop {
+        if let Ok(Some(status)) = child.0.try_wait() {
+            panic!("serve child exited during boot: {status}");
+        }
+        if let Ok(mut c) = Client::connect(addr) {
+            if c.ping().is_ok_and(|r| r.ok) {
+                return;
+            }
+        }
+        assert!(Instant::now() < ready_by, "serve child never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The headline: SIGKILL a serving process mid-load, restart it from
+/// its checkpoint, and demand the first post-restart window hold within
+/// 5% of the pre-kill steady state while the cold-start control drops
+/// at least 15% — the full acceptance gate, enforced by the demo's own
+/// exit status.
+#[test]
+fn kill_minus_nine_warm_restart_beats_cold_start() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cedar-cli"))
+        .args(["chaos", "--kill-restart", "true", "--require-cliff", "0.15"])
+        .output()
+        .expect("running kill-restart demo");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "kill-restart demo failed ({}):\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status
+    );
+    assert!(
+        stdout.contains("no re-learning cliff"),
+        "demo passed without asserting the warm-restart gate:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("cold-start cliff demonstrated"),
+        "demo passed without demonstrating the cold-start cliff:\n{stdout}"
+    );
+}
+
+/// A corrupted checkpoint (both the newest file and the rotation
+/// predecessor) must boot as a cold start that serves queries — the
+/// decode failure is survivable by construction, and the server must
+/// say so through stats and health rather than silently pretending the
+/// garbage restored anything.
+#[test]
+fn corrupt_checkpoint_boots_cold_and_serves() {
+    let dir = std::env::temp_dir().join(format!("cedar-corrupt-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    std::fs::write(
+        dir.join("cedar.ckpt"),
+        b"CEDARCKP\x01garbage past the magic",
+    )
+    .expect("write");
+    std::fs::write(dir.join("cedar.ckpt.1"), b"not even the right magic").expect("write");
+
+    let addr = format!("127.0.0.1:{}", free_port());
+    let mut serve = Reap(
+        Command::new(env!("CARGO_BIN_EXE_cedar-cli"))
+            .args(["serve", "--addr", &addr])
+            .arg("--checkpoint-dir")
+            .arg(&dir)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning serve"),
+    );
+    wait_ready(&mut serve, &addr);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats").stats.expect("stats body");
+    assert_eq!(
+        stats.warm_restart,
+        Some(false),
+        "corrupt checkpoint must report a cold start, not {:?}",
+        stats.warm_restart
+    );
+    let health = client
+        .health()
+        .expect("health")
+        .health
+        .expect("health body");
+    assert!(!health.warm_restart, "health must agree the boot was cold");
+
+    // And the cold server actually serves: it rebuilt state from the
+    // configured priors instead of dying on the bad file.
+    let resp = client.ping().expect("ping");
+    assert!(resp.ok);
+
+    let _ = client.shutdown_server();
+    let gone_by = Instant::now() + Duration::from_secs(10);
+    loop {
+        match serve.0.try_wait() {
+            Ok(Some(status)) => {
+                assert!(status.success(), "serve exited uncleanly: {status}");
+                break;
+            }
+            _ if Instant::now() >= gone_by => panic!("serve did not exit after shutdown"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

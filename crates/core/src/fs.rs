@@ -1,0 +1,112 @@
+//! Crash-safe file replacement.
+//!
+//! [`write_atomic`] is the one sanctioned way cedar persists state that
+//! must survive `kill -9`: checkpoints, saved baselines, anything a
+//! restart will read back. The contract is all-or-nothing — a reader
+//! observes either the previous file or the complete new one, never a
+//! torn prefix.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`.
+///
+/// The data is written to a temporary file *in the same directory* (a
+/// rename across filesystems is not atomic), fsynced, renamed over
+/// `path`, and the directory itself is fsynced so the rename is durable.
+/// On any error the temporary file is removed and `path` is untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "write_atomic target has no file name",
+        )
+    })?;
+    let mut tmp_name = file_name.to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_owned(),
+    };
+
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        // Flush file contents to stable storage before the rename makes
+        // them reachable: otherwise a crash could expose an empty file
+        // under the final name.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // The rename itself lives in the directory entry; fsync the
+        // directory so the *new name* survives a crash too. Directories
+        // cannot be fsynced on every platform — treat failure to open
+        // one as best-effort rather than unwinding a completed rename.
+        if let Some(d) = dir {
+            if let Ok(dirf) = File::open(d) {
+                dirf.sync_all()?;
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cedar-fs-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch("replace");
+        let path = dir.join("state.bin");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two-longer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = scratch("tmpfiles");
+        let path = dir.join("state.bin");
+        write_atomic(&path, b"payload").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["state.bin".to_owned()], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_preserves_the_old_file() {
+        let dir = scratch("preserve");
+        let path = dir.join("state.bin");
+        write_atomic(&path, b"original").unwrap();
+        // Writing *through* an existing file as if it were a directory
+        // must fail without touching the original.
+        let bad = path.join("child.bin");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_pathless_targets() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

@@ -25,6 +25,7 @@
 //! - [`aggregator`] — the aggregator state machine (Pseudocode 1), shared
 //!   by the discrete-event simulator and the tokio runtime;
 //! - [`sync`] — poison-tolerant lock acquisition ([`sync::LockExt`]);
+//! - [`fs`] — crash-safe atomic file replacement ([`fs::write_atomic`]);
 //! - [`units`] — typed time units ([`units::Millis`]), the sanctioned
 //!   home of millisecond conversions (lint rule L5).
 
@@ -32,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregator;
+pub mod fs;
 pub mod policy;
 pub mod profile;
 pub mod quality;

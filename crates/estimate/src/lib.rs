@@ -408,6 +408,57 @@ impl EmpiricalEstimator {
     pub fn model(&self) -> Model {
         self.model
     }
+
+    /// Snapshots the sufficient statistics for persistence.
+    ///
+    /// The pair is lossless: [`restore`](Self::restore) rebuilds an
+    /// estimator whose every future `observe`/`estimate` matches the
+    /// original bit for bit, because the Kahan compensation terms ride
+    /// along instead of being collapsed into the sums.
+    pub fn stats(&self) -> EmpiricalStats {
+        let (sum, sum_comp) = self.sum.parts();
+        let (sum_sq, sum_sq_comp) = self.sum_sq.parts();
+        EmpiricalStats {
+            count: self.count as u64,
+            shift: self.shift,
+            sum,
+            sum_comp,
+            sum_sq,
+            sum_sq_comp,
+        }
+    }
+
+    /// Rebuilds an estimator from persisted sufficient statistics.
+    pub fn restore(model: Model, stats: &EmpiricalStats) -> Self {
+        Self {
+            model,
+            count: usize::try_from(stats.count).unwrap_or(usize::MAX),
+            shift: stats.shift,
+            sum: cedar_mathx::KahanSum::from_parts(stats.sum, stats.sum_comp),
+            sum_sq: cedar_mathx::KahanSum::from_parts(stats.sum_sq, stats.sum_sq_comp),
+        }
+    }
+}
+
+/// The portable sufficient statistics of an [`EmpiricalEstimator`]:
+/// everything a checkpoint needs to resurrect the estimator exactly.
+/// Plain public fields so serializers in other crates (the checkpoint
+/// codec lives in `cedar-runtime`) can stream them without this crate
+/// knowing about any wire format.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EmpiricalStats {
+    /// Observations folded in so far.
+    pub count: u64,
+    /// Anchor `y_0` for the shifted moments.
+    pub shift: f64,
+    /// Raw sum component of `Σ (y_i − y_0)`.
+    pub sum: f64,
+    /// Kahan compensation of `sum`.
+    pub sum_comp: f64,
+    /// Raw sum component of `Σ (y_i − y_0)²`.
+    pub sum_sq: f64,
+    /// Kahan compensation of `sum_sq`.
+    pub sum_sq_comp: f64,
 }
 
 impl DurationEstimator for EmpiricalEstimator {
@@ -622,6 +673,31 @@ mod tests {
         };
         let d = p.to_dist().unwrap();
         assert!((d.quantile(0.5) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_stats_round_trip_bit_exactly() {
+        let mut a = EmpiricalEstimator::new(Model::LogNormal);
+        for d in [3.0, 5.5, 2.25, 9.0, 0.125, 1e6, 1e-6] {
+            a.observe(d);
+        }
+        let mut b = EmpiricalEstimator::restore(Model::LogNormal, &a.stats());
+        assert_eq!(b.count(), a.count());
+        assert_eq!(b.estimate(), a.estimate());
+        // The restored estimator keeps learning identically: the Kahan
+        // compensation terms came back intact, not collapsed.
+        for d in [4.5, 0.75] {
+            a.observe(d);
+            b.observe(d);
+        }
+        let (pa, pb) = (a.estimate().unwrap(), b.estimate().unwrap());
+        assert_eq!(pa.mu.to_bits(), pb.mu.to_bits());
+        assert_eq!(pa.sigma.to_bits(), pb.sigma.to_bits());
+        // An empty estimator round-trips too.
+        let empty = EmpiricalEstimator::new(Model::Normal);
+        let back = EmpiricalEstimator::restore(Model::Normal, &empty.stats());
+        assert_eq!(back.count(), 0);
+        assert!(back.estimate().is_none());
     }
 
     #[test]

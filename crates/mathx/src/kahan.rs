@@ -53,6 +53,22 @@ impl KahanSum {
     pub fn value(&self) -> f64 {
         self.sum + self.compensation
     }
+
+    /// The raw `(sum, compensation)` pair, for bit-exact serialization.
+    ///
+    /// Persisting only [`value`](Self::value) would collapse the
+    /// compensation term and change the result of subsequent
+    /// [`add`](Self::add) calls after a round-trip; checkpointing code
+    /// must store both parts and restore them with
+    /// [`from_parts`](Self::from_parts).
+    pub fn parts(&self) -> (f64, f64) {
+        (self.sum, self.compensation)
+    }
+
+    /// Rebuilds a sum from the pair returned by [`parts`](Self::parts).
+    pub fn from_parts(sum: f64, compensation: f64) -> Self {
+        Self { sum, compensation }
+    }
 }
 
 impl core::iter::FromIterator<f64> for KahanSum {
@@ -138,6 +154,24 @@ mod tests {
         // is 32/7.
         assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
         assert!((sample_stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parts_round_trip_bit_exactly() {
+        let mut s = KahanSum::new();
+        s.add(1e100);
+        s.add(1.0);
+        let (sum, comp) = s.parts();
+        let back = KahanSum::from_parts(sum, comp);
+        assert_eq!(back, s);
+        // The compensation term is live state: continuing to add after
+        // the round-trip matches the original exactly.
+        let mut a = s;
+        let mut b = back;
+        a.add(-1e100);
+        b.add(-1e100);
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.value(), 1.0);
     }
 
     #[test]

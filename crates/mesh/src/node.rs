@@ -497,6 +497,11 @@ impl NodeInner {
                 in_flight: self.in_flight.load(Ordering::Acquire),
                 shed_total: 0,
                 served_total: self.served.load(Ordering::Acquire),
+                // Mesh nodes do not checkpoint (yet): absent, not zero,
+                // so clients can tell "no durability" from "age 0".
+                priors_age_queries: None,
+                checkpoint_age_ms: None,
+                warm_restart: None,
             }),
             proto::OP_QUERY => {
                 if self.me.role == Role::Root {

@@ -1,0 +1,470 @@
+//! Durable learned state: the checkpoint file format and its on-disk
+//! lifecycle.
+//!
+//! A restarted service otherwise begins from its configured priors and
+//! re-learns from scratch — a "re-learning cliff" during which
+//! `calculate_wait` runs on defaults and quality craters. A checkpoint
+//! captures everything the learning loop has accumulated:
+//!
+//! * the epoch-versioned priors (per-stage fitted `LogNormal(mu, sigma)`
+//!   where a refit has run, plus fan-outs for shape validation);
+//! * per-stage lifetime sufficient statistics — the
+//!   [`EmpiricalStats`] shifted Kahan sums and right-censored counts —
+//!   so accumulated evidence survives the restart bit-exactly;
+//! * the completed/refit counters and a wall-clock write timestamp, so
+//!   the restarted process can report the checkpoint's age.
+//!
+//! ## File format
+//!
+//! | bytes | content |
+//! |---|---|
+//! | 8 | magic `CEDARCKP` |
+//! | 1 | format version (currently `1`) |
+//! | .. | body, [`cedar_wire`] primitives (varints, LE `f64` bit patterns) |
+//! | 4 | CRC-32 (IEEE) of everything above, little-endian |
+//!
+//! Decoding is total: truncated, garbage, checksum-flipped and
+//! version-flipped files each yield a typed [`CheckpointError`], never a
+//! panic — the service logs the reason and cold-starts.
+//!
+//! ## On-disk lifecycle
+//!
+//! [`store`] keeps two generations in the checkpoint directory:
+//! `cedar.ckpt` (newest) and `cedar.ckpt.1` (previous). Every write goes
+//! through [`cedar_core::fs::write_atomic`] (temp file + fsync + rename),
+//! so a `kill -9` mid-write leaves the previous file intact; [`load`]
+//! tries newest-first and falls back, reporting every rejection reason.
+
+use cedar_estimate::EmpiricalStats;
+use cedar_wire::{crc32, Reader, WireError, Writer};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every checkpoint file.
+pub const MAGIC: &[u8; 8] = b"CEDARCKP";
+
+/// Current format version byte.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Newest checkpoint file name within the checkpoint directory.
+pub const FILE_NAME: &str = "cedar.ckpt";
+
+/// Previous-generation file name (rotation target).
+pub const PREV_FILE_NAME: &str = "cedar.ckpt.1";
+
+/// Stage-count sanity bound; matches the wire protocol's tree limits.
+pub const MAX_STAGES: usize = 64;
+
+/// Where (and whether) the service persists learned state.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding the checkpoint generations. Created on first
+    /// write if absent.
+    pub dir: PathBuf,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing into `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+}
+
+/// One stage's durable learned state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCheckpoint {
+    /// Fan-out, persisted so a restart can verify the checkpoint matches
+    /// the configured tree shape before adopting its parameters.
+    pub fanout: u64,
+    /// The `(mu, sigma)` of the last accepted refit for this stage, or
+    /// `None` if every refit so far kept the initial prior.
+    pub fitted: Option<(f64, f64)>,
+    /// Lifetime sufficient statistics of the stage's observed durations.
+    pub stats: EmpiricalStats,
+    /// Lifetime count of right-censored observations for this stage.
+    pub censored: u64,
+}
+
+/// A decoded (or to-be-written) checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Priors epoch at write time.
+    pub epoch: u64,
+    /// Completed-query count at write time.
+    pub completed: u64,
+    /// Accepted-refit count at write time.
+    pub refits: u64,
+    /// Wall clock at write time (Unix milliseconds).
+    pub written_unix_ms: u64,
+    /// Per-stage learned state, bottom stage first.
+    pub stages: Vec<StageCheckpoint>,
+}
+
+/// Why a checkpoint file was rejected. Every variant maps to a cold
+/// start with this reason logged; none map to a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Shorter than magic + version + CRC.
+    TooShort(usize),
+    /// The first 8 bytes are not `CEDARCKP`.
+    BadMagic,
+    /// A version byte this build does not speak.
+    BadVersion(u8),
+    /// The trailing CRC-32 does not match the content.
+    BadCrc {
+        /// CRC the file carries.
+        stored: u32,
+        /// CRC of the bytes actually present.
+        actual: u32,
+    },
+    /// The body failed to decode.
+    Body(WireError),
+    /// A stage count beyond [`MAX_STAGES`].
+    TooManyStages(u64),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::TooShort(n) => {
+                write!(f, "file is {n} bytes, shorter than any checkpoint")
+            }
+            CheckpointError::BadMagic => write!(f, "magic bytes are not CEDARCKP"),
+            CheckpointError::BadVersion(v) => write!(f, "unknown format version {v}"),
+            CheckpointError::BadCrc { stored, actual } => write!(
+                f,
+                "CRC mismatch: file says {stored:#010x}, content is {actual:#010x}"
+            ),
+            CheckpointError::Body(e) => write!(f, "body: {e}"),
+            CheckpointError::TooManyStages(n) => {
+                write!(f, "stage count {n} exceeds the {MAX_STAGES} limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        CheckpointError::Body(e)
+    }
+}
+
+impl Checkpoint {
+    /// Encodes the checkpoint into its framed, checksummed byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.stages.len() * 64);
+        buf.extend_from_slice(MAGIC);
+        buf.push(FORMAT_VERSION);
+        let mut w = Writer::new(&mut buf);
+        w.uvarint(self.epoch);
+        w.uvarint(self.completed);
+        w.uvarint(self.refits);
+        w.uvarint(self.written_unix_ms);
+        w.usize(self.stages.len());
+        for s in &self.stages {
+            w.uvarint(s.fanout);
+            match s.fitted {
+                Some((mu, sigma)) => {
+                    w.bool(true);
+                    w.f64(mu);
+                    w.f64(sigma);
+                }
+                None => w.bool(false),
+            }
+            w.uvarint(s.stats.count);
+            w.f64(s.stats.shift);
+            w.f64(s.stats.sum);
+            w.f64(s.stats.sum_comp);
+            w.f64(s.stats.sum_sq);
+            w.f64(s.stats.sum_sq_comp);
+            w.uvarint(s.censored);
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and verifies a checkpoint file's bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        // Magic (8) + version (1) + CRC (4) is the smallest frame.
+        if bytes.len() < MAGIC.len() + 1 + 4 {
+            return Err(CheckpointError::TooShort(bytes.len()));
+        }
+        let (content, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        if &content[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = content[MAGIC.len()];
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        let actual = crc32(content);
+        if stored != actual {
+            return Err(CheckpointError::BadCrc { stored, actual });
+        }
+        let mut r = Reader::new(&content[MAGIC.len() + 1..]);
+        let epoch = r.uvarint()?;
+        let completed = r.uvarint()?;
+        let refits = r.uvarint()?;
+        let written_unix_ms = r.uvarint()?;
+        let n_stages = r.uvarint()?;
+        if n_stages > MAX_STAGES as u64 {
+            return Err(CheckpointError::TooManyStages(n_stages));
+        }
+        let mut stages = Vec::with_capacity(n_stages as usize);
+        for _ in 0..n_stages {
+            let fanout = r.uvarint()?;
+            let fitted = if r.bool()? {
+                Some((r.f64()?, r.f64()?))
+            } else {
+                None
+            };
+            let stats = EmpiricalStats {
+                count: r.uvarint()?,
+                shift: r.f64()?,
+                sum: r.f64()?,
+                sum_comp: r.f64()?,
+                sum_sq: r.f64()?,
+                sum_sq_comp: r.f64()?,
+            };
+            let censored = r.uvarint()?;
+            stages.push(StageCheckpoint {
+                fanout,
+                fitted,
+                stats,
+                censored,
+            });
+        }
+        r.finish()?;
+        Ok(Self {
+            epoch,
+            completed,
+            refits,
+            written_unix_ms,
+            stages,
+        })
+    }
+}
+
+/// Writes `ckpt` into `dir`, rotating the previous generation aside.
+///
+/// Sequence: `cedar.ckpt` (if any) is renamed to `cedar.ckpt.1`, then
+/// the new bytes land as `cedar.ckpt` via an atomic temp-file + fsync +
+/// rename. A crash at any point leaves at least one complete generation
+/// on disk.
+pub fn store(dir: &Path, ckpt: &Checkpoint) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let newest = dir.join(FILE_NAME);
+    if newest.exists() {
+        // Best-effort rotation: losing the previous generation only
+        // narrows corruption tolerance, it never loses the new write.
+        let _ = std::fs::rename(&newest, dir.join(PREV_FILE_NAME));
+    }
+    cedar_core::fs::write_atomic(&newest, &ckpt.encode())
+}
+
+/// The result of scanning a checkpoint directory at startup.
+#[derive(Debug, Default)]
+pub struct LoadOutcome {
+    /// The newest valid checkpoint, if any generation decoded cleanly.
+    pub checkpoint: Option<Checkpoint>,
+    /// One human-readable reason per generation that was present but
+    /// rejected (newest first). Empty on a clean load or an empty dir.
+    pub rejected: Vec<String>,
+}
+
+/// Loads the newest valid checkpoint from `dir`, newest generation
+/// first. Missing files are skipped silently (a first boot is not an
+/// error); present-but-invalid files contribute a rejection reason and
+/// the scan falls back to the previous generation.
+pub fn load(dir: &Path) -> LoadOutcome {
+    let mut out = LoadOutcome::default();
+    for name in [FILE_NAME, PREV_FILE_NAME] {
+        let path = dir.join(name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                out.rejected.push(format!("{}: {e}", path.display()));
+                continue;
+            }
+        };
+        match Checkpoint::decode(&bytes) {
+            Ok(ckpt) => {
+                out.checkpoint = Some(ckpt);
+                return out;
+            }
+            Err(e) => out.rejected.push(format!("{}: {e}", path.display())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epoch: 7,
+            completed: 141,
+            refits: 7,
+            written_unix_ms: 1_754_700_000_123,
+            stages: vec![
+                StageCheckpoint {
+                    fanout: 8,
+                    fitted: Some((1.25, 0.6)),
+                    stats: EmpiricalStats {
+                        count: 1128,
+                        shift: 1.1,
+                        sum: 42.5,
+                        sum_comp: -3.1e-15,
+                        sum_sq: 99.0,
+                        sum_sq_comp: 7.2e-14,
+                    },
+                    censored: 17,
+                },
+                StageCheckpoint {
+                    fanout: 4,
+                    fitted: None,
+                    stats: EmpiricalStats::default(),
+                    censored: 0,
+                },
+            ],
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cedar-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn encodes_and_decodes_bit_exactly() {
+        let ckpt = sample();
+        let bytes = ckpt.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        // f64 fields round-trip as bit patterns, not parsed text.
+        assert_eq!(
+            back.stages[0].stats.sum_comp.to_bits(),
+            ckpt.stages[0].stats.sum_comp.to_bits()
+        );
+    }
+
+    #[test]
+    fn store_and_load_rotate_generations() {
+        let dir = scratch("rotate");
+        let mut a = sample();
+        a.epoch = 1;
+        store(&dir, &a).unwrap();
+        let mut b = sample();
+        b.epoch = 2;
+        store(&dir, &b).unwrap();
+        assert!(dir.join(FILE_NAME).exists());
+        assert!(dir.join(PREV_FILE_NAME).exists());
+        let loaded = load(&dir);
+        assert!(loaded.rejected.is_empty(), "{:?}", loaded.rejected);
+        assert_eq!(loaded.checkpoint.unwrap().epoch, 2);
+        // Corrupt the newest generation: the scan reports it and falls
+        // back to the previous one.
+        let path = dir.join(FILE_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load(&dir);
+        assert_eq!(loaded.rejected.len(), 1, "{:?}", loaded.rejected);
+        assert_eq!(loaded.checkpoint.unwrap().epoch, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_is_a_silent_cold_start() {
+        let dir = scratch("empty");
+        let loaded = load(&dir);
+        assert!(loaded.checkpoint.is_none());
+        assert!(loaded.rejected.is_empty());
+    }
+
+    #[test]
+    fn rejects_every_corruption_class() {
+        let bytes = sample().encode();
+
+        // Truncation at every prefix length: typed error, never panic.
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::decode(&bytes[..cut]).unwrap_err();
+            if cut < MAGIC.len() + 1 + 4 {
+                assert!(matches!(err, CheckpointError::TooShort(_)), "cut {cut}");
+            }
+        }
+
+        // Garbage that is not even magic.
+        let garbage = vec![0xA5u8; 64];
+        assert_eq!(
+            Checkpoint::decode(&garbage).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+
+        // Version flip (CRC fixed up so only the version differs).
+        let mut flipped = bytes.clone();
+        flipped[MAGIC.len()] = FORMAT_VERSION + 1;
+        let crc = crc32(&flipped[..flipped.len() - 4]);
+        let n = flipped.len();
+        flipped[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&flipped).unwrap_err(),
+            CheckpointError::BadVersion(FORMAT_VERSION + 1)
+        );
+
+        // A checksum flip anywhere in the body.
+        let mut bad_crc = bytes.clone();
+        let mid = bad_crc.len() / 2;
+        bad_crc[mid] ^= 0x01;
+        assert!(matches!(
+            Checkpoint::decode(&bad_crc).unwrap_err(),
+            CheckpointError::BadCrc { .. }
+        ));
+
+        // A hostile stage count (CRC valid, body lies).
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(MAGIC);
+        hostile.push(FORMAT_VERSION);
+        {
+            let mut w = Writer::new(&mut hostile);
+            w.uvarint(1);
+            w.uvarint(1);
+            w.uvarint(1);
+            w.uvarint(0);
+            w.uvarint(u64::MAX); // stage count
+        }
+        let crc = crc32(&hostile);
+        hostile.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&hostile).unwrap_err(),
+            CheckpointError::TooManyStages(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        // The acceptance criterion in miniature: no bit flip anywhere in
+        // the file may decode cleanly into different state.
+        let ckpt = sample();
+        let bytes = ckpt.encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                match Checkpoint::decode(&flipped) {
+                    Err(_) => {}
+                    Ok(back) => assert_eq!(back, ckpt, "byte {byte} bit {bit}"),
+                }
+            }
+        }
+    }
+}

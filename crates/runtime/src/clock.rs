@@ -1,0 +1,15 @@
+//! The runtime crate's wall-clock seam (lint L1): checkpoint files
+//! carry a write timestamp so a restarted service can report how stale
+//! its warm-restarted priors are, and this module is the one sanctioned
+//! place the runtime reads the wall clock for it.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch; `0` if the system clock reads
+/// before the epoch (checkpoint ages degrade to "unknown", never panic).
+#[must_use]
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}

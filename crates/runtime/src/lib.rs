@@ -25,6 +25,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
+pub mod clock;
 mod engine;
 pub mod faults;
 pub mod metrics;
@@ -33,6 +35,7 @@ pub mod remote;
 mod scale;
 pub mod service;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError, StageCheckpoint};
 pub use engine::{
     run_query, run_query_prepared, run_query_with_values, RuntimeConfig, RuntimeOutcome,
 };
@@ -41,4 +44,4 @@ pub use metrics::RuntimeMetrics;
 pub use pool::{ones, VecPool};
 pub use remote::{aggregate_remote, Arrival, RemoteAggConfig, RemoteAggOutcome};
 pub use scale::TimeScale;
-pub use service::{AggregationService, QueryOptions, ServiceConfig};
+pub use service::{AggregationService, QueryOptions, ServiceConfig, WarmRestart};

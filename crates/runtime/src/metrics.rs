@@ -51,6 +51,8 @@ pub struct RuntimeMetrics {
     pub wait_scan_seconds: Arc<Histogram>,
     /// Accepted prior refits.
     pub refits_total: Arc<Counter>,
+    /// Checkpoints durably written (refit epochs + explicit flushes).
+    pub checkpoints_total: Arc<Counter>,
     /// Current priors epoch.
     pub priors_epoch: Arc<Gauge>,
     /// Queries completed since the last accepted refit — a clock-free
@@ -91,6 +93,10 @@ impl RuntimeMetrics {
                 "Latency of the per-arrival CALCULATEWAIT scan",
             ),
             refits_total: registry.counter("cedar_refits_total", "Accepted prior refits"),
+            checkpoints_total: registry.counter(
+                "cedar_checkpoints_total",
+                "Checkpoints durably written (refit epochs + explicit flushes)",
+            ),
             priors_epoch: registry.gauge("cedar_priors_epoch", "Current priors epoch"),
             priors_epoch_age_queries: registry.gauge(
                 "cedar_priors_epoch_age_queries",

@@ -36,6 +36,7 @@
 //!   cached per `(priors epoch, deadline bucket)`, so concurrent queries
 //!   with the same deadline don't redundantly recompute profiles.
 
+use crate::checkpoint::{self, Checkpoint, CheckpointConfig, StageCheckpoint};
 use crate::engine::{run_query_prepared, RuntimeConfig, RuntimeOutcome};
 use crate::faults::FaultPlan;
 use crate::metrics::RuntimeMetrics;
@@ -46,8 +47,9 @@ use cedar_core::setup::PreparedContexts;
 use cedar_core::LockExt;
 use cedar_core::{StageSpec, TreeSpec};
 use cedar_distrib::{ContinuousDist, DistError};
-use cedar_estimate::Model;
+use cedar_estimate::{DurationEstimator, EmpiricalEstimator, EmpiricalStats, Model};
 use cedar_mathx::fxhash::FxHashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 use tokio::sync::{mpsc, oneshot};
@@ -101,6 +103,12 @@ pub struct ServiceConfig {
     /// Shared runtime metrics recorded by every query and by the refit
     /// task (see [`RuntimeMetrics`]). `None` disables recording.
     pub metrics: Option<Arc<RuntimeMetrics>>,
+    /// Durable learned state: when set, the service warm-restarts from
+    /// the newest valid checkpoint in the directory at construction and
+    /// writes a new checkpoint after every accepted refit (and on
+    /// [`AggregationService::checkpoint_now`]). `None` keeps all learned
+    /// state in memory only.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl ServiceConfig {
@@ -119,6 +127,7 @@ impl ServiceConfig {
             deadline_bucket: 1e-3,
             faults: None,
             metrics: None,
+            checkpoint: None,
         }
     }
 }
@@ -165,6 +174,50 @@ struct RefitRecord {
     ack: oneshot::Sender<()>,
 }
 
+/// Work items for the background refit task, which also owns all
+/// checkpoint writes (single writer: no cross-thread coordination on
+/// the lifetime statistics).
+enum RefitMsg {
+    /// A completed query's realized durations.
+    Record(RefitRecord),
+    /// Write a checkpoint now; the reply is `Ok(true)` once the file is
+    /// durable, `Ok(false)` if checkpointing is disabled.
+    Checkpoint(oneshot::Sender<Result<bool, String>>),
+}
+
+/// How a service with checkpointing enabled came up.
+#[derive(Debug, Clone)]
+pub struct WarmRestart {
+    /// Priors epoch restored from the checkpoint.
+    pub epoch: u64,
+    /// Completed-query count restored.
+    pub completed: u64,
+    /// Accepted-refit count restored.
+    pub refits: u64,
+    /// Wall-clock age of the checkpoint at restore time (ms between its
+    /// write and this process's start; 0 if either clock was unusable).
+    pub age_ms: u64,
+}
+
+/// Checkpoint bookkeeping shared behind the service handle.
+struct DurabilityState {
+    /// Checkpoint directory; `None` disables all persistence.
+    dir: Option<PathBuf>,
+    /// Set when construction restored a valid checkpoint.
+    warm: Option<WarmRestart>,
+    /// Why the service cold-started although checkpointing is enabled
+    /// (no file, or every generation rejected — with the decode reason).
+    cold_reason: Option<String>,
+    /// Unix ms of the newest known checkpoint (restored or written);
+    /// 0 = none yet.
+    last_checkpoint_ms: AtomicU64,
+    /// Checkpoints written by this process.
+    written: AtomicU64,
+    /// Restored per-stage learned state, parked here until the refit
+    /// task starts and takes ownership of it.
+    restored_stages: Mutex<Option<Vec<StageCheckpoint>>>,
+}
+
 /// Shared state behind every [`AggregationService`] handle.
 struct ServiceState {
     cfg: ServiceConfig,
@@ -176,12 +229,16 @@ struct ServiceState {
     cache_misses: AtomicU64,
     completed: AtomicUsize,
     refits: AtomicUsize,
+    /// `completed` as of the last accepted refit (or service start):
+    /// the clock-free "age" of the current priors in queries.
+    completed_at_refit: AtomicUsize,
     submit_counter: AtomicU64,
-    refit_tx: mpsc::Sender<RefitRecord>,
+    refit_tx: mpsc::Sender<RefitMsg>,
     /// Receiver parked here until the first submission spawns the refit
     /// task (spawning needs a runtime; `new` must stay callable outside
     /// one).
-    refit_rx: Mutex<Option<mpsc::Receiver<RefitRecord>>>,
+    refit_rx: Mutex<Option<mpsc::Receiver<RefitMsg>>>,
+    durability: DurabilityState,
 }
 
 /// The long-running service; see the module docs.
@@ -207,22 +264,79 @@ impl AggregationService {
     /// Creates the service with its initial priors. The background refit
     /// task is spawned lazily by the first submission (which is the
     /// first point a runtime is guaranteed to exist).
+    ///
+    /// With [`ServiceConfig::checkpoint`] set, construction scans the
+    /// checkpoint directory and warm-restarts from the newest valid
+    /// generation: priors, epoch, counters and the refit task's lifetime
+    /// sufficient statistics all resume where the previous process left
+    /// off. Any decode failure — truncation, garbage, checksum or
+    /// version flip, tree-shape mismatch — degrades to a cold start with
+    /// the reason in [`cold_start_reason`](Self::cold_start_reason),
+    /// never an error or panic.
     pub fn new(cfg: ServiceConfig) -> Self {
         let (refit_tx, refit_rx) = mpsc::channel(REFIT_QUEUE_CAP);
+        let mut snapshot = PriorsSnapshot {
+            epoch: 0,
+            tree: Arc::new(cfg.initial_priors.clone()),
+        };
+        let mut durability = DurabilityState {
+            dir: cfg.checkpoint.as_ref().map(|c| c.dir.clone()),
+            warm: None,
+            cold_reason: None,
+            last_checkpoint_ms: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+            restored_stages: Mutex::new(None),
+        };
+        let mut completed0 = 0usize;
+        let mut refits0 = 0usize;
+        if let Some(dir) = durability.dir.clone() {
+            let loaded = checkpoint::load(&dir);
+            let mut reasons = loaded.rejected;
+            if let Some(ckpt) = loaded.checkpoint {
+                match restore_priors(&cfg.initial_priors, &ckpt) {
+                    Ok(tree) => {
+                        durability.warm = Some(WarmRestart {
+                            epoch: ckpt.epoch,
+                            completed: ckpt.completed,
+                            refits: ckpt.refits,
+                            age_ms: crate::clock::unix_ms().saturating_sub(ckpt.written_unix_ms),
+                        });
+                        durability.last_checkpoint_ms = AtomicU64::new(ckpt.written_unix_ms);
+                        durability.restored_stages = Mutex::new(Some(ckpt.stages));
+                        snapshot = PriorsSnapshot {
+                            epoch: ckpt.epoch,
+                            tree: Arc::new(tree),
+                        };
+                        completed0 = usize::try_from(ckpt.completed).unwrap_or(usize::MAX);
+                        refits0 = usize::try_from(ckpt.refits).unwrap_or(usize::MAX);
+                        if let Some(m) = &cfg.metrics {
+                            m.priors_epoch.set(ckpt.epoch as f64);
+                        }
+                    }
+                    Err(reason) => reasons.push(reason),
+                }
+            }
+            if durability.warm.is_none() {
+                durability.cold_reason = Some(if reasons.is_empty() {
+                    format!("no checkpoint in {}", dir.display())
+                } else {
+                    reasons.join("; ")
+                });
+            }
+        }
         let state = Arc::new(ServiceState {
-            priors: RwLock::new(PriorsSnapshot {
-                epoch: 0,
-                tree: Arc::new(cfg.initial_priors.clone()),
-            }),
+            priors: RwLock::new(snapshot),
             cfg,
             cache: Mutex::new(FxHashMap::default()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-            completed: AtomicUsize::new(0),
-            refits: AtomicUsize::new(0),
+            completed: AtomicUsize::new(completed0),
+            refits: AtomicUsize::new(refits0),
+            completed_at_refit: AtomicUsize::new(completed0),
             submit_counter: AtomicU64::new(0),
             refit_tx,
             refit_rx: Mutex::new(Some(refit_rx)),
+            durability,
         });
         Self { state }
     }
@@ -255,6 +369,66 @@ impl AggregationService {
             self.state.cache_hits.load(Ordering::Acquire),
             self.state.cache_misses.load(Ordering::Acquire),
         )
+    }
+
+    /// Queries completed since the last accepted refit (or since this
+    /// process started): the clock-free age of the current priors.
+    pub fn priors_age_queries(&self) -> usize {
+        self.completed()
+            .saturating_sub(self.state.completed_at_refit.load(Ordering::Acquire))
+    }
+
+    /// Whether checkpointing is configured.
+    pub fn checkpointing(&self) -> bool {
+        self.state.durability.dir.is_some()
+    }
+
+    /// How this process came up: `Some` after a successful warm restart
+    /// from a checkpoint, `None` on a cold start (or with checkpointing
+    /// disabled).
+    pub fn warm_restart(&self) -> Option<WarmRestart> {
+        self.state.durability.warm.clone()
+    }
+
+    /// Why the service cold-started although checkpointing is enabled:
+    /// "no checkpoint in <dir>" on a first boot, or the decode-rejection
+    /// reason(s) when every on-disk generation was invalid.
+    pub fn cold_start_reason(&self) -> Option<String> {
+        self.state.durability.cold_reason.clone()
+    }
+
+    /// Wall-clock age (ms) of the newest known checkpoint — restored at
+    /// startup or written by this process. `None` until one exists.
+    pub fn checkpoint_age_ms(&self) -> Option<u64> {
+        let last = self
+            .state
+            .durability
+            .last_checkpoint_ms
+            .load(Ordering::Acquire);
+        (last != 0).then(|| crate::clock::unix_ms().saturating_sub(last))
+    }
+
+    /// Checkpoints written by this process.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.state.durability.written.load(Ordering::Acquire)
+    }
+
+    /// Writes a checkpoint now (the graceful-shutdown hook; refit epochs
+    /// already checkpoint on their own). Resolves once the file is
+    /// durable: `Ok(true)` written, `Ok(false)` checkpointing disabled.
+    pub async fn checkpoint_now(&self) -> Result<bool, String> {
+        if !self.checkpointing() {
+            return Ok(false);
+        }
+        self.ensure_refit_task();
+        let (tx, rx) = oneshot::channel();
+        self.state
+            .refit_tx
+            .send(RefitMsg::Checkpoint(tx))
+            .await
+            .map_err(|_| "refit task is gone".to_owned())?;
+        rx.await
+            .map_err(|_| "refit task dropped the checkpoint request".to_owned())?
     }
 
     /// Runs one query whose true stage distributions are `true_tree`
@@ -312,7 +486,7 @@ impl AggregationService {
             censored,
             ack: ack_tx,
         };
-        if state.refit_tx.send(record).await.is_ok() {
+        if state.refit_tx.send(RefitMsg::Record(record)).await.is_ok() {
             let _ = ack_rx.await;
         }
         outcome
@@ -373,29 +547,104 @@ impl AggregationService {
     }
 }
 
-/// The background refit task: the single consumer of realized durations
-/// and the single writer of the priors.
-async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecord>) {
-    let mut history: Vec<Vec<f64>> = Vec::new();
-    let mut censored: Vec<Vec<f64>> = Vec::new();
-    while let Some(record) = rx.recv().await {
+/// The refit task's accumulated learning state: the sliding-window raw
+/// history driving refits, plus the lifetime evidence a checkpoint
+/// persists (per-stage empirical sufficient statistics, censored counts,
+/// and the last fitted parameters).
+struct LearnedState {
+    history: Vec<Vec<f64>>,
+    censored: Vec<Vec<f64>>,
+    /// Lifetime per-stage sufficient statistics (shifted Kahan sums);
+    /// restored bit-exactly across restarts.
+    lifetime: Vec<EmpiricalEstimator>,
+    /// Lifetime per-stage right-censored observation counts.
+    lifetime_censored: Vec<u64>,
+    /// The `(mu, sigma)` of the last accepted refit per stage — what a
+    /// warm restart rebuilds the priors from. `None` until a refit has
+    /// actually replaced that stage's prior.
+    fitted: Vec<Option<(f64, f64)>>,
+}
+
+impl LearnedState {
+    fn new() -> Self {
+        Self {
+            history: Vec::new(),
+            censored: Vec::new(),
+            lifetime: Vec::new(),
+            lifetime_censored: Vec::new(),
+            fitted: Vec::new(),
+        }
+    }
+
+    /// Rehydrates the lifetime evidence from a restored checkpoint.
+    fn restore(&mut self, model: Model, stages: &[StageCheckpoint]) {
+        self.lifetime = stages
+            .iter()
+            .map(|s| EmpiricalEstimator::restore(model, &s.stats))
+            .collect();
+        self.lifetime_censored = stages.iter().map(|s| s.censored).collect();
+        self.fitted = stages.iter().map(|s| s.fitted).collect();
+    }
+
+    fn grow_to(&mut self, stages: usize, model: Model) {
+        if self.history.len() < stages {
+            self.history.resize(stages, Vec::new());
+            self.censored.resize(stages, Vec::new());
+        }
+        while self.lifetime.len() < stages {
+            self.lifetime.push(EmpiricalEstimator::new(model));
+        }
+        if self.lifetime_censored.len() < stages {
+            self.lifetime_censored.resize(stages, 0);
+            self.fitted.resize(stages, None);
+        }
+    }
+}
+
+/// The background refit task: the single consumer of realized durations,
+/// the single writer of the priors, and the single writer of checkpoints.
+async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitMsg>) {
+    let mut learned = LearnedState::new();
+    let mut seeded = false;
+    while let Some(msg) = rx.recv().await {
         let Some(state) = state.upgrade() else {
             return;
+        };
+        if !seeded {
+            seeded = true;
+            let restored = state.durability.restored_stages.lock().unpoisoned().take();
+            if let Some(stages) = restored {
+                learned.restore(state.cfg.model, &stages);
+            }
+        }
+        let record = match msg {
+            RefitMsg::Record(record) => record,
+            RefitMsg::Checkpoint(ack) => {
+                let _ = ack.send(write_checkpoint(&state, &learned));
+                continue;
+            }
         };
         let RefitRecord {
             durations: rec_durations,
             censored: rec_censored,
             ack,
         } = record;
-        if history.len() < rec_durations.len() {
-            history.resize(rec_durations.len(), Vec::new());
-            censored.resize(rec_durations.len(), Vec::new());
-        }
-        for (h, d) in history.iter_mut().zip(&rec_durations) {
+        learned.grow_to(rec_durations.len(), state.cfg.model);
+        for (h, d) in learned.history.iter_mut().zip(&rec_durations) {
             h.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
         }
-        for (c, d) in censored.iter_mut().zip(&rec_censored) {
+        for (c, d) in learned.censored.iter_mut().zip(&rec_censored) {
             c.extend(d.iter().take(PER_QUERY_STAGE_SAMPLES));
+        }
+        // Lifetime evidence takes every observation (its footprint is a
+        // handful of scalars per stage, not a sample window).
+        for (est, d) in learned.lifetime.iter_mut().zip(&rec_durations) {
+            for &x in d {
+                est.observe(x);
+            }
+        }
+        for (c, d) in learned.lifetime_censored.iter_mut().zip(&rec_censored) {
+            *c += d.len() as u64;
         }
         // The shells (and their inner buffers) go back on the shelf for
         // the next submission.
@@ -406,10 +655,15 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecor
         if interval > 0 && completed % interval == 0 {
             // A degenerate history (e.g. all-equal durations) leaves the
             // old priors in place; the service stays available.
-            if let Ok(epoch) = apply_refit(&state, &mut history, &mut censored) {
+            if let Ok(epoch) = apply_refit(&state, &mut learned) {
                 if let Some(m) = &state.cfg.metrics {
                     m.on_refit(epoch);
                 }
+                // Refit epochs are the durability points: persist the
+                // new priors and the lifetime statistics they rest on.
+                // A failed write leaves the previous generation in
+                // place; the service keeps running.
+                let _ = write_checkpoint(&state, &learned);
             }
         }
         // Ack after all bookkeeping so observers see a consistent state
@@ -418,30 +672,107 @@ async fn refit_loop(state: Weak<ServiceState>, mut rx: mpsc::Receiver<RefitRecor
     }
 }
 
+/// Builds and durably writes a checkpoint of the current learned state.
+/// Runs on the refit task (the single owner of `learned`).
+fn write_checkpoint(state: &ServiceState, learned: &LearnedState) -> Result<bool, String> {
+    let Some(dir) = &state.durability.dir else {
+        return Ok(false);
+    };
+    let snapshot = state.priors.read().unpoisoned().clone();
+    let now_ms = crate::clock::unix_ms();
+    let stages = snapshot
+        .tree
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(idx, s)| StageCheckpoint {
+            fanout: s.fanout as u64,
+            fitted: learned.fitted.get(idx).copied().flatten(),
+            stats: learned
+                .lifetime
+                .get(idx)
+                .map_or_else(EmpiricalStats::default, EmpiricalEstimator::stats),
+            censored: learned.lifetime_censored.get(idx).copied().unwrap_or(0),
+        })
+        .collect();
+    let ckpt = Checkpoint {
+        epoch: snapshot.epoch,
+        completed: state.completed.load(Ordering::Acquire) as u64,
+        refits: state.refits.load(Ordering::Acquire) as u64,
+        written_unix_ms: now_ms,
+        stages,
+    };
+    checkpoint::store(dir, &ckpt)
+        .map_err(|e| format!("writing checkpoint to {}: {e}", dir.display()))?;
+    state
+        .durability
+        .last_checkpoint_ms
+        .store(now_ms, Ordering::Release);
+    state.durability.written.fetch_add(1, Ordering::AcqRel);
+    if let Some(m) = &state.cfg.metrics {
+        m.checkpoints_total.inc();
+    }
+    Ok(true)
+}
+
+/// Rebuilds a priors tree from a decoded checkpoint, validating that it
+/// describes the tree shape this service was configured with. Stages the
+/// checkpoint never refitted keep the configured initial prior. Returns
+/// the cold-start reason on any mismatch.
+fn restore_priors(initial: &TreeSpec, ckpt: &Checkpoint) -> Result<TreeSpec, String> {
+    if ckpt.stages.len() != initial.levels() {
+        return Err(format!(
+            "checkpoint has {} stages but the configured tree has {}",
+            ckpt.stages.len(),
+            initial.levels()
+        ));
+    }
+    let mut stages = Vec::with_capacity(ckpt.stages.len());
+    for (idx, s) in ckpt.stages.iter().enumerate() {
+        let old = initial.stage(idx);
+        if s.fanout != old.fanout as u64 {
+            return Err(format!(
+                "stage {idx} fan-out {} does not match the configured {}",
+                s.fanout, old.fanout
+            ));
+        }
+        let dist: Arc<dyn ContinuousDist> = match s.fitted {
+            Some((mu, sigma)) => Arc::new(
+                cedar_distrib::LogNormal::new(mu, sigma)
+                    .map_err(|e| format!("stage {idx} fitted parameters rejected: {e:?}"))?,
+            ),
+            None => old.dist.clone(),
+        };
+        stages.push(StageSpec::from_arc(dist, old.fanout));
+    }
+    Ok(TreeSpec::new(stages))
+}
+
 /// Re-fits every stage's prior from the recorded history (log-normal
 /// MLE; the censored variant when the stage has right-censored entries,
 /// so non-arrivals under faults don't bias the prior toward fast
 /// completions), keeping fan-outs; bumps the epoch and drops stale cache
 /// entries. Returns the new epoch.
-fn apply_refit(
-    state: &ServiceState,
-    history: &mut [Vec<f64>],
-    censored: &mut [Vec<f64>],
-) -> Result<u64, DistError> {
+fn apply_refit(state: &ServiceState, learned: &mut LearnedState) -> Result<u64, DistError> {
     let current = state.priors.read().unpoisoned().clone();
-    let mut stages = Vec::with_capacity(history.len());
-    for (idx, h) in history.iter().enumerate() {
+    let mut stages = Vec::with_capacity(learned.history.len());
+    let mut fitted_params = vec![None; learned.history.len()];
+    for (idx, h) in learned.history.iter().enumerate() {
         let old = current.tree.stage(idx);
-        let cens: &[f64] = censored.get(idx).map_or(&[], Vec::as_slice);
+        let cens: &[f64] = learned.censored.get(idx).map_or(&[], Vec::as_slice);
         let censored_fit = if cens.is_empty() || h.len() < 20 {
             None
         } else {
             cedar_estimate::fit_right_censored(Model::LogNormal, h, cens)
         };
         let dist: Arc<dyn ContinuousDist> = if let Some(p) = censored_fit {
-            Arc::new(cedar_distrib::LogNormal::new(p.mu, p.sigma)?)
+            let ln = cedar_distrib::LogNormal::new(p.mu, p.sigma)?;
+            fitted_params[idx] = Some((ln.mu(), ln.sigma()));
+            Arc::new(ln)
         } else if h.len() >= 20 {
-            Arc::new(cedar_distrib::fit::fit_lognormal_mle(h)?)
+            let ln = cedar_distrib::fit::fit_lognormal_mle(h)?;
+            fitted_params[idx] = Some((ln.mu(), ln.sigma()));
+            Arc::new(ln)
         } else {
             old.dist.clone()
         };
@@ -462,6 +793,15 @@ fn apply_refit(
         next
     };
     state.refits.fetch_add(1, Ordering::AcqRel);
+    state
+        .completed_at_refit
+        .store(state.completed.load(Ordering::Acquire), Ordering::Release);
+    // Record what this refit decided per stage, for the next checkpoint.
+    for (slot, p) in learned.fitted.iter_mut().zip(&fitted_params) {
+        if p.is_some() {
+            *slot = *p;
+        }
+    }
     // Contexts keyed by older epochs can never be requested again.
     state
         .cache
@@ -469,7 +809,11 @@ fn apply_refit(
         .unpoisoned()
         .retain(|(epoch, _), _| *epoch >= new_epoch);
     // Bound memory: keep a sliding window of recent history.
-    for h in history.iter_mut().chain(censored.iter_mut()) {
+    for h in learned
+        .history
+        .iter_mut()
+        .chain(learned.censored.iter_mut())
+    {
         let len = h.len();
         if len > HISTORY_WINDOW {
             h.drain(..len - HISTORY_WINDOW);
@@ -589,6 +933,141 @@ mod tests {
         }
         assert_eq!(on.cache_stats().0, 3);
         assert_eq!(off.cache_stats(), (0, 0));
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cedar-svc-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn checkpoint_round_trip_warm_restarts() {
+        let dir = ckpt_dir("roundtrip");
+        let mk = || {
+            let mut cfg = ServiceConfig::new(tree(0.5), 60.0);
+            cfg.refit_interval = 5;
+            cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+            AggregationService::new(cfg)
+        };
+        let first = mk();
+        assert!(first.checkpointing());
+        assert!(first.warm_restart().is_none());
+        assert!(first.cold_start_reason().unwrap().contains("no checkpoint"));
+        for _ in 0..10 {
+            first.submit(tree(2.5)).await;
+        }
+        assert_eq!(first.refits(), 2);
+        assert_eq!(first.checkpoints_written(), 2, "one write per refit");
+        assert!(first.checkpoint_age_ms().is_some());
+        let learned_median = first.priors().stage(0).dist.quantile(0.5);
+        drop(first);
+
+        // "Restart": a fresh service over the same directory resumes
+        // priors, epoch and counters exactly where the last one left off.
+        let second = mk();
+        let warm = second.warm_restart().expect("warm restart");
+        assert_eq!(warm.epoch, 2);
+        assert_eq!(warm.completed, 10);
+        assert_eq!(warm.refits, 2);
+        assert!(second.cold_start_reason().is_none());
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(second.completed(), 10);
+        let restored_median = second.priors().stage(0).dist.quantile(0.5);
+        assert!(
+            (restored_median - learned_median).abs() < 1e-12,
+            "{restored_median} vs {learned_median}"
+        );
+        // The refit cadence continues from the restored count.
+        for _ in 0..5 {
+            second.submit(tree(2.5)).await;
+        }
+        assert_eq!(second.completed(), 15);
+        assert_eq!(second.refits(), 3);
+        assert_eq!(second.epoch(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn checkpoint_now_flushes_on_demand() {
+        let dir = ckpt_dir("flush");
+        let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+        cfg.refit_interval = 0; // no refit epochs: only the explicit flush writes
+        cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+        let svc = AggregationService::new(cfg);
+        for _ in 0..3 {
+            svc.submit(tree(1.0)).await;
+        }
+        assert_eq!(svc.checkpoints_written(), 0);
+        assert!(svc.checkpoint_now().await.unwrap());
+        assert_eq!(svc.checkpoints_written(), 1);
+        let loaded = checkpoint::load(&dir);
+        let ckpt = loaded.checkpoint.unwrap();
+        assert_eq!(ckpt.completed, 3);
+        assert_eq!(ckpt.epoch, 0);
+        // Observed evidence rode along even though no refit ran.
+        assert!(ckpt.stages[0].stats.count > 0);
+
+        // Without checkpointing the flush is a clean no-op.
+        let plain = AggregationService::new(ServiceConfig::new(tree(1.0), 40.0));
+        assert!(!plain.checkpoint_now().await.unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn corrupted_checkpoint_degrades_to_cold_start() {
+        let dir = ckpt_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(checkpoint::FILE_NAME), b"not a checkpoint at all").unwrap();
+        let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+        cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+        let svc = AggregationService::new(cfg);
+        assert!(svc.warm_restart().is_none());
+        let reason = svc.cold_start_reason().unwrap();
+        assert!(reason.contains("CEDARCKP"), "{reason}");
+        assert_eq!(svc.epoch(), 0);
+        // The service still works.
+        let out = svc.submit(tree(1.0)).await;
+        assert!((0.0..=1.0).contains(&out.quality));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn shape_mismatched_checkpoint_is_rejected() {
+        let dir = ckpt_dir("shape");
+        {
+            let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+            cfg.refit_interval = 0;
+            cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+            let svc = AggregationService::new(cfg);
+            svc.submit(tree(1.0)).await;
+            assert!(svc.checkpoint_now().await.unwrap());
+        }
+        // Same directory, different tree shape: warm restart must refuse.
+        let other = TreeSpec::two_level(
+            StageSpec::new(cedar_distrib::LogNormal::new(1.0, 0.6).unwrap(), 16),
+            StageSpec::new(cedar_distrib::LogNormal::new(1.0, 0.4).unwrap(), 4),
+        );
+        let mut cfg = ServiceConfig::new(other, 40.0);
+        cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+        let svc = AggregationService::new(cfg);
+        assert!(svc.warm_restart().is_none());
+        let reason = svc.cold_start_reason().unwrap();
+        assert!(reason.contains("fan-out"), "{reason}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn priors_age_tracks_refits() {
+        let mut cfg = ServiceConfig::new(tree(1.0), 40.0);
+        cfg.refit_interval = 4;
+        let svc = AggregationService::new(cfg);
+        assert_eq!(svc.priors_age_queries(), 0);
+        for _ in 0..6 {
+            svc.submit(tree(1.0)).await;
+        }
+        // Refit landed at 4 completions; two queries since.
+        assert_eq!(svc.priors_age_queries(), 2);
     }
 
     #[tokio::test(start_paused = true)]

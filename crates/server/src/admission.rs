@@ -122,6 +122,24 @@ impl AdmissionGate {
         }
     }
 
+    /// Claims an execution slot only if one is free right now; never
+    /// enters the wait queue. This is how spill-queue waiters re-enter:
+    /// they already waited their turn in the spill FIFO, so a second
+    /// stint in the admission queue would double-count their patience.
+    pub fn try_admit_now(&self) -> Option<AdmissionPermit> {
+        let mut state = self.inner.state.lock().unpoisoned();
+        if state.in_flight < self.inner.cfg.max_inflight {
+            state.in_flight += 1;
+            return Some(self.permit());
+        }
+        None
+    }
+
+    /// The limits this gate enforces.
+    pub fn limits(&self) -> &AdmissionConfig {
+        &self.inner.cfg
+    }
+
     /// Queries currently holding a permit.
     pub fn in_flight(&self) -> usize {
         self.inner.state.lock().unpoisoned().in_flight
@@ -190,6 +208,17 @@ mod tests {
         let permit = waiter.join().unwrap();
         assert!(permit.is_ok());
         assert_eq!(g.in_flight(), 1);
+    }
+
+    #[test]
+    fn admit_now_never_queues() {
+        let g = gate(1, 4, 1_000);
+        let held = g.try_admit_now().expect("slot free");
+        assert!(g.try_admit_now().is_none());
+        assert_eq!(g.queued(), 0);
+        drop(held);
+        assert!(g.try_admit_now().is_some());
+        assert_eq!(g.limits().max_inflight, 1);
     }
 
     #[test]

@@ -128,6 +128,11 @@ impl Client {
         self.request(&Request::metrics())
     }
 
+    /// Fetches the server's elasticity health snapshot.
+    pub fn health(&mut self) -> io::Result<Response> {
+        self.request(&Request::health())
+    }
+
     /// Checks liveness.
     pub fn ping(&mut self) -> io::Result<Response> {
         self.request(&Request::ping())

@@ -13,6 +13,9 @@
 //! - [`admission`]: a bounded in-flight gate — beyond the cap, requests
 //!   queue for a bounded time and are then shed, so deadline semantics
 //!   stay honest under overload;
+//! - [`spill`]: an optional second-level FIFO behind the admission
+//!   queue — encoded request frames overflow to a bounded segment file
+//!   under burst and replay in order as slots free;
 //! - [`server`]: the TCP service — one OS thread per connection parses
 //!   frames and drives queries on a shared multi-threaded tokio runtime
 //!   through the concurrent [`AggregationService`];
@@ -44,8 +47,11 @@ pub mod client;
 pub mod clock;
 pub mod proto;
 pub mod server;
+pub mod spill;
 pub mod wire2;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, Shed};
 pub use client::{Client, WireFormat};
+pub use proto::{HealthState, HealthStatus};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use spill::{SpillConfig, SpillQueue, SpillStats};

@@ -56,6 +56,8 @@ pub const OP_PING: &str = "ping";
 pub const OP_SHUTDOWN: &str = "shutdown";
 /// Operation name for a Prometheus-text metrics snapshot.
 pub const OP_METRICS: &str = "metrics";
+/// Operation name for the elasticity health probe.
+pub const OP_HEALTH: &str = "health";
 
 /// Error code: the request itself was malformed (bad op, bad tree,
 /// missing fields). Retrying unchanged will fail again.
@@ -131,6 +133,11 @@ impl Request {
         Self::bare(OP_METRICS)
     }
 
+    /// A health probe.
+    pub fn health() -> Self {
+        Self::bare(OP_HEALTH)
+    }
+
     fn bare(op: &str) -> Self {
         Self {
             op: op.to_owned(),
@@ -186,6 +193,71 @@ pub struct ServerStats {
     pub shed_total: u64,
     /// Query requests accepted since start.
     pub served_total: u64,
+    /// Queries completed since the last accepted refit — how stale the
+    /// current priors are. Absent from servers predating durability.
+    pub priors_age_queries: Option<u64>,
+    /// Milliseconds since the last durable checkpoint. Absent when
+    /// checkpointing is off, nothing has been written yet, or the
+    /// server predates durability.
+    pub checkpoint_age_ms: Option<u64>,
+    /// Whether this server warm-restarted its priors from a checkpoint.
+    /// Absent from servers predating durability.
+    pub warm_restart: Option<bool>,
+}
+
+/// Coarse load state reported by [`OP_HEALTH`], ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum HealthState {
+    /// No callers waiting: the service absorbs load as it arrives.
+    Ok,
+    /// Callers are queued in memory; latency is building but nothing
+    /// has spilled or shed.
+    Degraded,
+    /// The in-memory admission queue is saturated or frames have
+    /// spilled to disk; new load is at risk of being shed.
+    Overloaded,
+}
+
+impl HealthState {
+    /// The wire spelling (`ok` / `degraded` / `overloaded`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// Elasticity signals returned for [`OP_HEALTH`]: the same queue,
+/// spill, and staleness numbers the Prometheus surface exposes, in one
+/// cheap structured probe an orchestrator can poll.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthStatus {
+    /// Coarse state derived from the queue and spill depths.
+    pub state: HealthState,
+    /// Queries currently holding an execution slot.
+    pub in_flight: usize,
+    /// Callers waiting in the in-memory admission queue.
+    pub queued: usize,
+    /// Frames parked in the spill queue (0 when spill is disabled).
+    pub spilled: usize,
+    /// Current spill segment-file length in bytes.
+    pub spill_disk_bytes: u64,
+    /// Current priors epoch.
+    pub priors_epoch: u64,
+    /// Queries completed since the last accepted refit.
+    pub priors_age_queries: u64,
+    /// Milliseconds since the last durable checkpoint; `None` when
+    /// checkpointing is off or nothing has been written yet.
+    pub checkpoint_age_ms: Option<u64>,
+    /// Whether the serving priors were warm-restarted from a checkpoint.
+    pub warm_restart: bool,
+    /// 99th-percentile latency of the per-arrival CALCULATEWAIT scan,
+    /// in wall seconds (`0.0` until the histogram has samples).
+    pub wait_scan_p99_seconds: f64,
 }
 
 /// A server response. Exactly one of `result` / `stats` is set for the
@@ -207,6 +279,8 @@ pub struct Response {
     pub stats: Option<ServerStats>,
     /// Prometheus-text metrics snapshot for [`OP_METRICS`].
     pub metrics: Option<String>,
+    /// Elasticity snapshot for [`OP_HEALTH`].
+    pub health: Option<HealthStatus>,
 }
 
 impl Response {
@@ -219,6 +293,7 @@ impl Response {
             result: None,
             stats: None,
             metrics: None,
+            health: None,
         }
     }
 
@@ -246,6 +321,14 @@ impl Response {
         }
     }
 
+    /// A successful health response.
+    pub fn with_health(health: HealthStatus) -> Self {
+        Self {
+            health: Some(health),
+            ..Self::ok()
+        }
+    }
+
     /// A failure response without a machine-readable class (legacy
     /// paths); prefer [`err_code`](Self::err_code).
     pub fn err(msg: impl Into<String>) -> Self {
@@ -256,6 +339,7 @@ impl Response {
             result: None,
             stats: None,
             metrics: None,
+            health: None,
         }
     }
 
@@ -652,6 +736,53 @@ mod tests {
         short.extend_from_slice(&3u32.to_be_bytes());
         short.push(1);
         assert!(read_frame_raw(&mut short.as_slice()).is_err());
+    }
+
+    #[test]
+    fn health_response_round_trips() {
+        let r = Response::with_health(HealthStatus {
+            state: HealthState::Degraded,
+            in_flight: 3,
+            queued: 2,
+            spilled: 0,
+            spill_disk_bytes: 0,
+            priors_epoch: 4,
+            priors_age_queries: 17,
+            checkpoint_age_ms: Some(250),
+            warm_restart: true,
+            wait_scan_p99_seconds: 0.000_125,
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &r).unwrap();
+        let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        let h = back.health.expect("health present");
+        assert_eq!(h.state, HealthState::Degraded);
+        assert_eq!(h.state.name(), "degraded");
+        assert_eq!(h.checkpoint_age_ms, Some(250));
+        assert!(h.warm_restart);
+        // Severity ordering backs the "worst state wins" comparison.
+        assert!(HealthState::Overloaded > HealthState::Degraded);
+        assert!(HealthState::Degraded > HealthState::Ok);
+    }
+
+    #[test]
+    fn stats_from_an_old_server_lack_durability_fields() {
+        // A pre-durability server's stats JSON has none of the new keys;
+        // they must decode as absent, not as an error.
+        let legacy = r#"{"ok":true,"error":null,"code":null,"result":null,
+            "stats":{"completed":5,"refits":1,"epoch":1,"cache_hits":4,
+            "cache_misses":1,"in_flight":0,"shed_total":0,"served_total":5},
+            "metrics":null}"#;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(legacy.len() as u32).to_be_bytes());
+        buf.extend_from_slice(legacy.as_bytes());
+        let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        let stats = back.stats.expect("stats present");
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.priors_age_queries, None);
+        assert_eq!(stats.checkpoint_age_ms, None);
+        assert_eq!(stats.warm_restart, None);
+        assert!(back.health.is_none());
     }
 
     #[test]

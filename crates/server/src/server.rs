@@ -9,9 +9,11 @@
 //! poll interval, and in-flight queries run to completion before their
 //! threads are joined.
 
-use crate::admission::{AdmissionConfig, AdmissionGate};
+use crate::admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, Shed};
 use crate::clock;
-use crate::proto::{self, QueryResult, Request, Response, ServerStats};
+use crate::proto::{self, HealthState, HealthStatus, QueryResult, Request, Response, ServerStats};
+use crate::spill::{SpillConfig, SpillQueue};
+use crate::wire2::BinaryCodec;
 use cedar_core::{LockExt, Millis};
 use cedar_runtime::{AggregationService, QueryOptions, RuntimeMetrics, ServiceConfig, TimeScale};
 use cedar_telemetry::{Counter, Gauge, QueryTrace, Registry};
@@ -57,6 +59,12 @@ pub struct ServerConfig {
     /// Prometheus-style scraper needs no frame protocol. `None` (the
     /// default) leaves metrics reachable only via the `"metrics"` op.
     pub metrics_addr: Option<String>,
+    /// When set, query requests arriving while the in-memory admission
+    /// queue is full are parked in a bounded disk-backed spill queue
+    /// and replayed FIFO as slots free, instead of shedding
+    /// immediately. `None` (the default) keeps the original
+    /// shed-at-the-queue-bound behavior.
+    pub spill: Option<SpillConfig>,
 }
 
 impl ServerConfig {
@@ -71,6 +79,7 @@ impl ServerConfig {
             drain_deadline: Duration::from_secs(10),
             query_timeout: Some(Duration::from_secs(30)),
             metrics_addr: None,
+            spill: None,
         }
     }
 
@@ -104,11 +113,18 @@ struct ServerMetrics {
     queries_inflight: Arc<Gauge>,
     admission_queue_depth: Arc<Gauge>,
     censored_fraction: Arc<Gauge>,
+    spill_queue_depth: Arc<Gauge>,
+    spill_disk_bytes: Arc<Gauge>,
+    spill_frames_total: Arc<Gauge>,
+    spill_replayed_total: Arc<Gauge>,
+    checkpoint_age_ms: Arc<Gauge>,
+    warm_restart: Arc<Gauge>,
     requests_query: Arc<Counter>,
     requests_stats: Arc<Counter>,
     requests_ping: Arc<Counter>,
     requests_metrics: Arc<Counter>,
     requests_shutdown: Arc<Counter>,
+    requests_health: Arc<Counter>,
     errors_bad_request: Arc<Counter>,
     errors_shed: Arc<Counter>,
     errors_internal: Arc<Counter>,
@@ -147,11 +163,39 @@ impl ServerMetrics {
                 "cedar_censored_observation_fraction",
                 "Fraction of stage-0 observations that were right-censored",
             ),
+            spill_queue_depth: registry.gauge(
+                "cedar_server_spill_queue_depth",
+                "Frames parked in the disk-backed spill queue",
+            ),
+            spill_disk_bytes: registry.gauge(
+                "cedar_server_spill_disk_bytes",
+                "Current spill segment-file length in bytes",
+            ),
+            spill_frames_total: registry.gauge(
+                "cedar_server_spill_frames_total",
+                "Frames ever written to the spill segment file (monotonic; \
+                 mirrored from the spill queue at scrape time)",
+            ),
+            spill_replayed_total: registry.gauge(
+                "cedar_server_spill_replayed_total",
+                "Spilled frames replayed to an execution slot (monotonic; \
+                 mirrored from the spill queue at scrape time)",
+            ),
+            checkpoint_age_ms: registry.gauge(
+                "cedar_server_checkpoint_age_ms",
+                "Milliseconds since the last durable checkpoint (0 when \
+                 checkpointing is off or nothing has been written)",
+            ),
+            warm_restart: registry.gauge(
+                "cedar_server_warm_restart",
+                "1 when the serving priors were restored from a checkpoint",
+            ),
             requests_query: op(proto::OP_QUERY),
             requests_stats: op(proto::OP_STATS),
             requests_ping: op(proto::OP_PING),
             requests_metrics: op(proto::OP_METRICS),
             requests_shutdown: op(proto::OP_SHUTDOWN),
+            requests_health: op(proto::OP_HEALTH),
             errors_bad_request: err(proto::ERR_BAD_REQUEST),
             errors_shed: err(proto::ERR_SHED),
             errors_internal: err(proto::ERR_INTERNAL),
@@ -171,6 +215,7 @@ impl ServerMetrics {
             proto::OP_PING => self.requests_ping.inc(),
             proto::OP_METRICS => self.requests_metrics.inc(),
             proto::OP_SHUTDOWN => self.requests_shutdown.inc(),
+            proto::OP_HEALTH => self.requests_health.inc(),
             _ => {} // unknown ops surface via the unknown_op error class
         }
     }
@@ -191,10 +236,21 @@ impl ServerMetrics {
     /// Publishes the point-in-time gauges and renders the whole
     /// registry as Prometheus text.
     #[allow(clippy::cast_precision_loss)] // gauge depths are far below 2^52
-    fn render(&self, gate: &AdmissionGate) -> String {
-        self.queries_inflight.set(gate.in_flight() as f64);
-        self.admission_queue_depth.set(gate.queued() as f64);
+    fn render(&self, shared: &ServerShared) -> String {
+        self.queries_inflight.set(shared.gate.in_flight() as f64);
+        self.admission_queue_depth.set(shared.gate.queued() as f64);
         self.censored_fraction.set(self.runtime.censored_fraction());
+        if let Some(spill) = &shared.spill {
+            let stats = spill.stats();
+            self.spill_queue_depth.set(stats.depth as f64);
+            self.spill_disk_bytes.set(stats.disk_bytes as f64);
+            self.spill_frames_total.set(stats.spilled_to_disk as f64);
+            self.spill_replayed_total.set(stats.replayed as f64);
+        }
+        self.checkpoint_age_ms
+            .set(shared.service.checkpoint_age_ms().unwrap_or(0) as f64);
+        self.warm_restart
+            .set(f64::from(u8::from(shared.service.warm_restart().is_some())));
         self.registry.render()
     }
 }
@@ -204,6 +260,7 @@ impl ServerMetrics {
 struct ServerShared {
     service: AggregationService,
     gate: AdmissionGate,
+    spill: Option<SpillQueue>,
     runtime: tokio::runtime::Handle,
     addr: SocketAddr,
     metrics: ServerMetrics,
@@ -260,9 +317,11 @@ impl Server {
             .as_ref()
             .map(TcpListener::local_addr)
             .transpose()?;
+        let spill = cfg.spill.as_ref().map(SpillQueue::open).transpose()?;
         let shared = Arc::new(ServerShared {
             service: AggregationService::new(cfg.service),
             gate: AdmissionGate::new(cfg.admission),
+            spill,
             runtime: runtime.handle().clone(),
             addr,
             metrics,
@@ -325,6 +384,18 @@ impl ServerHandle {
     /// Queries currently executing.
     pub fn in_flight(&self) -> usize {
         self.shared.gate.in_flight()
+    }
+
+    /// How the underlying service came up: `Some` when it restored a
+    /// checkpoint (warm restart), `None` on a cold start.
+    pub fn warm_restart(&self) -> Option<cedar_runtime::WarmRestart> {
+        self.shared.service.warm_restart()
+    }
+
+    /// Why the service cold-started although checkpointing was enabled
+    /// (missing directory, corrupt file, ...); `None` otherwise.
+    pub fn cold_start_reason(&self) -> Option<String> {
+        self.shared.service.cold_start_reason()
     }
 
     /// Initiates shutdown and blocks until in-flight queries have
@@ -394,6 +465,26 @@ impl ServerHandle {
                 ));
             }
             thread::sleep(POLL_INTERVAL.min(Duration::from_millis(20)));
+        }
+        // One final durable checkpoint of the learned state, while the
+        // runtime is still alive to run the refit task. A service
+        // without a checkpoint directory returns immediately.
+        if let Some(rt) = &self.runtime {
+            let service = &self.shared.service;
+            match rt.block_on(async {
+                tokio::time::timeout(Duration::from_secs(5), service.checkpoint_now()).await
+            }) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => {
+                    result = Err(io::Error::other(format!("final checkpoint failed: {e}")));
+                }
+                Err(_) => {
+                    result = Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "final checkpoint timed out",
+                    ));
+                }
+            }
         }
         // All users of the runtime are joined; tear it down last.
         drop(self.runtime.take());
@@ -570,7 +661,8 @@ fn dispatch(shared: &ServerShared, req: &Request) -> Response {
         proto::OP_PING => Response::ok(),
         proto::OP_SHUTDOWN => Response::ok(),
         proto::OP_STATS => Response::with_stats(collect_stats(shared)),
-        proto::OP_METRICS => Response::with_metrics(shared.metrics.render(&shared.gate)),
+        proto::OP_METRICS => Response::with_metrics(shared.metrics.render(shared)),
+        proto::OP_HEALTH => Response::with_health(collect_health(shared)),
         proto::OP_QUERY => serve_query(shared, req),
         other => Response::err_code(proto::ERR_UNKNOWN_OP, format!("unknown op {other:?}")),
     }
@@ -625,7 +717,7 @@ fn serve_scrape(shared: &Arc<ServerShared>, stream: TcpStream) {
             Err(_) => return,
         }
     }
-    let body = shared.metrics.render(&shared.gate);
+    let body = shared.metrics.render(shared);
     let header = format!(
         "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
@@ -647,6 +739,90 @@ fn collect_stats(shared: &ServerShared) -> ServerStats {
         in_flight: shared.gate.in_flight(),
         shed_total: shared.shed_total.load(Ordering::Acquire),
         served_total: shared.served_total.load(Ordering::Acquire),
+        priors_age_queries: Some(shared.service.priors_age_queries() as u64),
+        checkpoint_age_ms: shared.service.checkpoint_age_ms(),
+        warm_restart: Some(shared.service.warm_restart().is_some()),
+    }
+}
+
+/// One structured elasticity probe: the queue, spill, and staleness
+/// numbers an orchestrator polls to decide whether to add capacity,
+/// drain this instance, or leave it alone. The coarse state is derived
+/// here, server-side, so every poller applies the same thresholds:
+/// anything spilled (or a saturated in-memory queue) is `overloaded`,
+/// a non-empty queue is `degraded`, otherwise `ok`.
+fn collect_health(shared: &ServerShared) -> HealthStatus {
+    let queued = shared.gate.queued();
+    let spill = shared
+        .spill
+        .as_ref()
+        .map(SpillQueue::stats)
+        .unwrap_or_default();
+    let max_queued = shared.gate.limits().max_queued;
+    let state = if spill.depth > 0 || (queued > 0 && queued >= max_queued) {
+        HealthState::Overloaded
+    } else if queued > 0 {
+        HealthState::Degraded
+    } else {
+        HealthState::Ok
+    };
+    let p99 = shared
+        .metrics
+        .runtime
+        .wait_scan_seconds
+        .snapshot()
+        .quantile(0.99);
+    HealthStatus {
+        state,
+        in_flight: shared.gate.in_flight(),
+        queued,
+        spilled: spill.depth,
+        spill_disk_bytes: spill.disk_bytes,
+        priors_epoch: shared.service.epoch(),
+        priors_age_queries: shared.service.priors_age_queries() as u64,
+        checkpoint_age_ms: shared.service.checkpoint_age_ms(),
+        warm_restart: shared.service.warm_restart().is_some(),
+        wait_scan_p99_seconds: if p99.is_nan() { 0.0 } else { p99 },
+    }
+}
+
+/// The overload path: the in-memory admission queue was full, so the
+/// encoded request frame is parked in the spill queue and the
+/// connection thread waits for its FIFO turn plus a freed slot. The
+/// frame handed back (possibly read from the segment file) is decoded
+/// into the request that actually executes.
+#[allow(clippy::result_large_err)] // the Err is the Response sent to the client
+fn spill_and_replay(
+    shared: &ServerShared,
+    req: &Request,
+) -> Result<(AdmissionPermit, Option<Request>), Response> {
+    let Some(spill) = &shared.spill else {
+        shared.shed_total.fetch_add(1, Ordering::AcqRel);
+        return Err(Response::err_code(
+            proto::ERR_SHED,
+            Shed::QueueFull.to_string(),
+        ));
+    };
+    let mut frame = Vec::new();
+    req.encode_binary(&mut frame);
+    let ticket = match spill.push(&frame) {
+        Ok(ticket) => ticket,
+        Err(shed) => {
+            shared.shed_total.fetch_add(1, Ordering::AcqRel);
+            return Err(Response::err_code(proto::ERR_SHED, shed.to_string()));
+        }
+    };
+    match spill.await_replay(ticket, &shared.gate, &shared.shutdown) {
+        Ok((bytes, permit)) => {
+            let replayed = Request::decode_binary(&bytes).map_err(|e| {
+                Response::err_code(proto::ERR_INTERNAL, format!("replaying spilled frame: {e}"))
+            })?;
+            Ok((permit, Some(replayed)))
+        }
+        Err(shed) => {
+            shared.shed_total.fetch_add(1, Ordering::AcqRel);
+            Err(Response::err_code(proto::ERR_SHED, shed.to_string()))
+        }
     }
 }
 
@@ -684,14 +860,40 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         }
     }
 
-    let _permit = match shared.gate.try_admit() {
-        Ok(permit) => permit,
+    let (_permit, replayed) = match shared.gate.try_admit() {
+        Ok(permit) => (permit, None),
+        Err(Shed::QueueFull) if shared.spill.is_some() => match spill_and_replay(shared, req) {
+            Ok(pair) => pair,
+            Err(resp) => return resp,
+        },
         Err(shed) => {
             shared.shed_total.fetch_add(1, Ordering::AcqRel);
             return Response::err_code(proto::ERR_SHED, shed.to_string());
         }
     };
     shared.served_total.fetch_add(1, Ordering::AcqRel);
+    // A replayed request executes from the bytes that came back off the
+    // ring or the segment file, not from the copy validated above — the
+    // spill round-trip is part of the serving path, not an aside.
+    let req = replayed.as_ref().unwrap_or(req);
+    let tree = match &replayed {
+        None => tree,
+        Some(r) => match r
+            .tree
+            .as_ref()
+            .map(cedar_workloads::treedef::TreeDef::build)
+        {
+            Some(Ok(tree)) => tree,
+            // The frame was validated before it was queued; a shape
+            // change on the way back means the spill file lied.
+            Some(Err(_)) | None => {
+                return Response::err_code(
+                    proto::ERR_INTERNAL,
+                    "spilled frame replayed with a different shape than it was queued with",
+                )
+            }
+        },
+    };
 
     let epoch = shared.service.epoch();
     let trace = req

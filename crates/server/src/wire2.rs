@@ -32,7 +32,17 @@
 //!   0x43 stats    completed:varint refits:varint epoch:varint
 //!                 cache_hits:varint cache_misses:varint
 //!                 in_flight:varint shed:varint served:varint
+//!                 [flags:u8 [priors_age:varint] [ckpt_age:varint]]
+//!                 (the trailing extension block is present only when a
+//!                  durability field is set — flags bit0 = priors_age,
+//!                  bit1 = ckpt_age, bit2 = warm_restart present,
+//!                  bit3 = warm_restart value — so pre-durability
+//!                  decoders still accept minimal stats bodies)
 //!   0x45 metrics  text:str
+//!   0x46 health   state:u8 in_flight:varint queued:varint
+//!                 spilled:varint disk_bytes:varint epoch:varint
+//!                 priors_age:varint p99:f64 flags:u8 [ckpt_age:varint]
+//!                 (flags bit0 = ckpt_age, bit1 = warm_restart)
 //!   0x4f error    flags:u8 [error:str] [code:str]
 //!
 //! tree     := nstages:varint (fanout:varint dist)*
@@ -55,7 +65,7 @@
 //! nested [`DistSpec`]s, and every malformed body yields a typed
 //! [`WireError`], never a panic.
 
-use crate::proto::{QueryResult, Request, Response, ServerStats};
+use crate::proto::{HealthState, HealthStatus, QueryResult, Request, Response, ServerStats};
 use cedar_runtime::FailureReport;
 use cedar_wire::{Reader, Result as WireResult, WireError, Writer};
 use cedar_workloads::treedef::{StageDef, TreeDef};
@@ -85,6 +95,8 @@ pub const KIND_RESP_RESULT: u8 = 0x42;
 pub const KIND_RESP_STATS: u8 = 0x43;
 /// Kind byte: a metrics response.
 pub const KIND_RESP_METRICS: u8 = 0x45;
+/// Kind byte: a health response.
+pub const KIND_RESP_HEALTH: u8 = 0x46;
 /// Kind byte: an error response.
 pub const KIND_RESP_ERR: u8 = 0x4f;
 
@@ -271,9 +283,62 @@ impl BinaryCodec for Response {
             w.usize(stats.in_flight);
             w.uvarint(stats.shed_total);
             w.uvarint(stats.served_total);
+            // Durability extension: emitted only when a field is set,
+            // so bodies without it stay decodable by pre-extension
+            // readers (and the reverse, via the remaining-bytes probe).
+            let any = stats.priors_age_queries.is_some()
+                || stats.checkpoint_age_ms.is_some()
+                || stats.warm_restart.is_some();
+            if any {
+                let mut flags = 0u8;
+                if stats.priors_age_queries.is_some() {
+                    flags |= 1;
+                }
+                if stats.checkpoint_age_ms.is_some() {
+                    flags |= 1 << 1;
+                }
+                if let Some(warm) = stats.warm_restart {
+                    flags |= 1 << 2;
+                    if warm {
+                        flags |= 1 << 3;
+                    }
+                }
+                w.u8(flags);
+                if let Some(age) = stats.priors_age_queries {
+                    w.uvarint(age);
+                }
+                if let Some(age) = stats.checkpoint_age_ms {
+                    w.uvarint(age);
+                }
+            }
         } else if let Some(text) = &self.metrics {
             w.u8(KIND_RESP_METRICS);
             w.str(text);
+        } else if let Some(h) = &self.health {
+            w.u8(KIND_RESP_HEALTH);
+            w.u8(match h.state {
+                HealthState::Ok => 0,
+                HealthState::Degraded => 1,
+                HealthState::Overloaded => 2,
+            });
+            w.usize(h.in_flight);
+            w.usize(h.queued);
+            w.usize(h.spilled);
+            w.uvarint(h.spill_disk_bytes);
+            w.uvarint(h.priors_epoch);
+            w.uvarint(h.priors_age_queries);
+            w.f64(h.wait_scan_p99_seconds);
+            let mut flags = 0u8;
+            if h.checkpoint_age_ms.is_some() {
+                flags |= 1;
+            }
+            if h.warm_restart {
+                flags |= 1 << 1;
+            }
+            w.u8(flags);
+            if let Some(age) = h.checkpoint_age_ms {
+                w.uvarint(age);
+            }
         } else {
             w.u8(KIND_RESP_OK);
         }
@@ -315,17 +380,70 @@ impl BinaryCodec for Response {
                     trace,
                 })
             }
-            KIND_RESP_STATS => Response::with_stats(ServerStats {
-                completed: r.usize()?,
-                refits: r.usize()?,
-                epoch: r.uvarint()?,
-                cache_hits: r.uvarint()?,
-                cache_misses: r.uvarint()?,
-                in_flight: r.usize()?,
-                shed_total: r.uvarint()?,
-                served_total: r.uvarint()?,
-            }),
+            KIND_RESP_STATS => {
+                let mut stats = ServerStats {
+                    completed: r.usize()?,
+                    refits: r.usize()?,
+                    epoch: r.uvarint()?,
+                    cache_hits: r.uvarint()?,
+                    cache_misses: r.uvarint()?,
+                    in_flight: r.usize()?,
+                    shed_total: r.uvarint()?,
+                    served_total: r.uvarint()?,
+                    priors_age_queries: None,
+                    checkpoint_age_ms: None,
+                    warm_restart: None,
+                };
+                // Pre-durability bodies end here; newer ones append the
+                // extension block.
+                if !r.is_empty() {
+                    let flags = r.u8()?;
+                    if flags & 1 != 0 {
+                        stats.priors_age_queries = Some(r.uvarint()?);
+                    }
+                    if flags & (1 << 1) != 0 {
+                        stats.checkpoint_age_ms = Some(r.uvarint()?);
+                    }
+                    if flags & (1 << 2) != 0 {
+                        stats.warm_restart = Some(flags & (1 << 3) != 0);
+                    }
+                }
+                Response::with_stats(stats)
+            }
             KIND_RESP_METRICS => Response::with_metrics(r.str()?.to_owned()),
+            KIND_RESP_HEALTH => {
+                let state = match r.u8()? {
+                    0 => HealthState::Ok,
+                    1 => HealthState::Degraded,
+                    2 => HealthState::Overloaded,
+                    other => return Err(WireError::BadTag(other)),
+                };
+                let in_flight = r.usize()?;
+                let queued = r.usize()?;
+                let spilled = r.usize()?;
+                let spill_disk_bytes = r.uvarint()?;
+                let priors_epoch = r.uvarint()?;
+                let priors_age_queries = r.uvarint()?;
+                let wait_scan_p99_seconds = r.f64()?;
+                let flags = r.u8()?;
+                let checkpoint_age_ms = if flags & 1 != 0 {
+                    Some(r.uvarint()?)
+                } else {
+                    None
+                };
+                Response::with_health(HealthStatus {
+                    state,
+                    in_flight,
+                    queued,
+                    spilled,
+                    spill_disk_bytes,
+                    priors_epoch,
+                    priors_age_queries,
+                    checkpoint_age_ms,
+                    warm_restart: flags & (1 << 1) != 0,
+                    wait_scan_p99_seconds,
+                })
+            }
             KIND_RESP_ERR => {
                 let flags = r.u8()?;
                 let error = if flags & 1 != 0 {
@@ -345,6 +463,7 @@ impl BinaryCodec for Response {
                     result: None,
                     stats: None,
                     metrics: None,
+                    health: None,
                 }
             }
             other => return Err(WireError::BadTag(other)),
@@ -704,6 +823,9 @@ mod tests {
             in_flight: 1,
             shed_total: 0,
             served_total: 11,
+            priors_age_queries: None,
+            checkpoint_age_ms: None,
+            warm_restart: None,
         });
         assert_eq!(round_trip_resp(&stats).stats.expect("stats").cache_hits, 8);
 
@@ -718,6 +840,76 @@ mod tests {
                 .metrics
                 .as_deref(),
             Some("x 1\n")
+        );
+    }
+
+    #[test]
+    fn stats_durability_extension_round_trips_and_stays_optional() {
+        let base = ServerStats {
+            completed: 3,
+            refits: 1,
+            epoch: 1,
+            cache_hits: 2,
+            cache_misses: 1,
+            in_flight: 0,
+            shed_total: 0,
+            served_total: 3,
+            priors_age_queries: None,
+            checkpoint_age_ms: None,
+            warm_restart: None,
+        };
+        // All-None stats encode WITHOUT the extension block: the body
+        // is byte-identical to the pre-durability layout.
+        let mut minimal = Vec::new();
+        Response::with_stats(base.clone()).encode_binary(&mut minimal);
+        let back = Response::decode_binary(&minimal).unwrap().stats.unwrap();
+        assert_eq!(back.priors_age_queries, None);
+        assert_eq!(back.warm_restart, None);
+
+        let mut full = base;
+        full.priors_age_queries = Some(12);
+        full.checkpoint_age_ms = Some(4_567);
+        full.warm_restart = Some(true);
+        let back = round_trip_resp(&Response::with_stats(full)).stats.unwrap();
+        assert_eq!(back.priors_age_queries, Some(12));
+        assert_eq!(back.checkpoint_age_ms, Some(4_567));
+        assert_eq!(back.warm_restart, Some(true));
+    }
+
+    #[test]
+    fn health_responses_round_trip() {
+        for (state, ckpt, warm) in [
+            (HealthState::Ok, None, false),
+            (HealthState::Degraded, Some(0u64), true),
+            (HealthState::Overloaded, Some(99_000), true),
+        ] {
+            let resp = Response::with_health(HealthStatus {
+                state,
+                in_flight: 7,
+                queued: 3,
+                spilled: 11,
+                spill_disk_bytes: 8_192,
+                priors_epoch: 5,
+                priors_age_queries: 42,
+                checkpoint_age_ms: ckpt,
+                warm_restart: warm,
+                wait_scan_p99_seconds: 0.25,
+            });
+            let h = round_trip_resp(&resp).health.expect("health present");
+            assert_eq!(h.state, state);
+            assert_eq!(h.spilled, 11);
+            assert_eq!(h.checkpoint_age_ms, ckpt);
+            assert_eq!(h.warm_restart, warm);
+            assert_eq!(h.wait_scan_p99_seconds, 0.25);
+        }
+        // An out-of-range state byte is a typed error, not a panic.
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u8(KIND_RESP_HEALTH);
+        w.u8(9);
+        assert_eq!(
+            Response::decode_binary(&buf).unwrap_err(),
+            WireError::BadTag(9)
         );
     }
 

@@ -29,6 +29,9 @@
 
 use std::fmt;
 
+pub mod crc;
+pub use crc::crc32;
+
 /// Protocol version byte that announces a binary body in the versioned
 /// framing. (`0` is legacy bare JSON, `1` is versioned JSON.)
 pub const BINARY_VERSION: u8 = 2;

@@ -19,12 +19,41 @@ pub enum Rule {
     L4,
     /// No hand-rolled millisecond unit conversions in policy code.
     L5,
+    /// Wire-derived lengths must be cap-checked before they reach an
+    /// allocation.
+    L6,
+    /// Durability-path file writes must flow through
+    /// `cedar_core::fs::write_atomic`.
+    L7,
+    /// CRC verification must dominate decode on checkpoint/segment
+    /// read paths.
+    L8,
+    /// No `as` casts on wire-derived integers; use `try_from`.
+    L9,
+    /// Looping `spawn` sites must sit behind a bounded-concurrency
+    /// choke point.
+    L10,
     /// Malformed allow directive (missing rule list or justification).
     BadDirective,
 }
 
+/// Every lintable rule, in order — the SARIF driver enumerates these.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::L1,
+    Rule::L2,
+    Rule::L3,
+    Rule::L4,
+    Rule::L5,
+    Rule::L6,
+    Rule::L7,
+    Rule::L8,
+    Rule::L9,
+    Rule::L10,
+    Rule::BadDirective,
+];
+
 impl Rule {
-    /// Parses `"L1"`..`"L5"` (case-insensitive).
+    /// Parses `"L1"`..`"L10"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Rule> {
         match s.trim().to_ascii_uppercase().as_str() {
             "L1" => Some(Rule::L1),
@@ -32,6 +61,11 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
+            "L8" => Some(Rule::L8),
+            "L9" => Some(Rule::L9),
+            "L10" => Some(Rule::L10),
             _ => None,
         }
     }
@@ -52,6 +86,28 @@ impl Rule {
             Rule::L5 => {
                 "millisecond unit conversions must go through the duration \
                  newtypes (Millis / TimeScale / Duration), not raw f64 literals"
+            }
+            Rule::L6 => {
+                "a length decoded from the wire must be checked against a \
+                 declared cap before it sizes an allocation \
+                 (with_capacity / vec! / reserve)"
+            }
+            Rule::L7 => {
+                "durability-path file writes must go through \
+                 cedar_core::fs::write_atomic (temp + fsync + rename), not \
+                 raw File::create / fs::write"
+            }
+            Rule::L8 => {
+                "CRC verification must happen before decoding on every \
+                 checkpoint/segment read path"
+            }
+            Rule::L9 => {
+                "wire-derived integers must convert with try_from, not `as` \
+                 casts that silently truncate on narrower targets"
+            }
+            Rule::L10 => {
+                "a spawn inside a loop must sit behind a bounded-concurrency \
+                 choke point (admission permit, connection cap, semaphore)"
             }
             Rule::BadDirective => {
                 "cedar-lint allow directives need a rule list and a non-empty \
@@ -103,5 +159,106 @@ impl Diagnostic {
         }
         let _ = writeln!(out, "  = invariant: {}", self.rule.invariant());
         out
+    }
+}
+
+/// Renders a diagnostic set as a SARIF 2.1.0 log (hand-rolled JSON: the
+/// analysis crate stays dependency-free). CI uploads this so code-review
+/// annotations land on the offending line.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096 + diags.len() * 256);
+    out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"cedar-lint\",\n");
+    out.push_str("          \"informationUri\": \"crates/analysis/src/lint.rs\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str("            {\"id\": ");
+        push_json_str(&mut out, &rule.to_string());
+        out.push_str(", \"shortDescription\": {\"text\": ");
+        push_json_str(&mut out, rule.invariant());
+        out.push_str("}}");
+        if i + 1 < ALL_RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let uri = d.path.to_string_lossy().replace('\\', "/");
+        out.push_str("        {\"ruleId\": ");
+        push_json_str(&mut out, &d.rule.to_string());
+        out.push_str(", \"level\": \"error\", \"message\": {\"text\": ");
+        push_json_str(&mut out, &d.message);
+        out.push_str("}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ");
+        push_json_str(&mut out, &uri);
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            d.line.max(1),
+            d.col.max(1)
+        );
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parse_covers_v2() {
+        assert_eq!(Rule::parse("l6"), Some(Rule::L6));
+        assert_eq!(Rule::parse("L10"), Some(Rule::L10));
+        assert_eq!(Rule::parse("L11"), None);
+    }
+
+    #[test]
+    fn sarif_is_structurally_sound_and_escapes() {
+        let diags = vec![Diagnostic {
+            rule: Rule::L9,
+            path: PathBuf::from("crates/server/src/spill.rs"),
+            line: 186,
+            col: 15,
+            message: "cast of wire length `len` with \"as usize\"".to_owned(),
+        }];
+        let sarif = render_sarif(&diags);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"L9\""));
+        assert!(sarif.contains("\\\"as usize\\\""), "{sarif}");
+        assert!(sarif.contains("\"startLine\": 186"));
+        // Crude balance check: every brace pairs up.
+        let opens = sarif.matches('{').count();
+        let closes = sarif.matches('}').count();
+        assert_eq!(opens, closes);
+        let empty = render_sarif(&[]);
+        assert!(empty.contains("\"results\": [\n      ]"));
     }
 }

@@ -25,9 +25,12 @@
 pub mod diag;
 pub mod lexer;
 pub mod lint;
+pub mod parse;
+mod rules_v2;
 pub mod sched;
+pub mod totality;
 pub mod workspace;
 
-pub use diag::{Diagnostic, Rule};
+pub use diag::{render_sarif, Diagnostic, Rule};
 pub use lint::{lint_source, lint_workspace};
 pub use workspace::{collect_sources, FileClass, FileKind};

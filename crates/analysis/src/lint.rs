@@ -66,13 +66,14 @@ pub fn lint_source(class: &FileClass, src: &str) -> Vec<Diagnostic> {
     rule_l3_guard_across_await(&mut ctx);
     rule_l4_panics(&mut ctx);
     rule_l5_ms_literals(&mut ctx);
+    crate::rules_v2::run(&mut ctx);
     ctx.diags.sort_by_key(|d| (d.line, d.col));
     ctx.diags
 }
 
-struct FileCtx<'a> {
-    class: &'a FileClass,
-    tokens: &'a [Token],
+pub(crate) struct FileCtx<'a> {
+    pub(crate) class: &'a FileClass,
+    pub(crate) tokens: &'a [Token],
     /// Token index ranges covered by `#[cfg(test)]` / `#[cfg(bench)]`
     /// items (half-open).
     test_spans: Vec<(usize, usize)>,
@@ -82,7 +83,7 @@ struct FileCtx<'a> {
 }
 
 impl FileCtx<'_> {
-    fn in_test_item(&self, idx: usize) -> bool {
+    pub(crate) fn in_test_item(&self, idx: usize) -> bool {
         self.class.is_test_code()
             || self
                 .test_spans
@@ -90,7 +91,7 @@ impl FileCtx<'_> {
                 .any(|&(lo, hi)| idx >= lo && idx < hi)
     }
 
-    fn emit(&mut self, rule: Rule, tok: &Token, message: impl Into<String>) {
+    pub(crate) fn emit(&mut self, rule: Rule, tok: &Token, message: impl Into<String>) {
         let allowed = self
             .allows
             .get(&tok.line)
@@ -409,67 +410,32 @@ const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unpoi
 fn rule_l3_guard_across_await(ctx: &mut FileCtx) {
     let tokens = ctx.tokens;
     let mut hits = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        // Find `let [mut] <ident> = ... ;` statements.
-        if !tokens[i].is_ident("let") {
-            i += 1;
-            continue;
-        }
-        let mut j = i + 1;
-        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
-            j += 1;
-        }
-        let Some(bound) = tokens.get(j).and_then(|t| t.ident().map(str::to_owned)) else {
-            i += 1;
-            continue;
-        };
-        if !tokens.get(j + 1).is_some_and(|t| t.is_punct('=')) {
-            i += 1;
-            continue;
-        }
-        // Statement end: the `;` at zero bracket depth.
-        let Some(stmt_end) = statement_end(tokens, j + 2) else {
-            i += 1;
-            continue;
-        };
-        if let Some(guard_idx) = initializer_is_guard(tokens, j + 2, stmt_end) {
-            // Guard is live from stmt_end until the enclosing block
-            // closes, an explicit `drop(bound)`, or a shadowing re-`let`.
-            if let Some(await_tok) = find_await_while_live(tokens, stmt_end + 1, &bound) {
+    // Structural liveness over the parsed function bodies: a guard
+    // binding is live from its `let` to the `}` closing its scope (Rust
+    // drops at end of scope), cut short only by an explicit `drop` or a
+    // shadowing re-`let`. Covers plain lets and `if let`/`while let`
+    // binding forms alike.
+    for f in crate::parse::functions(tokens) {
+        for b in crate::parse::let_bindings(tokens, f.body) {
+            let Some(guard_idx) = initializer_is_guard(tokens, b.init.0, b.init.1) else {
+                continue;
+            };
+            if let Some(await_tok) = find_await_in_scope(tokens, b.init.1 + 1, b.scope_end, &b.name)
+            {
                 let tok = tokens[guard_idx].clone();
                 hits.push((
                     tok,
                     format!(
-                        "lock guard `{bound}` is held across the .await at line {}",
-                        await_tok.line
+                        "lock guard `{}` is held across the .await at line {}",
+                        b.name, await_tok.line
                     ),
                 ));
             }
         }
-        i = stmt_end + 1;
     }
     for (tok, msg) in hits {
         ctx.emit(Rule::L3, &tok, msg);
     }
-}
-
-fn statement_end(tokens: &[Token], from: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (k, t) in tokens.iter().enumerate().skip(from) {
-        match t.kind {
-            TokenKind::Punct('(' | '[' | '{') => depth += 1,
-            TokenKind::Punct(')' | ']' | '}') => {
-                depth -= 1;
-                if depth < 0 {
-                    return None;
-                }
-            }
-            TokenKind::Punct(';') if depth == 0 => return Some(k),
-            _ => {}
-        }
-    }
-    None
 }
 
 /// If the initializer in `tokens[from..end]` produces a live lock guard,
@@ -525,23 +491,18 @@ fn initializer_is_guard(tokens: &[Token], from: usize, end: usize) -> Option<usi
     Some(guard_idx)
 }
 
-/// Scans forward from `from` while the guard binding is live; returns
-/// the first `.await` token encountered, if any.
-fn find_await_while_live<'t>(tokens: &'t [Token], from: usize, bound: &str) -> Option<&'t Token> {
-    let mut depth = 0i32;
+/// Scans `[from, scope_end)` while the guard binding is live; returns
+/// the first `.await` token encountered, if any. The scope end comes
+/// from the parsed block tree, so liveness is structural, not guessed.
+fn find_await_in_scope<'t>(
+    tokens: &'t [Token],
+    from: usize,
+    scope_end: usize,
+    bound: &str,
+) -> Option<&'t Token> {
     let mut k = from;
-    while k < tokens.len() {
+    while k < scope_end.min(tokens.len()) {
         let t = &tokens[k];
-        match t.kind {
-            TokenKind::Punct('{') => depth += 1,
-            TokenKind::Punct('}') => {
-                depth -= 1;
-                if depth < 0 {
-                    return None; // enclosing block closed; guard dropped
-                }
-            }
-            _ => {}
-        }
         // drop(bound) or std::mem::drop(bound) ends liveness.
         if t.is_ident("drop")
             && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))

@@ -1,0 +1,374 @@
+//! A lightweight per-function parser over the lexed token stream: a
+//! brace/paren tree plus statement-level scoping, built for the v2
+//! dataflow rules (L6-L10) and the upgraded L3 liveness check.
+//!
+//! This is deliberately not a Rust grammar. The workspace vendors its
+//! dependencies offline, so `syn` is unavailable; instead this module
+//! recovers exactly the structure the rules need:
+//!
+//! * **function extraction** — every `fn name(...) { ... }` with its
+//!   body token range and `async`-ness;
+//! * **block scoping** — for any token inside a function body, the
+//!   index of the `}` that closes its innermost block. Combined with
+//!   Rust's drop-at-end-of-scope semantics this turns "is the binding
+//!   still live here?" from a heuristic into a structural question;
+//! * **let-binding extraction** — plain `let [mut] x [: T] = init;`
+//!   statements and the binding forms of `if let` / `while let`, each
+//!   with its initializer token range and its scope end.
+//!
+//! Statement order within a block approximates control flow (the
+//! "statement CFG"): token order *is* execution order for straight-line
+//! code, and every rule that needs dominance ("the cap check must come
+//! before the allocation", "the CRC check must come before the decode")
+//! interprets it that way, conservatively treating any prior occurrence
+//! in the function as potentially dominating.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One extracted function item.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Half-open token range of the body, from the opening `{` to one
+    /// past the closing `}`.
+    pub body: (usize, usize),
+    /// True when declared `async fn`.
+    pub is_async: bool,
+}
+
+impl Function {
+    /// Half-open range of the tokens strictly inside the body braces.
+    pub fn inner(&self) -> (usize, usize) {
+        (self.body.0 + 1, self.body.1.saturating_sub(1))
+    }
+}
+
+/// A `let`-introduced binding with its initializer and scope.
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// The bound identifier.
+    pub name: String,
+    /// Token index of the bound identifier.
+    pub name_idx: usize,
+    /// Half-open token range of the initializer expression.
+    pub init: (usize, usize),
+    /// Token index of the `}` closing the binding's scope: the value is
+    /// dropped no later than here.
+    pub scope_end: usize,
+}
+
+/// Extracts every function item in the token stream (free functions and
+/// methods alike — the brace tree does not care which).
+pub fn functions(tokens: &[Token]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(|t| t.ident().map(str::to_owned)) else {
+            i += 1;
+            continue;
+        };
+        let is_async = i >= 1 && tokens[i - 1].is_ident("async")
+            || i >= 2 && tokens[i - 1].is_ident("unsafe") && tokens[i - 2].is_ident("async");
+        // Walk the signature to the body `{` (or a `;` for trait/extern
+        // declarations without a body). Generic bounds and where-clauses
+        // may contain nested brackets but never a bare `{` at depth 0.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut body = None;
+        while let Some(t) = tokens.get(j) {
+            match t.kind {
+                TokenKind::Punct('(' | '[') => depth += 1,
+                TokenKind::Punct(')' | ']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => {
+                    body = matching_close(tokens, j, '{', '}').map(|close| (j, close + 1));
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(body) = body else {
+            i = j + 1;
+            continue;
+        };
+        out.push(Function {
+            name,
+            fn_idx: i,
+            body,
+            is_async,
+        });
+        // Nested fns are rare; recursing over the same range again is
+        // cheap and keeps them visible, so only skip past the signature.
+        i = body.0 + 1;
+    }
+    out
+}
+
+/// Index of the closing bracket matching the opener at `open_idx`.
+pub fn matching_close(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Token index of the `}` closing the innermost `{}` block containing
+/// `idx`, looking only inside `body` (a function body range). Falls
+/// back to the body's own closing brace.
+pub fn enclosing_block_end(tokens: &[Token], body: (usize, usize), idx: usize) -> usize {
+    let close = body.1.saturating_sub(1);
+    let mut stack = Vec::new();
+    for (k, tok) in tokens
+        .iter()
+        .enumerate()
+        .take(body.1.min(tokens.len()))
+        .skip(body.0)
+    {
+        match tok.kind {
+            TokenKind::Punct('{') => stack.push(k),
+            TokenKind::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    if open <= idx && idx <= k {
+                        return k;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    close
+}
+
+/// Extracts the `let` bindings of one function body: plain statements
+/// and `if let` / `while let` forms. Pattern destructuring binds every
+/// identifier in the pattern (conservative: a rule tracking taint will
+/// taint all of them).
+pub fn let_bindings(tokens: &[Token], body: (usize, usize)) -> Vec<LetBinding> {
+    let mut out = Vec::new();
+    let (lo, hi) = (body.0, body.1.min(tokens.len()));
+    let mut i = lo;
+    while i < hi {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let conditional = i > lo
+            && tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_ident("if") || t.is_ident("while"));
+        // Pattern runs to the `=` at bracket depth 0 (skipping `==`).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut eq = None;
+        while j < hi {
+            match tokens[j].kind {
+                TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                TokenKind::Punct('=')
+                    if depth == 0
+                        && !tokens.get(j + 1).is_some_and(|t| t.is_punct('='))
+                        && !tokens.get(j.wrapping_sub(1)).is_some_and(|t| {
+                            t.is_punct('!') || t.is_punct('<') || t.is_punct('>')
+                        }) =>
+                {
+                    eq = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i += 1;
+            continue;
+        };
+        // Initializer: from past `=` to the statement end. For plain
+        // lets that is the `;` at depth 0; for if/while-let it is the
+        // `{` opening the conditional's block.
+        let mut k = eq + 1;
+        let mut depth = 0i32;
+        let mut init_end = None;
+        let mut block_open = None;
+        while k < hi {
+            match tokens[k].kind {
+                TokenKind::Punct('(' | '[') => depth += 1,
+                TokenKind::Punct(')' | ']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 && conditional => {
+                    init_end = Some(k);
+                    block_open = Some(k);
+                    break;
+                }
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(';') if depth == 0 => {
+                    init_end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(init_end) = init_end else {
+            i = eq + 1;
+            continue;
+        };
+        // Scope: conditional bindings live inside the conditional block;
+        // plain bindings to the end of the enclosing block.
+        let scope_end = match block_open {
+            Some(open) => matching_close(tokens, open, '{', '}').unwrap_or(hi.saturating_sub(1)),
+            None => enclosing_block_end(tokens, body, i),
+        };
+        // Every identifier in the pattern (skipping type-position idents
+        // after `:` and keywords) becomes a binding.
+        let mut in_type = false;
+        for p in i + 1..eq {
+            match tokens[p].kind {
+                TokenKind::Punct(':') if !tokens.get(p + 1).is_some_and(|t| t.is_punct(':')) => {
+                    in_type = true;
+                }
+                TokenKind::Punct(',') => in_type = false,
+                _ => {}
+            }
+            if in_type {
+                continue;
+            }
+            let Some(id) = tokens[p].ident() else {
+                continue;
+            };
+            if matches!(id, "mut" | "ref" | "_")
+                || id.chars().next().is_some_and(char::is_uppercase)
+            {
+                // Skip keywords and enum/struct constructors in patterns
+                // (`Ok(x)`, `Some(x)`, `Point { x, y }`).
+                continue;
+            }
+            // `a::b` path segments are constructors too.
+            if tokens.get(p + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(p + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                continue;
+            }
+            out.push(LetBinding {
+                name: id.to_owned(),
+                name_idx: p,
+                init: (eq + 1, init_end),
+                scope_end,
+            });
+        }
+        i = init_end + 1;
+    }
+    out
+}
+
+/// True when token `idx` lies inside a `for` / `while` / `loop` body
+/// within `body` — i.e. the statement may execute an unbounded number
+/// of times per function call.
+pub fn in_loop(tokens: &[Token], body: (usize, usize), idx: usize) -> bool {
+    let (lo, hi) = (body.0, body.1.min(tokens.len()));
+    let mut k = lo;
+    while k < hi {
+        let t = &tokens[k];
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            // Find the loop body's `{` at depth 0 from here.
+            let mut j = k + 1;
+            let mut depth = 0i32;
+            while j < hi {
+                match tokens[j].kind {
+                    TokenKind::Punct('(' | '[') => depth += 1,
+                    TokenKind::Punct(')' | ']') => depth -= 1,
+                    TokenKind::Punct('{') if depth == 0 => break,
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => depth -= 1,
+                    TokenKind::Punct(';') if depth == 0 => {
+                        j = hi; // `while` used as an expr terminator? bail
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < hi {
+                if let Some(close) = matching_close(tokens, j, '{', '}') {
+                    if idx > j && idx < close {
+                        return true;
+                    }
+                    // Skip the whole loop body when the target is not
+                    // inside it, so nested loops are each considered.
+                    if idx >= close {
+                        k = close;
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_functions_with_bodies() {
+        let src = "fn a() { 1 } async fn b(x: u8) -> u8 { x } trait T { fn c(&self); }";
+        let l = lex(src);
+        let fns = functions(&l.tokens);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!(fns[1].is_async);
+    }
+
+    #[test]
+    fn let_bindings_cover_plain_and_conditional_forms() {
+        let src = "fn f(r: &mut R) { let n = r.usize()?; if let Ok(m) = r.read() { use_(m); } }";
+        let l = lex(src);
+        let f = &functions(&l.tokens)[0];
+        let binds = let_bindings(&l.tokens, f.body);
+        let names: Vec<_> = binds.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["n", "m"]);
+        // The conditional binding's scope closes with the if-block.
+        assert!(binds[1].scope_end < f.body.1 - 1);
+    }
+
+    #[test]
+    fn loop_membership() {
+        let src = "fn f() { setup(); loop { spawn(); } after(); }";
+        let l = lex(src);
+        let f = &functions(&l.tokens)[0];
+        let spawn_idx = l.tokens.iter().position(|t| t.is_ident("spawn")).unwrap();
+        let setup_idx = l.tokens.iter().position(|t| t.is_ident("setup")).unwrap();
+        assert!(in_loop(&l.tokens, f.body, spawn_idx));
+        assert!(!in_loop(&l.tokens, f.body, setup_idx));
+    }
+
+    #[test]
+    fn enclosing_block_resolution() {
+        let src = "fn f() { { let g = m.lock(); } g2(); }";
+        let l = lex(src);
+        let f = &functions(&l.tokens)[0];
+        let g_idx = l.tokens.iter().position(|t| t.is_ident("g")).unwrap();
+        let end = enclosing_block_end(&l.tokens, f.body, g_idx);
+        // The inner block's close comes before g2's call.
+        let g2_idx = l.tokens.iter().position(|t| t.is_ident("g2")).unwrap();
+        assert!(end < g2_idx);
+    }
+}

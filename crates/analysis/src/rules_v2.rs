@@ -1,0 +1,447 @@
+//! The v2 wire-safety rules (L6-L10): per-function dataflow over the
+//! [`crate::parse`] structure instead of bare token scans.
+//!
+//! All five rules share one shape: inside each function, identify
+//! *taint sources* (values read off the wire), *sinks* (allocations,
+//! casts, file creation, decoding, spawning) and *dominating evidence*
+//! (a cap comparison, a CRC check, an admission permit) that must occur
+//! earlier in the function. Token order within a function approximates
+//! statement order, and any earlier occurrence is conservatively
+//! accepted as dominating — the rules are built to make the dangerous
+//! pattern (no check anywhere before the sink) impossible to write
+//! silently, not to prove full path sensitivity.
+//!
+//! - **L6** — a length obtained from a `cedar_wire::Reader` (or a raw
+//!   `from_le_bytes`/`from_be_bytes` load) must be compared against a
+//!   cap before it reaches `with_capacity` / `vec![_; n]` / `reserve`.
+//! - **L7** — `File::create` / `fs::write` are forbidden outside the
+//!   sanctioned atomic-write home (`cedar_core::fs`); durable state
+//!   must go through `write_atomic`.
+//! - **L8** — in checkpoint/segment read modules, raw decoding
+//!   (`Reader::new`, `from_le_bytes`) must be preceded by a CRC check
+//!   in the same function.
+//! - **L9** — wire-derived integers must not pass through `as` casts
+//!   to narrower-or-platform-width integer types; `try_from` keeps the
+//!   truncation visible and typed.
+//! - **L10** — a `spawn` inside a loop must be dominated by a
+//!   bounded-concurrency token (permit/admission/semaphore/connection
+//!   cap); spawn-per-iteration with no bound turns load into threads.
+
+use crate::diag::Rule;
+use crate::lexer::{Token, TokenKind};
+use crate::lint::FileCtx;
+use crate::parse::{self, Function, LetBinding};
+
+/// Runs every v2 rule over the file.
+pub(crate) fn run(ctx: &mut FileCtx) {
+    let functions = parse::functions(ctx.tokens);
+    for f in &functions {
+        if ctx.in_test_item(f.fn_idx) {
+            continue;
+        }
+        let bindings = parse::let_bindings(ctx.tokens, f.body);
+        let tainted = tainted_names(ctx.tokens, &bindings);
+        rule_l6_alloc_caps(ctx, f, &tainted);
+        rule_l9_truncating_casts(ctx, f, &tainted);
+        rule_l10_bounded_spawn(ctx, f);
+    }
+    rule_l7_atomic_writes(ctx, &functions);
+    rule_l8_crc_before_decode(ctx, &functions);
+}
+
+// ---------------------------------------------------------------------
+// Taint: values read off the wire
+// ---------------------------------------------------------------------
+
+/// True when the token at `i` begins a wire-read call: a zero-argument
+/// `.uvarint()` / `.usize()` method call, or an integer
+/// `from_le_bytes(..)` / `from_be_bytes(..)` load.
+fn is_wire_source(tokens: &[Token], i: usize) -> bool {
+    let Some(id) = tokens[i].ident() else {
+        return false;
+    };
+    match id {
+        "uvarint" | "usize" => {
+            i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        }
+        "from_le_bytes" | "from_be_bytes" => tokens.get(i + 1).is_some_and(|t| t.is_punct('(')),
+        _ => false,
+    }
+}
+
+/// Binding names whose initializer reads from the wire, minus those the
+/// initializer itself bounds (`.min(cap)` or `try_from` with a typed
+/// fallible conversion).
+fn tainted_names(tokens: &[Token], bindings: &[LetBinding]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for b in bindings {
+        let (lo, hi) = b.init;
+        let mut sourced = false;
+        let mut bounded = false;
+        for k in lo..hi.min(tokens.len()) {
+            if is_wire_source(tokens, k) {
+                sourced = true;
+            }
+            if tokens[k].is_ident("min") || tokens[k].is_ident("clamp") {
+                bounded = true;
+            }
+        }
+        if sourced && !bounded {
+            out.push((b.name.clone(), b.name_idx));
+        }
+    }
+    out
+}
+
+/// True when `name` appears adjacent to a comparison operator (or as a
+/// `.min(` receiver) anywhere in the function before token `limit` —
+/// the cap-check evidence L6 requires.
+fn cap_checked_before(tokens: &[Token], f: &Function, name: &str, limit: usize) -> bool {
+    for k in f.body.0..limit.min(f.body.1) {
+        if !tokens[k].is_ident(name) {
+            continue;
+        }
+        let prev_cmp = k > 0
+            && matches!(tokens[k - 1].kind, TokenKind::Punct('<' | '>'))
+            // `-> usize` arrows and turbofish are not comparisons.
+            && !(k > 1 && tokens[k - 2].is_punct('-'))
+            && !(k > 1 && tokens[k - 2].is_punct(':'));
+        let next_cmp = tokens
+            .get(k + 1)
+            .is_some_and(|t| matches!(t.kind, TokenKind::Punct('<' | '>')))
+            && !tokens.get(k + 2).is_some_and(|t| t.is_punct('('));
+        let min_call = tokens.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && tokens
+                .get(k + 2)
+                .is_some_and(|t| t.is_ident("min") || t.is_ident("clamp"));
+        if prev_cmp || next_cmp || min_call {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// L6: wire length -> allocation without a cap check
+// ---------------------------------------------------------------------
+
+fn rule_l6_alloc_caps(ctx: &mut FileCtx, f: &Function, tainted: &[(String, usize)]) {
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for i in f.body.0..f.body.1.min(tokens.len()) {
+        // Sink openers: `with_capacity(` / `reserve(` and `vec![_; n]`.
+        let (args, sink) = if (tokens[i].is_ident("with_capacity") || tokens[i].is_ident("reserve"))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let Some(close) = parse::matching_close(tokens, i + 1, '(', ')') else {
+                continue;
+            };
+            ((i + 2, close), tokens[i].ident().unwrap_or("").to_owned())
+        } else if tokens[i].is_ident("vec")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('['))
+        {
+            let Some(close) = parse::matching_close(tokens, i + 2, '[', ']') else {
+                continue;
+            };
+            // Only the `[elem; len]` form sizes an allocation by a
+            // runtime value; the list form is fine.
+            let Some(semi) = (i + 3..close).find(|&k| tokens[k].is_punct(';')) else {
+                continue;
+            };
+            ((semi + 1, close), "vec![_; n]".to_owned())
+        } else {
+            continue;
+        };
+        for k in args.0..args.1 {
+            // A wire read directly in the argument can never have been
+            // cap-checked.
+            if is_wire_source(tokens, k) {
+                hits.push((
+                    i,
+                    format!("wire-read length flows straight into `{sink}` with no cap check"),
+                ));
+                break;
+            }
+            let Some(id) = tokens[k].ident() else {
+                continue;
+            };
+            if let Some((name, def_idx)) = tainted.iter().find(|(n, _)| n == id) {
+                if *def_idx < i && !cap_checked_before(tokens, f, name, i) {
+                    hits.push((
+                        i,
+                        format!(
+                            "wire-derived length `{name}` sizes `{sink}` without a prior cap check"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    for (i, msg) in hits {
+        let tok = ctx.tokens[i].clone();
+        ctx.emit(Rule::L6, &tok, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// L7: raw file creation outside the atomic-write home
+// ---------------------------------------------------------------------
+
+/// True when L7 applies to this file: library/workload production code,
+/// excluding the atomic-write implementation itself.
+fn durability_scoped(ctx: &FileCtx) -> bool {
+    if ctx.class.is_test_code() {
+        return false;
+    }
+    let path = ctx.class.path.to_string_lossy().replace('\\', "/");
+    if path == "crates/core/src/fs.rs" {
+        return false; // write_atomic's own File::create is the sanctioned one
+    }
+    crate::workspace::LIB_CRATES.contains(&ctx.class.krate.as_str())
+        || ctx.class.krate == "workloads"
+}
+
+fn rule_l7_atomic_writes(ctx: &mut FileCtx, functions: &[Function]) {
+    if !durability_scoped(ctx) {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test_item(i) {
+            continue;
+        }
+        // Only flag call sites inside function bodies (not doc paths).
+        if !functions.iter().any(|f| i > f.body.0 && i < f.body.1) {
+            continue;
+        }
+        // `File::create(` — any path spelling ending in File.
+        if t.is_ident("create")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("File")
+        {
+            hits.push((i, "raw `File::create` outside write_atomic".to_owned()));
+        }
+        // `fs::write(` — the clobber-in-place std helper.
+        if t.is_ident("write")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("fs")
+        {
+            hits.push((
+                i,
+                "`fs::write` clobbers in place; route through write_atomic".to_owned(),
+            ));
+        }
+    }
+    for (i, msg) in hits {
+        let tok = ctx.tokens[i].clone();
+        ctx.emit(Rule::L7, &tok, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// L8: CRC must dominate decode on durable read paths
+// ---------------------------------------------------------------------
+
+/// Files that parse durable on-disk bytes: checkpoint and spill-segment
+/// modules in library crates.
+fn durable_decode_scoped(ctx: &FileCtx) -> bool {
+    if ctx.class.is_test_code() {
+        return false;
+    }
+    let path = ctx.class.path.to_string_lossy().replace('\\', "/");
+    (path.ends_with("/checkpoint.rs") || path.ends_with("/spill.rs"))
+        && crate::workspace::LIB_CRATES.contains(&ctx.class.krate.as_str())
+}
+
+fn rule_l8_crc_before_decode(ctx: &mut FileCtx, functions: &[Function]) {
+    if !durable_decode_scoped(ctx) {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for f in functions {
+        if ctx.in_test_item(f.fn_idx) {
+            continue;
+        }
+        // Raw parse points: constructing a Reader over durable bytes or
+        // loading scalars straight out of them.
+        let mut first_decode = None;
+        let mut first_crc = None;
+        for k in f.body.0..f.body.1.min(tokens.len()) {
+            let Some(id) = tokens[k].ident() else {
+                continue;
+            };
+            if first_crc.is_none() && id.to_ascii_lowercase().contains("crc") {
+                first_crc = Some(k);
+            }
+            let is_reader_new = id == "Reader"
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(k + 3).is_some_and(|t| t.is_ident("new"));
+            let is_raw_load = (id == "from_le_bytes" || id == "from_be_bytes")
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct('('));
+            if first_decode.is_none() && (is_reader_new || is_raw_load) {
+                first_decode = Some(k);
+            }
+        }
+        if let Some(d) = first_decode {
+            let dominated = first_crc.is_some_and(|c| c < d);
+            if !dominated {
+                hits.push((
+                    d,
+                    format!(
+                        "`{}` decodes durable bytes before any CRC verification",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    for (i, msg) in hits {
+        let tok = ctx.tokens[i].clone();
+        ctx.emit(Rule::L8, &tok, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// L9: truncating casts on wire-derived integers
+// ---------------------------------------------------------------------
+
+/// Cast targets that can silently drop bits of a wire-read `u64` (or of
+/// a raw byte-load) on some supported platform.
+const NARROW_TARGETS: &[&str] = &[
+    "usize", "isize", "u32", "i32", "u16", "i16", "u8", "i8", "i64",
+];
+
+fn rule_l9_truncating_casts(ctx: &mut FileCtx, f: &Function, tainted: &[(String, usize)]) {
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for i in f.body.0..f.body.1.min(tokens.len()) {
+        if !tokens[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !NARROW_TARGETS.contains(&target) {
+            continue;
+        }
+        // What is being cast? Walk left over `?` and one closing paren
+        // group to the expression head.
+        let mut k = i;
+        while k > 0 && tokens[k - 1].is_punct('?') {
+            k -= 1;
+        }
+        if k > 0 && tokens[k - 1].is_punct(')') {
+            // Find the call head: `recv.uvarint()` / `u32::from_le_bytes(buf)`.
+            if let Some(open) = open_of_close(tokens, k - 1) {
+                if open >= 1 && is_wire_source(tokens, open - 1) {
+                    let src = tokens[open - 1].ident().unwrap_or("wire read");
+                    hits.push((
+                        i,
+                        format!("`as {target}` on the result of `{src}(..)`; use try_from"),
+                    ));
+                }
+            }
+        } else if k > 0 {
+            if let Some(id) = tokens[k - 1].ident() {
+                if tainted.iter().any(|(n, d)| n == id && *d < i) {
+                    hits.push((
+                        i,
+                        format!("`as {target}` on wire-derived `{id}`; use try_from"),
+                    ));
+                }
+            }
+        }
+    }
+    for (i, msg) in hits {
+        let tok = ctx.tokens[i].clone();
+        ctx.emit(Rule::L9, &tok, msg);
+    }
+}
+
+/// Index of the `(` matching a closing paren at `close_idx`.
+fn open_of_close(tokens: &[Token], close_idx: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (0..=close_idx).rev() {
+        if tokens[k].is_punct(')') {
+            depth += 1;
+        } else if tokens[k].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// L10: spawn-per-iteration must be bounded
+// ---------------------------------------------------------------------
+
+/// Identifier fragments that witness a concurrency bound acquired
+/// before the spawn: an admission permit, a semaphore, or an explicit
+/// connection/inflight cap.
+const BOUND_EVIDENCE: &[&str] = &[
+    "permit",
+    "admit",
+    "acquire",
+    "semaphore",
+    "max_connections",
+    "max_in_flight",
+    "at_capacity",
+];
+
+fn rule_l10_bounded_spawn(ctx: &mut FileCtx, f: &Function) {
+    if !crate::workspace::LIB_CRATES.contains(&ctx.class.krate.as_str()) {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut hits = Vec::new();
+    for i in f.body.0..f.body.1.min(tokens.len()) {
+        if !tokens[i].is_ident("spawn") || !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // One spawn per function call is structurally bounded by the
+        // caller; the dangerous shape is spawn-per-loop-iteration.
+        if !parse::in_loop(tokens, f.body, i) {
+            continue;
+        }
+        let bounded = (f.body.0..i).any(|k| {
+            tokens[k].ident().is_some_and(|id| {
+                // Memory-ordering variants are not admission evidence.
+                if matches!(id, "Acquire" | "AcqRel" | "Release" | "Relaxed" | "SeqCst") {
+                    return false;
+                }
+                let id = id.to_ascii_lowercase();
+                BOUND_EVIDENCE.iter().any(|ev| id.contains(ev))
+            })
+        });
+        if !bounded {
+            hits.push((
+                i,
+                format!(
+                    "`spawn` inside a loop in `{}` with no bounded-concurrency \
+                     choke point before it",
+                    f.name
+                ),
+            ));
+        }
+    }
+    for (i, msg) in hits {
+        let tok = ctx.tokens[i].clone();
+        ctx.emit(Rule::L10, &tok, msg);
+    }
+}

@@ -7,6 +7,6 @@ pub fn no_justification(x: Option<u64>) -> u64 {
 }
 
 pub fn unknown_rule(x: Option<u64>) -> u64 {
-    // cedar-lint: allow(L9): no such rule
+    // cedar-lint: allow(L99): no such rule
     x.unwrap() // still fires
 }

@@ -1,0 +1,48 @@
+// Seeded violation fixture for L10: spawning inside a loop must be
+// dominated by a bounded-concurrency choke point, or load converts
+// directly into threads.
+
+pub fn spawn_per_incoming_frame(listener: Listener) {
+    for stream in listener.incoming() {
+        // Fires: one thread per arrival, no cap anywhere in sight.
+        std::thread::spawn(move || handle(stream));
+    }
+}
+
+pub fn spawn_per_queue_item(queue: &Queue) {
+    while let Some(job) = queue.next() {
+        // Fires: same shape through a while-loop drain.
+        std::thread::spawn(move || run(job));
+    }
+}
+
+pub fn permit_gated_spawn_is_fine(listener: Listener, gate: &Gate) {
+    for stream in listener.incoming() {
+        let permit = gate.try_admit();
+        if permit.is_none() {
+            drop(stream);
+            continue;
+        }
+        // Clean: the admission permit above is the choke point.
+        std::thread::spawn(move || handle_with(permit, stream));
+    }
+}
+
+pub fn capacity_checked_spawn_is_fine(listener: Listener, active: &Counter) {
+    for stream in listener.incoming() {
+        let at_capacity = active.value() >= MAX_WORKERS;
+        if at_capacity {
+            drop(stream);
+            continue;
+        }
+        // Clean: the occupancy check above bounds the fleet.
+        std::thread::spawn(move || serve(active, stream));
+    }
+}
+
+pub fn justified_allow_is_exempt(tree: &Tree) {
+    for stage in tree.stages() {
+        // cedar-lint: allow(L10): one task per stage of a tree already validated against MAX_STAGES at decode
+        std::thread::spawn(move || aggregate(stage));
+    }
+}

@@ -1,0 +1,44 @@
+// Seeded violation fixture for L6: wire-read lengths must be compared
+// against a cap before they size an allocation.
+
+const MAX_ENTRIES: u64 = 1024;
+
+pub fn direct_wire_length_into_with_capacity(r: &mut Reader<'_>) -> WireResult<Vec<u8>> {
+    // Fires: the reader call sits straight in the allocation argument,
+    // so no cap check can possibly have happened.
+    let buf = Vec::with_capacity(r.usize()?);
+    Ok(buf)
+}
+
+pub fn tainted_binding_into_vec_macro(r: &mut Reader<'_>) -> WireResult<Vec<u8>> {
+    let n = r.uvarint()?;
+    // Fires: `n` came off the wire and nothing bounded it.
+    let buf = vec![0u8; n];
+    Ok(buf)
+}
+
+pub fn cap_checked_length_is_fine(r: &mut Reader<'_>) -> WireResult<Vec<u8>> {
+    let n = r.uvarint()?;
+    if n > MAX_ENTRIES {
+        return Err(WireError::Truncated);
+    }
+    // Clean: the comparison above dominates the allocation.
+    let buf = Vec::with_capacity(n);
+    Ok(buf)
+}
+
+pub fn bounded_at_the_source_is_fine(r: &mut Reader<'_>) -> WireResult<Vec<u8>> {
+    // Clean: the initializer itself clamps, so the binding is never
+    // tainted in the first place.
+    let n = r.uvarint()?.min(MAX_ENTRIES);
+    let mut buf = Vec::new();
+    buf.reserve(n);
+    Ok(buf)
+}
+
+pub fn justified_allow_is_exempt(r: &mut Reader<'_>) -> WireResult<Vec<u8>> {
+    let n = r.uvarint()?;
+    // cedar-lint: allow(L6): n is re-validated against MAX_FRAME_BYTES by the caller before this helper runs
+    let buf = Vec::with_capacity(n);
+    Ok(buf)
+}

@@ -1,0 +1,28 @@
+// Seeded violation fixture for L7: durable state must go through
+// `cedar_core::fs::write_atomic`, never raw creation or in-place
+// clobbering.
+
+pub fn raw_file_create(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Fires: a crash between create and write leaves a truncated file
+    // that a restart will read.
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)
+}
+
+pub fn in_place_fs_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Fires: `fs::write` truncates the previous generation before the
+    // new bytes are durable.
+    std::fs::write(path, bytes)
+}
+
+pub fn atomic_write_is_fine(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Clean: the sanctioned temp-file + fsync + rename home.
+    cedar_core::fs::write_atomic(path, bytes)
+}
+
+pub fn justified_allow_is_exempt(path: &Path) -> io::Result<()> {
+    // cedar-lint: allow(L7): scratch file under a tempdir the caller deletes; nothing durable reads it back
+    let f = std::fs::File::create(path)?;
+    drop(f);
+    Ok(())
+}

@@ -1,0 +1,32 @@
+// Seeded violation fixture for L8: on checkpoint/segment read paths,
+// CRC verification must dominate any raw decoding of durable bytes.
+// (The harness lints this file as if it were a library `checkpoint.rs`,
+// which is what brings it into L8 scope.)
+
+pub fn reader_before_any_crc(bytes: &[u8]) -> Result<Header, CheckpointError> {
+    // Fires: a torn or bit-rotted file drives the full grammar before
+    // anything has vouched for the bytes.
+    let mut r = Reader::new(bytes);
+    let epoch = r.uvarint()?;
+    Ok(Header { epoch })
+}
+
+pub fn raw_load_before_any_crc(header: &[u8; 8]) -> usize {
+    // Fires: same hazard through a scalar load instead of a Reader.
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    len.to_usize()
+}
+
+pub fn crc_named_binding_dominates(header: &[u8; 8]) -> Result<(u32, u32), CheckpointError> {
+    // Clean: the checksum is pulled out (and named) first; the length
+    // parse below it is dominated.
+    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    Ok((len, stored_crc))
+}
+
+pub fn justified_allow_is_exempt(bytes: &[u8]) -> Result<u64, CheckpointError> {
+    // cedar-lint: allow(L8): probes only the magic prefix to pick a decoder; the chosen decoder re-verifies
+    let mut r = Reader::new(bytes);
+    r.uvarint()
+}

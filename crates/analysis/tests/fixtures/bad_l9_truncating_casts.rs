@@ -1,0 +1,30 @@
+// Seeded violation fixture for L9: wire-derived integers must reach
+// narrower types through `try_from`, never through silent `as`
+// truncation.
+
+pub fn direct_cast_of_wire_read(r: &mut Reader<'_>) -> WireResult<usize> {
+    // Fires: a u64 off the wire loses its top half on 32-bit targets.
+    let n = r.uvarint()? as usize;
+    Ok(n)
+}
+
+pub fn cast_of_tainted_binding(r: &mut Reader<'_>) -> WireResult<u32> {
+    let declared = r.uvarint()?;
+    // Fires: `declared` is wire-derived and `as u32` drops bits.
+    let short = declared as u32;
+    Ok(short)
+}
+
+pub fn try_from_keeps_truncation_typed(r: &mut Reader<'_>) -> WireResult<usize> {
+    let declared = r.uvarint()?;
+    // Clean: the conversion failure is a value, not a silent wrap.
+    let n = usize::try_from(declared).map_err(|_| WireError::Truncated)?;
+    Ok(n)
+}
+
+pub fn justified_allow_is_exempt(r: &mut Reader<'_>) -> WireResult<u8> {
+    let flags = r.uvarint()?;
+    // cedar-lint: allow(L9): low byte extraction is intentional; the high bits were validated as zero above
+    let low = flags as u8;
+    Ok(low)
+}

@@ -11,12 +11,18 @@ use std::path::Path;
 /// Lints a fixture as if it lived at a library-crate source path, so
 /// every rule's scope applies.
 fn lint_fixture(name: &str) -> (Vec<cedar_analysis::Diagnostic>, String) {
+    lint_fixture_as(name, "crates/runtime/src/fixture_under_test.rs")
+}
+
+/// Same, but at a caller-chosen synthetic path — rules scoped by file
+/// name (L8 only applies to `checkpoint.rs` / `spill.rs`) need it.
+fn lint_fixture_as(name: &str, synthetic: &str) -> (Vec<cedar_analysis::Diagnostic>, String) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
-    let class = FileClass::classify(Path::new("crates/runtime/src/fixture_under_test.rs"))
+    let class = FileClass::classify(Path::new(synthetic))
         .expect("synthetic path classifies as library source");
     (lint_source(&class, &src), src)
 }
@@ -59,6 +65,58 @@ fn l4_fires_and_respects_justified_allow() {
 fn l5_fires_on_raw_ms_conversions() {
     let (diags, _) = lint_fixture("bad_l5_ms_literals.rs");
     assert_eq!(count(&diags, Rule::L5), 3, "{diags:?}");
+}
+
+#[test]
+fn l6_fires_on_uncapped_wire_lengths_only() {
+    let (diags, _) = lint_fixture("bad_l6_alloc_caps.rs");
+    // The direct-into-sink read and the unchecked tainted binding fire;
+    // the cap-checked, clamped-at-source, and justified shapes do not.
+    assert_eq!(count(&diags, Rule::L6), 2, "{diags:?}");
+    assert_eq!(count(&diags, Rule::BadDirective), 0, "{diags:?}");
+}
+
+#[test]
+fn l7_fires_on_raw_durability_writes_only() {
+    let (diags, _) = lint_fixture("bad_l7_atomic_writes.rs");
+    // File::create and fs::write fire; write_atomic and the justified
+    // scratch-file shape do not.
+    assert_eq!(count(&diags, Rule::L7), 2, "{diags:?}");
+}
+
+#[test]
+fn l8_fires_when_decode_precedes_crc() {
+    // L8 is scoped to durable-read modules by file name, so classify
+    // the fixture as a library checkpoint.rs.
+    let (diags, _) = lint_fixture_as(
+        "bad_l8_crc_before_decode.rs",
+        "crates/runtime/src/checkpoint.rs",
+    );
+    assert_eq!(count(&diags, Rule::L8), 2, "{diags:?}");
+}
+
+#[test]
+fn l8_is_out_of_scope_at_ordinary_paths() {
+    // The same source at a non-durable path must not fire: the rule
+    // keys on checkpoint/segment read modules only.
+    let (diags, _) = lint_fixture("bad_l8_crc_before_decode.rs");
+    assert_eq!(count(&diags, Rule::L8), 0, "{diags:?}");
+}
+
+#[test]
+fn l9_fires_on_truncating_wire_casts_only() {
+    let (diags, _) = lint_fixture("bad_l9_truncating_casts.rs");
+    // The direct cast and the tainted-binding cast fire; try_from and
+    // the justified low-byte extraction do not.
+    assert_eq!(count(&diags, Rule::L9), 2, "{diags:?}");
+}
+
+#[test]
+fn l10_fires_on_unbounded_loop_spawns_only() {
+    let (diags, _) = lint_fixture("bad_l10_unbounded_spawn.rs");
+    // The for-loop and while-loop spawns fire; the permit-gated,
+    // capacity-checked, and justified shapes do not.
+    assert_eq!(count(&diags, Rule::L10), 2, "{diags:?}");
 }
 
 #[test]

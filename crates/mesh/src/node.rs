@@ -173,9 +173,16 @@ struct NodeInner {
     completed: AtomicU64,
     served: AtomicU64,
     in_flight: AtomicUsize,
+    /// Live connection-handler threads, for the accept-loop ceiling.
+    conns_active: AtomicUsize,
     prepared: Mutex<FxHashMap<(u64, String), Arc<PreparedContexts>>>,
     recent: Mutex<Vec<RecentExec>>,
 }
+
+/// Ceiling on simultaneously live connection threads per mesh node. A
+/// node talks to its parent, its children, and a handful of clients;
+/// anything past this is a runaway peer and is dropped at accept.
+const MAX_NODE_CONNECTIONS: usize = 256;
 
 /// Starts the node named `name` from `topology`, binding its listener
 /// and connecting to its children. `fault_plan`, when set on the root,
@@ -257,6 +264,7 @@ pub fn start(
         completed: AtomicU64::new(0),
         served: AtomicU64::new(0),
         in_flight: AtomicUsize::new(0),
+        conns_active: AtomicUsize::new(0),
         prepared: Mutex::new(FxHashMap::default()),
         recent: Mutex::new(Vec::new()),
     });
@@ -311,8 +319,21 @@ impl NodeInner {
                 break;
             }
             let Ok(stream) = conn else { continue };
+            // Claim a slot under the connection ceiling before spawning;
+            // at the cap the socket is dropped, so a runaway peer cannot
+            // grow the thread count without bound.
+            let claimed = self.conns_active.fetch_add(1, Ordering::AcqRel);
+            let at_capacity = claimed >= MAX_NODE_CONNECTIONS;
+            if at_capacity {
+                self.conns_active.fetch_sub(1, Ordering::AcqRel);
+                drop(stream);
+                continue;
+            }
             let node = Arc::clone(self);
-            std::thread::spawn(move || node.serve(&stream));
+            std::thread::spawn(move || {
+                node.serve(&stream);
+                node.conns_active.fetch_sub(1, Ordering::AcqRel);
+            });
         }
     }
 

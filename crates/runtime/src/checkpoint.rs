@@ -214,7 +214,9 @@ impl Checkpoint {
         if n_stages > MAX_STAGES as u64 {
             return Err(CheckpointError::TooManyStages(n_stages));
         }
-        let mut stages = Vec::with_capacity(n_stages as usize);
+        let n_stages_len =
+            usize::try_from(n_stages).map_err(|_| CheckpointError::TooManyStages(n_stages))?;
+        let mut stages = Vec::with_capacity(n_stages_len);
         for _ in 0..n_stages {
             let fanout = r.uvarint()?;
             let fitted = if r.bool()? {

@@ -417,6 +417,7 @@ pub async fn run_query_prepared(
                 level,
                 index: agg,
             };
+            // cedar-lint: allow(L10): one task per aggregator of a tree already validated against MAX_STAGES at decode; the loop bound is the tree shape, not raw client input
             tokio::spawn(aggregator_task(
                 state, rx, parent_tx, start, scale, own, agg_origin, agg_chaos, agg_obs,
             ));
@@ -453,6 +454,7 @@ pub async fn run_query_prepared(
         let fire_at = start + cfg.scale.to_wall(dur);
         let scale = cfg.scale;
         let value = values[i];
+        // cedar-lint: allow(L10): one task per worker of the validated tree; process_durations is sized by the decode-time fan-out caps
         tokio::spawn(async move {
             // Mirror every ChaosLog::injected call into the trace at the
             // same instant so trace and FailureReport counts agree.
@@ -659,6 +661,7 @@ async fn aggregator_task(
                                 let fire_at = w.at + scale.to_wall(dur);
                                 let retry_tx = w.self_tx.clone();
                                 let retry_value = w.values[id];
+                                // cedar-lint: allow(L10): at most one retry per missing child; c.expected is the fan-in range fixed by the validated tree
                                 tokio::spawn(async move {
                                     tokio::time::sleep_until(fire_at).await;
                                     let _ = retry_tx

@@ -387,7 +387,8 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<T>> {
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
+    let len = usize::try_from(u32::from_be_bytes(len_buf))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflows usize"))?;
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -484,7 +485,8 @@ pub fn read_frame_raw<R: Read>(r: &mut R) -> io::Result<Option<RawFrame>> {
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
+    let len = usize::try_from(u32::from_be_bytes(len_buf))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflows usize"))?;
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

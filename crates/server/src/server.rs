@@ -65,6 +65,10 @@ pub struct ServerConfig {
     /// immediately. `None` (the default) keeps the original
     /// shed-at-the-queue-bound behavior.
     pub spill: Option<SpillConfig>,
+    /// Ceiling on simultaneously live connection threads. A connection
+    /// arriving at the cap is dropped immediately (counted as a shed)
+    /// rather than spawning an unbounded thread per socket.
+    pub max_connections: usize,
 }
 
 impl ServerConfig {
@@ -80,6 +84,7 @@ impl ServerConfig {
             query_timeout: Some(Duration::from_secs(30)),
             metrics_addr: None,
             spill: None,
+            max_connections: 1024,
         }
     }
 
@@ -269,6 +274,7 @@ struct ServerShared {
     shed_total: AtomicU64,
     served_total: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    max_connections: usize,
     idle_timeout: Duration,
     drain_deadline: Duration,
     query_timeout: Option<Duration>,
@@ -330,6 +336,7 @@ impl Server {
             shed_total: AtomicU64::new(0),
             served_total: AtomicU64::new(0),
             conn_threads: Mutex::new(Vec::new()),
+            max_connections: cfg.max_connections.max(1),
             idle_timeout: cfg.idle_timeout.max(POLL_INTERVAL),
             drain_deadline: cfg.drain_deadline,
             query_timeout: cfg.query_timeout,
@@ -510,14 +517,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // Reap finished handlers and enforce the connection ceiling
+        // before spawning: holding the registry lock across the spawn
+        // keeps the live-thread count exact. A connection over the cap
+        // is shed by dropping its socket — the unbounded resource here
+        // is OS threads, and the cap is the choke point that bounds the
+        // spawn below.
+        let mut threads = shared.conn_threads.lock().unpoisoned();
+        threads.retain(|t| !t.is_finished());
+        let at_capacity = threads.len() >= shared.max_connections;
+        if at_capacity {
+            shared.shed_total.fetch_add(1, Ordering::AcqRel);
+            drop(stream);
+            continue;
+        }
         let handler = {
             let shared = shared.clone();
             thread::Builder::new()
                 .name("cedar-conn".into())
                 .spawn(move || handle_connection(&shared, stream))
         };
-        let mut threads = shared.conn_threads.lock().unpoisoned();
-        threads.retain(|t| !t.is_finished());
         if let Ok(handler) = handler {
             threads.push(handler);
         }

@@ -42,6 +42,81 @@ use std::time::Duration;
 /// Name of the segment file inside [`SpillConfig::dir`].
 pub const SEGMENT_FILE: &str = "spill.seg";
 
+/// The pure byte-level segment-record codec, shared by the buffer's
+/// file I/O and the decoder-totality checker.
+///
+/// Layout per record: `len:u32le  crc:u32le  payload`, where the CRC-32
+/// covers exactly the payload. The CRC turns a torn tail or a bit flip
+/// in the segment file into a typed decode error instead of replaying a
+/// corrupt frame into the engine.
+pub mod record {
+    use cedar_wire::crc32;
+    use std::io;
+
+    /// Framing bytes before each payload: u32le length + u32le CRC.
+    pub const HEADER_BYTES: usize = 8;
+
+    /// Hard cap on one record's payload. Pushes are frames, and frames
+    /// are bounded by [`crate::proto::MAX_FRAME_BYTES`]; a longer
+    /// declared length can only mean corruption.
+    pub const MAX_PAYLOAD_BYTES: usize = crate::proto::MAX_FRAME_BYTES;
+
+    fn corrupt(what: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, format!("spill record: {what}"))
+    }
+
+    /// Appends one encoded record to `out`.
+    pub fn encode(payload: &[u8], out: &mut Vec<u8>) -> io::Result<()> {
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(corrupt("payload exceeds the record cap"));
+        }
+        let len = u32::try_from(payload.len()).map_err(|_| corrupt("payload over 4 GiB"))?;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Parses a record header: `(payload_len, stored_crc)`, with the
+    /// length already checked against [`MAX_PAYLOAD_BYTES`].
+    pub fn decode_header(header: &[u8; HEADER_BYTES]) -> io::Result<(usize, u32)> {
+        let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let len = usize::try_from(u32::from_le_bytes([
+            header[0], header[1], header[2], header[3],
+        ]))
+        .map_err(|_| corrupt("length exceeds address space"))?;
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(corrupt("declared length exceeds the record cap"));
+        }
+        Ok((len, stored_crc))
+    }
+
+    /// Verifies a payload against its stored CRC.
+    pub fn verify(stored_crc: u32, payload: &[u8]) -> io::Result<()> {
+        let actual = crc32(payload);
+        if stored_crc != actual {
+            return Err(corrupt("payload CRC mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Decodes the record at the front of `bytes`: returns the payload
+    /// view and the total bytes consumed. CRC verification happens
+    /// before the payload is released to the caller.
+    pub fn decode(bytes: &[u8]) -> io::Result<(&[u8], usize)> {
+        let header: &[u8; HEADER_BYTES] = bytes
+            .get(..HEADER_BYTES)
+            .and_then(|h| h.try_into().ok())
+            .ok_or_else(|| corrupt("truncated header"))?;
+        let (len, stored_crc) = decode_header(header)?;
+        let payload = bytes
+            .get(HEADER_BYTES..HEADER_BYTES + len)
+            .ok_or_else(|| corrupt("truncated payload"))?;
+        verify(stored_crc, payload)?;
+        Ok((payload, HEADER_BYTES + len))
+    }
+}
+
 /// How often the head waiter re-polls the gate for a freed slot.
 const HEAD_POLL: Duration = Duration::from_millis(5);
 
@@ -134,7 +209,7 @@ impl SpillBuffer {
             self.ring.push_back(frame.to_vec());
             return Ok(false);
         }
-        let record_len = 4 + frame.len() as u64;
+        let record_len = (record::HEADER_BYTES + frame.len()) as u64;
         if self.write_pos + record_len > self.max_disk_bytes {
             return Err(Shed::QueueFull);
         }
@@ -171,22 +246,24 @@ impl SpillBuffer {
 
     fn write_record(&mut self, frame: &[u8]) -> io::Result<()> {
         self.file.seek(SeekFrom::Start(self.write_pos))?;
-        let len = u32::try_from(frame.len())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame over 4 GiB"))?;
-        self.file.write_all(&len.to_le_bytes())?;
-        self.file.write_all(frame)?;
-        self.write_pos += 4 + frame.len() as u64;
+        let mut rec = Vec::with_capacity(record::HEADER_BYTES + frame.len());
+        record::encode(frame, &mut rec)?;
+        self.file.write_all(&rec)?;
+        self.write_pos += rec.len() as u64;
         Ok(())
     }
 
     fn read_record(&mut self) -> io::Result<Vec<u8>> {
         self.file.seek(SeekFrom::Start(self.read_pos))?;
-        let mut len_buf = [0u8; 4];
-        self.file.read_exact(&mut len_buf)?;
-        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut header = [0u8; record::HEADER_BYTES];
+        self.file.read_exact(&mut header)?;
+        // The header parse caps the length before any allocation, so a
+        // corrupt segment cannot drive an over-sized `vec!`.
+        let (len, stored_crc) = record::decode_header(&header)?;
         let mut frame = vec![0u8; len];
         self.file.read_exact(&mut frame)?;
-        self.read_pos += 4 + len as u64;
+        record::verify(stored_crc, &frame)?;
+        self.read_pos += (record::HEADER_BYTES + len) as u64;
         Ok(frame)
     }
 }
@@ -431,12 +508,33 @@ mod tests {
     }
 
     #[test]
+    fn record_codec_round_trips_and_rejects_corruption() {
+        let payload = b"cedar spill payload";
+        let mut rec = Vec::new();
+        record::encode(payload, &mut rec).unwrap();
+        let (decoded, consumed) = record::decode(&rec).unwrap();
+        assert_eq!(decoded, &payload[..]);
+        assert_eq!(consumed, rec.len());
+        // Flip one payload bit: the CRC catches it.
+        let mut torn = rec.clone();
+        *torn.last_mut().unwrap() ^= 0x01;
+        assert!(record::decode(&torn).is_err());
+        // Truncate mid-payload: typed error, never a panic.
+        assert!(record::decode(&rec[..rec.len() - 1]).is_err());
+        // A declared length past the cap is corrupt on its face.
+        let mut bogus = rec.clone();
+        bogus[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(record::decode(&bogus).is_err());
+    }
+
+    #[test]
     fn disk_bound_sheds_with_the_typed_error() {
         let mut cfg = SpillConfig::new(scratch("bound"));
         cfg.max_entries = 0;
         cfg.max_disk_bytes = 32;
         let q = SpillQueue::open(&cfg).unwrap();
-        // Each record costs 4 + 8 bytes: two fit under 32, three do not.
+        // Each record costs 8 header + 8 payload bytes: two fill the 32
+        // exactly, a third cannot fit.
         assert!(q.push(&[1u8; 8]).is_ok());
         assert!(q.push(&[2u8; 8]).is_ok());
         assert_eq!(q.push(&[3u8; 8]).unwrap_err(), Shed::QueueFull);

@@ -111,6 +111,17 @@ const MAX_STAGES: usize = 64;
 /// Most mixture components a decoded spec may declare.
 const MAX_MIXTURE: usize = 1024;
 
+/// Rejects a flag byte carrying bits outside `known`. Flag bytes gate
+/// optional fields; accepting undefined bits would decode a frame from a
+/// future protocol revision into a silently lossy message — and break
+/// the decode∘encode identity `xtask totality` enforces.
+fn check_flags(flags: u8, known: u8) -> WireResult<u8> {
+    if flags & !known != 0 {
+        return Err(WireError::UnknownFlags(flags));
+    }
+    Ok(flags)
+}
+
 /// A message with a hand-rolled binary body behind
 /// [`proto::PROTO_VERSION_BINARY`].
 ///
@@ -174,7 +185,12 @@ impl BinaryCodec for Request {
         let kind = r.u8()?;
         let req = match kind {
             KIND_QUERY => {
-                let flags = r.u8()?;
+                let flags = check_flags(r.u8()?, 0b1_1111)?;
+                if flags & (1 << 4) != 0 && flags & (1 << 3) == 0 {
+                    // An explain *value* without the explain-present bit
+                    // has no owner; re-encoding would drop it.
+                    return Err(WireError::UnknownFlags(flags));
+                }
                 let tree = if flags & 1 != 0 {
                     Some(read_tree(&mut r)?)
                 } else {
@@ -357,7 +373,7 @@ impl BinaryCodec for Response {
                 let value_sum = r.f64()?;
                 let latency_ms = r.f64()?;
                 let epoch = r.uvarint()?;
-                let flags = r.u8()?;
+                let flags = check_flags(r.u8()?, 0b11)?;
                 let failures = if flags & 1 != 0 {
                     Some(read_failure_report(&mut r)?)
                 } else {
@@ -397,7 +413,14 @@ impl BinaryCodec for Response {
                 // Pre-durability bodies end here; newer ones append the
                 // extension block.
                 if !r.is_empty() {
-                    let flags = r.u8()?;
+                    let flags = check_flags(r.u8()?, 0b1111)?;
+                    if flags == 0 || (flags & (1 << 3) != 0 && flags & (1 << 2) == 0) {
+                        // The encoder only writes this block when a field
+                        // is set, and only carries a warm-restart value
+                        // under the present bit; other shapes cannot
+                        // re-encode to the same bytes.
+                        return Err(WireError::UnknownFlags(flags));
+                    }
                     if flags & 1 != 0 {
                         stats.priors_age_queries = Some(r.uvarint()?);
                     }
@@ -425,7 +448,7 @@ impl BinaryCodec for Response {
                 let priors_epoch = r.uvarint()?;
                 let priors_age_queries = r.uvarint()?;
                 let wait_scan_p99_seconds = r.f64()?;
-                let flags = r.u8()?;
+                let flags = check_flags(r.u8()?, 0b11)?;
                 let checkpoint_age_ms = if flags & 1 != 0 {
                     Some(r.uvarint()?)
                 } else {
@@ -445,7 +468,7 @@ impl BinaryCodec for Response {
                 })
             }
             KIND_RESP_ERR => {
-                let flags = r.u8()?;
+                let flags = check_flags(r.u8()?, 0b11)?;
                 let error = if flags & 1 != 0 {
                     Some(r.str()?.to_owned())
                 } else {
@@ -689,7 +712,9 @@ pub fn encode_frame_into<T: BinaryCodec>(msg: &T, buf: &mut Vec<u8>) -> io::Resu
             "frame exceeds MAX_FRAME_BYTES",
         ));
     }
-    let prefix = (body_len as u32).to_be_bytes();
+    let prefix = u32::try_from(body_len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflows u32"))?
+        .to_be_bytes();
     buf[..4].copy_from_slice(&prefix);
     Ok(())
 }

@@ -352,3 +352,31 @@ fn client_initiated_shutdown_stops_the_server() {
     assert!(stopper.join().unwrap().ok);
     assert!(Client::connect(addr).is_err());
 }
+
+#[test]
+fn connection_cap_sheds_excess_connections() {
+    let mut cfg = fast_server();
+    cfg.max_connections = 1;
+    let handle = Server::start(cfg).unwrap();
+    let mut first = Client::connect(handle.addr()).unwrap();
+    assert!(first.ping().unwrap().ok);
+
+    // The ping round trip proves the first handler thread is live and
+    // registered, so this second socket arrives at the cap: the accept
+    // loop drops it without ever spawning a handler.
+    let mut second = std::net::TcpStream::connect(handle.addr()).unwrap();
+    second
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    match second.read(&mut buf) {
+        Ok(0) => {}  // clean EOF: the server dropped the socket
+        Err(_) => {} // a reset proves the same drop
+        Ok(_) => panic!("a shed connection must never receive bytes"),
+    }
+
+    // The survivor still serves, and the shed shows up in stats.
+    let stats = first.stats().unwrap().stats.expect("stats payload");
+    assert!(stats.shed_total >= 1, "cap shed must be counted");
+    handle.shutdown().unwrap();
+}

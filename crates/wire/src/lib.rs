@@ -47,6 +47,11 @@ pub enum WireError {
     Truncated,
     /// A varint ran past 10 bytes or overflowed 64 bits.
     VarintOverflow,
+    /// A varint spent more bytes than its value needs (a trailing
+    /// zero-payload continuation byte). The writer emits exactly one
+    /// encoding per value; accepting padded forms would break
+    /// decode-then-encode identity and open a frame-aliasing hole.
+    NonCanonicalVarint,
     /// A declared length exceeds the bytes actually present.
     LengthOverrun {
         /// Bytes the field claimed.
@@ -60,6 +65,11 @@ pub enum WireError {
     BadTag(u8),
     /// A boolean byte other than 0 or 1.
     BadBool(u8),
+    /// A flag byte carrying bits outside the message's defined set, an
+    /// inconsistent combination, or an empty optional flag block. Flag
+    /// bytes gate optional fields; accepting undefined bits would decode
+    /// a future revision's frame into a silently lossy message.
+    UnknownFlags(u8),
     /// Decoding finished with bytes left over — the body was laid out
     /// for a different message than the one decoded.
     TrailingBytes(usize),
@@ -70,6 +80,9 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "body truncated mid-value"),
             WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::NonCanonicalVarint => {
+                write!(f, "varint is longer than its value requires")
+            }
             WireError::LengthOverrun {
                 declared,
                 available,
@@ -80,6 +93,12 @@ impl fmt::Display for WireError {
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
             WireError::BadBool(b) => write!(f, "boolean byte 0x{b:02x} is neither 0 nor 1"),
+            WireError::UnknownFlags(b) => {
+                write!(
+                    f,
+                    "flag byte 0x{b:02x} carries unknown or inconsistent bits"
+                )
+            }
             WireError::TrailingBytes(n) => write!(f, "{n} bytes left over after decode"),
         }
     }
@@ -216,7 +235,10 @@ impl<'a> Reader<'a> {
         }
     }
 
-    /// A LEB128 `u64`.
+    /// A LEB128 `u64`. Only the minimal encoding is accepted: a final
+    /// byte with a zero payload (after the first) pads the value and is
+    /// rejected as [`WireError::NonCanonicalVarint`], so every `u64` has
+    /// exactly one wire form and decode∘encode is the identity.
     pub fn uvarint(&mut self) -> Result<u64> {
         let mut v: u64 = 0;
         for i in 0..MAX_VARINT_BYTES {
@@ -228,6 +250,9 @@ impl<'a> Reader<'a> {
             }
             v |= payload << (7 * i);
             if b & 0x80 == 0 {
+                if payload == 0 && i > 0 {
+                    return Err(WireError::NonCanonicalVarint);
+                }
                 return Ok(v);
             }
         }
@@ -370,6 +395,26 @@ mod tests {
             Reader::new(&overflow).uvarint().unwrap_err(),
             WireError::VarintOverflow
         );
+    }
+
+    #[test]
+    fn padded_varint_is_rejected() {
+        // 0x80 0x00 encodes 0 in two bytes; only plain 0x00 is legal.
+        assert_eq!(
+            Reader::new(&[0x80, 0x00]).uvarint().unwrap_err(),
+            WireError::NonCanonicalVarint
+        );
+        // 0xff 0x00 pads 127 to two bytes.
+        assert_eq!(
+            Reader::new(&[0xff, 0x00]).uvarint().unwrap_err(),
+            WireError::NonCanonicalVarint
+        );
+        // Every canonical boundary value still decodes.
+        for v in [0u64, 1, 0x7f, 0x80, 0x3fff, 0x4000, u64::MAX] {
+            let mut buf = Vec::new();
+            Writer::new(&mut buf).uvarint(v);
+            assert_eq!(Reader::new(&buf).uvarint().unwrap(), v, "v={v}");
+        }
     }
 
     #[test]

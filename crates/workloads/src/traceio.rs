@@ -5,7 +5,7 @@
 //! without code changes.
 
 use crate::tracegen::Job;
-use std::io::{self, BufRead, BufWriter, Write};
+use std::io::{self, BufRead};
 use std::path::Path;
 
 /// Errors from trace I/O.
@@ -34,15 +34,16 @@ impl From<io::Error> for TraceError {
     }
 }
 
-/// Writes jobs as JSON lines to `path` (overwrites).
+/// Writes jobs as JSON lines to `path` (overwrites). The bytes land via
+/// [`cedar_core::fs::write_atomic`]: a crash mid-write leaves either the
+/// old trace or the new one, never a torn file.
 pub fn write_trace<P: AsRef<Path>>(path: P, jobs: &[Job]) -> Result<(), TraceError> {
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
+    let mut buf = Vec::new();
     for job in jobs {
-        serde_json::to_writer(&mut w, job).map_err(|e| TraceError::Parse(0, e))?;
-        w.write_all(b"\n")?;
+        serde_json::to_writer(&mut buf, job).map_err(|e| TraceError::Parse(0, e))?;
+        buf.push(b'\n');
     }
-    w.flush()?;
+    cedar_core::fs::write_atomic(path.as_ref(), &buf)?;
     Ok(())
 }
 

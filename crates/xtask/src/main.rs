@@ -1,36 +1,120 @@
-//! Workspace automation. The one subcommand that matters:
+//! Workspace automation. The subcommands that matter:
 //!
 //! ```text
-//! cargo xtask lint            # run the L1-L5 domain-invariant pass
-//! cargo xtask lint --quiet    # counts only, no rendered diagnostics
+//! cargo xtask lint                    # run the L1-L10 domain-invariant pass
+//! cargo xtask lint --quiet            # counts only, no rendered diagnostics
+//! cargo xtask lint --format sarif     # SARIF 2.1.0 on stdout (CI upload)
+//! cargo xtask totality                # decoder-totality check of every
+//!                                     # binary surface (panic / alloc /
+//!                                     # round-trip laws)
+//! cargo xtask totality --seeded-depth 7 --full-depth 3   # deeper sweep
 //! ```
 //!
-//! Exit status is non-zero when any diagnostic fires, so CI can gate on
-//! it directly. All rules are deny-by-default; see
+//! Exit status is non-zero when any diagnostic or violation fires, so CI
+//! can gate on both directly. All lint rules are deny-by-default; see
 //! `crates/analysis/src/lint.rs` for the rules and the allow-directive
-//! escape hatch.
+//! escape hatch, and `crates/analysis/src/totality.rs` for the probe
+//! engine the `totality` subcommand drives.
 
+use cedar_analysis::totality::{self, Config, Outcome};
+use cedar_server::wire2::BinaryCodec;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod surfaces;
+
+/// A counting allocator so the totality checker can enforce per-decode
+/// allocation caps: every allocation and every growing reallocation on
+/// the current thread adds to a thread-local byte counter the probe
+/// loop samples before and after each decode.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAlloc;
+
+    fn count(bytes: usize) {
+        // `try_with` so late allocations during thread teardown (after
+        // the TLS slot is destroyed) degrade to uncounted, not aborts.
+        let _ = ALLOCATED.try_with(|c| c.set(c.get().saturating_add(bytes as u64)));
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            count(new_size.saturating_sub(layout.size()));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Cumulative bytes allocated on this thread.
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED.try_with(Cell::get).unwrap_or(0)
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("lint") => {
-            let quiet = args.any(|a| a == "--quiet" || a == "-q");
-            lint(quiet)
+            let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+            let sarif = flag_value(&args, "--format").is_some_and(|v| v == "sarif");
+            lint(quiet, sarif)
+        }
+        Some("totality") => {
+            let mut cfg = Config {
+                alloc_counter: Some(counting_alloc::allocated_bytes),
+                ..Config::default()
+            };
+            if let Some(d) = flag_value(&args, "--full-depth").and_then(|v| v.parse().ok()) {
+                cfg.full_depth = d;
+            }
+            if let Some(d) = flag_value(&args, "--seeded-depth").and_then(|v| v.parse().ok()) {
+                cfg.seeded_depth = d;
+            }
+            run_totality(&cfg)
         }
         Some(other) => {
             eprintln!("unknown xtask subcommand: {other}");
-            eprintln!("usage: cargo xtask lint [--quiet]");
-            ExitCode::from(2)
+            usage()
         }
-        None => {
-            eprintln!("usage: cargo xtask lint [--quiet]");
-            ExitCode::from(2)
-        }
+        None => usage(),
     }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--quiet] [--format sarif]");
+    eprintln!("       cargo xtask totality [--full-depth N] [--seeded-depth N]");
+    ExitCode::from(2)
+}
+
+/// The value following `name` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 /// Workspace root: xtask always runs via cargo, so the manifest dir is
@@ -44,7 +128,7 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-fn lint(quiet: bool) -> ExitCode {
+fn lint(quiet: bool, sarif: bool) -> ExitCode {
     let root = workspace_root();
     let (diags, scanned) = match cedar_analysis::lint_workspace(&root) {
         Ok(r) => r,
@@ -53,8 +137,22 @@ fn lint(quiet: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if sarif {
+        // SARIF goes to stdout (redirect to a file for upload); the
+        // human summary stays on stderr so pipelines can keep both.
+        println!("{}", cedar_analysis::render_sarif(&diags));
+        eprintln!(
+            "cedar-lint: {} violation(s) across {scanned} files (sarif on stdout)",
+            diags.len()
+        );
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if diags.is_empty() {
-        println!("cedar-lint: {scanned} files clean (rules L1-L5)");
+        println!("cedar-lint: {scanned} files clean (rules L1-L10)");
         return ExitCode::SUCCESS;
     }
     let mut by_rule: BTreeMap<String, usize> = BTreeMap::new();
@@ -75,4 +173,60 @@ fn lint(quiet: bool) -> ExitCode {
         diags.len()
     );
     ExitCode::FAILURE
+}
+
+fn run_totality(cfg: &Config) -> ExitCode {
+    let mut failed = false;
+    let mut total_probes = 0u64;
+    for surface in surfaces::all() {
+        match totality::check(&surface, cfg) {
+            Ok(report) => {
+                total_probes += report.probes;
+                println!(
+                    "  {:<44} {:>9} probes ({} accepted, {} rejected)",
+                    surface.name, report.probes, report.accepted, report.rejected
+                );
+            }
+            Err(violation) => {
+                failed = true;
+                eprintln!("{}", violation.render());
+            }
+        }
+    }
+    if failed {
+        eprintln!("cedar-totality: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "cedar-totality: all surfaces total at full depth {}, seeded depth {} \
+             ({total_probes} probes): no panic, allocs within caps, decode∘encode = id",
+            cfg.full_depth, cfg.seeded_depth
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Shared adapter: decode, then verify the round-trip law. Byte-exact
+/// re-encoding is the canonical case; surfaces that embed JSON capsules
+/// (or alias ops onto dedicated kind bytes) may legitimately re-encode
+/// to different bytes, in which case the canonical form itself must be
+/// a fixpoint: decoding it and encoding again must reproduce it.
+fn roundtrip_outcome<T: BinaryCodec>(input: &[u8]) -> Outcome {
+    match T::decode_binary(input) {
+        Err(_) => Outcome::Reject,
+        Ok(msg) => {
+            let mut out = Vec::new();
+            msg.encode_binary(&mut out);
+            let roundtrip_ok = out == input
+                || match T::decode_binary(&out) {
+                    Ok(again) => {
+                        let mut out2 = Vec::new();
+                        again.encode_binary(&mut out2);
+                        out2 == out
+                    }
+                    Err(_) => false,
+                };
+            Outcome::Accept { roundtrip_ok }
+        }
+    }
 }

@@ -1,0 +1,434 @@
+//! Concrete decode surfaces for `cargo xtask totality`: every
+//! hand-rolled binary reader in the workspace, registered with the seed
+//! prefixes its grammar dispatches on and known-good encodings for the
+//! mutation sweep.
+//!
+//! Laws enforced per surface (see `cedar_analysis::totality`):
+//!
+//! * **no panic** on any probed input;
+//! * **bounded allocation** — each decode stays under the surface's
+//!   declared cap (the frame reader's cap is `MAX_FRAME_BYTES` plus
+//!   slack, since it trusts declared lengths up to that bound);
+//! * **decode ∘ encode = id** — accepted inputs re-encode byte-exactly,
+//!   or (for JSON capsules and op-aliasing) to a canonical fixpoint.
+
+use crate::roundtrip_outcome;
+use cedar_analysis::totality::{Outcome, Surface};
+use cedar_distrib::spec::DistSpec;
+use cedar_estimate::EmpiricalStats;
+use cedar_mesh::wire::{self as mesh_wire, MeshMsg, StageTiming};
+use cedar_runtime::checkpoint::{Checkpoint, StageCheckpoint};
+use cedar_runtime::{FailureReport, FaultPlan, FaultSpec};
+use cedar_server::proto::{
+    self, HealthState, HealthStatus, QueryResult, Request, Response, ServerStats,
+};
+use cedar_server::spill::record;
+use cedar_server::wire2::{self, BinaryCodec};
+use cedar_workloads::treedef::{StageDef, TreeDef};
+
+/// Every registered surface, in display order.
+pub fn all() -> Vec<Surface<'static>> {
+    vec![
+        request_surface(),
+        response_surface(),
+        mesh_surface(),
+        checkpoint_surface(),
+        spill_record_surface(),
+        negotiated_frame_surface(),
+    ]
+}
+
+/// A two-stage tree exercising the scalar dist encodings.
+fn small_tree() -> TreeDef {
+    TreeDef {
+        stages: vec![
+            StageDef {
+                dist: DistSpec::LogNormal {
+                    mu: 1.0,
+                    sigma: 0.6,
+                },
+                fanout: 4,
+            },
+            StageDef {
+                dist: DistSpec::Exponential { lambda: 2.0 },
+                fanout: 2,
+            },
+        ],
+    }
+}
+
+/// A tree with the recursive dist constructors (`Scaled`, `Shifted`,
+/// `Mixture`), so golden mutations reach the deep grammar.
+fn deep_tree() -> TreeDef {
+    TreeDef {
+        stages: vec![StageDef {
+            dist: DistSpec::Mixture {
+                components: vec![
+                    (
+                        0.25,
+                        DistSpec::Scaled {
+                            factor: 2.0,
+                            inner: Box::new(DistSpec::LogNormal {
+                                mu: 0.5,
+                                sigma: 0.3,
+                            }),
+                        },
+                    ),
+                    (
+                        0.75,
+                        DistSpec::Shifted {
+                            offset: 1.0,
+                            inner: Box::new(DistSpec::Uniform { a: 0.0, b: 1.0 }),
+                        },
+                    ),
+                ],
+            },
+            fanout: 8,
+        }],
+    }
+}
+
+fn encode_req(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    req.encode_binary(&mut buf);
+    buf
+}
+
+fn encode_resp(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    resp.encode_binary(&mut buf);
+    buf
+}
+
+fn request_surface() -> Surface<'static> {
+    let goldens = vec![
+        encode_req(&Request::query(small_tree(), Some(1600.0), Some(7)).with_explain(true)),
+        encode_req(&Request::query(deep_tree(), None, None)),
+        encode_req(&Request::ping()),
+        encode_req(&Request::stats()),
+        encode_req(&Request {
+            op: "unknown-op".to_owned(),
+            tree: None,
+            deadline: None,
+            seed: None,
+            explain: None,
+        }),
+    ];
+    Surface {
+        name: "cedar-server::wire2::Request",
+        seeds: vec![
+            vec![wire2::KIND_QUERY],
+            vec![wire2::KIND_STATS],
+            vec![wire2::KIND_PING],
+            vec![wire2::KIND_SHUTDOWN],
+            vec![wire2::KIND_METRICS],
+            vec![wire2::KIND_OTHER_OP],
+            // Query kind + flags: none, seed-only, and all five bits.
+            vec![wire2::KIND_QUERY, 0x00],
+            vec![wire2::KIND_QUERY, 0x04],
+            vec![wire2::KIND_QUERY, 0x1f],
+        ],
+        goldens,
+        alloc_cap: 1 << 21,
+        decode: Box::new(roundtrip_outcome::<Request>),
+    }
+}
+
+fn response_surface() -> Surface<'static> {
+    let goldens = vec![
+        encode_resp(&Response::ok()),
+        encode_resp(&Response::with_result(QueryResult {
+            quality: 0.96,
+            included_outputs: 2400,
+            total_processes: 2500,
+            root_arrivals: 49,
+            value_sum: 1234.5,
+            latency_ms: 1600.0,
+            epoch: 3,
+            failures: Some(FailureReport {
+                crashed: 2,
+                retries_launched: 2,
+                retries_delivered: 1,
+                ..FailureReport::default()
+            }),
+            trace: None,
+        })),
+        encode_resp(&Response::with_stats(ServerStats {
+            completed: 10,
+            refits: 2,
+            epoch: 2,
+            cache_hits: 7,
+            cache_misses: 3,
+            in_flight: 1,
+            shed_total: 4,
+            served_total: 14,
+            priors_age_queries: Some(5),
+            checkpoint_age_ms: Some(1200),
+            warm_restart: Some(true),
+        })),
+        encode_resp(&Response::with_metrics("# TYPE cedar gauge\n".to_owned())),
+        encode_resp(&Response::with_health(HealthStatus {
+            state: HealthState::Degraded,
+            in_flight: 3,
+            queued: 9,
+            spilled: 2,
+            spill_disk_bytes: 4096,
+            priors_epoch: 5,
+            priors_age_queries: 0,
+            checkpoint_age_ms: Some(90),
+            warm_restart: true,
+            wait_scan_p99_seconds: 0.004,
+        })),
+        encode_resp(&Response::err_code(proto::ERR_SHED, "queue full")),
+    ];
+    Surface {
+        name: "cedar-server::wire2::Response",
+        seeds: vec![
+            vec![wire2::KIND_RESP_OK],
+            vec![wire2::KIND_RESP_RESULT],
+            vec![wire2::KIND_RESP_STATS],
+            vec![wire2::KIND_RESP_METRICS],
+            vec![wire2::KIND_RESP_HEALTH],
+            vec![wire2::KIND_RESP_ERR],
+            vec![wire2::KIND_RESP_ERR, 0x03],
+        ],
+        goldens,
+        alloc_cap: 1 << 21,
+        decode: Box::new(roundtrip_outcome::<Response>),
+    }
+}
+
+fn mesh_surface() -> Surface<'static> {
+    let encode = |msg: &MeshMsg| {
+        let mut buf = Vec::new();
+        msg.encode_binary(&mut buf);
+        buf
+    };
+    let goldens = vec![
+        encode(&MeshMsg::Hello {
+            from: "root".to_owned(),
+            role: "root".to_owned(),
+            topology_hash: 0xdead_beef,
+        }),
+        encode(&MeshMsg::HelloAck {
+            from: "agg-0".to_owned(),
+            ok: false,
+            error: Some("topology hash mismatch".to_owned()),
+        }),
+        encode(&MeshMsg::Heartbeat {
+            from: "root".to_owned(),
+            seq: 42,
+        }),
+        encode(&MeshMsg::Exec {
+            query_id: 7,
+            from: "root".to_owned(),
+            target: "agg-0".to_owned(),
+            agg_index: 1,
+            tree: small_tree(),
+            deadline: 1600.0,
+            seed: 99,
+            fault_plan: None,
+        }),
+        encode(&MeshMsg::Exec {
+            query_id: 8,
+            from: "root".to_owned(),
+            target: "agg-1".to_owned(),
+            agg_index: 0,
+            tree: deep_tree(),
+            deadline: 900.0,
+            seed: 3,
+            fault_plan: Some(FaultPlan::new(11, FaultSpec::crashes(0.5))),
+        }),
+        encode(&MeshMsg::Retry {
+            query_id: 7,
+            from: "agg-0".to_owned(),
+            origins: vec![3, 17, 200],
+        }),
+        encode(&MeshMsg::Partial {
+            query_id: 7,
+            from: "worker-3".to_owned(),
+            origin: 3,
+            payload: 1,
+            value: 2.5,
+            duration: 11.0,
+            retry: false,
+            timings: vec![StageTiming {
+                level: 0,
+                origin: 3,
+                duration: 11.0,
+            }],
+            censored: vec![StageTiming {
+                level: 0,
+                origin: 4,
+                duration: 30.0,
+            }],
+            failures: FailureReport::default(),
+        }),
+    ];
+    Surface {
+        name: "cedar-mesh::wire::MeshMsg",
+        seeds: vec![
+            vec![mesh_wire::KIND_HELLO],
+            vec![mesh_wire::KIND_HELLO_ACK],
+            vec![mesh_wire::KIND_HEARTBEAT],
+            vec![mesh_wire::KIND_HEARTBEAT_ACK],
+            vec![mesh_wire::KIND_EXEC],
+            vec![mesh_wire::KIND_RETRY],
+            vec![mesh_wire::KIND_PARTIAL],
+        ],
+        goldens,
+        alloc_cap: 1 << 21,
+        decode: Box::new(roundtrip_outcome::<MeshMsg>),
+    }
+}
+
+fn checkpoint_surface() -> Surface<'static> {
+    let golden = Checkpoint {
+        epoch: 4,
+        completed: 128,
+        refits: 4,
+        written_unix_ms: 1_700_000_000_000,
+        stages: vec![
+            StageCheckpoint {
+                fanout: 50,
+                fitted: Some((1.02, 0.58)),
+                stats: EmpiricalStats {
+                    count: 6400,
+                    shift: 1.0,
+                    sum: 12.5,
+                    sum_comp: 1e-12,
+                    sum_sq: 90.0,
+                    sum_sq_comp: -2e-13,
+                },
+                censored: 17,
+            },
+            StageCheckpoint {
+                fanout: 50,
+                fitted: None,
+                stats: EmpiricalStats::default(),
+                censored: 0,
+            },
+        ],
+    }
+    .encode();
+    // Magic + version is the prefix every real file starts with; the
+    // seeded sweep appends boundary bytes straight after it.
+    let mut header = cedar_runtime::checkpoint::MAGIC.to_vec();
+    header.push(cedar_runtime::checkpoint::FORMAT_VERSION);
+    Surface {
+        name: "cedar-runtime::checkpoint::Checkpoint",
+        seeds: vec![header],
+        goldens: vec![golden],
+        alloc_cap: 1 << 21,
+        decode: Box::new(|input: &[u8]| match Checkpoint::decode(input) {
+            Err(_) => Outcome::Reject,
+            Ok(ckpt) => Outcome::Accept {
+                // No capsules here: the encoding is fully canonical, so
+                // the law is byte-exact identity.
+                roundtrip_ok: ckpt.encode() == input,
+            },
+        }),
+    }
+}
+
+fn spill_record_surface() -> Surface<'static> {
+    let golden = |payload: &[u8]| {
+        let mut buf = Vec::new();
+        record::encode(payload, &mut buf).expect("goldens are under the cap");
+        buf
+    };
+    Surface {
+        name: "cedar-server::spill::record",
+        seeds: vec![
+            // Little-endian length headers for 0-, 1- and 5-byte payloads.
+            vec![0x00, 0x00, 0x00, 0x00],
+            vec![0x01, 0x00, 0x00, 0x00],
+            vec![0x05, 0x00, 0x00, 0x00],
+        ],
+        goldens: vec![golden(b""), golden(b"q"), golden(b"cedar spill frame")],
+        alloc_cap: 1 << 16,
+        decode: Box::new(|input: &[u8]| match record::decode(input) {
+            Err(_) => Outcome::Reject,
+            Ok((payload, consumed)) => {
+                // Records are stream-framed: trailing bytes belong to
+                // the next record, so identity is over the consumed
+                // prefix.
+                let mut out = Vec::new();
+                let ok = record::encode(payload, &mut out).is_ok() && out == input[..consumed];
+                Outcome::Accept { roundtrip_ok: ok }
+            }
+        }),
+    }
+}
+
+fn negotiated_frame_surface() -> Surface<'static> {
+    let frame = |write: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| {
+        let mut buf = Vec::new();
+        write(&mut buf).expect("encoding a golden frame cannot fail");
+        buf
+    };
+    let query = Request::query(small_tree(), Some(1600.0), Some(7));
+    let goldens = vec![
+        frame(&|buf| proto::write_frame(buf, &query)),
+        frame(&|buf| proto::write_frame_versioned(buf, &Request::ping())),
+        frame(&|buf| proto::write_frame_binary(buf, &query)),
+        frame(&|buf| proto::write_frame_binary(buf, &Request::stats())),
+    ];
+    Surface {
+        name: "cedar-server::proto::negotiated-frame",
+        seeds: vec![
+            // 4-byte big-endian length prefixes for tiny frames, with and
+            // without the version byte the negotiation dispatches on.
+            vec![0x00, 0x00, 0x00, 0x01],
+            vec![0x00, 0x00, 0x00, 0x02, proto::PROTO_VERSION],
+            vec![0x00, 0x00, 0x00, 0x02, proto::PROTO_VERSION_BINARY],
+            vec![0x00, 0x00, 0x00, 0x02, b'{'],
+            vec![0x00, 0x00, 0x00, 0x06, proto::PROTO_VERSION_BINARY],
+        ],
+        goldens,
+        // The frame reader trusts declared lengths up to MAX_FRAME_BYTES
+        // (16 MiB) before the body read fails, so a hostile 4-byte
+        // prefix can cost one body-sized allocation. Cap = that bound
+        // plus re-encode slack; anything past it is a real regression.
+        alloc_cap: (proto::MAX_FRAME_BYTES as u64) + (1 << 22),
+        decode: Box::new(|input: &[u8]| {
+            let mut cur = std::io::Cursor::new(input);
+            match proto::read_frame_negotiated::<_, Request>(&mut cur) {
+                Err(_) | Ok(None) => Outcome::Reject,
+                Ok(Some((version, msg))) => {
+                    let consumed = cur.position() as usize;
+                    let mut out = Vec::new();
+                    let wrote = match version {
+                        0 => proto::write_frame(&mut out, &msg),
+                        proto::PROTO_VERSION_BINARY => proto::write_frame_binary(&mut out, &msg),
+                        _ => proto::write_frame_versioned(&mut out, &msg),
+                    };
+                    // Streams carry many frames; identity is per frame,
+                    // over the consumed prefix. JSON bodies (versions 0
+                    // and 1) are canonical-fixpoint: serde may reorder
+                    // or drop whitespace relative to a hand-built body,
+                    // but the re-encoded frame must itself be stable.
+                    let ok = wrote.is_ok()
+                        && (out == input[..consumed] || {
+                            let mut cur2 = std::io::Cursor::new(out.as_slice());
+                            match proto::read_frame_negotiated::<_, Request>(&mut cur2) {
+                                Ok(Some((v2, m2))) => {
+                                    let mut out2 = Vec::new();
+                                    let wrote2 = match v2 {
+                                        0 => proto::write_frame(&mut out2, &m2),
+                                        proto::PROTO_VERSION_BINARY => {
+                                            proto::write_frame_binary(&mut out2, &m2)
+                                        }
+                                        _ => proto::write_frame_versioned(&mut out2, &m2),
+                                    };
+                                    wrote2.is_ok() && out2 == out
+                                }
+                                _ => false,
+                            }
+                        });
+                    Outcome::Accept { roundtrip_ok: ok }
+                }
+            }
+        }),
+    }
+}

@@ -32,6 +32,7 @@ USAGE:
                   [--checkpoint-dir DIR] [--prior-mu MU] [--prior-sigma S]
                   [--spill-dir DIR] [--spill-max-entries N]
                   [--spill-max-disk-bytes B] [--spill-replay-timeout-ms MS]
+                  [--flight-file FILE]
       Run a network-facing FB-MR aggregation service until a client
       sends the shutdown op. Idle connections are reaped after the idle
       timeout; graceful shutdown detaches stragglers past the drain
@@ -99,11 +100,34 @@ USAGE:
       timer re-arms with gain/loss at the chosen wait, faults, retries,
       departures and the final ship reason. The timeline's counters are
       verified against the engine's own failure accounting.
+  cedar-cli explain --topology FILE [--deadline D] [--seed S]
+                    [--fault-rate R] [--mode crash|straggle|mixed]
+      Boot every node of the topology in this process, run one
+      explain-flagged query through the root, and print the stitched
+      cross-process timeline: every node's receive/ship stamps on the
+      root's clock (offsets estimated from heartbeat RTTs), per-hop
+      encode/decode/queue spans and wire times, censored hops marked.
+      Finishes with a mesh-vs-in-process wall-clock and wire-overhead
+      comparison of the same tree at the same time scale.
+  cedar-cli flightrec (--file FILE | --addr A)
+      Render a flight-recorder dump: the fixed-size ring of recent
+      per-query summaries every server and mesh node keeps. --file reads
+      a CRC-guarded dump written on panic, the first degrade transition,
+      graceful shutdown, or an operator request; --addr asks a running
+      process for its ring live via the flight_dump op.
   cedar-cli node --topology FILE --name NAME [--faults JSON|FILE]
+                 [--checkpoint-dir DIR] [--metrics-addr A]
+                 [--flight-file FILE] [--flight-capacity N]
       Run one mesh process (root, aggregator, or worker — the role
       comes from the topology) until a client sends the shutdown op.
       --faults installs a fault-injection plan on the root; it travels
-      to every node inside each query's exec frame.
+      to every node inside each query's exec frame. --checkpoint-dir
+      makes an aggregator persist its learned leaf-duration priors and
+      warm-restart from them (stats then reports epoch/refits/ages).
+      --metrics-addr serves the node's Prometheus page over plain HTTP
+      GET; the root additionally answers the metrics_federated op with
+      every node's page merged under node=\"...\" labels. --flight-file
+      arms on-disk flight-recorder dumps (see flightrec).
   cedar-cli topology [--aggs N] [--workers N] [--processes N]
                      [--replicas R] [--host H] [--base-port P]
                      [--check FILE]
@@ -132,6 +156,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "health" => crate::service_cmds::cmd_health(&args),
         "chaos" => crate::chaos_cmd::cmd_chaos(&args),
         "explain" => crate::explain_cmd::cmd_explain(&args),
+        "flightrec" => crate::flight_cmd::cmd_flightrec(&args),
         "node" => crate::node_cmd::cmd_node(&args),
         "topology" => crate::node_cmd::cmd_topology(&args),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,84 @@
+//! `cedar-cli flightrec` — read a flight-recorder dump: the fixed-size
+//! ring of recent per-query summaries every server and mesh node keeps.
+//! Dumps come from a file (written atomically on panic, the first
+//! degrade transition, graceful shutdown, or an operator request) or
+//! live off a running process via the `flight_dump` op.
+
+use crate::args::Args;
+use cedar_server::proto::{Request, OP_FLIGHT_DUMP};
+use cedar_server::Client;
+use cedar_telemetry::FlightDump;
+
+/// Renders a dump from `--file FILE` or `--addr A` (exactly one).
+pub fn cmd_flightrec(args: &Args) -> Result<(), String> {
+    match (args.opt("file"), args.opt("addr")) {
+        (Some(path), None) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let dump = FlightDump::decode(&bytes).map_err(|e| format!("decoding {path}: {e}"))?;
+            print!("{}", dump.render());
+            Ok(())
+        }
+        (None, Some(addr)) => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let resp = client
+                .request(&Request {
+                    op: OP_FLIGHT_DUMP.to_owned(),
+                    tree: None,
+                    deadline: None,
+                    seed: None,
+                    explain: None,
+                })
+                .map_err(|e| format!("requesting a dump from {addr}: {e}"))?;
+            if !resp.ok {
+                return Err(format!("{addr} refused the dump: {:?}", resp.error));
+            }
+            let body = resp
+                .metrics
+                .ok_or("response carried no dump body in its metrics field")?;
+            let dump: FlightDump =
+                serde_json::from_str(&body).map_err(|e| format!("parsing dump JSON: {e}"))?;
+            print!("{}", dump.render());
+            Ok(())
+        }
+        _ => Err("flightrec needs exactly one of --file FILE or --addr A".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::dispatch;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn flightrec_requires_exactly_one_source() {
+        assert!(dispatch(&sv(&["flightrec"])).is_err());
+        assert!(dispatch(&sv(&["flightrec", "--file", "a", "--addr", "b:1"])).is_err());
+    }
+
+    #[test]
+    fn flightrec_renders_a_dump_file() {
+        use cedar_telemetry::{FlightEntry, FlightRecorder};
+        let dir = std::env::temp_dir().join("cedar-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.bin");
+        let rec = FlightRecorder::new(8);
+        rec.record(FlightEntry {
+            query_id: 3,
+            quality: 0.5,
+            included: 1,
+            expected: 2,
+            ..FlightEntry::default()
+        });
+        let dump = rec.dump("n0", "server", "operator", 1_700_000_000_000_000);
+        std::fs::write(&path, dump.encode()).unwrap();
+        dispatch(&sv(&["flightrec", "--file", path.to_str().unwrap()])).unwrap();
+
+        // A truncated file fails loudly, not quietly.
+        std::fs::write(&path, &dump.encode()[..8]).unwrap();
+        assert!(dispatch(&sv(&["flightrec", "--file", path.to_str().unwrap()])).is_err());
+    }
+}

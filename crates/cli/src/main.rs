@@ -13,6 +13,7 @@ mod args;
 mod chaos_cmd;
 mod commands;
 mod explain_cmd;
+mod flight_cmd;
 mod node_cmd;
 mod service_cmds;
 

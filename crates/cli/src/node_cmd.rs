@@ -3,11 +3,15 @@
 
 use crate::args::Args;
 use cedar_mesh::topology::Topology;
-use cedar_runtime::FaultPlan;
+use cedar_mesh::NodeOptions;
+use cedar_runtime::{CheckpointConfig, FaultPlan};
+use cedar_server::proto::{Request, OP_FLIGHT_DUMP};
+use cedar_server::Client;
+use std::path::PathBuf;
 
 /// Reads a flag that is either inline JSON (starts with `{`) or a path
 /// to a JSON file.
-fn json_arg(value: &str) -> Result<String, String> {
+pub(crate) fn json_arg(value: &str) -> Result<String, String> {
     if value.trim_start().starts_with('{') {
         Ok(value.to_owned())
     } else {
@@ -15,13 +19,15 @@ fn json_arg(value: &str) -> Result<String, String> {
     }
 }
 
-fn load_topology(args: &Args) -> Result<Topology, String> {
+pub(crate) fn load_topology(args: &Args) -> Result<Topology, String> {
     let json = json_arg(args.req("topology")?)?;
     Topology::from_json(&json)
 }
 
-/// `cedar-cli node --topology FILE --name NAME [--faults JSON|FILE]`:
-/// runs one mesh node until a client sends the `shutdown` op.
+/// `cedar-cli node --topology FILE --name NAME [--faults JSON|FILE]
+/// [--checkpoint-dir DIR] [--metrics-addr A] [--flight-file FILE]
+/// [--flight-capacity N]`: runs one mesh node until a client sends the
+/// `shutdown` op.
 pub fn cmd_node(args: &Args) -> Result<(), String> {
     let topo = load_topology(args)?;
     let name = args.req("name")?;
@@ -33,13 +39,43 @@ pub fn cmd_node(args: &Args) -> Result<(), String> {
         .node(name)
         .ok_or_else(|| format!("node {name:?} is not in the topology"))?
         .role;
-    let handle =
-        cedar_mesh::start(topo, name, plan).map_err(|e| format!("starting {name}: {e}"))?;
+    let options = NodeOptions {
+        checkpoint: args.opt("checkpoint-dir").map(CheckpointConfig::new),
+        metrics_addr: args.opt("metrics-addr").map(str::to_owned),
+        flight_file: args.opt("flight-file").map(PathBuf::from),
+        flight_capacity: args.opt_parse("flight-capacity", 0)?,
+    };
+    let flight_file = options.flight_file.clone();
+    let handle = cedar_mesh::start_with(topo, name, plan, options)
+        .map_err(|e| format!("starting {name}: {e}"))?;
+    // No signals in this toolchain, so the SIGUSR1 stand-in for "dump
+    // the ring before dying" is a process-wide panic hook that asks the
+    // node itself (over its own socket) for an operator dump — the node
+    // writes the file as a side effect.
+    if flight_file.is_some() {
+        let addr = handle.local_addr();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(mut c) = Client::connect(addr) {
+                let _ = c.request(&Request {
+                    op: OP_FLIGHT_DUMP.to_owned(),
+                    tree: None,
+                    deadline: None,
+                    seed: None,
+                    explain: None,
+                });
+            }
+            prev(info);
+        }));
+    }
     println!(
         "node {name} ({}) listening on {} — send the shutdown op to stop",
         role.as_str(),
         handle.local_addr()
     );
+    if let Some(addr) = handle.metrics_addr() {
+        println!("  metrics: http://{addr}/metrics");
+    }
     handle.join();
     println!("node {name} stopped");
     Ok(())

@@ -83,6 +83,9 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         cfg.spill = Some(spill);
     }
+    // Observability: on-disk flight-recorder dumps (panicking queries,
+    // first degrade transition, shutdown, operator requests).
+    cfg.flight_file = args.opt("flight-file").map(std::path::PathBuf::from);
     let checkpointing = cfg.service.checkpoint.is_some();
 
     let handle = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;

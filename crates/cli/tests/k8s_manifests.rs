@@ -1,0 +1,180 @@
+//! Structural validation of `examples/mesh/k8s/`: the manifests must
+//! stay in lockstep with the topology file they mount and with the
+//! metric names the binaries actually export. No Kubernetes client is
+//! involved — these are the same shape checks `topology --check` and
+//! CI apply to the compose quickstart, extended to the k8s documents.
+
+use cedar_mesh::topology::{Role, Topology};
+use std::path::PathBuf;
+
+fn k8s_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/mesh/k8s")
+}
+
+fn read(name: &str) -> String {
+    let path = k8s_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Splits a multi-document YAML file on its `---` separators.
+fn docs(yaml: &str) -> Vec<&str> {
+    yaml.split("\n---")
+        .map(str::trim)
+        .filter(|d| !d.is_empty() && !d.lines().all(|l| l.starts_with('#')))
+        .collect()
+}
+
+/// The document's `kind:` value.
+fn kind(doc: &str) -> &str {
+    doc.lines()
+        .find_map(|l| l.strip_prefix("kind:"))
+        .map_or_else(|| panic!("document without a kind:\n{doc}"), str::trim)
+}
+
+/// The document's `metadata.name` (first `name:` after `metadata:`).
+fn name(doc: &str) -> &str {
+    let mut in_meta = false;
+    for line in doc.lines() {
+        if line.starts_with("metadata:") {
+            in_meta = true;
+            continue;
+        }
+        if in_meta {
+            if let Some(n) = line.trim().strip_prefix("name:") {
+                return n.trim();
+            }
+            if !line.starts_with(' ') {
+                break;
+            }
+        }
+    }
+    panic!("document without metadata.name:\n{doc}")
+}
+
+#[test]
+fn topology_json_validates_and_matches_the_compose_tree() {
+    let topo = Topology::from_json(&read("topology.json")).expect("topology parses");
+    topo.validate().expect("topology validates");
+    assert_eq!(topo.nodes.len(), 7, "the 7-node example tree");
+    assert_eq!(topo.aggs().len(), 2);
+    // Addresses are service-DNS names on the mesh port every
+    // deployment exposes.
+    for node in &topo.nodes {
+        assert_eq!(
+            node.addr,
+            format!("{}:7000", node.name),
+            "addr must be the node's Service DNS name on the mesh port"
+        );
+    }
+}
+
+#[test]
+fn every_topology_node_has_a_pinned_service_and_deployment() {
+    let topo = Topology::from_json(&read("topology.json")).expect("topology parses");
+    let yaml = read("deployment.yaml");
+    let docs = docs(&yaml);
+
+    for node in &topo.nodes {
+        let svc = docs
+            .iter()
+            .find(|d| kind(d) == "Service" && name(d) == node.name)
+            .unwrap_or_else(|| panic!("no Service for {}", node.name));
+        assert!(
+            svc.contains("port: 7000"),
+            "{} Service must expose the mesh port",
+            node.name
+        );
+
+        let dep = docs
+            .iter()
+            .find(|d| kind(d) == "Deployment" && name(d) == format!("cedar-{}", node.name))
+            .unwrap_or_else(|| panic!("no Deployment for {}", node.name));
+        assert!(
+            dep.contains("replicas: 1"),
+            "{} is a named tree member; it must stay single-replica",
+            node.name
+        );
+        assert!(
+            dep.contains(&format!("- {}", node.name)),
+            "cedar-{} must start `node --name {}`",
+            node.name,
+            node.name
+        );
+        // The observability surface this repo ships: a Prometheus
+        // endpoint and a flight-recorder file on every node.
+        assert!(dep.contains("--metrics-addr"), "{}", node.name);
+        assert!(dep.contains("--flight-file"), "{}", node.name);
+        assert!(dep.contains("prometheus.io/scrape"), "{}", node.name);
+        // Aggregators additionally checkpoint their learned priors so
+        // a rescheduled pod warm-restarts.
+        assert_eq!(
+            dep.contains("--checkpoint-dir"),
+            node.role == Role::Agg,
+            "--checkpoint-dir belongs on aggregators only ({})",
+            node.name
+        );
+        assert!(
+            dep.contains("name: cedar-topology"),
+            "{} must mount the topology ConfigMap",
+            node.name
+        );
+    }
+}
+
+#[test]
+fn hpa_scales_the_stateless_tier_on_the_spill_queue_gauge() {
+    let hpa_yaml = read("hpa.yaml");
+    let hpa_docs = docs(&hpa_yaml);
+    assert_eq!(hpa_docs.len(), 1);
+    let hpa = hpa_docs[0];
+    assert_eq!(kind(hpa), "HorizontalPodAutoscaler");
+
+    // Keyed on the gauge cedar-server actually exports (the name is
+    // pinned in crates/server — if it is renamed there, this fails).
+    assert!(
+        hpa.contains("name: cedar_server_spill_queue_depth"),
+        "HPA must key on the admission spill gauge"
+    );
+
+    // ... and it must target a Deployment that exists and is NOT one
+    // of the pinned tree nodes.
+    let target = hpa
+        .lines()
+        .skip_while(|l| !l.trim().starts_with("scaleTargetRef:"))
+        .find_map(|l| l.trim().strip_prefix("name:"))
+        .map(str::trim)
+        .expect("scaleTargetRef.name");
+    let dep_yaml = read("deployment.yaml");
+    let target_doc = docs(&dep_yaml)
+        .into_iter()
+        .find(|d| kind(d) == "Deployment" && name(d) == target)
+        .unwrap_or_else(|| panic!("HPA targets {target}, which deployment.yaml does not define"));
+    let topo = Topology::from_json(&read("topology.json")).expect("topology parses");
+    assert!(
+        topo.nodes
+            .iter()
+            .all(|n| format!("cedar-{}", n.name) != target),
+        "tree nodes are pinned; the HPA must scale the stateless tier"
+    );
+    // The scaled tier must actually run the spill-queue-bearing server
+    // and expose the metrics port the adapter reads.
+    assert!(target_doc.contains("- serve"));
+    assert!(target_doc.contains("--spill-dir"));
+    assert!(target_doc.contains("--metrics-addr"));
+}
+
+#[test]
+fn kustomization_wires_the_documents_together() {
+    let kust = read("kustomization.yaml");
+    assert!(kust.contains("- deployment.yaml"));
+    assert!(kust.contains("- hpa.yaml"));
+    assert!(kust.contains("- topology.json"));
+    assert!(
+        kust.contains("name: cedar-topology"),
+        "the generated ConfigMap name must match what deployments mount"
+    );
+    assert!(
+        kust.contains("disableNameSuffixHash: true"),
+        "deployments reference the ConfigMap by fixed name"
+    );
+}

@@ -272,6 +272,40 @@ fn killing_an_aggregator_mid_load_degrades_and_reconciles() {
         std::thread::sleep(Duration::from_millis(50));
     }
 
+    // Phase 2b: an explain query through the degraded mesh. The
+    // stitched trace must show the loss the quality ledger charges:
+    // the surviving half assembled whole (root + agg1 + its two
+    // workers), the dead aggregator reduced to one censored hop — and
+    // this time the segments crossed real process boundaries, so the
+    // hop spans were measured on genuinely different clocks.
+    let resp = client
+        .query_explain(&tree, Some(DEADLINE), Some(5))
+        .expect("explain query");
+    assert!(resp.ok, "explain query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    let report = result.failures.expect("report");
+    assert!(report.crashed >= 1, "dead agg not charged: {report:?}");
+    let mesh = result
+        .trace
+        .expect("explain trace")
+        .mesh
+        .expect("stitched mesh trace");
+    assert_eq!(mesh.root.node_count(), 4, "root + agg1 + 2 workers");
+    assert_eq!(mesh.root.censored_hops(), 1);
+    let dead = mesh
+        .root
+        .hops
+        .iter()
+        .find(|h| h.censored)
+        .expect("censored hop");
+    assert_eq!(dead.child, "agg0");
+    assert!(dead.exec_sent_unix_us > 0, "send stamp survives censoring");
+    assert!(
+        mesh.root.wire_overhead_us() > 0,
+        "cross-process hops measured no wire time"
+    );
+    let degraded = degraded + 1; // the explain query counts too
+
     // Phase 3: counters reconcile across processes. The root's scrape
     // must agree with the reports clients saw: every query counted,
     // the dead aggregator charged as a crash, and the link marked down.
@@ -299,6 +333,55 @@ fn killing_an_aggregator_mid_load_degrades_and_reconciles() {
     );
     let stats = client.stats().expect("stats").stats.expect("stats body");
     assert_eq!(u64::try_from(stats.completed).expect("fits"), queries);
+
+    // Phase 3b: federation. One `metrics_federated` op on the root
+    // must reproduce every live node's endpoint under its own label —
+    // value-for-value against a direct scrape of each node — and mark
+    // the killed process down. A mismatch anywhere fails the job.
+    let fed = client
+        .request(&cedar_server::proto::Request {
+            op: "metrics_federated".into(),
+            tree: None,
+            deadline: None,
+            seed: None,
+            explain: None,
+        })
+        .expect("federated scrape");
+    assert!(fed.ok, "federated scrape failed: {:?}", fed.error);
+    let page = fed.metrics.expect("merged page");
+    for node in &topo.nodes {
+        let expect_up = if node.name == "agg0" { 0.0 } else { 1.0 };
+        let series = format!("cedar_mesh_federated_up{{node=\"{}\"}}", node.name);
+        assert!(
+            (metric(&page, &series) - expect_up).abs() < f64::EPSILON,
+            "{} wrongly marked in:\n{page}",
+            node.name
+        );
+        if node.name == "agg0" {
+            continue;
+        }
+        // Exactly what the node itself reports, relabeled, not rewritten.
+        let own = metrics_text(&node.addr).expect("direct scrape");
+        let fed_series = format!("cedar_mesh_execs_total{{node=\"{}\"}}", node.name);
+        if node.name == "root" {
+            assert!(
+                (metric(
+                    &page,
+                    &format!("cedar_mesh_queries_total{{node=\"{}\"}}", node.name)
+                ) - queries as f64)
+                    .abs()
+                    < f64::EPSILON,
+                "federated root query count diverged"
+            );
+        } else {
+            assert!(
+                (metric(&page, &fed_series) - metric(&own, "cedar_mesh_execs_total")).abs()
+                    < f64::EPSILON,
+                "federated {} exec count diverged from its own endpoint",
+                node.name
+            );
+        }
+    }
 
     // Phase 4: orderly shutdown of every surviving process.
     for node in &topo.nodes {

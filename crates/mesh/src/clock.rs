@@ -8,11 +8,20 @@
 //! seam. (Aggregation passes run on a tokio runtime and use
 //! `tokio::time::Instant`, which is sanctioned separately.)
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// The current wall-clock instant.
 pub fn now() -> Instant {
     Instant::now()
+}
+
+/// Microseconds since the Unix epoch on this node's clock. Trace
+/// stamps and clock-offset probes use this spelling; offsets between
+/// nodes are *estimated* from heartbeat RTTs, never assumed zero.
+pub fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
 }
 
 #[cfg(test)]
@@ -22,5 +31,15 @@ mod tests {
         let a = super::now();
         let b = super::now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn unix_us_is_post_epoch_and_monotonic_enough() {
+        let a = super::unix_us();
+        let b = super::unix_us();
+        // Both stamps land this side of 2020-01-01 and don't regress
+        // across back-to-back reads on a healthy clock.
+        assert!(a > 1_577_836_800_000_000);
+        assert!(b >= a.saturating_sub(1_000));
     }
 }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod learner;
 pub mod metrics;
 pub mod node;
 pub mod peer;
@@ -37,9 +38,10 @@ pub mod ring;
 pub mod topology;
 pub mod wire;
 
-pub use metrics::{MeshMetrics, PeerMetrics};
-pub use node::{start, NodeHandle};
+pub use learner::{LearnerStats, MeshLearner};
+pub use metrics::{federate, MeshMetrics, PeerMetrics};
+pub use node::{start, start_with, NodeHandle, NodeOptions};
 pub use peer::{LinkConfig, PeerLink, Router};
 pub use ring::HashRing;
 pub use topology::{NodeDef, Role, Topology};
-pub use wire::{agg_seed, leaf_seed, MeshMsg, StageTiming};
+pub use wire::{agg_seed, leaf_seed, trace_id, ExecTrace, MeshMsg, StageTiming};

@@ -9,6 +9,7 @@
 
 use cedar_runtime::RuntimeMetrics;
 use cedar_telemetry::{labeled, Counter, Gauge, Registry};
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Health and traffic counters for one child link.
@@ -106,6 +107,86 @@ impl MeshMetrics {
     }
 }
 
+/// Merges per-node Prometheus pages into one federated page.
+///
+/// Every sample line gains a leading `node="<name>"` label (existing
+/// labels are preserved after it); `# HELP`/`# TYPE` headers are
+/// deduplicated keep-first so each family is described once. A
+/// synthetic `cedar_mesh_federated_up{node="..."}` gauge records which
+/// nodes answered the scrape: pages passed as `None` (unreachable
+/// nodes) contribute only that gauge at 0.
+///
+/// The per-node `metrics` op stays unlabeled — this rewrite happens
+/// only on the root's `metrics_federated` fan-out, so single-node
+/// scrapes and their tests are unchanged.
+#[must_use]
+pub fn federate(pages: &[(String, Option<String>)]) -> String {
+    let mut out = String::new();
+    let mut seen_headers: Vec<String> = Vec::new();
+    out.push_str(
+        "# HELP cedar_mesh_federated_up Whether the node answered the federated scrape\n\
+         # TYPE cedar_mesh_federated_up gauge\n",
+    );
+    for (node, page) in pages {
+        let _ = writeln!(
+            out,
+            "cedar_mesh_federated_up{{node=\"{node}\"}} {}",
+            u8::from(page.is_some())
+        );
+    }
+    for (node, page) in pages {
+        let Some(text) = page else { continue };
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                // `# HELP name ...` / `# TYPE name ...`: keep the first
+                // occurrence of each (kind, family) pair.
+                let key = rest
+                    .split_whitespace()
+                    .take(2)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if seen_headers.iter().any(|h| h == &key) {
+                    continue;
+                }
+                seen_headers.push(key);
+                out.push_str(line);
+                out.push('\n');
+                continue;
+            }
+            out.push_str(&label_sample(line, node));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Injects `node="<node>"` as the first label of one sample line.
+/// Lines already carrying a `node=` label (e.g. `cedar_mesh_node_info`)
+/// pass through untouched — a duplicate label name would make the page
+/// invalid.
+fn label_sample(line: &str, node: &str) -> String {
+    match line.find('{') {
+        Some(brace) => {
+            let (name, rest) = line.split_at(brace);
+            if rest.contains("node=\"") {
+                line.to_string()
+            } else {
+                format!("{name}{{node=\"{node}\",{}", &rest[1..])
+            }
+        }
+        None => match line.find(' ') {
+            Some(space) => {
+                let (name, rest) = line.split_at(space);
+                format!("{name}{{node=\"{node}\"}}{rest}")
+            }
+            None => line.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +209,33 @@ mod tests {
         assert!(text.contains("cedar_mesh_node_info{node=\"root\"} 1"));
         // The runtime reconciliation family is present from the start.
         assert!(text.contains("cedar_faults_injected_total{kind=\"crash\"} 0"));
+    }
+
+    #[test]
+    fn federate_labels_dedups_and_marks_unreachable() {
+        let root = MeshMetrics::new("root");
+        root.queries.add(2);
+        let agg = MeshMetrics::new("agg0");
+        agg.execs.add(5);
+        let pages = vec![
+            ("root".to_string(), Some(root.registry.render())),
+            ("agg0".to_string(), Some(agg.registry.render())),
+            ("agg1".to_string(), None),
+        ];
+        let page = federate(&pages);
+        assert!(page.contains("cedar_mesh_federated_up{node=\"root\"} 1"));
+        assert!(page.contains("cedar_mesh_federated_up{node=\"agg0\"} 1"));
+        assert!(page.contains("cedar_mesh_federated_up{node=\"agg1\"} 0"));
+        assert!(page.contains("cedar_mesh_queries_total{node=\"root\"} 2"));
+        assert!(page.contains("cedar_mesh_execs_total{node=\"agg0\"} 5"));
+        // Labels the registry already stamped with `node=` pass through
+        // unduplicated; other labels gain the node label in front.
+        assert!(page.contains("cedar_mesh_node_info{node=\"agg0\"} 1"));
+        assert!(!page.contains("node=\"agg0\",node=\"agg0\""));
+        // HELP/TYPE appear exactly once per family.
+        let helps = page.matches("# HELP cedar_mesh_queries_total").count();
+        assert_eq!(helps, 1);
+        // No unlabeled samples leak through.
+        assert!(!page.contains("\ncedar_mesh_queries_total 2"));
     }
 }

@@ -39,32 +39,53 @@
 //! one divergence from the engine's shared-memory bookkeeping: a
 //! subtree whose `partial` never arrives cannot report its
 //! runtime-dependent counts, so those are lost with it.
+//!
+//! Observability spans the same tree. An explain query threads an
+//! [`ExecTrace`] through every `exec` hop; each node returns its
+//! [`TraceSegment`] (receive/decode/queue/ship stamps plus its local
+//! decision trace) inside its `partial`, and the root stitches them
+//! into one [`MeshTrace`] with clock-offset-corrected per-hop wire
+//! overhead, delivered in `result.trace.mesh`. Every node also keeps an
+//! always-on fixed-size [`FlightRecorder`] of recent query summaries
+//! (dumped on shutdown, on real-failure detection, or via the
+//! [`OP_FLIGHT_DUMP`] op), and the root serves an
+//! [`OP_METRICS_FEDERATED`] op that merges every node's Prometheus page
+//! under `node=` labels.
 
 use crate::clock;
+use crate::learner::MeshLearner;
 use crate::metrics::{MeshMetrics, PeerMetrics};
 use crate::peer::{LinkConfig, PeerLink, Router};
 use crate::ring::HashRing;
 use crate::topology::{NodeDef, Role, Topology};
-use crate::wire::{self, agg_seed, leaf_seed, MeshMsg, StageTiming};
+use crate::wire::{self, agg_seed, leaf_seed, ExecTrace, MeshMsg, StageTiming};
+use cedar_core::fs::write_atomic;
 use cedar_core::profile::ProfileConfig;
 use cedar_core::{LockExt, Millis, PolicyContext, PreparedContexts, WaitPolicyKind};
 use cedar_distrib::ContinuousDist;
 use cedar_estimate::Model;
 use cedar_mathx::fxhash::FxHashMap;
 use cedar_runtime::{
-    aggregate_remote, Arrival, FailureReport, FaultKind, FaultPlan, RemoteAggConfig,
+    aggregate_remote, Arrival, CheckpointConfig, FailureReport, FaultKind, FaultPlan,
+    RemoteAggConfig, RemoteTrace,
 };
 use cedar_server::proto::{self, QueryResult, Request, Response, ServerStats};
-use cedar_server::WireFormat;
+use cedar_server::{Client, WireFormat};
+use cedar_telemetry::flight::DEFAULT_FLIGHT_CAPACITY;
+use cedar_telemetry::{
+    FaultClass, FlightDump, FlightEntry, FlightRecorder, HopRecord, MeshTrace, QueryTrace,
+    ShipReason, TraceEventKind, TraceSegment, TraceSummary,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Deadline applied when a query request omits one, in model units.
 const DEFAULT_DEADLINE: f64 = 1600.0;
@@ -74,6 +95,37 @@ const SCAN_STEPS: usize = 64;
 const RECENT_EXECS: usize = 64;
 /// Prepared-context cache entries kept before a wholesale reset.
 const PREPARED_CACHE_MAX: usize = 16;
+
+/// Client op served by roots only: every node's Prometheus page merged
+/// under `node=` labels (plus a synthetic `cedar_mesh_federated_up`).
+pub const OP_METRICS_FEDERATED: &str = "metrics_federated";
+/// Client op served by every node: freeze the flight recorder, write
+/// the dump file (when configured), and return the dump as JSON in the
+/// response's `metrics` field.
+pub const OP_FLIGHT_DUMP: &str = "flight_dump";
+
+/// Receive-side spans for one frame: the wall stamp when it came off
+/// the socket, how long decode took, and when the serving thread handed
+/// it to a handler (queue time is measured from there).
+#[derive(Clone, Copy)]
+struct RecvSpans {
+    recv_unix_us: u64,
+    decode_us: u64,
+    handled_at: Instant,
+}
+
+/// One `exec` frame's payload bundled with its receive spans, for the
+/// role-specific handlers.
+struct ExecJob {
+    query_id: u64,
+    agg_index: usize,
+    tree: cedar_workloads::treedef::TreeDef,
+    deadline: f64,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    trace: Option<ExecTrace>,
+    spans: RecvSpans,
+}
 
 /// What a worker needs to re-execute leaves of a recent query.
 struct RecentExec {
@@ -144,6 +196,12 @@ impl NodeHandle {
         self.stop();
         self.join();
     }
+
+    /// The bound Prometheus HTTP endpoint, when one was requested.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.inner.metrics_http_addr
+    }
 }
 
 struct NodeInner {
@@ -177,12 +235,40 @@ struct NodeInner {
     conns_active: AtomicUsize,
     prepared: Mutex<FxHashMap<(u64, String), Arc<PreparedContexts>>>,
     recent: Mutex<Vec<RecentExec>>,
+    /// Always-on ring of recent per-query summaries.
+    flight: FlightRecorder,
+    /// Where flight dumps land ([`NodeOptions::flight_file`]).
+    flight_file: Option<PathBuf>,
+    /// One-shot latch: the first real-failure detection dumps the
+    /// flight ring; later ones don't rewrite it (the interesting state
+    /// is what led up to the first).
+    degraded: AtomicBool,
+    /// Durable learned priors (aggregators with a checkpoint dir).
+    learner: Option<MeshLearner>,
+    /// Bound address of the Prometheus HTTP endpoint, when serving one.
+    metrics_http_addr: Option<SocketAddr>,
 }
 
 /// Ceiling on simultaneously live connection threads per mesh node. A
 /// node talks to its parent, its children, and a handful of clients;
 /// anything past this is a runaway peer and is dropped at accept.
 const MAX_NODE_CONNECTIONS: usize = 256;
+
+/// Optional durability and observability facilities for [`start_with`].
+#[derive(Debug, Default)]
+pub struct NodeOptions {
+    /// Aggregators given a checkpoint directory persist their learned
+    /// priors there and warm-restart from it ([`MeshLearner`]).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Bind address for a plain-HTTP Prometheus scrape endpoint
+    /// (`GET` anything → the node's metrics page).
+    pub metrics_addr: Option<String>,
+    /// File the flight recorder dumps to on shutdown, real-failure
+    /// detection, or the [`OP_FLIGHT_DUMP`] op.
+    pub flight_file: Option<PathBuf>,
+    /// Flight-recorder ring capacity; 0 means the default (256).
+    pub flight_capacity: usize,
+}
 
 /// Starts the node named `name` from `topology`, binding its listener
 /// and connecting to its children. `fault_plan`, when set on the root,
@@ -191,6 +277,17 @@ pub fn start(
     topology: Topology,
     name: &str,
     fault_plan: Option<FaultPlan>,
+) -> io::Result<NodeHandle> {
+    start_with(topology, name, fault_plan, NodeOptions::default())
+}
+
+/// [`start`], plus checkpointed priors, an HTTP metrics endpoint, and a
+/// flight-dump file per `options`.
+pub fn start_with(
+    topology: Topology,
+    name: &str,
+    fault_plan: Option<FaultPlan>,
+    options: NodeOptions,
 ) -> io::Result<NodeHandle> {
     topology
         .validate()
@@ -246,6 +343,24 @@ pub fn start(
         let labels: Vec<String> = groups.iter().map(|g| g.join("+")).collect();
         HashRing::new(&labels)
     });
+    let learner = if me.role == Role::Agg {
+        options.checkpoint.as_ref().map(MeshLearner::open)
+    } else {
+        None
+    };
+    let metrics_http = match &options.metrics_addr {
+        Some(addr) => Some(TcpListener::bind(addr)?),
+        None => None,
+    };
+    let metrics_http_addr = match &metrics_http {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    let flight_capacity = if options.flight_capacity == 0 {
+        DEFAULT_FLIGHT_CAPACITY
+    } else {
+        options.flight_capacity
+    };
     let inner = Arc::new(NodeInner {
         topo: topology,
         me,
@@ -267,7 +382,16 @@ pub fn start(
         conns_active: AtomicUsize::new(0),
         prepared: Mutex::new(FxHashMap::default()),
         recent: Mutex::new(Vec::new()),
+        flight: FlightRecorder::new(flight_capacity),
+        flight_file: options.flight_file,
+        degraded: AtomicBool::new(false),
+        learner,
+        metrics_http_addr,
     });
+    if let Some(http) = metrics_http {
+        let scraper = Arc::clone(&inner);
+        std::thread::spawn(move || scraper.metrics_http_loop(&http));
+    }
     let acceptor = Arc::clone(&inner);
     let accept = std::thread::spawn(move || acceptor.accept_loop(&listener));
     Ok(NodeHandle {
@@ -312,6 +436,36 @@ fn wire_from_u8(v: u8) -> WireFormat {
     }
 }
 
+/// The trace class of an injected fault kind.
+fn fault_class(kind: &FaultKind) -> FaultClass {
+    match kind {
+        FaultKind::CrashBeforeSend => FaultClass::Crash,
+        FaultKind::Hang => FaultClass::Hang,
+        FaultKind::Straggle { .. } => FaultClass::Straggle,
+        FaultKind::DropMessage => FaultClass::Drop,
+        FaultKind::DuplicateMessage => FaultClass::Duplicate,
+    }
+}
+
+/// A [`TraceSummary`] synthesized from a failure report, for flight
+/// entries of untraced (non-explain) queries. `rearms` is unknowable
+/// without a trace and stays 0.
+fn summary_from_report(report: &FailureReport, arrivals: usize) -> TraceSummary {
+    TraceSummary {
+        arrivals,
+        rearms: 0,
+        crashed: report.crashed,
+        hung: report.hung,
+        straggled: report.straggled,
+        dropped_messages: report.dropped,
+        duplicated: report.duplicated,
+        retries_launched: report.retries_launched,
+        retries_delivered: report.retries_delivered,
+        duplicates_suppressed: report.duplicates_suppressed,
+        censored_observations: report.censored_observations,
+    }
+}
+
 impl NodeInner {
     fn accept_loop(self: &Arc<Self>, listener: &TcpListener) {
         for conn in listener.incoming() {
@@ -337,10 +491,15 @@ impl NodeInner {
         }
     }
 
-    /// Signals shutdown: stops child links and unblocks the acceptor.
+    /// Signals shutdown: persists learned state and the flight ring,
+    /// stops child links, and unblocks the acceptor.
     fn stop_signal(&self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
+        }
+        self.flight_dump("shutdown");
+        if let Some(learner) = &self.learner {
+            learner.checkpoint_now();
         }
         for link in &self.links {
             link.stop();
@@ -348,9 +507,96 @@ impl NodeInner {
         if let Some(s) = self.upstream.lock().unpoisoned().take() {
             let _ = s.shutdown(Shutdown::Both);
         }
-        // A throwaway connection pops the blocking accept() so the
-        // acceptor observes the stop flag.
+        // Throwaway connections pop the blocking accept()s so both
+        // listener threads observe the stop flag.
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(addr) = self.metrics_http_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Freezes the flight ring into a dump and, when a dump file is
+    /// configured, writes it there atomically. Returns the dump for
+    /// callers that also serve it.
+    fn flight_dump(&self, reason: &str) -> FlightDump {
+        let dump = self.flight.dump(
+            self.me.name.clone(),
+            self.me.role.as_str(),
+            reason,
+            clock::unix_us(),
+        );
+        if let Some(path) = &self.flight_file {
+            let _ = write_atomic(path, &dump.encode());
+        }
+        dump
+    }
+
+    /// Latches into the degraded state on the first *real* (non-
+    /// injected) failure detection and dumps the flight ring once.
+    fn note_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            self.flight_dump("degraded");
+        }
+    }
+
+    /// Serves Prometheus scrapes over plain HTTP until shutdown — the
+    /// same head-read/answer/close loop as the server's `--metrics-addr`
+    /// port, rendering this node's registry.
+    fn metrics_http_loop(&self, listener: &TcpListener) {
+        loop {
+            let Ok((stream, _)) = listener.accept() else {
+                if self.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            };
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            self.serve_scrape(&stream);
+        }
+    }
+
+    fn serve_scrape(&self, stream: &TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let _ = stream.set_nodelay(true);
+        // Read until the blank line ending the request head; a scraper
+        // that cannot deliver its head promptly is dropped rather than
+        // allowed to pin this thread.
+        let mut head = Vec::new();
+        let mut buf = [0u8; 1024];
+        let deadline = clock::now() + Duration::from_secs(2);
+        loop {
+            match (&mut &*stream).read(&mut buf) {
+                Ok(0) => return,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                        break;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::Acquire) || clock::now() >= deadline {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let body = self.metrics.registry.render();
+        let header = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let _ = (&mut &*stream)
+            .write_all(header.as_bytes())
+            .and_then(|()| (&mut &*stream).write_all(body.as_bytes()));
     }
 
     /// One connection: reads frames until EOF, answering client
@@ -361,6 +607,8 @@ impl NodeInner {
             let Ok(Some(raw)) = proto::read_frame_raw(&mut &*stream) else {
                 break;
             };
+            let recv_unix_us = clock::unix_us();
+            let decode_started = clock::now();
             if !raw.is_supported() {
                 // Legacy framing so any client can decode the refusal.
                 let resp = Response::err_code(
@@ -378,15 +626,25 @@ impl NodeInner {
                 continue;
             }
             if let Ok(msg) = raw.decode_auto::<MeshMsg>() {
-                if !self.handle_mesh(msg, stream, wire_of_version(raw.version)) {
+                let spans = RecvSpans {
+                    recv_unix_us,
+                    decode_us: decode_started.elapsed().as_micros() as u64,
+                    handled_at: clock::now(),
+                };
+                if !self.handle_mesh(msg, stream, wire_of_version(raw.version), spans) {
                     break;
                 }
                 continue;
             }
             match raw.decode_auto::<Request>() {
                 Ok(req) => {
+                    let spans = RecvSpans {
+                        recv_unix_us,
+                        decode_us: decode_started.elapsed().as_micros() as u64,
+                        handled_at: clock::now(),
+                    };
                     let shutdown = req.op == proto::OP_SHUTDOWN;
-                    let resp = self.handle_request(&req);
+                    let resp = self.handle_request(&req, spans);
                     if write_matching(stream, raw.version, &resp).is_err() {
                         break;
                     }
@@ -408,7 +666,13 @@ impl NodeInner {
     /// Handles one mesh frame; returns `false` to close the connection.
     /// `wire` is the encoding the frame arrived in; replies answer in
     /// kind.
-    fn handle_mesh(self: &Arc<Self>, msg: MeshMsg, stream: &TcpStream, wire: WireFormat) -> bool {
+    fn handle_mesh(
+        self: &Arc<Self>,
+        msg: MeshMsg,
+        stream: &TcpStream,
+        wire: WireFormat,
+        spans: RecvSpans,
+    ) -> bool {
         match msg {
             MeshMsg::Hello { topology_hash, .. } => {
                 let ok = topology_hash == self.topo.hash();
@@ -444,6 +708,9 @@ impl NodeInner {
             MeshMsg::Heartbeat { seq, .. } => self.send_upstream(&MeshMsg::HeartbeatAck {
                 from: self.me.name.clone(),
                 seq,
+                // Local wall stamp for the parent's clock-offset
+                // estimate (RTT-midpoint method).
+                at_unix_us: Some(clock::unix_us()),
             }),
             MeshMsg::Exec {
                 query_id,
@@ -452,16 +719,23 @@ impl NodeInner {
                 deadline,
                 seed,
                 fault_plan,
+                trace,
                 ..
             } => {
                 self.metrics.execs.inc();
+                let job = ExecJob {
+                    query_id,
+                    agg_index,
+                    tree,
+                    deadline,
+                    seed,
+                    plan: fault_plan,
+                    trace,
+                    spans,
+                };
                 match self.me.role {
-                    Role::Agg => {
-                        self.agg_exec(query_id, agg_index, tree, deadline, seed, fault_plan);
-                    }
-                    Role::Worker => {
-                        self.worker_exec(query_id, agg_index, &tree, deadline, seed, fault_plan);
-                    }
+                    Role::Agg => self.agg_exec(job),
+                    Role::Worker => self.worker_exec(job),
                     Role::Root => {}
                 }
                 true
@@ -505,29 +779,39 @@ impl NodeInner {
         }
     }
 
-    fn handle_request(self: &Arc<Self>, req: &Request) -> Response {
+    fn handle_request(self: &Arc<Self>, req: &Request, spans: RecvSpans) -> Response {
         match req.op.as_str() {
             proto::OP_PING | proto::OP_SHUTDOWN => Response::ok(),
             proto::OP_METRICS => Response::with_metrics(self.metrics.registry.render()),
-            proto::OP_STATS => Response::with_stats(ServerStats {
-                completed: self.completed.load(Ordering::Acquire) as usize,
-                refits: 0,
-                epoch: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-                in_flight: self.in_flight.load(Ordering::Acquire),
-                shed_total: 0,
-                served_total: self.served.load(Ordering::Acquire),
-                // Mesh nodes do not checkpoint (yet): absent, not zero,
-                // so clients can tell "no durability" from "age 0".
-                priors_age_queries: None,
-                checkpoint_age_ms: None,
-                warm_restart: None,
-            }),
+            OP_METRICS_FEDERATED => self.metrics_federated(),
+            OP_FLIGHT_DUMP => {
+                let dump = self.flight_dump("operator");
+                Response::with_metrics(serde_json::to_string(&dump).unwrap_or_default())
+            }
+            proto::OP_STATS => {
+                let learner = self.learner.as_ref().map(MeshLearner::stats);
+                Response::with_stats(ServerStats {
+                    completed: self.completed.load(Ordering::Acquire) as usize,
+                    refits: learner.map_or(0, |l| l.refits as usize),
+                    epoch: learner.map_or(0, |l| l.epoch),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    in_flight: self.in_flight.load(Ordering::Acquire),
+                    shed_total: 0,
+                    served_total: self.served.load(Ordering::Acquire),
+                    // Absent (not zero) on nodes without a checkpoint
+                    // dir, so clients can tell "no durability" from
+                    // "age 0". Aggregators started with one report the
+                    // learner's real ages.
+                    priors_age_queries: learner.map(|l| l.priors_age_queries as u64),
+                    checkpoint_age_ms: learner.map(|l| l.checkpoint_age_ms),
+                    warm_restart: learner.map(|l| l.warm_restart),
+                })
+            }
             proto::OP_QUERY => {
                 if self.me.role == Role::Root {
                     self.served.fetch_add(1, Ordering::AcqRel);
-                    self.root_query(req)
+                    self.root_query(req, spans)
                 } else {
                     Response::err_code(
                         proto::ERR_BAD_REQUEST,
@@ -542,12 +826,41 @@ impl NodeInner {
         }
     }
 
+    /// Scrapes every node in the topology over fresh client
+    /// connections (peer links carry mesh frames only) and merges the
+    /// pages under `node=` labels. Unreachable nodes are marked down
+    /// via `cedar_mesh_federated_up` rather than failing the scrape.
+    fn metrics_federated(&self) -> Response {
+        if self.me.role != Role::Root {
+            return Response::err_code(
+                proto::ERR_BAD_REQUEST,
+                "only the root federates metrics; scrape `metrics` here",
+            );
+        }
+        let mut pages: Vec<(String, Option<String>)> = Vec::with_capacity(self.topo.nodes.len());
+        for def in &self.topo.nodes {
+            let page = if def.name == self.me.name {
+                Some(self.metrics.registry.render())
+            } else {
+                Client::connect(def.addr.as_str())
+                    .ok()
+                    .and_then(|mut c| c.metrics().ok())
+                    .and_then(|resp| resp.metrics)
+            };
+            pages.push((def.name.clone(), page));
+        }
+        Response::with_metrics(crate::metrics::federate(&pages))
+    }
+
     // ---- root ----
 
     /// Shards one client query onto a replica, fans out, gathers until
     /// the deadline, and folds the merged outcome into the standard
     /// runtime metrics — the engine's terminal loop, across processes.
-    fn root_query(self: &Arc<Self>, req: &Request) -> Response {
+    /// Explain queries additionally thread a trace id through every
+    /// `exec` hop and stitch the returned segments into a cross-process
+    /// timeline ([`MeshTrace`]) delivered in `result.trace.mesh`.
+    fn root_query(self: &Arc<Self>, req: &Request, spans: RecvSpans) -> Response {
         let Some(tree) = req.tree.clone() else {
             return Response::err_code(proto::ERR_BAD_REQUEST, "query carries no tree");
         };
@@ -595,6 +908,11 @@ impl NodeInner {
         self.in_flight.fetch_add(1, Ordering::AcqRel);
         let scale = self.topo.scale();
         let start = clock::now();
+        let started_unix_us = clock::unix_us();
+        let queue_us = spans.handled_at.elapsed().as_micros() as u64;
+        let explain = req.explain.unwrap_or(false);
+        let trace_id = wire::trace_id(seed, query_id);
+        let qtrace = explain.then(|| Arc::new(QueryTrace::new()));
         let rx = self.router.register(query_id, 4 * k2 + 8);
 
         // Injected faults are a pure function of the plan — account for
@@ -604,14 +922,43 @@ impl NodeInner {
             plan.planned_into(0, 0..k1 * k2, &mut report);
             plan.planned_into(1, 0..k2, &mut report);
         }
+        if let Some(qt) = &qtrace {
+            qt.record(
+                0.0,
+                2,
+                0,
+                TraceEventKind::QueryStart {
+                    deadline,
+                    total_processes: k1 * k2,
+                    priors_epoch: 0,
+                },
+            );
+            if let Some(plan) = &self.fault_plan {
+                for origin in 0..k1 * k2 {
+                    if let Some(kind) = plan.fault_for(0, origin) {
+                        let fault = fault_class(&kind);
+                        qt.record(0.0, 2, 0, TraceEventKind::FaultInjected { fault, origin });
+                    }
+                }
+                for origin in 0..k2 {
+                    if let Some(kind) = plan.fault_for(1, origin) {
+                        let fault = fault_class(&kind);
+                        qt.record(0.0, 2, 0, TraceEventKind::FaultInjected { fault, origin });
+                    }
+                }
+            }
+        }
 
         // Fan out; a dead aggregator at dispatch is a real crash.
         let mut dispatched: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(group.len());
+        let mut sent_stamps: Vec<u64> = Vec::with_capacity(group.len());
         for (agg_index, agg_name) in group.iter().enumerate() {
             let link = self
                 .links
                 .iter()
                 .find(|l| l.peer_name() == agg_name.as_str());
+            let sent_unix_us = clock::unix_us();
+            sent_stamps.push(sent_unix_us);
             let exec = MeshMsg::Exec {
                 query_id,
                 from: self.me.name.clone(),
@@ -621,6 +968,11 @@ impl NodeInner {
                 deadline,
                 seed,
                 fault_plan: self.fault_plan.clone(),
+                trace: explain.then_some(ExecTrace {
+                    trace_id,
+                    explain: true,
+                    sent_unix_us,
+                }),
             };
             match link {
                 Some(l) if l.send(&exec).is_ok() => dispatched.push(Some(Arc::clone(l))),
@@ -641,6 +993,9 @@ impl NodeInner {
         let mut realized0: Vec<(usize, f64)> = Vec::new();
         let mut realized1: Vec<(usize, f64)> = Vec::new();
         let mut censored0: Vec<(usize, f64)> = Vec::new();
+        // First-seen segment per origin, with its receive stamp, for
+        // stitching (duplicates re-ship the same segment).
+        let mut segs: FxHashMap<usize, (TraceSegment, u64)> = FxHashMap::default();
         while let Some(left) = deadline_at.checked_duration_since(clock::now()) {
             let Ok(msg) = rx.recv_timeout(left) else {
                 break;
@@ -653,6 +1008,7 @@ impl NodeInner {
                 timings,
                 censored,
                 failures,
+                segment,
                 ..
             } = msg
             else {
@@ -661,6 +1017,20 @@ impl NodeInner {
             if !seen.insert(origin) {
                 report.duplicates_suppressed += 1;
                 continue;
+            }
+            if let Some(seg) = segment {
+                segs.insert(origin, (*seg, clock::unix_us()));
+            }
+            if let Some(qt) = &qtrace {
+                qt.record(
+                    scale.to_model(start.elapsed()),
+                    2,
+                    0,
+                    TraceEventKind::RootArrival {
+                        origin,
+                        weight: payload,
+                    },
+                );
             }
             included += payload;
             arrivals += 1;
@@ -687,12 +1057,17 @@ impl NodeInner {
 
         // An aggregator that was dispatched to, went silent, AND whose
         // link is down died for real mid-query.
+        let mut real_crashes = false;
         for (origin, link) in dispatched.iter().enumerate() {
             if let Some(l) = link {
                 if !seen.contains(&origin) && !l.is_up() {
                     report.crashed += 1;
+                    real_crashes = true;
                 }
             }
+        }
+        if real_crashes {
+            self.note_degraded();
         }
 
         let sorted = |mut v: Vec<(usize, f64)>| -> Vec<f64> {
@@ -714,6 +1089,88 @@ impl NodeInner {
         self.metrics.queries.inc();
         self.completed.fetch_add(1, Ordering::AcqRel);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
+
+        // Close the decision trace and stitch the cross-process tree.
+        let trace = if let Some(qt) = &qtrace {
+            let at = scale.to_model(start.elapsed());
+            for origin in 0..k2 {
+                if !seen.contains(&origin) {
+                    qt.record(at, 2, 0, TraceEventKind::Censored { origin });
+                }
+            }
+            qt.record(
+                at,
+                2,
+                0,
+                TraceEventKind::QueryEnd {
+                    quality: outcome.quality,
+                    included,
+                    reason: if arrivals == k2 {
+                        ShipReason::AllArrived
+                    } else {
+                        ShipReason::DeadlineExpired
+                    },
+                },
+            );
+            let mut hops = Vec::with_capacity(group.len());
+            let mut children = Vec::new();
+            for (origin, link) in dispatched.iter().enumerate() {
+                let offset = link.as_ref().and_then(|l| l.clock_offset_us()).unwrap_or(0);
+                let sent = sent_stamps.get(origin).copied().unwrap_or(started_unix_us);
+                match segs.remove(&origin) {
+                    Some((seg, recv_us)) => {
+                        hops.push(HopRecord {
+                            child: group[origin].clone(),
+                            censored: false,
+                            clock_offset_us: offset,
+                            exec_sent_unix_us: sent,
+                            exec_recv_unix_us: seg.exec_recv_unix_us,
+                            exec_decode_us: seg.exec_decode_us,
+                            exec_queue_us: seg.exec_queue_us,
+                            partial_sent_unix_us: seg.partial_sent_unix_us,
+                            partial_recv_unix_us: recv_us,
+                        });
+                        children.push(seg);
+                    }
+                    None => hops.push(HopRecord::censored(group[origin].clone(), sent, offset)),
+                }
+            }
+            let root = TraceSegment {
+                node: self.me.name.clone(),
+                role: self.me.role.as_str().to_owned(),
+                level: 2,
+                origin: 0,
+                trace_id,
+                exec_recv_unix_us: spans.recv_unix_us,
+                exec_decode_us: spans.decode_us,
+                exec_queue_us: queue_us,
+                partial_sent_unix_us: 0,
+                hops,
+                children,
+                report: None,
+                summary: qt.summary(),
+            };
+            let mut r = qt.report();
+            r.mesh = Some(Box::new(MeshTrace { trace_id, root }));
+            Some(r)
+        } else {
+            None
+        };
+
+        self.flight.record(FlightEntry {
+            query_id,
+            started_unix_us,
+            latency_us: start.elapsed().as_micros() as u64,
+            deadline,
+            quality: outcome.quality,
+            included,
+            expected: k1 * k2,
+            shed: false,
+            summary: qtrace
+                .as_ref()
+                .map_or_else(|| summary_from_report(&report, arrivals), |qt| qt.summary()),
+        });
+
         Response::with_result(QueryResult {
             quality: outcome.quality,
             included_outputs: outcome.included_outputs,
@@ -723,7 +1180,7 @@ impl NodeInner {
             latency_ms: Millis::from_duration(start.elapsed()).get(),
             epoch: 0,
             failures: Some(report),
-            trace: None,
+            trace,
         })
     }
 
@@ -731,34 +1188,28 @@ impl NodeInner {
 
     /// Spawns one aggregation pass onto the async runtime; the serving
     /// thread stays free for heartbeats and further execs.
-    fn agg_exec(
-        self: &Arc<Self>,
-        query_id: u64,
-        agg_index: usize,
-        tree: cedar_workloads::treedef::TreeDef,
-        deadline: f64,
-        seed: u64,
-        plan: Option<FaultPlan>,
-    ) {
+    fn agg_exec(self: &Arc<Self>, job: ExecJob) {
         let Some(rt) = &self.rt else { return };
         let node = Arc::clone(self);
         rt.spawn(async move {
-            node.agg_run(query_id, agg_index, &tree, deadline, seed, plan)
-                .await;
+            node.agg_run(job).await;
         });
     }
 
     /// One aggregation pass: the engine's Pseudocode-1 loop fed by
     /// remote arrivals, with watchdog retries over the wire.
-    async fn agg_run(
-        self: &Arc<Self>,
-        query_id: u64,
-        agg_index: usize,
-        tree: &cedar_workloads::treedef::TreeDef,
-        deadline: f64,
-        seed: u64,
-        plan: Option<FaultPlan>,
-    ) {
+    async fn agg_run(self: &Arc<Self>, job: ExecJob) {
+        let ExecJob {
+            query_id,
+            agg_index,
+            tree,
+            deadline,
+            seed,
+            plan,
+            trace,
+            spans: recv_spans,
+        } = job;
+        let tree = &tree;
         let Ok(spec_tree) = tree.build() else { return };
         if tree.stages.len() != 2 || !deadline.is_finite() || deadline <= 0.0 {
             return;
@@ -768,6 +1219,10 @@ impl NodeInner {
         };
         let scale = self.topo.scale();
         let start = tokio::time::Instant::now();
+        let queue_us = recv_spans.handled_at.elapsed().as_micros() as u64;
+        let explain = trace.is_some_and(|t| t.explain);
+        let trace_id = trace.map_or(0, |t| t.trace_id);
+        let qtrace = explain.then(|| Arc::new(QueryTrace::new()));
         let k1 = tree.stages[0].fanout;
         let base = agg_index * k1;
         let watchdog = plan.as_ref().and_then(|p| {
@@ -786,19 +1241,33 @@ impl NodeInner {
         // leaves' partials arrive unroutable and are shed.
         let mesh_rx = self.router.register(query_id, 4 * k1 + 16);
         let (tx, rx) = tokio::sync::mpsc::channel::<Arrival>(4 * k1 + 16);
+        // Child segments by worker-node name, keep-latest: a worker
+        // re-ships its segment with every leaf partial, stamping each
+        // ship, so the last one carries its final ship stamp.
+        let segs: Arc<Mutex<FxHashMap<String, (TraceSegment, u64)>>> =
+            Arc::new(Mutex::new(FxHashMap::default()));
+        let bridge_segs = Arc::clone(&segs);
         let bridge = std::thread::spawn(move || {
             while let Ok(msg) = mesh_rx.recv() {
                 let MeshMsg::Partial {
+                    from,
                     origin,
                     payload,
                     value,
                     duration,
                     retry,
+                    segment,
                     ..
                 } = msg
                 else {
                     continue;
                 };
+                if let Some(seg) = segment {
+                    bridge_segs
+                        .lock()
+                        .unpoisoned()
+                        .insert(from, (*seg, clock::unix_us()));
+                }
                 let arrival = Arrival {
                     payload,
                     value,
@@ -815,7 +1284,10 @@ impl NodeInner {
         let mut local_report = FailureReport::default();
         // Fan out to workers; a dead worker node is one real crash per
         // hosted leaf, and those leaves censor naturally at departure.
-        let mut spans: Vec<(std::ops::Range<usize>, Arc<PeerLink>)> = Vec::new();
+        // Every dispatch attempt leaves a hop stamp — silent children
+        // become censored hops in the segment.
+        let mut worker_spans: Vec<(std::ops::Range<usize>, Arc<PeerLink>)> = Vec::new();
+        let mut hop_sends: Vec<(String, u64)> = Vec::new();
         for child in self.me.children() {
             let (Some(def), Some(offset)) = (self.topo.node(child), self.topo.worker_offset(child))
             else {
@@ -823,6 +1295,8 @@ impl NodeInner {
             };
             let range = (base + offset)..(base + offset + def.processes());
             let link = self.links.iter().find(|l| l.peer_name() == child.as_str());
+            let sent_unix_us = clock::unix_us();
+            hop_sends.push((child.clone(), sent_unix_us));
             let exec = MeshMsg::Exec {
                 query_id,
                 from: self.me.name.clone(),
@@ -832,17 +1306,26 @@ impl NodeInner {
                 deadline,
                 seed,
                 fault_plan: plan.clone(),
+                trace: explain.then_some(ExecTrace {
+                    trace_id,
+                    explain: true,
+                    sent_unix_us,
+                }),
             };
             match link {
-                Some(l) if l.send(&exec).is_ok() => spans.push((range, Arc::clone(l))),
+                Some(l) if l.send(&exec).is_ok() => worker_spans.push((range, Arc::clone(l))),
                 _ => local_report.crashed += def.processes(),
             }
+        }
+        if local_report.crashed > 0 {
+            self.note_degraded();
         }
 
         let retries = Arc::new(AtomicUsize::new(0));
         let retries_cb = Arc::clone(&retries);
-        let retry_spans = spans.clone();
+        let retry_spans = worker_spans.clone();
         let self_name = self.me.name.clone();
+        let cb_trace = qtrace.clone();
         let outcome = aggregate_remote(
             RemoteAggConfig {
                 ctx,
@@ -852,6 +1335,11 @@ impl NodeInner {
                 expected: base..base + k1,
                 start,
                 watchdog,
+                trace: qtrace.as_ref().map(|qt| RemoteTrace {
+                    trace: Arc::clone(qt),
+                    level: 1,
+                    index: agg_index,
+                }),
             },
             rx,
             move |missing| {
@@ -865,6 +1353,7 @@ impl NodeInner {
                         continue;
                     }
                     let launched = mine.len();
+                    let origins_traced = mine.clone();
                     let retry = MeshMsg::Retry {
                         query_id,
                         from: self_name.clone(),
@@ -872,6 +1361,17 @@ impl NodeInner {
                     };
                     if link.send(&retry).is_ok() {
                         retries_cb.fetch_add(launched, Ordering::AcqRel);
+                        if let Some(qt) = &cb_trace {
+                            let at = scale.to_model(start.elapsed());
+                            for origin in origins_traced {
+                                qt.record(
+                                    at,
+                                    1,
+                                    agg_index,
+                                    TraceEventKind::RetryLaunched { origin },
+                                );
+                            }
+                        }
                     }
                 }
             },
@@ -886,6 +1386,34 @@ impl NodeInner {
         local_report.retries_delivered = outcome.retries_delivered;
         local_report.duplicates_suppressed = outcome.duplicates_suppressed;
         local_report.censored_observations = outcome.censored.len();
+
+        // Feed the durable learner: delivered leaf durations plus one
+        // right-censoring threshold per missing leaf. Bookkeeping only —
+        // the declared tree stays the policy context.
+        if let Some(learner) = &self.learner {
+            learner.observe_pass(
+                k1,
+                &outcome.observed,
+                outcome.departed_at,
+                outcome.censored.len(),
+            );
+        }
+        // The flight entry reflects the pass itself, recorded before the
+        // own-fate gamble below so crashed/hung passes still leave one.
+        self.flight.record(FlightEntry {
+            query_id,
+            started_unix_us: recv_spans.recv_unix_us,
+            latency_us: start.elapsed().as_micros() as u64,
+            deadline,
+            quality: outcome.payload as f64 / k1.max(1) as f64,
+            included: outcome.payload,
+            expected: k1,
+            shed: false,
+            summary: qtrace.as_ref().map_or_else(
+                || summary_from_report(&local_report, outcome.received),
+                |qt| qt.summary(),
+            ),
+        });
 
         // The aggregator's own stage-1 fate and duration.
         let own_fault = plan.as_ref().and_then(|p| p.fault_for(1, agg_index));
@@ -920,6 +1448,51 @@ impl NodeInner {
                 duration: outcome.departed_at,
             })
             .collect();
+        // Stitchable segment: this node's spans, one hop per dispatched
+        // worker (censored when it never answered), the workers' own
+        // segments, and the local decision trace.
+        let segment = qtrace.as_ref().map(|qt| {
+            let collected = segs.lock().unpoisoned();
+            let mut hops = Vec::with_capacity(hop_sends.len());
+            for (child, sent) in &hop_sends {
+                let offset = self
+                    .links
+                    .iter()
+                    .find(|l| l.peer_name() == child.as_str())
+                    .and_then(|l| l.clock_offset_us())
+                    .unwrap_or(0);
+                match collected.get(child) {
+                    Some((seg, recv_us)) => hops.push(HopRecord {
+                        child: child.clone(),
+                        censored: false,
+                        clock_offset_us: offset,
+                        exec_sent_unix_us: *sent,
+                        exec_recv_unix_us: seg.exec_recv_unix_us,
+                        exec_decode_us: seg.exec_decode_us,
+                        exec_queue_us: seg.exec_queue_us,
+                        partial_sent_unix_us: seg.partial_sent_unix_us,
+                        partial_recv_unix_us: *recv_us,
+                    }),
+                    None => hops.push(HopRecord::censored(child.clone(), *sent, offset)),
+                }
+            }
+            let children = collected.values().map(|(s, _)| s.clone()).collect();
+            Box::new(TraceSegment {
+                node: self.me.name.clone(),
+                role: self.me.role.as_str().to_owned(),
+                level: 1,
+                origin: agg_index,
+                trace_id,
+                exec_recv_unix_us: recv_spans.recv_unix_us,
+                exec_decode_us: recv_spans.decode_us,
+                exec_queue_us: queue_us,
+                partial_sent_unix_us: clock::unix_us(),
+                hops,
+                children,
+                report: Some(qt.report()),
+                summary: qt.summary(),
+            })
+        });
         let msg = MeshMsg::Partial {
             query_id,
             from: self.me.name.clone(),
@@ -931,6 +1504,7 @@ impl NodeInner {
             timings,
             censored,
             failures: local_report,
+            segment,
         };
         self.ship_partial(&msg);
         if matches!(own_fault, Some(FaultKind::DuplicateMessage)) {
@@ -976,15 +1550,17 @@ impl NodeInner {
     /// each duration from its origin-pure seed, apply the fault plan at
     /// the send boundary, and push one partial per surviving leaf at
     /// its completion instant.
-    fn worker_exec(
-        self: &Arc<Self>,
-        query_id: u64,
-        agg_index: usize,
-        tree: &cedar_workloads::treedef::TreeDef,
-        deadline: f64,
-        seed: u64,
-        plan: Option<FaultPlan>,
-    ) {
+    fn worker_exec(self: &Arc<Self>, job: ExecJob) {
+        let ExecJob {
+            query_id,
+            agg_index,
+            tree,
+            deadline,
+            seed,
+            plan,
+            trace,
+            spans,
+        } = job;
         let Ok(spec_tree) = tree.build() else { return };
         if tree.stages.is_empty() || !deadline.is_finite() || deadline <= 0.0 {
             return;
@@ -1012,10 +1588,31 @@ impl NodeInner {
                 dist: dist.clone(),
             });
         }
+        let traced = trace.filter(|t| t.explain);
         let scale = self.topo.scale();
         let node = Arc::clone(self);
         std::thread::spawn(move || {
-            // (fire time, origin, realized duration, copies to send)
+            // Queue time covers dispatch plus this thread's spawn.
+            let queue_us = spans.handled_at.elapsed().as_micros() as u64;
+            // The worker's segment, re-shipped (with a fresh ship
+            // stamp) inside every leaf partial so the aggregator's
+            // keep-latest copy carries the final one.
+            let base_seg = traced.map(|t| TraceSegment {
+                node: node.me.name.clone(),
+                role: node.me.role.as_str().to_owned(),
+                level: 0,
+                origin: base,
+                trace_id: t.trace_id,
+                exec_recv_unix_us: spans.recv_unix_us,
+                exec_decode_us: spans.decode_us,
+                exec_queue_us: queue_us,
+                partial_sent_unix_us: 0,
+                hops: Vec::new(),
+                children: Vec::new(),
+                report: None,
+                summary: TraceSummary::default(),
+            });
+            // (fire time, origin, copies to send)
             let mut events: Vec<(f64, usize, usize)> = Vec::with_capacity(count);
             for i in 0..count {
                 let origin = base + i;
@@ -1038,6 +1635,7 @@ impl NodeInner {
                 events.push((dur, origin, copies));
             }
             events.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let shipped = events.len();
             for (dur, origin, copies) in events {
                 let target = start + scale.to_wall(dur);
                 let now = clock::now();
@@ -1055,11 +1653,26 @@ impl NodeInner {
                     timings: Vec::new(),
                     censored: Vec::new(),
                     failures: FailureReport::default(),
+                    segment: base_seg.clone().map(|mut s| {
+                        s.partial_sent_unix_us = clock::unix_us();
+                        Box::new(s)
+                    }),
                 };
                 for _ in 0..copies {
                     node.ship_partial(&msg);
                 }
             }
+            node.flight.record(FlightEntry {
+                query_id,
+                started_unix_us: spans.recv_unix_us,
+                latency_us: start.elapsed().as_micros() as u64,
+                deadline,
+                quality: shipped as f64 / count.max(1) as f64,
+                included: shipped,
+                expected: count,
+                shed: false,
+                summary: TraceSummary::default(),
+            });
         });
     }
 
@@ -1128,6 +1741,9 @@ impl NodeInner {
                     timings: Vec::new(),
                     censored: Vec::new(),
                     failures: FailureReport::default(),
+                    // Retries stay untraced: the original exec's
+                    // segment already covers this worker.
+                    segment: None,
                 };
                 node.ship_partial(&msg);
             }

@@ -24,7 +24,7 @@ use cedar_server::WireFormat;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -115,6 +115,14 @@ pub struct PeerLink {
     router: Arc<Router>,
     /// Partial frames that arrived with no registered query.
     unroutable: Arc<cedar_telemetry::Counter>,
+    /// The outstanding heartbeat probe: `(seq, sent_unix_us)`. The
+    /// maintenance loop sends exactly one probe per interval, so one
+    /// slot is enough to match acks to sends.
+    probe: Mutex<Option<(u64, u64)>>,
+    /// Latest child−parent clock offset estimate, microseconds.
+    offset_us: AtomicI64,
+    /// Whether any offset estimate has landed yet.
+    offset_known: AtomicBool,
 }
 
 impl PeerLink {
@@ -137,6 +145,9 @@ impl PeerLink {
             metrics,
             router,
             unroutable,
+            probe: Mutex::new(None),
+            offset_us: AtomicI64::new(0),
+            offset_known: AtomicBool::new(false),
         });
         let worker = Arc::clone(&link);
         std::thread::spawn(move || worker.maintain());
@@ -152,6 +163,17 @@ impl PeerLink {
     #[must_use]
     pub fn peer_name(&self) -> &str {
         &self.cfg.peer_name
+    }
+
+    /// Latest child−parent clock offset estimate in microseconds
+    /// (`t_parent = t_child - offset`), or `None` before the first
+    /// stamped heartbeat ack. Piggybacked on the liveness probes: the
+    /// child's ack stamp minus the probe's RTT midpoint.
+    #[must_use]
+    pub fn clock_offset_us(&self) -> Option<i64> {
+        self.offset_known
+            .load(Ordering::Acquire)
+            .then(|| self.offset_us.load(Ordering::Acquire))
     }
 
     /// Sends one frame to the child. A send on a down link fails fast;
@@ -194,6 +216,9 @@ impl PeerLink {
                 from: self.cfg.self_name.clone(),
                 seq,
             };
+            // Record the probe before the bytes leave so the reader
+            // thread can never see the ack first.
+            *self.probe.lock().unpoisoned() = Some((seq, clock::unix_us()));
             if self.send(&beat).is_ok() {
                 self.metrics.heartbeats_sent.inc();
             }
@@ -254,9 +279,14 @@ impl PeerLink {
     fn read_loop(&self, stream: TcpStream) {
         loop {
             match wire::recv(&mut &stream) {
-                Ok(Some(MeshMsg::HeartbeatAck { .. })) => {
+                Ok(Some(MeshMsg::HeartbeatAck {
+                    seq, at_unix_us, ..
+                })) => {
                     *self.last_seen.lock().unpoisoned() = clock::now();
                     self.metrics.heartbeats_acked.inc();
+                    if let Some(at) = at_unix_us {
+                        self.note_ack(seq, at);
+                    }
                 }
                 Ok(Some(msg @ MeshMsg::Partial { .. })) => {
                     self.metrics.partials_received.inc();
@@ -279,6 +309,29 @@ impl PeerLink {
             drop(guard);
             self.note_down();
         }
+    }
+
+    /// Matches a stamped ack to the outstanding probe and updates the
+    /// clock-offset estimate: assuming symmetric wire legs, the child's
+    /// stamp was taken at the probe's RTT midpoint, so the offset is
+    /// `at - (sent + rtt/2)`.
+    fn note_ack(&self, seq: u64, at_unix_us: u64) {
+        let matched = {
+            let mut probe = self.probe.lock().unpoisoned();
+            match *probe {
+                Some((probe_seq, sent_us)) if probe_seq == seq => {
+                    *probe = None;
+                    Some(sent_us)
+                }
+                _ => None,
+            }
+        };
+        let Some(sent_us) = matched else { return };
+        let now_us = clock::unix_us();
+        let rtt = now_us.saturating_sub(sent_us);
+        let offset = at_unix_us as i64 - (sent_us as i64 + (rtt / 2) as i64);
+        self.offset_us.store(offset, Ordering::Release);
+        self.offset_known.store(true, Ordering::Release);
     }
 
     fn drop_stream(&self) {
@@ -312,6 +365,7 @@ mod tests {
             timings: Vec::new(),
             censored: Vec::new(),
             failures: FailureReport::default(),
+            segment: None,
         }
     }
 

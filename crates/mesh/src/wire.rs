@@ -30,6 +30,7 @@
 use cedar_runtime::{FailureReport, FaultPlan};
 use cedar_server::wire2::{self, BinaryCodec};
 use cedar_server::{proto, WireFormat};
+use cedar_telemetry::TraceSegment;
 use cedar_wire::{Reader, Result as WireResult, WireError, Writer};
 use cedar_workloads::treedef::TreeDef;
 use serde::{Deserialize, Serialize};
@@ -61,6 +62,20 @@ pub struct StageTiming {
     pub origin: usize,
     /// Realized duration, or the censoring threshold, in model units.
     pub duration: f64,
+}
+
+/// Trace context threaded through an `exec` frame so one query is
+/// observable across the whole process tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecTrace {
+    /// Mesh-wide trace id, minted by the root from (seed, `query_id`).
+    pub trace_id: u64,
+    /// Whether the client asked for a full decision trace (`explain`);
+    /// when false only hop spans are stamped, not event logs.
+    pub explain: bool,
+    /// Sender's clock just before the frame was written, µs since the
+    /// Unix epoch — the parent half of the request-wire span.
+    pub sent_unix_us: u64,
 }
 
 /// Every frame that crosses a mesh edge.
@@ -99,6 +114,11 @@ pub enum MeshMsg {
         from: String,
         /// The probe's sequence number.
         seq: u64,
+        /// Responder's clock when it echoed, µs since the Unix epoch.
+        /// The parent combines this with the probe's RTT midpoint to
+        /// estimate the child−parent clock offset that aligns trace
+        /// timelines. Absent from pre-tracing peers.
+        at_unix_us: Option<u64>,
     },
     /// Query dispatch, parent → child (root → agg, agg → worker).
     Exec {
@@ -123,6 +143,9 @@ pub enum MeshMsg {
         /// function of (plan, level, index), so every process accounts
         /// for the same faults without coordination.
         fault_plan: Option<FaultPlan>,
+        /// Trace context when the query is being traced across the
+        /// mesh; `None` keeps untraced Execs byte-identical to before.
+        trace: Option<ExecTrace>,
     },
     /// Watchdog re-execution request, aggregator → worker: re-run the
     /// named leaf origins of a previously dispatched query once.
@@ -159,6 +182,11 @@ pub enum MeshMsg {
         /// Runtime failure accounting from this subtree (retries,
         /// suppressed duplicates, censor counts).
         failures: FailureReport,
+        /// The sender's trace segment (its own spans, hop records, and
+        /// nested child segments) when the query is traced. Workers
+        /// attach theirs to every leaf partial; aggs attach one to
+        /// their single aggregated partial.
+        segment: Option<Box<TraceSegment>>,
     },
 }
 
@@ -206,10 +234,18 @@ impl BinaryCodec for MeshMsg {
                 w.str(from);
                 w.uvarint(*seq);
             }
-            MeshMsg::HeartbeatAck { from, seq } => {
+            MeshMsg::HeartbeatAck {
+                from,
+                seq,
+                at_unix_us,
+            } => {
                 w.u8(KIND_HEARTBEAT_ACK);
                 w.str(from);
                 w.uvarint(*seq);
+                w.bool(at_unix_us.is_some());
+                if let Some(at) = at_unix_us {
+                    w.uvarint(*at);
+                }
             }
             MeshMsg::Exec {
                 query_id,
@@ -220,6 +256,7 @@ impl BinaryCodec for MeshMsg {
                 deadline,
                 seed,
                 fault_plan,
+                trace,
             } => {
                 w.u8(KIND_EXEC);
                 w.uvarint(*query_id);
@@ -235,6 +272,12 @@ impl BinaryCodec for MeshMsg {
                 w.bool(fault_plan.is_some());
                 if let Some(plan) = fault_plan {
                     wire2::put_json_capsule(&mut w, plan);
+                }
+                w.bool(trace.is_some());
+                if let Some(t) = trace {
+                    w.uvarint(t.trace_id);
+                    w.bool(t.explain);
+                    w.uvarint(t.sent_unix_us);
                 }
             }
             MeshMsg::Retry {
@@ -261,6 +304,7 @@ impl BinaryCodec for MeshMsg {
                 timings,
                 censored,
                 failures,
+                segment,
             } => {
                 w.u8(KIND_PARTIAL);
                 w.uvarint(*query_id);
@@ -273,6 +317,12 @@ impl BinaryCodec for MeshMsg {
                 put_timings(&mut w, timings);
                 put_timings(&mut w, censored);
                 wire2::put_failure_report(&mut w, failures);
+                // Segments are trace-only freight (nested, stringy); a
+                // JSON capsule keeps untraced partials span-free.
+                w.bool(segment.is_some());
+                if let Some(seg) = segment {
+                    wire2::put_json_capsule(&mut w, seg.as_ref());
+                }
             }
         }
     }
@@ -302,6 +352,7 @@ impl BinaryCodec for MeshMsg {
             KIND_HEARTBEAT_ACK => MeshMsg::HeartbeatAck {
                 from: r.str()?.to_owned(),
                 seq: r.uvarint()?,
+                at_unix_us: if r.bool()? { Some(r.uvarint()?) } else { None },
             },
             KIND_EXEC => MeshMsg::Exec {
                 query_id: r.uvarint()?,
@@ -313,6 +364,15 @@ impl BinaryCodec for MeshMsg {
                 seed: r.uvarint()?,
                 fault_plan: if r.bool()? {
                     Some(wire2::read_json_capsule(&mut r)?)
+                } else {
+                    None
+                },
+                trace: if r.bool()? {
+                    Some(ExecTrace {
+                        trace_id: r.uvarint()?,
+                        explain: r.bool()?,
+                        sent_unix_us: r.uvarint()?,
+                    })
                 } else {
                     None
                 },
@@ -350,6 +410,11 @@ impl BinaryCodec for MeshMsg {
                 timings: read_timings(&mut r)?,
                 censored: read_timings(&mut r)?,
                 failures: wire2::read_failure_report(&mut r)?,
+                segment: if r.bool()? {
+                    Some(Box::new(wire2::read_json_capsule(&mut r)?))
+                } else {
+                    None
+                },
             },
             other => return Err(WireError::BadTag(other)),
         };
@@ -427,6 +492,14 @@ pub fn agg_seed(seed: u64, origin: usize) -> u64 {
     splitmix64(seed ^ splitmix64(0xa990_0000_0000_0000 | origin as u64))
 }
 
+/// Mints the mesh-wide trace id for one query: a splitmix64 mix of the
+/// query seed and id. Pure, so a replayed query traces under the same
+/// id on every node.
+#[must_use]
+pub fn trace_id(seed: u64, query_id: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(0x7ace_0000_0000_0000 ^ query_id))
+}
+
 /// SplitMix64: tiny, well-mixed, and stable across platforms.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -467,5 +540,13 @@ mod tests {
         assert_ne!(leaf_seed(7, 3), leaf_seed(7, 4));
         assert_ne!(leaf_seed(7, 3), leaf_seed(8, 3));
         assert_ne!(leaf_seed(7, 3), agg_seed(7, 3));
+    }
+
+    #[test]
+    fn trace_ids_are_pure_and_distinct() {
+        assert_eq!(trace_id(7, 3), trace_id(7, 3));
+        assert_ne!(trace_id(7, 3), trace_id(7, 4));
+        assert_ne!(trace_id(7, 3), trace_id(8, 3));
+        assert_ne!(trace_id(7, 3), leaf_seed(7, 3));
     }
 }

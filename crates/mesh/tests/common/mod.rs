@@ -5,8 +5,9 @@
 //! derived from a single seeded generator: every field is a pure
 //! function of the case's seed, which the harness prints on failure.
 
-use cedar_mesh::wire::{MeshMsg, StageTiming};
+use cedar_mesh::wire::{ExecTrace, MeshMsg, StageTiming};
 use cedar_runtime::{FailureReport, FaultPlan, FaultSpec, RecoveryPolicy};
+use cedar_telemetry::{HopRecord, TraceSegment, TraceSummary};
 use cedar_workloads::treedef::{StageDef, TreeDef};
 
 /// SplitMix64-driven field generator; deterministic per seed.
@@ -104,6 +105,61 @@ impl Gen {
         )
     }
 
+    pub fn summary(&mut self) -> TraceSummary {
+        TraceSummary {
+            arrivals: self.usize(0, 500),
+            rearms: self.usize(0, 50),
+            crashed: self.usize(0, 50),
+            hung: self.usize(0, 50),
+            straggled: self.usize(0, 50),
+            dropped_messages: self.usize(0, 50),
+            duplicated: self.usize(0, 50),
+            retries_launched: self.usize(0, 50),
+            retries_delivered: self.usize(0, 50),
+            duplicates_suppressed: self.usize(0, 50),
+            censored_observations: self.usize(0, 50),
+        }
+    }
+
+    pub fn hop(&mut self) -> HopRecord {
+        if self.bool() {
+            return HopRecord::censored(self.name(), self.u64() >> 1, self.u64() as i64 >> 40);
+        }
+        HopRecord {
+            child: self.name(),
+            censored: false,
+            clock_offset_us: self.u64() as i64 >> 40,
+            exec_sent_unix_us: self.u64() >> 1,
+            exec_recv_unix_us: self.u64() >> 1,
+            exec_decode_us: self.usize(0, 10_000) as u64,
+            exec_queue_us: self.usize(0, 10_000) as u64,
+            partial_sent_unix_us: self.u64() >> 1,
+            partial_recv_unix_us: self.u64() >> 1,
+        }
+    }
+
+    /// A trace segment `depth` levels deep (no `report`: decision
+    /// traces carry NaN-prone floats the JSON capsule law excludes).
+    pub fn segment(&mut self, depth: usize) -> TraceSegment {
+        let hops = self.usize(0, 4);
+        let kids = if depth == 0 { 0 } else { self.usize(0, 3) };
+        TraceSegment {
+            node: self.name(),
+            role: self.name(),
+            level: self.usize(0, 3),
+            origin: self.usize(0, 10_000),
+            trace_id: self.u64(),
+            exec_recv_unix_us: self.u64() >> 1,
+            exec_decode_us: self.usize(0, 10_000) as u64,
+            exec_queue_us: self.usize(0, 10_000) as u64,
+            partial_sent_unix_us: self.u64() >> 1,
+            hops: (0..hops).map(|_| self.hop()).collect(),
+            children: (0..kids).map(|_| self.segment(depth - 1)).collect(),
+            report: None,
+            summary: self.summary(),
+        }
+    }
+
     /// One message of the chosen variant (0..=6), every field random.
     pub fn msg(&mut self, variant: usize) -> MeshMsg {
         match variant {
@@ -124,6 +180,7 @@ impl Gen {
             3 => MeshMsg::HeartbeatAck {
                 from: self.name(),
                 seq: self.u64(),
+                at_unix_us: self.bool().then(|| self.u64() >> 1),
             },
             4 => MeshMsg::Exec {
                 query_id: self.u64(),
@@ -134,6 +191,11 @@ impl Gen {
                 deadline: self.f64(1.0, 1e5),
                 seed: self.u64(),
                 fault_plan: self.plan(),
+                trace: self.bool().then(|| ExecTrace {
+                    trace_id: self.u64(),
+                    explain: self.bool(),
+                    sent_unix_us: self.u64() >> 1,
+                }),
             },
             5 => MeshMsg::Retry {
                 query_id: self.u64(),
@@ -154,6 +216,7 @@ impl Gen {
                 timings: self.timings(),
                 censored: self.timings(),
                 failures: self.report(),
+                segment: self.bool().then(|| Box::new(self.segment(2))),
             },
         }
     }

@@ -8,13 +8,16 @@
 use cedar_distrib::spec::DistSpec;
 use cedar_mesh::topology::{NodeDef, Role, Topology};
 use cedar_mesh::wire::leaf_seed;
-use cedar_mesh::NodeHandle;
+use cedar_mesh::{NodeHandle, NodeOptions};
 use cedar_runtime::{FailureReport, FaultPlan, FaultSpec, RecoveryPolicy};
+use cedar_server::proto::Request;
 use cedar_server::Client;
+use cedar_telemetry::{FlightDump, TraceSegment};
 use cedar_workloads::treedef::{StageDef, TreeDef};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::net::TcpListener;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -141,12 +144,16 @@ fn start_mesh(topo: &Topology, root_plan: Option<FaultPlan>) -> Vec<NodeHandle> 
             }
         }
     }
+    wait_ready(&handles);
+    handles
+}
+
+fn wait_ready(handles: &[NodeHandle]) {
     let ready_by = Instant::now() + Duration::from_secs(10);
     while handles.iter().any(|h| h.peers_up() < h.peers_total()) {
         assert!(Instant::now() < ready_by, "mesh never became ready");
         std::thread::sleep(Duration::from_millis(10));
     }
-    handles
 }
 
 fn shutdown_all(handles: Vec<NodeHandle>) {
@@ -169,6 +176,39 @@ fn metric(text: &str, name: &str) -> f64 {
         .and_then(|l| l.rsplit(' ').next())
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| panic!("metric {name} not found"))
+}
+
+/// Reads one node's value of `name` out of a federated page, summing
+/// across any further label sets the family carries (e.g. `kind=`).
+fn federated_metric(text: &str, name: &str, node: &str) -> f64 {
+    let tag = format!("node=\"{node}\"");
+    let hits: Vec<f64> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b'{') && l.contains(&tag)
+        })
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable sample: {l}"))
+        })
+        .collect();
+    assert!(!hits.is_empty(), "no {name} sample for node {node}");
+    hits.iter().sum()
+}
+
+/// Sends a bare (tree-less) op to a node and returns its response.
+fn raw_op(client: &mut Client, op: &str) -> cedar_server::proto::Response {
+    client
+        .request(&Request {
+            op: op.into(),
+            tree: None,
+            deadline: None,
+            seed: None,
+            explain: None,
+        })
+        .unwrap_or_else(|e| panic!("sending {op}: {e}"))
 }
 
 #[test]
@@ -421,6 +461,42 @@ fn a_dead_aggregator_degrades_quality_like_an_injected_crash() {
     assert!((result.quality - 0.5).abs() < f64::EPSILON);
     assert!(report.crashed >= 1, "dead agg not charged: {report:?}");
 
+    // An explain query through the crippled mesh stitches what is
+    // reachable and marks the dead subtree as one censored hop — the
+    // observer sees exactly the loss the quality ledger charges.
+    let resp = client
+        .query_explain(&tree(AGGS), Some(DEADLINE), Some(5))
+        .expect("explain query");
+    assert!(resp.ok, "explain failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    let report = result.failures.expect("report");
+    assert!(report.crashed >= 1, "dead agg not charged: {report:?}");
+    assert!((result.quality - 0.5).abs() < f64::EPSILON);
+    let mesh = result
+        .trace
+        .expect("explain trace")
+        .mesh
+        .expect("stitched mesh trace");
+    assert_eq!(mesh.root.censored_hops(), 1);
+    let dead = mesh
+        .root
+        .hops
+        .iter()
+        .find(|h| h.censored)
+        .expect("censored hop");
+    assert_eq!(dead.child, "agg0");
+    assert!(dead.exec_sent_unix_us > 0, "send stamp survives censoring");
+    assert_eq!(dead.partial_recv_unix_us, 0, "no reply stamp to claim");
+    assert_eq!(
+        dead.overhead_us(),
+        None,
+        "no overhead claimed for a dead child"
+    );
+    // Only the surviving half contributes segments: root, agg1, and
+    // agg1's two workers. The renderer still names the lost child.
+    assert_eq!(mesh.root.node_count(), 4);
+    assert!(mesh.render_tree().contains("agg0"));
+
     shutdown_all(handles);
 }
 
@@ -491,4 +567,227 @@ fn leaf_durations_are_origin_pure_across_the_wire() {
         let b = dist.sample(&mut StdRng::seed_from_u64(leaf_seed(42, origin)));
         assert!((a - b).abs() < f64::EPSILON, "origin {origin} not pure");
     }
+}
+
+/// The reconciliation law of the federated scrape: the merged page the
+/// root assembles names every node (up-marked), carries each node's
+/// counters exactly as that node reports them, and its fault counters
+/// agree with the client's own `FailureReport` for the same load. The
+/// same boot also exercises the plain-HTTP scrape port and both ends
+/// of the flight recorder's operator op.
+#[test]
+fn federated_metrics_reconcile_with_every_node_and_the_client_report() {
+    let _mesh = serial();
+    let spec = FaultSpec::crashes(0.25);
+    let (fault_seed, planned) = seed_with_crashes(&spec);
+    let plan = FaultPlan::new(fault_seed, spec).with_recovery(RecoveryPolicy {
+        speculative_retry: false,
+        ..RecoveryPolicy::default()
+    });
+
+    // Hand-boot so the root additionally binds an HTTP scrape port.
+    let topo = topo(false);
+    let mut handles = Vec::new();
+    for role in [Role::Worker, Role::Agg, Role::Root] {
+        for node in &topo.nodes {
+            if node.role != role {
+                continue;
+            }
+            let h = if role == Role::Root {
+                cedar_mesh::start_with(
+                    topo.clone(),
+                    &node.name,
+                    Some(plan.clone()),
+                    NodeOptions {
+                        metrics_addr: Some("127.0.0.1:0".into()),
+                        ..NodeOptions::default()
+                    },
+                )
+            } else {
+                cedar_mesh::start(topo.clone(), &node.name, None)
+            };
+            handles.push(h.unwrap_or_else(|e| panic!("starting {}: {e}", node.name)));
+        }
+    }
+    wait_ready(&handles);
+
+    let mut client = root_client(&topo);
+    let resp = client
+        .query(&tree(AGGS), Some(DEADLINE), Some(9))
+        .expect("query");
+    assert!(resp.ok, "query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    let report = result.failures.expect("report");
+    assert_eq!(report.crashed, planned.crashed);
+
+    let fed = raw_op(&mut client, "metrics_federated");
+    assert!(fed.ok, "federated scrape failed: {:?}", fed.error);
+    let page = fed.metrics.expect("merged page");
+
+    // Every node answered the fan-out, and the page says so.
+    for node in &topo.nodes {
+        assert!(
+            (federated_metric(&page, "cedar_mesh_federated_up", &node.name) - 1.0).abs()
+                < f64::EPSILON,
+            "{} not marked up:\n{page}",
+            node.name
+        );
+    }
+
+    // The root served one query; each agg and each worker handled
+    // exactly one exec for it — six edges, every one visible per-node.
+    assert!(
+        (federated_metric(&page, "cedar_mesh_queries_total", "root") - 1.0).abs() < f64::EPSILON
+    );
+    let execs: f64 = ["agg0", "agg1", "w0", "w1", "w2", "w3"]
+        .iter()
+        .map(|n| federated_metric(&page, "cedar_mesh_execs_total", n))
+        .sum();
+    assert!(
+        (execs - 6.0).abs() < f64::EPSILON,
+        "execs across the mesh: {execs}"
+    );
+
+    // Per-node values in the merged page are exactly what each node
+    // reports for itself: federation relabels, never rewrites.
+    for agg in ["agg0", "agg1"] {
+        let mut direct = Client::connect(&topo.node(agg).expect("def").addr).expect("connect");
+        let own = direct.metrics().expect("metrics").metrics.expect("text");
+        assert!(
+            (metric(&own, "cedar_mesh_execs_total")
+                - federated_metric(&page, "cedar_mesh_execs_total", agg))
+            .abs()
+                < f64::EPSILON
+        );
+    }
+
+    // Fault counters reconcile with the client's FailureReport: the
+    // scrape, the query result, and the plan all tell one story.
+    assert!(
+        (federated_metric(&page, "cedar_faults_injected_total", "root")
+            - report.total_injected() as f64)
+            .abs()
+            < f64::EPSILON
+    );
+    assert!(
+        (federated_metric(&page, "cedar_censored_observations_total", "root")
+            - report.censored_observations as f64)
+            .abs()
+            < f64::EPSILON
+    );
+
+    // The root's un-labeled registry is also served over plain HTTP.
+    let http_addr = handles
+        .iter()
+        .find(|h| h.name() == "root")
+        .and_then(NodeHandle::metrics_addr)
+        .expect("root bound a metrics port");
+    let mut sock = TcpStream::connect(http_addr).expect("connect scrape port");
+    sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .expect("send scrape");
+    let mut raw = String::new();
+    sock.read_to_string(&mut raw).expect("read scrape");
+    assert!(raw.starts_with("HTTP/1.1 200 OK"), "scrape answered: {raw}");
+    let body = raw.split("\r\n\r\n").nth(1).expect("http body");
+    assert!((metric(body, "cedar_mesh_queries_total") - 1.0).abs() < f64::EPSILON);
+
+    // Only the root federates; an aggregator says so in a typed error.
+    let mut agg = Client::connect(&topo.node("agg0").expect("def").addr).expect("connect");
+    let refused = raw_op(&mut agg, "metrics_federated");
+    assert!(!refused.ok);
+    assert_eq!(
+        refused.code.as_deref(),
+        Some(cedar_server::proto::ERR_BAD_REQUEST)
+    );
+
+    // Flight recorders on the root and the agg both kept the query.
+    let dump: FlightDump = serde_json::from_str(
+        &raw_op(&mut client, "flight_dump")
+            .metrics
+            .expect("dump body"),
+    )
+    .expect("dump json");
+    assert_eq!(dump.node, "root");
+    assert_eq!(dump.reason, "operator");
+    assert_eq!(dump.entries.len(), 1);
+    assert_eq!(dump.entries[0].expected, TOTAL);
+    assert!((dump.entries[0].quality - result.quality).abs() < f64::EPSILON);
+    let agg_dump: FlightDump =
+        serde_json::from_str(&raw_op(&mut agg, "flight_dump").metrics.expect("dump body"))
+            .expect("dump json");
+    assert_eq!(agg_dump.entries.len(), 1);
+    assert_eq!(agg_dump.entries[0].expected, LEAVES_PER_AGG);
+
+    shutdown_all(handles);
+}
+
+/// An explain query comes back with the whole process tree stitched
+/// into one timeline: seven segments, six hops, nothing censored, and
+/// merged counters that agree with the failure report.
+#[test]
+fn explain_queries_stitch_a_cross_process_trace() {
+    let _mesh = serial();
+    let topo = topo(false);
+    let handles = start_mesh(&topo, None);
+    let mut client = root_client(&topo);
+    let resp = client
+        .query_explain(&tree(AGGS), Some(DEADLINE), Some(42))
+        .expect("query");
+    assert!(resp.ok, "query failed: {:?}", resp.error);
+    let result = resp.result.expect("result");
+    assert_eq!(result.included_outputs, TOTAL);
+    let report = result.failures.expect("report");
+    let trace = result.trace.expect("explain trace");
+    let mesh = trace.mesh.expect("stitched mesh trace");
+
+    assert_ne!(mesh.trace_id, 0);
+    assert_eq!(mesh.root.node_count(), 7, "root + 2 aggs + 4 workers");
+    assert_eq!(mesh.root.hop_count(), 6, "one hop per parent-child edge");
+    assert_eq!(mesh.root.censored_hops(), 0);
+
+    // Every segment carries the same trace id, and every hop's stamps
+    // are real: non-zero, with the reply after the request on the
+    // parent's clock and a non-negative measured overhead.
+    fn walk(seg: &TraceSegment, trace_id: u64) {
+        assert_eq!(seg.trace_id, trace_id, "{} mis-threaded", seg.node);
+        for hop in &seg.hops {
+            assert!(!hop.censored, "{} censored on a clean mesh", hop.child);
+            assert!(hop.exec_sent_unix_us > 0 && hop.exec_recv_unix_us > 0);
+            assert!(hop.partial_recv_unix_us >= hop.exec_sent_unix_us);
+            assert!(hop.overhead_us().expect("answered hop has spans") >= 0);
+        }
+        for child in &seg.children {
+            walk(child, trace_id);
+        }
+    }
+    walk(&mesh.root, mesh.trace_id);
+
+    // The merged counters are the failure report, seen from the trace.
+    assert!(report.is_clean(), "clean run reported failures: {report:?}");
+    assert!(
+        report.matches_trace(&mesh.root.merged_summary()),
+        "trace counters diverge: {:?} vs {report:?}",
+        mesh.root.merged_summary()
+    );
+
+    // The wire cost something measurable, and the rendering names
+    // every process in the tree.
+    assert!(mesh.root.wire_overhead_us() > 0);
+    let rendered = mesh.render_tree();
+    for node in &topo.nodes {
+        assert!(
+            rendered.contains(&node.name),
+            "{} missing from:\n{rendered}",
+            node.name
+        );
+    }
+
+    // A plain query on the same mesh ships no trace: explain is
+    // strictly opt-in, so the hot path stays capsule-free.
+    let plain = client
+        .query(&tree(AGGS), Some(DEADLINE), Some(42))
+        .expect("query");
+    assert!(plain.result.expect("result").trace.is_none());
+
+    shutdown_all(handles);
 }

@@ -42,6 +42,6 @@ pub use engine::{
 pub use faults::{FailureReport, FaultKind, FaultPlan, FaultSpec, RecoveryPolicy};
 pub use metrics::RuntimeMetrics;
 pub use pool::{ones, VecPool};
-pub use remote::{aggregate_remote, Arrival, RemoteAggConfig, RemoteAggOutcome};
+pub use remote::{aggregate_remote, Arrival, RemoteAggConfig, RemoteAggOutcome, RemoteTrace};
 pub use scale::TimeScale;
 pub use service::{AggregationService, QueryOptions, ServiceConfig, WarmRestart};

@@ -16,8 +16,10 @@
 use crate::scale::TimeScale;
 use cedar_core::{AggregatorAction, AggregatorState, PolicyContext, WaitPolicyKind};
 use cedar_estimate::Model;
+use cedar_telemetry::{QueryTrace, ShipReason, TraceEventKind};
 use std::collections::HashSet;
 use std::ops::Range;
+use std::sync::Arc;
 use tokio::sync::mpsc;
 use tokio::time::Instant;
 
@@ -44,6 +46,17 @@ pub struct Arrival {
     pub retry: bool,
 }
 
+/// Where a remotely-fed pass records its decision timeline.
+#[derive(Clone)]
+pub struct RemoteTrace {
+    /// The shared per-query trace to record into.
+    pub trace: Arc<QueryTrace>,
+    /// Tree level this aggregator sits at (for event attribution).
+    pub level: usize,
+    /// The aggregator's index within its level.
+    pub index: usize,
+}
+
 /// Configuration for one remotely-fed aggregation pass.
 pub struct RemoteAggConfig {
     /// This aggregator's policy context (from
@@ -63,6 +76,9 @@ pub struct RemoteAggConfig {
     /// when it fires with children still missing, the caller's hook
     /// receives their origins (exactly once).
     pub watchdog: Option<f64>,
+    /// Decision trace to record the pass's timeline into, when the
+    /// query is being traced (`explain` across the mesh).
+    pub trace: Option<RemoteTrace>,
 }
 
 /// What one remote aggregation pass produced.
@@ -110,9 +126,16 @@ pub async fn aggregate_remote(
         expected,
         start,
         watchdog,
+        trace,
     } = cfg;
+    let record = |at: f64, event: TraceEventKind| {
+        if let Some(t) = &trace {
+            t.trace.record(at, t.level, t.index, event);
+        }
+    };
     let mut state = AggregatorState::new(kind.instantiate(ctx.fanout, model), ctx);
     let w0 = state.start();
+    record(0.0, TraceEventKind::InitialWait { wait: w0 });
     let mut timer = start + scale.to_wall(w0);
     let mut watchdog_at = watchdog.map(|w| start + scale.to_wall(w));
     let mut payload = 0usize;
@@ -142,11 +165,24 @@ pub async fn aggregate_remote(
                     let now_model = scale.to_model(start.elapsed());
                     if !seen.insert(m.origin) {
                         duplicates_suppressed += 1;
+                        record(
+                            now_model,
+                            TraceEventKind::DuplicateSuppressed { origin: m.origin },
+                        );
                         continue;
                     }
                     if m.retry {
                         retries_delivered += 1;
+                        record(now_model, TraceEventKind::RetryDelivered { origin: m.origin });
                     }
+                    record(
+                        now_model,
+                        TraceEventKind::Arrival {
+                            arrival: seen.len(),
+                            origin: m.origin,
+                            retry: m.retry,
+                        },
+                    );
                     observed.push((m.origin, m.duration));
                     payload += m.payload;
                     value += m.value;
@@ -168,6 +204,13 @@ pub async fn aggregate_remote(
                     let missing: Vec<usize> =
                         expected.clone().filter(|id| !seen.contains(id)).collect();
                     if !missing.is_empty() {
+                        record(
+                            scale.to_model(start.elapsed()),
+                            TraceEventKind::WatchdogFired {
+                                expected: expected.len(),
+                                received: seen.len(),
+                            },
+                        );
                         on_watchdog(&missing);
                     }
                     continue;
@@ -175,12 +218,28 @@ pub async fn aggregate_remote(
                 // The armed instant always mirrors the state machine's
                 // current wait, so this firing is never stale.
                 let _ = state.on_timer(state.timer());
+                record(scale.to_model(start.elapsed()), TraceEventKind::TimerFired);
                 break;
             }
         }
     }
     let departed_at = scale.to_model(start.elapsed());
     let censored: Vec<usize> = expected.clone().filter(|id| !seen.contains(id)).collect();
+    for &origin in &censored {
+        record(departed_at, TraceEventKind::Censored { origin });
+    }
+    record(
+        departed_at,
+        TraceEventKind::Departed {
+            reason: if censored.is_empty() {
+                ShipReason::AllArrived
+            } else {
+                ShipReason::TimerExpired
+            },
+            received: state.received(),
+            expected: expected.len(),
+        },
+    );
     RemoteAggOutcome {
         payload,
         value,
@@ -234,6 +293,7 @@ mod tests {
             expected: 0..4,
             start: Instant::now(),
             watchdog,
+            trace: None,
         }
     }
 
@@ -337,5 +397,57 @@ mod tests {
         assert_eq!(outcome.retries_delivered, 1);
         assert!(outcome.received >= 2);
         assert_eq!(outcome.censored, vec![2, 3]);
+    }
+
+    #[test]
+    fn trace_records_the_pass_timeline() {
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let trace = Arc::new(QueryTrace::new());
+        let outcome = rt.block_on({
+            let trace = Arc::clone(&trace);
+            async move {
+                let (tx, rx) = mpsc::channel(8);
+                for origin in [0usize, 1, 1] {
+                    tx.send(Arrival {
+                        payload: 1,
+                        value: 1.0,
+                        origin,
+                        duration: 2.0,
+                        retry: false,
+                    })
+                    .await
+                    .unwrap();
+                }
+                drop(tx);
+                let mut cfg = config(60.0, None);
+                cfg.trace = Some(RemoteTrace {
+                    trace,
+                    level: 1,
+                    index: 3,
+                });
+                aggregate_remote(cfg, rx, |_| {}).await
+            }
+        });
+        let summary = trace.summary();
+        assert_eq!(summary.arrivals, 2);
+        assert_eq!(summary.duplicates_suppressed, 1);
+        assert_eq!(summary.censored_observations, outcome.censored.len());
+        let events = trace.events();
+        assert!(
+            events.iter().all(|e| e.level == 1 && e.index == 3),
+            "{events:?}"
+        );
+        assert!(matches!(
+            events.first().map(|e| &e.kind),
+            Some(TraceEventKind::InitialWait { .. })
+        ));
+        assert!(matches!(
+            events.last().map(|e| &e.kind),
+            Some(TraceEventKind::Departed { .. })
+        ));
     }
 }

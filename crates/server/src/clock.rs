@@ -9,11 +9,19 @@
 //! server goes through [`now`] so the lint can pin raw reads to this
 //! one file and a future virtualized server clock has a single seam.
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// The current wall-clock instant.
 pub fn now() -> Instant {
     Instant::now()
+}
+
+/// Microseconds since the Unix epoch. Flight-recorder stamps use this
+/// spelling so dumps from different processes can be laid side by side.
+pub fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
 }
 
 #[cfg(test)]
@@ -23,5 +31,10 @@ mod tests {
         let a = super::now();
         let b = super::now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn unix_us_is_post_epoch() {
+        assert!(super::unix_us() > 1_577_836_800_000_000);
     }
 }

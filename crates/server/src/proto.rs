@@ -58,6 +58,10 @@ pub const OP_SHUTDOWN: &str = "shutdown";
 pub const OP_METRICS: &str = "metrics";
 /// Operation name for the elasticity health probe.
 pub const OP_HEALTH: &str = "health";
+/// Operation name for an on-demand flight-recorder dump: the response's
+/// `metrics` field carries the dump body as JSON. Mesh nodes serve the
+/// same op, so one operator verb drains any process's ring.
+pub const OP_FLIGHT_DUMP: &str = "flight_dump";
 
 /// Error code: the request itself was malformed (bad op, bad tree,
 /// missing fields). Retrying unchanged will fail again.

@@ -14,13 +14,20 @@ use crate::clock;
 use crate::proto::{self, HealthState, HealthStatus, QueryResult, Request, Response, ServerStats};
 use crate::spill::{SpillConfig, SpillQueue};
 use crate::wire2::BinaryCodec;
+use cedar_core::fs::write_atomic;
 use cedar_core::{LockExt, Millis};
-use cedar_runtime::{AggregationService, QueryOptions, RuntimeMetrics, ServiceConfig, TimeScale};
-use cedar_telemetry::{Counter, Gauge, QueryTrace, Registry};
+use cedar_runtime::{
+    AggregationService, FailureReport, QueryOptions, RuntimeMetrics, ServiceConfig, TimeScale,
+};
+use cedar_telemetry::flight::DEFAULT_FLIGHT_CAPACITY;
+use cedar_telemetry::{
+    Counter, FlightDump, FlightEntry, FlightRecorder, Gauge, QueryTrace, Registry, TraceSummary,
+};
 use cedar_workloads::production;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -69,6 +76,11 @@ pub struct ServerConfig {
     /// arriving at the cap is dropped immediately (counted as a shed)
     /// rather than spawning an unbounded thread per socket.
     pub max_connections: usize,
+    /// When set, flight-recorder dumps (panicking queries, the first
+    /// degrade transition, graceful shutdown, the `"flight_dump"` op)
+    /// are also written atomically to this file. The in-memory ring
+    /// records regardless; this only adds the on-disk copy.
+    pub flight_file: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -85,6 +97,7 @@ impl ServerConfig {
             metrics_addr: None,
             spill: None,
             max_connections: 1024,
+            flight_file: None,
         }
     }
 
@@ -278,12 +291,17 @@ struct ServerShared {
     idle_timeout: Duration,
     drain_deadline: Duration,
     query_timeout: Option<Duration>,
+    flight: FlightRecorder,
+    flight_file: Option<PathBuf>,
+    query_seq: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl ServerShared {
     /// Flips the shutdown flag and wakes the accept loop (idempotently).
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::AcqRel) {
+            self.flight_dump("shutdown");
             // The accept loops block in `accept`; a throwaway connection
             // gets each to re-check the flag.
             let _ = TcpStream::connect(self.addr);
@@ -291,6 +309,45 @@ impl ServerShared {
                 let _ = TcpStream::connect(addr);
             }
         }
+    }
+
+    /// Snapshots the flight ring, writing the dump to the configured
+    /// file when one is set. Returns the dump for callers that serve it.
+    fn flight_dump(&self, reason: &str) -> FlightDump {
+        let dump = self
+            .flight
+            .dump("server", "server", reason, clock::unix_us());
+        if let Some(path) = &self.flight_file {
+            let _ = write_atomic(path, &dump.encode());
+        }
+        dump
+    }
+
+    /// Latches the first transition into a degraded state: exactly one
+    /// `"degraded"` dump per boot, capturing the queries leading up to
+    /// the first sign of trouble before the ring forgets them.
+    fn note_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            self.flight_dump("degraded");
+        }
+    }
+}
+
+/// `FailureReport` counters as the flight-recorder summary shape, for
+/// queries that ran without an explain trace attached.
+fn summary_from_failures(report: &FailureReport, arrivals: usize) -> TraceSummary {
+    TraceSummary {
+        arrivals,
+        rearms: 0,
+        crashed: report.crashed,
+        hung: report.hung,
+        straggled: report.straggled,
+        dropped_messages: report.dropped,
+        duplicated: report.duplicated,
+        retries_launched: report.retries_launched,
+        retries_delivered: report.retries_delivered,
+        duplicates_suppressed: report.duplicates_suppressed,
+        censored_observations: report.censored_observations,
     }
 }
 
@@ -340,6 +397,10 @@ impl Server {
             idle_timeout: cfg.idle_timeout.max(POLL_INTERVAL),
             drain_deadline: cfg.drain_deadline,
             query_timeout: cfg.query_timeout,
+            flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
+            flight_file: cfg.flight_file.clone(),
+            query_seq: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         });
 
         let accept = {
@@ -682,6 +743,9 @@ fn dispatch(shared: &ServerShared, req: &Request) -> Response {
         proto::OP_STATS => Response::with_stats(collect_stats(shared)),
         proto::OP_METRICS => Response::with_metrics(shared.metrics.render(shared)),
         proto::OP_HEALTH => Response::with_health(collect_health(shared)),
+        proto::OP_FLIGHT_DUMP => Response::with_metrics(
+            serde_json::to_string(&shared.flight_dump("operator")).unwrap_or_default(),
+        ),
         proto::OP_QUERY => serve_query(shared, req),
         other => Response::err_code(proto::ERR_UNKNOWN_OP, format!("unknown op {other:?}")),
     }
@@ -785,6 +849,9 @@ fn collect_health(shared: &ServerShared) -> HealthStatus {
     } else {
         HealthState::Ok
     };
+    if state != HealthState::Ok {
+        shared.note_degraded();
+    }
     let p99 = shared
         .metrics
         .runtime
@@ -879,14 +946,39 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         }
     }
 
+    let query_id = shared.query_seq.fetch_add(1, Ordering::AcqRel);
+    let started_unix_us = clock::unix_us();
+    let deadline = req.deadline.unwrap_or(0.0);
+    let expected = tree.total_processes();
+    // Shed queries still leave a flight-ring entry: a dump taken after
+    // an overload incident must show what was turned away, not only
+    // what ran.
+    let record_shed = || {
+        shared.flight.record(FlightEntry {
+            query_id,
+            started_unix_us,
+            latency_us: 0,
+            deadline,
+            quality: 0.0,
+            included: 0,
+            expected,
+            shed: true,
+            summary: TraceSummary::default(),
+        });
+    };
+
     let (_permit, replayed) = match shared.gate.try_admit() {
         Ok(permit) => (permit, None),
         Err(Shed::QueueFull) if shared.spill.is_some() => match spill_and_replay(shared, req) {
             Ok(pair) => pair,
-            Err(resp) => return resp,
+            Err(resp) => {
+                record_shed();
+                return resp;
+            }
         },
         Err(shed) => {
             shared.shed_total.fetch_add(1, Ordering::AcqRel);
+            record_shed();
             return Response::err_code(proto::ERR_SHED, shed.to_string());
         }
     };
@@ -940,9 +1032,24 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
         })
     }));
     let latency_ms = Millis::from_duration(start.elapsed()).get();
+    let latency_us = start.elapsed().as_micros() as u64;
+    let record_failed = || {
+        shared.flight.record(FlightEntry {
+            query_id,
+            started_unix_us,
+            latency_us,
+            deadline,
+            quality: 0.0,
+            included: 0,
+            expected,
+            shed: false,
+            summary: TraceSummary::default(),
+        });
+    };
     let outcome = match ran {
         Ok(Some(outcome)) => outcome,
         Ok(None) => {
+            record_failed();
             return Response::err_code(
                 proto::ERR_TIMEOUT,
                 format!("query exceeded the server execution cap of {query_timeout:?}"),
@@ -954,9 +1061,28 @@ fn serve_query(shared: &ServerShared, req: &Request) -> Response {
                 .map(|s| (*s).to_owned())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_owned());
+            // A panicking query is exactly the incident the recorder
+            // exists for: capture the ring (with this query's entry in
+            // it) before anything else happens.
+            record_failed();
+            shared.flight_dump("panic");
             return Response::err_code(proto::ERR_INTERNAL, format!("query panicked: {msg}"));
         }
     };
+    shared.flight.record(FlightEntry {
+        query_id,
+        started_unix_us,
+        latency_us,
+        deadline,
+        quality: outcome.quality,
+        included: outcome.included_outputs,
+        expected,
+        shed: false,
+        summary: trace.as_ref().map_or_else(
+            || summary_from_failures(&outcome.failures, outcome.root_arrivals),
+            |t| t.summary(),
+        ),
+    });
 
     Response::with_result(QueryResult {
         quality: outcome.quality,

@@ -15,19 +15,33 @@
 //!   even under overflow, and aggregate counters are maintained at
 //!   record time so fault totals never depend on what the ring
 //!   retained.
+//! * [`stitch`] — cross-process trace stitching: the per-node
+//!   [`TraceSegment`] a mesh node ships inside its partial, the
+//!   [`HopRecord`] spans a parent stamps around each child edge, and
+//!   the assembled [`MeshTrace`] tree with clock-offset-corrected
+//!   per-hop wire overhead.
+//! * [`flight`] — an always-on per-node flight recorder: a fixed-size
+//!   ring of `Copy` per-query summaries (no steady-state allocation)
+//!   dumped to a CRC-guarded `CEDARFDR` file when something goes
+//!   wrong.
 //!
-//! The crate is a leaf: it depends only on `serde` so every other
-//! crate can use it without cycles. Timestamps are plain `f64` model
-//! times supplied by callers — nothing here reads a wall clock, so
-//! the L1 domain lint holds by construction.
+//! The crate stays a leaf: it depends only on `serde`, `serde_json`,
+//! and `cedar-wire` (itself a leaf, for the dump CRC), so every other
+//! crate can use it without cycles. Timestamps are supplied by
+//! callers — nothing here reads a wall clock, so the L1 domain lint
+//! holds by construction.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod metrics;
+pub mod stitch;
 pub mod trace;
 
+pub use flight::{FlightDump, FlightEntry, FlightRecorder};
 pub use metrics::{labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use stitch::{HopRecord, MeshTrace, TraceSegment};
 pub use trace::{
     FaultClass, QueryTrace, ShipReason, TraceEvent, TraceEventKind, TraceReport, TraceSummary,
 };

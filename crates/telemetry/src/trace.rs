@@ -207,7 +207,7 @@ pub struct TraceEvent {
 
 /// Aggregate counters maintained at record time, so they stay exact
 /// even when the bounded ring drops mid-query events.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceSummary {
     /// Arrivals recorded across all aggregators.
     pub arrivals: usize,
@@ -349,7 +349,7 @@ impl QueryTrace {
     /// Current aggregate counters.
     #[must_use]
     pub fn summary(&self) -> TraceSummary {
-        lock_unpoisoned(&self.inner).summary.clone()
+        lock_unpoisoned(&self.inner).summary
     }
 
     /// Freezes the trace into a serialisable report.
@@ -364,7 +364,8 @@ impl QueryTrace {
                 .cloned()
                 .collect(),
             dropped: inner.dropped,
-            summary: inner.summary.clone(),
+            summary: inner.summary,
+            mesh: None,
         }
     }
 }
@@ -380,6 +381,11 @@ pub struct TraceReport {
     pub dropped: u64,
     /// Exact aggregate counters (unaffected by eviction).
     pub summary: TraceSummary,
+    /// For mesh queries: the stitched cross-process timeline (segments
+    /// from every reachable node with per-hop wire spans). Absent for
+    /// in-process queries. Boxed because segments nest reports.
+    #[serde(default)]
+    pub mesh: Option<Box<crate::stitch::MeshTrace>>,
 }
 
 impl TraceReport {

@@ -16,7 +16,7 @@ use crate::roundtrip_outcome;
 use cedar_analysis::totality::{Outcome, Surface};
 use cedar_distrib::spec::DistSpec;
 use cedar_estimate::EmpiricalStats;
-use cedar_mesh::wire::{self as mesh_wire, MeshMsg, StageTiming};
+use cedar_mesh::wire::{self as mesh_wire, ExecTrace, MeshMsg, StageTiming};
 use cedar_runtime::checkpoint::{Checkpoint, StageCheckpoint};
 use cedar_runtime::{FailureReport, FaultPlan, FaultSpec};
 use cedar_server::proto::{
@@ -24,6 +24,8 @@ use cedar_server::proto::{
 };
 use cedar_server::spill::record;
 use cedar_server::wire2::{self, BinaryCodec};
+use cedar_telemetry::flight::{FLIGHT_FORMAT_VERSION, FLIGHT_MAGIC};
+use cedar_telemetry::{FlightDump, FlightEntry, HopRecord, TraceSegment, TraceSummary};
 use cedar_workloads::treedef::{StageDef, TreeDef};
 
 /// Every registered surface, in display order.
@@ -33,6 +35,7 @@ pub fn all() -> Vec<Surface<'static>> {
         response_surface(),
         mesh_surface(),
         checkpoint_surface(),
+        flight_dump_surface(),
         spill_record_surface(),
         negotiated_frame_surface(),
     ]
@@ -85,6 +88,43 @@ fn deep_tree() -> TreeDef {
             },
             fanout: 8,
         }],
+    }
+}
+
+/// A one-hop aggregator segment exercising the JSON trace capsule a
+/// `partial` frame can carry.
+fn small_segment() -> TraceSegment {
+    TraceSegment {
+        node: "agg-1".to_owned(),
+        role: "agg".to_owned(),
+        level: 1,
+        origin: 0,
+        trace_id: 0xfeed_f00d_dead_beef,
+        exec_recv_unix_us: 1_700_000_123_001_000,
+        exec_decode_us: 45,
+        exec_queue_us: 120,
+        partial_sent_unix_us: 1_700_000_123_042_000,
+        hops: vec![
+            HopRecord {
+                child: "worker-0".to_owned(),
+                censored: false,
+                clock_offset_us: -37,
+                exec_sent_unix_us: 1_700_000_123_002_000,
+                exec_recv_unix_us: 1_700_000_123_002_400,
+                exec_decode_us: 12,
+                exec_queue_us: 30,
+                partial_sent_unix_us: 1_700_000_123_030_000,
+                partial_recv_unix_us: 1_700_000_123_030_500,
+            },
+            HopRecord::censored("worker-1", 1_700_000_123_002_100, 88),
+        ],
+        children: Vec::new(),
+        report: None,
+        summary: TraceSummary {
+            arrivals: 4,
+            censored_observations: 1,
+            ..TraceSummary::default()
+        },
     }
 }
 
@@ -219,6 +259,16 @@ fn mesh_surface() -> Surface<'static> {
             from: "root".to_owned(),
             seq: 42,
         }),
+        encode(&MeshMsg::HeartbeatAck {
+            from: "agg-0".to_owned(),
+            seq: 42,
+            at_unix_us: None,
+        }),
+        encode(&MeshMsg::HeartbeatAck {
+            from: "agg-0".to_owned(),
+            seq: 43,
+            at_unix_us: Some(1_700_000_123_456_789),
+        }),
         encode(&MeshMsg::Exec {
             query_id: 7,
             from: "root".to_owned(),
@@ -228,6 +278,7 @@ fn mesh_surface() -> Surface<'static> {
             deadline: 1600.0,
             seed: 99,
             fault_plan: None,
+            trace: None,
         }),
         encode(&MeshMsg::Exec {
             query_id: 8,
@@ -238,6 +289,11 @@ fn mesh_surface() -> Surface<'static> {
             deadline: 900.0,
             seed: 3,
             fault_plan: Some(FaultPlan::new(11, FaultSpec::crashes(0.5))),
+            trace: Some(ExecTrace {
+                trace_id: 0xfeed_f00d_dead_beef,
+                explain: true,
+                sent_unix_us: 1_700_000_123_000_000,
+            }),
         }),
         encode(&MeshMsg::Retry {
             query_id: 7,
@@ -263,6 +319,24 @@ fn mesh_surface() -> Surface<'static> {
                 duration: 30.0,
             }],
             failures: FailureReport::default(),
+            segment: None,
+        }),
+        encode(&MeshMsg::Partial {
+            query_id: 9,
+            from: "agg-1".to_owned(),
+            origin: 0,
+            payload: 3,
+            value: 9.75,
+            duration: 42.0,
+            retry: true,
+            timings: Vec::new(),
+            censored: Vec::new(),
+            failures: FailureReport {
+                crashed: 1,
+                censored_observations: 1,
+                ..FailureReport::default()
+            },
+            segment: Some(Box::new(small_segment())),
         }),
     ];
     Surface {
@@ -327,6 +401,61 @@ fn checkpoint_surface() -> Surface<'static> {
                 // the law is byte-exact identity.
                 roundtrip_ok: ckpt.encode() == input,
             },
+        }),
+    }
+}
+
+fn flight_dump_surface() -> Surface<'static> {
+    let golden = FlightDump {
+        node: "agg-1".to_owned(),
+        role: "agg".to_owned(),
+        reason: "degraded".to_owned(),
+        written_unix_us: 1_700_000_123_500_000,
+        recorded_total: 300,
+        entries: vec![
+            FlightEntry {
+                query_id: 41,
+                started_unix_us: 1_700_000_122_000_000,
+                latency_us: 160_123,
+                deadline: 1600.0,
+                quality: 0.96,
+                included: 48,
+                expected: 50,
+                shed: false,
+                summary: TraceSummary {
+                    arrivals: 48,
+                    crashed: 1,
+                    censored_observations: 2,
+                    ..TraceSummary::default()
+                },
+            },
+            FlightEntry {
+                query_id: 42,
+                shed: true,
+                ..FlightEntry::default()
+            },
+        ],
+    }
+    .encode();
+    // Magic + version is the prefix every dump starts with; the seeded
+    // sweep mutates straight after it into the JSON body and CRC.
+    let mut header = FLIGHT_MAGIC.to_vec();
+    header.push(FLIGHT_FORMAT_VERSION);
+    Surface {
+        name: "cedar-telemetry::flight::FlightDump",
+        seeds: vec![header],
+        goldens: vec![golden],
+        alloc_cap: 1 << 21,
+        decode: Box::new(|input: &[u8]| match FlightDump::decode(input) {
+            Err(_) => Outcome::Reject,
+            Ok(dump) => {
+                // The body is a JSON capsule: serde may normalize a
+                // hand-built body, but re-encoding must be a fixpoint.
+                let out = dump.encode();
+                let ok = out == input
+                    || FlightDump::decode(&out).is_ok_and(|again| again.encode() == out);
+                Outcome::Accept { roundtrip_ok: ok }
+            }
         }),
     }
 }
